@@ -1,0 +1,31 @@
+//! Configuration-format costs: printing and parsing the Fig.-3 exchange
+//! format, and effective-flag resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpconfig::{parse_config, print_config, Config, Flag, StructureTree};
+use workloads::{nas, Class};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("config");
+    let w = nas::sp(Class::A);
+    let tree = StructureTree::build(w.program());
+    let mut cfg = Config::new();
+    for (k, id) in tree.all_insns().into_iter().enumerate() {
+        cfg.set_insn(id, if k % 3 == 0 { Flag::Single } else { Flag::Double });
+    }
+    let text = print_config(&tree, &cfg);
+    g.bench_function("print", |b| b.iter(|| print_config(&tree, &cfg).len()));
+    g.bench_function("parse", |b| b.iter(|| parse_config(&tree, &text).unwrap().len()));
+    g.bench_function("effective_all", |b| {
+        b.iter(|| {
+            tree.all_insns()
+                .into_iter()
+                .filter(|&i| cfg.effective(&tree, i) == Flag::Single)
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Interpreter throughput on the NAS analogues: steps/second for the
+//! original and all-double-instrumented binaries. The ratio is the
+//! "overhead (X)" of the paper's Figs. 8–9 at micro scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpvm::{Vm, VmOptions};
+use instrument::rewrite_all_double;
+use mpconfig::StructureTree;
+use workloads::{nas, Class};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp");
+    for (name, w) in [("ep", nas::ep(Class::S)), ("cg", nas::cg(Class::S))] {
+        let orig = w.program().clone();
+        let tree = StructureTree::build(&orig);
+        let (instr, _) = rewrite_all_double(&orig, &tree);
+        g.bench_function(format!("{name}.orig"), |b| {
+            b.iter(|| {
+                let out = Vm::run_program(&orig, VmOptions::default());
+                assert!(out.ok());
+                out.stats.steps
+            })
+        });
+        g.bench_function(format!("{name}.instrumented"), |b| {
+            b.iter(|| {
+                let out = Vm::run_program(&instr, VmOptions::default());
+                assert!(out.ok());
+                out.stats.steps
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Binary-modification speed: how fast the rewriter produces a patched
+//! program (blocks split, snippets emitted, edges rewired) — the analogue
+//! of Dyninst patching + binary rewriting time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use instrument::{rewrite, rewrite_all_double, RewriteOptions};
+use mpconfig::{Config, Flag, StructureTree};
+use workloads::{nas, Class};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("patching");
+    let w = nas::ft(Class::A);
+    let prog = w.program().clone();
+    let tree = StructureTree::build(&prog);
+    g.bench_function("all_double", |b| {
+        b.iter(|| rewrite_all_double(&prog, &tree).1.snippet_insns)
+    });
+    let mut cfg = Config::new();
+    for m in &tree.modules {
+        cfg.set_module(m.id, Flag::Single);
+    }
+    g.bench_function("all_single", |b| {
+        b.iter(|| rewrite(&prog, &tree, &cfg, &RewriteOptions::default()).1.snippet_insns)
+    });
+    g.bench_function("tree_build", |b| b.iter(|| StructureTree::build(&prog).candidate_count()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

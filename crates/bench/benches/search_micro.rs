@@ -1,0 +1,33 @@
+//! End-to-end search micro-benchmark on the smallest classes: measures a
+//! full automatic search (profile + BFS + union verification).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mixedprec::{AnalysisOptions, AnalysisSystem};
+use mpsearch::SearchOptions;
+use workloads::{nas, Class};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    for (name, make) in [
+        ("ep.s", nas::ep as fn(Class) -> workloads::Workload),
+        ("cg.s", nas::cg),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let sys = AnalysisSystem::with_options(
+                    make(Class::S),
+                    AnalysisOptions {
+                        search: SearchOptions { threads: 2, prioritize: false, ..Default::default() },
+                        ..Default::default()
+                    },
+                );
+                sys.run_search().configs_tested
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

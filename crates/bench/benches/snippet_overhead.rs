@@ -1,0 +1,73 @@
+//! Snippet micro-costs: executing one scalar double add through the full
+//! check/convert snippet vs the bare instruction, for both snippet
+//! precisions and both operand states.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpvm::isa::*;
+use fpvm::program::Program;
+use fpvm::value::replace;
+use fpvm::{Vm, VmOptions};
+use instrument::{emit_snippet, Emitter, OperandFacts, SnippetPrec};
+
+fn harness(a_bits: u64, prec: Option<SnippetPrec>, reps: i64) -> Program {
+    let mut p = Program::new(1 << 14);
+    let m = p.add_module("t");
+    let f = p.add_function(m, "main");
+    let b0 = p.add_block(f);
+    p.funcs[f.0 as usize].entry = b0;
+    p.entry = f;
+    p.globals = a_bits.to_le_bytes().to_vec();
+    // counter loop around the op to amortize setup
+    p.push_insn(b0, InstKind::MovI { dst: GM::Reg(Gpr(2)), src: GMI::Imm(0) });
+    let head = p.add_block(f);
+    let body = p.add_block(f);
+    let done = p.add_block(f);
+    p.block_mut(b0).term = Terminator::Jmp(head);
+    p.push_insn(head, InstKind::Cmp { lhs: Gpr(2), src: GMI::Imm(reps) });
+    p.block_mut(head).term = Terminator::Br { cond: Cond::Lt, then_: body, else_: done };
+    p.push_insn(body, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
+    p.push_insn(body, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(1)), src: FpLoc::Reg(Xmm(0)) });
+    let victim = p.mk_insn(InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+    let tail = match prec {
+        Some(sp) => {
+            let origin = victim.id;
+            let mut e = Emitter { prog: &mut p, func: f, cur: body, origin };
+            emit_snippet(&mut e, &victim, sp, OperandFacts::default());
+            e.cur
+        }
+        None => {
+            p.blocks[body.0 as usize].insns.push(victim);
+            body
+        }
+    };
+    p.push_insn(tail, InstKind::IntAlu { op: IntOp::Add, dst: Gpr(2), src: GMI::Imm(1) });
+    p.block_mut(tail).term = Terminator::Jmp(head);
+    p.block_mut(done).term = Terminator::Halt;
+    p.validate().unwrap();
+    p
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snippet");
+    let cases = [
+        ("bare", 1.5f64.to_bits(), None),
+        ("double.plain", 1.5f64.to_bits(), Some(SnippetPrec::Double)),
+        ("double.flagged", replace(1.5), Some(SnippetPrec::Double)),
+        ("single.plain", 1.5f64.to_bits(), Some(SnippetPrec::Single)),
+        ("single.flagged", replace(1.5), Some(SnippetPrec::Single)),
+    ];
+    for (name, bits, prec) in cases {
+        let p = harness(bits, prec, 1000);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let out = Vm::run_program(&p, VmOptions::default());
+                assert!(out.ok());
+                out.stats.steps
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 10 — NAS automatic search results: for each benchmark and class
+//! (W and A), the number of replacement candidates, configurations
+//! tested, static and dynamic replacement percentages, and the final
+//! composed configuration's verification result.
+
+use craft_bench::header;
+use mixedprec::{AnalysisOptions, AnalysisSystem};
+use mpsearch::{SearchOptions, SearchReport};
+use workloads::{nas_all, Class};
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let second_phase = std::env::args().any(|a| a == "--second-phase");
+    println!("Figure 10: NAS benchmark search results{}\n",
+        if second_phase { " (with the second composition phase)" } else { "" });
+    header(&SearchReport::figure10_header());
+    for class in [Class::W, Class::A] {
+        for w in nas_all(class) {
+            let label = format!("{}.{}", w.name, class.letter().to_uppercase());
+            let sys = AnalysisSystem::with_options(
+                w,
+                AnalysisOptions {
+                    search: SearchOptions { threads, second_phase, ..Default::default() },
+                    ..Default::default()
+                },
+            );
+            let report = sys.run_search();
+            println!("{}", report.figure10_row(&label));
+        }
+    }
+    println!("\n(candidates exclude `ignore`-flagged RNG instructions; dynamic % is");
+    println!(" measured against an execution profile of the original binary;");
+    println!(" pass --second-phase to compose a passing subset when the union fails)");
+}

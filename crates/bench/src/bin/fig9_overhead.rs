@@ -1,0 +1,39 @@
+//! Fig. 9 — per-benchmark all-double instrumentation overhead for classes
+//! A and C (the `ep.A 3.4X … mg.C 14.7X` table).
+//!
+//! Overhead is reported two ways: real wall-clock ratio of the
+//! interpreted runs, and the dynamic-instruction ratio (which is
+//! deterministic and the better cross-machine number).
+
+use craft_bench::{header, x};
+use mixedprec::AnalysisSystem;
+use workloads::{nas, Class};
+
+fn main() {
+    println!("Figure 9: NAS benchmark overhead results");
+    println!("(all candidates replaced with double-precision snippets)\n");
+    let h = format!("{:<10} {:>10} {:>10} {:>12}", "benchmark", "wall", "steps", "instrumented");
+    header(&h);
+    for class in [Class::A, Class::C] {
+        for (name, make) in [
+            ("ep", nas::ep as fn(Class) -> workloads::Workload),
+            ("cg", nas::cg),
+            ("ft", nas::ft),
+            ("mg", nas::mg),
+        ] {
+            let sys = AnalysisSystem::new(make(class));
+            // median of 3 wall measurements
+            let mut reports: Vec<_> = (0..3).map(|_| sys.overhead_all_double()).collect();
+            reports.sort_by(|a, b| a.wall_x.total_cmp(&b.wall_x));
+            let r = reports[1];
+            println!(
+                "{:<10} {:>10} {:>10} {:>12}",
+                format!("{name}.{}", class.letter().to_uppercase()),
+                x(r.wall_x),
+                x(r.steps_x),
+                r.instrumented
+            );
+        }
+    }
+    println!("\n(wall = instrumented/original wall time; steps = dynamic instruction ratio)");
+}

@@ -1,0 +1,45 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation:
+//!
+//! | target            | paper artifact                                  |
+//! |-------------------|-------------------------------------------------|
+//! | `fig8_scaling`    | Fig. 8 — NAS MPI scaling overhead vs ranks      |
+//! | `fig9_overhead`   | Fig. 9 — per-benchmark overhead table (A & C)   |
+//! | `fig10_search`    | Fig. 10 — NAS automatic search results (W & A)  |
+//! | `fig11_superlu`   | Fig. 11 — SuperLU error-threshold sweep         |
+//! | `sec31_bitexact`  | §3.1 — instrumented vs manual-conversion bits   |
+//! | `amg_speedup`     | §3.2 — AMG microkernel end-to-end experiment    |
+//! | `slu_speedup`     | §3.3 — SuperLU single vs double speedup/error   |
+//! | `abl_search`      | §2.2 ablation — splitting & prioritization      |
+//! | `abl_dataflow`    | §2.5 ablation — lean (dataflow) snippets        |
+//!
+//! The Criterion benches under `benches/` cover the substrate itself
+//! (interpreter throughput, snippet overhead, patching speed, config
+//! round-trip, search micro-costs).
+
+use std::time::Instant;
+
+/// Run a closure and return its result alongside wall-clock seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Print a horizontal rule sized to a header line.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+/// Print a table header with a rule under it.
+pub fn header(h: &str) {
+    println!("{h}");
+    rule(h);
+}
+
+/// Format a ratio as the paper prints overheads, e.g. `3.4X`.
+pub fn x(v: f64) -> String {
+    format!("{v:.1}X")
+}

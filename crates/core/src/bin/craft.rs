@@ -1,0 +1,146 @@
+//! `craft` — the command-line front end to the mixed-precision analysis
+//! system, operating on the bundled benchmark programs.
+//!
+//! ```text
+//! craft list                          # available benchmarks
+//! craft analyze <bench> [class]      # full search + recommendation
+//! craft overhead <bench> [class]     # all-double instrumentation cost
+//! craft tree <bench> [class]         # structure tree (Fig. 4 view)
+//! craft config <bench> [class]       # initial config file (Fig. 3)
+//! ```
+//!
+//! Options for `analyze`: `--second-phase`, `--stop-depth=f|b|i`,
+//! `--no-split`, `--no-priority`, `--lean`, `--threads=N`.
+
+use mixedprec::{AnalysisOptions, AnalysisSystem, StopDepth};
+use mpconfig::editor::render_tree;
+use mpconfig::print_config;
+use mpsearch::SearchOptions;
+use workloads::{Class, Workload};
+
+const BENCHES: &[&str] =
+    &["bt", "cg", "ep", "ft", "lu", "mg", "sp", "amg", "slu", "mathmix", "vecops"];
+
+fn build(bench: &str, class: Class) -> Workload {
+    match bench {
+        "bt" => workloads::nas::bt(class),
+        "cg" => workloads::nas::cg(class),
+        "ep" => workloads::nas::ep(class),
+        "ft" => workloads::nas::ft(class),
+        "lu" => workloads::nas::lu(class),
+        "mg" => workloads::nas::mg(class),
+        "sp" => workloads::nas::sp(class),
+        "amg" => workloads::amg::amg(class),
+        "slu" => workloads::slu::slu(class).wl,
+        "mathmix" => workloads::mathmix::mathmix(class, workloads::mathmix::LibmKind::Intrinsic),
+        "vecops" => workloads::vecops::vecops(class),
+        other => {
+            eprintln!("unknown benchmark `{other}`; try `craft list`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_class(s: Option<&str>) -> Class {
+    match s.unwrap_or("w") {
+        "s" => Class::S,
+        "w" => Class::W,
+        "a" => Class::A,
+        "c" => Class::C,
+        other => {
+            eprintln!("unknown class `{other}` (expected s|w|a|c)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&str> =
+        args.iter().map(String::as_str).filter(|a| !a.starts_with("--")).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter().find_map(|a| a.strip_prefix(&format!("{name}=")).map(str::to_string))
+    };
+
+    let cmd = positional.first().copied().unwrap_or("help");
+    match cmd {
+        "list" => {
+            println!("benchmarks: {}", BENCHES.join(", "));
+            println!("classes:    s (sample), w (workstation), a, c");
+        }
+        "analyze" | "overhead" | "tree" | "config" => {
+            let bench = positional.get(1).copied().unwrap_or_else(|| {
+                eprintln!("usage: craft {cmd} <bench> [class]");
+                std::process::exit(2);
+            });
+            let class = parse_class(positional.get(2).copied());
+            let threads = opt("--threads")
+                .and_then(|t| t.parse().ok())
+                .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
+                .unwrap_or(4);
+            let stop_depth = match opt("--stop-depth").as_deref() {
+                Some("f") => StopDepth::Function,
+                Some("b") => StopDepth::Block,
+                _ => StopDepth::Instruction,
+            };
+            let sys = AnalysisSystem::with_options(
+                build(bench, class),
+                AnalysisOptions {
+                    search: SearchOptions {
+                        threads,
+                        stop_depth,
+                        binary_split: !flag("--no-split"),
+                        prioritize: !flag("--no-priority"),
+                        second_phase: flag("--second-phase"),
+                        ..Default::default()
+                    },
+                    rewrite: instrument::RewriteOptions {
+                        lean: flag("--lean"),
+                        ..Default::default()
+                    },
+                },
+            );
+            match cmd {
+                "analyze" => {
+                    let rec = sys.recommend();
+                    let r = &rec.report;
+                    println!("benchmark            : {bench}.{class}");
+                    println!("candidates           : {}", r.candidates);
+                    println!("configurations tested: {}", r.configs_tested);
+                    println!("replaced (static)    : {:.1}%", r.static_pct);
+                    println!("replaced (dynamic)   : {:.1}%", r.dynamic_pct);
+                    println!(
+                        "final verification   : {}",
+                        if r.final_pass { "pass" } else { "fail" }
+                    );
+                    println!("modelled speedup     : {:.2}x", rec.modelled_speedup);
+                    println!("search wall time     : {:.2?}", r.elapsed);
+                    println!("\n--- recommended configuration ---");
+                    print!("{}", rec.config_text);
+                }
+                "overhead" => {
+                    let o = sys.overhead_all_double();
+                    println!("benchmark    : {bench}.{class}");
+                    println!("instrumented : {} candidates", o.instrumented);
+                    println!("wall ratio   : {:.1}X", o.wall_x);
+                    println!("steps ratio  : {:.1}X", o.steps_x);
+                }
+                "tree" => print!("{}", render_tree(sys.tree(), sys.base_config())),
+                "config" => print!("{}", print_config(sys.tree(), sys.base_config())),
+                _ => unreachable!(),
+            }
+        }
+        _ => {
+            println!("craft — automatic mixed-precision analysis (paper reproduction)");
+            println!();
+            println!("usage:");
+            println!("  craft list");
+            println!("  craft analyze  <bench> [class] [--second-phase] [--stop-depth=f|b|i]");
+            println!("                 [--no-split] [--no-priority] [--lean] [--threads=N]");
+            println!("  craft overhead <bench> [class]");
+            println!("  craft tree     <bench> [class]");
+            println!("  craft config   <bench> [class]");
+        }
+    }
+}

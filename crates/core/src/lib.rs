@@ -1,0 +1,366 @@
+//! # mixedprec — the end-to-end mixed-precision analysis system
+//!
+//! The paper's Fig. 2 pipeline as one API: given an *original program*, a
+//! *data set*, and a *verification routine* (packaged together as a
+//! [`workloads::Workload`]), the system
+//!
+//! 1. generates the initial configuration (structure tree + `ignore`
+//!    flags for constructs like FP-trick RNGs),
+//! 2. profiles the original binary,
+//! 3. runs the automatic breadth-first search over mixed-precision
+//!    configurations (instrument → run → verify, in parallel),
+//! 4. composes and tests the final union configuration, and
+//! 5. reports a recommendation with static/dynamic replacement
+//!    percentages and a modelled speedup.
+
+#![warn(missing_docs)]
+
+use fpvm::cost::CostModel;
+use fpvm::isa::{FpAluOp, InstKind, Prec, Width};
+use fpvm::{Profile, Vm, VmOptions};
+use instrument::{rewrite_all_double, RewriteOptions};
+use mpconfig::{Config, Flag, StructureTree};
+use mpsearch::{search, SearchOptions, SearchReport, VmEvaluator};
+use std::time::Instant;
+use workloads::Workload;
+
+pub use mpsearch::StopDepth;
+
+/// Options for a full analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisOptions {
+    /// Search options (§2.2).
+    pub search: SearchOptions,
+    /// Rewriter options (§2.3–2.4).
+    pub rewrite: RewriteOptions,
+}
+
+/// The assembled analysis system for one workload.
+pub struct AnalysisSystem {
+    workload: Workload,
+    tree: StructureTree,
+    base: Config,
+    opts: AnalysisOptions,
+}
+
+/// Overhead of the all-double instrumented binary relative to the
+/// original (the base-case measurement of Figs. 8–9).
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadReport {
+    /// Wall-clock ratio (instrumented / original).
+    pub wall_x: f64,
+    /// Dynamic instruction ratio.
+    pub steps_x: f64,
+    /// Modelled cycle ratio.
+    pub cycles_x: f64,
+    /// Candidates instrumented.
+    pub instrumented: usize,
+}
+
+/// The final recommendation handed to the developer.
+pub struct Recommendation {
+    /// The search report (Fig. 10 row data).
+    pub report: SearchReport,
+    /// The recommended configuration rendered in the exchange format.
+    pub config_text: String,
+    /// Modelled speedup of a source-level conversion following the
+    /// recommended configuration (per-operation cost model over the
+    /// original profile).
+    pub modelled_speedup: f64,
+}
+
+impl AnalysisSystem {
+    /// Build the system: structure tree plus the initial configuration
+    /// carrying `ignore` flags for the workload's hinted functions.
+    pub fn new(workload: Workload) -> Self {
+        Self::with_options(workload, AnalysisOptions::default())
+    }
+
+    /// Build with explicit options.
+    pub fn with_options(workload: Workload, opts: AnalysisOptions) -> Self {
+        let tree = StructureTree::build(workload.program());
+        let mut base = Config::new();
+        for name in workload.ignore_funcs() {
+            for m in &tree.modules {
+                for fun in &m.funcs {
+                    if fun.name == name {
+                        base.set_func(fun.id, Flag::Ignore);
+                    }
+                }
+            }
+        }
+        AnalysisSystem { workload, tree, base, opts }
+    }
+
+    /// The structure tree of the original binary.
+    pub fn tree(&self) -> &StructureTree {
+        &self.tree
+    }
+
+    /// The initial (base) configuration.
+    pub fn base_config(&self) -> &Config {
+        &self.base
+    }
+
+    /// The packaged workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Profile the original binary (used for search prioritization and
+    /// the dynamic-replacement metric).
+    pub fn profile(&self) -> Profile {
+        let opts = VmOptions { profile: true, ..self.workload.vm_opts() };
+        Vm::run_program(self.workload.program(), opts)
+            .profile
+            .expect("profiling run lost its profile")
+    }
+
+    /// Evaluate one configuration: instrument, run, verify.
+    pub fn evaluate(&self, cfg: &Config) -> bool {
+        use mpsearch::Evaluator as _;
+        self.evaluator().evaluate(cfg)
+    }
+
+    fn evaluator(&self) -> VmEvaluator<'_> {
+        VmEvaluator {
+            prog: self.workload.program(),
+            tree: &self.tree,
+            vm_opts: self.workload.vm_opts(),
+            rewrite_opts: self.opts.rewrite.clone(),
+            verify: Box::new(self.workload.verifier()),
+        }
+    }
+
+    /// Measure the all-double instrumentation overhead (Figs. 8–9): same
+    /// semantics, every candidate checked.
+    pub fn overhead_all_double(&self) -> OverheadReport {
+        let prog = self.workload.program();
+        let (instrumented, stats) = rewrite_all_double(prog, &self.tree);
+        let vm_opts = self.workload.vm_opts();
+
+        let t0 = Instant::now();
+        let base = Vm::run_program(prog, vm_opts.clone());
+        let base_wall = t0.elapsed();
+        assert!(base.ok());
+
+        let t1 = Instant::now();
+        let instr = Vm::run_program(&instrumented, vm_opts);
+        let instr_wall = t1.elapsed();
+        assert!(instr.ok(), "all-double instrumented run failed: {:?}", instr.result);
+
+        OverheadReport {
+            wall_x: instr_wall.as_secs_f64() / base_wall.as_secs_f64().max(1e-9),
+            steps_x: instr.stats.steps as f64 / base.stats.steps.max(1) as f64,
+            cycles_x: instr.stats.cycles as f64 / base.stats.cycles.max(1) as f64,
+            instrumented: stats.instrumented(),
+        }
+    }
+
+    /// Run the automatic search (§2.2) and return the raw report.
+    pub fn run_search(&self) -> SearchReport {
+        let profile = self.profile();
+        search(&self.tree, &self.base, Some(&profile), &self.evaluator(), &self.opts.search)
+    }
+
+    /// Full pipeline: search, compose, and package the recommendation.
+    pub fn recommend(&self) -> Recommendation {
+        let profile = self.profile();
+        let report =
+            search(&self.tree, &self.base, Some(&profile), &self.evaluator(), &self.opts.search);
+        let config_text = mpconfig::print_config(&self.tree, &report.final_config);
+        let modelled_speedup = model_speedup(
+            self.workload.program(),
+            &self.tree,
+            &report.final_config,
+            &profile,
+            &CostModel::default(),
+        );
+        Recommendation { report, config_text, modelled_speedup }
+    }
+}
+
+/// Modelled speedup of converting the recommended regions to single
+/// precision at the source level: per-operation cost-model cycles over
+/// the original profile, with replaced candidates costed at their
+/// single-precision variant.
+pub fn model_speedup(
+    prog: &fpvm::Program,
+    tree: &StructureTree,
+    cfg: &Config,
+    profile: &Profile,
+    cost: &CostModel,
+) -> f64 {
+    // Dynamic replacement fraction, used to prorate FP data movement: a
+    // source-level conversion shrinks the *arrays* the replaced regions
+    // touch, halving the traffic of their loads/stores. Moves are not
+    // candidates themselves, so we attribute the width reduction in
+    // proportion to how much of the FP work was replaced.
+    let mut cand_total = 0u128;
+    let mut cand_repl = 0u128;
+    for id in tree.all_insns() {
+        let n = profile.count(id) as u128;
+        cand_total += n;
+        if cfg.effective(tree, id) == Flag::Single {
+            cand_repl += n;
+        }
+    }
+    let w = if cand_total == 0 { 0.0 } else { cand_repl as f64 / cand_total as f64 };
+
+    let mut orig = 0.0f64;
+    let mut mixed = 0.0f64;
+    for (_, _, insn) in prog.iter_insns() {
+        let n = profile.count(insn.id) as f64;
+        if n == 0.0 {
+            continue;
+        }
+        let c_orig = cost.cost(&insn.kind) as f64;
+        let c_mixed = if insn.kind.is_candidate()
+            && cfg.effective(tree, insn.id) == Flag::Single
+        {
+            cost.cost(&to_single(&insn.kind)) as f64
+        } else if let InstKind::MovF { width, dst, src } = &insn.kind {
+            match width {
+                Width::W64 | Width::W128 => {
+                    let narrow = InstKind::MovF {
+                        width: if *width == Width::W64 { Width::W32 } else { Width::W64 },
+                        dst: *dst,
+                        src: *src,
+                    };
+                    w * cost.cost(&narrow) as f64 + (1.0 - w) * c_orig
+                }
+                Width::W32 => c_orig,
+            }
+        } else {
+            c_orig
+        };
+        orig += n * c_orig;
+        mixed += n * c_mixed;
+    }
+    if mixed == 0.0 {
+        1.0
+    } else {
+        orig / mixed
+    }
+}
+
+fn to_single(kind: &InstKind) -> InstKind {
+    let mut k = kind.clone();
+    match &mut k {
+        InstKind::FpArith { prec, .. }
+        | InstKind::FpSqrt { prec, .. }
+        | InstKind::FpMath { prec, .. }
+        | InstKind::FpUcomi { prec, .. }
+        | InstKind::CvtF2I { from: prec, .. } => *prec = Prec::Single,
+        InstKind::CvtF2F { .. } => {
+            // a narrowing conversion disappears in an all-single source;
+            // model it as a cheap register-register single op
+            k = InstKind::FpArith {
+                op: FpAluOp::Add,
+                prec: Prec::Single,
+                packed: false,
+                dst: fpvm::Xmm(0),
+                src: fpvm::RM::Reg(fpvm::Xmm(0)),
+            };
+        }
+        _ => {}
+    }
+    k
+}
+
+/// Measured + modelled speedup of the whole-program manual f32 conversion
+/// (the paper's AMG §3.2 and SuperLU §3.3 experiments).
+pub struct ConversionSpeedup {
+    /// Modelled cycle ratio f64/f32 (the headline number; captures the
+    /// bandwidth/SIMD/issue effects an interpreter cannot show).
+    pub modelled: f64,
+    /// Interpreter wall-clock ratio (for completeness).
+    pub wall: f64,
+    /// Dynamic instruction ratio.
+    pub steps: f64,
+}
+
+/// Measure [`ConversionSpeedup`] for a workload.
+pub fn conversion_speedup(w: &Workload) -> ConversionSpeedup {
+    let p64 = w.program();
+    let p32 = w.compile_f32();
+    let opts = w.vm_opts();
+
+    let t0 = Instant::now();
+    let o64 = Vm::run_program(p64, opts.clone());
+    let w64 = t0.elapsed();
+    let t1 = Instant::now();
+    let o32 = Vm::run_program(&p32, opts);
+    let w32 = t1.elapsed();
+    assert!(o64.ok() && o32.ok());
+
+    ConversionSpeedup {
+        modelled: o64.stats.cycles as f64 / o32.stats.cycles.max(1) as f64,
+        wall: w64.as_secs_f64() / w32.as_secs_f64().max(1e-9),
+        steps: o64.stats.steps as f64 / o32.stats.steps.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Class;
+
+    fn fast_opts() -> AnalysisOptions {
+        AnalysisOptions {
+            search: SearchOptions { threads: 2, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn overhead_is_real_and_semantics_preserving() {
+        let sys = AnalysisSystem::new(workloads::nas::ep(Class::S));
+        let o = sys.overhead_all_double();
+        assert!(o.steps_x > 1.5, "instrumentation too cheap: {}x", o.steps_x);
+        assert!(o.steps_x < 100.0, "instrumentation absurdly expensive: {}x", o.steps_x);
+        assert!(o.instrumented > 10);
+    }
+
+    #[test]
+    fn amg_fully_replaceable_with_speedup() {
+        let sys = AnalysisSystem::with_options(workloads::amg::amg(Class::S), fast_opts());
+        let rec = sys.recommend();
+        assert!(rec.report.final_pass, "AMG final configuration must verify");
+        assert!(
+            (rec.report.static_pct - 100.0).abs() < 1e-9,
+            "AMG should be fully replaceable, got {:.1}%",
+            rec.report.static_pct
+        );
+        assert!(rec.modelled_speedup > 1.3, "modelled speedup {}", rec.modelled_speedup);
+        assert!(rec.config_text.contains("MODULE"));
+    }
+
+    #[test]
+    fn ep_search_ignores_the_rng() {
+        let sys = AnalysisSystem::with_options(workloads::nas::ep(Class::S), fast_opts());
+        let rec = sys.recommend();
+        let tree = sys.tree();
+        for m in &tree.modules {
+            for fun in &m.funcs {
+                if fun.name == "randlc" {
+                    for b in &fun.blocks {
+                        for e in &b.insns {
+                            assert_eq!(
+                                rec.report.final_config.effective(tree, e.id),
+                                Flag::Ignore
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        assert!(rec.report.static_pct > 50.0, "static {}%", rec.report.static_pct);
+    }
+
+    #[test]
+    fn conversion_speedup_favors_f32() {
+        let s = conversion_speedup(&workloads::amg::amg(Class::S));
+        assert!(s.modelled > 1.2, "modelled {}", s.modelled);
+    }
+}

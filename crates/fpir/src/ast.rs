@@ -1,0 +1,585 @@
+//! The structured IR: typed variables, global arrays, expressions and
+//! statements. Workloads are written against this AST and compiled to
+//! `fpvm` programs by [`crate::compile`] — the stand-in for the Fortran
+//! compiler that produced the paper's benchmark binaries.
+
+use fpvm::isa::{FpAluOp, IntOp, MathFun};
+
+/// Scalar types of the source language. Note there is deliberately no
+/// `F32`: source programs are written double-precision only, exactly like
+/// the paper's subjects; single precision enters either through the
+/// instrumentation layer or through whole-program lowering
+/// ([`crate::compile::FpWidth::F32`], the "manual conversion" analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// Double-precision float.
+    F64,
+    /// 64-bit signed integer.
+    I64,
+}
+
+/// A typed local variable (or parameter) of a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var {
+    pub(crate) fn_id: u32,
+    pub(crate) id: u32,
+    /// The variable's type.
+    pub ty: Ty,
+}
+
+/// A global array reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrRef {
+    pub(crate) id: u32,
+    /// Element type.
+    pub ty: Ty,
+}
+
+/// A function reference (declared before defined, enabling recursion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnRef(pub(crate) u32);
+
+/// Comparison condition codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cc {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+/// Expressions. Every expression has a scalar type derivable from its
+/// operands ([`Expr::ty`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Double-precision constant.
+    F64(f64),
+    /// Integer constant.
+    I64(i64),
+    /// Variable read.
+    Var(Var),
+    /// Array element read: `arr[idx]`.
+    Ld(ArrRef, Box<Expr>),
+    /// Floating binary operation.
+    FBin(FpAluOp, Box<Expr>, Box<Expr>),
+    /// Integer binary operation.
+    IBin(IntOp, Box<Expr>, Box<Expr>),
+    /// Floating square root.
+    FSqrt(Box<Expr>),
+    /// Math intrinsic (sin/cos/exp/log/abs/neg).
+    FMath(MathFun, Box<Expr>),
+    /// Integer to float conversion.
+    IToF(Box<Expr>),
+    /// Float to integer conversion (truncating).
+    FToI(Box<Expr>),
+    /// Reinterpret 64 integer bits as a double (no conversion) — the
+    /// bit-manipulation primitive real `libm` implementations use.
+    BitsToF(Box<Expr>),
+    /// Reinterpret a double's bit pattern as an integer (no conversion).
+    FToBits(Box<Expr>),
+    /// Function call (must have a return type).
+    Call(FnRef, Vec<Expr>),
+}
+
+impl Expr {
+    /// The expression's scalar type. `Call` types are resolved by the
+    /// compiler against the callee's declaration; here calls report `F64`
+    /// optimistically and the compiler checks the real signature.
+    pub fn ty_shallow(&self) -> Option<Ty> {
+        match self {
+            Expr::F64(_) | Expr::FBin(..) | Expr::FSqrt(_) | Expr::FMath(..) | Expr::IToF(_) => {
+                Some(Ty::F64)
+            }
+            Expr::I64(_) | Expr::IBin(..) | Expr::FToI(_) | Expr::FToBits(_) => Some(Ty::I64),
+            Expr::BitsToF(_) => Some(Ty::F64),
+            Expr::Var(v) => Some(v.ty),
+            Expr::Ld(a, _) => Some(a.ty),
+            Expr::Call(..) => None,
+        }
+    }
+}
+
+/// A branch/loop condition: a single comparison. Compound conditions are
+/// expressed with nested `If`s, as the low-level code would be anyway.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cmp {
+    /// Condition code.
+    pub cc: Cc,
+    /// Left operand.
+    pub a: Expr,
+    /// Right operand.
+    pub b: Expr,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var = expr`.
+    Set(Var, Expr),
+    /// `arr[idx] = val`.
+    St(ArrRef, Expr, Expr),
+    /// `if cmp { .. } else { .. }`.
+    If(Cmp, Vec<Stmt>, Vec<Stmt>),
+    /// `while cmp { .. }`.
+    While(Cmp, Vec<Stmt>),
+    /// `for var = start; var < end; var += 1 { .. }` (integer loop var).
+    For(Var, Expr, Expr, Vec<Stmt>),
+    /// Evaluate an expression for its side effects (void or ignored call).
+    Expr(Expr),
+    /// Return from the function.
+    Ret(Option<Expr>),
+    /// Packed (SIMD) AXPY over f64 arrays: `y[0..n] += a * x[0..n]`,
+    /// emitted as 128-bit packed instructions two doubles at a time.
+    /// `n` must be even. Exists to exercise the packed-replacement path
+    /// the paper's Fig. 5 describes for XMM registers.
+    PackedAxpy {
+        /// Destination/accumulator array.
+        y: ArrRef,
+        /// Scalar multiplier.
+        a: Expr,
+        /// Source array.
+        x: ArrRef,
+        /// Element count (even).
+        n: Expr,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Ergonomic constructors, so workload kernels read close to the math.
+// ---------------------------------------------------------------------
+
+/// Double constant.
+pub fn f(v: f64) -> Expr {
+    Expr::F64(v)
+}
+
+/// Integer constant.
+pub fn i(v: i64) -> Expr {
+    Expr::I64(v)
+}
+
+/// Variable read.
+pub fn v(var: Var) -> Expr {
+    Expr::Var(var)
+}
+
+/// Array element read.
+pub fn ld(arr: ArrRef, idx: Expr) -> Expr {
+    Expr::Ld(arr, Box::new(idx))
+}
+
+/// Floating addition.
+pub fn fadd(a: Expr, b: Expr) -> Expr {
+    Expr::FBin(FpAluOp::Add, Box::new(a), Box::new(b))
+}
+
+/// Floating subtraction.
+pub fn fsub(a: Expr, b: Expr) -> Expr {
+    Expr::FBin(FpAluOp::Sub, Box::new(a), Box::new(b))
+}
+
+/// Floating multiplication.
+pub fn fmul(a: Expr, b: Expr) -> Expr {
+    Expr::FBin(FpAluOp::Mul, Box::new(a), Box::new(b))
+}
+
+/// Floating division.
+pub fn fdiv(a: Expr, b: Expr) -> Expr {
+    Expr::FBin(FpAluOp::Div, Box::new(a), Box::new(b))
+}
+
+/// Floating minimum (x86 semantics).
+pub fn fmin(a: Expr, b: Expr) -> Expr {
+    Expr::FBin(FpAluOp::Min, Box::new(a), Box::new(b))
+}
+
+/// Floating maximum (x86 semantics).
+pub fn fmax(a: Expr, b: Expr) -> Expr {
+    Expr::FBin(FpAluOp::Max, Box::new(a), Box::new(b))
+}
+
+/// Square root.
+pub fn fsqrt(a: Expr) -> Expr {
+    Expr::FSqrt(Box::new(a))
+}
+
+/// Math intrinsic.
+pub fn fmath(fun: MathFun, a: Expr) -> Expr {
+    Expr::FMath(fun, Box::new(a))
+}
+
+/// Absolute value.
+pub fn fabs(a: Expr) -> Expr {
+    fmath(MathFun::Abs, a)
+}
+
+/// Negation.
+pub fn fneg(a: Expr) -> Expr {
+    fmath(MathFun::Neg, a)
+}
+
+/// Integer addition.
+pub fn iadd(a: Expr, b: Expr) -> Expr {
+    Expr::IBin(IntOp::Add, Box::new(a), Box::new(b))
+}
+
+/// Integer subtraction.
+pub fn isub(a: Expr, b: Expr) -> Expr {
+    Expr::IBin(IntOp::Sub, Box::new(a), Box::new(b))
+}
+
+/// Integer multiplication.
+pub fn imul(a: Expr, b: Expr) -> Expr {
+    Expr::IBin(IntOp::Mul, Box::new(a), Box::new(b))
+}
+
+/// Integer division.
+pub fn idiv(a: Expr, b: Expr) -> Expr {
+    Expr::IBin(IntOp::Div, Box::new(a), Box::new(b))
+}
+
+/// Integer remainder.
+pub fn irem(a: Expr, b: Expr) -> Expr {
+    Expr::IBin(IntOp::Rem, Box::new(a), Box::new(b))
+}
+
+/// Bitwise AND.
+pub fn iand(a: Expr, b: Expr) -> Expr {
+    Expr::IBin(IntOp::And, Box::new(a), Box::new(b))
+}
+
+/// Bitwise OR.
+pub fn ior(a: Expr, b: Expr) -> Expr {
+    Expr::IBin(IntOp::Or, Box::new(a), Box::new(b))
+}
+
+/// Bitwise XOR.
+pub fn ixor(a: Expr, b: Expr) -> Expr {
+    Expr::IBin(IntOp::Xor, Box::new(a), Box::new(b))
+}
+
+/// Logical shift left.
+pub fn ishl(a: Expr, b: Expr) -> Expr {
+    Expr::IBin(IntOp::Shl, Box::new(a), Box::new(b))
+}
+
+/// Logical shift right.
+pub fn ishr(a: Expr, b: Expr) -> Expr {
+    Expr::IBin(IntOp::Shr, Box::new(a), Box::new(b))
+}
+
+/// Integer to float.
+pub fn itof(a: Expr) -> Expr {
+    Expr::IToF(Box::new(a))
+}
+
+/// Float to integer (truncating).
+pub fn ftoi(a: Expr) -> Expr {
+    Expr::FToI(Box::new(a))
+}
+
+/// Reinterpret integer bits as a double (like `f64::from_bits`).
+pub fn bits_to_f(a: Expr) -> Expr {
+    Expr::BitsToF(Box::new(a))
+}
+
+/// Reinterpret a double as its raw bits (like `f64::to_bits`).
+pub fn f_to_bits(a: Expr) -> Expr {
+    Expr::FToBits(Box::new(a))
+}
+
+/// Function call expression.
+pub fn call(f: FnRef, args: Vec<Expr>) -> Expr {
+    Expr::Call(f, args)
+}
+
+/// Comparison constructor.
+pub fn cmp(cc: Cc, a: Expr, b: Expr) -> Cmp {
+    Cmp { cc, a, b }
+}
+
+/// `var = expr` statement.
+pub fn set(var: Var, e: Expr) -> Stmt {
+    Stmt::Set(var, e)
+}
+
+/// `arr[idx] = val` statement.
+pub fn st(arr: ArrRef, idx: Expr, val: Expr) -> Stmt {
+    Stmt::St(arr, idx, val)
+}
+
+/// `if` statement.
+pub fn if_(c: Cmp, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+    Stmt::If(c, then, els)
+}
+
+/// `while` statement.
+pub fn while_(c: Cmp, body: Vec<Stmt>) -> Stmt {
+    Stmt::While(c, body)
+}
+
+/// Counted `for` loop over `[start, end)`.
+pub fn for_(var: Var, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For(var, start, end, body)
+}
+
+/// Call-for-side-effects statement.
+pub fn do_(e: Expr) -> Stmt {
+    Stmt::Expr(e)
+}
+
+/// Return statement.
+pub fn ret(e: Expr) -> Stmt {
+    Stmt::Ret(Some(e))
+}
+
+/// Void return statement.
+pub fn ret_void() -> Stmt {
+    Stmt::Ret(None)
+}
+
+/// Initial contents of a global array.
+#[derive(Debug, Clone)]
+pub enum ArrInit {
+    /// All zeros.
+    Zero,
+    /// Explicit double data (array must be `F64`).
+    F64(Vec<f64>),
+    /// Explicit integer data (array must be `I64`).
+    I64(Vec<i64>),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ArrDecl {
+    pub name: String,
+    pub ty: Ty,
+    pub len: usize,
+    pub init: ArrInit,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct FnDecl {
+    pub name: String,
+    pub module: u32,
+    pub params: Vec<Var>,
+    pub ret: Option<Ty>,
+    pub n_locals: u32,
+    pub local_tys: Vec<Ty>,
+    pub body: Option<Vec<Stmt>>,
+    /// Advisory: this function should be flagged `ignore` in initial
+    /// configurations (e.g. FP-trick random number generators, §2.1).
+    pub ignore_hint: bool,
+}
+
+/// A whole source program: modules, functions, global arrays.
+#[derive(Debug, Clone)]
+pub struct IrProgram {
+    pub(crate) modules: Vec<String>,
+    pub(crate) cur_module: u32,
+    pub(crate) fns: Vec<FnDecl>,
+    pub(crate) arrays: Vec<ArrDecl>,
+    pub(crate) entry: Option<FnRef>,
+    /// Extra stack bytes to reserve beyond the computed frames.
+    pub stack_reserve: usize,
+}
+
+impl IrProgram {
+    /// Create a program with one initial module.
+    pub fn new(module: impl Into<String>) -> Self {
+        IrProgram {
+            modules: vec![module.into()],
+            cur_module: 0,
+            fns: Vec::new(),
+            arrays: Vec::new(),
+            entry: None,
+            stack_reserve: 1 << 16,
+        }
+    }
+
+    /// Start a new module; functions declared afterwards belong to it.
+    pub fn module(&mut self, name: impl Into<String>) {
+        self.modules.push(name.into());
+        self.cur_module = (self.modules.len() - 1) as u32;
+    }
+
+    /// Declare a function (parameters and return type); define later with
+    /// [`IrProgram::define`]. Returns the reference and the parameter vars.
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        params: &[Ty],
+        ret: Option<Ty>,
+    ) -> (FnRef, Vec<Var>) {
+        let fn_id = self.fns.len() as u32;
+        let vars: Vec<Var> =
+            params.iter().enumerate().map(|(k, &ty)| Var { fn_id, id: k as u32, ty }).collect();
+        self.fns.push(FnDecl {
+            name: name.into(),
+            module: self.cur_module,
+            params: vars.clone(),
+            ret,
+            n_locals: params.len() as u32,
+            local_tys: params.to_vec(),
+            body: None,
+            ignore_hint: false,
+        });
+        (FnRef(fn_id), vars)
+    }
+
+    /// Allocate a local variable in `f`.
+    pub fn local(&mut self, f: FnRef, ty: Ty) -> Var {
+        let d = &mut self.fns[f.0 as usize];
+        let id = d.n_locals;
+        d.n_locals += 1;
+        d.local_tys.push(ty);
+        Var { fn_id: f.0, id, ty }
+    }
+
+    /// Allocate a double local.
+    pub fn local_f(&mut self, f: FnRef) -> Var {
+        self.local(f, Ty::F64)
+    }
+
+    /// Allocate an integer local.
+    pub fn local_i(&mut self, f: FnRef) -> Var {
+        self.local(f, Ty::I64)
+    }
+
+    /// Attach a body to a declared function.
+    pub fn define(&mut self, f: FnRef, body: Vec<Stmt>) {
+        assert!(self.fns[f.0 as usize].body.is_none(), "function defined twice");
+        self.fns[f.0 as usize].body = Some(body);
+    }
+
+    /// Declare-and-define in one step for non-recursive functions.
+    pub fn func(
+        &mut self,
+        name: impl Into<String>,
+        params: &[Ty],
+        ret: Option<Ty>,
+        build: impl FnOnce(&mut Self, FnRef, &[Var]) -> Vec<Stmt>,
+    ) -> FnRef {
+        let (f, vars) = self.declare(name, params, ret);
+        let body = build(self, f, &vars);
+        self.define(f, body);
+        f
+    }
+
+    /// Mark a function as "recommend ignore" (e.g. FP-trick RNGs).
+    pub fn mark_ignore(&mut self, f: FnRef) {
+        self.fns[f.0 as usize].ignore_hint = true;
+    }
+
+    /// Names of functions carrying the ignore hint.
+    pub fn ignore_hints(&self) -> Vec<String> {
+        self.fns.iter().filter(|f| f.ignore_hint).map(|f| f.name.clone()).collect()
+    }
+
+    /// Declare a global array.
+    pub fn array(&mut self, name: impl Into<String>, ty: Ty, len: usize, init: ArrInit) -> ArrRef {
+        match (&init, ty) {
+            (ArrInit::F64(d), Ty::F64) => assert_eq!(d.len(), len, "init length mismatch"),
+            (ArrInit::I64(d), Ty::I64) => assert_eq!(d.len(), len, "init length mismatch"),
+            (ArrInit::Zero, _) => {}
+            _ => panic!("array init type mismatch"),
+        }
+        let id = self.arrays.len() as u32;
+        self.arrays.push(ArrDecl { name: name.into(), ty, len, init });
+        ArrRef { id, ty }
+    }
+
+    /// Declare a zeroed double array.
+    pub fn array_f64(&mut self, name: impl Into<String>, len: usize) -> ArrRef {
+        self.array(name, Ty::F64, len, ArrInit::Zero)
+    }
+
+    /// Declare a double array with initial data.
+    pub fn array_f64_init(&mut self, name: impl Into<String>, data: Vec<f64>) -> ArrRef {
+        let len = data.len();
+        self.array(name, Ty::F64, len, ArrInit::F64(data))
+    }
+
+    /// Declare a zeroed integer array.
+    pub fn array_i64(&mut self, name: impl Into<String>, len: usize) -> ArrRef {
+        self.array(name, Ty::I64, len, ArrInit::Zero)
+    }
+
+    /// Declare an integer array with initial data.
+    pub fn array_i64_init(&mut self, name: impl Into<String>, data: Vec<i64>) -> ArrRef {
+        let len = data.len();
+        self.array(name, Ty::I64, len, ArrInit::I64(data))
+    }
+
+    /// Set the entry function (must take no parameters).
+    pub fn set_entry(&mut self, f: FnRef) {
+        assert!(self.fns[f.0 as usize].params.is_empty(), "entry takes no parameters");
+        self.entry = Some(f);
+    }
+
+    /// Signature of a function.
+    pub fn signature(&self, f: FnRef) -> (Vec<Ty>, Option<Ty>) {
+        let d = &self.fns[f.0 as usize];
+        (d.params.iter().map(|p| p.ty).collect(), d.ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_program() {
+        let mut p = IrProgram::new("m");
+        let a = p.array_f64("a", 4);
+        let main = p.func("main", &[], None, |p, f, _| {
+            let x = p.local_f(f);
+            let i0 = p.local_i(f);
+            vec![
+                set(x, f64_const_helper()),
+                for_(i0, i(0), i(4), vec![st(a, v(i0), fadd(v(x), itof(v(i0))))]),
+                ret_void(),
+            ]
+        });
+        p.set_entry(main);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.arrays.len(), 1);
+        assert!(p.fns[0].body.is_some());
+    }
+
+    fn f64_const_helper() -> Expr {
+        f(1.5)
+    }
+
+    #[test]
+    #[should_panic(expected = "init length mismatch")]
+    fn bad_init_len() {
+        let mut p = IrProgram::new("m");
+        p.array("a", Ty::F64, 3, ArrInit::F64(vec![1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "entry takes no parameters")]
+    fn entry_with_params_rejected() {
+        let mut p = IrProgram::new("m");
+        let (fr, _) = p.declare("f", &[Ty::F64], None);
+        p.define(fr, vec![ret_void()]);
+        p.set_entry(fr);
+    }
+
+    #[test]
+    fn ignore_hint_collection() {
+        let mut p = IrProgram::new("m");
+        let (rng, _) = p.declare("rng", &[], Some(Ty::F64));
+        p.define(rng, vec![ret(f(0.5))]);
+        p.mark_ignore(rng);
+        assert_eq!(p.ignore_hints(), vec!["rng".to_string()]);
+    }
+}

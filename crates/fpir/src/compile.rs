@@ -1,0 +1,1073 @@
+//! Compilation of the structured IR to `fpvm` programs.
+//!
+//! The code generator is deliberately simple (tree-walk evaluation with a
+//! register stack, memory-resident locals, constant pool), which produces
+//! code in the same shape a classic `-O2` scalar compilation produces:
+//! scalar SSE arithmetic with register and memory operands — the exact
+//! instruction mix the paper's instrumentation targets.
+//!
+//! Two lowering widths are supported:
+//!
+//! * [`FpWidth::F64`] — faithful double-precision compilation (the
+//!   "original binary");
+//! * [`FpWidth::F32`] — whole-program single-precision lowering, the
+//!   analogue of the paper's *manual conversion* of the Fortran sources
+//!   (§3.1), used for bit-exactness comparison and true-speedup runs.
+
+use crate::ast::*;
+use fpvm::isa::*;
+use fpvm::program::Program;
+use std::collections::HashMap;
+
+/// Floating-point width for whole-program lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpWidth {
+    /// Compile FP operations and data in double precision (default).
+    F64,
+    /// Compile the entire program in single precision ("manual conversion").
+    F32,
+}
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Floating-point lowering width.
+    pub fp: FpWidth,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { fp: FpWidth::F64 }
+    }
+}
+
+// Register conventions (documented in fpvm::isa):
+//   xmm0..7   FP expression temporaries
+//   xmm8..13  FP argument registers
+//   xmm14     reserved (unused)
+//   xmm15     instrumentation scratch
+//   gpr0/1    (rax/rbx) instrumentation scratch
+//   gpr2..7   integer expression temporaries
+//   gpr8..11  integer argument registers
+//   gpr12,13  codegen scratch
+//   gpr15     stack pointer
+const FP_TEMPS: [u8; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+const INT_TEMPS: [u8; 6] = [2, 3, 4, 5, 6, 7];
+const FP_ARGS: [u8; 6] = [8, 9, 10, 11, 12, 13];
+const INT_ARGS: [u8; 4] = [8, 9, 10, 11];
+const SCRATCH_G: Gpr = Gpr(12);
+const SCRATCH_G2: Gpr = Gpr(13);
+
+struct Pool {
+    regs: &'static [u8],
+    used: u16,
+}
+
+impl Pool {
+    fn new(regs: &'static [u8]) -> Self {
+        Pool { regs, used: 0 }
+    }
+    fn alloc(&mut self) -> u8 {
+        for (k, &r) in self.regs.iter().enumerate() {
+            if self.used & (1 << k) == 0 {
+                self.used |= 1 << k;
+                return r;
+            }
+        }
+        panic!("expression too deep: register pool exhausted");
+    }
+    fn free(&mut self, r: u8) {
+        let k = self.regs.iter().position(|&x| x == r).expect("freeing foreign register");
+        assert!(self.used & (1 << k) != 0, "double free of register");
+        self.used &= !(1 << k);
+    }
+    fn live(&self) -> Vec<u8> {
+        self.regs
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| self.used & (1 << k) != 0)
+            .map(|(_, &r)| r)
+            .collect()
+    }
+}
+
+struct Compiler<'a> {
+    ir: &'a IrProgram,
+    opts: CompileOptions,
+    prog: Program,
+    fn_map: Vec<FuncId>,
+    arr_addr: Vec<u64>,
+    const_pool: Vec<u8>,
+    const_base: u64,
+    const_map: HashMap<u64, u64>,
+}
+
+struct FnState {
+    func: FuncId,
+    cur: BlockId,
+    var_off: Vec<i64>,
+    spill_base: i64,
+    frame: i64,
+    fp: Pool,
+    int: Pool,
+    is_entry: bool,
+    ret: Option<Ty>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Val {
+    Fp(Xmm),
+    Int(Gpr),
+}
+
+impl<'a> Compiler<'a> {
+    fn fp_bytes(&self) -> usize {
+        match self.opts.fp {
+            FpWidth::F64 => 8,
+            FpWidth::F32 => 4,
+        }
+    }
+
+    fn prec(&self) -> Prec {
+        match self.opts.fp {
+            FpWidth::F64 => Prec::Double,
+            FpWidth::F32 => Prec::Single,
+        }
+    }
+
+    fn fp_w(&self) -> Width {
+        match self.opts.fp {
+            FpWidth::F64 => Width::W64,
+            FpWidth::F32 => Width::W32,
+        }
+    }
+
+    fn layout_arrays(&mut self) {
+        let mut addr = 0u64;
+        for a in &self.ir.arrays {
+            addr = (addr + 15) & !15;
+            self.arr_addr.push(addr);
+            self.prog.symbols.insert(a.name.clone(), addr);
+            let esz = match a.ty {
+                Ty::F64 => self.fp_bytes(),
+                Ty::I64 => 8,
+            } as u64;
+            addr += esz * a.len as u64;
+        }
+        self.const_base = (addr + 15) & !15;
+    }
+
+    fn build_globals(&mut self) -> Vec<u8> {
+        let mut g = vec![0u8; self.const_base as usize];
+        for (a, &addr) in self.ir.arrays.iter().zip(&self.arr_addr) {
+            let mut at = addr as usize;
+            match (&a.init, a.ty) {
+                (ArrInit::Zero, _) => {}
+                (ArrInit::F64(d), Ty::F64) => {
+                    for &x in d {
+                        match self.opts.fp {
+                            FpWidth::F64 => {
+                                g[at..at + 8].copy_from_slice(&x.to_bits().to_le_bytes());
+                                at += 8;
+                            }
+                            FpWidth::F32 => {
+                                g[at..at + 4].copy_from_slice(&(x as f32).to_bits().to_le_bytes());
+                                at += 4;
+                            }
+                        }
+                    }
+                }
+                (ArrInit::I64(d), Ty::I64) => {
+                    for &x in d {
+                        g[at..at + 8].copy_from_slice(&x.to_le_bytes());
+                        at += 8;
+                    }
+                }
+                _ => unreachable!("checked at declaration"),
+            }
+        }
+        g.extend_from_slice(&self.const_pool);
+        g
+    }
+
+    /// Intern an FP constant in the pool, returning its address.
+    fn fconst_addr(&mut self, x: f64) -> u64 {
+        let (key, bytes): (u64, Vec<u8>) = match self.opts.fp {
+            FpWidth::F64 => (x.to_bits(), x.to_bits().to_le_bytes().to_vec()),
+            FpWidth::F32 => {
+                let b = (x as f32).to_bits();
+                (b as u64, b.to_le_bytes().to_vec())
+            }
+        };
+        if let Some(&a) = self.const_map.get(&key) {
+            return a;
+        }
+        let a = self.const_base + self.const_pool.len() as u64;
+        self.const_pool.extend_from_slice(&bytes);
+        self.const_map.insert(key, a);
+        a
+    }
+
+    fn emit(&mut self, st: &mut FnState, kind: InstKind) {
+        self.prog.push_insn(st.cur, kind);
+    }
+
+    fn new_block(&mut self, st: &mut FnState) -> BlockId {
+        self.prog.add_block(st.func)
+    }
+
+    fn var_mem(&self, st: &FnState, v: Var) -> MemRef {
+        MemRef::base_disp(Gpr::RSP, st.var_off[v.id as usize])
+    }
+
+    // ------------------------------------------------------------------
+    // Expression evaluation
+    // ------------------------------------------------------------------
+
+    fn expr_ty(&self, e: &Expr) -> Ty {
+        match e {
+            Expr::Call(f, _) => {
+                self.ir.fns[f.0 as usize].ret.expect("call expression to void function")
+            }
+            other => other.ty_shallow().expect("unreachable: only Call is deferred"),
+        }
+    }
+
+    /// Evaluate an FP expression, preferring to return a bare memory
+    /// operand (vars, array loads, constants) so parent operations can fold
+    /// it — producing realistic memory-operand instructions. Returns the
+    /// operand plus an optional register to free afterwards.
+    fn eval_fp_operand(&mut self, st: &mut FnState, e: &Expr) -> (RM, Option<Val>) {
+        match e {
+            Expr::F64(x) => {
+                let a = self.fconst_addr(*x);
+                (RM::Mem(MemRef::abs(a)), None)
+            }
+            Expr::Var(v) => {
+                assert_eq!(v.ty, Ty::F64, "integer variable in FP context");
+                (RM::Mem(self.var_mem(st, *v)), None)
+            }
+            Expr::Ld(arr, idx) => {
+                assert_eq!(arr.ty, Ty::F64, "integer array in FP context");
+                let gi = self.eval_int(st, idx);
+                let esz = self.fp_bytes() as u8;
+                let m = MemRef {
+                    base: None,
+                    index: Some((gi, esz)),
+                    disp: self.arr_addr[arr.id as usize] as i64,
+                };
+                (RM::Mem(m), Some(Val::Int(gi)))
+            }
+            _ => {
+                let x = self.eval_fp(st, e);
+                (RM::Reg(x), Some(Val::Fp(x)))
+            }
+        }
+    }
+
+    fn free_val(&mut self, st: &mut FnState, v: Option<Val>) {
+        match v {
+            Some(Val::Fp(x)) => st.fp.free(x.0),
+            Some(Val::Int(g)) => st.int.free(g.0),
+            None => {}
+        }
+    }
+
+    /// Evaluate an FP expression into a freshly allocated XMM temp.
+    fn eval_fp(&mut self, st: &mut FnState, e: &Expr) -> Xmm {
+        match e {
+            Expr::F64(_) | Expr::Var(_) | Expr::Ld(..) => {
+                let (rm, hold) = self.eval_fp_operand(st, e);
+                debug_assert!(matches!(rm, RM::Mem(_)), "reg case handled below");
+                let dst = Xmm(st.fp.alloc());
+                let src = match rm {
+                    RM::Mem(m) => FpLoc::Mem(m),
+                    RM::Reg(x) => FpLoc::Reg(x),
+                };
+                self.emit(st, InstKind::MovF { width: self.fp_w(), dst: FpLoc::Reg(dst), src });
+                self.free_val(st, hold);
+                dst
+            }
+            Expr::FBin(op, a, b) => {
+                let ra = self.eval_fp(st, a);
+                let (rb, hold) = self.eval_fp_operand(st, b);
+                self.emit(
+                    st,
+                    InstKind::FpArith { op: *op, prec: self.prec(), packed: false, dst: ra, src: rb },
+                );
+                self.free_val(st, hold);
+                ra
+            }
+            Expr::FSqrt(a) => {
+                let (ra, hold) = self.eval_fp_operand(st, a);
+                let dst = Xmm(st.fp.alloc());
+                self.emit(st, InstKind::FpSqrt { prec: self.prec(), packed: false, dst, src: ra });
+                self.free_val(st, hold);
+                dst
+            }
+            Expr::FMath(fun, a) => {
+                let (ra, hold) = self.eval_fp_operand(st, a);
+                let dst = Xmm(st.fp.alloc());
+                self.emit(st, InstKind::FpMath { fun: *fun, prec: self.prec(), dst, src: ra });
+                self.free_val(st, hold);
+                dst
+            }
+            Expr::IToF(a) => {
+                let g = self.eval_int(st, a);
+                let dst = Xmm(st.fp.alloc());
+                self.emit(st, InstKind::CvtI2F { to: self.prec(), dst, src: GMI::Reg(g) });
+                st.int.free(g.0);
+                dst
+            }
+            Expr::Call(f, args) => match self.eval_call(st, *f, args) {
+                Some(Val::Fp(x)) => x,
+                _ => panic!("FP context requires an FP-returning call"),
+            },
+            Expr::BitsToF(a) => {
+                // NOTE: in F32 lowering the payload is the low 32 bits;
+                // bit-twiddling code is only meaningful in F64 mode, which
+                // is precisely why real libm internals resist conversion.
+                let g = self.eval_int(st, a);
+                let dst = Xmm(st.fp.alloc());
+                self.emit(st, InstKind::PInsrQ { dst, src: g, lane: 0 });
+                st.int.free(g.0);
+                dst
+            }
+            Expr::I64(_) | Expr::IBin(..) | Expr::FToI(_) | Expr::FToBits(_) => {
+                panic!("integer expression in FP context")
+            }
+        }
+    }
+
+    /// Evaluate an integer expression into a freshly allocated GPR temp.
+    fn eval_int(&mut self, st: &mut FnState, e: &Expr) -> Gpr {
+        match e {
+            Expr::I64(x) => {
+                let g = Gpr(st.int.alloc());
+                self.emit(st, InstKind::MovI { dst: GM::Reg(g), src: GMI::Imm(*x) });
+                g
+            }
+            Expr::Var(v) => {
+                assert_eq!(v.ty, Ty::I64, "float variable in int context");
+                let g = Gpr(st.int.alloc());
+                let m = self.var_mem(st, *v);
+                self.emit(st, InstKind::MovI { dst: GM::Reg(g), src: GMI::Mem(m) });
+                g
+            }
+            Expr::Ld(arr, idx) => {
+                assert_eq!(arr.ty, Ty::I64, "float array in int context");
+                let gi = self.eval_int(st, idx);
+                let m = MemRef {
+                    base: None,
+                    index: Some((gi, 8)),
+                    disp: self.arr_addr[arr.id as usize] as i64,
+                };
+                self.emit(st, InstKind::MovI { dst: GM::Reg(gi), src: GMI::Mem(m) });
+                gi
+            }
+            Expr::IBin(op, a, b) => {
+                let ga = self.eval_int(st, a);
+                // immediate folding for the common case
+                if let Expr::I64(k) = **b {
+                    self.emit(st, InstKind::IntAlu { op: *op, dst: ga, src: GMI::Imm(k) });
+                    return ga;
+                }
+                let gb = self.eval_int(st, b);
+                self.emit(st, InstKind::IntAlu { op: *op, dst: ga, src: GMI::Reg(gb) });
+                st.int.free(gb.0);
+                ga
+            }
+            Expr::FToI(a) => {
+                let (ra, hold) = self.eval_fp_operand(st, a);
+                let g = Gpr(st.int.alloc());
+                self.emit(st, InstKind::CvtF2I { from: self.prec(), dst: g, src: ra });
+                self.free_val(st, hold);
+                g
+            }
+            Expr::Call(f, args) => match self.eval_call(st, *f, args) {
+                Some(Val::Int(g)) => g,
+                _ => panic!("int context requires an int-returning call"),
+            },
+            Expr::FToBits(a) => {
+                let x = self.eval_fp(st, a);
+                let g = Gpr(st.int.alloc());
+                self.emit(st, InstKind::PExtrQ { dst: g, src: x, lane: 0 });
+                st.fp.free(x.0);
+                g
+            }
+            Expr::F64(_) | Expr::FBin(..) | Expr::FSqrt(_) | Expr::FMath(..) | Expr::IToF(_)
+            | Expr::BitsToF(_) => {
+                panic!("FP expression in integer context")
+            }
+        }
+    }
+
+    /// Evaluate a call; returns the value register (held in the matching
+    /// pool) or `None` for void calls.
+    fn eval_call(&mut self, st: &mut FnState, f: FnRef, args: &[Expr]) -> Option<Val> {
+        let decl = &self.ir.fns[f.0 as usize];
+        let ret = decl.ret;
+        let param_tys: Vec<Ty> = decl.params.iter().map(|p| p.ty).collect();
+        assert_eq!(param_tys.len(), args.len(), "arity mismatch calling {}", decl.name);
+
+        // 1. Evaluate all arguments into temporaries.
+        let vals: Vec<Val> = args
+            .iter()
+            .zip(&param_tys)
+            .map(|(a, &ty)| match ty {
+                Ty::F64 => Val::Fp(self.eval_fp(st, a)),
+                Ty::I64 => Val::Int(self.eval_int(st, a)),
+            })
+            .collect();
+
+        // 2. Move them to the argument registers and free the temps.
+        let (mut nf, mut ni) = (0usize, 0usize);
+        for v in &vals {
+            match v {
+                Val::Fp(x) => {
+                    assert!(nf < FP_ARGS.len(), "too many FP arguments");
+                    self.emit(
+                        st,
+                        InstKind::MovF {
+                            width: self.fp_w(),
+                            dst: FpLoc::Reg(Xmm(FP_ARGS[nf])),
+                            src: FpLoc::Reg(*x),
+                        },
+                    );
+                    st.fp.free(x.0);
+                    nf += 1;
+                }
+                Val::Int(g) => {
+                    assert!(ni < INT_ARGS.len(), "too many int arguments");
+                    self.emit(
+                        st,
+                        InstKind::MovI { dst: GM::Reg(Gpr(INT_ARGS[ni])), src: GMI::Reg(*g) },
+                    );
+                    st.int.free(g.0);
+                    ni += 1;
+                }
+            }
+        }
+
+        // 3. Spill live temporaries (the callee may clobber them).
+        let live_fp = st.fp.live();
+        let live_int = st.int.live();
+        for (k, &r) in live_fp.iter().enumerate() {
+            let m = MemRef::base_disp(Gpr::RSP, st.spill_base + 8 * k as i64);
+            self.emit(
+                st,
+                InstKind::MovF { width: Width::W64, dst: FpLoc::Mem(m), src: FpLoc::Reg(Xmm(r)) },
+            );
+        }
+        for (k, &r) in live_int.iter().enumerate() {
+            let m = MemRef::base_disp(Gpr::RSP, st.spill_base + 8 * (8 + k) as i64);
+            self.emit(st, InstKind::MovI { dst: GM::Mem(m), src: GMI::Reg(Gpr(r)) });
+        }
+
+        // 4. Call.
+        let callee = self.fn_map[f.0 as usize];
+        self.emit(st, InstKind::Call { func: callee });
+
+        // 5. Capture the return value.
+        let out = match ret {
+            Some(Ty::F64) => {
+                let x = Xmm(st.fp.alloc());
+                if x != Xmm(0) {
+                    self.emit(
+                        st,
+                        InstKind::MovF {
+                            width: self.fp_w(),
+                            dst: FpLoc::Reg(x),
+                            src: FpLoc::Reg(Xmm(0)),
+                        },
+                    );
+                }
+                Some(Val::Fp(x))
+            }
+            Some(Ty::I64) => {
+                let g = Gpr(st.int.alloc());
+                self.emit(st, InstKind::MovI { dst: GM::Reg(g), src: GMI::Reg(Gpr::RAX) });
+                Some(Val::Int(g))
+            }
+            None => None,
+        };
+
+        // 6. Reload spilled temporaries.
+        for (k, &r) in live_fp.iter().enumerate() {
+            let m = MemRef::base_disp(Gpr::RSP, st.spill_base + 8 * k as i64);
+            self.emit(
+                st,
+                InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(r)), src: FpLoc::Mem(m) },
+            );
+        }
+        for (k, &r) in live_int.iter().enumerate() {
+            let m = MemRef::base_disp(Gpr::RSP, st.spill_base + 8 * (8 + k) as i64);
+            self.emit(st, InstKind::MovI { dst: GM::Reg(Gpr(r)), src: GMI::Mem(m) });
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn emit_cmp_branch(&mut self, st: &mut FnState, c: &Cmp, then_b: BlockId, else_b: BlockId) {
+        let is_fp = self.expr_ty(&c.a) == Ty::F64;
+        if is_fp {
+            let ra = self.eval_fp(st, &c.a);
+            let (rb, hold) = self.eval_fp_operand(st, &c.b);
+            self.emit(st, InstKind::FpUcomi { prec: self.prec(), lhs: ra, src: rb });
+            self.free_val(st, hold);
+            st.fp.free(ra.0);
+            let cond = match c.cc {
+                Cc::Eq => Cond::Eq,
+                Cc::Ne => Cond::Ne,
+                Cc::Lt => Cond::Below,
+                Cc::Le => Cond::BelowEq,
+                Cc::Gt => Cond::Above,
+                Cc::Ge => Cond::AboveEq,
+            };
+            self.prog.block_mut(st.cur).term = Terminator::Br { cond, then_: then_b, else_: else_b };
+        } else {
+            let ga = self.eval_int(st, &c.a);
+            let src = if let Expr::I64(k) = c.b {
+                GMI::Imm(k)
+            } else {
+                GMI::Reg(self.eval_int(st, &c.b))
+            };
+            self.emit(st, InstKind::Cmp { lhs: ga, src });
+            if let GMI::Reg(g) = src {
+                st.int.free(g.0);
+            }
+            st.int.free(ga.0);
+            let cond = match c.cc {
+                Cc::Eq => Cond::Eq,
+                Cc::Ne => Cond::Ne,
+                Cc::Lt => Cond::Lt,
+                Cc::Le => Cond::Le,
+                Cc::Gt => Cond::Gt,
+                Cc::Ge => Cond::Ge,
+            };
+            self.prog.block_mut(st.cur).term = Terminator::Br { cond, then_: then_b, else_: else_b };
+        }
+    }
+
+    fn compile_stmts(&mut self, st: &mut FnState, stmts: &[Stmt]) {
+        for s in stmts {
+            self.compile_stmt(st, s);
+        }
+    }
+
+    fn compile_stmt(&mut self, st: &mut FnState, s: &Stmt) {
+        match s {
+            Stmt::Set(var, e) => match var.ty {
+                Ty::F64 => {
+                    let r = self.eval_fp(st, e);
+                    let m = self.var_mem(st, *var);
+                    self.emit(
+                        st,
+                        InstKind::MovF { width: self.fp_w(), dst: FpLoc::Mem(m), src: FpLoc::Reg(r) },
+                    );
+                    st.fp.free(r.0);
+                }
+                Ty::I64 => {
+                    let g = self.eval_int(st, e);
+                    let m = self.var_mem(st, *var);
+                    self.emit(st, InstKind::MovI { dst: GM::Mem(m), src: GMI::Reg(g) });
+                    st.int.free(g.0);
+                }
+            },
+            Stmt::St(arr, idx, val) => {
+                let gi = self.eval_int(st, idx);
+                match arr.ty {
+                    Ty::F64 => {
+                        let r = self.eval_fp(st, val);
+                        let esz = self.fp_bytes() as u8;
+                        let m = MemRef {
+                            base: None,
+                            index: Some((gi, esz)),
+                            disp: self.arr_addr[arr.id as usize] as i64,
+                        };
+                        self.emit(
+                            st,
+                            InstKind::MovF {
+                                width: self.fp_w(),
+                                dst: FpLoc::Mem(m),
+                                src: FpLoc::Reg(r),
+                            },
+                        );
+                        st.fp.free(r.0);
+                    }
+                    Ty::I64 => {
+                        let g = self.eval_int(st, val);
+                        let m = MemRef {
+                            base: None,
+                            index: Some((gi, 8)),
+                            disp: self.arr_addr[arr.id as usize] as i64,
+                        };
+                        self.emit(st, InstKind::MovI { dst: GM::Mem(m), src: GMI::Reg(g) });
+                        st.int.free(g.0);
+                    }
+                }
+                st.int.free(gi.0);
+            }
+            Stmt::If(c, then_s, else_s) => {
+                let then_b = self.new_block(st);
+                let else_b = self.new_block(st);
+                let join = self.new_block(st);
+                self.emit_cmp_branch(st, c, then_b, else_b);
+                st.cur = then_b;
+                self.compile_stmts(st, then_s);
+                self.prog.block_mut(st.cur).term = Terminator::Jmp(join);
+                st.cur = else_b;
+                self.compile_stmts(st, else_s);
+                self.prog.block_mut(st.cur).term = Terminator::Jmp(join);
+                st.cur = join;
+            }
+            Stmt::While(c, body) => {
+                let head = self.new_block(st);
+                self.prog.block_mut(st.cur).term = Terminator::Jmp(head);
+                st.cur = head;
+                let body_b = self.new_block(st);
+                let exit = self.new_block(st);
+                self.emit_cmp_branch(st, c, body_b, exit);
+                st.cur = body_b;
+                self.compile_stmts(st, body);
+                self.prog.block_mut(st.cur).term = Terminator::Jmp(head);
+                st.cur = exit;
+            }
+            Stmt::For(var, start, end, body) => {
+                assert_eq!(var.ty, Ty::I64, "loop variable must be integer");
+                self.compile_stmt(st, &Stmt::Set(*var, start.clone()));
+                let head = self.new_block(st);
+                self.prog.block_mut(st.cur).term = Terminator::Jmp(head);
+                st.cur = head;
+                let body_b = self.new_block(st);
+                let exit = self.new_block(st);
+                self.emit_cmp_branch(st, &Cmp { cc: Cc::Lt, a: Expr::Var(*var), b: end.clone() }, body_b, exit);
+                st.cur = body_b;
+                self.compile_stmts(st, body);
+                // var += 1
+                let m = self.var_mem(st, *var);
+                self.emit(st, InstKind::MovI { dst: GM::Reg(SCRATCH_G), src: GMI::Mem(m) });
+                self.emit(st, InstKind::IntAlu { op: IntOp::Add, dst: SCRATCH_G, src: GMI::Imm(1) });
+                self.emit(st, InstKind::MovI { dst: GM::Mem(m), src: GMI::Reg(SCRATCH_G) });
+                self.prog.block_mut(st.cur).term = Terminator::Jmp(head);
+                st.cur = exit;
+            }
+            Stmt::Expr(e) => {
+                if let Expr::Call(f, args) = e {
+                    let out = self.eval_call(st, *f, args);
+                    self.free_val(st, out);
+                } else {
+                    // evaluate and discard
+                    match self.expr_ty(e) {
+                        Ty::F64 => {
+                            let r = self.eval_fp(st, e);
+                            st.fp.free(r.0);
+                        }
+                        Ty::I64 => {
+                            let g = self.eval_int(st, e);
+                            st.int.free(g.0);
+                        }
+                    }
+                }
+            }
+            Stmt::Ret(e) => {
+                match (e, st.ret) {
+                    (Some(e), Some(Ty::F64)) => {
+                        let r = self.eval_fp(st, e);
+                        if r != Xmm(0) {
+                            self.emit(
+                                st,
+                                InstKind::MovF {
+                                    width: self.fp_w(),
+                                    dst: FpLoc::Reg(Xmm(0)),
+                                    src: FpLoc::Reg(r),
+                                },
+                            );
+                        }
+                        st.fp.free(r.0);
+                    }
+                    (Some(e), Some(Ty::I64)) => {
+                        let g = self.eval_int(st, e);
+                        self.emit(st, InstKind::MovI { dst: GM::Reg(Gpr::RAX), src: GMI::Reg(g) });
+                        st.int.free(g.0);
+                    }
+                    (None, None) => {}
+                    _ => panic!("return type mismatch"),
+                }
+                self.emit_epilogue(st);
+                let dead = self.new_block(st);
+                st.cur = dead;
+            }
+            Stmt::PackedAxpy { y, a, x, n } => self.compile_packed_axpy(st, *y, a, *x, n),
+        }
+    }
+
+    fn emit_epilogue(&mut self, st: &mut FnState) {
+        if st.frame > 0 {
+            self.emit(
+                st,
+                InstKind::IntAlu { op: IntOp::Add, dst: Gpr::RSP, src: GMI::Imm(st.frame) },
+            );
+        }
+        self.prog.block_mut(st.cur).term =
+            if st.is_entry { Terminator::Halt } else { Terminator::Ret };
+    }
+
+    /// `y[0..n] += a * x[0..n]` with 128-bit packed instructions.
+    fn compile_packed_axpy(&mut self, st: &mut FnState, y: ArrRef, a: &Expr, x: ArrRef, n: &Expr) {
+        assert_eq!(y.ty, Ty::F64);
+        assert_eq!(x.ty, Ty::F64);
+        let lanes = match self.opts.fp {
+            FpWidth::F64 => 2i64,
+            FpWidth::F32 => 4,
+        };
+        let esz = self.fp_bytes() as u8;
+        // broadcast a into all lanes of xa
+        let xa = self.eval_fp(st, a);
+        self.emit(st, InstKind::PExtrQ { dst: SCRATCH_G, src: xa, lane: 0 });
+        if lanes == 4 {
+            // [a, junk] -> [a, a] within the low 64 bits first
+            self.emit(st, InstKind::MovI { dst: GM::Reg(SCRATCH_G2), src: GMI::Reg(SCRATCH_G) });
+            self.emit(st, InstKind::IntAlu { op: IntOp::Shl, dst: SCRATCH_G2, src: GMI::Imm(32) });
+            self.emit(
+                st,
+                InstKind::IntAlu {
+                    op: IntOp::And,
+                    dst: SCRATCH_G,
+                    src: GMI::Imm(0xFFFF_FFFF),
+                },
+            );
+            self.emit(st, InstKind::IntAlu { op: IntOp::Or, dst: SCRATCH_G, src: GMI::Reg(SCRATCH_G2) });
+            self.emit(st, InstKind::PInsrQ { dst: xa, src: SCRATCH_G, lane: 0 });
+        }
+        self.emit(st, InstKind::PInsrQ { dst: xa, src: SCRATCH_G, lane: 1 });
+
+        let gn = self.eval_int(st, n);
+        let gi = Gpr(st.int.alloc());
+        self.emit(st, InstKind::MovI { dst: GM::Reg(gi), src: GMI::Imm(0) });
+
+        let head = self.new_block(st);
+        self.prog.block_mut(st.cur).term = Terminator::Jmp(head);
+        st.cur = head;
+        let body = self.new_block(st);
+        let exit = self.new_block(st);
+        self.emit(st, InstKind::Cmp { lhs: gi, src: GMI::Reg(gn) });
+        self.prog.block_mut(st.cur).term = Terminator::Br { cond: Cond::Lt, then_: body, else_: exit };
+        st.cur = body;
+        let xt = Xmm(st.fp.alloc());
+        let yt = Xmm(st.fp.alloc());
+        let xm = MemRef { base: None, index: Some((gi, esz)), disp: self.arr_addr[x.id as usize] as i64 };
+        let ym = MemRef { base: None, index: Some((gi, esz)), disp: self.arr_addr[y.id as usize] as i64 };
+        self.emit(st, InstKind::MovF { width: Width::W128, dst: FpLoc::Reg(xt), src: FpLoc::Mem(xm) });
+        self.emit(st, InstKind::FpArith { op: FpAluOp::Mul, prec: self.prec(), packed: true, dst: xt, src: RM::Reg(xa) });
+        self.emit(st, InstKind::MovF { width: Width::W128, dst: FpLoc::Reg(yt), src: FpLoc::Mem(ym) });
+        self.emit(st, InstKind::FpArith { op: FpAluOp::Add, prec: self.prec(), packed: true, dst: yt, src: RM::Reg(xt) });
+        self.emit(st, InstKind::MovF { width: Width::W128, dst: FpLoc::Mem(ym), src: FpLoc::Reg(yt) });
+        self.emit(st, InstKind::IntAlu { op: IntOp::Add, dst: gi, src: GMI::Imm(lanes) });
+        st.fp.free(xt.0);
+        st.fp.free(yt.0);
+        self.prog.block_mut(st.cur).term = Terminator::Jmp(head);
+        st.cur = exit;
+        st.int.free(gi.0);
+        st.int.free(gn.0);
+        st.fp.free(xa.0);
+    }
+
+    fn compile_fn(&mut self, fref: FnRef) {
+        let decl = self.ir.fns[fref.0 as usize].clone();
+        let body = decl.body.clone().unwrap_or_else(|| panic!("function {} never defined", decl.name));
+        let func = self.fn_map[fref.0 as usize];
+        let entry = self.prog.add_block(func);
+        self.prog.funcs[func.0 as usize].entry = entry;
+
+        let n_vars = decl.n_locals as i64;
+        let spill_base = 8 * n_vars;
+        let frame_raw = spill_base + 8 * 16; // 8 fp + 6 int spill slots, padded
+        let frame = (frame_raw + 15) & !15;
+        let is_entry = self.ir.entry == Some(fref);
+
+        let mut st = FnState {
+            func,
+            cur: entry,
+            var_off: (0..n_vars).map(|k| 8 * k).collect(),
+            spill_base,
+            frame,
+            fp: Pool::new(&FP_TEMPS),
+            int: Pool::new(&INT_TEMPS),
+            is_entry,
+            ret: decl.ret,
+        };
+
+        // Prologue: allocate frame, store parameters into their slots.
+        self.emit(&mut st, InstKind::IntAlu { op: IntOp::Sub, dst: Gpr::RSP, src: GMI::Imm(frame) });
+        let (mut nf, mut ni) = (0usize, 0usize);
+        for p in &decl.params {
+            let m = self.var_mem(&st, *p);
+            match p.ty {
+                Ty::F64 => {
+                    self.emit(
+                        &mut st,
+                        InstKind::MovF {
+                            width: self.fp_w(),
+                            dst: FpLoc::Mem(m),
+                            src: FpLoc::Reg(Xmm(FP_ARGS[nf])),
+                        },
+                    );
+                    nf += 1;
+                }
+                Ty::I64 => {
+                    self.emit(&mut st, InstKind::MovI { dst: GM::Mem(m), src: GMI::Reg(Gpr(INT_ARGS[ni])) });
+                    ni += 1;
+                }
+            }
+        }
+
+        self.compile_stmts(&mut st, &body);
+        // Implicit return/halt if the body didn't end with one.
+        self.emit_epilogue(&mut st);
+        debug_assert_eq!(st.fp.live(), Vec::<u8>::new(), "leaked FP temps in {}", decl.name);
+        debug_assert_eq!(st.int.live(), Vec::<u8>::new(), "leaked int temps in {}", decl.name);
+    }
+}
+
+/// Compile an [`IrProgram`] to an executable [`Program`].
+pub fn compile(ir: &IrProgram, opts: &CompileOptions) -> Program {
+    let entry = ir.entry.expect("program has no entry function");
+    let mut c = Compiler {
+        ir,
+        opts: opts.clone(),
+        prog: Program::new(0),
+        fn_map: Vec::new(),
+        arr_addr: Vec::new(),
+        const_pool: Vec::new(),
+        const_base: 0,
+        const_map: HashMap::new(),
+    };
+
+    // Modules and function shells first (so calls can be emitted).
+    let mod_ids: Vec<_> = ir.modules.iter().map(|m| c.prog.add_module(m)).collect();
+    for f in &ir.fns {
+        let id = c.prog.add_function(mod_ids[f.module as usize], f.name.clone());
+        c.fn_map.push(id);
+    }
+    c.layout_arrays();
+    for k in 0..ir.fns.len() {
+        c.compile_fn(FnRef(k as u32));
+    }
+    c.prog.entry = c.fn_map[entry.0 as usize];
+    c.prog.globals = c.build_globals();
+    c.prog.mem_size = c.prog.globals.len() + ir.stack_reserve;
+    c.prog.validate().expect("compiler produced invalid program");
+    c.prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm::{Vm, VmOptions};
+
+    fn run_f64(ir: &IrProgram, syms: &[(&str, usize)]) -> Vec<Vec<f64>> {
+        let p = compile(ir, &CompileOptions { fp: FpWidth::F64 });
+        let mut vm = Vm::new(&p, VmOptions::default());
+        let out = vm.run();
+        assert!(out.ok(), "program trapped: {:?}", out.result);
+        syms.iter()
+            .map(|(s, n)| vm.mem.read_f64_slice(p.symbol(s).unwrap(), *n).unwrap())
+            .collect()
+    }
+
+    fn run_f32(ir: &IrProgram, syms: &[(&str, usize)]) -> Vec<Vec<f32>> {
+        let p = compile(ir, &CompileOptions { fp: FpWidth::F32 });
+        let mut vm = Vm::new(&p, VmOptions::default());
+        let out = vm.run();
+        assert!(out.ok(), "program trapped: {:?}", out.result);
+        syms.iter()
+            .map(|(s, n)| vm.mem.read_f32_slice(p.symbol(s).unwrap(), *n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_and_loop() {
+        // out[0] = sum of i*1.5 for i in 0..10 = 67.5
+        let mut ir = IrProgram::new("t");
+        let out = ir.array_f64("out", 1);
+        let main = ir.func("main", &[], None, |ir, fr, _| {
+            let s = ir.local_f(fr);
+            let ix = ir.local_i(fr);
+            vec![
+                set(s, f(0.0)),
+                for_(ix, i(0), i(10), vec![set(s, fadd(v(s), fmul(itof(v(ix)), f(1.5))))]),
+                st(out, i(0), v(s)),
+            ]
+        });
+        ir.set_entry(main);
+        assert_eq!(run_f64(&ir, &[("out", 1)])[0][0], 67.5);
+    }
+
+    #[test]
+    fn if_else_and_while() {
+        // classic collatz-step count for 27 (integer) mixed with fp guard
+        let mut ir = IrProgram::new("t");
+        let out = ir.array_i64("steps", 1);
+        let main = ir.func("main", &[], None, |ir, fr, _| {
+            let n = ir.local_i(fr);
+            let c = ir.local_i(fr);
+            vec![
+                set(n, i(27)),
+                set(c, i(0)),
+                while_(cmp(Cc::Ne, v(n), i(1)), vec![
+                    if_(
+                        cmp(Cc::Eq, irem(v(n), i(2)), i(0)),
+                        vec![set(n, idiv(v(n), i(2)))],
+                        vec![set(n, iadd(imul(v(n), i(3)), i(1)))],
+                    ),
+                    set(c, iadd(v(c), i(1))),
+                ]),
+                st(out, i(0), v(c)),
+            ]
+        });
+        ir.set_entry(main);
+        let p = compile(&ir, &CompileOptions::default());
+        let mut vm = Vm::new(&p, VmOptions::default());
+        assert!(vm.run().ok());
+        assert_eq!(vm.mem.read_i64_slice(p.symbol("steps").unwrap(), 1).unwrap()[0], 111);
+    }
+
+    #[test]
+    fn function_calls_with_args_and_recursion() {
+        // fib(10) computed recursively with int args; plus an fp helper.
+        let mut ir = IrProgram::new("t");
+        let out = ir.array_f64("out", 1);
+        let (fib, fa) = ir.declare("fib", &[Ty::I64], Some(Ty::I64));
+        ir.define(
+            fib,
+            vec![
+                if_(
+                    cmp(Cc::Lt, v(fa[0]), i(2)),
+                    vec![ret(v(fa[0]))],
+                    vec![ret(iadd(
+                        call(fib, vec![isub(v(fa[0]), i(1))]),
+                        call(fib, vec![isub(v(fa[0]), i(2))]),
+                    ))],
+                ),
+            ],
+        );
+        let (half, ha) = ir.declare("half", &[Ty::F64], Some(Ty::F64));
+        ir.define(half, vec![ret(fmul(v(ha[0]), f(0.5)))]);
+        let main = ir.func("main", &[], None, |_, _, _| {
+            vec![st(out, i(0), call(half, vec![itof(call(fib, vec![i(10)]))]))]
+        });
+        ir.set_entry(main);
+        assert_eq!(run_f64(&ir, &[("out", 1)])[0][0], 27.5); // fib(10)=55
+    }
+
+    #[test]
+    fn sqrt_math_and_conversions() {
+        let mut ir = IrProgram::new("t");
+        let out = ir.array_f64("out", 4);
+        let main = ir.func("main", &[], None, |_, _, _| {
+            vec![
+                st(out, i(0), fsqrt(f(2.25))),
+                st(out, i(1), fmath(fpvm::isa::MathFun::Exp, f(0.0))),
+                st(out, i(2), fabs(f(-3.5))),
+                st(out, i(3), itof(ftoi(f(7.9)))),
+            ]
+        });
+        ir.set_entry(main);
+        let r = &run_f64(&ir, &[("out", 4)])[0];
+        assert_eq!(r, &[1.5, 1.0, 3.5, 7.0]);
+    }
+
+    #[test]
+    fn f32_lowering_matches_f32_math() {
+        // s = sum of 0.1f32 ten times (deliberately inexact in f32).
+        let mut ir = IrProgram::new("t");
+        let out = ir.array_f64("out", 1);
+        let main = ir.func("main", &[], None, |ir, fr, _| {
+            let s = ir.local_f(fr);
+            let ix = ir.local_i(fr);
+            vec![
+                set(s, f(0.0)),
+                for_(ix, i(0), i(10), vec![set(s, fadd(v(s), f(0.1)))]),
+                st(out, i(0), v(s)),
+            ]
+        });
+        ir.set_entry(main);
+        let got = run_f32(&ir, &[("out", 1)])[0][0];
+        let mut want = 0.0f32;
+        for _ in 0..10 {
+            want += 0.1f32;
+        }
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn packed_axpy_both_widths() {
+        let mut ir = IrProgram::new("t");
+        let xs = ir.array_f64_init("x", vec![1.0, 2.0, 3.0, 4.0]);
+        let ys = ir.array_f64_init("y", vec![10.0, 20.0, 30.0, 40.0]);
+        let main = ir.func("main", &[], None, |_, _, _| {
+            vec![Stmt::PackedAxpy { y: ys, a: f(2.0), x: xs, n: i(4) }]
+        });
+        ir.set_entry(main);
+        assert_eq!(run_f64(&ir, &[("y", 4)])[0], vec![12.0, 24.0, 36.0, 48.0]);
+        assert_eq!(run_f32(&ir, &[("y", 4)])[0], vec![12.0f32, 24.0, 36.0, 48.0]);
+    }
+
+    #[test]
+    fn array_init_and_int_arrays() {
+        let mut ir = IrProgram::new("t");
+        let data = ir.array_f64_init("data", vec![2.0, 4.0, 8.0]);
+        let idx = ir.array_i64_init("idx", vec![2, 0, 1]);
+        let out = ir.array_f64("out", 3);
+        let main = ir.func("main", &[], None, |ir, fr, _| {
+            let k = ir.local_i(fr);
+            vec![for_(k, i(0), i(3), vec![st(out, v(k), ld(data, ld(idx, v(k))))])]
+        });
+        ir.set_entry(main);
+        assert_eq!(run_f64(&ir, &[("out", 3)])[0], vec![8.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn deep_fp_expression_uses_memory_operands() {
+        // ((((a+b)*c)-d)/e) — check it compiles and computes correctly,
+        // and that at least one FP instruction carries a memory operand.
+        let mut ir = IrProgram::new("t");
+        let out = ir.array_f64("out", 1);
+        let main = ir.func("main", &[], None, |ir, fr, _| {
+            let a = ir.local_f(fr);
+            vec![
+                set(a, f(1.0)),
+                st(
+                    out,
+                    i(0),
+                    fdiv(fsub(fmul(fadd(v(a), f(2.0)), f(3.0)), f(4.0)), f(2.5)),
+                ),
+            ]
+        });
+        ir.set_entry(main);
+        let p = compile(&ir, &CompileOptions::default());
+        let has_mem_fp = p.iter_insns().any(|(_, _, ins)| {
+            matches!(&ins.kind, InstKind::FpArith { src: RM::Mem(_), .. })
+        });
+        assert!(has_mem_fp, "expected folded memory operands");
+        assert_eq!(run_f64(&ir, &[("out", 1)])[0][0], 2.0);
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let mut ir = IrProgram::new("t");
+        let out = ir.array_f64("out", 1);
+        let main = ir.func("main", &[], None, |_, _, _| {
+            vec![st(out, i(0), fadd(fadd(f(1.5), f(1.5)), fadd(f(1.5), f(1.5))))]
+        });
+        ir.set_entry(main);
+        let p = compile(&ir, &CompileOptions::default());
+        // one array slot (8B) + one interned constant (8B)
+        assert_eq!(p.globals.len(), 16 + 8);
+        assert_eq!(run_f64(&ir, &[("out", 1)])[0][0], 6.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # fpir — the structured IR and compiler
+//!
+//! Workload kernels (the NAS analogues, AMG, the sparse LU solver) are
+//! written against this IR and compiled down to `fpvm` machine programs.
+//! The crate stands in for the Fortran/C compiler that produced the
+//! paper's double-precision benchmark binaries, and additionally provides
+//! the whole-program F32 lowering that models the paper's *manual
+//! conversion* experiments (§3.1).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod softlibm;
+
+pub use ast::*;
+pub use compile::{compile, CompileOptions, FpWidth};
+pub use softlibm::{install as install_softlibm, SoftLibm};

@@ -1,0 +1,279 @@
+//! A software math library written *in the IR*, the way real `libm`
+//! implementations work: argument reduction, polynomial kernels, and
+//! IEEE-754 **bit manipulation** (exponent assembly through integer
+//! reinterpretation).
+//!
+//! The paper's §2.5 observes that "in many cases the implementations of
+//! transcendental functions like sine, cosine, and logarithms contain
+//! lookup routines or bitwise manipulation for speed" and that special
+//! handling of these functions "improves performance and increases the
+//! fraction of the instructions … that can be replaced with single
+//! precision". This module exists to reproduce that effect: a workload
+//! can be built either with precision-typed intrinsic instructions
+//! ([`fpvm::isa::MathFun`], the "special handling") or with these
+//! software routines, whose bit-twiddling internals resist replacement —
+//! see the `abl_transcendental` bench.
+//!
+//! Accuracy targets are ~1e-9 relative (ample for the workload
+//! tolerances), achieved with:
+//!
+//! * `exp`: `x = n·ln2 + r`, degree-10 Taylor on `|r| ≤ ln2/2`, and
+//!   `2ⁿ` assembled by writing `(n + 1023) << 52` into a double's bits;
+//! * `log`: exponent extracted from the bit pattern, mantissa reduced to
+//!   `[1, 2)`, `atanh` series in `t = (m−1)/(m+1)` up to `t¹⁹`;
+//! * `sin`: quadrant reduction by `π/2` with a double-double-ish split
+//!   constant, degree-13/12 Taylor kernels for sine/cosine.
+
+use crate::ast::*;
+
+/// Handles to the declared software math functions.
+#[derive(Debug, Clone, Copy)]
+pub struct SoftLibm {
+    /// `exp(x)`.
+    pub exp: FnRef,
+    /// `ln(x)` (x > 0; returns garbage for non-positive inputs).
+    pub log: FnRef,
+    /// `sin(x)`.
+    pub sin: FnRef,
+}
+
+/// Declare and define the software math functions inside `ir`, in their
+/// own `libm` module (so the search can toggle them as a unit, and so
+/// they mirror an external shared library the binary rewriter can also
+/// instrument — §2.4's "modified shared libraries").
+pub fn install(ir: &mut IrProgram) -> SoftLibm {
+    ir.module("libm");
+    let exp = def_exp(ir);
+    let log = def_log(ir);
+    let sin = def_sin(ir);
+    SoftLibm { exp, log, sin }
+}
+
+fn def_exp(ir: &mut IrProgram) -> FnRef {
+    let (exp, args) = ir.declare("soft_exp", &[Ty::F64], Some(Ty::F64));
+    let x = args[0];
+    let n = ir.local_i(exp);
+    let r = ir.local_f(exp);
+    let p = ir.local_f(exp);
+    let scale = ir.local_f(exp);
+    const LN2: f64 = std::f64::consts::LN_2;
+    const INV_LN2: f64 = std::f64::consts::LOG2_E;
+    // Taylor coefficients 1/k! for k = 10, 9, …, 2 (Horner order).
+    let coeffs: Vec<f64> = (2..=10u64)
+        .rev()
+        .map(|k| 1.0 / (2..=k).map(|j| j as f64).product::<f64>())
+        .collect();
+    let mut horner = f(coeffs[0]);
+    for &c in &coeffs[1..] {
+        horner = fadd(fmul(horner, v(r)), f(c));
+    }
+    // p = 1 + r + r²·(poly(r))
+    let poly = fadd(fadd(fmul(fmul(horner, v(r)), v(r)), v(r)), f(1.0));
+    ir.define(
+        exp,
+        vec![
+            // n = round(x / ln2): truncate(x·1/ln2 + ±0.5)
+            if_(
+                cmp(Cc::Ge, v(x), f(0.0)),
+                vec![set(n, ftoi(fadd(fmul(v(x), f(INV_LN2)), f(0.5))))],
+                vec![set(n, ftoi(fsub(fmul(v(x), f(INV_LN2)), f(0.5))))],
+            ),
+            set(r, fsub(v(x), fmul(itof(v(n)), f(LN2)))),
+            set(p, poly),
+            // scale = 2^n, assembled from raw exponent bits — the
+            // bit-manipulation step that breaks under blind conversion
+            set(scale, bits_to_f(ishl(iadd(v(n), i(1023)), i(52)))),
+            ret(fmul(v(p), v(scale))),
+        ],
+    );
+    exp
+}
+
+fn def_log(ir: &mut IrProgram) -> FnRef {
+    let (log, args) = ir.declare("soft_log", &[Ty::F64], Some(Ty::F64));
+    let x = args[0];
+    let bits = ir.local_i(log);
+    let e = ir.local_i(log);
+    let m = ir.local_f(log);
+    let t = ir.local_f(log);
+    let t2 = ir.local_f(log);
+    let s = ir.local_f(log);
+    const LN2: f64 = std::f64::consts::LN_2;
+    // atanh series: ln m = 2(t + t³/3 + … + t¹⁹/19), t = (m−1)/(m+1)
+    let mut series = f(1.0 / 19.0);
+    for k in (1..=8).rev() {
+        series = fadd(fmul(series, v(t2)), f(1.0 / (2 * k + 1) as f64));
+    }
+    ir.define(
+        log,
+        vec![
+            set(bits, f_to_bits(v(x))),
+            // exponent field minus the bias
+            set(e, isub(iand(ishr(v(bits), i(52)), i(0x7FF)), i(1023))),
+            // mantissa renormalized into [1, 2): overwrite the exponent
+            // field with the bias
+            set(
+                m,
+                bits_to_f(ior(iand(v(bits), i(0x000F_FFFF_FFFF_FFFF)), i(0x3FF0_0000_0000_0000))),
+            ),
+            set(t, fdiv(fsub(v(m), f(1.0)), fadd(v(m), f(1.0)))),
+            set(t2, fmul(v(t), v(t))),
+            // 2t · (1 + t²·series)
+            set(s, fmul(fmul(f(2.0), v(t)), fadd(fmul(series, v(t2)), f(1.0)))),
+            ret(fadd(v(s), fmul(itof(v(e)), f(LN2)))),
+        ],
+    );
+    log
+}
+
+fn def_sin(ir: &mut IrProgram) -> FnRef {
+    let (sin, args) = ir.declare("soft_sin", &[Ty::F64], Some(Ty::F64));
+    let x = args[0];
+    let k = ir.local_i(sin);
+    let q = ir.local_i(sin);
+    let r = ir.local_f(sin);
+    let r2 = ir.local_f(sin);
+    let kernel = ir.local_f(sin);
+    let sign = ir.local_f(sin);
+    const PIO2_HI: f64 = 1.570_796_326_794_896_6;
+    const PIO2_LO: f64 = 6.123_233_995_736_766e-17;
+    const INV_PIO2: f64 = std::f64::consts::FRAC_2_PI;
+    // sine kernel: r·(1 − r²/3! + r⁴/5! − r⁶/7! + r⁸/9! − r¹⁰/11! + r¹²/13!)
+    let sin_poly = {
+        let cs = [
+            1.0 / 6227020800.0,   // 1/13!
+            -1.0 / 39916800.0,    // −1/11!
+            1.0 / 362880.0,       // 1/9!
+            -1.0 / 5040.0,        // −1/7!
+            1.0 / 120.0,          // 1/5!
+            -1.0 / 6.0,           // −1/3!
+        ];
+        let mut h = f(cs[0]);
+        for &c in &cs[1..] {
+            h = fadd(fmul(h, v(r2)), f(c));
+        }
+        fadd(fmul(fmul(h, v(r2)), v(r)), v(r))
+    };
+    // cosine kernel: 1 − r²/2! + r⁴/4! − … + r¹²/12!
+    let cos_poly = {
+        let cs = [
+            1.0 / 479001600.0,  // 1/12!
+            -1.0 / 3628800.0,   // −1/10!
+            1.0 / 40320.0,      // 1/8!
+            -1.0 / 720.0,       // −1/6!
+            1.0 / 24.0,         // 1/4!
+            -0.5,               // −1/2!
+        ];
+        let mut h = f(cs[0]);
+        for &c in &cs[1..] {
+            h = fadd(fmul(h, v(r2)), f(c));
+        }
+        fadd(fmul(h, v(r2)), f(1.0))
+    };
+    ir.define(
+        sin,
+        vec![
+            // k = round(x / (π/2)), two-part reduction constant
+            if_(
+                cmp(Cc::Ge, v(x), f(0.0)),
+                vec![set(k, ftoi(fadd(fmul(v(x), f(INV_PIO2)), f(0.5))))],
+                vec![set(k, ftoi(fsub(fmul(v(x), f(INV_PIO2)), f(0.5))))],
+            ),
+            set(r, fsub(fsub(v(x), fmul(itof(v(k)), f(PIO2_HI))), fmul(itof(v(k)), f(PIO2_LO)))),
+            set(r2, fmul(v(r), v(r))),
+            // quadrant = k mod 4 (arithmetically non-negative)
+            set(q, irem(iadd(irem(v(k), i(4)), i(4)), i(4))),
+            set(sign, f(1.0)),
+            if_(cmp(Cc::Ge, v(q), i(2)), vec![set(sign, f(-1.0)), set(q, isub(v(q), i(2)))], vec![]),
+            if_(
+                cmp(Cc::Eq, v(q), i(0)),
+                vec![set(kernel, sin_poly)],
+                vec![set(kernel, cos_poly)],
+            ),
+            ret(fmul(v(sign), v(kernel))),
+        ],
+    );
+    sin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use fpvm::{Vm, VmOptions};
+
+    /// Evaluate one soft function over a set of inputs in the VM.
+    fn eval(fun: &str, inputs: &[f64]) -> Vec<f64> {
+        let mut ir = IrProgram::new("t");
+        let xs = ir.array_f64_init("xs", inputs.to_vec());
+        let out = ir.array_f64("out", inputs.len());
+        let lib = install(&mut ir);
+        let fref = match fun {
+            "exp" => lib.exp,
+            "log" => lib.log,
+            "sin" => lib.sin,
+            _ => unreachable!(),
+        };
+        ir.module("main");
+        let n = inputs.len() as i64;
+        let main = ir.func("main", &[], None, |ir, fr, _| {
+            let k = ir.local_i(fr);
+            vec![for_(k, i(0), i(n), vec![st(out, v(k), call(fref, vec![ld(xs, v(k))]))])]
+        });
+        ir.set_entry(main);
+        let p = compile(&ir, &CompileOptions::default());
+        let mut vm = Vm::new(&p, VmOptions::default());
+        assert!(vm.run().ok());
+        vm.mem.read_f64_slice(p.symbol("out").unwrap(), inputs.len()).unwrap()
+    }
+
+    #[test]
+    fn soft_exp_accuracy() {
+        let xs: Vec<f64> = (-40..=40).map(|k| k as f64 * 0.37).collect();
+        for (x, got) in xs.iter().zip(eval("exp", &xs)) {
+            let want = x.exp();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-11, "exp({x}) = {got}, want {want} (rel {rel:e})");
+        }
+    }
+
+    #[test]
+    fn soft_log_accuracy() {
+        let xs: Vec<f64> = [1e-9, 1e-3, 0.1, 0.5, 0.99, 1.0, 1.01, 2.0, 10.0, 12345.0, 1e12]
+            .to_vec();
+        for (x, got) in xs.iter().zip(eval("log", &xs)) {
+            let want = x.ln();
+            let err = (got - want).abs() / want.abs().max(1e-3);
+            assert!(err < 1e-9, "log({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn soft_sin_accuracy() {
+        let xs: Vec<f64> = (-100..=100).map(|k| k as f64 * 0.173).collect();
+        for (x, got) in xs.iter().zip(eval("sin", &xs)) {
+            let want = x.sin();
+            let err = (got - want).abs();
+            assert!(err < 1e-10, "sin({x}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn soft_libm_lives_in_its_own_module() {
+        let mut ir = IrProgram::new("app");
+        let _ = install(&mut ir);
+        // functions get a dedicated module so the search can treat libm
+        // as an external library unit
+        assert!(ir.ignore_hints().is_empty());
+        let p = compile(
+            &{
+                ir.module("main");
+                let main = ir.func("main", &[], None, |_, _, _| vec![]);
+                ir.set_entry(main);
+                ir
+            },
+            &CompileOptions::default(),
+        );
+        assert!(p.modules.iter().any(|m| m.name == "libm"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Intra-node "MPI rank" runtime.
+//!
+//! The paper's Fig. 8 measures how instrumentation overhead scales with the
+//! number of MPI tasks on one node. We reproduce the setup with N
+//! interpreter instances on N OS threads, each executing a rank-specific
+//! program image (the workload generator writes `rank`/`nranks` into the
+//! data segment so each rank computes its shard). Like the NAS kernels'
+//! final `MPI_Reduce`, cross-rank reduction happens after completion via
+//! the caller-provided reducer.
+
+use crate::interp::{RunOutcome, Vm, VmOptions};
+use crate::program::Program;
+
+/// Result of a cluster run: per-rank outcomes, in rank order.
+#[derive(Debug)]
+pub struct ClusterOutcome {
+    /// One outcome per rank.
+    pub ranks: Vec<RunOutcome>,
+}
+
+impl ClusterOutcome {
+    /// True if every rank halted normally.
+    pub fn ok(&self) -> bool {
+        self.ranks.iter().all(|r| r.ok())
+    }
+
+    /// Total dynamic instructions across all ranks.
+    pub fn total_steps(&self) -> u64 {
+        self.ranks.iter().map(|r| r.stats.steps).sum()
+    }
+
+    /// Wall-clock-proxy: the slowest rank's step count (ranks run
+    /// concurrently, so the critical path is the maximum).
+    pub fn critical_steps(&self) -> u64 {
+        self.ranks.iter().map(|r| r.stats.steps).max().unwrap_or(0)
+    }
+}
+
+/// Run `nranks` rank-specialized programs concurrently, one OS thread each.
+///
+/// `make_rank(rank)` produces the program image for each rank (typically
+/// the same code with rank-dependent data). Each rank additionally gets a
+/// post-run inspection hook `collect(rank, &vm)` to extract partial
+/// results before the VM is dropped.
+pub fn run_ranks<T: Send>(
+    nranks: usize,
+    opts: &VmOptions,
+    make_rank: impl Fn(usize) -> Program + Sync,
+    collect: impl Fn(usize, &Vm<'_>) -> T + Sync,
+) -> (ClusterOutcome, Vec<T>) {
+    assert!(nranks > 0, "need at least one rank");
+    let mut slots: Vec<Option<(RunOutcome, T)>> = (0..nranks).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (rank, slot) in slots.iter_mut().enumerate() {
+            let opts = opts.clone();
+            let make_rank = &make_rank;
+            let collect = &collect;
+            s.spawn(move |_| {
+                let prog = make_rank(rank);
+                let mut vm = Vm::new(&prog, opts);
+                let outcome = vm.run();
+                let extra = collect(rank, &vm);
+                *slot = Some((outcome, extra));
+            });
+        }
+    })
+    .expect("rank thread panicked");
+    let (ranks, extras) = slots.into_iter().map(|s| s.expect("rank did not finish")).unzip();
+    (ClusterOutcome { ranks }, extras)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::*;
+    use crate::program::Program;
+
+    /// Each rank computes rank * 10 into memory; host reduces with a sum.
+    fn rank_prog(rank: usize) -> Program {
+        let mut p = Program::new(1 << 12);
+        let m = p.add_module("t");
+        let f = p.add_function(m, "main");
+        let b = p.add_block(f);
+        p.funcs[f.0 as usize].entry = b;
+        p.entry = f;
+        p.globals = vec![0u8; 16];
+        p.globals[..8].copy_from_slice(&(rank as u64).to_le_bytes());
+        p.push_insn(b, InstKind::MovI { dst: GM::Reg(Gpr::RAX), src: GMI::Mem(MemRef::abs(0)) });
+        p.push_insn(b, InstKind::IntAlu { op: IntOp::Mul, dst: Gpr::RAX, src: GMI::Imm(10) });
+        p.push_insn(b, InstKind::MovI { dst: GM::Mem(MemRef::abs(8)), src: GMI::Reg(Gpr::RAX) });
+        p.block_mut(b).term = Terminator::Halt;
+        p
+    }
+
+    #[test]
+    fn ranks_run_concurrently_and_reduce() {
+        let opts = crate::interp::VmOptions::default();
+        let (outcome, partials) =
+            run_ranks(4, &opts, rank_prog, |_, vm| vm.mem.load_u64(8).unwrap());
+        assert!(outcome.ok());
+        assert_eq!(partials, vec![0, 10, 20, 30]);
+        assert_eq!(outcome.ranks.len(), 4);
+        assert!(outcome.critical_steps() <= outcome.total_steps());
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let opts = crate::interp::VmOptions::default();
+        let (outcome, partials) =
+            run_ranks(1, &opts, rank_prog, |_, vm| vm.mem.load_u64(8).unwrap());
+        assert!(outcome.ok());
+        assert_eq!(partials, vec![0]);
+    }
+}

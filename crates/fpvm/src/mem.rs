@@ -1,0 +1,157 @@
+//! Flat byte-addressed memory with bounds-checked typed accessors.
+
+use crate::trap::Trap;
+
+/// The machine's memory: data segment at address 0, heap above it, stack
+/// descending from the top.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocate `size` zeroed bytes and copy `image` to address 0.
+    pub fn new(size: usize, image: &[u8]) -> Self {
+        let mut bytes = vec![0u8; size];
+        bytes[..image.len()].copy_from_slice(image);
+        Memory { bytes }
+    }
+
+    /// Memory size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    #[inline]
+    fn check(&self, addr: u64, size: usize) -> Result<usize, Trap> {
+        let a = addr as usize;
+        if addr > usize::MAX as u64 || a.checked_add(size).is_none_or(|end| end > self.bytes.len())
+        {
+            Err(Trap::OutOfBounds { addr, size })
+        } else {
+            Ok(a)
+        }
+    }
+
+    /// Load an unsigned 32-bit little-endian value.
+    #[inline]
+    pub fn load_u32(&self, addr: u64) -> Result<u32, Trap> {
+        let a = self.check(addr, 4)?;
+        Ok(u32::from_le_bytes(self.bytes[a..a + 4].try_into().unwrap()))
+    }
+
+    /// Load an unsigned 64-bit little-endian value.
+    #[inline]
+    pub fn load_u64(&self, addr: u64) -> Result<u64, Trap> {
+        let a = self.check(addr, 8)?;
+        Ok(u64::from_le_bytes(self.bytes[a..a + 8].try_into().unwrap()))
+    }
+
+    /// Load a 128-bit little-endian value.
+    #[inline]
+    pub fn load_u128(&self, addr: u64) -> Result<u128, Trap> {
+        let a = self.check(addr, 16)?;
+        Ok(u128::from_le_bytes(self.bytes[a..a + 16].try_into().unwrap()))
+    }
+
+    /// Store an unsigned 32-bit little-endian value.
+    #[inline]
+    pub fn store_u32(&mut self, addr: u64, v: u32) -> Result<(), Trap> {
+        let a = self.check(addr, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Store an unsigned 64-bit little-endian value.
+    #[inline]
+    pub fn store_u64(&mut self, addr: u64, v: u64) -> Result<(), Trap> {
+        let a = self.check(addr, 8)?;
+        self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Store a 128-bit little-endian value.
+    #[inline]
+    pub fn store_u128(&mut self, addr: u64, v: u128) -> Result<(), Trap> {
+        let a = self.check(addr, 16)?;
+        self.bytes[a..a + 16].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Read `n` consecutive f64 slots starting at `addr`, upcasting any
+    /// replaced (flagged) slots — the view a verification routine wants.
+    pub fn read_f64_slice(&self, addr: u64, n: usize) -> Result<Vec<f64>, Trap> {
+        (0..n)
+            .map(|i| Ok(crate::value::read_as_f64(self.load_u64(addr + 8 * i as u64)?)))
+            .collect()
+    }
+
+    /// Read `n` consecutive f32 slots starting at `addr`.
+    pub fn read_f32_slice(&self, addr: u64, n: usize) -> Result<Vec<f32>, Trap> {
+        (0..n).map(|i| Ok(f32::from_bits(self.load_u32(addr + 4 * i as u64)?))).collect()
+    }
+
+    /// Read `n` consecutive raw 64-bit slots starting at `addr` (no flag
+    /// interpretation) — used by bit-exactness experiments.
+    pub fn read_u64_slice(&self, addr: u64, n: usize) -> Result<Vec<u64>, Trap> {
+        (0..n).map(|i| self.load_u64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Read `n` consecutive i64 slots starting at `addr`.
+    pub fn read_i64_slice(&self, addr: u64, n: usize) -> Result<Vec<i64>, Trap> {
+        (0..n).map(|i| Ok(self.load_u64(addr + 8 * i as u64)? as i64)).collect()
+    }
+
+    /// Write a slice of f64 values starting at `addr`.
+    pub fn write_f64_slice(&mut self, addr: u64, vals: &[f64]) -> Result<(), Trap> {
+        for (i, v) in vals.iter().enumerate() {
+            self.store_u64(addr + 8 * i as u64, v.to_bits())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_endianness() {
+        let mut m = Memory::new(64, &[]);
+        m.store_u64(8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.load_u64(8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.load_u32(8).unwrap(), 0x5566_7788);
+        assert_eq!(m.load_u32(12).unwrap(), 0x1122_3344);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut m = Memory::new(16, &[]);
+        assert!(m.load_u64(9).is_err());
+        assert!(m.load_u64(16).is_err());
+        assert!(m.store_u128(1, 0).is_err());
+        assert!(m.load_u64(u64::MAX).is_err());
+        assert!(m.load_u64(8).is_ok());
+    }
+
+    #[test]
+    fn image_loaded_at_zero() {
+        let m = Memory::new(32, &[1, 2, 3, 4]);
+        assert_eq!(m.load_u32(0).unwrap(), 0x0403_0201);
+        assert_eq!(m.load_u32(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn f64_slice_upcasts_flags() {
+        let mut m = Memory::new(64, &[]);
+        m.store_u64(0, 2.5f64.to_bits()).unwrap();
+        m.store_u64(8, crate::value::replace(0.75)).unwrap();
+        let v = m.read_f64_slice(0, 2).unwrap();
+        assert_eq!(v, vec![2.5, 0.75]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Abnormal termination conditions.
+
+use crate::isa::InsnId;
+use std::fmt;
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Memory access outside the allocated address space.
+    OutOfBounds {
+        /// Faulting address.
+        addr: u64,
+        /// Access size in bytes.
+        size: usize,
+    },
+    /// Integer division by zero (or `i64::MIN / -1`).
+    DivByZero,
+    /// The step budget was exhausted before `Halt`.
+    FuelExhausted,
+    /// Call stack exceeded the depth limit.
+    CallDepth,
+    /// An *uninstrumented* double-precision operation consumed a replaced
+    /// (flagged) value — the deliberate crash-on-miss property of §2.3.
+    FlaggedNanConsumed {
+        /// The instruction that consumed the flagged value.
+        insn: InsnId,
+    },
+    /// Return executed with an empty call stack.
+    ReturnFromEntry,
+    /// A function with no entry block was called.
+    NoEntry,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfBounds { addr, size } => {
+                write!(f, "out-of-bounds access of {size} bytes at {addr:#x}")
+            }
+            Trap::DivByZero => write!(f, "integer division by zero"),
+            Trap::FuelExhausted => write!(f, "instruction budget exhausted"),
+            Trap::CallDepth => write!(f, "call stack overflow"),
+            Trap::FlaggedNanConsumed { insn } => {
+                write!(f, "uninstrumented instruction i{} consumed a replaced value", insn.0)
+            }
+            Trap::ReturnFromEntry => write!(f, "return with empty call stack"),
+            Trap::NoEntry => write!(f, "called function has no entry block"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}

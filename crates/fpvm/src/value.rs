@@ -1,0 +1,107 @@
+//! Bit-level representation of *replaced* doubles (paper §2.3, Fig. 5).
+//!
+//! A replaced value stores the 32 bits of the downcast single in the low
+//! half of the original 64-bit slot and the sentinel `0x7FF4DEAD` in the
+//! high half. The sentinel encodes a signalling-class NaN (`0x7FF4....`),
+//! so a replaced value consumed by an *uninstrumented* double operation
+//! never silently propagates — it poisons the result (and the interpreter
+//! can optionally trap, reproducing the "anything missed causes a crash"
+//! property). The low half of the sentinel, `0xDEAD`, is simply easy to
+//! spot in a hex dump.
+
+/// High 32 bits of a replaced double.
+pub const FLAG_HI: u32 = 0x7FF4_DEAD;
+
+/// The 64-bit mask form of the flag (`0x7FF4DEAD_00000000`).
+pub const FLAG_HI64: u64 = (FLAG_HI as u64) << 32;
+
+/// Mask selecting the high 32 bits of a 64-bit slot.
+pub const HI_MASK: u64 = 0xFFFF_FFFF_0000_0000;
+
+/// Is this 64-bit slot a replaced (flagged) double?
+#[inline]
+pub fn is_replaced(bits: u64) -> bool {
+    bits & HI_MASK == FLAG_HI64
+}
+
+/// Downcast a double to single precision and store it flagged in-place.
+#[inline]
+pub fn replace(x: f64) -> u64 {
+    FLAG_HI64 | (x as f32).to_bits() as u64
+}
+
+/// Build a flagged slot directly from single-precision bits.
+#[inline]
+pub fn replace_bits(s: u32) -> u64 {
+    FLAG_HI64 | s as u64
+}
+
+/// Extract the single-precision payload from a flagged slot.
+///
+/// The caller must have checked [`is_replaced`]; on unflagged slots this
+/// simply reinterprets the low 32 bits.
+#[inline]
+pub fn extract(bits: u64) -> f32 {
+    f32::from_bits(bits as u32)
+}
+
+/// Read a 64-bit slot at full precision: the flagged payload upcast to
+/// double, or the slot itself as a double.
+#[inline]
+pub fn read_as_f64(bits: u64) -> f64 {
+    if is_replaced(bits) {
+        extract(bits) as f64
+    } else {
+        f64::from_bits(bits)
+    }
+}
+
+/// Read a 64-bit slot as single precision: the flagged payload, or the
+/// double rounded to single.
+#[inline]
+pub fn read_as_f32(bits: u64) -> f32 {
+    if is_replaced(bits) {
+        extract(bits)
+    } else {
+        f64::from_bits(bits) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_is_a_nan() {
+        // Any replaced slot, interpreted blindly as f64, must be NaN so the
+        // program can never silently use it.
+        for x in [0.0_f64, 1.5, -3.25e10, f64::MIN_POSITIVE, 1e300] {
+            let r = replace(x);
+            assert!(f64::from_bits(r).is_nan());
+        }
+    }
+
+    #[test]
+    fn replace_roundtrip() {
+        for x in [0.0_f64, 1.0, -1.0, 3.141592653589793, 1e-30, -2.5e7] {
+            let r = replace(x);
+            assert!(is_replaced(r));
+            assert_eq!(extract(r), x as f32);
+            assert_eq!(read_as_f64(r), (x as f32) as f64);
+        }
+    }
+
+    #[test]
+    fn ordinary_doubles_are_not_flagged() {
+        for x in [0.0_f64, 1.0, -1.0, f64::NAN, f64::INFINITY, 1e308, 5e-324] {
+            assert!(!is_replaced(x.to_bits()));
+            assert_eq!(read_as_f64(x.to_bits()).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn sentinel_value_matches_paper() {
+        assert_eq!(FLAG_HI, 0x7FF4DEAD);
+        assert_eq!(FLAG_HI64, 0x7FF4_DEAD_0000_0000);
+    }
+}

@@ -1,0 +1,160 @@
+//! Intra-block forward dataflow for the *lean* snippet mode — the
+//! paper's §2.5 third optimization: "static data flow analysis could
+//! improve overheads by detecting instructions that never encounter
+//! replaced double-precision numbers under a given configuration".
+//!
+//! The analysis tracks, within one basic block, the set of XMM registers
+//! statically known to hold *plain* (unflagged) doubles. Block entry is
+//! all-unknown (the conservative choice: values may arrive flagged from
+//! predecessors or memory), so only locally-proven facts are used.
+
+use crate::snippets::{OperandFacts, SnippetPrec};
+use fpvm::isa::{FpLoc, Insn, InstKind, Prec, Width, RM};
+
+/// Tracks which XMM registers provably hold unflagged doubles.
+#[derive(Debug, Clone, Default)]
+pub struct PlainSet {
+    bits: u16,
+}
+
+impl PlainSet {
+    /// Empty (all unknown) — the state at block entry.
+    pub fn new() -> Self {
+        PlainSet::default()
+    }
+
+    /// Is `reg` known plain?
+    pub fn is_plain(&self, reg: u8) -> bool {
+        self.bits & (1 << reg) != 0
+    }
+
+    fn set(&mut self, reg: u8) {
+        self.bits |= 1 << reg;
+    }
+
+    fn clear(&mut self, reg: u8) {
+        self.bits &= !(1 << reg);
+    }
+
+    /// Facts for a candidate instruction about to be instrumented.
+    pub fn facts(&self, insn: &Insn) -> OperandFacts {
+        let (dst, src) = match &insn.kind {
+            InstKind::FpArith { dst, src, .. } => (Some(dst.0), reg_of(src)),
+            InstKind::FpUcomi { lhs, src, .. } => (Some(lhs.0), reg_of(src)),
+            InstKind::FpSqrt { src, .. }
+            | InstKind::FpMath { src, .. }
+            | InstKind::CvtF2I { src, .. }
+            | InstKind::CvtF2F { src, .. } => (None, reg_of(src)),
+            _ => (None, None),
+        };
+        OperandFacts {
+            dst_plain: dst.map(|r| self.is_plain(r)).unwrap_or(false),
+            src_plain: src.map(|r| self.is_plain(r)).unwrap_or(false),
+        }
+    }
+
+    /// Update the state after executing `insn`, given how (or whether) it
+    /// was instrumented: `Some(Single)` flags its output, `Some(Double)`
+    /// produces a plain double, `None` means copied untouched.
+    pub fn step(&mut self, insn: &Insn, instrumented: Option<SnippetPrec>) {
+        match &insn.kind {
+            InstKind::FpArith { dst, .. } | InstKind::FpSqrt { dst, .. } | InstKind::FpMath { dst, .. } => {
+                match instrumented {
+                    Some(SnippetPrec::Double) => self.set(dst.0),
+                    Some(SnippetPrec::Single) => self.clear(dst.0),
+                    // untouched (ignore flag, or single-precision original):
+                    // output is whatever the op produced; a plain double op
+                    // on unknown inputs may trap or produce plain — treat
+                    // as unknown.
+                    None => self.clear(dst.0),
+                }
+            }
+            InstKind::CvtI2F { dst, to: Prec::Double, .. } => self.set(dst.0),
+            InstKind::CvtI2F { dst, .. } => self.clear(dst.0),
+            InstKind::CvtF2F { to: Prec::Double, dst, .. } => self.set(dst.0),
+            InstKind::CvtF2F { dst, .. } => self.clear(dst.0),
+            InstKind::MovF { width, dst: FpLoc::Reg(d), src } => match (width, src) {
+                (Width::W64 | Width::W128, FpLoc::Reg(s)) => {
+                    if self.is_plain(s.0) {
+                        self.set(d.0);
+                    } else {
+                        self.clear(d.0);
+                    }
+                }
+                _ => self.clear(d.0),
+            },
+            InstKind::PInsrQ { dst, .. } => self.clear(dst.0),
+            InstKind::Call { .. } => {
+                // callee may clobber anything
+                self.bits = 0;
+            }
+            _ => {}
+        }
+    }
+}
+
+fn reg_of(src: &RM) -> Option<u8> {
+    match src {
+        RM::Reg(x) => Some(x.0),
+        RM::Mem(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm::isa::*;
+    use fpvm::program::Program;
+
+    fn insn(kind: InstKind) -> Insn {
+        let mut p = Program::new(64);
+        p.mk_insn(kind)
+    }
+
+    #[test]
+    fn cvt_from_int_is_plain() {
+        let mut s = PlainSet::new();
+        s.step(&insn(InstKind::CvtI2F { to: Prec::Double, dst: Xmm(3), src: GMI::Imm(7) }), None);
+        assert!(s.is_plain(3));
+        assert!(!s.is_plain(2));
+    }
+
+    #[test]
+    fn double_snippet_output_is_plain_single_is_not() {
+        let add = insn(InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+        let mut s = PlainSet::new();
+        s.step(&add, Some(SnippetPrec::Double));
+        assert!(s.is_plain(0));
+        s.step(&add, Some(SnippetPrec::Single));
+        assert!(!s.is_plain(0));
+    }
+
+    #[test]
+    fn moves_propagate_plainness() {
+        let mut s = PlainSet::new();
+        s.step(&insn(InstKind::CvtI2F { to: Prec::Double, dst: Xmm(1), src: GMI::Imm(1) }), None);
+        s.step(&insn(InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(2)), src: FpLoc::Reg(Xmm(1)) }), None);
+        assert!(s.is_plain(2));
+        // a load from memory makes the register unknown again
+        s.step(&insn(InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(2)), src: FpLoc::Mem(MemRef::abs(0)) }), None);
+        assert!(!s.is_plain(2));
+    }
+
+    #[test]
+    fn calls_clobber_everything() {
+        let mut s = PlainSet::new();
+        s.step(&insn(InstKind::CvtI2F { to: Prec::Double, dst: Xmm(1), src: GMI::Imm(1) }), None);
+        s.step(&insn(InstKind::Call { func: FuncId(0) }), None);
+        assert!(!s.is_plain(1));
+    }
+
+    #[test]
+    fn facts_reflect_state() {
+        let mut s = PlainSet::new();
+        s.step(&insn(InstKind::CvtI2F { to: Prec::Double, dst: Xmm(0), src: GMI::Imm(1) }), None);
+        let add = insn(InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+        let f = s.facts(&add);
+        assert!(f.dst_plain);
+        assert!(!f.src_plain);
+    }
+}

@@ -1,0 +1,414 @@
+//! The binary rewriter: basic-block patching (paper §2.4, Fig. 7) plus
+//! whole-program policy (§2.3).
+//!
+//! Given a program, its structure tree, and a precision configuration, the
+//! rewriter produces a *new* executable program in which each replacement
+//! candidate is either
+//!
+//! * expanded into a single-precision snippet (`s` flag),
+//! * expanded into a double-precision checking snippet (`d` flag — still
+//!   necessary once *any* replacement exists, because operands may arrive
+//!   replaced from elsewhere),
+//! * or copied untouched (`i`/ignore flag).
+//!
+//! Block patching follows the paper exactly: the block containing a victim
+//! instruction is split around it and the fall-through edge is routed
+//! through freshly generated snippet blocks; the copied original
+//! instructions keep their ids and addresses, so configurations and
+//! profiles stay valid against the rewritten binary.
+
+use crate::dataflow::PlainSet;
+use crate::snippets::{emit_snippet, Emitter, OperandFacts, SnippetPrec};
+use fpvm::isa::{BlockId, Insn};
+use fpvm::program::Program;
+use mpconfig::{Config, Flag, StructureTree};
+use std::collections::HashMap;
+
+/// Global rewriting policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriteMode {
+    /// Follow the configuration: if it replaces anything, every candidate
+    /// is instrumented at its effective precision; if it replaces nothing,
+    /// the program is returned unmodified.
+    Config,
+    /// Instrument every candidate with a double-precision snippet
+    /// regardless of the configuration — the semantics-preserving base
+    /// case used for the overhead measurements (Figs. 8–9).
+    AllDouble,
+}
+
+/// Rewriting options.
+#[derive(Debug, Clone)]
+pub struct RewriteOptions {
+    /// Policy.
+    pub mode: RewriteMode,
+    /// Enable the lean (dataflow-optimized) snippets of §2.5.
+    pub lean: bool,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions { mode: RewriteMode::Config, lean: false }
+    }
+}
+
+/// What the rewriter did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Candidates expanded into single-precision snippets.
+    pub single: usize,
+    /// Candidates expanded into double-precision snippets.
+    pub double_checked: usize,
+    /// Candidates left untouched due to an ignore flag.
+    pub ignored: usize,
+    /// Snippet instructions emitted in total.
+    pub snippet_insns: usize,
+}
+
+impl RewriteStats {
+    /// Total candidates instrumented.
+    pub fn instrumented(&self) -> usize {
+        self.single + self.double_checked
+    }
+}
+
+/// Rewrite `orig` under `cfg`. Returns the new program and statistics.
+///
+/// In `Config` mode with a configuration that replaces nothing, the
+/// original is cloned unmodified (stats all zero).
+pub fn rewrite(
+    orig: &Program,
+    tree: &StructureTree,
+    cfg: &Config,
+    opts: &RewriteOptions,
+) -> (Program, RewriteStats) {
+    let active = match opts.mode {
+        RewriteMode::AllDouble => true,
+        RewriteMode::Config => cfg.any_single(tree),
+    };
+    if !active {
+        return (orig.clone(), RewriteStats::default());
+    }
+
+    let mut out = Program::new(orig.mem_size);
+    out.globals = orig.globals.clone();
+    out.symbols = orig.symbols.clone();
+    let max_addr = orig.iter_insns().map(|(_, _, i)| i.addr).max().unwrap_or(0);
+    out.reserve_ids(orig.insn_id_bound() as u32, max_addr + 16);
+
+    // Replicate module and function shells with identical indices.
+    for m in &orig.modules {
+        out.add_module(m.name.clone());
+    }
+    for f in &orig.funcs {
+        let nf = out.add_function(f.module, f.name.clone());
+        debug_assert_eq!(nf.0, f.id.0);
+    }
+    out.entry = orig.entry;
+
+    let mut stats = RewriteStats::default();
+    let before_snippets = |p: &Program| p.insn_id_bound();
+    let base_ids = before_snippets(&out);
+
+    for f in &orig.funcs {
+        // Pre-create one head block per original block so terminators can
+        // be remapped after the whole function is emitted.
+        let mut remap: HashMap<BlockId, BlockId> = HashMap::new();
+        for &ob in &f.blocks {
+            remap.insert(ob, out.add_block(f.id));
+        }
+        out.funcs[f.id.0 as usize].entry = remap[&f.entry];
+
+        let mut fixups: Vec<(BlockId, fpvm::isa::Terminator)> = Vec::new();
+        for &ob in &f.blocks {
+            let oblk = orig.block(ob);
+            let mut cur = remap[&ob];
+            let mut plain = PlainSet::new();
+            for insn in &oblk.insns {
+                let decision = decide(insn, tree, cfg, opts.mode);
+                match decision {
+                    Decision::Copy => {
+                        plain.step(insn, None);
+                        out.blocks[cur.0 as usize].insns.push(insn.clone());
+                    }
+                    Decision::Ignore => {
+                        plain.step(insn, None);
+                        stats.ignored += 1;
+                        out.blocks[cur.0 as usize].insns.push(insn.clone());
+                    }
+                    Decision::Snippet(prec) => {
+                        let facts =
+                            if opts.lean { plain.facts(insn) } else { OperandFacts::default() };
+                        let mut e =
+                            Emitter { prog: &mut out, func: f.id, cur, origin: insn.id };
+                        emit_snippet(&mut e, insn, prec, facts);
+                        cur = e.cur;
+                        plain.step(insn, Some(prec));
+                        match prec {
+                            SnippetPrec::Single => stats.single += 1,
+                            SnippetPrec::Double => stats.double_checked += 1,
+                        }
+                    }
+                }
+            }
+            fixups.push((cur, oblk.term.clone()));
+        }
+        for (b, mut term) in fixups {
+            term.map_successors(|old| remap[&old]);
+            out.block_mut(b).term = term;
+        }
+    }
+
+    stats.snippet_insns = out.insn_id_bound() - base_ids;
+    debug_assert!(out.validate().is_ok(), "rewriter produced invalid program");
+    (out, stats)
+}
+
+enum Decision {
+    Copy,
+    Ignore,
+    Snippet(SnippetPrec),
+}
+
+fn decide(insn: &Insn, tree: &StructureTree, cfg: &Config, mode: RewriteMode) -> Decision {
+    if !insn.kind.is_candidate() || insn.origin.is_some() {
+        return Decision::Copy;
+    }
+    match mode {
+        RewriteMode::AllDouble => Decision::Snippet(SnippetPrec::Double),
+        RewriteMode::Config => match cfg.effective(tree, insn.id) {
+            Flag::Single => Decision::Snippet(SnippetPrec::Single),
+            Flag::Double => Decision::Snippet(SnippetPrec::Double),
+            Flag::Ignore => Decision::Ignore,
+        },
+    }
+}
+
+/// Convenience: instrument everything with double snippets (overhead base
+/// case).
+pub fn rewrite_all_double(orig: &Program, tree: &StructureTree) -> (Program, RewriteStats) {
+    rewrite(orig, tree, &Config::new(), &RewriteOptions { mode: RewriteMode::AllDouble, lean: false })
+}
+
+/// Dynamic replacement percentage for a configuration, measured against a
+/// profile of the *original* program: executed replaced candidates over
+/// executed candidates (the "Dynamic" column of the paper's Fig. 10).
+pub fn dynamic_replacement_pct(
+    tree: &StructureTree,
+    cfg: &Config,
+    profile: &fpvm::Profile,
+) -> f64 {
+    let mut total = 0u64;
+    let mut replaced = 0u64;
+    for id in tree.all_insns() {
+        let n = profile.count(id);
+        total += n;
+        if cfg.effective(tree, id) == Flag::Single {
+            replaced += n;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * replaced as f64 / total as f64
+    }
+}
+
+/// Sanity helper used by tests and examples: assert that the rewritten
+/// program contains a snippet chain (i.e. blocks grew).
+pub fn block_growth(orig: &Program, rewritten: &Program) -> usize {
+    rewritten.blocks.len().saturating_sub(orig.blocks.len())
+}
+
+#[allow(unused)]
+fn _assert_insn_small(i: &Insn) {
+    let _ = i;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpir::{
+        f, fadd, fdiv, fmul, for_, i, itof, ld, set, st, v, CompileOptions, FpWidth,
+        IrProgram,
+    };
+    use fpvm::{Vm, VmOptions};
+    use mpconfig::StructureTree;
+
+    /// sum_{k<8} (k*0.1) / 1.7 with a running product — numerically busy
+    /// enough that f32 differs from f64.
+    fn kernel() -> IrProgram {
+        let mut ir = IrProgram::new("kern");
+        let xs = ir.array_f64_init("x", (0..8).map(|k| k as f64 * 0.1).collect());
+        let out = ir.array_f64("out", 1);
+        let main = ir.func("main", &[], None, |ir, fr, _| {
+            let s = ir.local_f(fr);
+            let k = ir.local_i(fr);
+            vec![
+                set(s, f(0.0)),
+                for_(k, i(0), i(8), vec![
+                    set(s, fadd(v(s), fdiv(fmul(ld(xs, v(k)), itof(v(k))), f(1.7)))),
+                ]),
+                st(out, i(0), v(s)),
+            ]
+        });
+        ir.set_entry(main);
+        ir
+    }
+
+    fn run_out(p: &Program) -> (f64, fpvm::RunOutcome) {
+        let mut vm = Vm::new(p, VmOptions::default());
+        let o = vm.run();
+        assert!(o.ok(), "trapped: {:?}", o.result);
+        (vm.mem.read_f64_slice(p.symbol("out").unwrap(), 1).unwrap()[0], o)
+    }
+
+    #[test]
+    fn all_double_preserves_results_bit_for_bit() {
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let (want, base) = run_out(&p);
+        let tree = StructureTree::build(&p);
+        let (q, stats) = rewrite_all_double(&p, &tree);
+        assert!(stats.instrumented() > 0);
+        assert!(stats.snippet_insns > 0);
+        let (got, instr) = run_out(&q);
+        assert_eq!(got.to_bits(), want.to_bits());
+        // real overhead: the instrumented run executes more instructions
+        assert!(instr.stats.steps > base.stats.steps);
+        assert!(block_growth(&p, &q) > 0);
+    }
+
+    #[test]
+    fn all_single_matches_manual_f32_conversion_bit_for_bit() {
+        // §3.1: instrumented-all-single output must equal the manually
+        // converted (whole-program F32 lowering) output, bit for bit.
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let mut cfg = Config::new();
+        for mi in 0..tree.modules.len() {
+            cfg.set_module(tree.modules[mi].id, Flag::Single);
+        }
+        let (q, stats) = rewrite(&p, &tree, &cfg, &RewriteOptions::default());
+        assert_eq!(stats.single, tree.candidate_count());
+        let (got, _) = run_out(&q);
+
+        let manual = fpir::compile(&ir, &CompileOptions { fp: FpWidth::F32 });
+        let mut vm = Vm::new(&manual, VmOptions::default());
+        assert!(vm.run().ok());
+        let want = vm.mem.read_f32_slice(manual.symbol("out").unwrap(), 1).unwrap()[0];
+        assert_eq!((got as f32).to_bits(), want.to_bits());
+        // and it must differ from the double result (the kernel is lossy)
+        let (dbl, _) = run_out(&p);
+        assert_ne!(dbl.to_bits(), got.to_bits());
+    }
+
+    #[test]
+    fn empty_config_returns_unmodified_clone() {
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let (q, stats) = rewrite(&p, &tree, &Config::new(), &RewriteOptions::default());
+        assert_eq!(stats, RewriteStats::default());
+        assert_eq!(q.blocks.len(), p.blocks.len());
+    }
+
+    #[test]
+    fn partial_replacement_mixes_precisions() {
+        // Replace only the multiply; everything else double-checked. The
+        // result should be between pure-f32 and pure-f64 behaviour but
+        // must run cleanly (no crash-on-miss) with the trap armed.
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let ids = tree.all_insns();
+        let mut cfg = Config::new();
+        // pick the first candidate only
+        cfg.set_insn(ids[0], Flag::Single);
+        let (q, stats) = rewrite(&p, &tree, &cfg, &RewriteOptions::default());
+        assert_eq!(stats.single, 1);
+        assert_eq!(stats.double_checked, ids.len() - 1);
+        let (got, _) = run_out(&q);
+        let (dbl, _) = run_out(&p);
+        // close to the double result, but generally not identical
+        assert!((got - dbl).abs() < 1e-3);
+    }
+
+    #[test]
+    fn missed_instrumentation_crashes_loudly() {
+        // Force a miss: replace one producer with single but leave a
+        // consumer completely uninstrumented (ignore). The consumer reads
+        // a flagged value and must trap — the paper's crash-on-miss.
+        let mut ir = IrProgram::new("m");
+        let out = ir.array_f64("out", 1);
+        let main = ir.func("main", &[], None, |ir, fr, _| {
+            let a = ir.local_f(fr);
+            vec![
+                set(a, fmul(f(1.5), f(2.0))), // producer
+                st(out, i(0), fadd(v(a), f(1.0))), // consumer
+            ]
+        });
+        ir.set_entry(main);
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let ids = tree.all_insns();
+        assert_eq!(ids.len(), 2);
+        let mut cfg = Config::new();
+        cfg.set_insn(ids[0], Flag::Single);
+        cfg.set_insn(ids[1], Flag::Ignore);
+        let (q, stats) = rewrite(&p, &tree, &cfg, &RewriteOptions::default());
+        assert_eq!(stats.ignored, 1);
+        let mut vm = Vm::new(&q, VmOptions::default());
+        let o = vm.run();
+        assert!(
+            matches!(o.result, Err(fpvm::Trap::FlaggedNanConsumed { .. })),
+            "expected crash-on-miss, got {:?}",
+            o.result
+        );
+    }
+
+    #[test]
+    fn lean_mode_emits_fewer_snippet_instructions() {
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let (_, full) = rewrite(&p, &tree, &Config::new(), &RewriteOptions { mode: RewriteMode::AllDouble, lean: false });
+        let (q, lean) = rewrite(&p, &tree, &Config::new(), &RewriteOptions { mode: RewriteMode::AllDouble, lean: true });
+        assert!(lean.snippet_insns <= full.snippet_insns);
+        // lean must not change results
+        let (got, _) = run_out(&q);
+        let pbase = fpir::compile(&ir, &CompileOptions::default());
+        let (want, _) = run_out(&pbase);
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn dynamic_pct_uses_profile_counts() {
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let out = Vm::run_program(&p, VmOptions { profile: true, ..Default::default() });
+        let prof = out.profile.unwrap();
+        let mut cfg = Config::new();
+        assert_eq!(dynamic_replacement_pct(&tree, &cfg, &prof), 0.0);
+        for id in tree.all_insns() {
+            cfg.set_insn(id, Flag::Single);
+        }
+        assert!((dynamic_replacement_pct(&tree, &cfg, &prof) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instrumented_profile_attributes_snippets_to_origin() {
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let (q, _) = rewrite_all_double(&p, &tree);
+        // every snippet instruction knows its origin
+        for (_, _, insn) in q.iter_insns() {
+            if insn.id.0 as usize >= p.insn_id_bound() {
+                assert!(insn.origin.is_some());
+            }
+        }
+    }
+}

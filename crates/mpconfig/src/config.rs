@@ -1,0 +1,329 @@
+//! Precision configurations: `p → {single, double, ignore}` with
+//! parent-overrides-children aggregation (§2.1).
+
+use crate::tree::{NodeRef, StructureTree};
+use fpvm::isa::{BlockId, FuncId, InsnId, ModuleId};
+use std::collections::BTreeMap;
+
+/// A precision flag, as written in the first column of a configuration
+/// file: `s` (single), `d` (double), or `i` (ignore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flag {
+    /// Replace with the single-precision equivalent.
+    Single,
+    /// Keep double precision (but still instrument with a checking snippet
+    /// once any replacement exists anywhere).
+    Double,
+    /// Leave the instruction completely untouched — no snippet, no checks
+    /// (for unusual constructs like FP-trick random number generators).
+    Ignore,
+}
+
+impl Flag {
+    /// The single-character form used in configuration files.
+    pub fn letter(self) -> char {
+        match self {
+            Flag::Single => 's',
+            Flag::Double => 'd',
+            Flag::Ignore => 'i',
+        }
+    }
+
+    /// Parse the single-character form.
+    pub fn from_letter(c: char) -> Option<Flag> {
+        match c {
+            's' => Some(Flag::Single),
+            'd' => Some(Flag::Double),
+            'i' => Some(Flag::Ignore),
+            _ => None,
+        }
+    }
+}
+
+/// A precision configuration: explicit flags at any level of the program
+/// structure. An aggregate's flag overrides all flags below it; an
+/// instruction with no flag anywhere on its chain defaults to `Double`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Explicit module-level flags.
+    pub modules: BTreeMap<u32, Flag>,
+    /// Explicit function-level flags.
+    pub funcs: BTreeMap<u32, Flag>,
+    /// Explicit block-level flags.
+    pub blocks: BTreeMap<u32, Flag>,
+    /// Explicit instruction-level flags.
+    pub insns: BTreeMap<u32, Flag>,
+}
+
+impl Config {
+    /// The empty configuration (everything defaults to double).
+    pub fn new() -> Self {
+        Config::default()
+    }
+
+    /// Set a module flag.
+    pub fn set_module(&mut self, m: ModuleId, f: Flag) -> &mut Self {
+        self.modules.insert(m.0, f);
+        self
+    }
+
+    /// Set a function flag.
+    pub fn set_func(&mut self, x: FuncId, f: Flag) -> &mut Self {
+        self.funcs.insert(x.0, f);
+        self
+    }
+
+    /// Set a block flag.
+    pub fn set_block(&mut self, b: BlockId, f: Flag) -> &mut Self {
+        self.blocks.insert(b.0, f);
+        self
+    }
+
+    /// Set an instruction flag.
+    pub fn set_insn(&mut self, i: InsnId, f: Flag) -> &mut Self {
+        self.insns.insert(i.0, f);
+        self
+    }
+
+    /// Set a flag on an arbitrary tree node.
+    pub fn set_node(&mut self, tree: &StructureTree, node: NodeRef, f: Flag) -> &mut Self {
+        match node {
+            NodeRef::Module(mi) => self.set_module(tree.modules[mi].id, f),
+            NodeRef::Func(mi, fi) => self.set_func(tree.modules[mi].funcs[fi].id, f),
+            NodeRef::Block(mi, fi, bi) => {
+                self.set_block(tree.modules[mi].funcs[fi].blocks[bi].id, f)
+            }
+            NodeRef::Insn(mi, fi, bi, ii) => {
+                self.set_insn(tree.modules[mi].funcs[fi].blocks[bi].insns[ii].id, f)
+            }
+        }
+    }
+
+    /// Remove the flag from a tree node, if any.
+    pub fn clear_node(&mut self, tree: &StructureTree, node: NodeRef) -> &mut Self {
+        match node {
+            NodeRef::Module(mi) => {
+                self.modules.remove(&tree.modules[mi].id.0);
+            }
+            NodeRef::Func(mi, fi) => {
+                self.funcs.remove(&tree.modules[mi].funcs[fi].id.0);
+            }
+            NodeRef::Block(mi, fi, bi) => {
+                self.blocks.remove(&tree.modules[mi].funcs[fi].blocks[bi].id.0);
+            }
+            NodeRef::Insn(mi, fi, bi, ii) => {
+                self.insns.remove(&tree.modules[mi].funcs[fi].blocks[bi].insns[ii].id.0);
+            }
+        }
+        self
+    }
+
+    /// Explicit flag on a node, if any.
+    pub fn node_flag(&self, tree: &StructureTree, node: NodeRef) -> Option<Flag> {
+        match node {
+            NodeRef::Module(mi) => self.modules.get(&tree.modules[mi].id.0).copied(),
+            NodeRef::Func(mi, fi) => self.funcs.get(&tree.modules[mi].funcs[fi].id.0).copied(),
+            NodeRef::Block(mi, fi, bi) => {
+                self.blocks.get(&tree.modules[mi].funcs[fi].blocks[bi].id.0).copied()
+            }
+            NodeRef::Insn(mi, fi, bi, ii) => {
+                self.insns.get(&tree.modules[mi].funcs[fi].blocks[bi].insns[ii].id.0).copied()
+            }
+        }
+    }
+
+    /// Effective flag of a candidate instruction under parent-override
+    /// semantics: the *outermost* flagged ancestor wins (an aggregate flag
+    /// "overrides any flags specified for its children"); with no flag on
+    /// the chain, the default is `Double`.
+    pub fn effective(&self, tree: &StructureTree, id: InsnId) -> Flag {
+        let Some((b, f, m)) = tree.parents(id) else {
+            return Flag::Double;
+        };
+        if let Some(&fl) = self.modules.get(&m.0) {
+            return fl;
+        }
+        if let Some(&fl) = self.funcs.get(&f.0) {
+            return fl;
+        }
+        if let Some(&fl) = self.blocks.get(&b.0) {
+            return fl;
+        }
+        self.insns.get(&id.0).copied().unwrap_or(Flag::Double)
+    }
+
+    /// Union of two configurations' *single* replacements: used to compose
+    /// the "final" configuration from all individually passing
+    /// configurations (§2.2). Flags other than `Single` are not merged.
+    pub fn union_single(&self, other: &Config) -> Config {
+        let mut out = self.clone();
+        for (k, v) in &other.modules {
+            if *v == Flag::Single {
+                out.modules.insert(*k, *v);
+            }
+        }
+        for (k, v) in &other.funcs {
+            if *v == Flag::Single {
+                out.funcs.insert(*k, *v);
+            }
+        }
+        for (k, v) in &other.blocks {
+            if *v == Flag::Single {
+                out.blocks.insert(*k, *v);
+            }
+        }
+        for (k, v) in &other.insns {
+            if *v == Flag::Single {
+                out.insns.insert(*k, *v);
+            }
+        }
+        out
+    }
+
+    /// Candidate instructions whose effective flag is `Single`.
+    pub fn replaced_insns(&self, tree: &StructureTree) -> Vec<InsnId> {
+        tree.all_insns()
+            .into_iter()
+            .filter(|&i| self.effective(tree, i) == Flag::Single)
+            .collect()
+    }
+
+    /// Static replacement percentage: replaced candidates / all candidates.
+    pub fn static_replacement_pct(&self, tree: &StructureTree) -> f64 {
+        let total = tree.candidate_count();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.replaced_insns(tree).len() as f64 / total as f64
+    }
+
+    /// True if any instruction is effectively replaced — which forces the
+    /// rewriter to instrument *every* FP instruction (§2.3).
+    pub fn any_single(&self, tree: &StructureTree) -> bool {
+        tree.all_insns().iter().any(|&i| self.effective(tree, i) == Flag::Single)
+    }
+
+    /// Number of explicit flag entries (any level).
+    pub fn len(&self) -> usize {
+        self.modules.len() + self.funcs.len() + self.blocks.len() + self.insns.len()
+    }
+
+    /// True if no explicit flags are set.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::StructureTree;
+    use fpvm::isa::*;
+    use fpvm::program::Program;
+
+    fn prog() -> Program {
+        let mut p = Program::new(1 << 12);
+        let m = p.add_module("m");
+        let f1 = p.add_function(m, "main");
+        let b1 = p.add_block(f1);
+        p.funcs[f1.0 as usize].entry = b1;
+        p.entry = f1;
+        let b2 = p.add_block(f1);
+        for b in [b1, b2] {
+            for _ in 0..2 {
+                p.push_insn(b, InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+            }
+        }
+        p.block_mut(b1).term = Terminator::Jmp(b2);
+        p
+    }
+
+    #[test]
+    fn default_is_double() {
+        let p = prog();
+        let t = StructureTree::build(&p);
+        let c = Config::new();
+        for i in t.all_insns() {
+            assert_eq!(c.effective(&t, i), Flag::Double);
+        }
+        assert!(!c.any_single(&t));
+        assert_eq!(c.static_replacement_pct(&t), 0.0);
+    }
+
+    #[test]
+    fn parent_overrides_child() {
+        let p = prog();
+        let t = StructureTree::build(&p);
+        let ids = t.all_insns();
+        let mut c = Config::new();
+        // instruction says single…
+        c.set_insn(ids[0], Flag::Single);
+        assert_eq!(c.effective(&t, ids[0]), Flag::Single);
+        // …but its function says double: function wins.
+        let (_, f, _) = t.parents(ids[0]).unwrap();
+        c.set_func(f, Flag::Double);
+        assert_eq!(c.effective(&t, ids[0]), Flag::Double);
+        // …and the module saying single overrides the function.
+        let m = t.func_parent(f).unwrap();
+        c.set_module(m, Flag::Single);
+        assert_eq!(c.effective(&t, ids[0]), Flag::Single);
+        assert_eq!(c.effective(&t, ids[3]), Flag::Single);
+    }
+
+    #[test]
+    fn block_level_flags() {
+        let p = prog();
+        let t = StructureTree::build(&p);
+        let ids = t.all_insns();
+        let (b0, _, _) = t.parents(ids[0]).unwrap();
+        let mut c = Config::new();
+        c.set_block(b0, Flag::Single);
+        assert_eq!(c.effective(&t, ids[0]), Flag::Single);
+        assert_eq!(c.effective(&t, ids[1]), Flag::Single);
+        assert_eq!(c.effective(&t, ids[2]), Flag::Double);
+        assert_eq!(c.static_replacement_pct(&t), 50.0);
+    }
+
+    #[test]
+    fn union_merges_only_single() {
+        let p = prog();
+        let t = StructureTree::build(&p);
+        let ids = t.all_insns();
+        let mut a = Config::new();
+        a.set_insn(ids[0], Flag::Single);
+        let mut b = Config::new();
+        b.set_insn(ids[1], Flag::Single);
+        b.set_insn(ids[2], Flag::Double); // not merged
+        let u = a.union_single(&b);
+        assert_eq!(u.effective(&t, ids[0]), Flag::Single);
+        assert_eq!(u.effective(&t, ids[1]), Flag::Single);
+        assert_eq!(u.effective(&t, ids[2]), Flag::Double);
+        assert_eq!(u.insns.len(), 2);
+    }
+
+    #[test]
+    fn ignore_flag_propagates() {
+        let p = prog();
+        let t = StructureTree::build(&p);
+        let ids = t.all_insns();
+        let (_, f, _) = t.parents(ids[0]).unwrap();
+        let mut c = Config::new();
+        c.set_func(f, Flag::Ignore);
+        for i in &ids {
+            assert_eq!(c.effective(&t, *i), Flag::Ignore);
+        }
+    }
+
+    #[test]
+    fn set_and_clear_node() {
+        let p = prog();
+        let t = StructureTree::build(&p);
+        let root = t.roots()[0];
+        let mut c = Config::new();
+        c.set_node(&t, root, Flag::Single);
+        assert!(c.any_single(&t));
+        assert_eq!(c.node_flag(&t, root), Some(Flag::Single));
+        c.clear_node(&t, root);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! A terminal analogue of the paper's graphical configuration editor
+//! (Fig. 4): renders the structure tree with per-node flags and effective
+//! precision, and exposes toggle operations for interactive adjustment.
+
+use crate::config::{Config, Flag};
+use crate::tree::{NodeRef, StructureTree};
+use std::fmt::Write as _;
+
+/// Render the structure tree with flags. Explicit flags appear in
+/// brackets; instructions additionally show their *effective* precision,
+/// so an analyst can see aggregate overrides at a glance.
+pub fn render_tree(tree: &StructureTree, cfg: &Config) -> String {
+    let mut out = String::new();
+    for (mi, m) in tree.modules.iter().enumerate() {
+        let node = NodeRef::Module(mi);
+        let _ = writeln!(out, "{} {}", badge(cfg.node_flag(tree, node)), tree.label(node));
+        for (fi, fun) in m.funcs.iter().enumerate() {
+            let node = NodeRef::Func(mi, fi);
+            let _ = writeln!(out, "  {} {}", badge(cfg.node_flag(tree, node)), tree.label(node));
+            for (bi, blk) in fun.blocks.iter().enumerate() {
+                let node = NodeRef::Block(mi, fi, bi);
+                let _ =
+                    writeln!(out, "    {} {}", badge(cfg.node_flag(tree, node)), tree.label(node));
+                for (ii, e) in blk.insns.iter().enumerate() {
+                    let node = NodeRef::Insn(mi, fi, bi, ii);
+                    let eff = cfg.effective(tree, e.id);
+                    let _ = writeln!(
+                        out,
+                        "      {} [{}] {}",
+                        badge(cfg.node_flag(tree, node)),
+                        eff.letter(),
+                        tree.label(node)
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn badge(f: Option<Flag>) -> String {
+    match f {
+        Some(fl) => format!("({})", fl.letter()),
+        None => "( )".to_string(),
+    }
+}
+
+/// Cycle a node's flag: none → single → double → ignore → none.
+/// Returns the new explicit flag.
+pub fn toggle(tree: &StructureTree, cfg: &mut Config, node: NodeRef) -> Option<Flag> {
+    let next = match cfg.node_flag(tree, node) {
+        None => Some(Flag::Single),
+        Some(Flag::Single) => Some(Flag::Double),
+        Some(Flag::Double) => Some(Flag::Ignore),
+        Some(Flag::Ignore) => None,
+    };
+    match next {
+        Some(f) => {
+            cfg.set_node(tree, node, f);
+        }
+        None => {
+            cfg.clear_node(tree, node);
+        }
+    }
+    next
+}
+
+/// Summary statistics shown in the editor's status bar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeStats {
+    /// Total candidate instructions.
+    pub candidates: usize,
+    /// Candidates effectively replaced with single precision.
+    pub replaced: usize,
+    /// Candidates effectively ignored.
+    pub ignored: usize,
+}
+
+/// Compute summary statistics for the status display.
+pub fn stats(tree: &StructureTree, cfg: &Config) -> TreeStats {
+    let mut s = TreeStats { candidates: 0, replaced: 0, ignored: 0 };
+    for id in tree.all_insns() {
+        s.candidates += 1;
+        match cfg.effective(tree, id) {
+            Flag::Single => s.replaced += 1,
+            Flag::Ignore => s.ignored += 1,
+            Flag::Double => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm::isa::*;
+    use fpvm::program::Program;
+
+    fn tree() -> (Program, StructureTree) {
+        let mut p = Program::new(1 << 12);
+        let m = p.add_module("m");
+        let f = p.add_function(m, "main");
+        let b = p.add_block(f);
+        p.funcs[f.0 as usize].entry = b;
+        p.entry = f;
+        for _ in 0..3 {
+            p.push_insn(b, InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+        }
+        let t = StructureTree::build(&p);
+        (p, t)
+    }
+
+    #[test]
+    fn toggle_cycles_through_states() {
+        let (_p, t) = tree();
+        let mut cfg = Config::new();
+        let node = t.roots()[0];
+        assert_eq!(toggle(&t, &mut cfg, node), Some(Flag::Single));
+        assert_eq!(toggle(&t, &mut cfg, node), Some(Flag::Double));
+        assert_eq!(toggle(&t, &mut cfg, node), Some(Flag::Ignore));
+        assert_eq!(toggle(&t, &mut cfg, node), None);
+        assert!(cfg.is_empty());
+    }
+
+    #[test]
+    fn render_shows_effective_precision() {
+        let (_p, t) = tree();
+        let mut cfg = Config::new();
+        cfg.set_node(&t, t.roots()[0], Flag::Single);
+        let s = render_tree(&t, &cfg);
+        assert!(s.contains("(s) MODULE m"));
+        // instructions show effective 's' even without explicit flags
+        assert!(s.contains("( ) [s]"));
+    }
+
+    #[test]
+    fn stats_count_effective_flags() {
+        let (_p, t) = tree();
+        let ids = t.all_insns();
+        let mut cfg = Config::new();
+        cfg.set_insn(ids[0], Flag::Single);
+        cfg.set_insn(ids[1], Flag::Ignore);
+        let s = stats(&t, &cfg);
+        assert_eq!(s, TreeStats { candidates: 3, replaced: 1, ignored: 1 });
+    }
+}

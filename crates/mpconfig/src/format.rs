@@ -1,0 +1,264 @@
+//! The plain-text configuration exchange format (paper Fig. 3).
+//!
+//! The printer emits the program structure with one line per module,
+//! function, basic block, and candidate instruction, indentation for
+//! readability, and an optional flag letter (`s`/`d`/`i`) in the first
+//! column. The parser accepts the same format and resolves entries back to
+//! program ids: instructions by code address, blocks by number, functions
+//! and modules by name.
+//!
+//! ```text
+//! MODULE01: ep
+//!   FUNC01: main()
+//!     BBLK01
+//!       s INSN01: 0x6f45ce "addsd %xmm1, %xmm0"
+//!       d INSN02: 0x6f45d7 "mulsd %xmm2, %xmm1"
+//!   s FUNC02: split()
+//!     BBLK02
+//!       d INSN03: 0x6f824c "divsd %xmm2, %xmm1"
+//! ```
+
+use crate::config::{Config, Flag};
+use crate::tree::{NodeRef, StructureTree};
+use std::fmt::Write as _;
+
+/// Render a configuration against its structure tree in the exchange
+/// format.
+pub fn print_config(tree: &StructureTree, cfg: &Config) -> String {
+    let mut out = String::new();
+    let mut insn_no = 1usize;
+    for (mi, m) in tree.modules.iter().enumerate() {
+        let mflag = cfg.node_flag(tree, NodeRef::Module(mi));
+        let _ = writeln!(out, "{}MODULE{:02}: {}", flag_prefix(mflag), mi + 1, m.name);
+        for (fi, fun) in m.funcs.iter().enumerate() {
+            let fflag = cfg.node_flag(tree, NodeRef::Func(mi, fi));
+            let _ = writeln!(out, "  {}FUNC{:02}: {}()", flag_prefix(fflag), fi + 1, fun.name);
+            for (bi, blk) in fun.blocks.iter().enumerate() {
+                let bflag = cfg.node_flag(tree, NodeRef::Block(mi, fi, bi));
+                let _ = writeln!(out, "    {}BBLK{:02}", flag_prefix(bflag), blk.id.0);
+                for (ii, e) in blk.insns.iter().enumerate() {
+                    let iflag = cfg.node_flag(tree, NodeRef::Insn(mi, fi, bi, ii));
+                    let _ = writeln!(
+                        out,
+                        "      {}INSN{:02}: {:#x} \"{}\"",
+                        flag_prefix(iflag),
+                        insn_no,
+                        e.addr,
+                        e.disasm
+                    );
+                    insn_no += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn flag_prefix(f: Option<Flag>) -> String {
+    match f {
+        Some(fl) => format!("{} ", fl.letter()),
+        None => String::new(),
+    }
+}
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a configuration in the exchange format against a structure tree.
+pub fn parse_config(tree: &StructureTree, text: &str) -> Result<Config, ParseError> {
+    let mut cfg = Config::new();
+    // Cursors tracking the current module/function position by name.
+    let mut cur_module: Option<usize> = None;
+    let mut cur_func: Option<(usize, usize)> = None;
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = ln + 1;
+        let t = raw.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        // Optional flag letter followed by whitespace.
+        let (flag, rest) = match t.split_once(char::is_whitespace) {
+            Some((tok, rest)) if tok.len() == 1 => match Flag::from_letter(tok.chars().next().unwrap()) {
+                Some(f) => (Some(f), rest.trim_start()),
+                None => (None, t),
+            },
+            _ => (None, t),
+        };
+
+        if let Some(body) = rest.strip_prefix("MODULE") {
+            let name = after_colon(body, line)?;
+            let mi = tree
+                .modules
+                .iter()
+                .position(|m| m.name == name)
+                .ok_or_else(|| err(line, format!("unknown module `{name}`")))?;
+            cur_module = Some(mi);
+            cur_func = None;
+            if let Some(f) = flag {
+                cfg.set_module(tree.modules[mi].id, f);
+            }
+        } else if let Some(body) = rest.strip_prefix("FUNC") {
+            let name = after_colon(body, line)?;
+            let name = name.trim_end_matches("()");
+            let mi = cur_module.ok_or_else(|| err(line, "FUNC before any MODULE".into()))?;
+            let fi = tree.modules[mi]
+                .funcs
+                .iter()
+                .position(|f| f.name == name)
+                .ok_or_else(|| err(line, format!("unknown function `{name}`")))?;
+            cur_func = Some((mi, fi));
+            if let Some(f) = flag {
+                cfg.set_func(tree.modules[mi].funcs[fi].id, f);
+            }
+        } else if let Some(body) = rest.strip_prefix("BBLK") {
+            let num: u32 = body
+                .trim()
+                .trim_end_matches(':')
+                .parse()
+                .map_err(|_| err(line, format!("bad block number `{body}`")))?;
+            let (mi, fi) =
+                cur_func.ok_or_else(|| err(line, "BBLK before any FUNC".into()))?;
+            let node = tree.modules[mi].funcs[fi]
+                .blocks
+                .iter()
+                .find(|b| b.id.0 == num)
+                .ok_or_else(|| err(line, format!("block {num} not in current function")))?;
+            if let Some(f) = flag {
+                cfg.set_block(node.id, f);
+            }
+        } else if let Some(body) = rest.strip_prefix("INSN") {
+            // INSNxx: 0xADDR "disasm" — identity comes from the address.
+            let after = after_colon(body, line)?;
+            let addr_tok = after.split_whitespace().next().unwrap_or("");
+            let addr = parse_addr(addr_tok)
+                .ok_or_else(|| err(line, format!("bad instruction address `{addr_tok}`")))?;
+            let id = tree
+                .insn_by_addr(addr)
+                .ok_or_else(|| err(line, format!("no candidate instruction at {addr:#x}")))?;
+            if let Some(f) = flag {
+                cfg.set_insn(id, f);
+            }
+        } else {
+            return Err(err(line, format!("unrecognized line `{t}`")));
+        }
+    }
+    Ok(cfg)
+}
+
+fn after_colon(s: &str, line: usize) -> Result<&str, ParseError> {
+    s.split_once(':')
+        .map(|(_, rest)| rest.trim())
+        .ok_or_else(|| err(line, "expected `:`".into()))
+}
+
+fn parse_addr(tok: &str) -> Option<u64> {
+    let t = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X"))?;
+    u64::from_str_radix(t, 16).ok()
+}
+
+fn err(line: usize, msg: String) -> ParseError {
+    ParseError { line, msg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm::isa::*;
+    use fpvm::program::Program;
+
+    fn prog() -> Program {
+        let mut p = Program::new(1 << 12);
+        let m = p.add_module("ep");
+        let f1 = p.add_function(m, "main");
+        let b1 = p.add_block(f1);
+        p.funcs[f1.0 as usize].entry = b1;
+        p.entry = f1;
+        let f2 = p.add_function(m, "split");
+        let b2 = p.add_block(f2);
+        p.funcs[f2.0 as usize].entry = b2;
+        for b in [b1, b2] {
+            for op in [FpAluOp::Add, FpAluOp::Mul, FpAluOp::Div] {
+                p.push_insn(b, InstKind::FpArith { op, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+            }
+        }
+        p.block_mut(b2).term = Terminator::Ret;
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_flags() {
+        let p = prog();
+        let t = crate::tree::StructureTree::build(&p);
+        let ids = t.all_insns();
+        let mut cfg = Config::new();
+        cfg.set_insn(ids[0], Flag::Single);
+        cfg.set_insn(ids[1], Flag::Double);
+        cfg.set_insn(ids[2], Flag::Ignore);
+        cfg.set_func(t.modules[0].funcs[1].id, Flag::Single);
+        let text = print_config(&t, &cfg);
+        let parsed = parse_config(&t, &text).unwrap();
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn printed_format_matches_paper_shape() {
+        let p = prog();
+        let t = crate::tree::StructureTree::build(&p);
+        let mut cfg = Config::new();
+        cfg.set_insn(t.all_insns()[0], Flag::Single);
+        let text = print_config(&t, &cfg);
+        assert!(text.contains("MODULE01: ep"));
+        assert!(text.contains("FUNC01: main()"));
+        assert!(text.contains("BBLK"));
+        assert!(text.contains("s INSN01:"));
+        assert!(text.contains("\"addsd %xmm1, %xmm0\""));
+    }
+
+    #[test]
+    fn empty_and_comment_lines_ignored() {
+        let p = prog();
+        let t = crate::tree::StructureTree::build(&p);
+        let text = "# comment\n\nMODULE01: ep\n  FUNC01: main()\n";
+        let cfg = parse_config(&t, text).unwrap();
+        assert!(cfg.is_empty());
+    }
+
+    #[test]
+    fn unknown_names_error_with_line() {
+        let p = prog();
+        let t = crate::tree::StructureTree::build(&p);
+        let e = parse_config(&t, "MODULE01: nope\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_config(&t, "MODULE01: ep\n  FUNC01: nope()\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn aggregate_flag_on_function_line() {
+        let p = prog();
+        let t = crate::tree::StructureTree::build(&p);
+        let text = "MODULE01: ep\n  s FUNC02: split()\n";
+        let cfg = parse_config(&t, text).unwrap();
+        let split_id = t.modules[0].funcs[1].id;
+        assert_eq!(cfg.funcs.get(&split_id.0), Some(&Flag::Single));
+        // all of split()'s instructions are effectively single
+        for e in &t.modules[0].funcs[1].blocks[0].insns {
+            assert_eq!(cfg.effective(&t, e.id), Flag::Single);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # mpconfig — precision configurations
+//!
+//! The paper's configuration layer (§2.1): a mapping from every
+//! double-precision candidate instruction to `single | double | ignore`,
+//! aggregated over the program structure (module → function → block →
+//! instruction) with parent-overrides-children semantics; a human-readable
+//! text exchange format (Fig. 3); and a terminal analogue of the graphical
+//! configuration editor (Fig. 4).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod editor;
+pub mod format;
+pub mod tree;
+
+pub use config::{Config, Flag};
+pub use format::{parse_config, print_config, ParseError};
+pub use tree::{NodeRef, StructureTree};

@@ -1,0 +1,63 @@
+//! Configuration evaluation: rewrite → run → verify.
+
+use fpvm::program::Program;
+use fpvm::{Vm, VmOptions};
+use instrument::{rewrite, RewriteOptions};
+use mpconfig::{Config, StructureTree};
+
+/// Something that can judge a precision configuration. `evaluate` must be
+/// thread-safe: the search calls it from many workers at once.
+pub trait Evaluator: Sync {
+    /// Build the mixed-precision binary for `cfg`, run it on the
+    /// representative data set, and apply the verification routine.
+    fn evaluate(&self, cfg: &Config) -> bool;
+}
+
+/// The standard evaluator: instruments a program under the configuration,
+/// executes it in a fresh VM, and applies a user verification closure to
+/// the final machine state (paper Fig. 2's "Data Set + Verification
+/// Routine" box).
+pub struct VmEvaluator<'p> {
+    /// The original program.
+    pub prog: &'p Program,
+    /// Its structure tree.
+    pub tree: &'p StructureTree,
+    /// Interpreter options for evaluation runs.
+    pub vm_opts: VmOptions,
+    /// Rewriter options (mode is always `Config` here; `lean` selectable).
+    pub rewrite_opts: RewriteOptions,
+    /// The verification routine: inspects the halted machine and decides
+    /// whether the output is acceptable.
+    pub verify: Box<dyn Fn(&Vm<'_>) -> bool + Sync + Send>,
+}
+
+impl<'p> VmEvaluator<'p> {
+    /// Construct with default VM/rewrite options.
+    pub fn new(
+        prog: &'p Program,
+        tree: &'p StructureTree,
+        verify: impl Fn(&Vm<'_>) -> bool + Sync + Send + 'static,
+    ) -> Self {
+        VmEvaluator {
+            prog,
+            tree,
+            vm_opts: VmOptions::default(),
+            rewrite_opts: RewriteOptions::default(),
+            verify: Box::new(verify),
+        }
+    }
+}
+
+impl Evaluator for VmEvaluator<'_> {
+    fn evaluate(&self, cfg: &Config) -> bool {
+        let (instrumented, _) = rewrite(self.prog, self.tree, cfg, &self.rewrite_opts);
+        let mut vm = Vm::new(&instrumented, self.vm_opts.clone());
+        let outcome = vm.run();
+        if !outcome.ok() {
+            // Any trap — including crash-on-miss and fuel exhaustion — is a
+            // verification failure.
+            return false;
+        }
+        (self.verify)(&vm)
+    }
+}

@@ -1,0 +1,29 @@
+//! # mpsearch — the automatic breadth-first precision search
+//!
+//! Implements the paper's §2.2: a work-queue search through the program
+//! structure (modules → functions → basic blocks → instructions) that
+//! finds the coarsest granularity at which each part of the program can be
+//! replaced by single precision while still passing an
+//! application-defined verification routine.
+//!
+//! Both of the paper's optimizations are implemented and individually
+//! switchable (for the ablation benches):
+//!
+//! * **binary splitting** — a failed aggregate with many children is split
+//!   into two half-sized intermediate partitions instead of immediately
+//!   enqueueing every child;
+//! * **profile prioritization** — configurations replacing the most
+//!   frequently executed instructions are tested first.
+//!
+//! Evaluation is parallel: the queue is drained by a pool of worker
+//! threads ("this process is highly parallelizable", §2.2).
+
+#![warn(missing_docs)]
+
+pub mod evaluator;
+pub mod report;
+pub mod search;
+
+pub use evaluator::{Evaluator, VmEvaluator};
+pub use report::{PassingUnit, SearchReport};
+pub use search::{search, SearchOptions, StopDepth};

@@ -1,0 +1,67 @@
+//! Search results, in the shape of the paper's Fig. 10 rows.
+
+use mpconfig::{Config, NodeRef};
+use std::time::Duration;
+
+/// A structural unit that individually passed verification when replaced
+/// with single precision.
+#[derive(Debug, Clone)]
+pub struct PassingUnit {
+    /// The node (or, for binary-split partitions, the covering parent with
+    /// an explicit child subset).
+    pub node: NodeRef,
+    /// Human-readable label.
+    pub label: String,
+    /// Number of candidate instructions covered.
+    pub insns: usize,
+}
+
+/// The outcome of an automatic search.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Number of replacement-candidate instructions considered
+    /// (the "Candidates" column of Fig. 10).
+    pub candidates: usize,
+    /// Total configurations evaluated ("Tested").
+    pub configs_tested: usize,
+    /// Structural units whose individual replacement passed.
+    pub passing: Vec<PassingUnit>,
+    /// Instructions that failed even at instruction granularity.
+    pub failed_insns: usize,
+    /// The union ("final") configuration.
+    pub final_config: Config,
+    /// Verification result of the final composed configuration
+    /// ("Final Verification" — may legitimately fail, §3.1).
+    pub final_pass: bool,
+    /// Percentage of candidate instructions replaced, measured statically
+    /// ("Static").
+    pub static_pct: f64,
+    /// Percentage of candidate instruction *executions* replaced, measured
+    /// against a profile of the original run ("Dynamic").
+    pub dynamic_pct: f64,
+    /// Wall-clock time of the whole search.
+    pub elapsed: Duration,
+}
+
+impl SearchReport {
+    /// Render one row in the format of the paper's Fig. 10.
+    pub fn figure10_row(&self, name: &str) -> String {
+        format!(
+            "{:<8} {:>10} {:>8} {:>8.1}% {:>8.1}% {:>6}",
+            name,
+            self.candidates,
+            self.configs_tested,
+            self.static_pct,
+            self.dynamic_pct,
+            if self.final_pass { "pass" } else { "fail" }
+        )
+    }
+
+    /// Header matching [`SearchReport::figure10_row`].
+    pub fn figure10_header() -> String {
+        format!(
+            "{:<8} {:>10} {:>8} {:>9} {:>9} {:>6}",
+            "bench", "candidates", "tested", "static", "dynamic", "final"
+        )
+    }
+}

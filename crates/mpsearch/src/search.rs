@@ -1,0 +1,651 @@
+//! The breadth-first search algorithm (paper §2.2).
+
+use crate::evaluator::Evaluator;
+use crate::report::{PassingUnit, SearchReport};
+use fpvm::isa::InsnId;
+use fpvm::Profile;
+use mpconfig::{Config, Flag, NodeRef, StructureTree};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeSet};
+use std::time::Instant;
+
+/// The deepest structure level the search descends to. Stopping at
+/// functions or blocks "allows for faster convergence with coarser
+/// results" (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopDepth {
+    /// Test module- and function-level configurations only.
+    Function,
+    /// Descend to basic blocks.
+    Block,
+    /// Descend all the way to individual instructions (default).
+    Instruction,
+}
+
+impl StopDepth {
+    fn max_depth(self) -> usize {
+        match self {
+            StopDepth::Function => 1,
+            StopDepth::Block => 2,
+            StopDepth::Instruction => 3,
+        }
+    }
+}
+
+/// Search options.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Deepest level to descend to.
+    pub stop_depth: StopDepth,
+    /// Enable the binary-splitting optimization for failed aggregates.
+    pub binary_split: bool,
+    /// Enable profile-count prioritization (requires a profile).
+    pub prioritize: bool,
+    /// Worker threads evaluating configurations in parallel.
+    pub threads: usize,
+    /// Stop after this many configuration evaluations, if set.
+    pub max_tests: Option<usize>,
+    /// Children-count threshold above which binary splitting applies.
+    pub split_threshold: usize,
+    /// Run the second search phase the paper suggests (§3.1): when the
+    /// union of individually passing replacements fails verification,
+    /// greedily back off the least-executed passing units until a
+    /// composable configuration is found.
+    pub second_phase: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            stop_depth: StopDepth::Instruction,
+            binary_split: true,
+            prioritize: true,
+            threads: 4,
+            max_tests: None,
+            split_threshold: 2,
+            second_phase: false,
+        }
+    }
+}
+
+/// A work item: a structure node, or a binary-split partition of some
+/// node's children.
+#[derive(Debug, Clone)]
+struct Item {
+    node: NodeRef,
+    /// For partitions: the explicit child subset being tested.
+    subset: Option<Vec<NodeRef>>,
+    insns: Vec<InsnId>,
+}
+
+struct QEntry {
+    priority: u64,
+    seq: Reverse<u64>,
+    item: Item,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.priority, self.seq).cmp(&(other.priority, other.seq))
+    }
+}
+
+struct Shared {
+    queue: BinaryHeap<QEntry>,
+    in_flight: usize,
+    tested: usize,
+    next_seq: u64,
+    passing: Vec<Item>,
+    stopped: bool,
+}
+
+struct Ctx<'a> {
+    tree: &'a StructureTree,
+    base: &'a Config,
+    profile: Option<&'a Profile>,
+    opts: &'a SearchOptions,
+}
+
+impl Ctx<'_> {
+    /// Non-ignored candidate instructions under a node.
+    fn live_insns(&self, node: NodeRef) -> Vec<InsnId> {
+        self.tree
+            .insns_under(node)
+            .into_iter()
+            .filter(|&i| self.base.effective(self.tree, i) != Flag::Ignore)
+            .collect()
+    }
+
+    fn priority_of(&self, insns: &[InsnId]) -> u64 {
+        match (self.opts.prioritize, self.profile) {
+            (true, Some(p)) => p.total_of(insns.iter().copied()),
+            _ => 0,
+        }
+    }
+
+    fn push(&self, s: &mut Shared, item: Item) {
+        if item.insns.is_empty() {
+            return;
+        }
+        let priority = self.priority_of(&item.insns);
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.queue.push(QEntry { priority, seq: Reverse(seq), item });
+    }
+
+    /// Expand a failed item into finer-grained work.
+    fn expand(&self, s: &mut Shared, item: &Item) {
+        match &item.subset {
+            Some(children) if children.len() > 1 => {
+                // split the partition in half (binary splitting)
+                let mid = children.len() / 2;
+                for half in [&children[..mid], &children[mid..]] {
+                    let insns: Vec<InsnId> =
+                        half.iter().flat_map(|&c| self.live_insns(c)).collect();
+                    let subset = if half.len() > 1 { Some(half.to_vec()) } else { None };
+                    let node = if half.len() == 1 { half[0] } else { item.node };
+                    self.push(s, Item { node, subset, insns });
+                }
+            }
+            Some(children) => {
+                // singleton partition == the child node itself; its test
+                // just failed, so expand the child directly.
+                debug_assert_eq!(children.len(), 1);
+                self.expand_node(s, children[0]);
+            }
+            None => self.expand_node(s, item.node),
+        }
+    }
+
+    fn expand_node(&self, s: &mut Shared, node: NodeRef) {
+        if node.depth() >= self.opts.stop_depth.max_depth() {
+            return; // leaf at the configured granularity: stays double
+        }
+        let children: Vec<NodeRef> = self
+            .tree
+            .children(node)
+            .into_iter()
+            .filter(|&c| !self.live_insns(c).is_empty())
+            .collect();
+        if children.is_empty() {
+            return;
+        }
+        if self.opts.binary_split && children.len() > self.opts.split_threshold {
+            let mid = children.len() / 2;
+            for half in [&children[..mid], &children[mid..]] {
+                let insns: Vec<InsnId> = half.iter().flat_map(|&c| self.live_insns(c)).collect();
+                let subset = if half.len() > 1 { Some(half.to_vec()) } else { None };
+                let n = if half.len() == 1 { half[0] } else { node };
+                self.push(s, Item { node: n, subset, insns });
+            }
+        } else {
+            for c in children {
+                let insns = self.live_insns(c);
+                self.push(s, Item { node: c, subset: None, insns });
+            }
+        }
+    }
+
+    fn trial_config(&self, insns: &[InsnId]) -> Config {
+        let mut cfg = self.base.clone();
+        for &i in insns {
+            cfg.set_insn(i, Flag::Single);
+        }
+        cfg
+    }
+}
+
+/// Run the automatic breadth-first search.
+///
+/// * `tree` — the program's structure tree;
+/// * `base` — the starting configuration (typically empty, or carrying
+///   `ignore` flags for constructs like FP-trick RNGs);
+/// * `profile` — an execution profile of the original program, used for
+///   prioritization and the dynamic-replacement metric;
+/// * `eval` — the configuration evaluator (instrument → run → verify).
+pub fn search(
+    tree: &StructureTree,
+    base: &Config,
+    profile: Option<&Profile>,
+    eval: &dyn Evaluator,
+    opts: &SearchOptions,
+) -> SearchReport {
+    let start = Instant::now();
+    let ctx = Ctx { tree, base, profile, opts };
+
+    let candidates: Vec<InsnId> = tree
+        .all_insns()
+        .into_iter()
+        .filter(|&i| base.effective(tree, i) != Flag::Ignore)
+        .collect();
+
+    let shared = Mutex::new(Shared {
+        queue: BinaryHeap::new(),
+        in_flight: 0,
+        tested: 0,
+        next_seq: 0,
+        passing: Vec::new(),
+        stopped: false,
+    });
+    let cond = Condvar::new();
+
+    {
+        let mut s = shared.lock();
+        for root in tree.roots() {
+            let insns = ctx.live_insns(root);
+            ctx.push(&mut s, Item { node: root, subset: None, insns });
+        }
+    }
+
+    let workers = opts.threads.max(1);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                loop {
+                    let item = {
+                        let mut s = shared.lock();
+                        loop {
+                            if s.stopped {
+                                return;
+                            }
+                            if let Some(max) = opts.max_tests {
+                                if s.tested >= max {
+                                    s.stopped = true;
+                                    cond.notify_all();
+                                    return;
+                                }
+                            }
+                            if let Some(e) = s.queue.pop() {
+                                s.in_flight += 1;
+                                break e.item;
+                            }
+                            if s.in_flight == 0 {
+                                cond.notify_all();
+                                return;
+                            }
+                            cond.wait(&mut s);
+                        }
+                    };
+                    let cfg = ctx.trial_config(&item.insns);
+                    let pass = eval.evaluate(&cfg);
+                    let mut s = shared.lock();
+                    s.tested += 1;
+                    if pass {
+                        s.passing.push(item);
+                    } else {
+                        ctx.expand(&mut s, &item);
+                    }
+                    s.in_flight -= 1;
+                    cond.notify_all();
+                }
+            });
+        }
+    })
+    .expect("search worker panicked");
+
+    let s = shared.into_inner();
+
+    // Compose the final configuration: the union of every individually
+    // passing unit (§2.2), then test it once more.
+    let mut replaced: BTreeSet<InsnId> = BTreeSet::new();
+    for item in &s.passing {
+        replaced.extend(item.insns.iter().copied());
+    }
+
+    let mut final_config = ctx.trial_config(&replaced.iter().copied().collect::<Vec<_>>());
+    let mut final_pass = if replaced.is_empty() { true } else { eval.evaluate(&final_config) };
+    let mut tested_extra = 0usize;
+
+    // Second phase (paper §3.1: "a second search phase may be useful, to
+    // determine the largest subset of individually-passing instruction
+    // replacements that may be composed to create a passing final
+    // configuration"): greedily drop the passing unit with the fewest
+    // replaced executions — sacrificing the least dynamic coverage — and
+    // retest, until the composition verifies or nothing remains.
+    let mut passing_units: Vec<Item> = s.passing.clone();
+    if opts.second_phase && !final_pass {
+        passing_units.sort_by_key(|it| match profile {
+            Some(p) => p.total_of(it.insns.iter().copied()),
+            None => it.insns.len() as u64,
+        });
+        while !final_pass && !passing_units.is_empty() {
+            passing_units.remove(0);
+            let kept: BTreeSet<InsnId> =
+                passing_units.iter().flat_map(|it| it.insns.iter().copied()).collect();
+            final_config = ctx.trial_config(&kept.iter().copied().collect::<Vec<_>>());
+            final_pass = kept.is_empty() || eval.evaluate(&final_config);
+            tested_extra += 1;
+        }
+        replaced = passing_units.iter().flat_map(|it| it.insns.iter().copied()).collect();
+    }
+
+    let static_pct = if candidates.is_empty() {
+        0.0
+    } else {
+        100.0 * replaced.len() as f64 / candidates.len() as f64
+    };
+    let dynamic_pct = match profile {
+        Some(p) => {
+            let total: u64 = candidates.iter().map(|&i| p.count(i)).sum();
+            let rep: u64 = replaced.iter().map(|&i| p.count(i)).sum();
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * rep as f64 / total as f64
+            }
+        }
+        None => f64::NAN,
+    };
+
+    let passing = passing_units
+        .iter()
+        .map(|it| PassingUnit {
+            node: it.node,
+            label: match &it.subset {
+                Some(sub) => format!("{} [{} children]", tree.label(it.node), sub.len()),
+                None => tree.label(it.node),
+            },
+            insns: it.insns.len(),
+        })
+        .collect();
+
+    SearchReport {
+        candidates: candidates.len(),
+        configs_tested: s.tested + tested_extra + if replaced.is_empty() { 0 } else { 1 },
+        passing,
+        failed_insns: candidates.len() - replaced.len(),
+        final_config,
+        final_pass,
+        static_pct,
+        dynamic_pct,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::VmEvaluator;
+    use fpir::{
+        f, fadd, fdiv, fmul, for_, i, itof, ld, set, st, v, CompileOptions, IrProgram,
+    };
+    use fpvm::{Vm, VmOptions};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// An evaluator over instruction-id sets with a fixed "sensitive"
+    /// subset: a config passes iff it replaces no sensitive instruction.
+    struct SetEval {
+        tree: StructureTreeBox,
+        sensitive: Vec<InsnId>,
+        calls: AtomicUsize,
+    }
+
+    // Helper owning the program so tree references stay alive.
+    struct StructureTreeBox {
+        _prog: fpvm::Program,
+        tree: StructureTree,
+    }
+
+    impl Evaluator for SetEval {
+        fn evaluate(&self, cfg: &Config) -> bool {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            !self
+                .sensitive
+                .iter()
+                .any(|&i| cfg.effective(&self.tree.tree, i) == Flag::Single)
+        }
+    }
+
+    /// A program with two functions of several candidates each.
+    fn make_prog(n_funcs: usize, insns_per_func: usize) -> StructureTreeBox {
+        use fpvm::isa::*;
+        let mut p = fpvm::Program::new(1 << 12);
+        let m = p.add_module("m");
+        for k in 0..n_funcs {
+            let f = p.add_function(m, format!("f{k}"));
+            let b = p.add_block(f);
+            p.funcs[f.0 as usize].entry = b;
+            if k == 0 {
+                p.entry = f;
+            }
+            for _ in 0..insns_per_func {
+                p.push_insn(b, InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+            }
+            p.block_mut(b).term = Terminator::Ret;
+        }
+        let tree = StructureTree::build(&p);
+        StructureTreeBox { _prog: p, tree }
+    }
+
+    fn opts_serial() -> SearchOptions {
+        SearchOptions { threads: 1, prioritize: false, ..Default::default() }
+    }
+
+    #[test]
+    fn fully_replaceable_program_passes_at_module_level() {
+        let tb = make_prog(3, 4);
+        let eval = SetEval {
+            tree: make_prog(3, 4),
+            sensitive: vec![],
+            calls: AtomicUsize::new(0),
+        };
+        let r = search(&tb.tree, &Config::new(), None, &eval, &opts_serial());
+        assert_eq!(r.candidates, 12);
+        // one module test + one final test
+        assert_eq!(r.configs_tested, 2);
+        assert!(r.final_pass);
+        assert_eq!(r.static_pct, 100.0);
+        assert_eq!(r.failed_insns, 0);
+    }
+
+    #[test]
+    fn single_sensitive_insn_is_isolated() {
+        let tb = make_prog(2, 4);
+        let sensitive = vec![tb.tree.all_insns()[5]];
+        let eval = SetEval { tree: make_prog(2, 4), sensitive: sensitive.clone(), calls: AtomicUsize::new(0) };
+        let r = search(&tb.tree, &Config::new(), None, &eval, &opts_serial());
+        assert_eq!(r.failed_insns, 1);
+        assert!((r.static_pct - 7.0 / 8.0 * 100.0).abs() < 1e-9);
+        // the sensitive insn stays double in the final config
+        assert_eq!(r.final_config.effective(&tb.tree, sensitive[0]), Flag::Double);
+        assert!(r.final_pass);
+    }
+
+    #[test]
+    fn search_prunes_relative_to_exhaustive() {
+        // With all instructions replaceable, far fewer configs than
+        // candidates are tested (the paper's pruning claim).
+        let tb = make_prog(4, 8);
+        let eval = SetEval { tree: make_prog(4, 8), sensitive: vec![], calls: AtomicUsize::new(0) };
+        let r = search(&tb.tree, &Config::new(), None, &eval, &opts_serial());
+        assert!(r.configs_tested < r.candidates);
+    }
+
+    #[test]
+    fn binary_split_reduces_tests_with_sparse_failures() {
+        let tb = make_prog(1, 32);
+        let sensitive = vec![tb.tree.all_insns()[17]];
+        let mk = || SetEval { tree: make_prog(1, 32), sensitive: sensitive.clone(), calls: AtomicUsize::new(0) };
+        let with_split = search(&tb.tree, &Config::new(), None, &mk(), &SearchOptions { binary_split: true, ..opts_serial() });
+        let without = search(&tb.tree, &Config::new(), None, &mk(), &SearchOptions { binary_split: false, ..opts_serial() });
+        assert_eq!(with_split.failed_insns, 1);
+        assert_eq!(without.failed_insns, 1);
+        assert!(
+            with_split.configs_tested < without.configs_tested,
+            "split {} !< flat {}",
+            with_split.configs_tested,
+            without.configs_tested
+        );
+    }
+
+    #[test]
+    fn stop_depth_function_gives_coarse_results() {
+        let tb = make_prog(2, 4);
+        // one sensitive insn in f1: at Function granularity the whole f1
+        // stays double.
+        let sensitive = vec![tb.tree.all_insns()[6]];
+        let eval = SetEval { tree: make_prog(2, 4), sensitive, calls: AtomicUsize::new(0) };
+        let r = search(&tb.tree, &Config::new(), None, &eval, &SearchOptions { stop_depth: StopDepth::Function, ..opts_serial() });
+        assert_eq!(r.failed_insns, 4); // all of f1
+        assert_eq!(r.static_pct, 50.0);
+    }
+
+    #[test]
+    fn ignored_insns_are_not_candidates() {
+        let tb = make_prog(2, 4);
+        let mut base = Config::new();
+        base.set_func(tb.tree.modules[0].funcs[1].id, Flag::Ignore);
+        let eval = SetEval { tree: make_prog(2, 4), sensitive: vec![], calls: AtomicUsize::new(0) };
+        let r = search(&tb.tree, &base, None, &eval, &opts_serial());
+        assert_eq!(r.candidates, 4);
+        assert_eq!(r.static_pct, 100.0);
+        // ignored func stays ignored in the final config
+        for e in &tb.tree.modules[0].funcs[1].blocks[0].insns {
+            assert_eq!(r.final_config.effective(&tb.tree, e.id), Flag::Ignore);
+        }
+    }
+
+    #[test]
+    fn max_tests_bounds_work() {
+        let tb = make_prog(4, 16);
+        let sensitive = tb.tree.all_insns(); // nothing passes: worst case
+        let eval = SetEval { tree: make_prog(4, 16), sensitive, calls: AtomicUsize::new(0) };
+        let r = search(&tb.tree, &Config::new(), None, &eval, &SearchOptions { max_tests: Some(10), ..opts_serial() });
+        assert!(r.configs_tested <= 10);
+    }
+
+    #[test]
+    fn parallel_search_matches_serial_outcome() {
+        let tb = make_prog(3, 8);
+        let sensitive = vec![tb.tree.all_insns()[3], tb.tree.all_insns()[12]];
+        let mk = || SetEval { tree: make_prog(3, 8), sensitive: sensitive.clone(), calls: AtomicUsize::new(0) };
+        let serial = search(&tb.tree, &Config::new(), None, &mk(), &opts_serial());
+        let par = search(&tb.tree, &Config::new(), None, &mk(), &SearchOptions { threads: 8, prioritize: false, ..Default::default() });
+        // replaced sets must be identical even if test counts differ
+        assert_eq!(
+            serial.final_config.replaced_insns(&tb.tree),
+            par.final_config.replaced_insns(&tb.tree)
+        );
+        assert_eq!(serial.failed_insns, par.failed_insns);
+    }
+
+    #[test]
+    fn prioritization_uses_profile_counts() {
+        let tb = make_prog(2, 4);
+        let ids = tb.tree.all_insns();
+        let mut prof = Profile::new(64);
+        // make f1's instructions hot
+        for _ in 0..100 {
+            for &i in &ids[4..8] {
+                prof.bump(i);
+            }
+        }
+        for &i in &ids[..4] {
+            prof.bump(i);
+        }
+        let eval = SetEval { tree: make_prog(2, 4), sensitive: vec![], calls: AtomicUsize::new(0) };
+        let r = search(&tb.tree, &Config::new(), Some(&prof), &eval, &SearchOptions { prioritize: true, threads: 1, ..Default::default() });
+        assert!(r.final_pass);
+        assert!((r.dynamic_pct - 100.0).abs() < 1e-9);
+    }
+
+    /// An evaluator with an interaction failure: every unit passes alone,
+    /// but replacing the first and last instructions *together* fails.
+    struct InteractionEval {
+        tree: StructureTreeBox,
+        pair: (InsnId, InsnId),
+    }
+
+    impl Evaluator for InteractionEval {
+        fn evaluate(&self, cfg: &Config) -> bool {
+            let a = cfg.effective(&self.tree.tree, self.pair.0) == Flag::Single;
+            let b = cfg.effective(&self.tree.tree, self.pair.1) == Flag::Single;
+            !(a && b)
+        }
+    }
+
+    #[test]
+    fn second_phase_composes_a_passing_subset() {
+        let tb = make_prog(2, 4);
+        let ids = tb.tree.all_insns();
+        let pair = (ids[0], ids[7]);
+        let mk = || InteractionEval { tree: make_prog(2, 4), pair };
+        // without the second phase the union fails (paper §3.1 observation)
+        let r1 = search(&tb.tree, &Config::new(), None, &mk(), &opts_serial());
+        assert!(!r1.final_pass, "interaction failure should break the union");
+        // with it, a passing subset is composed
+        let r2 = search(
+            &tb.tree,
+            &Config::new(),
+            None,
+            &mk(),
+            &SearchOptions { second_phase: true, ..opts_serial() },
+        );
+        assert!(r2.final_pass, "second phase should find a composable subset");
+        assert!(r2.static_pct > 0.0, "subset should not be empty");
+        assert!(r2.static_pct < 100.0);
+        assert!(r2.configs_tested > r1.configs_tested);
+    }
+
+    #[test]
+    fn end_to_end_with_vm_evaluator() {
+        // A real program: two accumulations, one needing double precision
+        // (verification tolerance set so f32 fails for it).
+        let mut ir = IrProgram::new("demo");
+        let xs = ir.array_f64_init("xs", (0..64).map(|k| 1.0 + (k as f64) * 1e-9).collect());
+        let out = ir.array_f64("out", 2);
+        let main = ir.func("main", &[], None, |ir, fr, _| {
+            let a = ir.local_f(fr);
+            let b = ir.local_f(fr);
+            let k = ir.local_i(fr);
+            vec![
+                set(a, f(0.0)),
+                set(b, f(0.0)),
+                // coarse: sum of xs (fine in f32 at this tolerance)
+                for_(k, i(0), i(64), vec![set(a, fadd(v(a), ld(xs, v(k))))]),
+                // delicate: accumulate tiny differences (dies in f32)
+                for_(k, i(0), i(64), vec![
+                    set(b, fadd(v(b), fmul(fdiv(fadd(ld(xs, v(k)), f(-1.0)), f(1e-9)), itof(v(k))))),
+                ]),
+                st(out, i(0), v(a)),
+                st(out, i(1), v(b)),
+            ]
+        });
+        ir.set_entry(main);
+        let prog = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&prog);
+
+        // reference outputs from the original program
+        let mut vm = Vm::new(&prog, VmOptions::default());
+        assert!(vm.run().ok());
+        let sym = prog.symbol("out").unwrap();
+        let want = vm.mem.read_f64_slice(sym, 2).unwrap();
+
+        let eval = VmEvaluator::new(&prog, &tree, move |vm: &Vm<'_>| {
+            let got = vm.mem.read_f64_slice(sym, 2).unwrap();
+            let rel = |a: f64, b: f64| ((a - b) / b.max(1.0)).abs();
+            rel(got[0], want[0]) < 1e-6 && rel(got[1], want[1]) < 1e-6
+        });
+
+        let prof = Vm::run_program(&prog, VmOptions { profile: true, ..Default::default() })
+            .profile
+            .unwrap();
+        let r = search(&tree, &Config::new(), Some(&prof), &eval, &SearchOptions { threads: 2, ..Default::default() });
+        // some instructions must be replaceable, some not
+        assert!(r.static_pct > 0.0, "nothing replaced");
+        assert!(r.static_pct < 100.0, "everything replaced — tolerance too loose");
+        assert!(r.configs_tested > 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! A transcendental-heavy kernel built in two variants, for the §2.5
+//! special-handling ablation:
+//!
+//! * [`LibmKind::Intrinsic`] — sine/exp/log as precision-typed intrinsic
+//!   instructions (the paper's "special handling for these functions");
+//! * [`LibmKind::Software`] — the same math through [`fpir::softlibm`],
+//!   whose internals do IEEE-754 bit manipulation exactly like a real
+//!   `libm`, and therefore resist single-precision replacement.
+//!
+//! The kernel itself is a damped-oscillator energy tally:
+//! `acc += exp(−λ·x) · sin(ω·x) + log(1 + x)` over a grid of `x`.
+
+use crate::{Class, Workload};
+use fpir::*;
+use fpvm::isa::MathFun;
+
+/// Which math-library implementation the kernel calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LibmKind {
+    /// Precision-typed intrinsic instructions (special handling, §2.5).
+    Intrinsic,
+    /// Software routines with bit manipulation (realistic `libm`).
+    Software,
+}
+
+/// Build the mathmix workload.
+pub fn mathmix(class: Class, libm: LibmKind) -> Workload {
+    let n = match class {
+        Class::S => 64i64,
+        Class::W => 256,
+        Class::A => 1024,
+        Class::C => 4096,
+    };
+    let mut ir = IrProgram::new(format!("mathmix.{}", class.letter()));
+    let out = ir.array_f64("out", 1);
+
+    let soft = match libm {
+        LibmKind::Software => Some(fpir::softlibm::install(&mut ir)),
+        LibmKind::Intrinsic => None,
+    };
+    ir.module("main");
+
+    let m_exp = move |e: Expr| match soft {
+        Some(l) => call(l.exp, vec![e]),
+        None => fmath(MathFun::Exp, e),
+    };
+    let m_sin = move |e: Expr| match soft {
+        Some(l) => call(l.sin, vec![e]),
+        None => fmath(MathFun::Sin, e),
+    };
+    let m_log = move |e: Expr| match soft {
+        Some(l) => call(l.log, vec![e]),
+        None => fmath(MathFun::Log, e),
+    };
+
+    let main = ir.func("main", &[], None, |ir, fr, _| {
+        let k = ir.local_i(fr);
+        let x = ir.local_f(fr);
+        let acc = ir.local_f(fr);
+        vec![
+            set(acc, f(0.0)),
+            for_(k, i(0), i(n), vec![
+                set(x, fmul(itof(v(k)), f(0.037))),
+                set(
+                    acc,
+                    fadd(
+                        v(acc),
+                        fadd(
+                            fmul(m_exp(fmul(f(-0.21), v(x))), m_sin(fmul(f(1.7), v(x)))),
+                            m_log(fadd(f(1.0), v(x))),
+                        ),
+                    ),
+                ),
+            ]),
+            st(out, i(0), v(acc)),
+        ]
+    });
+    ir.set_entry(main);
+
+    Workload::package("mathmix", class, ir, 1e-6, vec![("out".into(), 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_agree_in_double() {
+        let a = mathmix(Class::S, LibmKind::Intrinsic);
+        let b = mathmix(Class::S, LibmKind::Software);
+        let x = a.reference()[0][0];
+        let y = b.reference()[0][0];
+        assert!(((x - y) / x).abs() < 1e-9, "intrinsic {x} vs software {y}");
+    }
+
+    #[test]
+    fn reference_matches_host_math() {
+        let w = mathmix(Class::S, LibmKind::Intrinsic);
+        let mut want = 0.0f64;
+        for k in 0..64 {
+            let x = k as f64 * 0.037;
+            want += (-0.21 * x).exp() * (1.7 * x).sin() + (1.0 + x).ln();
+        }
+        let got = w.reference()[0][0];
+        assert!(((got - want) / want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn software_variant_has_many_more_candidates() {
+        let a = mathmix(Class::S, LibmKind::Intrinsic);
+        let b = mathmix(Class::S, LibmKind::Software);
+        let ca = a.program().candidate_count();
+        let cb = b.program().candidate_count();
+        assert!(cb > 2 * ca, "software libm should add candidates: {ca} vs {cb}");
+    }
+}

@@ -1,0 +1,129 @@
+//! BT — batched tridiagonal line solves (the block-tridiagonal solver's
+//! scalar analogue): many independent diagonally dominant tridiagonal
+//! systems solved by the Thomas algorithm, verified against a manufactured
+//! solution.
+
+use super::size;
+use crate::{Class, Workload};
+use fpir::*;
+use fpvm::isa::MathFun;
+
+/// Build the BT workload. The class sets the number of lines; line length
+/// is four times the line count.
+pub fn bt(class: Class) -> Workload {
+    let m = size(class, 4, 8, 12, 24) as i64;
+    let l = 4 * m;
+    let mut ir = IrProgram::new(format!("bt.{}", class.letter()));
+
+    let aw = ir.array_f64("aw", l as usize);
+    let bw = ir.array_f64("bw", l as usize);
+    let cw = ir.array_f64("cw", l as usize);
+    let dw = ir.array_f64("dw", l as usize);
+    let uw = ir.array_f64("uw", l as usize);
+    let ex = ir.array_f64("ex", l as usize); // manufactured exact solution
+    let out = ir.array_f64("out", 2); // [checksum, soldiff]
+
+    // fill the coefficient line `li` and its manufactured rhs
+    let (fill, fa) = ir.declare("fill", &[Ty::I64], None);
+    {
+        let li = fa[0];
+        let j = ir.local_i(fill);
+        let um = ir.local_f(fill);
+        let uc = ir.local_f(fill);
+        let up = ir.local_f(fill);
+        let exact = |li: Var, j: Expr| {
+            fmath(MathFun::Sin, fadd(fmul(f(0.7), itof(j)), fmul(f(0.3), itof(v(li)))))
+        };
+        ir.define(
+            fill,
+            vec![for_(j, i(0), i(l), vec![
+                st(aw, v(j), fadd(f(-1.0), fmul(f(0.05), fmath(MathFun::Cos, fadd(itof(v(j)), itof(v(li))))))),
+                st(bw, v(j), fadd(f(2.5), fmul(f(0.1), fmath(MathFun::Sin, fmul(f(1.1), itof(v(j))))))),
+                st(cw, v(j), fadd(f(-1.0), fmul(f(0.05), fmath(MathFun::Sin, fmul(f(1.3), itof(v(j))))))),
+                st(ex, v(j), exact(li, v(j))),
+                // d_j = a_j·u_{j−1} + b_j·u_j + c_j·u_{j+1} (zero beyond ends)
+                set(uc, exact(li, v(j))),
+                if_(cmp(Cc::Gt, v(j), i(0)), vec![set(um, exact(li, isub(v(j), i(1))))], vec![set(um, f(0.0))]),
+                if_(cmp(Cc::Lt, v(j), i(l - 1)), vec![set(up, exact(li, iadd(v(j), i(1))))], vec![set(up, f(0.0))]),
+                st(dw, v(j), fadd(
+                    fadd(fmul(ld(aw, v(j)), v(um)), fmul(ld(bw, v(j)), v(uc))),
+                    fmul(ld(cw, v(j)), v(up)),
+                )),
+            ])],
+        );
+    }
+
+    // Thomas algorithm on the workspace line
+    let (thomas, _) = ir.declare("thomas", &[], None);
+    {
+        let j = ir.local_i(thomas);
+        let mfac = ir.local_f(thomas);
+        ir.define(
+            thomas,
+            vec![
+                // forward elimination (in-place c' and d')
+                st(cw, i(0), fdiv(ld(cw, i(0)), ld(bw, i(0)))),
+                st(dw, i(0), fdiv(ld(dw, i(0)), ld(bw, i(0)))),
+                for_(j, i(1), i(l), vec![
+                    set(mfac, fsub(ld(bw, v(j)), fmul(ld(aw, v(j)), ld(cw, isub(v(j), i(1)))))),
+                    st(cw, v(j), fdiv(ld(cw, v(j)), v(mfac))),
+                    st(dw, v(j), fdiv(
+                        fsub(ld(dw, v(j)), fmul(ld(aw, v(j)), ld(dw, isub(v(j), i(1))))),
+                        v(mfac),
+                    )),
+                ]),
+                // back substitution
+                st(uw, i(l - 1), ld(dw, i(l - 1))),
+                set(j, i(l - 2)),
+                while_(cmp(Cc::Ge, v(j), i(0)), vec![
+                    st(uw, v(j), fsub(ld(dw, v(j)), fmul(ld(cw, v(j)), ld(uw, iadd(v(j), i(1)))))),
+                    set(j, isub(v(j), i(1))),
+                ]),
+            ],
+        );
+    }
+
+    let main = ir.func("main", &[], None, |ir, fr, _| {
+        let li = ir.local_i(fr);
+        let j = ir.local_i(fr);
+        vec![
+            for_(li, i(0), i(m), vec![
+                do_(call(fill, vec![v(li)])),
+                do_(call(thomas, vec![])),
+                for_(j, i(0), i(l), vec![
+                    st(out, i(0), fadd(ld(out, i(0)), ld(uw, v(j)))),
+                    st(out, i(1), fadd(ld(out, i(1)), fabs(fsub(ld(uw, v(j)), ld(ex, v(j)))))),
+                ]),
+            ]),
+        ]
+    });
+    ir.set_entry(main);
+
+    Workload::package("bt", class, ir, 1e-5, vec![("out".into(), 2)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thomas_recovers_the_manufactured_solution() {
+        let w = bt(Class::S);
+        let out = &w.reference()[0];
+        assert!(out[1] < 1e-10, "solution error {}", out[1]);
+        assert!(out[0].abs() > 0.01, "checksum {}", out[0]);
+    }
+
+    #[test]
+    fn f32_build_stays_within_loose_tolerance() {
+        let w = bt(Class::S);
+        let p32 = w.compile_f32();
+        let mut vm = fpvm::Vm::new(&p32, w.vm_opts());
+        assert!(vm.run().ok());
+        let got = vm.mem.read_f32_slice(p32.symbol("out").unwrap(), 2).unwrap();
+        let want = &w.reference()[0];
+        // diagonally dominant: single precision errs around 1e-5, fine at 5e-4
+        assert!(crate::rel_err(got[0] as f64, want[0]) < 5e-4);
+        assert!(crate::rel_err(got[1] as f64, want[1]) < 5e-4);
+    }
+}

@@ -1,0 +1,167 @@
+//! CG — conjugate gradients on a sparse symmetric positive-definite
+//! system (a 2D 5-point Laplacian), CSR storage, fixed iteration count.
+//!
+//! The verification tolerance is tight (the solver must actually reach a
+//! deep residual), which makes the hot SpMV/AXPY loop precision-sensitive:
+//! like the paper's CG rows in Fig. 10, most *static* instructions can be
+//! replaced (setup, norms) but only a small fraction of *executions* can.
+
+use super::size;
+use crate::sparse::laplacian_2d;
+use crate::{Class, Workload};
+use fpir::*;
+
+/// Build the CG workload. The class sets the grid edge (n = g²).
+pub fn cg(class: Class) -> Workload {
+    cg_sized(class, size(class, 4, 6, 8, 12), 25)
+}
+
+/// Build CG with an explicit grid edge and iteration count.
+pub fn cg_sized(class: Class, g: usize, niter: i64) -> Workload {
+    let a = laplacian_2d(g);
+    let n = a.n as i64;
+
+    let mut ir = IrProgram::new(format!("cg.{}", class.letter()));
+    let rowptr = ir.array_i64_init("rowptr", a.rowptr.clone());
+    let colidx = ir.array_i64_init("colidx", a.colidx.clone());
+    let avals = ir.array_f64_init("avals", a.vals.clone());
+    // b = A·x* for a smooth, non-representable manufactured solution
+    // (an all-ones solution would be bitwise-exact even in f32)
+    let xstar: Vec<f64> = (0..a.n).map(|k| 1.0 + 0.3 * (0.37 * k as f64).sin()).collect();
+    let bvec = ir.array_f64_init("b", a.spmv(&xstar));
+    let x = ir.array_f64("x", a.n);
+    let r = ir.array_f64("r", a.n);
+    let p = ir.array_f64("p", a.n);
+    let q = ir.array_f64("q", a.n);
+    let out = ir.array_f64("out", 2); // [resnorm, x·x]
+
+    // spmv: q = A p
+    let (spmv, _) = ir.declare("spmv", &[], None);
+    {
+        let row = ir.local_i(spmv);
+        let k = ir.local_i(spmv);
+        let kend = ir.local_i(spmv);
+        let s = ir.local_f(spmv);
+        ir.define(
+            spmv,
+            vec![
+                for_(row, i(0), i(n), vec![
+                    set(s, f(0.0)),
+                    set(k, ld(rowptr, v(row))),
+                    set(kend, ld(rowptr, iadd(v(row), i(1)))),
+                    while_(cmp(Cc::Lt, v(k), v(kend)), vec![
+                        set(s, fadd(v(s), fmul(ld(avals, v(k)), ld(p, ld(colidx, v(k)))))),
+                        set(k, iadd(v(k), i(1))),
+                    ]),
+                    st(q, v(row), v(s)),
+                ]),
+            ],
+        );
+    }
+
+    // dot(u, w) over the fixed arrays; parameterized by a selector would
+    // need pointers, so emit three small helpers instead.
+    let mk_dot = |ir: &mut IrProgram, name: &str, u: ArrRef, w: ArrRef| {
+        let (fref, _) = ir.declare(name, &[], Some(Ty::F64));
+        let k = ir.local_i(fref);
+        let s = ir.local_f(fref);
+        ir.define(
+            fref,
+            vec![
+                set(s, f(0.0)),
+                for_(k, i(0), i(n), vec![set(s, fadd(v(s), fmul(ld(u, v(k)), ld(w, v(k)))))]),
+                ret(v(s)),
+            ],
+        );
+        fref
+    };
+    let dot_rr = mk_dot(&mut ir, "dot_rr", r, r);
+    let dot_pq = mk_dot(&mut ir, "dot_pq", p, q);
+    let dot_xx = mk_dot(&mut ir, "dot_xx", x, x);
+
+    let main = ir.func("main", &[], None, |ir, fr, _| {
+        let k = ir.local_i(fr);
+        let it = ir.local_i(fr);
+        let rho = ir.local_f(fr);
+        let rho2 = ir.local_f(fr);
+        let alpha = ir.local_f(fr);
+        let beta = ir.local_f(fr);
+        vec![
+            // x = 0, r = b, p = r
+            for_(k, i(0), i(n), vec![
+                st(x, v(k), f(0.0)),
+                st(r, v(k), ld(bvec, v(k))),
+                st(p, v(k), ld(bvec, v(k))),
+            ]),
+            set(rho, call(dot_rr, vec![])),
+            for_(it, i(0), i(niter), vec![
+                do_(call(spmv, vec![])),
+                set(alpha, fdiv(v(rho), call(dot_pq, vec![]))),
+                for_(k, i(0), i(n), vec![
+                    st(x, v(k), fadd(ld(x, v(k)), fmul(v(alpha), ld(p, v(k))))),
+                    st(r, v(k), fsub(ld(r, v(k)), fmul(v(alpha), ld(q, v(k))))),
+                ]),
+                set(rho2, call(dot_rr, vec![])),
+                set(beta, fdiv(v(rho2), v(rho))),
+                set(rho, v(rho2)),
+                for_(k, i(0), i(n), vec![
+                    st(p, v(k), fadd(ld(r, v(k)), fmul(v(beta), ld(p, v(k))))),
+                ]),
+            ]),
+            // true residual b − A·x (the recurrence residual decays below
+            // the attainable accuracy and would hide f32 stagnation)
+            for_(k, i(0), i(n), vec![st(p, v(k), ld(x, v(k)))]),
+            do_(call(spmv, vec![])),
+            set(rho, f(0.0)),
+            for_(k, i(0), i(n), vec![
+                set(rho2, fsub(ld(bvec, v(k)), ld(q, v(k)))),
+                set(rho, fadd(v(rho), fmul(v(rho2), v(rho2)))),
+            ]),
+            st(out, i(0), fsqrt(v(rho))),
+            st(out, i(1), call(dot_xx, vec![])),
+        ]
+    });
+    ir.set_entry(main);
+
+    Workload::package("cg", class, ir, 1e-8, vec![("out".into(), 2)])
+}
+
+/// Host-side `x*·x*` for a grid edge `g` (used by tests).
+pub fn cg_expected_xdot(g: usize) -> f64 {
+    (0..g * g).map(|k| 1.0 + 0.3 * (0.37 * k as f64).sin()).map(|v| v * v).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_the_manufactured_solution() {
+        let w = cg(Class::S);
+        let out = &w.reference()[0];
+        assert!(out[0] < 1e-8, "residual {}", out[0]);
+        assert!((out[1] - cg_expected_xdot(4)).abs() < 1e-6, "x·x = {}", out[1]);
+    }
+
+    #[test]
+    fn f32_version_cannot_reach_the_tolerance() {
+        // the pure-f32 build stalls well above the f64 residual — the
+        // property that makes CG dynamically sensitive.
+        let w = cg(Class::W);
+        let p32 = w.compile_f32();
+        let mut vm = fpvm::Vm::new(&p32, w.vm_opts());
+        assert!(vm.run().ok());
+        let res = vm.mem.read_f32_slice(p32.symbol("out").unwrap(), 2).unwrap();
+        assert!(res[0] as f64 > 1e-8, "f32 residual suspiciously deep: {}", res[0]);
+        // but the solution itself is still roughly right
+        assert!((res[1] as f64 - cg_expected_xdot(6)).abs() < 1e-2);
+    }
+
+    #[test]
+    fn class_scaling() {
+        assert_eq!(cg(Class::S).program().symbol("x").is_some(), true);
+        let ws = cg(Class::S);
+        let wa = cg(Class::A);
+        assert!(wa.program().globals.len() > ws.program().globals.len());
+    }
+}

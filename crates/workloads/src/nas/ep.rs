@@ -1,0 +1,181 @@
+//! EP — the "embarrassingly parallel" kernel: generate pseudo-random
+//! pairs, accept those inside the unit disc, transform to independent
+//! Gaussians (Marsaglia polar method), tally them into deviation bins and
+//! accumulate the sums.
+//!
+//! Faithful detail: the random number generator is the NAS `randlc`
+//! linear congruential generator, which performs exact 46-bit integer
+//! arithmetic *using double-precision multiplications* (the classic
+//! `r23`/`t23` splitting). Replacing those operations with single
+//! precision destroys the generator, so the function carries the paper's
+//! `ignore` recommendation (§2.1: "flagging unusual constructs like
+//! random number generation routines").
+
+use super::size;
+use crate::{Class, Workload};
+use fpir::*;
+use fpvm::isa::MathFun;
+
+const LCG_A: f64 = 1220703125.0; // 5^13, the NAS multiplier
+const SEED: f64 = 271828183.0;
+
+/// Build the EP workload. The class sets the number of generated pairs.
+pub fn ep(class: Class) -> Workload {
+    ep_sized(class, size(class, 1 << 8, 1 << 10, 1 << 12, 1 << 14) as i64)
+}
+
+/// Build EP with an explicit pair count (used by the rank-sharded scaling
+/// experiments, where each MPI-rank analogue generates `pairs/nranks`).
+pub fn ep_sized(class: Class, n: i64) -> Workload {
+    let mut ir = IrProgram::new(format!("ep.{}", class.letter()));
+
+    let rngst = ir.array_f64_init("rngst", vec![SEED]);
+    let sums = ir.array_f64("sums", 2); // sx, sy
+    let q = ir.array_f64("q", 10); // deviation bins
+
+    // aint(x): truncation toward zero through the int domain.
+    let aint = |e: Expr| itof(ftoi(e));
+
+    // randlc: x_{k+1} = a * x_k mod 2^46, via 23-bit halves.
+    let (randlc, _) = ir.declare("randlc", &[], Some(Ty::F64));
+    {
+        let t1 = ir.local_f(randlc);
+        let x = ir.local_f(randlc);
+        let x1 = ir.local_f(randlc);
+        let x2 = ir.local_f(randlc);
+        let a1 = ir.local_f(randlc);
+        let a2 = ir.local_f(randlc);
+        let z = ir.local_f(randlc);
+        let t3 = ir.local_f(randlc);
+        let r23 = f(2f64.powi(-23));
+        let t23 = f(2f64.powi(23));
+        let r46 = f(2f64.powi(-46));
+        let t46 = f(2f64.powi(46));
+        ir.define(
+            randlc,
+            vec![
+                set(a1, aint(fmul(r23.clone(), f(LCG_A)))),
+                set(a2, fsub(f(LCG_A), fmul(t23.clone(), v(a1)))),
+                set(x, ld(rngst, i(0))),
+                set(x1, aint(fmul(r23.clone(), v(x)))),
+                set(x2, fsub(v(x), fmul(t23.clone(), v(x1)))),
+                set(t1, fadd(fmul(v(a1), v(x2)), fmul(v(a2), v(x1)))),
+                set(z, fsub(v(t1), fmul(t23.clone(), aint(fmul(r23, v(t1)))))),
+                set(t3, fadd(fmul(t23, v(z)), fmul(v(a2), v(x2)))),
+                set(x, fsub(v(t3), fmul(t46, aint(fmul(r46.clone(), v(t3)))))),
+                st(rngst, i(0), v(x)),
+                ret(fmul(r46, v(x))),
+            ],
+        );
+        ir.mark_ignore(randlc);
+    }
+
+    let main = ir.func("main", &[], None, |ir, fr, _| {
+        let k = ir.local_i(fr);
+        let x1 = ir.local_f(fr);
+        let x2 = ir.local_f(fr);
+        let t = ir.local_f(fr);
+        let t2 = ir.local_f(fr);
+        let gx = ir.local_f(fr);
+        let gy = ir.local_f(fr);
+        let l = ir.local_i(fr);
+        vec![
+            for_(k, i(0), i(n), vec![
+                set(x1, fsub(fmul(f(2.0), call(randlc, vec![])), f(1.0))),
+                set(x2, fsub(fmul(f(2.0), call(randlc, vec![])), f(1.0))),
+                set(t, fadd(fmul(v(x1), v(x1)), fmul(v(x2), v(x2)))),
+                if_(
+                    cmp(Cc::Le, v(t), f(1.0)),
+                    vec![
+                        // t2 = sqrt(-2 ln t / t)
+                        set(t2, fsqrt(fdiv(fmul(f(-2.0), fmath(MathFun::Log, v(t))), v(t)))),
+                        set(gx, fmul(v(x1), v(t2))),
+                        set(gy, fmul(v(x2), v(t2))),
+                        st(sums, i(0), fadd(ld(sums, i(0)), v(gx))),
+                        st(sums, i(1), fadd(ld(sums, i(1)), v(gy))),
+                        set(l, ftoi(fmax(fabs(v(gx)), fabs(v(gy))))),
+                        if_(
+                            cmp(Cc::Lt, v(l), i(10)),
+                            vec![st(q, v(l), fadd(ld(q, v(l)), f(1.0)))],
+                            vec![],
+                        ),
+                    ],
+                    vec![],
+                ),
+            ]),
+        ]
+    });
+    ir.set_entry(main);
+
+    Workload::package(
+        "ep",
+        class,
+        ir,
+        1e-6,
+        vec![("sums".into(), 2), ("q".into(), 10)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm::{Vm, VmOptions};
+
+    #[test]
+    fn reference_run_tallies_gaussians() {
+        let w = ep(Class::S);
+        let r = w.reference();
+        let bins: f64 = r[1].iter().sum();
+        // acceptance rate of the polar method is π/4 ≈ 0.785
+        let accepted = bins;
+        let rate = accepted / 256.0;
+        assert!(rate > 0.6 && rate < 0.95, "acceptance rate {rate}");
+        // nearly all gaussians land in bins 0..3
+        assert!(r[1][0] + r[1][1] + r[1][2] > 0.9 * accepted);
+        // sums are O(sqrt(n)), not O(n)
+        assert!(r[0][0].abs() < 64.0 && r[0][1].abs() < 64.0);
+    }
+
+    #[test]
+    fn rng_is_marked_ignore() {
+        let w = ep(Class::S);
+        assert_eq!(w.ignore_funcs(), vec!["randlc".to_string()]);
+    }
+
+    #[test]
+    fn lcg_matches_host_model() {
+        // run just 3 draws in the VM and compare with a host 46-bit LCG
+        let w = ep(Class::S);
+        let p = w.program();
+        let mut vm = Vm::new(p, VmOptions::default());
+        assert!(vm.run().ok());
+        // final RNG state must equal a^(2n) * seed mod 2^46 (two draws per
+        // pair); model on host with u128 arithmetic.
+        let m = 1u128 << 46;
+        let mut x = SEED as u128;
+        let a = LCG_A as u128;
+        // count draws: 2 per iteration
+        for _ in 0..(2 * 256) {
+            x = (a * x) % m;
+        }
+        let got = vm.mem.read_f64_slice(p.symbol("rngst").unwrap(), 1).unwrap()[0];
+        assert_eq!(got, x as f64, "FP-trick LCG diverged from exact 46-bit model");
+    }
+
+    #[test]
+    fn f32_lowering_breaks_the_rng() {
+        // The whole point of the ignore flag: in pure f32 the 46-bit
+        // arithmetic is destroyed and the state wanders off.
+        let w = ep(Class::S);
+        let p32 = w.compile_f32();
+        let mut vm = Vm::new(&p32, VmOptions::default());
+        assert!(vm.run().ok());
+        let got = vm.mem.read_f32_slice(p32.symbol("rngst").unwrap(), 1).unwrap()[0] as f64;
+        let m = 1u128 << 46;
+        let mut x = SEED as u128;
+        for _ in 0..(2 * 256) {
+            x = (LCG_A as u128 * x) % m;
+        }
+        assert_ne!(got, x as f64);
+    }
+}

@@ -1,0 +1,214 @@
+//! FT — an iterative radix-2 complex FFT with forward-transform checksums
+//! and a full round-trip (inverse transform) comparison.
+//!
+//! Twiddle factors come from the sine/cosine intrinsics; the butterfly
+//! loops accumulate rounding aggressively, so under a tight tolerance the
+//! transform itself must stay double — reproducing the paper's FT rows
+//! (high static replaceability, ~0.2–0.3% dynamic).
+
+use super::size;
+use crate::{Class, Workload};
+use fpir::*;
+use fpvm::isa::MathFun;
+
+/// Build the FT workload. The class sets the transform length (2^k).
+pub fn ft(class: Class) -> Workload {
+    ft_sized(class, size(class, 32, 128, 256, 1024) as i64)
+}
+
+/// Build FT with an explicit transform length (must be a power of two).
+pub fn ft_sized(class: Class, n: i64) -> Workload {
+    let logn = (n as f64).log2() as i64;
+    assert_eq!(1i64 << logn, n);
+
+    let mut ir = IrProgram::new(format!("ft.{}", class.letter()));
+    let re = ir.array_f64("re", n as usize);
+    let im = ir.array_f64("im", n as usize);
+    let ore = ir.array_f64("ore", n as usize); // original copies
+    let oim = ir.array_f64("oim", n as usize);
+    let out = ir.array_f64("out", 3); // [chk_re, chk_im, roundtrip_diff]
+
+    // fft pass: direction dir = ±1 (forward −1 like FFTW's sign convention)
+    let (fft, fa) = ir.declare("fft", &[Ty::I64], None);
+    {
+        let dir = fa[0];
+        let len = ir.local_i(fft);
+        let half = ir.local_i(fft);
+        let blk = ir.local_i(fft);
+        let j = ir.local_i(fft);
+        let ang = ir.local_f(fft);
+        let wr = ir.local_f(fft);
+        let wi = ir.local_f(fft);
+        let wlr = ir.local_f(fft);
+        let wli = ir.local_f(fft);
+        let ur = ir.local_f(fft);
+        let ui = ir.local_f(fft);
+        let vr = ir.local_f(fft);
+        let vi = ir.local_f(fft);
+        let tw = ir.local_f(fft);
+        let i0 = ir.local_i(fft);
+        let i1 = ir.local_i(fft);
+        ir.define(
+            fft,
+            vec![
+                set(len, i(2)),
+                while_(cmp(Cc::Le, v(len), i(n)), vec![
+                    set(half, idiv(v(len), i(2))),
+                    // wlen = exp(dir * 2πi / len)
+                    set(ang, fdiv(
+                        fmul(itof(v(dir)), f(2.0 * std::f64::consts::PI)),
+                        itof(v(len)),
+                    )),
+                    set(wlr, fmath(MathFun::Cos, v(ang))),
+                    set(wli, fmath(MathFun::Sin, v(ang))),
+                    set(blk, i(0)),
+                    while_(cmp(Cc::Lt, v(blk), i(n)), vec![
+                        set(wr, f(1.0)),
+                        set(wi, f(0.0)),
+                        for_(j, i(0), v(half), vec![
+                            set(i0, iadd(v(blk), v(j))),
+                            set(i1, iadd(v(i0), v(half))),
+                            set(ur, ld(re, v(i0))),
+                            set(ui, ld(im, v(i0))),
+                            // v = w * a[i1]
+                            set(vr, fsub(fmul(v(wr), ld(re, v(i1))), fmul(v(wi), ld(im, v(i1))))),
+                            set(vi, fadd(fmul(v(wr), ld(im, v(i1))), fmul(v(wi), ld(re, v(i1))))),
+                            st(re, v(i0), fadd(v(ur), v(vr))),
+                            st(im, v(i0), fadd(v(ui), v(vi))),
+                            st(re, v(i1), fsub(v(ur), v(vr))),
+                            st(im, v(i1), fsub(v(ui), v(vi))),
+                            // w *= wlen
+                            set(tw, fsub(fmul(v(wr), v(wlr)), fmul(v(wi), v(wli)))),
+                            set(wi, fadd(fmul(v(wr), v(wli)), fmul(v(wi), v(wlr)))),
+                            set(wr, v(tw)),
+                        ]),
+                        set(blk, iadd(v(blk), v(len))),
+                    ]),
+                    set(len, imul(v(len), i(2))),
+                ]),
+            ],
+        );
+    }
+
+    // bit-reversal permutation (pure integer shuffling plus FP swaps)
+    let (bitrev, _) = ir.declare("bitrev", &[], None);
+    {
+        let k = ir.local_i(bitrev);
+        let rev = ir.local_i(bitrev);
+        let b = ir.local_i(bitrev);
+        let t = ir.local_f(bitrev);
+        let bit = ir.local_i(bitrev);
+        ir.define(
+            bitrev,
+            vec![
+                for_(k, i(0), i(n), vec![
+                    set(rev, i(0)),
+                    set(b, v(k)),
+                    for_(bit, i(0), i(logn), vec![
+                        set(rev, ior(ishl(v(rev), i(1)), iand(v(b), i(1)))),
+                        set(b, ishr(v(b), i(1))),
+                    ]),
+                    if_(cmp(Cc::Lt, v(k), v(rev)), vec![
+                        set(t, ld(re, v(k))),
+                        st(re, v(k), ld(re, v(rev))),
+                        st(re, v(rev), v(t)),
+                        set(t, ld(im, v(k))),
+                        st(im, v(k), ld(im, v(rev))),
+                        st(im, v(rev), v(t)),
+                    ], vec![]),
+                ]),
+            ],
+        );
+    }
+
+    let main = ir.func("main", &[], None, |ir, fr, _| {
+        let k = ir.local_i(fr);
+        let acc = ir.local_f(fr);
+        vec![
+            // deterministic quasi-random fill
+            for_(k, i(0), i(n), vec![
+                st(re, v(k), fmath(MathFun::Sin, fadd(fmul(itof(v(k)), f(1.37)), f(0.1)))),
+                st(im, v(k), fmath(MathFun::Cos, fmul(itof(v(k)), f(2.11)))),
+                st(ore, v(k), ld(re, v(k))),
+                st(oim, v(k), ld(im, v(k))),
+            ]),
+            // forward transform
+            do_(call(bitrev, vec![])),
+            do_(call(fft, vec![i(-1)])),
+            // checksums over a stride
+            set(acc, f(0.0)),
+            for_(k, i(0), i(n), vec![set(acc, fadd(v(acc), ld(re, v(k))))]),
+            st(out, i(0), v(acc)),
+            set(acc, f(0.0)),
+            for_(k, i(0), i(n), vec![set(acc, fadd(v(acc), ld(im, v(k))))]),
+            st(out, i(1), v(acc)),
+            // inverse transform and 1/n scaling
+            do_(call(bitrev, vec![])),
+            do_(call(fft, vec![i(1)])),
+            for_(k, i(0), i(n), vec![
+                st(re, v(k), fdiv(ld(re, v(k)), itof(i(n)))),
+                st(im, v(k), fdiv(ld(im, v(k)), itof(i(n)))),
+            ]),
+            // round-trip error
+            set(acc, f(0.0)),
+            for_(k, i(0), i(n), vec![
+                set(acc, fadd(v(acc), fabs(fsub(ld(re, v(k)), ld(ore, v(k)))))),
+                set(acc, fadd(v(acc), fabs(fsub(ld(im, v(k)), ld(oim, v(k)))))),
+            ]),
+            st(out, i(2), v(acc)),
+        ]
+    });
+    ir.set_entry(main);
+
+    Workload::package("ft", class, ir, 1e-6, vec![("out".into(), 3)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_tight_in_double() {
+        let w = ft(Class::S);
+        let out = &w.reference()[0];
+        assert!(out[2] < 1e-11, "f64 roundtrip error {}", out[2]);
+        // checksums are non-trivial
+        assert!(out[0].abs() + out[1].abs() > 1e-3);
+    }
+
+    #[test]
+    fn forward_matches_host_dft_checksum() {
+        // compare the re-checksum against a host O(n²) DFT
+        let w = ft(Class::S);
+        let n = 32usize;
+        let xs: Vec<(f64, f64)> = (0..n)
+            .map(|k| ((k as f64 * 1.37 + 0.1).sin(), (k as f64 * 2.11).cos()))
+            .collect();
+        let mut chk_re = 0.0;
+        let mut chk_im = 0.0;
+        for out_k in 0..n {
+            let (mut sr, mut si) = (0.0, 0.0);
+            for (j, &(xr, xi)) in xs.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (out_k * j) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                sr += xr * c - xi * s;
+                si += xr * s + xi * c;
+            }
+            chk_re += sr;
+            chk_im += si;
+        }
+        let out = &w.reference()[0];
+        assert!((out[0] - chk_re).abs() < 1e-8, "{} vs {chk_re}", out[0]);
+        assert!((out[1] - chk_im).abs() < 1e-8, "{} vs {chk_im}", out[1]);
+    }
+
+    #[test]
+    fn f32_roundtrip_error_is_orders_worse() {
+        let w = ft(Class::S);
+        let p32 = w.compile_f32();
+        let mut vm = fpvm::Vm::new(&p32, w.vm_opts());
+        assert!(vm.run().ok());
+        let out = vm.mem.read_f32_slice(p32.symbol("out").unwrap(), 3).unwrap();
+        assert!((out[2] as f64) > 1e-6, "f32 roundtrip error {}", out[2]);
+    }
+}

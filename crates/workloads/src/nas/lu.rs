@@ -1,0 +1,132 @@
+//! LU — SSOR relaxation sweeps on a 2D Poisson problem (the
+//! lower-upper symmetric Gauss–Seidel structure of the real LU), with
+//! halo-padded storage and forward/backward sweeps.
+
+use super::size;
+use crate::{Class, Workload};
+use fpir::*;
+
+/// Build the LU workload. The class sets the interior grid edge.
+pub fn lu(class: Class) -> Workload {
+    let g = size(class, 6, 8, 12, 20) as i64;
+    let w = g + 2; // padded width
+    let niter = 40i64;
+    let omega = 1.2f64;
+
+    let mut ir = IrProgram::new(format!("lu.{}", class.letter()));
+    let u = ir.array_f64("u", (w * w) as usize);
+    let out = ir.array_f64("out", 2); // [resnorm, u·u]
+
+    let idx = |r: Expr, c: Expr| iadd(imul(r, i(w)), c);
+
+    // one relaxation update at (r, c)
+    let relax_stmt = |r: Var, c: Var| {
+        st(
+            u,
+            idx(v(r), v(c)),
+            fadd(
+                fmul(f(1.0 - omega), ld(u, idx(v(r), v(c)))),
+                fmul(
+                    f(omega / 4.0),
+                    fadd(
+                        f(1.0), // rhs ≡ 1
+                        fadd(
+                            fadd(ld(u, idx(isub(v(r), i(1)), v(c))), ld(u, idx(iadd(v(r), i(1)), v(c)))),
+                            fadd(ld(u, idx(v(r), isub(v(c), i(1)))), ld(u, idx(v(r), iadd(v(c), i(1))))),
+                        ),
+                    ),
+                ),
+            ),
+        )
+    };
+
+    // forward sweep
+    let (fwd, _) = ir.declare("sweep_fwd", &[], None);
+    {
+        let r = ir.local_i(fwd);
+        let c = ir.local_i(fwd);
+        ir.define(
+            fwd,
+            vec![for_(r, i(1), i(g + 1), vec![for_(c, i(1), i(g + 1), vec![relax_stmt(r, c)])])],
+        );
+    }
+    // backward sweep (descending loops via while)
+    let (bwd, _) = ir.declare("sweep_bwd", &[], None);
+    {
+        let r = ir.local_i(bwd);
+        let c = ir.local_i(bwd);
+        ir.define(
+            bwd,
+            vec![
+                set(r, i(g)),
+                while_(cmp(Cc::Ge, v(r), i(1)), vec![
+                    set(c, i(g)),
+                    while_(cmp(Cc::Ge, v(c), i(1)), vec![
+                        relax_stmt(r, c),
+                        set(c, isub(v(c), i(1))),
+                    ]),
+                    set(r, isub(v(r), i(1))),
+                ]),
+            ],
+        );
+    }
+
+    let main = ir.func("main", &[], None, |ir, fr, _| {
+        let it = ir.local_i(fr);
+        let r = ir.local_i(fr);
+        let c = ir.local_i(fr);
+        let acc = ir.local_f(fr);
+        let t = ir.local_f(fr);
+        vec![
+            for_(it, i(0), i(niter), vec![
+                do_(call(fwd, vec![])),
+                do_(call(bwd, vec![])),
+            ]),
+            // residual norm of  −Δu = 1  on the interior
+            set(acc, f(0.0)),
+            for_(r, i(1), i(g + 1), vec![for_(c, i(1), i(g + 1), vec![
+                set(t, fsub(
+                    f(1.0),
+                    fsub(
+                        fmul(f(4.0), ld(u, idx(v(r), v(c)))),
+                        fadd(
+                            fadd(ld(u, idx(isub(v(r), i(1)), v(c))), ld(u, idx(iadd(v(r), i(1)), v(c)))),
+                            fadd(ld(u, idx(v(r), isub(v(c), i(1)))), ld(u, idx(v(r), iadd(v(c), i(1))))),
+                        ),
+                    ),
+                )),
+                set(acc, fadd(v(acc), fmul(v(t), v(t)))),
+            ])]),
+            st(out, i(0), fsqrt(v(acc))),
+            set(acc, f(0.0)),
+            for_(r, i(0), i(w * w), vec![set(acc, fadd(v(acc), fmul(ld(u, v(r)), ld(u, v(r)))))]),
+            st(out, i(1), v(acc)),
+        ]
+    });
+    ir.set_entry(main);
+
+    Workload::package("lu", class, ir, 5e-7, vec![("out".into(), 2)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssor_converges() {
+        let w = lu(Class::S);
+        let out = &w.reference()[0];
+        assert!(out[0] < 1e-3, "residual {}", out[0]);
+        assert!(out[1] > 1.0, "solution energy {}", out[1]);
+    }
+
+    #[test]
+    fn sweeps_are_order_sensitive() {
+        // SSOR converges monotonically here: a larger class converges too
+        // (sanity that loops/halos are indexed correctly, no NaN leaks).
+        let w = lu(Class::W);
+        let out = &w.reference()[0];
+        assert!(out.iter().all(|x| x.is_finite()));
+        assert!(out[0] < 1e-2);
+    }
+}

@@ -1,0 +1,223 @@
+//! MG — a 1D Poisson multigrid V-cycle: Gauss–Seidel smoothing,
+//! full-weighting restriction, linear prolongation, recursive descent to a
+//! four-point coarsest grid. Levels share flat `u`/`rhs`/`res` arrays via
+//! per-level offsets, like the real MG's hierarchical workspace.
+
+use super::size;
+use crate::{Class, Workload};
+use fpir::*;
+use fpvm::isa::MathFun;
+
+/// Build the MG workload. The class sets the finest grid size (2^k).
+pub fn mg(class: Class) -> Workload {
+    mg_sized(class, size(class, 32, 64, 128, 512) as i64, 8)
+}
+
+/// Build MG with an explicit finest grid size (a power of two) and
+/// V-cycle count.
+pub fn mg_sized(class: Class, n0: i64, ncycles: i64) -> Workload {
+
+    // host-side level layout
+    let mut offs = vec![0i64];
+    let mut szs = vec![n0];
+    while *szs.last().unwrap() > 4 {
+        let s = szs.last().unwrap() / 2;
+        offs.push(offs.last().unwrap() + szs.last().unwrap());
+        szs.push(s);
+    }
+    let total = (offs.last().unwrap() + szs.last().unwrap()) as usize;
+    let nlevels = szs.len() as i64;
+
+    let mut ir = IrProgram::new(format!("mg.{}", class.letter()));
+    let u = ir.array_f64("u", total);
+    let rhs = ir.array_f64("rhs", total);
+    let res = ir.array_f64("res", total);
+    let offs_a = ir.array_i64_init("offs", offs.clone());
+    let szs_a = ir.array_i64_init("szs", szs.clone());
+    let out = ir.array_f64("out", 2); // [resnorm, u·u]
+
+    // Gauss–Seidel smoothing sweep on level (off, nn)
+    let (smooth, sa) = ir.declare("smooth", &[Ty::I64, Ty::I64], None);
+    {
+        let (off, nn) = (sa[0], sa[1]);
+        let j = ir.local_i(smooth);
+        ir.define(
+            smooth,
+            vec![for_(j, i(1), isub(v(nn), i(1)), vec![st(
+                u,
+                iadd(v(off), v(j)),
+                fmul(
+                    f(0.5),
+                    fadd(
+                        ld(rhs, iadd(v(off), v(j))),
+                        fadd(
+                            ld(u, iadd(v(off), isub(v(j), i(1)))),
+                            ld(u, iadd(v(off), iadd(v(j), i(1)))),
+                        ),
+                    ),
+                ),
+            )])],
+        );
+    }
+
+    // residual on level (off, nn): res = rhs − A·u, A = tridiag(−1, 2, −1)
+    let (resid, ra) = ir.declare("resid", &[Ty::I64, Ty::I64], None);
+    {
+        let (off, nn) = (ra[0], ra[1]);
+        let j = ir.local_i(resid);
+        ir.define(
+            resid,
+            vec![
+                st(res, v(off), f(0.0)),
+                st(res, iadd(v(off), isub(v(nn), i(1))), f(0.0)),
+                for_(j, i(1), isub(v(nn), i(1)), vec![st(
+                    res,
+                    iadd(v(off), v(j)),
+                    fsub(
+                        ld(rhs, iadd(v(off), v(j))),
+                        fsub(
+                            fmul(f(2.0), ld(u, iadd(v(off), v(j)))),
+                            fadd(
+                                ld(u, iadd(v(off), isub(v(j), i(1)))),
+                                ld(u, iadd(v(off), iadd(v(j), i(1)))),
+                            ),
+                        ),
+                    ),
+                )]),
+            ],
+        );
+    }
+
+    // recursive V-cycle on level l
+    let (vcycle, va) = ir.declare("vcycle", &[Ty::I64], None);
+    {
+        let l = va[0];
+        let off = ir.local_i(vcycle);
+        let nn = ir.local_i(vcycle);
+        let offc = ir.local_i(vcycle);
+        let nc = ir.local_i(vcycle);
+        let j = ir.local_i(vcycle);
+        let s = ir.local_i(vcycle);
+        ir.define(
+            vcycle,
+            vec![
+                set(off, ld(offs_a, v(l))),
+                set(nn, ld(szs_a, v(l))),
+                do_(call(smooth, vec![v(off), v(nn)])),
+                do_(call(smooth, vec![v(off), v(nn)])),
+                if_(
+                    cmp(Cc::Lt, iadd(v(l), i(1)), i(nlevels)),
+                    vec![
+                        do_(call(resid, vec![v(off), v(nn)])),
+                        set(offc, ld(offs_a, iadd(v(l), i(1)))),
+                        set(nc, ld(szs_a, iadd(v(l), i(1)))),
+                        // full-weighting restriction, zero coarse guess
+                        for_(j, i(0), v(nc), vec![
+                            st(u, iadd(v(offc), v(j)), f(0.0)),
+                            st(rhs, iadd(v(offc), v(j)), f(0.0)),
+                        ]),
+                        for_(j, i(1), isub(v(nc), i(1)), vec![
+                            set(s, imul(v(j), i(2))),
+                            st(
+                                rhs,
+                                iadd(v(offc), v(j)),
+                                // Unscaled-stencil Galerkin consistency:
+                                // the coarse stencil is 4× the fine one in
+                                // h² units, so the restricted residual is
+                                // [1 2 1]·res (i.e. 4× full weighting).
+                                fadd(
+                                    fadd(
+                                        ld(res, iadd(v(off), isub(v(s), i(1)))),
+                                        fmul(f(2.0), ld(res, iadd(v(off), v(s)))),
+                                    ),
+                                    ld(res, iadd(v(off), iadd(v(s), i(1)))),
+                                ),
+                            ),
+                        ]),
+                        do_(call(vcycle, vec![iadd(v(l), i(1))])),
+                        // linear prolongation: u_f += P u_c (including the
+                        // boundary-adjacent odd point, whose left coarse
+                        // neighbour is the pinned zero boundary)
+                        st(u, iadd(v(off), i(1)),
+                           fadd(ld(u, iadd(v(off), i(1))),
+                                fmul(f(0.5), ld(u, iadd(v(offc), i(1)))))),
+                        for_(j, i(1), isub(v(nc), i(1)), vec![
+                            set(s, imul(v(j), i(2))),
+                            st(u, iadd(v(off), v(s)),
+                               fadd(ld(u, iadd(v(off), v(s))), ld(u, iadd(v(offc), v(j))))),
+                            st(u, iadd(v(off), iadd(v(s), i(1))),
+                               fadd(
+                                   ld(u, iadd(v(off), iadd(v(s), i(1)))),
+                                   fmul(f(0.5), fadd(
+                                       ld(u, iadd(v(offc), v(j))),
+                                       ld(u, iadd(v(offc), iadd(v(j), i(1)))),
+                                   )),
+                               )),
+                        ]),
+                        do_(call(smooth, vec![v(off), v(nn)])),
+                        do_(call(smooth, vec![v(off), v(nn)])),
+                    ],
+                    vec![
+                        // coarsest grid: extra smoothing is an adequate solve
+                        do_(call(smooth, vec![v(off), v(nn)])),
+                        do_(call(smooth, vec![v(off), v(nn)])),
+                        do_(call(smooth, vec![v(off), v(nn)])),
+                        do_(call(smooth, vec![v(off), v(nn)])),
+                    ],
+                ),
+            ],
+        );
+    }
+
+    let main = ir.func("main", &[], None, |ir, fr, _| {
+        let k = ir.local_i(fr);
+        let c = ir.local_i(fr);
+        let acc = ir.local_f(fr);
+        vec![
+            // rhs on the finest level: a smooth forcing term
+            for_(k, i(0), i(n0), vec![st(
+                rhs,
+                v(k),
+                fmath(MathFun::Sin, fdiv(fmul(f(std::f64::consts::PI), itof(v(k))), itof(i(n0)))),
+            )]),
+            for_(c, i(0), i(ncycles), vec![do_(call(vcycle, vec![i(0)]))]),
+            do_(call(resid, vec![i(0), i(n0)])),
+            set(acc, f(0.0)),
+            for_(k, i(0), i(n0), vec![set(acc, fadd(v(acc), fmul(ld(res, v(k)), ld(res, v(k)))))]),
+            st(out, i(0), fsqrt(v(acc))),
+            set(acc, f(0.0)),
+            for_(k, i(0), i(n0), vec![set(acc, fadd(v(acc), fmul(ld(u, v(k)), ld(u, v(k)))))]),
+            st(out, i(1), v(acc)),
+        ]
+    });
+    ir.set_entry(main);
+
+    Workload::package("mg", class, ir, 1e-5, vec![("out".into(), 2)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcycles_reduce_the_residual() {
+        let w = mg(Class::S);
+        let out = &w.reference()[0];
+        // rhs norm is O(sqrt(n)); after 4 V-cycles the residual is far below
+        assert!(out[0] < 0.05, "residual {}", out[0]);
+        assert!(out[1] > 1.0, "solution energy {}", out[1]);
+    }
+
+    #[test]
+    fn f32_build_converges_nearly_as_well() {
+        // the self-correcting property that makes MG broadly replaceable
+        let w = mg(Class::S);
+        let p32 = w.compile_f32();
+        let mut vm = fpvm::Vm::new(&p32, w.vm_opts());
+        assert!(vm.run().ok());
+        let got = vm.mem.read_f32_slice(p32.symbol("out").unwrap(), 2).unwrap();
+        let want = &w.reference()[0];
+        assert!((got[0] as f64 - want[0]).abs() < 1e-3);
+        assert!(((got[1] as f64 - want[1]) / want[1]).abs() < 1e-3);
+    }
+}

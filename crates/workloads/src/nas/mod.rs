@@ -1,0 +1,41 @@
+//! Scaled-down analogues of the seven NAS Parallel Benchmarks the paper
+//! evaluates (§3.1, Figs. 8–10).
+//!
+//! Each kernel implements the same numerical method as its namesake —
+//! Gaussian-pair tallying with the NAS FP-trick linear-congruential RNG
+//! (EP), conjugate gradients on a sparse SPD system (CG), a complex FFT
+//! with round-trip verification (FT), a multigrid V-cycle (MG), batched
+//! tridiagonal line solves (BT), SSOR relaxation (LU), and a scalar
+//! pentadiagonal solver (SP) — at sizes scaled to an interpreted
+//! substrate. Per-benchmark verification tolerances are chosen so the
+//! precision-sensitivity *profile* matches the paper's Fig. 10: CG and FT
+//! are dynamically sensitive (hot loops need double), EP/MG/BT tolerate
+//! broad replacement, SP sits in between.
+
+mod bt;
+mod cg;
+mod ep;
+mod ft;
+mod lu;
+mod mg;
+mod sp;
+
+pub use bt::bt;
+pub use cg::{cg, cg_expected_xdot, cg_sized};
+pub use ep::{ep, ep_sized};
+pub use ft::{ft, ft_sized};
+pub use lu::lu;
+pub use mg::{mg, mg_sized};
+pub use sp::sp;
+
+use crate::Class;
+
+/// Problem-size table (see each kernel for the meaning of the number).
+pub(crate) fn size(class: Class, s: usize, w: usize, a: usize, c: usize) -> usize {
+    match class {
+        Class::S => s,
+        Class::W => w,
+        Class::A => a,
+        Class::C => c,
+    }
+}

@@ -1,0 +1,152 @@
+//! SP — a scalar pentadiagonal solver: batched five-diagonal Gaussian
+//! elimination (no pivoting, as in the real SP's scalar penta stage),
+//! verified against a manufactured solution.
+//!
+//! The pentadiagonal systems are only mildly diagonally dominant, so the
+//! elimination is noticeably more precision-sensitive than BT's
+//! tridiagonal Thomas — reflecting SP's mixed profile in the paper's
+//! Fig. 10 (lowest static replacement, failed final composition).
+
+use super::size;
+use crate::{Class, Workload};
+use fpir::*;
+use fpvm::isa::MathFun;
+
+/// Build the SP workload. The class sets the number of lines; line length
+/// is four times the line count.
+pub fn sp(class: Class) -> Workload {
+    let m = size(class, 4, 8, 12, 24) as i64;
+    let l = 4 * m;
+    let mut ir = IrProgram::new(format!("sp.{}", class.letter()));
+
+    // five diagonals + rhs + solution + exact
+    let ew = ir.array_f64("ew", l as usize); // sub-sub
+    let aw = ir.array_f64("aw", l as usize); // sub
+    let dw = ir.array_f64("dw", l as usize); // main
+    let cw = ir.array_f64("cw", l as usize); // super
+    let fw = ir.array_f64("fw", l as usize); // super-super
+    let bw = ir.array_f64("bw", l as usize); // rhs
+    let xw = ir.array_f64("xw", l as usize);
+    let ex = ir.array_f64("ex", l as usize);
+    let out = ir.array_f64("out", 2); // [checksum, soldiff]
+
+    let (fill, fa) = ir.declare("fill", &[Ty::I64], None);
+    {
+        let li = fa[0];
+        let j = ir.local_i(fill);
+        let s = ir.local_f(fill);
+        let exact = |li: Var, j: Expr| {
+            fmath(MathFun::Cos, fadd(fmul(f(0.9), itof(j)), fmul(f(0.4), itof(v(li)))))
+        };
+        ir.define(
+            fill,
+            vec![
+                for_(j, i(0), i(l), vec![
+                    st(ew, v(j), f(0.2)),
+                    st(aw, v(j), fadd(f(-1.0), fmul(f(0.04), fmath(MathFun::Sin, itof(v(j)))))),
+                    st(dw, v(j), fadd(f(3.1), fmul(f(0.08), fmath(MathFun::Cos, fmul(f(0.7), fadd(itof(v(j)), itof(v(li)))))))),
+                    st(cw, v(j), fadd(f(-1.0), fmul(f(0.04), fmath(MathFun::Cos, fmul(f(1.7), itof(v(j))))))),
+                    st(fw, v(j), f(0.2)),
+                    st(ex, v(j), exact(li, v(j))),
+                ]),
+                // rhs from the manufactured solution: b = P·x* (zero-padded)
+                for_(j, i(0), i(l), vec![
+                    set(s, fmul(ld(dw, v(j)), ld(ex, v(j)))),
+                    if_(cmp(Cc::Ge, isub(v(j), i(2)), i(0)),
+                        vec![set(s, fadd(v(s), fmul(ld(ew, v(j)), ld(ex, isub(v(j), i(2))))))], vec![]),
+                    if_(cmp(Cc::Ge, isub(v(j), i(1)), i(0)),
+                        vec![set(s, fadd(v(s), fmul(ld(aw, v(j)), ld(ex, isub(v(j), i(1))))))], vec![]),
+                    if_(cmp(Cc::Lt, iadd(v(j), i(1)), i(l)),
+                        vec![set(s, fadd(v(s), fmul(ld(cw, v(j)), ld(ex, iadd(v(j), i(1))))))], vec![]),
+                    if_(cmp(Cc::Lt, iadd(v(j), i(2)), i(l)),
+                        vec![set(s, fadd(v(s), fmul(ld(fw, v(j)), ld(ex, iadd(v(j), i(2))))))], vec![]),
+                    st(bw, v(j), v(s)),
+                ]),
+            ],
+        );
+    }
+
+    // pentadiagonal elimination without pivoting
+    let (penta, _) = ir.declare("penta", &[], None);
+    {
+        let k = ir.local_i(penta);
+        let mfac = ir.local_f(penta);
+        ir.define(
+            penta,
+            vec![
+                for_(k, i(0), i(l - 1), vec![
+                    // eliminate a[k+1]
+                    set(mfac, fdiv(ld(aw, iadd(v(k), i(1))), ld(dw, v(k)))),
+                    st(dw, iadd(v(k), i(1)), fsub(ld(dw, iadd(v(k), i(1))), fmul(v(mfac), ld(cw, v(k))))),
+                    st(cw, iadd(v(k), i(1)), fsub(ld(cw, iadd(v(k), i(1))), fmul(v(mfac), ld(fw, v(k))))),
+                    st(bw, iadd(v(k), i(1)), fsub(ld(bw, iadd(v(k), i(1))), fmul(v(mfac), ld(bw, v(k))))),
+                    // eliminate e[k+2]
+                    if_(cmp(Cc::Lt, iadd(v(k), i(2)), i(l)), vec![
+                        set(mfac, fdiv(ld(ew, iadd(v(k), i(2))), ld(dw, v(k)))),
+                        st(aw, iadd(v(k), i(2)), fsub(ld(aw, iadd(v(k), i(2))), fmul(v(mfac), ld(cw, v(k))))),
+                        st(dw, iadd(v(k), i(2)), fsub(ld(dw, iadd(v(k), i(2))), fmul(v(mfac), ld(fw, v(k))))),
+                        st(bw, iadd(v(k), i(2)), fsub(ld(bw, iadd(v(k), i(2))), fmul(v(mfac), ld(bw, v(k))))),
+                    ], vec![]),
+                ]),
+                // back substitution
+                st(xw, i(l - 1), fdiv(ld(bw, i(l - 1)), ld(dw, i(l - 1)))),
+                st(xw, i(l - 2), fdiv(
+                    fsub(ld(bw, i(l - 2)), fmul(ld(cw, i(l - 2)), ld(xw, i(l - 1)))),
+                    ld(dw, i(l - 2)),
+                )),
+                set(k, i(l - 3)),
+                while_(cmp(Cc::Ge, v(k), i(0)), vec![
+                    st(xw, v(k), fdiv(
+                        fsub(
+                            fsub(ld(bw, v(k)), fmul(ld(cw, v(k)), ld(xw, iadd(v(k), i(1))))),
+                            fmul(ld(fw, v(k)), ld(xw, iadd(v(k), i(2)))),
+                        ),
+                        ld(dw, v(k)),
+                    )),
+                    set(k, isub(v(k), i(1))),
+                ]),
+            ],
+        );
+    }
+
+    let main = ir.func("main", &[], None, |ir, fr, _| {
+        let li = ir.local_i(fr);
+        let j = ir.local_i(fr);
+        vec![for_(li, i(0), i(m), vec![
+            do_(call(fill, vec![v(li)])),
+            do_(call(penta, vec![])),
+            for_(j, i(0), i(l), vec![
+                st(out, i(0), fadd(ld(out, i(0)), ld(xw, v(j)))),
+                st(out, i(1), fadd(ld(out, i(1)), fabs(fsub(ld(xw, v(j)), ld(ex, v(j)))))),
+            ]),
+        ])]
+    });
+    ir.set_entry(main);
+
+    Workload::package("sp", class, ir, 5e-6, vec![("out".into(), 2)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penta_recovers_the_manufactured_solution() {
+        let w = sp(Class::S);
+        let out = &w.reference()[0];
+        assert!(out[1] < 1e-9, "solution error {}", out[1]);
+        assert!(out[0].abs() > 0.01, "checksum {}", out[0]);
+    }
+
+    #[test]
+    fn f32_penta_is_noticeably_less_accurate_than_tridiagonal() {
+        let w = sp(Class::S);
+        let p32 = w.compile_f32();
+        let mut vm = fpvm::Vm::new(&p32, w.vm_opts());
+        assert!(vm.run().ok());
+        let got = vm.mem.read_f32_slice(p32.symbol("out").unwrap(), 2).unwrap();
+        let want = &w.reference()[0];
+        // the accumulated |x − x*| in f32 dwarfs the f64 value
+        assert!((got[1] as f64) > 100.0 * want[1].max(1e-12));
+    }
+}

@@ -1,0 +1,260 @@
+//! Host-side sparse matrix helpers: CSR construction, SpMV, and the
+//! 5-point Laplacian / memplus-like generators used to bake workload data
+//! sets into program images.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A CSR (compressed sparse row) matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Number of rows (== columns; all our matrices are square).
+    pub n: usize,
+    /// Row pointers, length `n + 1`.
+    pub rowptr: Vec<i64>,
+    /// Column indices, length `nnz`.
+    pub colidx: Vec<i64>,
+    /// Values, length `nnz`.
+    pub vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from coordinate triplets (duplicates summed, rows sorted).
+    pub fn from_coo(n: usize, mut coo: Vec<(usize, usize, f64)>) -> Csr {
+        coo.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        let mut rowptr = vec![0i64; n + 1];
+        let mut colidx: Vec<i64> = Vec::with_capacity(coo.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(coo.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in coo {
+            assert!(r < n && c < n, "coordinate out of range");
+            if last == Some((r, c)) {
+                *vals.last_mut().unwrap() += v;
+            } else {
+                colidx.push(c as i64);
+                vals.push(v);
+                rowptr[r + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for r in 0..n {
+            rowptr[r + 1] += rowptr[r];
+        }
+        Csr { n, rowptr, colidx, vals }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `y = A·x`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        for r in 0..self.n {
+            let (a, b) = (self.rowptr[r] as usize, self.rowptr[r + 1] as usize);
+            y[r] = (a..b).map(|k| self.vals[k] * x[self.colidx[k] as usize]).sum();
+        }
+        y
+    }
+
+    /// Infinity norm of the matrix.
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.n)
+            .map(|r| {
+                let (a, b) = (self.rowptr[r] as usize, self.rowptr[r + 1] as usize);
+                (a..b).map(|k| self.vals[k].abs()).sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Dense copy (row-major), for small direct solvers.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n * self.n];
+        for r in 0..self.n {
+            let (a, b) = (self.rowptr[r] as usize, self.rowptr[r + 1] as usize);
+            for k in a..b {
+                d[r * self.n + self.colidx[k] as usize] += self.vals[k];
+            }
+        }
+        d
+    }
+}
+
+/// The 2D 5-point Laplacian on a `g × g` grid (SPD, `n = g²`).
+pub fn laplacian_2d(g: usize) -> Csr {
+    let n = g * g;
+    let mut coo = Vec::with_capacity(5 * n);
+    let idx = |i: usize, j: usize| i * g + j;
+    for i in 0..g {
+        for j in 0..g {
+            coo.push((idx(i, j), idx(i, j), 4.0));
+            if i > 0 {
+                coo.push((idx(i, j), idx(i - 1, j), -1.0));
+            }
+            if i + 1 < g {
+                coo.push((idx(i, j), idx(i + 1, j), -1.0));
+            }
+            if j > 0 {
+                coo.push((idx(i, j), idx(i, j - 1), -1.0));
+            }
+            if j + 1 < g {
+                coo.push((idx(i, j), idx(i, j + 1), -1.0));
+            }
+        }
+    }
+    Csr::from_coo(n, coo)
+}
+
+/// A memplus-like asymmetric circuit matrix: banded sparsity with a few
+/// long-range couplings, strong diagonal, and entry magnitudes spread over
+/// several orders of magnitude (conductances in a memory circuit span
+/// wide ranges — the property that makes the SuperLU threshold sweep of
+/// the paper's Fig. 11 interesting).
+pub fn memplus_like(n: usize, band: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Vec::new();
+    for r in 0..n {
+        let mut row_sum = 0.0f64;
+        for dc in 1..=band {
+            for c in [r.checked_sub(dc), Some(r + dc)].into_iter().flatten() {
+                if c < n && rng.random_bool(0.6) {
+                    // magnitudes spread over ~4 decades, random sign
+                    let mag = 10f64.powf(rng.random_range(-3.0..1.0));
+                    let v = if rng.random_bool(0.5) { mag } else { -mag };
+                    coo.push((r, c, v));
+                    row_sum += v.abs();
+                }
+            }
+        }
+        // occasional long-range coupling (word/bit lines)
+        if rng.random_bool(0.15) {
+            let c = rng.random_range(0..n);
+            if c != r {
+                let v = 10f64.powf(rng.random_range(-3.0..0.0));
+                coo.push((r, c, v));
+                row_sum += v;
+            }
+        }
+        // strong-ish (but not strictly dominant) diagonal
+        let d = row_sum * rng.random_range(0.9..1.6) + 1e-3;
+        coo.push((r, r, d));
+    }
+    Csr::from_coo(n, coo)
+}
+
+/// Dense LU with partial pivoting (host reference). Returns `None` for a
+/// singular matrix. `a` is row-major `n × n`, overwritten with LU factors.
+pub fn dense_lu_solve(a: &mut [f64], n: usize, b: &mut [f64]) -> Option<()> {
+    let mut piv: Vec<usize> = (0..n).collect();
+    for k in 0..n {
+        // pivot
+        let (mut best, mut bv) = (k, a[piv[k] * n + k].abs());
+        for r in k + 1..n {
+            let v = a[piv[r] * n + k].abs();
+            if v > bv {
+                best = r;
+                bv = v;
+            }
+        }
+        if bv == 0.0 {
+            return None;
+        }
+        piv.swap(k, best);
+        let pk = piv[k];
+        for r in k + 1..n {
+            let pr = piv[r];
+            let m = a[pr * n + k] / a[pk * n + k];
+            a[pr * n + k] = m;
+            for c in k + 1..n {
+                a[pr * n + c] -= m * a[pk * n + c];
+            }
+        }
+    }
+    // forward/back substitution on permuted rows
+    let mut y = vec![0.0; n];
+    for r in 0..n {
+        let mut s = b[piv[r]];
+        for c in 0..r {
+            s -= a[piv[r] * n + c] * y[c];
+        }
+        y[r] = s;
+    }
+    for r in (0..n).rev() {
+        let mut s = y[r];
+        for c in r + 1..n {
+            s -= a[piv[r] * n + c] * b[c];
+        }
+        b[r] = s / a[piv[r] * n + r];
+    }
+    Some(())
+}
+
+/// Componentwise backward error `‖b − A·x‖∞ / (‖A‖∞‖x‖∞ + ‖b‖∞)`, the
+/// metric SuperLU's example driver reports.
+pub fn backward_error(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
+    let ax = a.spmv(x);
+    let rmax = b.iter().zip(&ax).map(|(bi, axi)| (bi - axi).abs()).fold(0.0, f64::max);
+    let xmax = x.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    let bmax = b.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    rmax / (a.norm_inf() * xmax + bmax).max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplacian_structure() {
+        let a = laplacian_2d(3);
+        assert_eq!(a.n, 9);
+        // interior node has 5 entries, corners 3
+        assert_eq!(a.nnz(), 9 + 2 * 12); // diag + 2 per interior edge
+        // symmetric positive row sums ≥ 0
+        let x = vec![1.0; 9];
+        let y = a.spmv(&x);
+        assert!(y.iter().all(|&v| v >= 0.0));
+        assert_eq!(a.norm_inf(), 8.0);
+    }
+
+    #[test]
+    fn spmv_identity_like() {
+        let a = Csr::from_coo(3, vec![(0, 0, 2.0), (1, 1, 3.0), (2, 2, 4.0)]);
+        assert_eq!(a.spmv(&[1.0, 1.0, 1.0]), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn memplus_like_is_reproducible_and_wild() {
+        let a = memplus_like(50, 4, 42);
+        let b = memplus_like(50, 4, 42);
+        assert_eq!(a, b);
+        let c = memplus_like(50, 4, 43);
+        assert_ne!(a, c);
+        // magnitude spread of several decades
+        let max = a.vals.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let min = a.vals.iter().fold(f64::INFINITY, |m, v| m.min(v.abs()));
+        assert!(max / min > 1e2);
+    }
+
+    #[test]
+    fn dense_lu_solves_memplus_like() {
+        let a = memplus_like(40, 4, 7);
+        let xs: Vec<f64> = (0..40).map(|k| 1.0 + 0.01 * k as f64).collect();
+        let b = a.spmv(&xs);
+        let mut d = a.to_dense();
+        let mut x = b.clone();
+        dense_lu_solve(&mut d, 40, &mut x).unwrap();
+        for (g, w) in x.iter().zip(&xs) {
+            assert!((g - w).abs() < 1e-8, "{g} vs {w}");
+        }
+        assert!(backward_error(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn backward_error_detects_garbage() {
+        let a = laplacian_2d(3);
+        let b = vec![1.0; 9];
+        let junk = vec![100.0; 9];
+        assert!(backward_error(&a, &junk, &b) > 1e-2);
+    }
+}

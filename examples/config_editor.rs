@@ -1,0 +1,45 @@
+//! The terminal analogue of the paper's graphical configuration editor
+//! (Fig. 4): show the structure tree of a benchmark, toggle precision
+//! flags on aggregate nodes, and print the resulting exchange-format
+//! configuration file.
+//!
+//! ```sh
+//! cargo run --release --example config_editor
+//! ```
+
+use mpconfig::editor::{render_tree, stats, toggle};
+use mpconfig::{print_config, Config, Flag, StructureTree};
+use workloads::{nas, Class};
+
+fn main() {
+    let w = nas::cg(Class::S);
+    let tree = StructureTree::build(w.program());
+    let mut cfg = Config::new();
+
+    println!("== initial tree (no flags; everything defaults to double) ==\n");
+    print!("{}", render_tree(&tree, &cfg));
+
+    // toggle a function to single (the tree view shows the override
+    // propagating to every contained instruction)
+    let func_node = tree.children(tree.roots()[0])[0];
+    toggle(&tree, &mut cfg, func_node); // none -> single
+    println!("\n== after toggling {} to single ==\n", tree.label(func_node));
+    print!("{}", render_tree(&tree, &cfg));
+
+    // and one instruction inside it explicitly to ignore — the aggregate
+    // flag wins (parent-overrides-children, §2.1)
+    let block = tree.children(func_node)[0];
+    let insn = tree.children(block)[0];
+    cfg.set_node(&tree, insn, Flag::Ignore);
+    println!("\n== instruction flag set to ignore, but the function flag overrides ==\n");
+    print!("{}", render_tree(&tree, &cfg));
+
+    let st = stats(&tree, &cfg);
+    println!(
+        "\nstatus: {} candidates, {} replaced, {} ignored",
+        st.candidates, st.replaced, st.ignored
+    );
+
+    println!("\n== exchange-format file (paper Fig. 3) ==\n");
+    print!("{}", print_config(&tree, &cfg));
+}

@@ -1,0 +1,59 @@
+//! Run the automatic breadth-first search on one NAS analogue and print a
+//! Fig.-10-style row plus the passing structural units.
+//!
+//! ```sh
+//! cargo run --release --example nas_search [bench] [class]
+//! # e.g.  cargo run --release --example nas_search cg w
+//! ```
+
+use mixedprec::{AnalysisOptions, AnalysisSystem};
+use mpsearch::{SearchOptions, SearchReport};
+use workloads::{nas, Class, Workload};
+
+fn pick(bench: &str, class: Class) -> Workload {
+    match bench {
+        "bt" => nas::bt(class),
+        "cg" => nas::cg(class),
+        "ep" => nas::ep(class),
+        "ft" => nas::ft(class),
+        "lu" => nas::lu(class),
+        "mg" => nas::mg(class),
+        "sp" => nas::sp(class),
+        other => panic!("unknown benchmark `{other}` (expected bt|cg|ep|ft|lu|mg|sp)"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = args.get(1).map(String::as_str).unwrap_or("cg").to_string();
+    let class = match args.get(2).map(String::as_str).unwrap_or("w") {
+        "s" => Class::S,
+        "w" => Class::W,
+        "a" => Class::A,
+        "c" => Class::C,
+        other => panic!("unknown class `{other}`"),
+    };
+
+    let w = pick(&bench, class);
+    let label = format!("{}.{}", w.name, class);
+    let sys = AnalysisSystem::with_options(
+        w,
+        AnalysisOptions {
+            search: SearchOptions { threads: 4, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let report = sys.run_search();
+
+    println!("{}", SearchReport::figure10_header());
+    println!("{}\n", report.figure10_row(&label));
+
+    println!("individually passing structural units:");
+    for u in &report.passing {
+        println!("  {:<40} ({} instructions)", u.label, u.insns);
+    }
+    if report.failed_insns > 0 {
+        println!("\n{} instruction(s) must remain in double precision", report.failed_insns);
+    }
+    println!("\nsearch wall time: {:.2?}", report.elapsed);
+}

@@ -1,0 +1,68 @@
+//! Quickstart: write a small double-precision program, run the automatic
+//! mixed-precision analysis on it, and print the recommended
+//! configuration.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fpir::*;
+use mixedprec::{AnalysisOptions, AnalysisSystem};
+use mpsearch::SearchOptions;
+use workloads::{Class, Workload};
+
+fn main() {
+    // 1. A small "application": accumulate a well-behaved sum (tolerates
+    //    single precision) and a delicate compensated-style correction
+    //    (needs double precision).
+    let mut ir = IrProgram::new("quickstart");
+    let xs = ir.array_f64_init("xs", (0..128).map(|k| 1.0 + 1e-11 * k as f64).collect());
+    let out = ir.array_f64("out", 2);
+
+    let main = ir.func("main", &[], None, |ir, fr, _| {
+        let coarse = ir.local_f(fr);
+        let fine = ir.local_f(fr);
+        let k = ir.local_i(fr);
+        vec![
+            set(coarse, f(0.0)),
+            set(fine, f(0.0)),
+            for_(k, i(0), i(128), vec![
+                // coarse: plain sum of O(1) values
+                set(coarse, fadd(v(coarse), ld(xs, v(k)))),
+                // fine: amplify the 1e-11 perturbations — only meaningful
+                // when computed in double precision
+                set(fine, fadd(v(fine), fmul(fsub(ld(xs, v(k)), f(1.0)), f(1e10)))),
+            ]),
+            st(out, i(0), v(coarse)),
+            st(out, i(1), v(fine)),
+        ]
+    });
+    ir.set_entry(main);
+
+    // 2. Package it with a data set and a verification tolerance. The
+    //    reference outputs come from the original double-precision run.
+    let workload = Workload::package("quickstart", Class::S, ir, 1e-7, vec![("out".into(), 2)]);
+
+    // 3. Run the analysis: profile, breadth-first search, union config.
+    let sys = AnalysisSystem::with_options(
+        workload,
+        AnalysisOptions {
+            search: SearchOptions { threads: 2, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let rec = sys.recommend();
+
+    println!("== search results ==");
+    println!("candidate instructions : {}", rec.report.candidates);
+    println!("configurations tested  : {}", rec.report.configs_tested);
+    println!("replaced (static)      : {:.1}%", rec.report.static_pct);
+    println!("replaced (dynamic)     : {:.1}%", rec.report.dynamic_pct);
+    println!("final verification     : {}", if rec.report.final_pass { "pass" } else { "fail" });
+    println!("modelled speedup       : {:.2}x", rec.modelled_speedup);
+    println!();
+    println!("== recommended configuration (exchange format, Fig. 3) ==");
+    println!("{}", rec.config_text);
+    println!("legend: s = replace with single precision, d = keep double;");
+    println!("the delicate correction loop should have stayed double.");
+}

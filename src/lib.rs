@@ -1,0 +1,10 @@
+//! Root crate for the reproduction: re-exports every workspace library so
+//! integration tests and examples have a single import surface.
+
+pub use fpir;
+pub use fpvm;
+pub use instrument;
+pub use mixedprec;
+pub use mpconfig;
+pub use mpsearch;
+pub use workloads;

@@ -1,0 +1,65 @@
+//! Integration tests of the intra-node rank runtime (the MPI analogue
+//! used by the Fig. 8 experiments).
+
+use fpvm::cluster::run_ranks;
+use fpvm::VmOptions;
+use instrument::rewrite_all_double;
+use mpconfig::StructureTree;
+use workloads::{nas, Class};
+
+/// EP sharded across ranks: the concatenated rank results must reproduce
+/// the single-rank totals when the shards partition the work (each rank
+/// uses its own seed continuation here, so we check statistical sanity
+/// and determinism rather than exact equality).
+#[test]
+fn ep_ranks_are_deterministic_and_sane() {
+    let run = |nranks: usize| {
+        let progs: Vec<_> =
+            (0..nranks).map(|_| nas::ep_sized(Class::S, 256 / nranks as i64).program().clone()).collect();
+        let (outcome, partials) = run_ranks(
+            nranks,
+            &VmOptions::default(),
+            |r| progs[r].clone(),
+            |_, vm| {
+                let p = &progs[0];
+                vm.mem.read_f64_slice(p.symbol("sums").unwrap(), 2).unwrap()
+            },
+        );
+        assert!(outcome.ok());
+        partials
+    };
+    let a = run(4);
+    let b = run(4);
+    assert_eq!(a, b, "rank runs must be deterministic");
+    for sums in &a {
+        assert!(sums.iter().all(|v| v.is_finite()));
+    }
+}
+
+/// Instrumented rank runs succeed and cost more per-rank steps.
+#[test]
+fn instrumented_ranks_carry_overhead() {
+    let w = nas::mg_sized(Class::S, 32, 4);
+    let orig = w.program().clone();
+    let tree = StructureTree::build(&orig);
+    let (instr, _) = rewrite_all_double(&orig, &tree);
+
+    let (o, _) = run_ranks(4, &VmOptions::default(), |_| orig.clone(), |_, _| ());
+    let (i, _) = run_ranks(4, &VmOptions::default(), |_| instr.clone(), |_, _| ());
+    assert!(o.ok() && i.ok());
+    assert!(i.total_steps() > o.total_steps());
+    assert!(i.critical_steps() > o.critical_steps());
+}
+
+/// The cluster critical path (max rank steps) is bounded by the total.
+#[test]
+fn critical_path_invariant() {
+    let w = nas::ft_sized(Class::S, 32);
+    let prog = w.program().clone();
+    for nranks in [1, 2, 3, 8] {
+        let (c, _) = run_ranks(nranks, &VmOptions::default(), |_| prog.clone(), |_, _| ());
+        assert!(c.ok());
+        assert!(c.critical_steps() <= c.total_steps());
+        assert!(c.critical_steps() * nranks as u64 >= c.total_steps());
+    }
+}

@@ -1,0 +1,142 @@
+//! Cross-crate instrumentation invariants on real workloads: all-double
+//! transparency, crash-on-miss, profile attribution, ignore handling.
+
+use fpvm::{Vm, VmOptions};
+use instrument::{rewrite, rewrite_all_double, RewriteOptions};
+use mpconfig::{Config, Flag, StructureTree};
+use workloads::{nas, nas_all, Class};
+
+/// The all-double instrumented binary must reproduce the original's
+/// outputs bit for bit (the paper's base-case transformation "does not
+/// affect the semantics or results of the program").
+#[test]
+fn all_double_is_bit_transparent_on_every_workload() {
+    for w in nas_all(Class::S) {
+        let prog = w.program();
+        let tree = StructureTree::build(prog);
+        let (instr, stats) = rewrite_all_double(prog, &tree);
+        assert!(stats.instrumented() > 0, "{}: nothing instrumented", w.name);
+
+        let mut v0 = Vm::new(prog, w.vm_opts());
+        assert!(v0.run().ok());
+        let mut v1 = Vm::new(&instr, w.vm_opts());
+        assert!(v1.run().ok(), "{}: instrumented run failed", w.name);
+        for (sym, len) in &w.out_syms {
+            let a = v0.mem.read_u64_slice(prog.symbol(sym).unwrap(), *len).unwrap();
+            let b = v1.mem.read_u64_slice(prog.symbol(sym).unwrap(), *len).unwrap();
+            assert_eq!(a, b, "{}: {sym} diverged under all-double instrumentation", w.name);
+        }
+    }
+}
+
+/// Replacing one hot instruction and ignoring its consumers crashes
+/// loudly instead of silently corrupting results.
+#[test]
+fn crash_on_miss_fires_on_a_real_kernel() {
+    let w = nas::mg(Class::S);
+    let prog = w.program();
+    let tree = StructureTree::build(prog);
+    // find the hottest candidate and replace only it, ignoring the rest
+    let profile = Vm::run_program(prog, VmOptions { profile: true, ..w.vm_opts() })
+        .profile
+        .unwrap();
+    let hottest = tree
+        .all_insns()
+        .into_iter()
+        .max_by_key(|&i| profile.count(i))
+        .unwrap();
+    let mut cfg = Config::new();
+    for id in tree.all_insns() {
+        cfg.set_insn(id, if id == hottest { Flag::Single } else { Flag::Ignore });
+    }
+    let (instr, stats) = rewrite(prog, &tree, &cfg, &RewriteOptions::default());
+    assert_eq!(stats.single, 1);
+    let out = Vm::run_program(&instr, w.vm_opts());
+    assert!(
+        matches!(out.result, Err(fpvm::Trap::FlaggedNanConsumed { .. })),
+        "expected crash-on-miss, got {:?}",
+        out.result
+    );
+}
+
+/// Snippet instructions in a rewritten workload are attributed to their
+/// origin, so instrumented profiles can be folded back onto the original
+/// instruction set.
+#[test]
+fn instrumented_profiles_fold_back_to_original_instructions() {
+    let w = nas::ep(Class::S);
+    let prog = w.program();
+    let tree = StructureTree::build(prog);
+    let (instr, _) = rewrite_all_double(prog, &tree);
+    let out = Vm::run_program(&instr, VmOptions { profile: true, ..w.vm_opts() });
+    assert!(out.ok());
+    let prof = out.profile.unwrap();
+    // for each candidate: its own id no longer executes (it was replaced),
+    // but snippet instructions attributed to it do.
+    let mut per_origin = std::collections::HashMap::new();
+    for (_, _, insn) in instr.iter_insns() {
+        if let Some(origin) = insn.origin {
+            *per_origin.entry(origin).or_insert(0u64) += prof.count(insn.id);
+        }
+    }
+    let orig_prof = Vm::run_program(prog, VmOptions { profile: true, ..w.vm_opts() })
+        .profile
+        .unwrap();
+    for id in tree.all_insns() {
+        if orig_prof.count(id) > 0 {
+            assert!(
+                per_origin.get(&id).copied().unwrap_or(0) > 0,
+                "no snippet executions attributed to hot candidate {id:?}"
+            );
+        }
+    }
+}
+
+/// The `ignore` flag leaves instructions untouched even when the rest of
+/// the module is replaced, and the EP RNG keeps producing the exact
+/// 46-bit sequence.
+#[test]
+fn ignored_rng_stays_exact_under_full_replacement() {
+    let w = nas::ep(Class::S);
+    let prog = w.program();
+    let tree = StructureTree::build(prog);
+    let mut cfg = Config::new();
+    for m in &tree.modules {
+        for fun in &m.funcs {
+            let flag = if fun.name == "randlc" { Flag::Ignore } else { Flag::Single };
+            cfg.set_func(fun.id, flag);
+        }
+    }
+    let (instr, stats) = rewrite(prog, &tree, &cfg, &RewriteOptions::default());
+    assert!(stats.ignored > 0);
+    let mut vm = Vm::new(&instr, w.vm_opts());
+    assert!(vm.run().ok());
+    // the RNG state must match the original run exactly
+    let mut v0 = Vm::new(prog, w.vm_opts());
+    assert!(v0.run().ok());
+    let a = vm.mem.load_u64(prog.symbol("rngst").unwrap()).unwrap();
+    let b = v0.mem.load_u64(prog.symbol("rngst").unwrap()).unwrap();
+    assert_eq!(a, b, "ignored RNG state diverged");
+}
+
+/// Lean (dataflow) mode never changes results on any workload.
+#[test]
+fn lean_mode_is_semantics_preserving_everywhere() {
+    for w in nas_all(Class::S) {
+        let prog = w.program();
+        let tree = StructureTree::build(prog);
+        let (full, _) =
+            rewrite(prog, &tree, &Config::new(), &RewriteOptions { mode: instrument::RewriteMode::AllDouble, lean: false });
+        let (lean, _) =
+            rewrite(prog, &tree, &Config::new(), &RewriteOptions { mode: instrument::RewriteMode::AllDouble, lean: true });
+        let mut vf = Vm::new(&full, w.vm_opts());
+        assert!(vf.run().ok());
+        let mut vl = Vm::new(&lean, w.vm_opts());
+        assert!(vl.run().ok());
+        for (sym, len) in &w.out_syms {
+            let a = vf.mem.read_u64_slice(prog.symbol(sym).unwrap(), *len).unwrap();
+            let b = vl.mem.read_u64_slice(prog.symbol(sym).unwrap(), *len).unwrap();
+            assert_eq!(a, b, "{}: lean mode changed {sym}", w.name);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Property-based tests (proptest) on the core invariants: the in-place
+//! replacement representation, snippet numerical semantics, configuration
+//! override resolution and format round-trips, and sparse-matrix algebra.
+
+use fpvm::isa::*;
+use fpvm::program::Program;
+use fpvm::value::{is_replaced, read_as_f64, replace, replace_bits, FLAG_HI64, HI_MASK};
+use fpvm::{Vm, VmOptions};
+use instrument::{emit_snippet, Emitter, OperandFacts, SnippetPrec};
+use mpconfig::{parse_config, print_config, Config, Flag, StructureTree};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// replacement representation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn replaced_slots_are_always_nan_and_roundtrip(x in proptest::num::f64::ANY) {
+        let r = replace(x);
+        prop_assert!(is_replaced(r));
+        prop_assert!(f64::from_bits(r).is_nan());
+        let payload = fpvm::value::extract(r);
+        // payload equals the f64→f32 rounding (NaN payloads may differ in
+        // bits, but compare as values)
+        let want = x as f32;
+        if want.is_nan() {
+            prop_assert!(payload.is_nan());
+        } else {
+            prop_assert_eq!(payload.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn ordinary_doubles_never_collide_with_the_flag(x in proptest::num::f64::ANY) {
+        // only bit patterns with the exact 0x7FF4DEAD high word are
+        // replaced; any genuine double that is not such a NaN is safe
+        if x.to_bits() & HI_MASK != FLAG_HI64 {
+            prop_assert!(!is_replaced(x.to_bits()));
+            prop_assert_eq!(read_as_f64(x.to_bits()).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn replace_bits_preserves_payload(bits in proptest::num::u32::ANY) {
+        let r = replace_bits(bits);
+        prop_assert!(is_replaced(r));
+        prop_assert_eq!(r as u32, bits);
+    }
+}
+
+// ---------------------------------------------------------------------
+// snippet numerical semantics
+// ---------------------------------------------------------------------
+
+fn run_snippet_case(a_bits: u64, b_bits: u64, op: FpAluOp, prec: SnippetPrec) -> u64 {
+    let mut p = Program::new(1 << 14);
+    let m = p.add_module("t");
+    let f = p.add_function(m, "main");
+    let b0 = p.add_block(f);
+    p.funcs[f.0 as usize].entry = b0;
+    p.entry = f;
+    p.globals = vec![0u8; 24];
+    p.globals[..8].copy_from_slice(&a_bits.to_le_bytes());
+    p.globals[8..16].copy_from_slice(&b_bits.to_le_bytes());
+    p.push_insn(b0, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
+    p.push_insn(b0, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(1)), src: FpLoc::Mem(MemRef::abs(8)) });
+    let victim = p.mk_insn(InstKind::FpArith { op, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+    let origin = victim.id;
+    let mut e = Emitter { prog: &mut p, func: f, cur: b0, origin };
+    emit_snippet(&mut e, &victim, prec, OperandFacts::default());
+    let tail = e.cur;
+    p.push_insn(tail, InstKind::MovF { width: Width::W64, dst: FpLoc::Mem(MemRef::abs(16)), src: FpLoc::Reg(Xmm(0)) });
+    p.block_mut(tail).term = Terminator::Halt;
+    let mut vm = Vm::new(&p, VmOptions::default());
+    vm.run().result.expect("snippet trapped");
+    vm.mem.load_u64(16).unwrap()
+}
+
+fn host_alu_f32(op: FpAluOp, a: f32, b: f32) -> f32 {
+    match op {
+        FpAluOp::Add => a + b,
+        FpAluOp::Sub => a - b,
+        FpAluOp::Mul => a * b,
+        FpAluOp::Div => a / b,
+        FpAluOp::Min => {
+            if a < b {
+                a
+            } else {
+                b
+            }
+        }
+        FpAluOp::Max => {
+            if a > b {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+fn host_alu_f64(op: FpAluOp, a: f64, b: f64) -> f64 {
+    match op {
+        FpAluOp::Add => a + b,
+        FpAluOp::Sub => a - b,
+        FpAluOp::Mul => a * b,
+        FpAluOp::Div => a / b,
+        FpAluOp::Min => {
+            if a < b {
+                a
+            } else {
+                b
+            }
+        }
+        FpAluOp::Max => {
+            if a > b {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+fn any_op() -> impl Strategy<Value = FpAluOp> {
+    prop_oneof![
+        Just(FpAluOp::Add),
+        Just(FpAluOp::Sub),
+        Just(FpAluOp::Mul),
+        Just(FpAluOp::Div),
+        Just(FpAluOp::Min),
+        Just(FpAluOp::Max),
+    ]
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    // values whose f32 image is finite too, to keep host comparison clean
+    (-1e30f64..1e30).prop_filter("nonzero-ish", |x| x.abs() > 1e-30 || *x == 0.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_snippets_compute_exact_f32_semantics(
+        a in finite_f64(),
+        b in finite_f64(),
+        a_flagged in any::<bool>(),
+        b_flagged in any::<bool>(),
+        op in any_op(),
+    ) {
+        let a_bits = if a_flagged { replace(a) } else { a.to_bits() };
+        let b_bits = if b_flagged { replace(b) } else { b.to_bits() };
+        let got = run_snippet_case(a_bits, b_bits, op, SnippetPrec::Single);
+        prop_assert!(is_replaced(got));
+        let want = host_alu_f32(op, a as f32, b as f32);
+        let payload = f32::from_bits(got as u32);
+        if want.is_nan() {
+            prop_assert!(payload.is_nan());
+        } else {
+            prop_assert_eq!(payload.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn double_snippets_compute_exact_f64_semantics(
+        a in finite_f64(),
+        b in finite_f64(),
+        a_flagged in any::<bool>(),
+        b_flagged in any::<bool>(),
+        op in any_op(),
+    ) {
+        let a_bits = if a_flagged { replace(a) } else { a.to_bits() };
+        let b_bits = if b_flagged { replace(b) } else { b.to_bits() };
+        let got = run_snippet_case(a_bits, b_bits, op, SnippetPrec::Double);
+        prop_assert!(!is_replaced(got));
+        // flagged inputs were rounded to f32 when they were replaced
+        let ae = if a_flagged { (a as f32) as f64 } else { a };
+        let be = if b_flagged { (b as f32) as f64 } else { b };
+        let want = host_alu_f64(op, ae, be);
+        let gotf = f64::from_bits(got);
+        if want.is_nan() {
+            prop_assert!(gotf.is_nan());
+        } else {
+            prop_assert_eq!(gotf.to_bits(), want.to_bits());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// configuration semantics & format
+// ---------------------------------------------------------------------
+
+fn demo_tree() -> (Program, StructureTree) {
+    let mut p = Program::new(1 << 12);
+    let m = p.add_module("m");
+    for fname in ["alpha", "beta"] {
+        let f = p.add_function(m, fname);
+        let b1 = p.add_block(f);
+        let b2 = p.add_block(f);
+        p.funcs[f.0 as usize].entry = b1;
+        if fname == "alpha" {
+            p.entry = f;
+        }
+        for b in [b1, b2] {
+            for _ in 0..3 {
+                p.push_insn(b, InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+            }
+        }
+        p.block_mut(b1).term = Terminator::Jmp(b2);
+        p.block_mut(b2).term = Terminator::Ret;
+    }
+    let t = StructureTree::build(&p);
+    (p, t)
+}
+
+fn any_flag() -> impl Strategy<Value = Option<Flag>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(Flag::Single)),
+        Just(Some(Flag::Double)),
+        Just(Some(Flag::Ignore)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn effective_resolution_matches_reference_model(
+        mflag in any_flag(),
+        fflags in proptest::collection::vec(any_flag(), 2),
+        bflags in proptest::collection::vec(any_flag(), 4),
+        iflags in proptest::collection::vec(any_flag(), 12),
+    ) {
+        let (_p, tree) = demo_tree();
+        let mut cfg = Config::new();
+        if let Some(fl) = mflag {
+            cfg.set_module(tree.modules[0].id, fl);
+        }
+        for (fi, fl) in fflags.iter().enumerate() {
+            if let Some(fl) = fl {
+                cfg.set_func(tree.modules[0].funcs[fi].id, *fl);
+            }
+        }
+        let mut bi = 0;
+        let mut ii = 0;
+        for f in &tree.modules[0].funcs {
+            for b in &f.blocks {
+                if let Some(fl) = bflags[bi] {
+                    cfg.set_block(b.id, fl);
+                }
+                bi += 1;
+                for e in &b.insns {
+                    if let Some(fl) = iflags[ii] {
+                        cfg.set_insn(e.id, fl);
+                    }
+                    ii += 1;
+                }
+            }
+        }
+        // reference model: outermost explicit flag wins, default Double
+        let mut bi = 0;
+        let mut ii = 0;
+        for (fi, f) in tree.modules[0].funcs.iter().enumerate() {
+            for b in &f.blocks {
+                for e in &b.insns {
+                    let want = mflag
+                        .or(fflags[fi])
+                        .or(bflags[bi])
+                        .or(iflags[ii])
+                        .unwrap_or(Flag::Double);
+                    prop_assert_eq!(cfg.effective(&tree, e.id), want);
+                    ii += 1;
+                }
+                bi += 1;
+            }
+        }
+        // and the exchange format round-trips the explicit flags exactly
+        let text = print_config(&tree, &cfg);
+        let parsed = parse_config(&tree, &text).unwrap();
+        prop_assert_eq!(parsed, cfg);
+    }
+}
+
+// ---------------------------------------------------------------------
+// sparse algebra
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_spmv_matches_dense(
+        n in 2usize..12,
+        entries in proptest::collection::vec((0usize..12, 0usize..12, -10.0f64..10.0), 1..40),
+        xs in proptest::collection::vec(-5.0f64..5.0, 12),
+    ) {
+        let coo: Vec<(usize, usize, f64)> = entries
+            .into_iter()
+            .map(|(r, c, v)| (r % n, c % n, v))
+            .collect();
+        let a = workloads::sparse::Csr::from_coo(n, coo.clone());
+        let x = &xs[..n];
+        let y = a.spmv(x);
+        // dense reference
+        let mut want = vec![0.0f64; n];
+        let d = a.to_dense();
+        for r in 0..n {
+            for c in 0..n {
+                want[r] += d[r * n + c] * x[c];
+            }
+        }
+        for (g, w) in y.iter().zip(&want) {
+            prop_assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
+        }
+        // nnz after merge never exceeds the raw entry count
+        prop_assert!(a.nnz() <= coo.len());
+    }
+
+    #[test]
+    fn dense_lu_solves_random_diagonally_dominant_systems(
+        n in 2usize..10,
+        seed in 0u64..1000,
+    ) {
+        let a = workloads::sparse::memplus_like(n, 2, seed);
+        let xs: Vec<f64> = (0..n).map(|k| 1.0 + 0.1 * k as f64).collect();
+        let b = a.spmv(&xs);
+        let mut d = a.to_dense();
+        let mut x = b.clone();
+        if workloads::sparse::dense_lu_solve(&mut d, n, &mut x).is_some() {
+            let be = workloads::sparse::backward_error(&a, &x, &b);
+            prop_assert!(be < 1e-10, "backward error {be}");
+        }
+    }
+}
