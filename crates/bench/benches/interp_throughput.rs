@@ -1,12 +1,35 @@
 //! Interpreter throughput on the NAS analogues: steps/second for the
-//! original and all-double-instrumented binaries. The ratio is the
-//! "overhead (X)" of the paper's Figs. 8–9 at micro scale.
+//! original and all-double-instrumented binaries, through both execution
+//! engines — the tree-walking reference interpreter and the pre-decoded
+//! execution image (`fpvm::exec`). The orig/instrumented ratio is the
+//! "overhead (X)" of the paper's Figs. 8–9 at micro scale; the
+//! reference/fast ratio is the dispatch speedup of the pre-decode pass.
+//!
+//! Before timing anything, the two engines are asserted bit-identical on
+//! every benched program (same result, same step/cycle counts).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fpvm::exec::ExecImage;
 use fpvm::{Vm, VmOptions};
 use instrument::rewrite_all_double;
 use mpconfig::StructureTree;
 use workloads::{nas, Class};
+
+/// Assert the fast path reproduces the reference run exactly, and return
+/// the step count so benches can sanity-check against it.
+fn assert_bit_identical(p: &fpvm::Program) -> u64 {
+    let opts = VmOptions::default();
+    let ref_out = Vm::run_program(p, opts.clone());
+    let image = ExecImage::compile(p, &opts.cost);
+    let mut vm = Vm::new(p, opts);
+    let fast_out = vm.run_image(&image);
+    assert_eq!(ref_out.result, fast_out.result);
+    assert_eq!(ref_out.stats.steps, fast_out.stats.steps);
+    assert_eq!(ref_out.stats.cycles, fast_out.stats.cycles);
+    assert_eq!(ref_out.stats.fp_ops, fast_out.stats.fp_ops);
+    assert!(fast_out.ok());
+    fast_out.stats.steps
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("interp");
@@ -14,6 +37,12 @@ fn bench(c: &mut Criterion) {
         let orig = w.program().clone();
         let tree = StructureTree::build(&orig);
         let (instr, _) = rewrite_all_double(&orig, &tree);
+        let cost = VmOptions::default().cost;
+        let orig_image = ExecImage::compile(&orig, &cost);
+        let instr_image = ExecImage::compile(&instr, &cost);
+        let orig_steps = assert_bit_identical(&orig);
+        let instr_steps = assert_bit_identical(&instr);
+
         g.bench_function(format!("{name}.orig"), |b| {
             b.iter(|| {
                 let out = Vm::run_program(&orig, VmOptions::default());
@@ -21,10 +50,26 @@ fn bench(c: &mut Criterion) {
                 out.stats.steps
             })
         });
+        g.bench_function(format!("{name}.orig.fast"), |b| {
+            b.iter(|| {
+                let mut vm = Vm::new(&orig, VmOptions::default());
+                let out = vm.run_image(&orig_image);
+                assert_eq!(out.stats.steps, orig_steps);
+                out.stats.steps
+            })
+        });
         g.bench_function(format!("{name}.instrumented"), |b| {
             b.iter(|| {
                 let out = Vm::run_program(&instr, VmOptions::default());
                 assert!(out.ok());
+                out.stats.steps
+            })
+        });
+        g.bench_function(format!("{name}.instrumented.fast"), |b| {
+            b.iter(|| {
+                let mut vm = Vm::new(&instr, VmOptions::default());
+                let out = vm.run_image(&instr_image);
+                assert_eq!(out.stats.steps, instr_steps);
                 out.stats.steps
             })
         });

@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
     let w = nas::ft(Class::A);
     let prog = w.program().clone();
     let tree = StructureTree::build(&prog);
-    g.bench_function("all_double", |b| {
-        b.iter(|| rewrite_all_double(&prog, &tree).1.snippet_insns)
-    });
+    g.bench_function("all_double", |b| b.iter(|| rewrite_all_double(&prog, &tree).1.snippet_insns));
     let mut cfg = Config::new();
     for m in &tree.modules {
         cfg.set_module(m.id, Flag::Single);

@@ -1,30 +1,35 @@
 //! End-to-end search micro-benchmark on the smallest classes: measures a
-//! full automatic search (profile + BFS + union verification).
+//! full automatic search (profile + BFS + union verification), with the
+//! config-evaluation cache on (the default) and off, so the cache's
+//! contribution to search wall time is tracked across revisions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mixedprec::{AnalysisOptions, AnalysisSystem};
 use mpsearch::SearchOptions;
 use workloads::{nas, Class};
 
+fn run_once(make: fn(Class) -> workloads::Workload, eval_cache: bool) -> usize {
+    let sys = AnalysisSystem::with_options(
+        make(Class::S),
+        AnalysisOptions {
+            search: SearchOptions {
+                threads: 2,
+                prioritize: false,
+                eval_cache,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    sys.run_search().configs_tested
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("search");
     g.sample_size(10);
-    for (name, make) in [
-        ("ep.s", nas::ep as fn(Class) -> workloads::Workload),
-        ("cg.s", nas::cg),
-    ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let sys = AnalysisSystem::with_options(
-                    make(Class::S),
-                    AnalysisOptions {
-                        search: SearchOptions { threads: 2, prioritize: false, ..Default::default() },
-                        ..Default::default()
-                    },
-                );
-                sys.run_search().configs_tested
-            })
-        });
+    for (name, make) in [("ep.s", nas::ep as fn(Class) -> workloads::Workload), ("cg.s", nas::cg)] {
+        g.bench_function(name, |b| b.iter(|| run_once(make, true)));
+        g.bench_function(format!("{name}.nocache"), |b| b.iter(|| run_once(make, false)));
     }
     g.finish();
 }

@@ -25,9 +25,25 @@ fn harness(a_bits: u64, prec: Option<SnippetPrec>, reps: i64) -> Program {
     p.block_mut(b0).term = Terminator::Jmp(head);
     p.push_insn(head, InstKind::Cmp { lhs: Gpr(2), src: GMI::Imm(reps) });
     p.block_mut(head).term = Terminator::Br { cond: Cond::Lt, then_: body, else_: done };
-    p.push_insn(body, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-    p.push_insn(body, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(1)), src: FpLoc::Reg(Xmm(0)) });
-    let victim = p.mk_insn(InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+    p.push_insn(
+        body,
+        InstKind::MovF {
+            width: Width::W64,
+            dst: FpLoc::Reg(Xmm(0)),
+            src: FpLoc::Mem(MemRef::abs(0)),
+        },
+    );
+    p.push_insn(
+        body,
+        InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(1)), src: FpLoc::Reg(Xmm(0)) },
+    );
+    let victim = p.mk_insn(InstKind::FpArith {
+        op: FpAluOp::Add,
+        prec: Prec::Double,
+        packed: false,
+        dst: Xmm(0),
+        src: RM::Reg(Xmm(1)),
+    });
     let tail = match prec {
         Some(sp) => {
             let origin = victim.id;

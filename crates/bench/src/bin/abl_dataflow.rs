@@ -48,8 +48,7 @@ fn main() {
             assert_eq!(a, b, "{}: lean mode changed results", w.name);
         }
 
-        let saved = 100.0
-            * (full_run.stats.steps - lean_run.stats.steps) as f64
+        let saved = 100.0 * (full_run.stats.steps - lean_run.stats.steps) as f64
             / full_run.stats.steps as f64;
         println!(
             "{:<8} {:>14} {:>14} {:>12} {:>12} {:>7.1}%",

@@ -31,17 +31,16 @@ fn main() {
                 }
             }
         }
-        let profile = Vm::run_program(prog, VmOptions { profile: true, ..w.vm_opts() })
-            .profile
-            .unwrap();
+        let profile =
+            Vm::run_program(prog, VmOptions { profile: true, ..w.vm_opts() }).profile.unwrap();
         let run = |binary_split: bool, prioritize: bool| {
-            let eval = VmEvaluator {
+            let eval = VmEvaluator::with_options(
                 prog,
-                tree: &tree,
-                vm_opts: w.vm_opts(),
-                rewrite_opts: RewriteOptions::default(),
-                verify: Box::new(w.verifier()),
-            };
+                &tree,
+                w.vm_opts(),
+                RewriteOptions::default(),
+                w.verifier(),
+            );
             search(
                 &tree,
                 &base,

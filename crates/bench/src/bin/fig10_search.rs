@@ -11,9 +11,12 @@ use workloads::{nas_all, Class};
 fn main() {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let second_phase = std::env::args().any(|a| a == "--second-phase");
-    println!("Figure 10: NAS benchmark search results{}\n",
-        if second_phase { " (with the second composition phase)" } else { "" });
+    println!(
+        "Figure 10: NAS benchmark search results{}\n",
+        if second_phase { " (with the second composition phase)" } else { "" }
+    );
     header(&SearchReport::figure10_header());
+    let mut perf_notes = Vec::new();
     for class in [Class::W, Class::A] {
         for w in nas_all(class) {
             let label = format!("{}.{}", w.name, class.letter().to_uppercase());
@@ -26,7 +29,12 @@ fn main() {
             );
             let report = sys.run_search();
             println!("{}", report.figure10_row(&label));
+            perf_notes.push(report.perf_note(&label));
         }
+    }
+    println!("\nEvaluation-pipeline counters (where the search time went):");
+    for note in &perf_notes {
+        println!("{note}");
     }
     println!("\n(candidates exclude `ignore`-flagged RNG instructions; dynamic % is");
     println!(" measured against an execution profile of the original binary;");

@@ -16,9 +16,8 @@ fn main() {
     let s = slu(Class::W);
     let prog = s.wl.program();
     let tree = StructureTree::build(prog);
-    let profile = Vm::run_program(prog, VmOptions { profile: true, ..Default::default() })
-        .profile
-        .unwrap();
+    let profile =
+        Vm::run_program(prog, VmOptions { profile: true, ..Default::default() }).profile.unwrap();
 
     // reference errors of the pure builds (the paper reports 2.16e-12
     // double / 5.86e-04 single for memplus)
@@ -38,21 +37,20 @@ fn main() {
     let err_single = workloads::slu::forward_error(&x32, &s.xstar);
 
     println!("Figure 11: SuperLU linear solver memplus-like results (n = {})", s.n);
-    println!("double-precision error: {err_double:.2e}   single-precision error: {err_single:.2e}\n");
-    let h = format!(
-        "{:<10} {:>9} {:>9} {:>12}",
-        "threshold", "static", "dynamic", "final error"
+    println!(
+        "double-precision error: {err_double:.2e}   single-precision error: {err_single:.2e}\n"
     );
+    let h = format!("{:<10} {:>9} {:>9} {:>12}", "threshold", "static", "dynamic", "final error");
     header(&h);
 
     for threshold in [1.0e-3, 1.0e-4, 7.5e-5, 5.0e-5, 2.5e-5, 1.0e-5, 1.0e-6] {
-        let eval = VmEvaluator {
+        let eval = VmEvaluator::with_options(
             prog,
-            tree: &tree,
-            vm_opts: VmOptions::default(),
-            rewrite_opts: RewriteOptions::default(),
-            verify: Box::new(s.threshold_verifier(threshold)),
-        };
+            &tree,
+            VmOptions::default(),
+            RewriteOptions::default(),
+            s.threshold_verifier(threshold),
+        );
         let report = search(
             &tree,
             &Config::new(),

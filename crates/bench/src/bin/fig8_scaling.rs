@@ -62,10 +62,8 @@ fn main() {
     println!("Figure 8: NAS MPI scaling results (overhead X vs ranks)");
     println!("(class A analogues, all candidates replaced with double-precision snippets;");
     println!(" overhead includes each rank's modelled, un-instrumented MPI share)\n");
-    let h = format!(
-        "{:<6} {:>8} {:>8} {:>8} {:>8}   {:>10}",
-        "bench", "1", "2", "4", "8", "raw steps"
-    );
+    let h =
+        format!("{:<6} {:>8} {:>8} {:>8} {:>8}   {:>10}", "bench", "1", "2", "4", "8", "raw steps");
     header(&h);
     for name in ["ep", "cg", "ft", "mg"] {
         let mut row = format!("{name:<6}");
@@ -80,8 +78,8 @@ fn main() {
             assert!(o.ok() && i.ok());
             let (rounds, words) = comm(name, nranks);
             let comm_steps = rounds * (LATENCY + words * PER_WORD);
-            let overhead = (i.stats.steps as f64 + comm_steps)
-                / (o.stats.steps as f64 + comm_steps);
+            let overhead =
+                (i.stats.steps as f64 + comm_steps) / (o.stats.steps as f64 + comm_steps);
             if nranks == 1 {
                 raw1 = i.stats.steps as f64 / o.stats.steps as f64;
             }

@@ -11,8 +11,8 @@ use instrument::RewriteOptions;
 use mixedprec::conversion_speedup;
 use mpconfig::{Config, StructureTree};
 use mpsearch::{search, SearchOptions, VmEvaluator};
-use workloads::slu::slu;
 use workloads::slu::forward_error;
+use workloads::slu::slu;
 use workloads::Class;
 
 fn main() {
@@ -49,16 +49,15 @@ fn main() {
     // the tool should find essentially the whole solver replaceable.
     let threshold = err_single * 1.7;
     let tree = StructureTree::build(prog);
-    let profile = Vm::run_program(prog, VmOptions { profile: true, ..Default::default() })
-        .profile
-        .unwrap();
-    let eval = VmEvaluator {
+    let profile =
+        Vm::run_program(prog, VmOptions { profile: true, ..Default::default() }).profile.unwrap();
+    let eval = VmEvaluator::with_options(
         prog,
-        tree: &tree,
-        vm_opts: VmOptions::default(),
-        rewrite_opts: RewriteOptions::default(),
-        verify: Box::new(s.threshold_verifier(threshold)),
-    };
+        &tree,
+        VmOptions::default(),
+        RewriteOptions::default(),
+        s.threshold_verifier(threshold),
+    );
     let report = search(
         &tree,
         &Config::new(),

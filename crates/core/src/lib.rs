@@ -123,13 +123,13 @@ impl AnalysisSystem {
     }
 
     fn evaluator(&self) -> VmEvaluator<'_> {
-        VmEvaluator {
-            prog: self.workload.program(),
-            tree: &self.tree,
-            vm_opts: self.workload.vm_opts(),
-            rewrite_opts: self.opts.rewrite.clone(),
-            verify: Box::new(self.workload.verifier()),
-        }
+        VmEvaluator::with_options(
+            self.workload.program(),
+            &self.tree,
+            self.workload.vm_opts(),
+            self.opts.rewrite.clone(),
+            self.workload.verifier(),
+        )
     }
 
     /// Measure the all-double instrumentation overhead (Figs. 8–9): same
@@ -215,9 +215,7 @@ pub fn model_speedup(
             continue;
         }
         let c_orig = cost.cost(&insn.kind) as f64;
-        let c_mixed = if insn.kind.is_candidate()
-            && cfg.effective(tree, insn.id) == Flag::Single
-        {
+        let c_mixed = if insn.kind.is_candidate() && cfg.effective(tree, insn.id) == Flag::Single {
             cost.cost(&to_single(&insn.kind)) as f64
         } else if let InstKind::MovF { width, dst, src } = &insn.kind {
             match width {
@@ -346,10 +344,7 @@ mod tests {
                 if fun.name == "randlc" {
                     for b in &fun.blocks {
                         for e in &b.insns {
-                            assert_eq!(
-                                rec.report.final_config.effective(tree, e.id),
-                                Flag::Ignore
-                            );
+                            assert_eq!(rec.report.final_config.effective(tree, e.id), Flag::Ignore);
                         }
                     }
                 }

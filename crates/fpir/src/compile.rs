@@ -293,7 +293,13 @@ impl<'a> Compiler<'a> {
                 let (rb, hold) = self.eval_fp_operand(st, b);
                 self.emit(
                     st,
-                    InstKind::FpArith { op: *op, prec: self.prec(), packed: false, dst: ra, src: rb },
+                    InstKind::FpArith {
+                        op: *op,
+                        prec: self.prec(),
+                        packed: false,
+                        dst: ra,
+                        src: rb,
+                    },
                 );
                 self.free_val(st, hold);
                 ra
@@ -395,7 +401,11 @@ impl<'a> Compiler<'a> {
                 st.fp.free(x.0);
                 g
             }
-            Expr::F64(_) | Expr::FBin(..) | Expr::FSqrt(_) | Expr::FMath(..) | Expr::IToF(_)
+            Expr::F64(_)
+            | Expr::FBin(..)
+            | Expr::FSqrt(_)
+            | Expr::FMath(..)
+            | Expr::IToF(_)
             | Expr::BitsToF(_) => {
                 panic!("FP expression in integer context")
             }
@@ -527,7 +537,8 @@ impl<'a> Compiler<'a> {
                 Cc::Gt => Cond::Above,
                 Cc::Ge => Cond::AboveEq,
             };
-            self.prog.block_mut(st.cur).term = Terminator::Br { cond, then_: then_b, else_: else_b };
+            self.prog.block_mut(st.cur).term =
+                Terminator::Br { cond, then_: then_b, else_: else_b };
         } else {
             let ga = self.eval_int(st, &c.a);
             let src = if let Expr::I64(k) = c.b {
@@ -548,7 +559,8 @@ impl<'a> Compiler<'a> {
                 Cc::Gt => Cond::Gt,
                 Cc::Ge => Cond::Ge,
             };
-            self.prog.block_mut(st.cur).term = Terminator::Br { cond, then_: then_b, else_: else_b };
+            self.prog.block_mut(st.cur).term =
+                Terminator::Br { cond, then_: then_b, else_: else_b };
         }
     }
 
@@ -566,7 +578,11 @@ impl<'a> Compiler<'a> {
                     let m = self.var_mem(st, *var);
                     self.emit(
                         st,
-                        InstKind::MovF { width: self.fp_w(), dst: FpLoc::Mem(m), src: FpLoc::Reg(r) },
+                        InstKind::MovF {
+                            width: self.fp_w(),
+                            dst: FpLoc::Mem(m),
+                            src: FpLoc::Reg(r),
+                        },
                     );
                     st.fp.free(r.0);
                 }
@@ -644,13 +660,21 @@ impl<'a> Compiler<'a> {
                 st.cur = head;
                 let body_b = self.new_block(st);
                 let exit = self.new_block(st);
-                self.emit_cmp_branch(st, &Cmp { cc: Cc::Lt, a: Expr::Var(*var), b: end.clone() }, body_b, exit);
+                self.emit_cmp_branch(
+                    st,
+                    &Cmp { cc: Cc::Lt, a: Expr::Var(*var), b: end.clone() },
+                    body_b,
+                    exit,
+                );
                 st.cur = body_b;
                 self.compile_stmts(st, body);
                 // var += 1
                 let m = self.var_mem(st, *var);
                 self.emit(st, InstKind::MovI { dst: GM::Reg(SCRATCH_G), src: GMI::Mem(m) });
-                self.emit(st, InstKind::IntAlu { op: IntOp::Add, dst: SCRATCH_G, src: GMI::Imm(1) });
+                self.emit(
+                    st,
+                    InstKind::IntAlu { op: IntOp::Add, dst: SCRATCH_G, src: GMI::Imm(1) },
+                );
                 self.emit(st, InstKind::MovI { dst: GM::Mem(m), src: GMI::Reg(SCRATCH_G) });
                 self.prog.block_mut(st.cur).term = Terminator::Jmp(head);
                 st.cur = exit;
@@ -734,13 +758,12 @@ impl<'a> Compiler<'a> {
             self.emit(st, InstKind::IntAlu { op: IntOp::Shl, dst: SCRATCH_G2, src: GMI::Imm(32) });
             self.emit(
                 st,
-                InstKind::IntAlu {
-                    op: IntOp::And,
-                    dst: SCRATCH_G,
-                    src: GMI::Imm(0xFFFF_FFFF),
-                },
+                InstKind::IntAlu { op: IntOp::And, dst: SCRATCH_G, src: GMI::Imm(0xFFFF_FFFF) },
             );
-            self.emit(st, InstKind::IntAlu { op: IntOp::Or, dst: SCRATCH_G, src: GMI::Reg(SCRATCH_G2) });
+            self.emit(
+                st,
+                InstKind::IntAlu { op: IntOp::Or, dst: SCRATCH_G, src: GMI::Reg(SCRATCH_G2) },
+            );
             self.emit(st, InstKind::PInsrQ { dst: xa, src: SCRATCH_G, lane: 0 });
         }
         self.emit(st, InstKind::PInsrQ { dst: xa, src: SCRATCH_G, lane: 1 });
@@ -755,17 +778,53 @@ impl<'a> Compiler<'a> {
         let body = self.new_block(st);
         let exit = self.new_block(st);
         self.emit(st, InstKind::Cmp { lhs: gi, src: GMI::Reg(gn) });
-        self.prog.block_mut(st.cur).term = Terminator::Br { cond: Cond::Lt, then_: body, else_: exit };
+        self.prog.block_mut(st.cur).term =
+            Terminator::Br { cond: Cond::Lt, then_: body, else_: exit };
         st.cur = body;
         let xt = Xmm(st.fp.alloc());
         let yt = Xmm(st.fp.alloc());
-        let xm = MemRef { base: None, index: Some((gi, esz)), disp: self.arr_addr[x.id as usize] as i64 };
-        let ym = MemRef { base: None, index: Some((gi, esz)), disp: self.arr_addr[y.id as usize] as i64 };
-        self.emit(st, InstKind::MovF { width: Width::W128, dst: FpLoc::Reg(xt), src: FpLoc::Mem(xm) });
-        self.emit(st, InstKind::FpArith { op: FpAluOp::Mul, prec: self.prec(), packed: true, dst: xt, src: RM::Reg(xa) });
-        self.emit(st, InstKind::MovF { width: Width::W128, dst: FpLoc::Reg(yt), src: FpLoc::Mem(ym) });
-        self.emit(st, InstKind::FpArith { op: FpAluOp::Add, prec: self.prec(), packed: true, dst: yt, src: RM::Reg(xt) });
-        self.emit(st, InstKind::MovF { width: Width::W128, dst: FpLoc::Mem(ym), src: FpLoc::Reg(yt) });
+        let xm = MemRef {
+            base: None,
+            index: Some((gi, esz)),
+            disp: self.arr_addr[x.id as usize] as i64,
+        };
+        let ym = MemRef {
+            base: None,
+            index: Some((gi, esz)),
+            disp: self.arr_addr[y.id as usize] as i64,
+        };
+        self.emit(
+            st,
+            InstKind::MovF { width: Width::W128, dst: FpLoc::Reg(xt), src: FpLoc::Mem(xm) },
+        );
+        self.emit(
+            st,
+            InstKind::FpArith {
+                op: FpAluOp::Mul,
+                prec: self.prec(),
+                packed: true,
+                dst: xt,
+                src: RM::Reg(xa),
+            },
+        );
+        self.emit(
+            st,
+            InstKind::MovF { width: Width::W128, dst: FpLoc::Reg(yt), src: FpLoc::Mem(ym) },
+        );
+        self.emit(
+            st,
+            InstKind::FpArith {
+                op: FpAluOp::Add,
+                prec: self.prec(),
+                packed: true,
+                dst: yt,
+                src: RM::Reg(xt),
+            },
+        );
+        self.emit(
+            st,
+            InstKind::MovF { width: Width::W128, dst: FpLoc::Mem(ym), src: FpLoc::Reg(yt) },
+        );
         self.emit(st, InstKind::IntAlu { op: IntOp::Add, dst: gi, src: GMI::Imm(lanes) });
         st.fp.free(xt.0);
         st.fp.free(yt.0);
@@ -778,7 +837,8 @@ impl<'a> Compiler<'a> {
 
     fn compile_fn(&mut self, fref: FnRef) {
         let decl = self.ir.fns[fref.0 as usize].clone();
-        let body = decl.body.clone().unwrap_or_else(|| panic!("function {} never defined", decl.name));
+        let body =
+            decl.body.clone().unwrap_or_else(|| panic!("function {} never defined", decl.name));
         let func = self.fn_map[fref.0 as usize];
         let entry = self.prog.add_block(func);
         self.prog.funcs[func.0 as usize].entry = entry;
@@ -802,7 +862,10 @@ impl<'a> Compiler<'a> {
         };
 
         // Prologue: allocate frame, store parameters into their slots.
-        self.emit(&mut st, InstKind::IntAlu { op: IntOp::Sub, dst: Gpr::RSP, src: GMI::Imm(frame) });
+        self.emit(
+            &mut st,
+            InstKind::IntAlu { op: IntOp::Sub, dst: Gpr::RSP, src: GMI::Imm(frame) },
+        );
         let (mut nf, mut ni) = (0usize, 0usize);
         for p in &decl.params {
             let m = self.var_mem(&st, *p);
@@ -819,7 +882,10 @@ impl<'a> Compiler<'a> {
                     nf += 1;
                 }
                 Ty::I64 => {
-                    self.emit(&mut st, InstKind::MovI { dst: GM::Mem(m), src: GMI::Reg(Gpr(INT_ARGS[ni])) });
+                    self.emit(
+                        &mut st,
+                        InstKind::MovI { dst: GM::Mem(m), src: GMI::Reg(Gpr(INT_ARGS[ni])) },
+                    );
                     ni += 1;
                 }
             }
@@ -874,9 +940,7 @@ mod tests {
         let mut vm = Vm::new(&p, VmOptions::default());
         let out = vm.run();
         assert!(out.ok(), "program trapped: {:?}", out.result);
-        syms.iter()
-            .map(|(s, n)| vm.mem.read_f64_slice(p.symbol(s).unwrap(), *n).unwrap())
-            .collect()
+        syms.iter().map(|(s, n)| vm.mem.read_f64_slice(p.symbol(s).unwrap(), *n).unwrap()).collect()
     }
 
     fn run_f32(ir: &IrProgram, syms: &[(&str, usize)]) -> Vec<Vec<f32>> {
@@ -884,9 +948,7 @@ mod tests {
         let mut vm = Vm::new(&p, VmOptions::default());
         let out = vm.run();
         assert!(out.ok(), "program trapped: {:?}", out.result);
-        syms.iter()
-            .map(|(s, n)| vm.mem.read_f32_slice(p.symbol(s).unwrap(), *n).unwrap())
-            .collect()
+        syms.iter().map(|(s, n)| vm.mem.read_f32_slice(p.symbol(s).unwrap(), *n).unwrap()).collect()
     }
 
     #[test]
@@ -918,14 +980,17 @@ mod tests {
             vec![
                 set(n, i(27)),
                 set(c, i(0)),
-                while_(cmp(Cc::Ne, v(n), i(1)), vec![
-                    if_(
-                        cmp(Cc::Eq, irem(v(n), i(2)), i(0)),
-                        vec![set(n, idiv(v(n), i(2)))],
-                        vec![set(n, iadd(imul(v(n), i(3)), i(1)))],
-                    ),
-                    set(c, iadd(v(c), i(1))),
-                ]),
+                while_(
+                    cmp(Cc::Ne, v(n), i(1)),
+                    vec![
+                        if_(
+                            cmp(Cc::Eq, irem(v(n), i(2)), i(0)),
+                            vec![set(n, idiv(v(n), i(2)))],
+                            vec![set(n, iadd(imul(v(n), i(3)), i(1)))],
+                        ),
+                        set(c, iadd(v(c), i(1))),
+                    ],
+                ),
                 st(out, i(0), v(c)),
             ]
         });
@@ -944,16 +1009,14 @@ mod tests {
         let (fib, fa) = ir.declare("fib", &[Ty::I64], Some(Ty::I64));
         ir.define(
             fib,
-            vec![
-                if_(
-                    cmp(Cc::Lt, v(fa[0]), i(2)),
-                    vec![ret(v(fa[0]))],
-                    vec![ret(iadd(
-                        call(fib, vec![isub(v(fa[0]), i(1))]),
-                        call(fib, vec![isub(v(fa[0]), i(2))]),
-                    ))],
-                ),
-            ],
+            vec![if_(
+                cmp(Cc::Lt, v(fa[0]), i(2)),
+                vec![ret(v(fa[0]))],
+                vec![ret(iadd(
+                    call(fib, vec![isub(v(fa[0]), i(1))]),
+                    call(fib, vec![isub(v(fa[0]), i(2))]),
+                ))],
+            )],
         );
         let (half, ha) = ir.declare("half", &[Ty::F64], Some(Ty::F64));
         ir.define(half, vec![ret(fmul(v(ha[0]), f(0.5)))]);
@@ -1041,18 +1104,14 @@ mod tests {
             let a = ir.local_f(fr);
             vec![
                 set(a, f(1.0)),
-                st(
-                    out,
-                    i(0),
-                    fdiv(fsub(fmul(fadd(v(a), f(2.0)), f(3.0)), f(4.0)), f(2.5)),
-                ),
+                st(out, i(0), fdiv(fsub(fmul(fadd(v(a), f(2.0)), f(3.0)), f(4.0)), f(2.5))),
             ]
         });
         ir.set_entry(main);
         let p = compile(&ir, &CompileOptions::default());
-        let has_mem_fp = p.iter_insns().any(|(_, _, ins)| {
-            matches!(&ins.kind, InstKind::FpArith { src: RM::Mem(_), .. })
-        });
+        let has_mem_fp = p
+            .iter_insns()
+            .any(|(_, _, ins)| matches!(&ins.kind, InstKind::FpArith { src: RM::Mem(_), .. }));
         assert!(has_mem_fp, "expected folded memory operands");
         assert_eq!(run_f64(&ir, &[("out", 1)])[0][0], 2.0);
     }

@@ -59,10 +59,8 @@ fn def_exp(ir: &mut IrProgram) -> FnRef {
     const LN2: f64 = std::f64::consts::LN_2;
     const INV_LN2: f64 = std::f64::consts::LOG2_E;
     // Taylor coefficients 1/k! for k = 10, 9, …, 2 (Horner order).
-    let coeffs: Vec<f64> = (2..=10u64)
-        .rev()
-        .map(|k| 1.0 / (2..=k).map(|j| j as f64).product::<f64>())
-        .collect();
+    let coeffs: Vec<f64> =
+        (2..=10u64).rev().map(|k| 1.0 / (2..=k).map(|j| j as f64).product::<f64>()).collect();
     let mut horner = f(coeffs[0]);
     for &c in &coeffs[1..] {
         horner = fadd(fmul(horner, v(r)), f(c));
@@ -135,18 +133,21 @@ fn def_sin(ir: &mut IrProgram) -> FnRef {
     let r2 = ir.local_f(sin);
     let kernel = ir.local_f(sin);
     let sign = ir.local_f(sin);
+    // Two-word π/2 for Cody-Waite reduction; the high word is spelled out
+    // so the hi/lo split is visible next to its low compensation term.
+    #[allow(clippy::approx_constant)]
     const PIO2_HI: f64 = 1.570_796_326_794_896_6;
     const PIO2_LO: f64 = 6.123_233_995_736_766e-17;
     const INV_PIO2: f64 = std::f64::consts::FRAC_2_PI;
     // sine kernel: r·(1 − r²/3! + r⁴/5! − r⁶/7! + r⁸/9! − r¹⁰/11! + r¹²/13!)
     let sin_poly = {
         let cs = [
-            1.0 / 6227020800.0,   // 1/13!
-            -1.0 / 39916800.0,    // −1/11!
-            1.0 / 362880.0,       // 1/9!
-            -1.0 / 5040.0,        // −1/7!
-            1.0 / 120.0,          // 1/5!
-            -1.0 / 6.0,           // −1/3!
+            1.0 / 6227020800.0, // 1/13!
+            -1.0 / 39916800.0,  // −1/11!
+            1.0 / 362880.0,     // 1/9!
+            -1.0 / 5040.0,      // −1/7!
+            1.0 / 120.0,        // 1/5!
+            -1.0 / 6.0,         // −1/3!
         ];
         let mut h = f(cs[0]);
         for &c in &cs[1..] {
@@ -157,12 +158,12 @@ fn def_sin(ir: &mut IrProgram) -> FnRef {
     // cosine kernel: 1 − r²/2! + r⁴/4! − … + r¹²/12!
     let cos_poly = {
         let cs = [
-            1.0 / 479001600.0,  // 1/12!
-            -1.0 / 3628800.0,   // −1/10!
-            1.0 / 40320.0,      // 1/8!
-            -1.0 / 720.0,       // −1/6!
-            1.0 / 24.0,         // 1/4!
-            -0.5,               // −1/2!
+            1.0 / 479001600.0, // 1/12!
+            -1.0 / 3628800.0,  // −1/10!
+            1.0 / 40320.0,     // 1/8!
+            -1.0 / 720.0,      // −1/6!
+            1.0 / 24.0,        // 1/4!
+            -0.5,              // −1/2!
         ];
         let mut h = f(cs[0]);
         for &c in &cs[1..] {
@@ -184,12 +185,12 @@ fn def_sin(ir: &mut IrProgram) -> FnRef {
             // quadrant = k mod 4 (arithmetically non-negative)
             set(q, irem(iadd(irem(v(k), i(4)), i(4)), i(4))),
             set(sign, f(1.0)),
-            if_(cmp(Cc::Ge, v(q), i(2)), vec![set(sign, f(-1.0)), set(q, isub(v(q), i(2)))], vec![]),
             if_(
-                cmp(Cc::Eq, v(q), i(0)),
-                vec![set(kernel, sin_poly)],
-                vec![set(kernel, cos_poly)],
+                cmp(Cc::Ge, v(q), i(2)),
+                vec![set(sign, f(-1.0)), set(q, isub(v(q), i(2)))],
+                vec![],
             ),
+            if_(cmp(Cc::Eq, v(q), i(0)), vec![set(kernel, sin_poly)], vec![set(kernel, cos_poly)]),
             ret(fmul(v(sign), v(kernel))),
         ],
     );
@@ -239,8 +240,8 @@ mod tests {
 
     #[test]
     fn soft_log_accuracy() {
-        let xs: Vec<f64> = [1e-9, 1e-3, 0.1, 0.5, 0.99, 1.0, 1.01, 2.0, 10.0, 12345.0, 1e12]
-            .to_vec();
+        let xs: Vec<f64> =
+            [1e-9, 1e-3, 0.1, 0.5, 0.99, 1.0, 1.01, 2.0, 10.0, 12345.0, 1e12].to_vec();
         for (x, got) in xs.iter().zip(eval("log", &xs)) {
             let want = x.ln();
             let err = (got - want).abs() / want.abs().max(1e-3);

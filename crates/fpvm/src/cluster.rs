@@ -50,12 +50,12 @@ pub fn run_ranks<T: Send>(
 ) -> (ClusterOutcome, Vec<T>) {
     assert!(nranks > 0, "need at least one rank");
     let mut slots: Vec<Option<(RunOutcome, T)>> = (0..nranks).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (rank, slot) in slots.iter_mut().enumerate() {
             let opts = opts.clone();
             let make_rank = &make_rank;
             let collect = &collect;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let prog = make_rank(rank);
                 let mut vm = Vm::new(&prog, opts);
                 let outcome = vm.run();
@@ -63,8 +63,7 @@ pub fn run_ranks<T: Send>(
                 *slot = Some((outcome, extra));
             });
         }
-    })
-    .expect("rank thread panicked");
+    });
     let (ranks, extras) = slots.into_iter().map(|s| s.expect("rank did not finish")).unzip();
     (ClusterOutcome { ranks }, extras)
 }

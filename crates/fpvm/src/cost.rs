@@ -23,7 +23,7 @@
 use crate::isa::{FpAluOp, InstKind, Prec, Width};
 
 /// Per-operation cycle costs. All values are in abstract cycles.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostModel {
     /// Add/sub/mul/min/max, single precision.
     pub fp_simple_single: u64,
@@ -162,7 +162,7 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::isa::{FpLoc, MemRef, RM, Xmm};
+    use crate::isa::{FpLoc, MemRef, Xmm, RM};
 
     #[test]
     fn double_costs_more_than_single() {

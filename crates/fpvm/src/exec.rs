@@ -1,0 +1,940 @@
+//! Pre-decoded execution images: the interpreter fast path.
+//!
+//! [`ExecImage::compile`] lowers a [`Program`] into a flat array of
+//! pre-decoded operations: blocks are laid out contiguously, terminators
+//! become explicit ops, branch and call targets are direct indices into
+//! the array, operand forms ([`crate::isa::RM`]/[`crate::isa::GMI`]/
+//! [`crate::isa::MemRef`]) are resolved into compact fixed-size
+//! descriptors, and each op carries its pre-computed cycle cost, fp-op
+//! flag, and instruction id. [`Vm::run_image`] then executes the image
+//! with one dispatch per instruction — no per-step instruction cloning,
+//! cost-model matching, or nested operand decoding.
+//!
+//! The fast path is required to be *bit-identical* to the reference
+//! interpreter ([`Vm::run`]): same [`RunStats`], same trap (including the
+//! trapping instruction id), same final machine state, same profile. The
+//! differential tests in `tests/exec_differential.rs` and the assertions
+//! in the `interp_throughput` bench enforce this.
+
+use crate::cost::CostModel;
+use crate::interp::{RunOutcome, Vm};
+use crate::isa::*;
+use crate::program::Program;
+use crate::trap::Trap;
+
+/// Register-slot sentinel meaning "absent" in [`MemD`].
+const NO_REG: u8 = u8::MAX;
+
+/// Pre-resolved memory operand: `gpr[base] + gpr[index]*scale + disp`
+/// with absent registers encoded as [`NO_REG`].
+#[derive(Debug, Clone, Copy)]
+struct MemD {
+    base: u8,
+    index: u8,
+    scale: u8,
+    disp: i64,
+}
+
+impl MemD {
+    fn from(m: &MemRef) -> MemD {
+        MemD {
+            base: m.base.map_or(NO_REG, |g| g.0),
+            index: m.index.map_or(NO_REG, |(g, _)| g.0),
+            scale: m.index.map_or(0, |(_, s)| s),
+            disp: m.disp,
+        }
+    }
+}
+
+/// Pre-resolved XMM-or-memory operand.
+#[derive(Debug, Clone, Copy)]
+enum RmD {
+    Reg(u8),
+    Mem(MemD),
+}
+
+impl RmD {
+    fn from(rm: &RM) -> RmD {
+        match rm {
+            RM::Reg(x) => RmD::Reg(x.0),
+            RM::Mem(m) => RmD::Mem(MemD::from(m)),
+        }
+    }
+}
+
+/// Pre-resolved GPR/memory/immediate operand.
+#[derive(Debug, Clone, Copy)]
+enum GmiD {
+    Reg(u8),
+    Mem(MemD),
+    Imm(i64),
+}
+
+impl GmiD {
+    fn from(g: &GMI) -> GmiD {
+        match g {
+            GMI::Reg(r) => GmiD::Reg(r.0),
+            GMI::Mem(m) => GmiD::Mem(MemD::from(m)),
+            GMI::Imm(i) => GmiD::Imm(*i),
+        }
+    }
+}
+
+/// Pre-resolved FP location (XMM register or memory).
+#[derive(Debug, Clone, Copy)]
+enum FpLocD {
+    Reg(u8),
+    Mem(MemD),
+}
+
+impl FpLocD {
+    fn from(l: &FpLoc) -> FpLocD {
+        match l {
+            FpLoc::Reg(x) => FpLocD::Reg(x.0),
+            FpLoc::Mem(m) => FpLocD::Mem(MemD::from(m)),
+        }
+    }
+}
+
+/// One pre-decoded operation. Precision and packing are folded into the
+/// variant so the hot loop never re-matches them.
+#[derive(Debug, Clone)]
+enum OpK {
+    ArithF64 {
+        op: FpAluOp,
+        dst: u8,
+        src: RmD,
+    },
+    ArithF32 {
+        op: FpAluOp,
+        dst: u8,
+        src: RmD,
+    },
+    ArithPd {
+        op: FpAluOp,
+        dst: u8,
+        src: RmD,
+    },
+    ArithPs {
+        op: FpAluOp,
+        dst: u8,
+        src: RmD,
+    },
+    SqrtF64 {
+        dst: u8,
+        src: RmD,
+    },
+    SqrtF32 {
+        dst: u8,
+        src: RmD,
+    },
+    SqrtPd {
+        dst: u8,
+        src: RmD,
+    },
+    SqrtPs {
+        dst: u8,
+        src: RmD,
+    },
+    MathF64 {
+        fun: MathFun,
+        dst: u8,
+        src: RmD,
+    },
+    MathF32 {
+        fun: MathFun,
+        dst: u8,
+        src: RmD,
+    },
+    UcomiF64 {
+        lhs: u8,
+        src: RmD,
+    },
+    UcomiF32 {
+        lhs: u8,
+        src: RmD,
+    },
+    CvtToF32 {
+        dst: u8,
+        src: RmD,
+    },
+    CvtToF64 {
+        dst: u8,
+        src: RmD,
+    },
+    CvtI2F64 {
+        dst: u8,
+        src: GmiD,
+    },
+    CvtI2F32 {
+        dst: u8,
+        src: GmiD,
+    },
+    CvtF64ToI {
+        dst: u8,
+        src: RmD,
+    },
+    CvtF32ToI {
+        dst: u8,
+        src: RmD,
+    },
+    MovF32 {
+        dst: FpLocD,
+        src: FpLocD,
+    },
+    MovF64 {
+        dst: FpLocD,
+        src: FpLocD,
+    },
+    MovF128 {
+        dst: FpLocD,
+        src: FpLocD,
+    },
+    PExtrQ {
+        dst: u8,
+        src: u8,
+        sh: u32,
+    },
+    PInsrQ {
+        dst: u8,
+        src: u8,
+        sh: u32,
+    },
+    IntAlu {
+        op: IntOp,
+        dst: u8,
+        src: GmiD,
+    },
+    MovIR {
+        dst: u8,
+        src: GmiD,
+    },
+    MovIM {
+        dst: MemD,
+        src: GmiD,
+    },
+    Cmp {
+        lhs: u8,
+        src: GmiD,
+    },
+    Test {
+        lhs: u8,
+        src: GmiD,
+    },
+    Lea {
+        dst: u8,
+        mem: MemD,
+    },
+    Push {
+        src: u8,
+    },
+    Pop {
+        dst: u8,
+    },
+    /// Call with the callee's flattened entry index pre-resolved
+    /// (`u32::MAX` = callee has no entry block).
+    Call {
+        entry: u32,
+    },
+    Nop,
+    // Terminators, lowered to explicit ops so per-terminator step
+    // accounting matches the reference interpreter exactly.
+    Jmp {
+        target: u32,
+    },
+    Br {
+        cond: Cond,
+        then_: u32,
+        else_: u32,
+    },
+    Ret,
+    Halt,
+}
+
+/// A pre-decoded op plus its per-step accounting, computed once at
+/// compile time instead of on every dynamic execution.
+#[derive(Debug, Clone)]
+struct ExecOp {
+    kind: OpK,
+    /// Pre-computed [`CostModel::cost`] of the original instruction
+    /// (0 for terminators).
+    cost: u64,
+    /// Whether the instruction counts as a dynamic fp-op.
+    fp: bool,
+    /// Original instruction id (`u32::MAX` for terminators, which have
+    /// none and are never profiled).
+    id: InsnId,
+}
+
+/// A linear execution image: the pre-decoded form of one [`Program`]
+/// under one [`CostModel`]. Compile once, run many times.
+#[derive(Debug, Clone)]
+pub struct ExecImage {
+    ops: Vec<ExecOp>,
+    entry: u32,
+    insn_bound: usize,
+    cost: CostModel,
+}
+
+impl ExecImage {
+    /// Lower `prog` to a linear image. The cost model must be the one the
+    /// executing VM uses ([`Vm::run_image`] asserts this).
+    pub fn compile(prog: &Program, cost: &CostModel) -> ExecImage {
+        // Pass 1: assign every block a position in the flat array
+        // (its instructions followed by one terminator op).
+        let mut block_start = vec![u32::MAX; prog.blocks.len()];
+        let mut pos: u32 = 0;
+        for f in &prog.funcs {
+            for &b in &f.blocks {
+                block_start[b.0 as usize] = pos;
+                pos += prog.block(b).insns.len() as u32 + 1;
+            }
+        }
+
+        // Pass 2: emit pre-decoded ops with targets resolved to indices.
+        let mut ops = Vec::with_capacity(pos as usize);
+        for f in &prog.funcs {
+            for &b in &f.blocks {
+                let blk = prog.block(b);
+                for insn in &blk.insns {
+                    ops.push(ExecOp {
+                        kind: Self::lower(prog, &insn.kind, &block_start),
+                        cost: cost.cost(&insn.kind),
+                        fp: insn.kind.is_fp_op(),
+                        id: insn.id,
+                    });
+                }
+                let kind = match &blk.term {
+                    Terminator::Jmp(t) => OpK::Jmp { target: block_start[t.0 as usize] },
+                    Terminator::Br { cond, then_, else_ } => OpK::Br {
+                        cond: *cond,
+                        then_: block_start[then_.0 as usize],
+                        else_: block_start[else_.0 as usize],
+                    },
+                    Terminator::Ret => OpK::Ret,
+                    Terminator::Halt => OpK::Halt,
+                };
+                ops.push(ExecOp { kind, cost: 0, fp: false, id: InsnId(u32::MAX) });
+            }
+        }
+
+        let entry_block = prog.func(prog.entry).entry;
+        ExecImage {
+            ops,
+            entry: block_start[entry_block.0 as usize],
+            insn_bound: prog.insn_id_bound(),
+            cost: cost.clone(),
+        }
+    }
+
+    fn lower(prog: &Program, kind: &InstKind, block_start: &[u32]) -> OpK {
+        match kind {
+            InstKind::FpArith { op, prec, packed, dst, src } => {
+                let (op, dst, src) = (*op, dst.0, RmD::from(src));
+                match (prec, packed) {
+                    (Prec::Double, false) => OpK::ArithF64 { op, dst, src },
+                    (Prec::Single, false) => OpK::ArithF32 { op, dst, src },
+                    (Prec::Double, true) => OpK::ArithPd { op, dst, src },
+                    (Prec::Single, true) => OpK::ArithPs { op, dst, src },
+                }
+            }
+            InstKind::FpSqrt { prec, packed, dst, src } => {
+                let (dst, src) = (dst.0, RmD::from(src));
+                match (prec, packed) {
+                    (Prec::Double, false) => OpK::SqrtF64 { dst, src },
+                    (Prec::Single, false) => OpK::SqrtF32 { dst, src },
+                    (Prec::Double, true) => OpK::SqrtPd { dst, src },
+                    (Prec::Single, true) => OpK::SqrtPs { dst, src },
+                }
+            }
+            InstKind::FpMath { fun, prec, dst, src } => {
+                let (fun, dst, src) = (*fun, dst.0, RmD::from(src));
+                match prec {
+                    Prec::Double => OpK::MathF64 { fun, dst, src },
+                    Prec::Single => OpK::MathF32 { fun, dst, src },
+                }
+            }
+            InstKind::FpUcomi { prec, lhs, src } => {
+                let (lhs, src) = (lhs.0, RmD::from(src));
+                match prec {
+                    Prec::Double => OpK::UcomiF64 { lhs, src },
+                    Prec::Single => OpK::UcomiF32 { lhs, src },
+                }
+            }
+            InstKind::CvtF2F { to, dst, src } => {
+                let (dst, src) = (dst.0, RmD::from(src));
+                match to {
+                    Prec::Single => OpK::CvtToF32 { dst, src },
+                    Prec::Double => OpK::CvtToF64 { dst, src },
+                }
+            }
+            InstKind::CvtI2F { to, dst, src } => {
+                let (dst, src) = (dst.0, GmiD::from(src));
+                match to {
+                    Prec::Double => OpK::CvtI2F64 { dst, src },
+                    Prec::Single => OpK::CvtI2F32 { dst, src },
+                }
+            }
+            InstKind::CvtF2I { from, dst, src } => {
+                let (dst, src) = (dst.0, RmD::from(src));
+                match from {
+                    Prec::Double => OpK::CvtF64ToI { dst, src },
+                    Prec::Single => OpK::CvtF32ToI { dst, src },
+                }
+            }
+            InstKind::MovF { width, dst, src } => {
+                let (dst, src) = (FpLocD::from(dst), FpLocD::from(src));
+                match width {
+                    Width::W32 => OpK::MovF32 { dst, src },
+                    Width::W64 => OpK::MovF64 { dst, src },
+                    Width::W128 => OpK::MovF128 { dst, src },
+                }
+            }
+            InstKind::PExtrQ { dst, src, lane } => {
+                OpK::PExtrQ { dst: dst.0, src: src.0, sh: 64 * (*lane as u32 & 1) }
+            }
+            InstKind::PInsrQ { dst, src, lane } => {
+                OpK::PInsrQ { dst: dst.0, src: src.0, sh: 64 * (*lane as u32 & 1) }
+            }
+            InstKind::IntAlu { op, dst, src } => {
+                OpK::IntAlu { op: *op, dst: dst.0, src: GmiD::from(src) }
+            }
+            InstKind::MovI { dst, src } => match dst {
+                GM::Reg(r) => OpK::MovIR { dst: r.0, src: GmiD::from(src) },
+                GM::Mem(m) => OpK::MovIM { dst: MemD::from(m), src: GmiD::from(src) },
+            },
+            InstKind::Cmp { lhs, src } => OpK::Cmp { lhs: lhs.0, src: GmiD::from(src) },
+            InstKind::Test { lhs, src } => OpK::Test { lhs: lhs.0, src: GmiD::from(src) },
+            InstKind::Lea { dst, mem } => OpK::Lea { dst: dst.0, mem: MemD::from(mem) },
+            InstKind::Push { src } => OpK::Push { src: src.0 },
+            InstKind::Pop { dst } => OpK::Pop { dst: dst.0 },
+            InstKind::Call { func } => {
+                let entry = prog.func(*func).entry;
+                let entry =
+                    if entry.0 == u32::MAX { u32::MAX } else { block_start[entry.0 as usize] };
+                OpK::Call { entry }
+            }
+            InstKind::Nop => OpK::Nop,
+        }
+    }
+
+    /// Number of flattened ops (instructions + terminators).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the image contains no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl<'p> Vm<'p> {
+    #[inline(always)]
+    fn d_addr(&self, m: &MemD) -> u64 {
+        let mut a = m.disp as u64;
+        if m.base != NO_REG {
+            a = a.wrapping_add(self.gpr[m.base as usize]);
+        }
+        if m.index != NO_REG {
+            a = a.wrapping_add(self.gpr[m.index as usize].wrapping_mul(m.scale as u64));
+        }
+        a
+    }
+
+    #[inline(always)]
+    fn d_rm64(&self, src: &RmD) -> Result<u64, Trap> {
+        match src {
+            RmD::Reg(x) => Ok(self.xmm[*x as usize] as u64),
+            RmD::Mem(m) => self.mem.load_u64(self.d_addr(m)),
+        }
+    }
+
+    #[inline(always)]
+    fn d_rm32(&self, src: &RmD) -> Result<u32, Trap> {
+        match src {
+            RmD::Reg(x) => Ok(self.xmm[*x as usize] as u32),
+            RmD::Mem(m) => self.mem.load_u32(self.d_addr(m)),
+        }
+    }
+
+    #[inline(always)]
+    fn d_rm128(&self, src: &RmD) -> Result<u128, Trap> {
+        match src {
+            RmD::Reg(x) => Ok(self.xmm[*x as usize]),
+            RmD::Mem(m) => self.mem.load_u128(self.d_addr(m)),
+        }
+    }
+
+    #[inline(always)]
+    fn d_gmi(&self, src: &GmiD) -> Result<u64, Trap> {
+        match src {
+            GmiD::Reg(r) => Ok(self.gpr[*r as usize]),
+            GmiD::Mem(m) => self.mem.load_u64(self.d_addr(m)),
+            GmiD::Imm(i) => Ok(*i as u64),
+        }
+    }
+
+    #[inline(always)]
+    fn set_lo64(&mut self, x: u8, v: u64) {
+        let r = &mut self.xmm[x as usize];
+        *r = (*r & !(u128::from(u64::MAX))) | u128::from(v);
+    }
+
+    #[inline(always)]
+    fn set_lo32(&mut self, x: u8, v: u32) {
+        let r = &mut self.xmm[x as usize];
+        *r = (*r & !(u128::from(u32::MAX))) | u128::from(v);
+    }
+
+    /// Run a pre-decoded image on this VM: the fast path equivalent of
+    /// [`Vm::run`], bit-identical in results, stats, traps, and profile.
+    ///
+    /// `image` must have been compiled from the same program and cost
+    /// model this VM was created with.
+    pub fn run_image(&mut self, image: &ExecImage) -> RunOutcome {
+        assert_eq!(
+            image.insn_bound,
+            self.prog.insn_id_bound(),
+            "ExecImage does not match this VM's program"
+        );
+        assert_eq!(image.cost, self.opts.cost, "ExecImage compiled under a different cost model");
+        let result = self.run_image_inner(image);
+        RunOutcome { stats: self.stats, result, profile: self.profile.take() }
+    }
+
+    fn run_image_inner(&mut self, image: &ExecImage) -> Result<(), Trap> {
+        let ops = &image.ops[..];
+        let mut pc = image.entry as usize;
+        let mut ret_stack: Vec<u32> = Vec::with_capacity(64);
+        let fuel = self.opts.fuel;
+        let max_call_depth = self.opts.max_call_depth;
+        loop {
+            if self.stats.steps >= fuel {
+                return Err(Trap::FuelExhausted);
+            }
+            self.stats.steps += 1;
+            let op = &ops[pc];
+            self.stats.cycles += op.cost;
+            self.stats.fp_ops += op.fp as u64;
+            if let Some(p) = &mut self.profile {
+                if op.id.0 != u32::MAX {
+                    p.bump(op.id);
+                }
+            }
+            match &op.kind {
+                OpK::ArithF64 { op: o, dst, src } => {
+                    let a = self.xmm[*dst as usize] as u64;
+                    let b = self.d_rm64(src)?;
+                    self.check_flag64(a, op.id)?;
+                    self.check_flag64(b, op.id)?;
+                    let r = Self::fp_alu_f64(*o, f64::from_bits(a), f64::from_bits(b));
+                    self.set_lo64(*dst, r.to_bits());
+                }
+                OpK::ArithF32 { op: o, dst, src } => {
+                    let a = self.xmm[*dst as usize] as u32;
+                    let b = self.d_rm32(src)?;
+                    let r = Self::fp_alu_f32(*o, f32::from_bits(a), f32::from_bits(b));
+                    self.set_lo32(*dst, r.to_bits());
+                }
+                OpK::ArithPd { op: o, dst, src } => {
+                    let a = self.xmm[*dst as usize];
+                    let b = self.d_rm128(src)?;
+                    let mut out = 0u128;
+                    for lane in 0..2 {
+                        let ab = (a >> (64 * lane)) as u64;
+                        let bb = (b >> (64 * lane)) as u64;
+                        self.check_flag64(ab, op.id)?;
+                        self.check_flag64(bb, op.id)?;
+                        let r = Self::fp_alu_f64(*o, f64::from_bits(ab), f64::from_bits(bb));
+                        out |= u128::from(r.to_bits()) << (64 * lane);
+                    }
+                    self.xmm[*dst as usize] = out;
+                }
+                OpK::ArithPs { op: o, dst, src } => {
+                    let a = self.xmm[*dst as usize];
+                    let b = self.d_rm128(src)?;
+                    let mut out = 0u128;
+                    for lane in 0..4 {
+                        let ab = (a >> (32 * lane)) as u32;
+                        let bb = (b >> (32 * lane)) as u32;
+                        let r = Self::fp_alu_f32(*o, f32::from_bits(ab), f32::from_bits(bb));
+                        out |= u128::from(r.to_bits()) << (32 * lane);
+                    }
+                    self.xmm[*dst as usize] = out;
+                }
+                OpK::SqrtF64 { dst, src } => {
+                    let b = self.d_rm64(src)?;
+                    self.check_flag64(b, op.id)?;
+                    self.set_lo64(*dst, f64::from_bits(b).sqrt().to_bits());
+                }
+                OpK::SqrtF32 { dst, src } => {
+                    let b = self.d_rm32(src)?;
+                    self.set_lo32(*dst, f32::from_bits(b).sqrt().to_bits());
+                }
+                OpK::SqrtPd { dst, src } => {
+                    let b = self.d_rm128(src)?;
+                    let mut out = 0u128;
+                    for lane in 0..2 {
+                        let bb = (b >> (64 * lane)) as u64;
+                        self.check_flag64(bb, op.id)?;
+                        out |= u128::from(f64::from_bits(bb).sqrt().to_bits()) << (64 * lane);
+                    }
+                    self.xmm[*dst as usize] = out;
+                }
+                OpK::SqrtPs { dst, src } => {
+                    let b = self.d_rm128(src)?;
+                    let mut out = 0u128;
+                    for lane in 0..4 {
+                        let bb = (b >> (32 * lane)) as u32;
+                        out |= u128::from(f32::from_bits(bb).sqrt().to_bits()) << (32 * lane);
+                    }
+                    self.xmm[*dst as usize] = out;
+                }
+                OpK::MathF64 { fun, dst, src } => {
+                    let b = self.d_rm64(src)?;
+                    self.check_flag64(b, op.id)?;
+                    self.set_lo64(*dst, Self::math_f64(*fun, f64::from_bits(b)).to_bits());
+                }
+                OpK::MathF32 { fun, dst, src } => {
+                    let b = self.d_rm32(src)?;
+                    self.set_lo32(*dst, Self::math_f32(*fun, f32::from_bits(b)).to_bits());
+                }
+                OpK::UcomiF64 { lhs, src } => {
+                    let a = self.xmm[*lhs as usize] as u64;
+                    let b = self.d_rm64(src)?;
+                    self.check_flag64(a, op.id)?;
+                    self.check_flag64(b, op.id)?;
+                    let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+                    self.set_ucomi_flags(fa, fb, fa.is_nan() || fb.is_nan());
+                }
+                OpK::UcomiF32 { lhs, src } => {
+                    let a = f32::from_bits(self.xmm[*lhs as usize] as u32);
+                    let b = f32::from_bits(self.d_rm32(src)?);
+                    self.set_ucomi_flags(a as f64, b as f64, a.is_nan() || b.is_nan());
+                }
+                OpK::CvtToF32 { dst, src } => {
+                    let b = self.d_rm64(src)?;
+                    self.check_flag64(b, op.id)?;
+                    self.set_lo32(*dst, (f64::from_bits(b) as f32).to_bits());
+                }
+                OpK::CvtToF64 { dst, src } => {
+                    let b = self.d_rm32(src)?;
+                    self.set_lo64(*dst, (f32::from_bits(b) as f64).to_bits());
+                }
+                OpK::CvtI2F64 { dst, src } => {
+                    let v = self.d_gmi(src)? as i64;
+                    self.set_lo64(*dst, (v as f64).to_bits());
+                }
+                OpK::CvtI2F32 { dst, src } => {
+                    let v = self.d_gmi(src)? as i64;
+                    self.set_lo32(*dst, (v as f32).to_bits());
+                }
+                OpK::CvtF64ToI { dst, src } => {
+                    let b = self.d_rm64(src)?;
+                    self.check_flag64(b, op.id)?;
+                    self.gpr[*dst as usize] = (f64::from_bits(b) as i64) as u64;
+                }
+                OpK::CvtF32ToI { dst, src } => {
+                    let b = self.d_rm32(src)?;
+                    self.gpr[*dst as usize] = (f32::from_bits(b) as i64) as u64;
+                }
+                OpK::MovF32 { dst, src } => {
+                    let v = match src {
+                        FpLocD::Reg(x) => self.xmm[*x as usize] as u32,
+                        FpLocD::Mem(m) => self.mem.load_u32(self.d_addr(m))?,
+                    };
+                    match dst {
+                        FpLocD::Reg(x) => self.set_lo32(*x, v),
+                        FpLocD::Mem(m) => self.mem.store_u32(self.d_addr(m), v)?,
+                    }
+                }
+                OpK::MovF64 { dst, src } => {
+                    let v = match src {
+                        FpLocD::Reg(x) => self.xmm[*x as usize] as u64,
+                        FpLocD::Mem(m) => self.mem.load_u64(self.d_addr(m))?,
+                    };
+                    match dst {
+                        FpLocD::Reg(x) => self.set_lo64(*x, v),
+                        FpLocD::Mem(m) => self.mem.store_u64(self.d_addr(m), v)?,
+                    }
+                }
+                OpK::MovF128 { dst, src } => {
+                    let v = match src {
+                        FpLocD::Reg(x) => self.xmm[*x as usize],
+                        FpLocD::Mem(m) => self.mem.load_u128(self.d_addr(m))?,
+                    };
+                    match dst {
+                        FpLocD::Reg(x) => self.xmm[*x as usize] = v,
+                        FpLocD::Mem(m) => self.mem.store_u128(self.d_addr(m), v)?,
+                    }
+                }
+                OpK::PExtrQ { dst, src, sh } => {
+                    self.gpr[*dst as usize] = (self.xmm[*src as usize] >> sh) as u64;
+                }
+                OpK::PInsrQ { dst, src, sh } => {
+                    let v = self.gpr[*src as usize];
+                    let r = &mut self.xmm[*dst as usize];
+                    *r = (*r & !(u128::from(u64::MAX) << sh)) | (u128::from(v) << sh);
+                }
+                OpK::IntAlu { op: o, dst, src } => {
+                    let a = self.gpr[*dst as usize];
+                    let b = self.d_gmi(src)?;
+                    let r = match o {
+                        IntOp::Add => a.wrapping_add(b),
+                        IntOp::Sub => a.wrapping_sub(b),
+                        IntOp::Mul => a.wrapping_mul(b),
+                        IntOp::Div => {
+                            let (ai, bi) = (a as i64, b as i64);
+                            if bi == 0 || (ai == i64::MIN && bi == -1) {
+                                return Err(Trap::DivByZero);
+                            }
+                            (ai / bi) as u64
+                        }
+                        IntOp::Rem => {
+                            let (ai, bi) = (a as i64, b as i64);
+                            if bi == 0 || (ai == i64::MIN && bi == -1) {
+                                return Err(Trap::DivByZero);
+                            }
+                            (ai % bi) as u64
+                        }
+                        IntOp::And => a & b,
+                        IntOp::Or => a | b,
+                        IntOp::Xor => a ^ b,
+                        IntOp::Shl => a << (b & 63),
+                        IntOp::Shr => a >> (b & 63),
+                        IntOp::Sar => ((a as i64) >> (b & 63)) as u64,
+                    };
+                    self.gpr[*dst as usize] = r;
+                }
+                OpK::MovIR { dst, src } => {
+                    self.gpr[*dst as usize] = self.d_gmi(src)?;
+                }
+                OpK::MovIM { dst, src } => {
+                    let v = self.d_gmi(src)?;
+                    self.mem.store_u64(self.d_addr(dst), v)?;
+                }
+                OpK::Cmp { lhs, src } => {
+                    let a = self.gpr[*lhs as usize];
+                    let b = self.d_gmi(src)?;
+                    self.set_cmp_flags(a, b);
+                }
+                OpK::Test { lhs, src } => {
+                    let r = self.gpr[*lhs as usize] & self.d_gmi(src)?;
+                    self.set_test_flags(r);
+                }
+                OpK::Lea { dst, mem } => {
+                    self.gpr[*dst as usize] = self.d_addr(mem);
+                }
+                OpK::Push { src } => {
+                    let rsp = self.gpr[Gpr::RSP.0 as usize].wrapping_sub(8);
+                    self.mem.store_u64(rsp, self.gpr[*src as usize])?;
+                    self.gpr[Gpr::RSP.0 as usize] = rsp;
+                }
+                OpK::Pop { dst } => {
+                    let rsp = self.gpr[Gpr::RSP.0 as usize];
+                    let v = self.mem.load_u64(rsp)?;
+                    self.gpr[*dst as usize] = v;
+                    self.gpr[Gpr::RSP.0 as usize] = rsp.wrapping_add(8);
+                }
+                OpK::Call { entry } => {
+                    if ret_stack.len() >= max_call_depth {
+                        return Err(Trap::CallDepth);
+                    }
+                    if *entry == u32::MAX {
+                        return Err(Trap::NoEntry);
+                    }
+                    ret_stack.push(pc as u32 + 1);
+                    pc = *entry as usize;
+                    continue;
+                }
+                OpK::Nop => {}
+                OpK::Jmp { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+                OpK::Br { cond, then_, else_ } => {
+                    pc = if self.cond_holds(*cond) { *then_ } else { *else_ } as usize;
+                    continue;
+                }
+                OpK::Ret => match ret_stack.pop() {
+                    Some(r) => {
+                        pc = r as usize;
+                        continue;
+                    }
+                    None => return Err(Trap::ReturnFromEntry),
+                },
+                OpK::Halt => return Ok(()),
+            }
+            pc += 1;
+        }
+    }
+
+    #[inline(always)]
+    fn set_ucomi_flags(&mut self, a: f64, b: f64, unordered: bool) {
+        self.flags = if unordered {
+            crate::interp::Flags { eq: true, lt: false, ult: true, unordered: true }
+        } else {
+            crate::interp::Flags { eq: a == b, lt: a < b, ult: a < b, unordered: false }
+        };
+    }
+
+    #[inline(always)]
+    fn set_cmp_flags(&mut self, a: u64, b: u64) {
+        self.flags = crate::interp::Flags {
+            eq: a == b,
+            lt: (a as i64) < (b as i64),
+            ult: a < b,
+            unordered: false,
+        };
+    }
+
+    #[inline(always)]
+    fn set_test_flags(&mut self, r: u64) {
+        self.flags =
+            crate::interp::Flags { eq: r == 0, lt: (r as i64) < 0, ult: false, unordered: false };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Vm, VmOptions};
+
+    /// A small program covering arithmetic, control flow, and a call.
+    fn demo_prog() -> Program {
+        let mut p = Program::new(1 << 14);
+        let m = p.add_module("t");
+        let fmain = p.add_function(m, "main");
+        let fsq = p.add_function(m, "sq");
+        let bs = p.add_block(fsq);
+        p.funcs[fsq.0 as usize].entry = bs;
+        p.push_insn(
+            bs,
+            InstKind::FpArith {
+                op: FpAluOp::Mul,
+                prec: Prec::Double,
+                packed: false,
+                dst: Xmm(0),
+                src: RM::Reg(Xmm(0)),
+            },
+        );
+        p.block_mut(bs).term = Terminator::Ret;
+
+        let head = p.add_block(fmain);
+        let body = p.add_block(fmain);
+        let done = p.add_block(fmain);
+        p.funcs[fmain.0 as usize].entry = head;
+        p.entry = fmain;
+        p.globals = vec![0u8; 16];
+        p.push_insn(head, InstKind::MovI { dst: GM::Reg(Gpr(2)), src: GMI::Imm(1) });
+        p.push_insn(head, InstKind::MovI { dst: GM::Reg(Gpr::RAX), src: GMI::Imm(0) });
+        p.block_mut(head).term = Terminator::Jmp(body);
+        p.push_insn(
+            body,
+            InstKind::IntAlu { op: IntOp::Add, dst: Gpr::RAX, src: GMI::Reg(Gpr(2)) },
+        );
+        p.push_insn(body, InstKind::IntAlu { op: IntOp::Add, dst: Gpr(2), src: GMI::Imm(1) });
+        p.push_insn(body, InstKind::Cmp { lhs: Gpr(2), src: GMI::Imm(10) });
+        p.block_mut(body).term = Terminator::Br { cond: Cond::Le, then_: body, else_: done };
+        p.push_insn(
+            done,
+            InstKind::CvtI2F { to: Prec::Double, dst: Xmm(0), src: GMI::Reg(Gpr::RAX) },
+        );
+        p.push_insn(done, InstKind::Call { func: fsq });
+        p.push_insn(
+            done,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Mem(MemRef::abs(0)),
+                src: FpLoc::Reg(Xmm(0)),
+            },
+        );
+        p.block_mut(done).term = Terminator::Halt;
+        p
+    }
+
+    #[test]
+    fn image_matches_reference_on_demo_program() {
+        let p = demo_prog();
+        let image = ExecImage::compile(&p, &CostModel::default());
+
+        let mut slow = Vm::new(&p, VmOptions { profile: true, ..Default::default() });
+        let out_slow = slow.run();
+        let mut fast = Vm::new(&p, VmOptions { profile: true, ..Default::default() });
+        let out_fast = fast.run_image(&image);
+
+        assert_eq!(out_slow.result, out_fast.result);
+        assert_eq!(out_slow.stats.steps, out_fast.stats.steps);
+        assert_eq!(out_slow.stats.fp_ops, out_fast.stats.fp_ops);
+        assert_eq!(out_slow.stats.cycles, out_fast.stats.cycles);
+        assert_eq!(slow.gpr, fast.gpr);
+        assert_eq!(slow.xmm, fast.xmm);
+        assert_eq!(slow.mem.load_u64(0).unwrap(), fast.mem.load_u64(0).unwrap());
+        assert_eq!(fast.mem.read_f64_slice(0, 1).unwrap()[0], 55.0 * 55.0);
+        let ps = out_slow.profile.unwrap();
+        let pf = out_fast.profile.unwrap();
+        for k in 0..p.insn_id_bound() {
+            assert_eq!(ps.count(InsnId(k as u32)), pf.count(InsnId(k as u32)));
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_matches() {
+        let p = demo_prog();
+        let image = ExecImage::compile(&p, &CostModel::default());
+        for fuel in [0u64, 1, 5, 13, 17] {
+            let o1 = Vm::new(&p, VmOptions { fuel, ..Default::default() }).run();
+            let o2 = Vm::new(&p, VmOptions { fuel, ..Default::default() }).run_image(&image);
+            assert_eq!(o1.result, o2.result, "fuel={fuel}");
+            assert_eq!(o1.stats.steps, o2.stats.steps, "fuel={fuel}");
+            assert_eq!(o1.stats.cycles, o2.stats.cycles, "fuel={fuel}");
+        }
+    }
+
+    #[test]
+    fn flagged_nan_trap_matches_with_insn_id() {
+        let mut p = Program::new(1 << 12);
+        let m = p.add_module("t");
+        let f = p.add_function(m, "main");
+        let b = p.add_block(f);
+        p.funcs[f.0 as usize].entry = b;
+        p.entry = f;
+        p.globals = crate::value::replace(1.5).to_le_bytes().to_vec();
+        p.push_insn(
+            b,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(0)),
+                src: FpLoc::Mem(MemRef::abs(0)),
+            },
+        );
+        p.push_insn(
+            b,
+            InstKind::FpArith {
+                op: FpAluOp::Add,
+                prec: Prec::Double,
+                packed: false,
+                dst: Xmm(0),
+                src: RM::Reg(Xmm(0)),
+            },
+        );
+        p.block_mut(b).term = Terminator::Halt;
+        let image = ExecImage::compile(&p, &CostModel::default());
+        let o1 = Vm::new(&p, VmOptions::default()).run();
+        let o2 = Vm::new(&p, VmOptions::default()).run_image(&image);
+        assert!(matches!(o1.result, Err(Trap::FlaggedNanConsumed { .. })));
+        assert_eq!(o1.result, o2.result);
+        assert_eq!(o1.stats.cycles, o2.stats.cycles);
+    }
+
+    #[test]
+    fn mismatched_cost_model_is_rejected() {
+        let p = demo_prog();
+        let image = ExecImage::compile(&p, &CostModel { call: 99, ..Default::default() });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Vm::new(&p, VmOptions::default()).run_image(&image)
+        }));
+        assert!(r.is_err());
+    }
+}

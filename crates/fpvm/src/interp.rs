@@ -69,38 +69,55 @@ impl RunOutcome {
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct Flags {
-    eq: bool,
-    lt: bool,
-    ult: bool,
-    unordered: bool,
+pub(crate) struct Flags {
+    pub(crate) eq: bool,
+    pub(crate) lt: bool,
+    pub(crate) ult: bool,
+    pub(crate) unordered: bool,
 }
 
 /// A virtual machine executing one program.
 pub struct Vm<'p> {
-    prog: &'p Program,
+    pub(crate) prog: &'p Program,
     /// General-purpose registers.
     pub gpr: [u64; Gpr::COUNT],
     /// 128-bit floating-point registers.
     pub xmm: [u128; Xmm::COUNT],
-    flags: Flags,
+    pub(crate) flags: Flags,
     /// Memory (data + heap + stack).
     pub mem: Memory,
     ret_stack: Vec<(BlockId, usize)>,
-    opts: VmOptions,
-    profile: Option<Profile>,
-    stats: RunStats,
+    pub(crate) opts: VmOptions,
+    pub(crate) profile: Option<Profile>,
+    pub(crate) stats: RunStats,
 }
 
 impl<'p> Vm<'p> {
     /// Create a VM for `prog` with the given options. The stack pointer is
     /// initialized to the top of memory.
     pub fn new(prog: &'p Program, opts: VmOptions) -> Self {
-        let mem = Memory::new(prog.mem_size, &prog.globals);
+        Self::with_memory(prog, opts, Memory::new(prog.mem_size, &prog.globals))
+    }
+
+    /// Like [`Vm::new`], but recycles a caller-provided [`Memory`] buffer
+    /// (re-initialized for `prog`) instead of allocating a fresh one —
+    /// evaluation loops use this to avoid one large allocation per run.
+    pub fn with_memory(prog: &'p Program, opts: VmOptions, mut mem: Memory) -> Self {
+        mem.reset(prog.mem_size, &prog.globals);
         let mut gpr = [0u64; Gpr::COUNT];
         gpr[Gpr::RSP.0 as usize] = prog.mem_size as u64;
         let profile = opts.profile.then(|| Profile::new(prog.insn_id_bound()));
-        Vm { prog, gpr, xmm: [0; Xmm::COUNT], flags: Flags::default(), mem, ret_stack: Vec::new(), opts, profile, stats: RunStats::default() }
+        Vm {
+            prog,
+            gpr,
+            xmm: [0; Xmm::COUNT],
+            flags: Flags::default(),
+            mem,
+            ret_stack: Vec::new(),
+            opts,
+            profile,
+            stats: RunStats::default(),
+        }
     }
 
     /// Convenience: run `prog` with `opts` from its entry function.
@@ -110,7 +127,7 @@ impl<'p> Vm<'p> {
     }
 
     #[inline]
-    fn mem_addr(&self, m: &MemRef) -> u64 {
+    pub(crate) fn mem_addr(&self, m: &MemRef) -> u64 {
         let mut a = m.disp as u64;
         if let Some(b) = m.base {
             a = a.wrapping_add(self.gpr[b.0 as usize]);
@@ -122,23 +139,23 @@ impl<'p> Vm<'p> {
     }
 
     #[inline]
-    fn xmm_lo64(&self, x: Xmm) -> u64 {
+    pub(crate) fn xmm_lo64(&self, x: Xmm) -> u64 {
         self.xmm[x.0 as usize] as u64
     }
 
     #[inline]
-    fn set_xmm_lo64(&mut self, x: Xmm, v: u64) {
+    pub(crate) fn set_xmm_lo64(&mut self, x: Xmm, v: u64) {
         let r = &mut self.xmm[x.0 as usize];
         *r = (*r & !(u128::from(u64::MAX))) | u128::from(v);
     }
 
     #[inline]
-    fn xmm_lo32(&self, x: Xmm) -> u32 {
+    pub(crate) fn xmm_lo32(&self, x: Xmm) -> u32 {
         self.xmm[x.0 as usize] as u32
     }
 
     #[inline]
-    fn set_xmm_lo32(&mut self, x: Xmm, v: u32) {
+    pub(crate) fn set_xmm_lo32(&mut self, x: Xmm, v: u32) {
         let r = &mut self.xmm[x.0 as usize];
         *r = (*r & !(u128::from(u32::MAX))) | u128::from(v);
     }
@@ -175,7 +192,7 @@ impl<'p> Vm<'p> {
     /// Crash-on-miss check: trap if a double bit pattern carries the
     /// replacement flag (only called for double-precision consumers).
     #[inline]
-    fn check_flag64(&self, bits: u64, insn: InsnId) -> Result<(), Trap> {
+    pub(crate) fn check_flag64(&self, bits: u64, insn: InsnId) -> Result<(), Trap> {
         if self.opts.trap_on_flag && bits & HI_MASK == FLAG_HI64 {
             Err(Trap::FlaggedNanConsumed { insn })
         } else {
@@ -183,7 +200,7 @@ impl<'p> Vm<'p> {
         }
     }
 
-    fn fp_alu_f64(op: FpAluOp, a: f64, b: f64) -> f64 {
+    pub(crate) fn fp_alu_f64(op: FpAluOp, a: f64, b: f64) -> f64 {
         match op {
             FpAluOp::Add => a + b,
             FpAluOp::Sub => a - b,
@@ -208,7 +225,7 @@ impl<'p> Vm<'p> {
         }
     }
 
-    fn fp_alu_f32(op: FpAluOp, a: f32, b: f32) -> f32 {
+    pub(crate) fn fp_alu_f32(op: FpAluOp, a: f32, b: f32) -> f32 {
         match op {
             FpAluOp::Add => a + b,
             FpAluOp::Sub => a - b,
@@ -231,7 +248,7 @@ impl<'p> Vm<'p> {
         }
     }
 
-    fn math_f64(fun: MathFun, x: f64) -> f64 {
+    pub(crate) fn math_f64(fun: MathFun, x: f64) -> f64 {
         match fun {
             MathFun::Sin => x.sin(),
             MathFun::Cos => x.cos(),
@@ -242,7 +259,7 @@ impl<'p> Vm<'p> {
         }
     }
 
-    fn math_f32(fun: MathFun, x: f32) -> f32 {
+    pub(crate) fn math_f32(fun: MathFun, x: f32) -> f32 {
         match fun {
             MathFun::Sin => x.sin(),
             MathFun::Cos => x.cos(),
@@ -353,7 +370,7 @@ impl<'p> Vm<'p> {
                         self.check_flag64(a, insn.id)?;
                         self.check_flag64(b, insn.id)?;
                         let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
-                        (fa as f64, fb as f64, fa.is_nan() || fb.is_nan())
+                        (fa, fb, fa.is_nan() || fb.is_nan())
                     }
                     Prec::Single => {
                         let a = f32::from_bits(self.xmm_lo32(*lhs));
@@ -397,47 +414,47 @@ impl<'p> Vm<'p> {
                 };
                 self.gpr[dst.0 as usize] = v as u64;
             }
-            InstKind::MovF { width, dst, src } => {
-                match width {
-                    Width::W32 => {
-                        let v = match src {
-                            FpLoc::Reg(x) => self.xmm_lo32(*x),
-                            FpLoc::Mem(m) => self.mem.load_u32(self.mem_addr(m))?,
-                        };
-                        match dst {
-                            FpLoc::Reg(x) => self.set_xmm_lo32(*x, v),
-                            FpLoc::Mem(m) => self.mem.store_u32(self.mem_addr(m), v)?,
-                        }
-                    }
-                    Width::W64 => {
-                        let v = match src {
-                            FpLoc::Reg(x) => self.xmm_lo64(*x),
-                            FpLoc::Mem(m) => self.mem.load_u64(self.mem_addr(m))?,
-                        };
-                        match dst {
-                            FpLoc::Reg(x) => self.set_xmm_lo64(*x, v),
-                            FpLoc::Mem(m) => self.mem.store_u64(self.mem_addr(m), v)?,
-                        }
-                    }
-                    Width::W128 => {
-                        let v = match src {
-                            FpLoc::Reg(x) => self.xmm[x.0 as usize],
-                            FpLoc::Mem(m) => self.mem.load_u128(self.mem_addr(m))?,
-                        };
-                        match dst {
-                            FpLoc::Reg(x) => self.xmm[x.0 as usize] = v,
-                            FpLoc::Mem(m) => self.mem.store_u128(self.mem_addr(m), v)?,
-                        }
+            InstKind::MovF { width, dst, src } => match width {
+                Width::W32 => {
+                    let v = match src {
+                        FpLoc::Reg(x) => self.xmm_lo32(*x),
+                        FpLoc::Mem(m) => self.mem.load_u32(self.mem_addr(m))?,
+                    };
+                    match dst {
+                        FpLoc::Reg(x) => self.set_xmm_lo32(*x, v),
+                        FpLoc::Mem(m) => self.mem.store_u32(self.mem_addr(m), v)?,
                     }
                 }
-            }
+                Width::W64 => {
+                    let v = match src {
+                        FpLoc::Reg(x) => self.xmm_lo64(*x),
+                        FpLoc::Mem(m) => self.mem.load_u64(self.mem_addr(m))?,
+                    };
+                    match dst {
+                        FpLoc::Reg(x) => self.set_xmm_lo64(*x, v),
+                        FpLoc::Mem(m) => self.mem.store_u64(self.mem_addr(m), v)?,
+                    }
+                }
+                Width::W128 => {
+                    let v = match src {
+                        FpLoc::Reg(x) => self.xmm[x.0 as usize],
+                        FpLoc::Mem(m) => self.mem.load_u128(self.mem_addr(m))?,
+                    };
+                    match dst {
+                        FpLoc::Reg(x) => self.xmm[x.0 as usize] = v,
+                        FpLoc::Mem(m) => self.mem.store_u128(self.mem_addr(m), v)?,
+                    }
+                }
+            },
             InstKind::PExtrQ { dst, src, lane } => {
-                self.gpr[dst.0 as usize] = (self.xmm[src.0 as usize] >> (64 * (*lane as u32 & 1))) as u64;
+                self.gpr[dst.0 as usize] =
+                    (self.xmm[src.0 as usize] >> (64 * (*lane as u32 & 1))) as u64;
             }
             InstKind::PInsrQ { dst, src, lane } => {
                 let sh = 64 * (*lane as u32 & 1);
                 let r = &mut self.xmm[dst.0 as usize];
-                *r = (*r & !(u128::from(u64::MAX) << sh)) | (u128::from(self.gpr[src.0 as usize]) << sh);
+                *r = (*r & !(u128::from(u64::MAX) << sh))
+                    | (u128::from(self.gpr[src.0 as usize]) << sh);
             }
             InstKind::IntAlu { op, dst, src } => {
                 let a = self.gpr[dst.0 as usize];
@@ -479,12 +496,8 @@ impl<'p> Vm<'p> {
             InstKind::Cmp { lhs, src } => {
                 let a = self.gpr[lhs.0 as usize];
                 let b = self.read_gmi(src)?;
-                self.flags = Flags {
-                    eq: a == b,
-                    lt: (a as i64) < (b as i64),
-                    ult: a < b,
-                    unordered: false,
-                };
+                self.flags =
+                    Flags { eq: a == b, lt: (a as i64) < (b as i64), ult: a < b, unordered: false };
             }
             InstKind::Test { lhs, src } => {
                 let r = self.gpr[lhs.0 as usize] & self.read_gmi(src)?;
@@ -509,7 +522,7 @@ impl<'p> Vm<'p> {
         Ok(())
     }
 
-    fn cond_holds(&self, c: Cond) -> bool {
+    pub(crate) fn cond_holds(&self, c: Cond) -> bool {
         let f = self.flags;
         match c {
             Cond::Eq => f.eq,
@@ -614,10 +627,40 @@ mod tests {
         p.globals.extend_from_slice(&b.to_bits().to_le_bytes());
         p.globals.extend_from_slice(&[0u8; 8]);
         p.symbols.insert("out".into(), 16);
-        p.push_insn(blk, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-        p.push_insn(blk, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(1)), src: FpLoc::Mem(MemRef::abs(8)) });
-        p.push_insn(blk, InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
-        p.push_insn(blk, InstKind::MovF { width: Width::W64, dst: FpLoc::Mem(MemRef::abs(16)), src: FpLoc::Reg(Xmm(0)) });
+        p.push_insn(
+            blk,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(0)),
+                src: FpLoc::Mem(MemRef::abs(0)),
+            },
+        );
+        p.push_insn(
+            blk,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(1)),
+                src: FpLoc::Mem(MemRef::abs(8)),
+            },
+        );
+        p.push_insn(
+            blk,
+            InstKind::FpArith {
+                op: FpAluOp::Add,
+                prec: Prec::Double,
+                packed: false,
+                dst: Xmm(0),
+                src: RM::Reg(Xmm(1)),
+            },
+        );
+        p.push_insn(
+            blk,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Mem(MemRef::abs(16)),
+                src: FpLoc::Reg(Xmm(0)),
+            },
+        );
         p.block_mut(blk).term = Terminator::Halt;
         p
     }
@@ -652,12 +695,25 @@ mod tests {
         p.push_insn(head, InstKind::MovI { dst: GM::Reg(Gpr(2)), src: GMI::Imm(1) });
         p.push_insn(head, InstKind::MovI { dst: GM::Reg(Gpr::RAX), src: GMI::Imm(0) });
         p.block_mut(head).term = Terminator::Jmp(body);
-        p.push_insn(body, InstKind::IntAlu { op: IntOp::Add, dst: Gpr::RAX, src: GMI::Reg(Gpr(2)) });
+        p.push_insn(
+            body,
+            InstKind::IntAlu { op: IntOp::Add, dst: Gpr::RAX, src: GMI::Reg(Gpr(2)) },
+        );
         p.push_insn(body, InstKind::IntAlu { op: IntOp::Add, dst: Gpr(2), src: GMI::Imm(1) });
         p.push_insn(body, InstKind::Cmp { lhs: Gpr(2), src: GMI::Imm(10) });
         p.block_mut(body).term = Terminator::Br { cond: Cond::Le, then_: body, else_: done };
-        p.push_insn(done, InstKind::CvtI2F { to: Prec::Double, dst: Xmm(0), src: GMI::Reg(Gpr::RAX) });
-        p.push_insn(done, InstKind::MovF { width: Width::W64, dst: FpLoc::Mem(MemRef::abs(0)), src: FpLoc::Reg(Xmm(0)) });
+        p.push_insn(
+            done,
+            InstKind::CvtI2F { to: Prec::Double, dst: Xmm(0), src: GMI::Reg(Gpr::RAX) },
+        );
+        p.push_insn(
+            done,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Mem(MemRef::abs(0)),
+                src: FpLoc::Reg(Xmm(0)),
+            },
+        );
         p.block_mut(done).term = Terminator::Halt;
         let mut vm = Vm::new(&p, VmOptions::default());
         assert!(vm.run().ok());
@@ -677,12 +733,31 @@ mod tests {
         p.funcs[fsq.0 as usize].entry = bs;
         p.entry = fmain;
         p.globals = vec![0u8; 8];
-        p.push_insn(bs, InstKind::FpArith { op: FpAluOp::Mul, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(0)) });
+        p.push_insn(
+            bs,
+            InstKind::FpArith {
+                op: FpAluOp::Mul,
+                prec: Prec::Double,
+                packed: false,
+                dst: Xmm(0),
+                src: RM::Reg(Xmm(0)),
+            },
+        );
         p.block_mut(bs).term = Terminator::Ret;
         p.push_insn(bm, InstKind::MovI { dst: GM::Reg(Gpr::RAX), src: GMI::Imm(7) });
-        p.push_insn(bm, InstKind::CvtI2F { to: Prec::Double, dst: Xmm(0), src: GMI::Reg(Gpr::RAX) });
+        p.push_insn(
+            bm,
+            InstKind::CvtI2F { to: Prec::Double, dst: Xmm(0), src: GMI::Reg(Gpr::RAX) },
+        );
         p.push_insn(bm, InstKind::Call { func: fsq });
-        p.push_insn(bm, InstKind::MovF { width: Width::W64, dst: FpLoc::Mem(MemRef::abs(0)), src: FpLoc::Reg(Xmm(0)) });
+        p.push_insn(
+            bm,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Mem(MemRef::abs(0)),
+                src: FpLoc::Reg(Xmm(0)),
+            },
+        );
         p.block_mut(bm).term = Terminator::Halt;
         let mut vm = Vm::new(&p, VmOptions::default());
         assert!(vm.run().ok());
@@ -731,9 +806,32 @@ mod tests {
         let rb = crate::value::replace(2.25);
         p.globals.extend_from_slice(&ra.to_le_bytes());
         p.globals.extend_from_slice(&rb.to_le_bytes());
-        p.push_insn(b, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-        p.push_insn(b, InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Single, packed: false, dst: Xmm(0), src: RM::Mem(MemRef::abs(8)) });
-        p.push_insn(b, InstKind::MovF { width: Width::W64, dst: FpLoc::Mem(MemRef::abs(0)), src: FpLoc::Reg(Xmm(0)) });
+        p.push_insn(
+            b,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(0)),
+                src: FpLoc::Mem(MemRef::abs(0)),
+            },
+        );
+        p.push_insn(
+            b,
+            InstKind::FpArith {
+                op: FpAluOp::Add,
+                prec: Prec::Single,
+                packed: false,
+                dst: Xmm(0),
+                src: RM::Mem(MemRef::abs(8)),
+            },
+        );
+        p.push_insn(
+            b,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Mem(MemRef::abs(0)),
+                src: FpLoc::Reg(Xmm(0)),
+            },
+        );
         p.block_mut(b).term = Terminator::Halt;
         let mut vm = Vm::new(&p, VmOptions::default());
         assert!(vm.run().ok());
@@ -762,9 +860,32 @@ mod tests {
         for v in [1.5f64, 2.5, 10.0, 20.0] {
             p.globals.extend_from_slice(&v.to_bits().to_le_bytes());
         }
-        p.push_insn(b, InstKind::MovF { width: Width::W128, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-        p.push_insn(b, InstKind::FpArith { op: FpAluOp::Mul, prec: Prec::Double, packed: true, dst: Xmm(0), src: RM::Mem(MemRef::abs(16)) });
-        p.push_insn(b, InstKind::MovF { width: Width::W128, dst: FpLoc::Mem(MemRef::abs(0)), src: FpLoc::Reg(Xmm(0)) });
+        p.push_insn(
+            b,
+            InstKind::MovF {
+                width: Width::W128,
+                dst: FpLoc::Reg(Xmm(0)),
+                src: FpLoc::Mem(MemRef::abs(0)),
+            },
+        );
+        p.push_insn(
+            b,
+            InstKind::FpArith {
+                op: FpAluOp::Mul,
+                prec: Prec::Double,
+                packed: true,
+                dst: Xmm(0),
+                src: RM::Mem(MemRef::abs(16)),
+            },
+        );
+        p.push_insn(
+            b,
+            InstKind::MovF {
+                width: Width::W128,
+                dst: FpLoc::Mem(MemRef::abs(0)),
+                src: FpLoc::Reg(Xmm(0)),
+            },
+        );
         p.block_mut(b).term = Terminator::Halt;
         let mut vm = Vm::new(&p, VmOptions::default());
         assert!(vm.run().ok());
@@ -790,8 +911,18 @@ mod tests {
             p.globals = vec![0u8; 24];
             p.globals[..8].copy_from_slice(&a.to_bits().to_le_bytes());
             p.globals[8..16].copy_from_slice(&b.to_bits().to_le_bytes());
-            p.push_insn(blk, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-            p.push_insn(blk, InstKind::FpUcomi { prec: Prec::Double, lhs: Xmm(0), src: RM::Mem(MemRef::abs(8)) });
+            p.push_insn(
+                blk,
+                InstKind::MovF {
+                    width: Width::W64,
+                    dst: FpLoc::Reg(Xmm(0)),
+                    src: FpLoc::Mem(MemRef::abs(0)),
+                },
+            );
+            p.push_insn(
+                blk,
+                InstKind::FpUcomi { prec: Prec::Double, lhs: Xmm(0), src: RM::Mem(MemRef::abs(8)) },
+            );
             p.block_mut(blk).term = Terminator::Br { cond, then_: t, else_: e };
             p.push_insn(t, InstKind::MovI { dst: GM::Mem(MemRef::abs(16)), src: GMI::Imm(1) });
             p.block_mut(t).term = Terminator::Halt;

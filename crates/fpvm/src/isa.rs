@@ -649,9 +649,9 @@ impl InstKind {
                 (_, FpLoc::Mem(m)) => Some(m),
                 _ => None,
             },
-            InstKind::IntAlu { src, .. } | InstKind::Cmp { src, .. } | InstKind::Test { src, .. } => {
-                gmi(src)
-            }
+            InstKind::IntAlu { src, .. }
+            | InstKind::Cmp { src, .. }
+            | InstKind::Test { src, .. } => gmi(src),
             InstKind::MovI { dst, src } => match (dst, src) {
                 (GM::Mem(m), _) => Some(m),
                 (_, GMI::Mem(m)) => Some(m),
@@ -819,11 +819,8 @@ mod tests {
             src: RM::Reg(Xmm(1)),
         };
         assert!(!add_s.is_candidate());
-        let mov = InstKind::MovF {
-            width: Width::W64,
-            dst: FpLoc::Reg(Xmm(0)),
-            src: FpLoc::Reg(Xmm(1)),
-        };
+        let mov =
+            InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Reg(Xmm(1)) };
         assert!(!mov.is_candidate());
         // int->fp conversions produce fresh doubles; not candidates.
         let cvt = InstKind::CvtI2F { to: Prec::Double, dst: Xmm(0), src: GMI::Reg(Gpr::RAX) };
@@ -842,9 +839,6 @@ mod tests {
     fn memref_display() {
         assert_eq!(MemRef::abs(0x40).to_string(), "0x40");
         assert_eq!(MemRef::base_disp(Gpr::RSP, -8).to_string(), "-0x8(%rsp)");
-        assert_eq!(
-            MemRef::base_index(Gpr::RAX, Gpr::RBX, 8, 0).to_string(),
-            "(%rax,%rbx,8)"
-        );
+        assert_eq!(MemRef::base_index(Gpr::RAX, Gpr::RBX, 8, 0).to_string(), "(%rax,%rbx,8)");
     }
 }

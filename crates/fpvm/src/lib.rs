@@ -17,6 +17,8 @@
 //! * [`value`] — the in-place downcast-and-flag representation of replaced
 //!   doubles (`0x7FF4DEAD`, paper Fig. 5);
 //! * [`cost`] — a documented cycle/bandwidth model for *modelled* speedups;
+//! * [`exec`] — a pre-decoded linear execution image, the interpreter's
+//!   fast path (bit-identical to [`interp`], differentially tested);
 //! * [`cluster`] — an intra-node MPI-rank analogue for the scaling
 //!   experiments (paper Fig. 8).
 
@@ -24,6 +26,7 @@
 
 pub mod cluster;
 pub mod cost;
+pub mod exec;
 pub mod interp;
 pub mod isa;
 pub mod mem;
@@ -33,6 +36,7 @@ pub mod trap;
 pub mod value;
 
 pub use cost::CostModel;
+pub use exec::ExecImage;
 pub use interp::{RunOutcome, RunStats, Vm, VmOptions};
 pub use isa::{
     BlockId, Cond, FpAluOp, FpLoc, FuncId, Gpr, Insn, InsnId, InstKind, IntOp, MathFun, MemRef,

@@ -17,6 +17,15 @@ impl Memory {
         Memory { bytes }
     }
 
+    /// Re-initialize in place to `size` zeroed bytes with `image` copied to
+    /// address 0, reusing the existing allocation when large enough — the
+    /// evaluation loop's way to avoid one multi-megabyte allocation per run.
+    pub fn reset(&mut self, size: usize, image: &[u8]) {
+        self.bytes.clear();
+        self.bytes.resize(size, 0);
+        self.bytes[..image.len()].copy_from_slice(image);
+    }
+
     /// Memory size in bytes.
     pub fn len(&self) -> usize {
         self.bytes.len()
@@ -86,9 +95,7 @@ impl Memory {
     /// Read `n` consecutive f64 slots starting at `addr`, upcasting any
     /// replaced (flagged) slots — the view a verification routine wants.
     pub fn read_f64_slice(&self, addr: u64, n: usize) -> Result<Vec<f64>, Trap> {
-        (0..n)
-            .map(|i| Ok(crate::value::read_as_f64(self.load_u64(addr + 8 * i as u64)?)))
-            .collect()
+        (0..n).map(|i| Ok(crate::value::read_as_f64(self.load_u64(addr + 8 * i as u64)?))).collect()
     }
 
     /// Read `n` consecutive f32 slots starting at `addr`.

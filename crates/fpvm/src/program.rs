@@ -154,6 +154,21 @@ impl Program {
         self.next_addr = self.next_addr.max(addr_floor);
     }
 
+    /// The next `(insn id, address)` that [`Program::mk_insn`] would mint.
+    pub fn id_cursor(&self) -> (u32, u64) {
+        (self.next_insn, self.next_addr)
+    }
+
+    /// Pin the id/address cursor exactly (unlike [`Program::reserve_ids`],
+    /// which only raises it). The incremental rewriter uses this to mint
+    /// *deterministic* snippet ids for a candidate regardless of how many
+    /// other candidates were instrumented before it, so per-block fragments
+    /// are reusable across configurations.
+    pub fn set_id_cursor(&mut self, next_id: u32, next_addr: u64) {
+        self.next_insn = next_id;
+        self.next_addr = next_addr;
+    }
+
     /// Number of *candidate* instructions (see [`InstKind::is_candidate`]).
     pub fn candidate_count(&self) -> usize {
         self.iter_insns().filter(|(_, _, i)| i.kind.is_candidate()).count()
@@ -291,7 +306,7 @@ impl Program {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::isa::{Cond, FpAluOp, Gpr, GMI, IntOp, Prec, RM, Xmm};
+    use crate::isa::{Cond, FpAluOp, Gpr, IntOp, Prec, Xmm, GMI, RM};
 
     fn tiny() -> (Program, FuncId, BlockId) {
         let mut p = Program::new(1 << 16);

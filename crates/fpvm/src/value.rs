@@ -83,7 +83,7 @@ mod tests {
 
     #[test]
     fn replace_roundtrip() {
-        for x in [0.0_f64, 1.0, -1.0, 3.141592653589793, 1e-30, -2.5e7] {
+        for x in [0.0_f64, 1.0, -1.0, std::f64::consts::PI, 1e-30, -2.5e7] {
             let r = replace(x);
             assert!(is_replaced(r));
             assert_eq!(extract(r), x as f32);

@@ -58,7 +58,9 @@ impl PlainSet {
     /// produces a plain double, `None` means copied untouched.
     pub fn step(&mut self, insn: &Insn, instrumented: Option<SnippetPrec>) {
         match &insn.kind {
-            InstKind::FpArith { dst, .. } | InstKind::FpSqrt { dst, .. } | InstKind::FpMath { dst, .. } => {
+            InstKind::FpArith { dst, .. }
+            | InstKind::FpSqrt { dst, .. }
+            | InstKind::FpMath { dst, .. } => {
                 match instrumented {
                     Some(SnippetPrec::Double) => self.set(dst.0),
                     Some(SnippetPrec::Single) => self.clear(dst.0),
@@ -121,7 +123,13 @@ mod tests {
 
     #[test]
     fn double_snippet_output_is_plain_single_is_not() {
-        let add = insn(InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+        let add = insn(InstKind::FpArith {
+            op: FpAluOp::Add,
+            prec: Prec::Double,
+            packed: false,
+            dst: Xmm(0),
+            src: RM::Reg(Xmm(1)),
+        });
         let mut s = PlainSet::new();
         s.step(&add, Some(SnippetPrec::Double));
         assert!(s.is_plain(0));
@@ -133,10 +141,24 @@ mod tests {
     fn moves_propagate_plainness() {
         let mut s = PlainSet::new();
         s.step(&insn(InstKind::CvtI2F { to: Prec::Double, dst: Xmm(1), src: GMI::Imm(1) }), None);
-        s.step(&insn(InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(2)), src: FpLoc::Reg(Xmm(1)) }), None);
+        s.step(
+            &insn(InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(2)),
+                src: FpLoc::Reg(Xmm(1)),
+            }),
+            None,
+        );
         assert!(s.is_plain(2));
         // a load from memory makes the register unknown again
-        s.step(&insn(InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(2)), src: FpLoc::Mem(MemRef::abs(0)) }), None);
+        s.step(
+            &insn(InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(2)),
+                src: FpLoc::Mem(MemRef::abs(0)),
+            }),
+            None,
+        );
         assert!(!s.is_plain(2));
     }
 
@@ -152,7 +174,13 @@ mod tests {
     fn facts_reflect_state() {
         let mut s = PlainSet::new();
         s.step(&insn(InstKind::CvtI2F { to: Prec::Double, dst: Xmm(0), src: GMI::Imm(1) }), None);
-        let add = insn(InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+        let add = insn(InstKind::FpArith {
+            op: FpAluOp::Add,
+            prec: Prec::Double,
+            packed: false,
+            dst: Xmm(0),
+            src: RM::Reg(Xmm(1)),
+        });
         let f = s.facts(&add);
         assert!(f.dst_plain);
         assert!(!f.src_plain);

@@ -19,6 +19,6 @@ pub mod snippets;
 pub use fpvm::value::{extract, is_replaced, replace, FLAG_HI, FLAG_HI64};
 pub use rewriter::{
     block_growth, dynamic_replacement_pct, rewrite, rewrite_all_double, RewriteMode,
-    RewriteOptions, RewriteStats,
+    RewriteOptions, RewriteStats, Rewriter,
 };
 pub use snippets::{emit_snippet, Emitter, OperandFacts, SnippetPrec};

@@ -19,10 +19,11 @@
 
 use crate::dataflow::PlainSet;
 use crate::snippets::{emit_snippet, Emitter, OperandFacts, SnippetPrec};
-use fpvm::isa::{BlockId, Insn};
+use fpvm::isa::{BlockId, Insn, Terminator};
 use fpvm::program::Program;
 use mpconfig::{Config, Flag, StructureTree};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Global rewriting policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,8 +140,7 @@ pub fn rewrite(
                     Decision::Snippet(prec) => {
                         let facts =
                             if opts.lean { plain.facts(insn) } else { OperandFacts::default() };
-                        let mut e =
-                            Emitter { prog: &mut out, func: f.id, cur, origin: insn.id };
+                        let mut e = Emitter { prog: &mut out, func: f.id, cur, origin: insn.id };
                         emit_snippet(&mut e, insn, prec, facts);
                         cur = e.cur;
                         plain.step(insn, Some(prec));
@@ -162,6 +162,259 @@ pub fn rewrite(
     stats.snippet_insns = out.insn_id_bound() - base_ids;
     debug_assert!(out.validate().is_ok(), "rewriter produced invalid program");
     (out, stats)
+}
+
+/// One cached instrumentation expansion of a single original basic block
+/// under a fixed per-instruction decision vector.
+///
+/// Blocks are *local*: index into [`Fragment::blocks`] is the local id, and
+/// non-tail terminators reference local ids. Block 0 is the head (spliced
+/// onto the original block's remapped slot); the tail block is where control
+/// falls out of the fragment — the stitcher installs the original block's
+/// remapped terminator there, so the stored tail terminator is a
+/// placeholder.
+///
+/// Snippet instruction ids inside a fragment are minted exactly once, from
+/// the rewriter's shared monotone cursor, so the same fragment can be
+/// spliced into any number of output programs without id collisions.
+struct Fragment {
+    blocks: Vec<(Vec<Insn>, Terminator)>,
+    tail: u32,
+    single: usize,
+    double_checked: usize,
+    ignored: usize,
+    snippet_insns: usize,
+}
+
+struct RewriterState {
+    /// Next snippet instruction id / address to mint (shared across all
+    /// fragments; monotone, never reused).
+    next_id: u32,
+    next_addr: u64,
+    /// `(original block, per-insn decisions)` → expansion.
+    cache: HashMap<(u32, Vec<u8>), Arc<Fragment>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Incremental rewriter: caches instrumented basic-block expansions so that
+/// successive configurations only pay to re-instrument blocks whose
+/// effective precision decisions actually changed.
+///
+/// Semantics match the one-shot [`rewrite`] exactly (same instruction
+/// sequence per block, same dataflow facts, same step/trap behaviour);
+/// snippet instructions carry different — but stable — ids and addresses,
+/// because each distinct `(block, decisions)` fragment mints its ids once
+/// from a shared monotone cursor. Original instructions keep their ids, so
+/// configurations and profiles remain valid against every output.
+///
+/// A `Rewriter` is tied to the program it was constructed with; it is
+/// `Sync` and safe to share across search worker threads.
+pub struct Rewriter {
+    opts: RewriteOptions,
+    insn_bound: u32,
+    state: Mutex<RewriterState>,
+}
+
+impl Rewriter {
+    /// Create an incremental rewriter for `orig` with the given options.
+    pub fn new(orig: &Program, opts: RewriteOptions) -> Self {
+        let max_addr = orig.iter_insns().map(|(_, _, i)| i.addr).max().unwrap_or(0);
+        Rewriter {
+            opts,
+            insn_bound: orig.insn_id_bound() as u32,
+            state: Mutex::new(RewriterState {
+                next_id: orig.insn_id_bound() as u32,
+                next_addr: max_addr + 16,
+                cache: HashMap::new(),
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// Fragment-cache `(hits, misses)` so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let st = self.state.lock().unwrap();
+        (st.hits, st.misses)
+    }
+
+    /// Rewrite `orig` under `cfg`, reusing cached block expansions.
+    ///
+    /// `orig` must be the program this rewriter was constructed with.
+    /// Equivalent to the one-shot [`rewrite`] up to snippet ids/addresses.
+    pub fn rewrite(
+        &self,
+        orig: &Program,
+        tree: &StructureTree,
+        cfg: &Config,
+    ) -> (Program, RewriteStats) {
+        assert_eq!(
+            orig.insn_id_bound() as u32,
+            self.insn_bound,
+            "Rewriter used with a different program than it was built for"
+        );
+        let active = match self.opts.mode {
+            RewriteMode::AllDouble => true,
+            RewriteMode::Config => cfg.any_single(tree),
+        };
+        if !active {
+            return (orig.clone(), RewriteStats::default());
+        }
+
+        let mut out = Program::new(orig.mem_size);
+        out.globals = orig.globals.clone();
+        out.symbols = orig.symbols.clone();
+        for m in &orig.modules {
+            out.add_module(m.name.clone());
+        }
+        for f in &orig.funcs {
+            let nf = out.add_function(f.module, f.name.clone());
+            debug_assert_eq!(nf.0, f.id.0);
+        }
+        out.entry = orig.entry;
+
+        let mut stats = RewriteStats::default();
+        for f in &orig.funcs {
+            let mut remap: HashMap<BlockId, BlockId> = HashMap::new();
+            for &ob in &f.blocks {
+                remap.insert(ob, out.add_block(f.id));
+            }
+            out.funcs[f.id.0 as usize].entry = remap[&f.entry];
+
+            let mut fixups: Vec<(BlockId, Terminator)> = Vec::new();
+            for &ob in &f.blocks {
+                let oblk = orig.block(ob);
+                // Per-insn decision vector — the cache key. Dataflow facts
+                // used by lean snippets are a pure function of the block's
+                // instructions and this vector (PlainSet starts fresh per
+                // block), so `(block, decisions)` fully determines the
+                // expansion.
+                let key: Vec<u8> = oblk
+                    .insns
+                    .iter()
+                    .map(|insn| match decide(insn, tree, cfg, self.opts.mode) {
+                        Decision::Copy => 3u8,
+                        Decision::Ignore => 0,
+                        Decision::Snippet(SnippetPrec::Single) => 1,
+                        Decision::Snippet(SnippetPrec::Double) => 2,
+                    })
+                    .collect();
+
+                let frag = {
+                    let mut st = self.state.lock().unwrap();
+                    if let Some(f) = st.cache.get(&(ob.0, key.clone())).map(Arc::clone) {
+                        st.hits += 1;
+                        f
+                    } else {
+                        st.misses += 1;
+                        let frag = Arc::new(build_fragment(&mut st, self.opts.lean, oblk, &key));
+                        st.cache.insert((ob.0, key), Arc::clone(&frag));
+                        frag
+                    }
+                };
+
+                // Splice: local block 0 lands on this block's pre-created
+                // head; extra locals get fresh blocks.
+                let mut locals: Vec<BlockId> = Vec::with_capacity(frag.blocks.len());
+                locals.push(remap[&ob]);
+                for _ in 1..frag.blocks.len() {
+                    locals.push(out.add_block(f.id));
+                }
+                for (li, (insns, term)) in frag.blocks.iter().enumerate() {
+                    let gb = locals[li];
+                    out.blocks[gb.0 as usize].insns = insns.clone();
+                    if li as u32 != frag.tail {
+                        let mut t = term.clone();
+                        t.map_successors(|l| locals[l.0 as usize]);
+                        out.block_mut(gb).term = t;
+                    }
+                }
+                fixups.push((locals[frag.tail as usize], oblk.term.clone()));
+                stats.single += frag.single;
+                stats.double_checked += frag.double_checked;
+                stats.ignored += frag.ignored;
+                stats.snippet_insns += frag.snippet_insns;
+            }
+            for (b, mut term) in fixups {
+                term.map_successors(|old| remap[&old]);
+                out.block_mut(b).term = term;
+            }
+        }
+
+        // Cover every fragment id ever minted, so profiles indexed by
+        // `insn_id_bound()` fit any output of this rewriter.
+        let (nid, naddr) = {
+            let st = self.state.lock().unwrap();
+            (st.next_id, st.next_addr)
+        };
+        out.reserve_ids(nid, naddr);
+        debug_assert!(out.validate().is_ok(), "incremental rewriter produced invalid program");
+        (out, stats)
+    }
+}
+
+/// Expand one basic block in a scratch program, minting snippet ids from
+/// the shared cursor (advanced on return).
+fn build_fragment(
+    st: &mut RewriterState,
+    lean: bool,
+    oblk: &fpvm::program::BasicBlock,
+    key: &[u8],
+) -> Fragment {
+    let mut scratch = Program::new(0);
+    let m = scratch.add_module("fragment".to_string());
+    let sf = scratch.add_function(m, "fragment".to_string());
+    let head = scratch.add_block(sf);
+    debug_assert_eq!(head.0, 0);
+    scratch.set_id_cursor(st.next_id, st.next_addr);
+    let start_id = st.next_id;
+
+    let mut frag = Fragment {
+        blocks: Vec::new(),
+        tail: 0,
+        single: 0,
+        double_checked: 0,
+        ignored: 0,
+        snippet_insns: 0,
+    };
+    let mut cur = head;
+    let mut plain = PlainSet::new();
+    for (insn, &d) in oblk.insns.iter().zip(key) {
+        match d {
+            3 => {
+                plain.step(insn, None);
+                scratch.blocks[cur.0 as usize].insns.push(insn.clone());
+            }
+            0 => {
+                plain.step(insn, None);
+                frag.ignored += 1;
+                scratch.blocks[cur.0 as usize].insns.push(insn.clone());
+            }
+            1 | 2 => {
+                let prec = if d == 1 { SnippetPrec::Single } else { SnippetPrec::Double };
+                let facts = if lean { plain.facts(insn) } else { OperandFacts::default() };
+                let mut e = Emitter { prog: &mut scratch, func: sf, cur, origin: insn.id };
+                emit_snippet(&mut e, insn, prec, facts);
+                cur = e.cur;
+                plain.step(insn, Some(prec));
+                match prec {
+                    SnippetPrec::Single => frag.single += 1,
+                    SnippetPrec::Double => frag.double_checked += 1,
+                }
+            }
+            _ => unreachable!("invalid decision byte"),
+        }
+    }
+
+    let (end_id, end_addr) = scratch.id_cursor();
+    frag.snippet_insns = (end_id - start_id) as usize;
+    st.next_id = end_id;
+    st.next_addr = end_addr;
+    frag.tail = cur.0;
+    frag.blocks =
+        std::mem::take(&mut scratch.blocks).into_iter().map(|b| (b.insns, b.term)).collect();
+    frag
 }
 
 enum Decision {
@@ -187,17 +440,18 @@ fn decide(insn: &Insn, tree: &StructureTree, cfg: &Config, mode: RewriteMode) ->
 /// Convenience: instrument everything with double snippets (overhead base
 /// case).
 pub fn rewrite_all_double(orig: &Program, tree: &StructureTree) -> (Program, RewriteStats) {
-    rewrite(orig, tree, &Config::new(), &RewriteOptions { mode: RewriteMode::AllDouble, lean: false })
+    rewrite(
+        orig,
+        tree,
+        &Config::new(),
+        &RewriteOptions { mode: RewriteMode::AllDouble, lean: false },
+    )
 }
 
 /// Dynamic replacement percentage for a configuration, measured against a
 /// profile of the *original* program: executed replaced candidates over
 /// executed candidates (the "Dynamic" column of the paper's Fig. 10).
-pub fn dynamic_replacement_pct(
-    tree: &StructureTree,
-    cfg: &Config,
-    profile: &fpvm::Profile,
-) -> f64 {
+pub fn dynamic_replacement_pct(tree: &StructureTree, cfg: &Config, profile: &fpvm::Profile) -> f64 {
     let mut total = 0u64;
     let mut replaced = 0u64;
     for id in tree.all_insns() {
@@ -229,8 +483,7 @@ fn _assert_insn_small(i: &Insn) {
 mod tests {
     use super::*;
     use fpir::{
-        f, fadd, fdiv, fmul, for_, i, itof, ld, set, st, v, CompileOptions, FpWidth,
-        IrProgram,
+        f, fadd, fdiv, fmul, for_, i, itof, ld, set, st, v, CompileOptions, FpWidth, IrProgram,
     };
     use fpvm::{Vm, VmOptions};
     use mpconfig::StructureTree;
@@ -246,9 +499,12 @@ mod tests {
             let k = ir.local_i(fr);
             vec![
                 set(s, f(0.0)),
-                for_(k, i(0), i(8), vec![
-                    set(s, fadd(v(s), fdiv(fmul(ld(xs, v(k)), itof(v(k))), f(1.7)))),
-                ]),
+                for_(
+                    k,
+                    i(0),
+                    i(8),
+                    vec![set(s, fadd(v(s), fdiv(fmul(ld(xs, v(k)), itof(v(k))), f(1.7))))],
+                ),
                 st(out, i(0), v(s)),
             ]
         });
@@ -345,7 +601,7 @@ mod tests {
         let main = ir.func("main", &[], None, |ir, fr, _| {
             let a = ir.local_f(fr);
             vec![
-                set(a, fmul(f(1.5), f(2.0))), // producer
+                set(a, fmul(f(1.5), f(2.0))),      // producer
                 st(out, i(0), fadd(v(a), f(1.0))), // consumer
             ]
         });
@@ -373,8 +629,18 @@ mod tests {
         let ir = kernel();
         let p = fpir::compile(&ir, &CompileOptions::default());
         let tree = StructureTree::build(&p);
-        let (_, full) = rewrite(&p, &tree, &Config::new(), &RewriteOptions { mode: RewriteMode::AllDouble, lean: false });
-        let (q, lean) = rewrite(&p, &tree, &Config::new(), &RewriteOptions { mode: RewriteMode::AllDouble, lean: true });
+        let (_, full) = rewrite(
+            &p,
+            &tree,
+            &Config::new(),
+            &RewriteOptions { mode: RewriteMode::AllDouble, lean: false },
+        );
+        let (q, lean) = rewrite(
+            &p,
+            &tree,
+            &Config::new(),
+            &RewriteOptions { mode: RewriteMode::AllDouble, lean: true },
+        );
         assert!(lean.snippet_insns <= full.snippet_insns);
         // lean must not change results
         let (got, _) = run_out(&q);
@@ -396,6 +662,127 @@ mod tests {
             cfg.set_insn(id, Flag::Single);
         }
         assert!((dynamic_replacement_pct(&tree, &cfg, &prof) - 100.0).abs() < 1e-9);
+    }
+
+    /// Run a program and return (result bits, outcome) without asserting ok.
+    fn run_any(p: &Program) -> fpvm::RunOutcome {
+        Vm::run_program(p, VmOptions::default())
+    }
+
+    #[test]
+    fn incremental_rewriter_matches_one_shot_semantics() {
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let ids = tree.all_insns();
+        let rw = Rewriter::new(&p, RewriteOptions::default());
+
+        // A spread of configurations: empty, one insn, half, all single.
+        let mut cfgs = vec![Config::new()];
+        let mut one = Config::new();
+        one.set_insn(ids[0], Flag::Single);
+        cfgs.push(one);
+        let mut half = Config::new();
+        for &id in ids.iter().take(ids.len() / 2) {
+            half.set_insn(id, Flag::Single);
+        }
+        cfgs.push(half);
+        let mut all = Config::new();
+        for &id in &ids {
+            all.set_insn(id, Flag::Single);
+        }
+        cfgs.push(all);
+
+        for cfg in &cfgs {
+            let (want_p, want_s) = rewrite(&p, &tree, cfg, &RewriteOptions::default());
+            let (got_p, got_s) = rw.rewrite(&p, &tree, cfg);
+            assert_eq!(want_s, got_s, "stats diverge");
+            assert_eq!(want_p.blocks.len(), got_p.blocks.len());
+            got_p.validate().expect("incremental output invalid");
+            let want_o = run_any(&want_p);
+            let got_o = run_any(&got_p);
+            assert_eq!(want_o.result, got_o.result);
+            assert_eq!(want_o.stats.steps, got_o.stats.steps);
+            assert_eq!(want_o.stats.cycles, got_o.stats.cycles);
+            assert_eq!(want_o.stats.fp_ops, got_o.stats.fp_ops);
+            if want_o.ok() {
+                let addr = want_p.symbol("out").unwrap();
+                let mut vm_w = Vm::new(&want_p, VmOptions::default());
+                vm_w.run();
+                let mut vm_g = Vm::new(&got_p, VmOptions::default());
+                vm_g.run();
+                assert_eq!(
+                    vm_w.mem.read_u64_slice(addr, 1).unwrap(),
+                    vm_g.mem.read_u64_slice(addr, 1).unwrap(),
+                    "output bits diverge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_rewriter_reuses_fragments_across_configs() {
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let ids = tree.all_insns();
+        let rw = Rewriter::new(&p, RewriteOptions::default());
+
+        let mut all = Config::new();
+        for &id in &ids {
+            all.set_insn(id, Flag::Single);
+        }
+        let (_, _) = rw.rewrite(&p, &tree, &all);
+        let (h0, m0) = rw.cache_stats();
+        assert_eq!(h0, 0);
+        assert!(m0 > 0);
+
+        // Same config again: every fragment hits.
+        let (_, _) = rw.rewrite(&p, &tree, &all);
+        let (h1, m1) = rw.cache_stats();
+        assert_eq!(m1, m0, "no new fragments expected");
+        assert_eq!(h1, m0, "every block should hit the cache");
+
+        // Flip one instruction: only the blocks containing it re-expand.
+        let mut one_less = all.clone();
+        one_less.set_insn(ids[0], Flag::Double);
+        let (_, _) = rw.rewrite(&p, &tree, &one_less);
+        let (h2, m2) = rw.cache_stats();
+        assert!(m2 > m0, "changed block must re-instrument");
+        assert!(m2 - m0 < m0, "unchanged blocks must not re-instrument");
+        assert!(h2 > h1);
+    }
+
+    #[test]
+    fn incremental_rewriter_all_double_matches_reference() {
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let rw = Rewriter::new(&p, RewriteOptions { mode: RewriteMode::AllDouble, lean: false });
+        let (want_p, want_s) = rewrite_all_double(&p, &tree);
+        let (got_p, got_s) = rw.rewrite(&p, &tree, &Config::new());
+        assert_eq!(want_s, got_s);
+        let want_o = run_any(&want_p);
+        let got_o = run_any(&got_p);
+        assert_eq!(want_o.stats.steps, got_o.stats.steps);
+        assert!(got_o.ok());
+    }
+
+    #[test]
+    fn incremental_rewriter_lean_mode_matches_reference_counts() {
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let rw = Rewriter::new(&p, RewriteOptions { mode: RewriteMode::AllDouble, lean: true });
+        let (_, want_s) = rewrite(
+            &p,
+            &tree,
+            &Config::new(),
+            &RewriteOptions { mode: RewriteMode::AllDouble, lean: true },
+        );
+        let (got_p, got_s) = rw.rewrite(&p, &tree, &Config::new());
+        assert_eq!(want_s, got_s);
+        assert!(run_any(&got_p).ok());
     }
 
     #[test]

@@ -348,7 +348,11 @@ pub fn emit_snippet(e: &mut Emitter<'_>, insn: &Insn, prec: SnippetPrec, facts: 
             let join = e.new_block();
             e.seal_br(Cond::Eq, flagged, plain);
             e.cur = flagged;
-            e.ins(InstKind::MovF { width: Width::W32, dst: FpLoc::Reg(*dst), src: FpLoc::Reg(sreg) });
+            e.ins(InstKind::MovF {
+                width: Width::W32,
+                dst: FpLoc::Reg(*dst),
+                src: FpLoc::Reg(sreg),
+            });
             e.seal_jmp(join);
             e.cur = plain;
             e.ins(InstKind::CvtF2F { to: Prec::Single, dst: *dst, src: RM::Reg(sreg) });
@@ -384,14 +388,41 @@ mod tests {
         p.globals = vec![0u8; 24];
         p.globals[..8].copy_from_slice(&a_bits.to_le_bytes());
         p.globals[8..16].copy_from_slice(&b_bits.to_le_bytes());
-        p.push_insn(b0, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-        p.push_insn(b0, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(1)), src: FpLoc::Mem(MemRef::abs(8)) });
-        let victim = p.mk_insn(InstKind::FpArith { op, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+        p.push_insn(
+            b0,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(0)),
+                src: FpLoc::Mem(MemRef::abs(0)),
+            },
+        );
+        p.push_insn(
+            b0,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(1)),
+                src: FpLoc::Mem(MemRef::abs(8)),
+            },
+        );
+        let victim = p.mk_insn(InstKind::FpArith {
+            op,
+            prec: Prec::Double,
+            packed: false,
+            dst: Xmm(0),
+            src: RM::Reg(Xmm(1)),
+        });
         let origin = victim.id;
         let mut e = Emitter { prog: &mut p, func: f, cur: b0, origin };
         emit_snippet(&mut e, &victim, prec, OperandFacts::default());
         let tail = e.cur;
-        e.prog.push_insn(tail, InstKind::MovF { width: Width::W64, dst: FpLoc::Mem(MemRef::abs(16)), src: FpLoc::Reg(Xmm(0)) });
+        e.prog.push_insn(
+            tail,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Mem(MemRef::abs(16)),
+                src: FpLoc::Reg(Xmm(0)),
+            },
+        );
         p.block_mut(tail).term = Terminator::Halt;
         p.validate().unwrap();
         let mut vm = Vm::new(&p, VmOptions::default());
@@ -402,7 +433,8 @@ mod tests {
     #[test]
     fn single_snippet_plain_inputs() {
         // 1.1 + 2.2 in single precision from plain doubles.
-        let (bits, r) = run_snippet(1.1f64.to_bits(), 2.2f64.to_bits(), FpAluOp::Add, SnippetPrec::Single);
+        let (bits, r) =
+            run_snippet(1.1f64.to_bits(), 2.2f64.to_bits(), FpAluOp::Add, SnippetPrec::Single);
         r.unwrap();
         assert!(is_replaced(bits));
         assert_eq!(f32::from_bits(bits as u32), 1.1f32 + 2.2f32);
@@ -411,7 +443,8 @@ mod tests {
     #[test]
     fn single_snippet_mixed_inputs() {
         // One input already replaced: no double rounding of that input.
-        let (bits, r) = run_snippet(replace(1.1), 2.2f64.to_bits(), FpAluOp::Mul, SnippetPrec::Single);
+        let (bits, r) =
+            run_snippet(replace(1.1), 2.2f64.to_bits(), FpAluOp::Mul, SnippetPrec::Single);
         r.unwrap();
         assert!(is_replaced(bits));
         assert_eq!(f32::from_bits(bits as u32), 1.1f32 * 2.2f32);
@@ -419,7 +452,8 @@ mod tests {
 
     #[test]
     fn double_snippet_preserves_exact_double_result() {
-        let (bits, r) = run_snippet(1.1f64.to_bits(), 2.2f64.to_bits(), FpAluOp::Add, SnippetPrec::Double);
+        let (bits, r) =
+            run_snippet(1.1f64.to_bits(), 2.2f64.to_bits(), FpAluOp::Add, SnippetPrec::Double);
         r.unwrap();
         assert!(!is_replaced(bits));
         assert_eq!(f64::from_bits(bits), 1.1f64 + 2.2f64);
@@ -458,13 +492,33 @@ mod tests {
         p.entry = f;
         p.globals = 3.0f64.to_bits().to_le_bytes().to_vec();
         p.globals.extend_from_slice(&[0u8; 8]);
-        p.push_insn(b0, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-        let victim = p.mk_insn(InstKind::FpArith { op: FpAluOp::Mul, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(0)) });
+        p.push_insn(
+            b0,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(0)),
+                src: FpLoc::Mem(MemRef::abs(0)),
+            },
+        );
+        let victim = p.mk_insn(InstKind::FpArith {
+            op: FpAluOp::Mul,
+            prec: Prec::Double,
+            packed: false,
+            dst: Xmm(0),
+            src: RM::Reg(Xmm(0)),
+        });
         let origin = victim.id;
         let mut e = Emitter { prog: &mut p, func: f, cur: b0, origin };
         emit_snippet(&mut e, &victim, SnippetPrec::Single, OperandFacts::default());
         let tail = e.cur;
-        p.push_insn(tail, InstKind::MovF { width: Width::W64, dst: FpLoc::Mem(MemRef::abs(8)), src: FpLoc::Reg(Xmm(0)) });
+        p.push_insn(
+            tail,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Mem(MemRef::abs(8)),
+                src: FpLoc::Reg(Xmm(0)),
+            },
+        );
         p.block_mut(tail).term = Terminator::Halt;
         let mut vm = Vm::new(&p, VmOptions::default());
         vm.run().result.unwrap();
@@ -486,13 +540,33 @@ mod tests {
         p.globals = vec![0u8; 24];
         p.globals[..8].copy_from_slice(&2.5f64.to_bits().to_le_bytes());
         p.globals[8..16].copy_from_slice(&1.25f64.to_bits().to_le_bytes());
-        p.push_insn(b0, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-        let victim = p.mk_insn(InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Mem(MemRef::abs(8)) });
+        p.push_insn(
+            b0,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(0)),
+                src: FpLoc::Mem(MemRef::abs(0)),
+            },
+        );
+        let victim = p.mk_insn(InstKind::FpArith {
+            op: FpAluOp::Add,
+            prec: Prec::Double,
+            packed: false,
+            dst: Xmm(0),
+            src: RM::Mem(MemRef::abs(8)),
+        });
         let origin = victim.id;
         let mut e = Emitter { prog: &mut p, func: f, cur: b0, origin };
         emit_snippet(&mut e, &victim, SnippetPrec::Single, OperandFacts::default());
         let tail = e.cur;
-        p.push_insn(tail, InstKind::MovF { width: Width::W64, dst: FpLoc::Mem(MemRef::abs(16)), src: FpLoc::Reg(Xmm(0)) });
+        p.push_insn(
+            tail,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Mem(MemRef::abs(16)),
+                src: FpLoc::Reg(Xmm(0)),
+            },
+        );
         p.block_mut(tail).term = Terminator::Halt;
         let mut vm = Vm::new(&p, VmOptions::default());
         vm.run().result.unwrap();
@@ -513,13 +587,33 @@ mod tests {
         for (k, x) in [1.5f64, 2.5, 3.0, 4.0].iter().enumerate() {
             p.globals[8 * k..8 * k + 8].copy_from_slice(&x.to_bits().to_le_bytes());
         }
-        p.push_insn(b0, InstKind::MovF { width: Width::W128, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-        let victim = p.mk_insn(InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: true, dst: Xmm(0), src: RM::Mem(MemRef::abs(16)) });
+        p.push_insn(
+            b0,
+            InstKind::MovF {
+                width: Width::W128,
+                dst: FpLoc::Reg(Xmm(0)),
+                src: FpLoc::Mem(MemRef::abs(0)),
+            },
+        );
+        let victim = p.mk_insn(InstKind::FpArith {
+            op: FpAluOp::Add,
+            prec: Prec::Double,
+            packed: true,
+            dst: Xmm(0),
+            src: RM::Mem(MemRef::abs(16)),
+        });
         let origin = victim.id;
         let mut e = Emitter { prog: &mut p, func: f, cur: b0, origin };
         emit_snippet(&mut e, &victim, SnippetPrec::Single, OperandFacts::default());
         let tail = e.cur;
-        p.push_insn(tail, InstKind::MovF { width: Width::W128, dst: FpLoc::Mem(MemRef::abs(32)), src: FpLoc::Reg(Xmm(0)) });
+        p.push_insn(
+            tail,
+            InstKind::MovF {
+                width: Width::W128,
+                dst: FpLoc::Mem(MemRef::abs(32)),
+                src: FpLoc::Reg(Xmm(0)),
+            },
+        );
         p.block_mut(tail).term = Terminator::Halt;
         let mut vm = Vm::new(&p, VmOptions::default());
         vm.run().result.unwrap();
@@ -544,13 +638,33 @@ mod tests {
         p.globals[8..16].copy_from_slice(&2.5f64.to_bits().to_le_bytes());
         p.globals[16..24].copy_from_slice(&10.0f64.to_bits().to_le_bytes());
         p.globals[24..32].copy_from_slice(&replace(20.0).to_le_bytes());
-        p.push_insn(b0, InstKind::MovF { width: Width::W128, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-        let victim = p.mk_insn(InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: true, dst: Xmm(0), src: RM::Mem(MemRef::abs(16)) });
+        p.push_insn(
+            b0,
+            InstKind::MovF {
+                width: Width::W128,
+                dst: FpLoc::Reg(Xmm(0)),
+                src: FpLoc::Mem(MemRef::abs(0)),
+            },
+        );
+        let victim = p.mk_insn(InstKind::FpArith {
+            op: FpAluOp::Add,
+            prec: Prec::Double,
+            packed: true,
+            dst: Xmm(0),
+            src: RM::Mem(MemRef::abs(16)),
+        });
         let origin = victim.id;
         let mut e = Emitter { prog: &mut p, func: f, cur: b0, origin };
         emit_snippet(&mut e, &victim, SnippetPrec::Double, OperandFacts::default());
         let tail = e.cur;
-        p.push_insn(tail, InstKind::MovF { width: Width::W128, dst: FpLoc::Mem(MemRef::abs(32)), src: FpLoc::Reg(Xmm(0)) });
+        p.push_insn(
+            tail,
+            InstKind::MovF {
+                width: Width::W128,
+                dst: FpLoc::Mem(MemRef::abs(32)),
+                src: FpLoc::Reg(Xmm(0)),
+            },
+        );
         p.block_mut(tail).term = Terminator::Halt;
         let mut vm = Vm::new(&p, VmOptions::default());
         vm.run().result.unwrap();
@@ -572,9 +686,24 @@ mod tests {
         p.globals = vec![0u8; 24];
         p.globals[..8].copy_from_slice(&replace(1.5).to_le_bytes());
         p.globals[8..16].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
-        p.push_insn(b0, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-        p.push_insn(b0, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(1)), src: FpLoc::Mem(MemRef::abs(8)) });
-        let victim = p.mk_insn(InstKind::FpUcomi { prec: Prec::Double, lhs: Xmm(0), src: RM::Reg(Xmm(1)) });
+        p.push_insn(
+            b0,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(0)),
+                src: FpLoc::Mem(MemRef::abs(0)),
+            },
+        );
+        p.push_insn(
+            b0,
+            InstKind::MovF {
+                width: Width::W64,
+                dst: FpLoc::Reg(Xmm(1)),
+                src: FpLoc::Mem(MemRef::abs(8)),
+            },
+        );
+        let victim =
+            p.mk_insn(InstKind::FpUcomi { prec: Prec::Double, lhs: Xmm(0), src: RM::Reg(Xmm(1)) });
         let origin = victim.id;
         let mut e = Emitter { prog: &mut p, func: f, cur: b0, origin };
         emit_snippet(&mut e, &victim, SnippetPrec::Single, OperandFacts::default());
@@ -601,7 +730,13 @@ mod tests {
             let b0 = p.add_block(f);
             p.funcs[f.0 as usize].entry = b0;
             p.entry = f;
-            let victim = p.mk_insn(InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+            let victim = p.mk_insn(InstKind::FpArith {
+                op: FpAluOp::Add,
+                prec: Prec::Double,
+                packed: false,
+                dst: Xmm(0),
+                src: RM::Reg(Xmm(1)),
+            });
             let origin = victim.id;
             let mut e = Emitter { prog: &mut p, func: f, cur: b0, origin };
             emit_snippet(&mut e, &victim, SnippetPrec::Double, facts);

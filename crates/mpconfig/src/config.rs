@@ -182,10 +182,7 @@ impl Config {
 
     /// Candidate instructions whose effective flag is `Single`.
     pub fn replaced_insns(&self, tree: &StructureTree) -> Vec<InsnId> {
-        tree.all_insns()
-            .into_iter()
-            .filter(|&i| self.effective(tree, i) == Flag::Single)
-            .collect()
+        tree.all_insns().into_iter().filter(|&i| self.effective(tree, i) == Flag::Single).collect()
     }
 
     /// Static replacement percentage: replaced candidates / all candidates.
@@ -231,7 +228,16 @@ mod tests {
         let b2 = p.add_block(f1);
         for b in [b1, b2] {
             for _ in 0..2 {
-                p.push_insn(b, InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+                p.push_insn(
+                    b,
+                    InstKind::FpArith {
+                        op: FpAluOp::Add,
+                        prec: Prec::Double,
+                        packed: false,
+                        dst: Xmm(0),
+                        src: RM::Reg(Xmm(1)),
+                    },
+                );
             }
         }
         p.block_mut(b1).term = Terminator::Jmp(b2);

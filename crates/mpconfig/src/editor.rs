@@ -104,7 +104,16 @@ mod tests {
         p.funcs[f.0 as usize].entry = b;
         p.entry = f;
         for _ in 0..3 {
-            p.push_insn(b, InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+            p.push_insn(
+                b,
+                InstKind::FpArith {
+                    op: FpAluOp::Add,
+                    prec: Prec::Double,
+                    packed: false,
+                    dst: Xmm(0),
+                    src: RM::Reg(Xmm(1)),
+                },
+            );
         }
         let t = StructureTree::build(&p);
         (p, t)

@@ -93,10 +93,12 @@ pub fn parse_config(tree: &StructureTree, text: &str) -> Result<Config, ParseErr
         }
         // Optional flag letter followed by whitespace.
         let (flag, rest) = match t.split_once(char::is_whitespace) {
-            Some((tok, rest)) if tok.len() == 1 => match Flag::from_letter(tok.chars().next().unwrap()) {
-                Some(f) => (Some(f), rest.trim_start()),
-                None => (None, t),
-            },
+            Some((tok, rest)) if tok.len() == 1 => {
+                match Flag::from_letter(tok.chars().next().unwrap()) {
+                    Some(f) => (Some(f), rest.trim_start()),
+                    None => (None, t),
+                }
+            }
             _ => (None, t),
         };
 
@@ -131,8 +133,7 @@ pub fn parse_config(tree: &StructureTree, text: &str) -> Result<Config, ParseErr
                 .trim_end_matches(':')
                 .parse()
                 .map_err(|_| err(line, format!("bad block number `{body}`")))?;
-            let (mi, fi) =
-                cur_func.ok_or_else(|| err(line, "BBLK before any FUNC".into()))?;
+            let (mi, fi) = cur_func.ok_or_else(|| err(line, "BBLK before any FUNC".into()))?;
             let node = tree.modules[mi].funcs[fi]
                 .blocks
                 .iter()
@@ -161,9 +162,7 @@ pub fn parse_config(tree: &StructureTree, text: &str) -> Result<Config, ParseErr
 }
 
 fn after_colon(s: &str, line: usize) -> Result<&str, ParseError> {
-    s.split_once(':')
-        .map(|(_, rest)| rest.trim())
-        .ok_or_else(|| err(line, "expected `:`".into()))
+    s.split_once(':').map(|(_, rest)| rest.trim()).ok_or_else(|| err(line, "expected `:`".into()))
 }
 
 fn parse_addr(tok: &str) -> Option<u64> {
@@ -193,7 +192,16 @@ mod tests {
         p.funcs[f2.0 as usize].entry = b2;
         for b in [b1, b2] {
             for op in [FpAluOp::Add, FpAluOp::Mul, FpAluOp::Div] {
-                p.push_insn(b, InstKind::FpArith { op, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+                p.push_insn(
+                    b,
+                    InstKind::FpArith {
+                        op,
+                        prec: Prec::Double,
+                        packed: false,
+                        dst: Xmm(0),
+                        src: RM::Reg(Xmm(1)),
+                    },
+                );
             }
         }
         p.block_mut(b2).term = Terminator::Ret;

@@ -1,9 +1,36 @@
 //! Configuration evaluation: rewrite → run → verify.
+//!
+//! The evaluation pipeline is the search's hot loop, so this module stacks
+//! three optimizations on top of the naive rewrite-interpret-verify cycle:
+//!
+//! * instrumented programs come from an incremental [`Rewriter`] that
+//!   caches per-block expansions across configurations;
+//! * runs go through the pre-decoded [`ExecImage`] fast path instead of
+//!   the tree-walking reference interpreter;
+//! * each run gets a fuel budget derived from the all-double baseline, so
+//!   diverging candidates fail fast instead of burning the global fuel cap.
+//!
+//! [`CachedEvaluator`] adds result memoization on top of any evaluator,
+//! keyed by the configuration's effective replaced-instruction set.
 
+use fpvm::exec::ExecImage;
 use fpvm::program::Program;
-use fpvm::{Vm, VmOptions};
-use instrument::{rewrite, RewriteOptions};
+use fpvm::{Memory, Trap, Vm, VmOptions};
+use instrument::{rewrite_all_double, RewriteOptions, Rewriter};
 use mpconfig::{Config, StructureTree};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Operational counters an [`Evaluator`] may expose.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Evaluations answered from a result cache without running anything.
+    pub cache_hits: usize,
+    /// Evaluations aborted by the per-run fuel budget (diverging
+    /// candidates cut off early).
+    pub fuel_capped: usize,
+}
 
 /// Something that can judge a precision configuration. `evaluate` must be
 /// thread-safe: the search calls it from many workers at once.
@@ -11,24 +38,30 @@ pub trait Evaluator: Sync {
     /// Build the mixed-precision binary for `cfg`, run it on the
     /// representative data set, and apply the verification routine.
     fn evaluate(&self, cfg: &Config) -> bool;
+
+    /// Operational counters accumulated so far (all zero by default).
+    fn stats(&self) -> EvalStats {
+        EvalStats::default()
+    }
 }
 
 /// The standard evaluator: instruments a program under the configuration,
-/// executes it in a fresh VM, and applies a user verification closure to
-/// the final machine state (paper Fig. 2's "Data Set + Verification
-/// Routine" box).
+/// executes it, and applies a user verification closure to the final
+/// machine state (paper Fig. 2's "Data Set + Verification Routine" box).
+///
+/// Internally it reuses an incremental rewriter, a pool of memory buffers,
+/// and a per-run fuel budget of `fuel_factor ×` the all-double baseline
+/// step count (never above `vm_opts.fuel`), computed lazily on first use.
 pub struct VmEvaluator<'p> {
-    /// The original program.
-    pub prog: &'p Program,
-    /// Its structure tree.
-    pub tree: &'p StructureTree,
-    /// Interpreter options for evaluation runs.
-    pub vm_opts: VmOptions,
-    /// Rewriter options (mode is always `Config` here; `lean` selectable).
-    pub rewrite_opts: RewriteOptions,
-    /// The verification routine: inspects the halted machine and decides
-    /// whether the output is acceptable.
-    pub verify: Box<dyn Fn(&Vm<'_>) -> bool + Sync + Send>,
+    prog: &'p Program,
+    tree: &'p StructureTree,
+    vm_opts: VmOptions,
+    verify: Box<dyn Fn(&Vm<'_>) -> bool + Sync + Send>,
+    rewriter: Rewriter,
+    fuel_factor: u64,
+    budget: OnceLock<u64>,
+    fuel_capped: AtomicUsize,
+    mem_pool: Mutex<Vec<Memory>>,
 }
 
 impl<'p> VmEvaluator<'p> {
@@ -38,26 +71,143 @@ impl<'p> VmEvaluator<'p> {
         tree: &'p StructureTree,
         verify: impl Fn(&Vm<'_>) -> bool + Sync + Send + 'static,
     ) -> Self {
+        Self::with_options(prog, tree, VmOptions::default(), RewriteOptions::default(), verify)
+    }
+
+    /// Construct with explicit VM and rewrite options (the rewrite mode is
+    /// normally `Config`; `lean` is selectable).
+    pub fn with_options(
+        prog: &'p Program,
+        tree: &'p StructureTree,
+        vm_opts: VmOptions,
+        rewrite_opts: RewriteOptions,
+        verify: impl Fn(&Vm<'_>) -> bool + Sync + Send + 'static,
+    ) -> Self {
         VmEvaluator {
             prog,
             tree,
-            vm_opts: VmOptions::default(),
-            rewrite_opts: RewriteOptions::default(),
+            vm_opts,
             verify: Box::new(verify),
+            rewriter: Rewriter::new(prog, rewrite_opts),
+            fuel_factor: 8,
+            budget: OnceLock::new(),
+            fuel_capped: AtomicUsize::new(0),
+            mem_pool: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Override the fuel-budget factor. The per-run budget is
+    /// `factor × all-double baseline steps` (capped at `vm_opts.fuel`);
+    /// `0` disables the budget entirely.
+    pub fn set_fuel_factor(&mut self, factor: u64) {
+        self.fuel_factor = factor;
+    }
+
+    /// Fragment-cache `(hits, misses)` of the incremental rewriter.
+    pub fn rewrite_cache_stats(&self) -> (u64, u64) {
+        self.rewriter.cache_stats()
+    }
+
+    fn fuel_budget(&self) -> u64 {
+        if self.fuel_factor == 0 {
+            return self.vm_opts.fuel;
+        }
+        *self.budget.get_or_init(|| {
+            // The all-double instrumented run is the yardstick: every
+            // candidate carries comparable instrumentation overhead, so a
+            // healthy run stays within a small multiple of its step count.
+            let (base, _) = rewrite_all_double(self.prog, self.tree);
+            let out = Vm::run_program(&base, self.vm_opts.clone());
+            match out.result {
+                Ok(()) => {
+                    out.stats.steps.saturating_mul(self.fuel_factor).clamp(1, self.vm_opts.fuel)
+                }
+                // Baseline itself failed — no meaningful yardstick.
+                Err(_) => self.vm_opts.fuel,
+            }
+        })
     }
 }
 
 impl Evaluator for VmEvaluator<'_> {
     fn evaluate(&self, cfg: &Config) -> bool {
-        let (instrumented, _) = rewrite(self.prog, self.tree, cfg, &self.rewrite_opts);
-        let mut vm = Vm::new(&instrumented, self.vm_opts.clone());
-        let outcome = vm.run();
-        if !outcome.ok() {
-            // Any trap — including crash-on-miss and fuel exhaustion — is a
-            // verification failure.
-            return false;
+        let (instrumented, _) = self.rewriter.rewrite(self.prog, self.tree, cfg);
+        let image = ExecImage::compile(&instrumented, &self.vm_opts.cost);
+        let fuel = self.fuel_budget();
+        let mut opts = self.vm_opts.clone();
+        opts.fuel = fuel;
+        let mem = self.mem_pool.lock().unwrap().pop().unwrap_or_else(|| Memory::new(0, &[]));
+        let mut vm = Vm::with_memory(&instrumented, opts, mem);
+        let outcome = vm.run_image(&image);
+        // Any trap — including crash-on-miss and fuel exhaustion — is a
+        // verification failure.
+        let pass = outcome.ok() && (self.verify)(&vm);
+        if fuel < self.vm_opts.fuel && matches!(outcome.result, Err(Trap::FuelExhausted)) {
+            self.fuel_capped.fetch_add(1, Ordering::Relaxed);
         }
-        (self.verify)(&vm)
+        self.mem_pool.lock().unwrap().push(std::mem::replace(&mut vm.mem, Memory::new(0, &[])));
+        pass
+    }
+
+    fn stats(&self) -> EvalStats {
+        EvalStats { cache_hits: 0, fuel_capped: self.fuel_capped.load(Ordering::Relaxed) }
+    }
+}
+
+/// Memoizes another evaluator by the *effect* of a configuration: its
+/// effective replaced-instruction set.
+///
+/// Distinct configurations frequently instrument identically — the final
+/// union config repeats a passing trial, binary splitting re-derives a
+/// child's set when its sibling partition is empty, and the second phase
+/// retests subsets — so the cache turns those into constant-time lookups.
+///
+/// Soundness: within one search every trial shares the same base config,
+/// so `Ignore` flags (and hence the candidate set) are constant; two
+/// configs with equal effective-`Single` sets produce the same rewritten
+/// program and therefore the same verdict.
+pub struct CachedEvaluator<'a> {
+    inner: &'a dyn Evaluator,
+    tree: &'a StructureTree,
+    cache: Mutex<HashMap<Vec<u32>, bool>>,
+    hits: AtomicUsize,
+}
+
+impl<'a> CachedEvaluator<'a> {
+    /// Wrap `inner`, memoizing by effective replaced set under `tree`.
+    pub fn new(inner: &'a dyn Evaluator, tree: &'a StructureTree) -> Self {
+        CachedEvaluator {
+            inner,
+            tree,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of evaluations served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+impl Evaluator for CachedEvaluator<'_> {
+    fn evaluate(&self, cfg: &Config) -> bool {
+        let mut key: Vec<u32> = cfg.replaced_insns(self.tree).into_iter().map(|i| i.0).collect();
+        key.sort_unstable();
+        if let Some(&v) = self.cache.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        // Concurrent misses on the same key may both evaluate; results are
+        // deterministic, so the duplicate insert is harmless.
+        let v = self.inner.evaluate(cfg);
+        self.cache.lock().unwrap().insert(key, v);
+        v
+    }
+
+    fn stats(&self) -> EvalStats {
+        let mut s = self.inner.stats();
+        s.cache_hits += self.hits();
+        s
     }
 }

@@ -24,6 +24,6 @@ pub mod evaluator;
 pub mod report;
 pub mod search;
 
-pub use evaluator::{Evaluator, VmEvaluator};
+pub use evaluator::{CachedEvaluator, EvalStats, Evaluator, VmEvaluator};
 pub use report::{PassingUnit, SearchReport};
 pub use search::{search, SearchOptions, StopDepth};

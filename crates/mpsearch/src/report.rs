@@ -41,6 +41,12 @@ pub struct SearchReport {
     pub dynamic_pct: f64,
     /// Wall-clock time of the whole search.
     pub elapsed: Duration,
+    /// Evaluations answered by the config-evaluation cache instead of an
+    /// actual instrument-run-verify cycle.
+    pub cache_hits: usize,
+    /// Evaluations cut off by the per-run fuel budget (diverging
+    /// candidates failed fast).
+    pub fuel_capped: usize,
 }
 
 impl SearchReport {
@@ -62,6 +68,16 @@ impl SearchReport {
         format!(
             "{:<8} {:>10} {:>8} {:>9} {:>9} {:>6}",
             "bench", "candidates", "tested", "static", "dynamic", "final"
+        )
+    }
+
+    /// One-line summary of the evaluation-pipeline counters: cache hits
+    /// and fuel-capped runs. Kept out of [`SearchReport::figure10_row`] so
+    /// the figure stays byte-comparable with the paper's table.
+    pub fn perf_note(&self, name: &str) -> String {
+        format!(
+            "{:<8} eval cache hits: {:>4}   fuel-capped runs: {:>4}   elapsed: {:?}",
+            name, self.cache_hits, self.fuel_capped, self.elapsed
         )
     }
 }

@@ -1,13 +1,13 @@
 //! The breadth-first search algorithm (paper §2.2).
 
-use crate::evaluator::Evaluator;
+use crate::evaluator::{CachedEvaluator, Evaluator};
 use crate::report::{PassingUnit, SearchReport};
 use fpvm::isa::InsnId;
 use fpvm::Profile;
 use mpconfig::{Config, Flag, NodeRef, StructureTree};
-use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeSet};
+use std::collections::{BTreeSet, BinaryHeap};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// The deepest structure level the search descends to. Stopping at
@@ -53,6 +53,10 @@ pub struct SearchOptions {
     /// greedily back off the least-executed passing units until a
     /// composable configuration is found.
     pub second_phase: bool,
+    /// Memoize evaluation results by effective replaced-instruction set
+    /// (shared across all workers), so structurally different trials that
+    /// instrument identically are evaluated once.
+    pub eval_cache: bool,
 }
 
 impl Default for SearchOptions {
@@ -65,6 +69,7 @@ impl Default for SearchOptions {
             max_tests: None,
             split_threshold: 2,
             second_phase: false,
+            eval_cache: true,
         }
     }
 }
@@ -225,11 +230,17 @@ pub fn search(
     let start = Instant::now();
     let ctx = Ctx { tree, base, profile, opts };
 
-    let candidates: Vec<InsnId> = tree
-        .all_insns()
-        .into_iter()
-        .filter(|&i| base.effective(tree, i) != Flag::Ignore)
-        .collect();
+    // Optionally interpose the evaluation cache. All call sites below —
+    // workers, the final union test, and the second phase — go through
+    // `eval`, so every repeated effective configuration is a hit.
+    let cache = opts.eval_cache.then(|| CachedEvaluator::new(eval, tree));
+    let eval: &dyn Evaluator = match &cache {
+        Some(c) => c,
+        None => eval,
+    };
+
+    let candidates: Vec<InsnId> =
+        tree.all_insns().into_iter().filter(|&i| base.effective(tree, i) != Flag::Ignore).collect();
 
     let shared = Mutex::new(Shared {
         queue: BinaryHeap::new(),
@@ -242,7 +253,7 @@ pub fn search(
     let cond = Condvar::new();
 
     {
-        let mut s = shared.lock();
+        let mut s = shared.lock().unwrap();
         for root in tree.roots() {
             let insns = ctx.live_insns(root);
             ctx.push(&mut s, Item { node: root, subset: None, insns });
@@ -250,52 +261,49 @@ pub fn search(
     }
 
     let workers = opts.threads.max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| {
-                loop {
-                    let item = {
-                        let mut s = shared.lock();
-                        loop {
-                            if s.stopped {
-                                return;
-                            }
-                            if let Some(max) = opts.max_tests {
-                                if s.tested >= max {
-                                    s.stopped = true;
-                                    cond.notify_all();
-                                    return;
-                                }
-                            }
-                            if let Some(e) = s.queue.pop() {
-                                s.in_flight += 1;
-                                break e.item;
-                            }
-                            if s.in_flight == 0 {
+            scope.spawn(|| loop {
+                let item = {
+                    let mut s = shared.lock().unwrap();
+                    loop {
+                        if s.stopped {
+                            return;
+                        }
+                        if let Some(max) = opts.max_tests {
+                            if s.tested >= max {
+                                s.stopped = true;
                                 cond.notify_all();
                                 return;
                             }
-                            cond.wait(&mut s);
                         }
-                    };
-                    let cfg = ctx.trial_config(&item.insns);
-                    let pass = eval.evaluate(&cfg);
-                    let mut s = shared.lock();
-                    s.tested += 1;
-                    if pass {
-                        s.passing.push(item);
-                    } else {
-                        ctx.expand(&mut s, &item);
+                        if let Some(e) = s.queue.pop() {
+                            s.in_flight += 1;
+                            break e.item;
+                        }
+                        if s.in_flight == 0 {
+                            cond.notify_all();
+                            return;
+                        }
+                        s = cond.wait(s).unwrap();
                     }
-                    s.in_flight -= 1;
-                    cond.notify_all();
+                };
+                let cfg = ctx.trial_config(&item.insns);
+                let pass = eval.evaluate(&cfg);
+                let mut s = shared.lock().unwrap();
+                s.tested += 1;
+                if pass {
+                    s.passing.push(item);
+                } else {
+                    ctx.expand(&mut s, &item);
                 }
+                s.in_flight -= 1;
+                cond.notify_all();
             });
         }
-    })
-    .expect("search worker panicked");
+    });
 
-    let s = shared.into_inner();
+    let s = shared.into_inner().unwrap();
 
     // Compose the final configuration: the union of every individually
     // passing unit (§2.2), then test it once more.
@@ -361,6 +369,7 @@ pub fn search(
         })
         .collect();
 
+    let estats = eval.stats();
     SearchReport {
         candidates: candidates.len(),
         configs_tested: s.tested + tested_extra + if replaced.is_empty() { 0 } else { 1 },
@@ -371,6 +380,8 @@ pub fn search(
         static_pct,
         dynamic_pct,
         elapsed: start.elapsed(),
+        cache_hits: estats.cache_hits,
+        fuel_capped: estats.fuel_capped,
     }
 }
 
@@ -378,9 +389,7 @@ pub fn search(
 mod tests {
     use super::*;
     use crate::evaluator::VmEvaluator;
-    use fpir::{
-        f, fadd, fdiv, fmul, for_, i, itof, ld, set, st, v, CompileOptions, IrProgram,
-    };
+    use fpir::{f, fadd, fdiv, fmul, for_, i, itof, ld, set, st, v, CompileOptions, IrProgram};
     use fpvm::{Vm, VmOptions};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -401,10 +410,7 @@ mod tests {
     impl Evaluator for SetEval {
         fn evaluate(&self, cfg: &Config) -> bool {
             self.calls.fetch_add(1, Ordering::Relaxed);
-            !self
-                .sensitive
-                .iter()
-                .any(|&i| cfg.effective(&self.tree.tree, i) == Flag::Single)
+            !self.sensitive.iter().any(|&i| cfg.effective(&self.tree.tree, i) == Flag::Single)
         }
     }
 
@@ -421,7 +427,16 @@ mod tests {
                 p.entry = f;
             }
             for _ in 0..insns_per_func {
-                p.push_insn(b, InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+                p.push_insn(
+                    b,
+                    InstKind::FpArith {
+                        op: FpAluOp::Add,
+                        prec: Prec::Double,
+                        packed: false,
+                        dst: Xmm(0),
+                        src: RM::Reg(Xmm(1)),
+                    },
+                );
             }
             p.block_mut(b).term = Terminator::Ret;
         }
@@ -436,11 +451,7 @@ mod tests {
     #[test]
     fn fully_replaceable_program_passes_at_module_level() {
         let tb = make_prog(3, 4);
-        let eval = SetEval {
-            tree: make_prog(3, 4),
-            sensitive: vec![],
-            calls: AtomicUsize::new(0),
-        };
+        let eval = SetEval { tree: make_prog(3, 4), sensitive: vec![], calls: AtomicUsize::new(0) };
         let r = search(&tb.tree, &Config::new(), None, &eval, &opts_serial());
         assert_eq!(r.candidates, 12);
         // one module test + one final test
@@ -454,7 +465,11 @@ mod tests {
     fn single_sensitive_insn_is_isolated() {
         let tb = make_prog(2, 4);
         let sensitive = vec![tb.tree.all_insns()[5]];
-        let eval = SetEval { tree: make_prog(2, 4), sensitive: sensitive.clone(), calls: AtomicUsize::new(0) };
+        let eval = SetEval {
+            tree: make_prog(2, 4),
+            sensitive: sensitive.clone(),
+            calls: AtomicUsize::new(0),
+        };
         let r = search(&tb.tree, &Config::new(), None, &eval, &opts_serial());
         assert_eq!(r.failed_insns, 1);
         assert!((r.static_pct - 7.0 / 8.0 * 100.0).abs() < 1e-9);
@@ -477,9 +492,25 @@ mod tests {
     fn binary_split_reduces_tests_with_sparse_failures() {
         let tb = make_prog(1, 32);
         let sensitive = vec![tb.tree.all_insns()[17]];
-        let mk = || SetEval { tree: make_prog(1, 32), sensitive: sensitive.clone(), calls: AtomicUsize::new(0) };
-        let with_split = search(&tb.tree, &Config::new(), None, &mk(), &SearchOptions { binary_split: true, ..opts_serial() });
-        let without = search(&tb.tree, &Config::new(), None, &mk(), &SearchOptions { binary_split: false, ..opts_serial() });
+        let mk = || SetEval {
+            tree: make_prog(1, 32),
+            sensitive: sensitive.clone(),
+            calls: AtomicUsize::new(0),
+        };
+        let with_split = search(
+            &tb.tree,
+            &Config::new(),
+            None,
+            &mk(),
+            &SearchOptions { binary_split: true, ..opts_serial() },
+        );
+        let without = search(
+            &tb.tree,
+            &Config::new(),
+            None,
+            &mk(),
+            &SearchOptions { binary_split: false, ..opts_serial() },
+        );
         assert_eq!(with_split.failed_insns, 1);
         assert_eq!(without.failed_insns, 1);
         assert!(
@@ -497,7 +528,13 @@ mod tests {
         // stays double.
         let sensitive = vec![tb.tree.all_insns()[6]];
         let eval = SetEval { tree: make_prog(2, 4), sensitive, calls: AtomicUsize::new(0) };
-        let r = search(&tb.tree, &Config::new(), None, &eval, &SearchOptions { stop_depth: StopDepth::Function, ..opts_serial() });
+        let r = search(
+            &tb.tree,
+            &Config::new(),
+            None,
+            &eval,
+            &SearchOptions { stop_depth: StopDepth::Function, ..opts_serial() },
+        );
         assert_eq!(r.failed_insns, 4); // all of f1
         assert_eq!(r.static_pct, 50.0);
     }
@@ -522,7 +559,13 @@ mod tests {
         let tb = make_prog(4, 16);
         let sensitive = tb.tree.all_insns(); // nothing passes: worst case
         let eval = SetEval { tree: make_prog(4, 16), sensitive, calls: AtomicUsize::new(0) };
-        let r = search(&tb.tree, &Config::new(), None, &eval, &SearchOptions { max_tests: Some(10), ..opts_serial() });
+        let r = search(
+            &tb.tree,
+            &Config::new(),
+            None,
+            &eval,
+            &SearchOptions { max_tests: Some(10), ..opts_serial() },
+        );
         assert!(r.configs_tested <= 10);
     }
 
@@ -530,9 +573,19 @@ mod tests {
     fn parallel_search_matches_serial_outcome() {
         let tb = make_prog(3, 8);
         let sensitive = vec![tb.tree.all_insns()[3], tb.tree.all_insns()[12]];
-        let mk = || SetEval { tree: make_prog(3, 8), sensitive: sensitive.clone(), calls: AtomicUsize::new(0) };
+        let mk = || SetEval {
+            tree: make_prog(3, 8),
+            sensitive: sensitive.clone(),
+            calls: AtomicUsize::new(0),
+        };
         let serial = search(&tb.tree, &Config::new(), None, &mk(), &opts_serial());
-        let par = search(&tb.tree, &Config::new(), None, &mk(), &SearchOptions { threads: 8, prioritize: false, ..Default::default() });
+        let par = search(
+            &tb.tree,
+            &Config::new(),
+            None,
+            &mk(),
+            &SearchOptions { threads: 8, prioritize: false, ..Default::default() },
+        );
         // replaced sets must be identical even if test counts differ
         assert_eq!(
             serial.final_config.replaced_insns(&tb.tree),
@@ -556,7 +609,13 @@ mod tests {
             prof.bump(i);
         }
         let eval = SetEval { tree: make_prog(2, 4), sensitive: vec![], calls: AtomicUsize::new(0) };
-        let r = search(&tb.tree, &Config::new(), Some(&prof), &eval, &SearchOptions { prioritize: true, threads: 1, ..Default::default() });
+        let r = search(
+            &tb.tree,
+            &Config::new(),
+            Some(&prof),
+            &eval,
+            &SearchOptions { prioritize: true, threads: 1, ..Default::default() },
+        );
         assert!(r.final_pass);
         assert!((r.dynamic_pct - 100.0).abs() < 1e-9);
     }
@@ -616,9 +675,15 @@ mod tests {
                 // coarse: sum of xs (fine in f32 at this tolerance)
                 for_(k, i(0), i(64), vec![set(a, fadd(v(a), ld(xs, v(k))))]),
                 // delicate: accumulate tiny differences (dies in f32)
-                for_(k, i(0), i(64), vec![
-                    set(b, fadd(v(b), fmul(fdiv(fadd(ld(xs, v(k)), f(-1.0)), f(1e-9)), itof(v(k))))),
-                ]),
+                for_(
+                    k,
+                    i(0),
+                    i(64),
+                    vec![set(
+                        b,
+                        fadd(v(b), fmul(fdiv(fadd(ld(xs, v(k)), f(-1.0)), f(1e-9)), itof(v(k)))),
+                    )],
+                ),
                 st(out, i(0), v(a)),
                 st(out, i(1), v(b)),
             ]
@@ -642,7 +707,13 @@ mod tests {
         let prof = Vm::run_program(&prog, VmOptions { profile: true, ..Default::default() })
             .profile
             .unwrap();
-        let r = search(&tree, &Config::new(), Some(&prof), &eval, &SearchOptions { threads: 2, ..Default::default() });
+        let r = search(
+            &tree,
+            &Config::new(),
+            Some(&prof),
+            &eval,
+            &SearchOptions { threads: 2, ..Default::default() },
+        );
         // some instructions must be replaceable, some not
         assert!(r.static_pct > 0.0, "nothing replaced");
         assert!(r.static_pct < 100.0, "everything replaced — tolerance too loose");

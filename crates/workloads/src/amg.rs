@@ -37,11 +37,19 @@ pub fn amg_iters(class: Class, iters: i64) -> Workload {
         let j = ir.local_i(cycle);
         let s = ir.local_i(cycle);
         let sweep = |j: Var| {
-            for_(j, i(1), i(n - 1), vec![st(
-                u,
-                v(j),
-                fmul(f(0.5), fadd(ld(rhs, v(j)), fadd(ld(u, isub(v(j), i(1))), ld(u, iadd(v(j), i(1)))))),
-            )])
+            for_(
+                j,
+                i(1),
+                i(n - 1),
+                vec![st(
+                    u,
+                    v(j),
+                    fmul(
+                        f(0.5),
+                        fadd(ld(rhs, v(j)), fadd(ld(u, isub(v(j), i(1))), ld(u, iadd(v(j), i(1))))),
+                    ),
+                )],
+            )
         };
         ir.define(
             cycle,
@@ -49,45 +57,85 @@ pub fn amg_iters(class: Class, iters: i64) -> Workload {
                 sweep(j),
                 sweep(j),
                 // residual
-                for_(j, i(1), i(n - 1), vec![st(
-                    res,
-                    v(j),
-                    fsub(
-                        ld(rhs, v(j)),
-                        fsub(fmul(f(2.0), ld(u, v(j))), fadd(ld(u, isub(v(j), i(1))), ld(u, iadd(v(j), i(1))))),
-                    ),
-                )]),
+                for_(
+                    j,
+                    i(1),
+                    i(n - 1),
+                    vec![st(
+                        res,
+                        v(j),
+                        fsub(
+                            ld(rhs, v(j)),
+                            fsub(
+                                fmul(f(2.0), ld(u, v(j))),
+                                fadd(ld(u, isub(v(j), i(1))), ld(u, iadd(v(j), i(1)))),
+                            ),
+                        ),
+                    )],
+                ),
                 st(res, i(0), f(0.0)),
                 st(res, i(n - 1), f(0.0)),
                 // restrict
                 for_(j, i(0), i(nc), vec![st(uc, v(j), f(0.0)), st(rc, v(j), f(0.0))]),
-                for_(j, i(1), i(nc - 1), vec![
-                    set(s, imul(v(j), i(2))),
-                    // 4× full weighting: Galerkin consistency for the
-                    // unscaled coarse stencil (see nas::mg)
-                    st(rc, v(j), fadd(
-                        fadd(ld(res, isub(v(s), i(1))), fmul(f(2.0), ld(res, v(s)))),
-                        ld(res, iadd(v(s), i(1))),
-                    )),
-                ]),
+                for_(
+                    j,
+                    i(1),
+                    i(nc - 1),
+                    vec![
+                        set(s, imul(v(j), i(2))),
+                        // 4× full weighting: Galerkin consistency for the
+                        // unscaled coarse stencil (see nas::mg)
+                        st(
+                            rc,
+                            v(j),
+                            fadd(
+                                fadd(ld(res, isub(v(s), i(1))), fmul(f(2.0), ld(res, v(s)))),
+                                ld(res, iadd(v(s), i(1))),
+                            ),
+                        ),
+                    ],
+                ),
                 // coarse solve: several Gauss–Seidel sweeps
-                for_(s, i(0), i(8), vec![
-                    for_(j, i(1), i(nc - 1), vec![st(
-                        uc,
-                        v(j),
-                        fmul(f(0.5), fadd(ld(rc, v(j)), fadd(ld(uc, isub(v(j), i(1))), ld(uc, iadd(v(j), i(1)))))),
-                    )]),
-                ]),
+                for_(
+                    s,
+                    i(0),
+                    i(8),
+                    vec![for_(
+                        j,
+                        i(1),
+                        i(nc - 1),
+                        vec![st(
+                            uc,
+                            v(j),
+                            fmul(
+                                f(0.5),
+                                fadd(
+                                    ld(rc, v(j)),
+                                    fadd(ld(uc, isub(v(j), i(1))), ld(uc, iadd(v(j), i(1)))),
+                                ),
+                            ),
+                        )],
+                    )],
+                ),
                 // prolong + correct (boundary-adjacent odd point first)
                 st(u, i(1), fadd(ld(u, i(1)), fmul(f(0.5), ld(uc, i(1))))),
-                for_(j, i(1), i(nc - 1), vec![
-                    set(s, imul(v(j), i(2))),
-                    st(u, v(s), fadd(ld(u, v(s)), ld(uc, v(j)))),
-                    st(u, iadd(v(s), i(1)), fadd(
-                        ld(u, iadd(v(s), i(1))),
-                        fmul(f(0.5), fadd(ld(uc, v(j)), ld(uc, iadd(v(j), i(1))))),
-                    )),
-                ]),
+                for_(
+                    j,
+                    i(1),
+                    i(nc - 1),
+                    vec![
+                        set(s, imul(v(j), i(2))),
+                        st(u, v(s), fadd(ld(u, v(s)), ld(uc, v(j)))),
+                        st(
+                            u,
+                            iadd(v(s), i(1)),
+                            fadd(
+                                ld(u, iadd(v(s), i(1))),
+                                fmul(f(0.5), fadd(ld(uc, v(j)), ld(uc, iadd(v(j), i(1))))),
+                            ),
+                        ),
+                    ],
+                ),
                 sweep(j),
             ],
         );
@@ -98,20 +146,49 @@ pub fn amg_iters(class: Class, iters: i64) -> Workload {
         let it = ir.local_i(fr);
         let acc = ir.local_f(fr);
         vec![
-            for_(k, i(0), i(n), vec![st(
-                rhs,
-                v(k),
-                fmath(MathFun::Sin, fdiv(fmul(f(std::f64::consts::PI * 2.0), itof(v(k))), itof(i(n)))),
-            )]),
+            for_(
+                k,
+                i(0),
+                i(n),
+                vec![st(
+                    rhs,
+                    v(k),
+                    fmath(
+                        MathFun::Sin,
+                        fdiv(fmul(f(std::f64::consts::PI * 2.0), itof(v(k))), itof(i(n))),
+                    ),
+                )],
+            ),
             for_(it, i(0), i(iters), vec![do_(call(cycle, vec![]))]),
             // final residual norm
             set(acc, f(0.0)),
-            for_(k, i(1), i(n - 1), vec![
-                set(acc, fadd(v(acc), fmul(
-                    fsub(ld(rhs, v(k)), fsub(fmul(f(2.0), ld(u, v(k))), fadd(ld(u, isub(v(k), i(1))), ld(u, iadd(v(k), i(1)))))),
-                    fsub(ld(rhs, v(k)), fsub(fmul(f(2.0), ld(u, v(k))), fadd(ld(u, isub(v(k), i(1))), ld(u, iadd(v(k), i(1)))))),
-                ))),
-            ]),
+            for_(
+                k,
+                i(1),
+                i(n - 1),
+                vec![set(
+                    acc,
+                    fadd(
+                        v(acc),
+                        fmul(
+                            fsub(
+                                ld(rhs, v(k)),
+                                fsub(
+                                    fmul(f(2.0), ld(u, v(k))),
+                                    fadd(ld(u, isub(v(k), i(1))), ld(u, iadd(v(k), i(1)))),
+                                ),
+                            ),
+                            fsub(
+                                ld(rhs, v(k)),
+                                fsub(
+                                    fmul(f(2.0), ld(u, v(k))),
+                                    fadd(ld(u, isub(v(k), i(1))), ld(u, iadd(v(k), i(1)))),
+                                ),
+                            ),
+                        ),
+                    ),
+                )],
+            ),
             st(out, i(0), fsqrt(v(acc))),
         ]
     });

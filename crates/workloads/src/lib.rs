@@ -24,6 +24,7 @@ pub mod amg;
 pub mod mathmix;
 pub mod matmarket;
 pub mod nas;
+pub mod rng;
 pub mod slu;
 pub mod sparse;
 pub mod vecops;
@@ -103,22 +104,12 @@ impl Workload {
         let reference = out_syms
             .iter()
             .map(|(s, n)| {
-                let a = prog
-                    .symbol(s)
-                    .unwrap_or_else(|| panic!("workload {name}: unknown symbol {s}"));
+                let a =
+                    prog.symbol(s).unwrap_or_else(|| panic!("workload {name}: unknown symbol {s}"));
                 vm.mem.read_f64_slice(a, *n).unwrap()
             })
             .collect();
-        Workload {
-            name,
-            class,
-            ir,
-            out_syms,
-            tol,
-            fuel,
-            prog,
-            reference: Arc::new(reference),
-        }
+        Workload { name, class, ir, out_syms, tol, fuel, prog, reference: Arc::new(reference) }
     }
 
     /// The compiled double-precision binary (the "original program").
@@ -144,21 +135,14 @@ impl Workload {
     /// The verification routine: every checked element within `tol`
     /// relative error of the double-precision reference.
     pub fn verifier(&self) -> impl Fn(&Vm<'_>) -> bool + Send + Sync + 'static {
-        let syms: Vec<(u64, usize)> = self
-            .out_syms
-            .iter()
-            .map(|(s, n)| (self.prog.symbol(s).unwrap(), *n))
-            .collect();
+        let syms: Vec<(u64, usize)> =
+            self.out_syms.iter().map(|(s, n)| (self.prog.symbol(s).unwrap(), *n)).collect();
         let reference = Arc::clone(&self.reference);
         let tol = self.tol;
         move |vm: &Vm<'_>| {
-            syms.iter().enumerate().all(|(k, &(addr, n))| {
-                match vm.mem.read_f64_slice(addr, n) {
-                    Ok(got) => {
-                        got.iter().zip(&reference[k]).all(|(&g, &r)| rel_err(g, r) <= tol)
-                    }
-                    Err(_) => false,
-                }
+            syms.iter().enumerate().all(|(k, &(addr, n))| match vm.mem.read_f64_slice(addr, n) {
+                Ok(got) => got.iter().zip(&reference[k]).all(|(&g, &r)| rel_err(g, r) <= tol),
+                Err(_) => false,
             })
         }
     }

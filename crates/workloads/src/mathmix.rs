@@ -59,19 +59,24 @@ pub fn mathmix(class: Class, libm: LibmKind) -> Workload {
         let acc = ir.local_f(fr);
         vec![
             set(acc, f(0.0)),
-            for_(k, i(0), i(n), vec![
-                set(x, fmul(itof(v(k)), f(0.037))),
-                set(
-                    acc,
-                    fadd(
-                        v(acc),
+            for_(
+                k,
+                i(0),
+                i(n),
+                vec![
+                    set(x, fmul(itof(v(k)), f(0.037))),
+                    set(
+                        acc,
                         fadd(
-                            fmul(m_exp(fmul(f(-0.21), v(x))), m_sin(fmul(f(1.7), v(x)))),
-                            m_log(fadd(f(1.0), v(x))),
+                            v(acc),
+                            fadd(
+                                fmul(m_exp(fmul(f(-0.21), v(x))), m_sin(fmul(f(1.7), v(x)))),
+                                m_log(fadd(f(1.0), v(x))),
+                            ),
                         ),
                     ),
-                ),
-            ]),
+                ],
+            ),
             st(out, i(0), v(acc)),
         ]
     });

@@ -36,20 +36,52 @@ pub fn bt(class: Class) -> Workload {
         };
         ir.define(
             fill,
-            vec![for_(j, i(0), i(l), vec![
-                st(aw, v(j), fadd(f(-1.0), fmul(f(0.05), fmath(MathFun::Cos, fadd(itof(v(j)), itof(v(li))))))),
-                st(bw, v(j), fadd(f(2.5), fmul(f(0.1), fmath(MathFun::Sin, fmul(f(1.1), itof(v(j))))))),
-                st(cw, v(j), fadd(f(-1.0), fmul(f(0.05), fmath(MathFun::Sin, fmul(f(1.3), itof(v(j))))))),
-                st(ex, v(j), exact(li, v(j))),
-                // d_j = a_j·u_{j−1} + b_j·u_j + c_j·u_{j+1} (zero beyond ends)
-                set(uc, exact(li, v(j))),
-                if_(cmp(Cc::Gt, v(j), i(0)), vec![set(um, exact(li, isub(v(j), i(1))))], vec![set(um, f(0.0))]),
-                if_(cmp(Cc::Lt, v(j), i(l - 1)), vec![set(up, exact(li, iadd(v(j), i(1))))], vec![set(up, f(0.0))]),
-                st(dw, v(j), fadd(
-                    fadd(fmul(ld(aw, v(j)), v(um)), fmul(ld(bw, v(j)), v(uc))),
-                    fmul(ld(cw, v(j)), v(up)),
-                )),
-            ])],
+            vec![for_(
+                j,
+                i(0),
+                i(l),
+                vec![
+                    st(
+                        aw,
+                        v(j),
+                        fadd(
+                            f(-1.0),
+                            fmul(f(0.05), fmath(MathFun::Cos, fadd(itof(v(j)), itof(v(li))))),
+                        ),
+                    ),
+                    st(
+                        bw,
+                        v(j),
+                        fadd(f(2.5), fmul(f(0.1), fmath(MathFun::Sin, fmul(f(1.1), itof(v(j)))))),
+                    ),
+                    st(
+                        cw,
+                        v(j),
+                        fadd(f(-1.0), fmul(f(0.05), fmath(MathFun::Sin, fmul(f(1.3), itof(v(j)))))),
+                    ),
+                    st(ex, v(j), exact(li, v(j))),
+                    // d_j = a_j·u_{j−1} + b_j·u_j + c_j·u_{j+1} (zero beyond ends)
+                    set(uc, exact(li, v(j))),
+                    if_(
+                        cmp(Cc::Gt, v(j), i(0)),
+                        vec![set(um, exact(li, isub(v(j), i(1))))],
+                        vec![set(um, f(0.0))],
+                    ),
+                    if_(
+                        cmp(Cc::Lt, v(j), i(l - 1)),
+                        vec![set(up, exact(li, iadd(v(j), i(1))))],
+                        vec![set(up, f(0.0))],
+                    ),
+                    st(
+                        dw,
+                        v(j),
+                        fadd(
+                            fadd(fmul(ld(aw, v(j)), v(um)), fmul(ld(bw, v(j)), v(uc))),
+                            fmul(ld(cw, v(j)), v(up)),
+                        ),
+                    ),
+                ],
+            )],
         );
     }
 
@@ -64,21 +96,37 @@ pub fn bt(class: Class) -> Workload {
                 // forward elimination (in-place c' and d')
                 st(cw, i(0), fdiv(ld(cw, i(0)), ld(bw, i(0)))),
                 st(dw, i(0), fdiv(ld(dw, i(0)), ld(bw, i(0)))),
-                for_(j, i(1), i(l), vec![
-                    set(mfac, fsub(ld(bw, v(j)), fmul(ld(aw, v(j)), ld(cw, isub(v(j), i(1)))))),
-                    st(cw, v(j), fdiv(ld(cw, v(j)), v(mfac))),
-                    st(dw, v(j), fdiv(
-                        fsub(ld(dw, v(j)), fmul(ld(aw, v(j)), ld(dw, isub(v(j), i(1))))),
-                        v(mfac),
-                    )),
-                ]),
+                for_(
+                    j,
+                    i(1),
+                    i(l),
+                    vec![
+                        set(mfac, fsub(ld(bw, v(j)), fmul(ld(aw, v(j)), ld(cw, isub(v(j), i(1)))))),
+                        st(cw, v(j), fdiv(ld(cw, v(j)), v(mfac))),
+                        st(
+                            dw,
+                            v(j),
+                            fdiv(
+                                fsub(ld(dw, v(j)), fmul(ld(aw, v(j)), ld(dw, isub(v(j), i(1))))),
+                                v(mfac),
+                            ),
+                        ),
+                    ],
+                ),
                 // back substitution
                 st(uw, i(l - 1), ld(dw, i(l - 1))),
                 set(j, i(l - 2)),
-                while_(cmp(Cc::Ge, v(j), i(0)), vec![
-                    st(uw, v(j), fsub(ld(dw, v(j)), fmul(ld(cw, v(j)), ld(uw, iadd(v(j), i(1)))))),
-                    set(j, isub(v(j), i(1))),
-                ]),
+                while_(
+                    cmp(Cc::Ge, v(j), i(0)),
+                    vec![
+                        st(
+                            uw,
+                            v(j),
+                            fsub(ld(dw, v(j)), fmul(ld(cw, v(j)), ld(uw, iadd(v(j), i(1))))),
+                        ),
+                        set(j, isub(v(j), i(1))),
+                    ],
+                ),
             ],
         );
     }
@@ -86,16 +134,24 @@ pub fn bt(class: Class) -> Workload {
     let main = ir.func("main", &[], None, |ir, fr, _| {
         let li = ir.local_i(fr);
         let j = ir.local_i(fr);
-        vec![
-            for_(li, i(0), i(m), vec![
+        vec![for_(
+            li,
+            i(0),
+            i(m),
+            vec![
                 do_(call(fill, vec![v(li)])),
                 do_(call(thomas, vec![])),
-                for_(j, i(0), i(l), vec![
-                    st(out, i(0), fadd(ld(out, i(0)), ld(uw, v(j)))),
-                    st(out, i(1), fadd(ld(out, i(1)), fabs(fsub(ld(uw, v(j)), ld(ex, v(j)))))),
-                ]),
-            ]),
-        ]
+                for_(
+                    j,
+                    i(0),
+                    i(l),
+                    vec![
+                        st(out, i(0), fadd(ld(out, i(0)), ld(uw, v(j)))),
+                        st(out, i(1), fadd(ld(out, i(1)), fabs(fsub(ld(uw, v(j)), ld(ex, v(j)))))),
+                    ],
+                ),
+            ],
+        )]
     });
     ir.set_entry(main);
 

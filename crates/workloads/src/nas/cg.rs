@@ -44,18 +44,24 @@ pub fn cg_sized(class: Class, g: usize, niter: i64) -> Workload {
         let s = ir.local_f(spmv);
         ir.define(
             spmv,
-            vec![
-                for_(row, i(0), i(n), vec![
+            vec![for_(
+                row,
+                i(0),
+                i(n),
+                vec![
                     set(s, f(0.0)),
                     set(k, ld(rowptr, v(row))),
                     set(kend, ld(rowptr, iadd(v(row), i(1)))),
-                    while_(cmp(Cc::Lt, v(k), v(kend)), vec![
-                        set(s, fadd(v(s), fmul(ld(avals, v(k)), ld(p, ld(colidx, v(k)))))),
-                        set(k, iadd(v(k), i(1))),
-                    ]),
+                    while_(
+                        cmp(Cc::Lt, v(k), v(kend)),
+                        vec![
+                            set(s, fadd(v(s), fmul(ld(avals, v(k)), ld(p, ld(colidx, v(k)))))),
+                            set(k, iadd(v(k), i(1))),
+                        ],
+                    ),
                     st(q, v(row), v(s)),
-                ]),
-            ],
+                ],
+            )],
         );
     }
 
@@ -88,35 +94,54 @@ pub fn cg_sized(class: Class, g: usize, niter: i64) -> Workload {
         let beta = ir.local_f(fr);
         vec![
             // x = 0, r = b, p = r
-            for_(k, i(0), i(n), vec![
-                st(x, v(k), f(0.0)),
-                st(r, v(k), ld(bvec, v(k))),
-                st(p, v(k), ld(bvec, v(k))),
-            ]),
+            for_(
+                k,
+                i(0),
+                i(n),
+                vec![st(x, v(k), f(0.0)), st(r, v(k), ld(bvec, v(k))), st(p, v(k), ld(bvec, v(k)))],
+            ),
             set(rho, call(dot_rr, vec![])),
-            for_(it, i(0), i(niter), vec![
-                do_(call(spmv, vec![])),
-                set(alpha, fdiv(v(rho), call(dot_pq, vec![]))),
-                for_(k, i(0), i(n), vec![
-                    st(x, v(k), fadd(ld(x, v(k)), fmul(v(alpha), ld(p, v(k))))),
-                    st(r, v(k), fsub(ld(r, v(k)), fmul(v(alpha), ld(q, v(k))))),
-                ]),
-                set(rho2, call(dot_rr, vec![])),
-                set(beta, fdiv(v(rho2), v(rho))),
-                set(rho, v(rho2)),
-                for_(k, i(0), i(n), vec![
-                    st(p, v(k), fadd(ld(r, v(k)), fmul(v(beta), ld(p, v(k))))),
-                ]),
-            ]),
+            for_(
+                it,
+                i(0),
+                i(niter),
+                vec![
+                    do_(call(spmv, vec![])),
+                    set(alpha, fdiv(v(rho), call(dot_pq, vec![]))),
+                    for_(
+                        k,
+                        i(0),
+                        i(n),
+                        vec![
+                            st(x, v(k), fadd(ld(x, v(k)), fmul(v(alpha), ld(p, v(k))))),
+                            st(r, v(k), fsub(ld(r, v(k)), fmul(v(alpha), ld(q, v(k))))),
+                        ],
+                    ),
+                    set(rho2, call(dot_rr, vec![])),
+                    set(beta, fdiv(v(rho2), v(rho))),
+                    set(rho, v(rho2)),
+                    for_(
+                        k,
+                        i(0),
+                        i(n),
+                        vec![st(p, v(k), fadd(ld(r, v(k)), fmul(v(beta), ld(p, v(k)))))],
+                    ),
+                ],
+            ),
             // true residual b − A·x (the recurrence residual decays below
             // the attainable accuracy and would hide f32 stagnation)
             for_(k, i(0), i(n), vec![st(p, v(k), ld(x, v(k)))]),
             do_(call(spmv, vec![])),
             set(rho, f(0.0)),
-            for_(k, i(0), i(n), vec![
-                set(rho2, fsub(ld(bvec, v(k)), ld(q, v(k)))),
-                set(rho, fadd(v(rho), fmul(v(rho2), v(rho2)))),
-            ]),
+            for_(
+                k,
+                i(0),
+                i(n),
+                vec![
+                    set(rho2, fsub(ld(bvec, v(k)), ld(q, v(k)))),
+                    set(rho, fadd(v(rho), fmul(v(rho2), v(rho2)))),
+                ],
+            ),
             st(out, i(0), fsqrt(v(rho))),
             st(out, i(1), call(dot_xx, vec![])),
         ]
@@ -159,7 +184,7 @@ mod tests {
 
     #[test]
     fn class_scaling() {
-        assert_eq!(cg(Class::S).program().symbol("x").is_some(), true);
+        assert!(cg(Class::S).program().symbol("x").is_some());
         let ws = cg(Class::S);
         let wa = cg(Class::A);
         assert!(wa.program().globals.len() > ws.program().globals.len());

@@ -79,8 +79,11 @@ pub fn ep_sized(class: Class, n: i64) -> Workload {
         let gx = ir.local_f(fr);
         let gy = ir.local_f(fr);
         let l = ir.local_i(fr);
-        vec![
-            for_(k, i(0), i(n), vec![
+        vec![for_(
+            k,
+            i(0),
+            i(n),
+            vec![
                 set(x1, fsub(fmul(f(2.0), call(randlc, vec![])), f(1.0))),
                 set(x2, fsub(fmul(f(2.0), call(randlc, vec![])), f(1.0))),
                 set(t, fadd(fmul(v(x1), v(x1)), fmul(v(x2), v(x2)))),
@@ -102,18 +105,12 @@ pub fn ep_sized(class: Class, n: i64) -> Workload {
                     ],
                     vec![],
                 ),
-            ]),
-        ]
+            ],
+        )]
     });
     ir.set_entry(main);
 
-    Workload::package(
-        "ep",
-        class,
-        ir,
-        1e-6,
-        vec![("sums".into(), 2), ("q".into(), 10)],
-    )
+    Workload::package("ep", class, ir, 1e-6, vec![("sums".into(), 2), ("q".into(), 10)])
 }
 
 #[cfg(test)]

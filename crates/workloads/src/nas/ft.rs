@@ -52,40 +52,63 @@ pub fn ft_sized(class: Class, n: i64) -> Workload {
             fft,
             vec![
                 set(len, i(2)),
-                while_(cmp(Cc::Le, v(len), i(n)), vec![
-                    set(half, idiv(v(len), i(2))),
-                    // wlen = exp(dir * 2πi / len)
-                    set(ang, fdiv(
-                        fmul(itof(v(dir)), f(2.0 * std::f64::consts::PI)),
-                        itof(v(len)),
-                    )),
-                    set(wlr, fmath(MathFun::Cos, v(ang))),
-                    set(wli, fmath(MathFun::Sin, v(ang))),
-                    set(blk, i(0)),
-                    while_(cmp(Cc::Lt, v(blk), i(n)), vec![
-                        set(wr, f(1.0)),
-                        set(wi, f(0.0)),
-                        for_(j, i(0), v(half), vec![
-                            set(i0, iadd(v(blk), v(j))),
-                            set(i1, iadd(v(i0), v(half))),
-                            set(ur, ld(re, v(i0))),
-                            set(ui, ld(im, v(i0))),
-                            // v = w * a[i1]
-                            set(vr, fsub(fmul(v(wr), ld(re, v(i1))), fmul(v(wi), ld(im, v(i1))))),
-                            set(vi, fadd(fmul(v(wr), ld(im, v(i1))), fmul(v(wi), ld(re, v(i1))))),
-                            st(re, v(i0), fadd(v(ur), v(vr))),
-                            st(im, v(i0), fadd(v(ui), v(vi))),
-                            st(re, v(i1), fsub(v(ur), v(vr))),
-                            st(im, v(i1), fsub(v(ui), v(vi))),
-                            // w *= wlen
-                            set(tw, fsub(fmul(v(wr), v(wlr)), fmul(v(wi), v(wli)))),
-                            set(wi, fadd(fmul(v(wr), v(wli)), fmul(v(wi), v(wlr)))),
-                            set(wr, v(tw)),
-                        ]),
-                        set(blk, iadd(v(blk), v(len))),
-                    ]),
-                    set(len, imul(v(len), i(2))),
-                ]),
+                while_(
+                    cmp(Cc::Le, v(len), i(n)),
+                    vec![
+                        set(half, idiv(v(len), i(2))),
+                        // wlen = exp(dir * 2πi / len)
+                        set(
+                            ang,
+                            fdiv(fmul(itof(v(dir)), f(2.0 * std::f64::consts::PI)), itof(v(len))),
+                        ),
+                        set(wlr, fmath(MathFun::Cos, v(ang))),
+                        set(wli, fmath(MathFun::Sin, v(ang))),
+                        set(blk, i(0)),
+                        while_(
+                            cmp(Cc::Lt, v(blk), i(n)),
+                            vec![
+                                set(wr, f(1.0)),
+                                set(wi, f(0.0)),
+                                for_(
+                                    j,
+                                    i(0),
+                                    v(half),
+                                    vec![
+                                        set(i0, iadd(v(blk), v(j))),
+                                        set(i1, iadd(v(i0), v(half))),
+                                        set(ur, ld(re, v(i0))),
+                                        set(ui, ld(im, v(i0))),
+                                        // v = w * a[i1]
+                                        set(
+                                            vr,
+                                            fsub(
+                                                fmul(v(wr), ld(re, v(i1))),
+                                                fmul(v(wi), ld(im, v(i1))),
+                                            ),
+                                        ),
+                                        set(
+                                            vi,
+                                            fadd(
+                                                fmul(v(wr), ld(im, v(i1))),
+                                                fmul(v(wi), ld(re, v(i1))),
+                                            ),
+                                        ),
+                                        st(re, v(i0), fadd(v(ur), v(vr))),
+                                        st(im, v(i0), fadd(v(ui), v(vi))),
+                                        st(re, v(i1), fsub(v(ur), v(vr))),
+                                        st(im, v(i1), fsub(v(ui), v(vi))),
+                                        // w *= wlen
+                                        set(tw, fsub(fmul(v(wr), v(wlr)), fmul(v(wi), v(wli)))),
+                                        set(wi, fadd(fmul(v(wr), v(wli)), fmul(v(wi), v(wlr)))),
+                                        set(wr, v(tw)),
+                                    ],
+                                ),
+                                set(blk, iadd(v(blk), v(len))),
+                            ],
+                        ),
+                        set(len, imul(v(len), i(2))),
+                    ],
+                ),
             ],
         );
     }
@@ -100,24 +123,36 @@ pub fn ft_sized(class: Class, n: i64) -> Workload {
         let bit = ir.local_i(bitrev);
         ir.define(
             bitrev,
-            vec![
-                for_(k, i(0), i(n), vec![
+            vec![for_(
+                k,
+                i(0),
+                i(n),
+                vec![
                     set(rev, i(0)),
                     set(b, v(k)),
-                    for_(bit, i(0), i(logn), vec![
-                        set(rev, ior(ishl(v(rev), i(1)), iand(v(b), i(1)))),
-                        set(b, ishr(v(b), i(1))),
-                    ]),
-                    if_(cmp(Cc::Lt, v(k), v(rev)), vec![
-                        set(t, ld(re, v(k))),
-                        st(re, v(k), ld(re, v(rev))),
-                        st(re, v(rev), v(t)),
-                        set(t, ld(im, v(k))),
-                        st(im, v(k), ld(im, v(rev))),
-                        st(im, v(rev), v(t)),
-                    ], vec![]),
-                ]),
-            ],
+                    for_(
+                        bit,
+                        i(0),
+                        i(logn),
+                        vec![
+                            set(rev, ior(ishl(v(rev), i(1)), iand(v(b), i(1)))),
+                            set(b, ishr(v(b), i(1))),
+                        ],
+                    ),
+                    if_(
+                        cmp(Cc::Lt, v(k), v(rev)),
+                        vec![
+                            set(t, ld(re, v(k))),
+                            st(re, v(k), ld(re, v(rev))),
+                            st(re, v(rev), v(t)),
+                            set(t, ld(im, v(k))),
+                            st(im, v(k), ld(im, v(rev))),
+                            st(im, v(rev), v(t)),
+                        ],
+                        vec![],
+                    ),
+                ],
+            )],
         );
     }
 
@@ -126,12 +161,17 @@ pub fn ft_sized(class: Class, n: i64) -> Workload {
         let acc = ir.local_f(fr);
         vec![
             // deterministic quasi-random fill
-            for_(k, i(0), i(n), vec![
-                st(re, v(k), fmath(MathFun::Sin, fadd(fmul(itof(v(k)), f(1.37)), f(0.1)))),
-                st(im, v(k), fmath(MathFun::Cos, fmul(itof(v(k)), f(2.11)))),
-                st(ore, v(k), ld(re, v(k))),
-                st(oim, v(k), ld(im, v(k))),
-            ]),
+            for_(
+                k,
+                i(0),
+                i(n),
+                vec![
+                    st(re, v(k), fmath(MathFun::Sin, fadd(fmul(itof(v(k)), f(1.37)), f(0.1)))),
+                    st(im, v(k), fmath(MathFun::Cos, fmul(itof(v(k)), f(2.11)))),
+                    st(ore, v(k), ld(re, v(k))),
+                    st(oim, v(k), ld(im, v(k))),
+                ],
+            ),
             // forward transform
             do_(call(bitrev, vec![])),
             do_(call(fft, vec![i(-1)])),
@@ -145,16 +185,26 @@ pub fn ft_sized(class: Class, n: i64) -> Workload {
             // inverse transform and 1/n scaling
             do_(call(bitrev, vec![])),
             do_(call(fft, vec![i(1)])),
-            for_(k, i(0), i(n), vec![
-                st(re, v(k), fdiv(ld(re, v(k)), itof(i(n)))),
-                st(im, v(k), fdiv(ld(im, v(k)), itof(i(n)))),
-            ]),
+            for_(
+                k,
+                i(0),
+                i(n),
+                vec![
+                    st(re, v(k), fdiv(ld(re, v(k)), itof(i(n)))),
+                    st(im, v(k), fdiv(ld(im, v(k)), itof(i(n)))),
+                ],
+            ),
             // round-trip error
             set(acc, f(0.0)),
-            for_(k, i(0), i(n), vec![
-                set(acc, fadd(v(acc), fabs(fsub(ld(re, v(k)), ld(ore, v(k)))))),
-                set(acc, fadd(v(acc), fabs(fsub(ld(im, v(k)), ld(oim, v(k)))))),
-            ]),
+            for_(
+                k,
+                i(0),
+                i(n),
+                vec![
+                    set(acc, fadd(v(acc), fabs(fsub(ld(re, v(k)), ld(ore, v(k)))))),
+                    set(acc, fadd(v(acc), fabs(fsub(ld(im, v(k)), ld(oim, v(k)))))),
+                ],
+            ),
             st(out, i(2), v(acc)),
         ]
     });
@@ -181,9 +231,8 @@ mod tests {
         // compare the re-checksum against a host O(n²) DFT
         let w = ft(Class::S);
         let n = 32usize;
-        let xs: Vec<(f64, f64)> = (0..n)
-            .map(|k| ((k as f64 * 1.37 + 0.1).sin(), (k as f64 * 2.11).cos()))
-            .collect();
+        let xs: Vec<(f64, f64)> =
+            (0..n).map(|k| ((k as f64 * 1.37 + 0.1).sin(), (k as f64 * 2.11).cos())).collect();
         let mut chk_re = 0.0;
         let mut chk_im = 0.0;
         for out_k in 0..n {

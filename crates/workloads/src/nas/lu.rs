@@ -31,8 +31,14 @@ pub fn lu(class: Class) -> Workload {
                     fadd(
                         f(1.0), // rhs ≡ 1
                         fadd(
-                            fadd(ld(u, idx(isub(v(r), i(1)), v(c))), ld(u, idx(iadd(v(r), i(1)), v(c)))),
-                            fadd(ld(u, idx(v(r), isub(v(c), i(1)))), ld(u, idx(v(r), iadd(v(c), i(1))))),
+                            fadd(
+                                ld(u, idx(isub(v(r), i(1)), v(c))),
+                                ld(u, idx(iadd(v(r), i(1)), v(c))),
+                            ),
+                            fadd(
+                                ld(u, idx(v(r), isub(v(c), i(1)))),
+                                ld(u, idx(v(r), iadd(v(c), i(1)))),
+                            ),
                         ),
                     ),
                 ),
@@ -59,14 +65,17 @@ pub fn lu(class: Class) -> Workload {
             bwd,
             vec![
                 set(r, i(g)),
-                while_(cmp(Cc::Ge, v(r), i(1)), vec![
-                    set(c, i(g)),
-                    while_(cmp(Cc::Ge, v(c), i(1)), vec![
-                        relax_stmt(r, c),
-                        set(c, isub(v(c), i(1))),
-                    ]),
-                    set(r, isub(v(r), i(1))),
-                ]),
+                while_(
+                    cmp(Cc::Ge, v(r), i(1)),
+                    vec![
+                        set(c, i(g)),
+                        while_(
+                            cmp(Cc::Ge, v(c), i(1)),
+                            vec![relax_stmt(r, c), set(c, isub(v(c), i(1)))],
+                        ),
+                        set(r, isub(v(r), i(1))),
+                    ],
+                ),
             ],
         );
     }
@@ -78,25 +87,41 @@ pub fn lu(class: Class) -> Workload {
         let acc = ir.local_f(fr);
         let t = ir.local_f(fr);
         vec![
-            for_(it, i(0), i(niter), vec![
-                do_(call(fwd, vec![])),
-                do_(call(bwd, vec![])),
-            ]),
+            for_(it, i(0), i(niter), vec![do_(call(fwd, vec![])), do_(call(bwd, vec![]))]),
             // residual norm of  −Δu = 1  on the interior
             set(acc, f(0.0)),
-            for_(r, i(1), i(g + 1), vec![for_(c, i(1), i(g + 1), vec![
-                set(t, fsub(
-                    f(1.0),
-                    fsub(
-                        fmul(f(4.0), ld(u, idx(v(r), v(c)))),
-                        fadd(
-                            fadd(ld(u, idx(isub(v(r), i(1)), v(c))), ld(u, idx(iadd(v(r), i(1)), v(c)))),
-                            fadd(ld(u, idx(v(r), isub(v(c), i(1)))), ld(u, idx(v(r), iadd(v(c), i(1))))),
+            for_(
+                r,
+                i(1),
+                i(g + 1),
+                vec![for_(
+                    c,
+                    i(1),
+                    i(g + 1),
+                    vec![
+                        set(
+                            t,
+                            fsub(
+                                f(1.0),
+                                fsub(
+                                    fmul(f(4.0), ld(u, idx(v(r), v(c)))),
+                                    fadd(
+                                        fadd(
+                                            ld(u, idx(isub(v(r), i(1)), v(c))),
+                                            ld(u, idx(iadd(v(r), i(1)), v(c))),
+                                        ),
+                                        fadd(
+                                            ld(u, idx(v(r), isub(v(c), i(1)))),
+                                            ld(u, idx(v(r), iadd(v(c), i(1)))),
+                                        ),
+                                    ),
+                                ),
+                            ),
                         ),
-                    ),
-                )),
-                set(acc, fadd(v(acc), fmul(v(t), v(t)))),
-            ])]),
+                        set(acc, fadd(v(acc), fmul(v(t), v(t)))),
+                    ],
+                )],
+            ),
             st(out, i(0), fsqrt(v(acc))),
             set(acc, f(0.0)),
             for_(r, i(0), i(w * w), vec![set(acc, fadd(v(acc), fmul(ld(u, v(r)), ld(u, v(r)))))]),

@@ -16,7 +16,6 @@ pub fn mg(class: Class) -> Workload {
 /// Build MG with an explicit finest grid size (a power of two) and
 /// V-cycle count.
 pub fn mg_sized(class: Class, n0: i64, ncycles: i64) -> Workload {
-
     // host-side level layout
     let mut offs = vec![0i64];
     let mut szs = vec![n0];
@@ -43,20 +42,25 @@ pub fn mg_sized(class: Class, n0: i64, ncycles: i64) -> Workload {
         let j = ir.local_i(smooth);
         ir.define(
             smooth,
-            vec![for_(j, i(1), isub(v(nn), i(1)), vec![st(
-                u,
-                iadd(v(off), v(j)),
-                fmul(
-                    f(0.5),
-                    fadd(
-                        ld(rhs, iadd(v(off), v(j))),
+            vec![for_(
+                j,
+                i(1),
+                isub(v(nn), i(1)),
+                vec![st(
+                    u,
+                    iadd(v(off), v(j)),
+                    fmul(
+                        f(0.5),
                         fadd(
-                            ld(u, iadd(v(off), isub(v(j), i(1)))),
-                            ld(u, iadd(v(off), iadd(v(j), i(1)))),
+                            ld(rhs, iadd(v(off), v(j))),
+                            fadd(
+                                ld(u, iadd(v(off), isub(v(j), i(1)))),
+                                ld(u, iadd(v(off), iadd(v(j), i(1)))),
+                            ),
                         ),
                     ),
-                ),
-            )])],
+                )],
+            )],
         );
     }
 
@@ -70,20 +74,25 @@ pub fn mg_sized(class: Class, n0: i64, ncycles: i64) -> Workload {
             vec![
                 st(res, v(off), f(0.0)),
                 st(res, iadd(v(off), isub(v(nn), i(1))), f(0.0)),
-                for_(j, i(1), isub(v(nn), i(1)), vec![st(
-                    res,
-                    iadd(v(off), v(j)),
-                    fsub(
-                        ld(rhs, iadd(v(off), v(j))),
+                for_(
+                    j,
+                    i(1),
+                    isub(v(nn), i(1)),
+                    vec![st(
+                        res,
+                        iadd(v(off), v(j)),
                         fsub(
-                            fmul(f(2.0), ld(u, iadd(v(off), v(j)))),
-                            fadd(
-                                ld(u, iadd(v(off), isub(v(j), i(1)))),
-                                ld(u, iadd(v(off), iadd(v(j), i(1)))),
+                            ld(rhs, iadd(v(off), v(j))),
+                            fsub(
+                                fmul(f(2.0), ld(u, iadd(v(off), v(j)))),
+                                fadd(
+                                    ld(u, iadd(v(off), isub(v(j), i(1)))),
+                                    ld(u, iadd(v(off), iadd(v(j), i(1)))),
+                                ),
                             ),
                         ),
-                    ),
-                )]),
+                    )],
+                ),
             ],
         );
     }
@@ -112,48 +121,77 @@ pub fn mg_sized(class: Class, n0: i64, ncycles: i64) -> Workload {
                         set(offc, ld(offs_a, iadd(v(l), i(1)))),
                         set(nc, ld(szs_a, iadd(v(l), i(1)))),
                         // full-weighting restriction, zero coarse guess
-                        for_(j, i(0), v(nc), vec![
-                            st(u, iadd(v(offc), v(j)), f(0.0)),
-                            st(rhs, iadd(v(offc), v(j)), f(0.0)),
-                        ]),
-                        for_(j, i(1), isub(v(nc), i(1)), vec![
-                            set(s, imul(v(j), i(2))),
-                            st(
-                                rhs,
-                                iadd(v(offc), v(j)),
-                                // Unscaled-stencil Galerkin consistency:
-                                // the coarse stencil is 4× the fine one in
-                                // h² units, so the restricted residual is
-                                // [1 2 1]·res (i.e. 4× full weighting).
-                                fadd(
+                        for_(
+                            j,
+                            i(0),
+                            v(nc),
+                            vec![
+                                st(u, iadd(v(offc), v(j)), f(0.0)),
+                                st(rhs, iadd(v(offc), v(j)), f(0.0)),
+                            ],
+                        ),
+                        for_(
+                            j,
+                            i(1),
+                            isub(v(nc), i(1)),
+                            vec![
+                                set(s, imul(v(j), i(2))),
+                                st(
+                                    rhs,
+                                    iadd(v(offc), v(j)),
+                                    // Unscaled-stencil Galerkin consistency:
+                                    // the coarse stencil is 4× the fine one in
+                                    // h² units, so the restricted residual is
+                                    // [1 2 1]·res (i.e. 4× full weighting).
                                     fadd(
-                                        ld(res, iadd(v(off), isub(v(s), i(1)))),
-                                        fmul(f(2.0), ld(res, iadd(v(off), v(s)))),
+                                        fadd(
+                                            ld(res, iadd(v(off), isub(v(s), i(1)))),
+                                            fmul(f(2.0), ld(res, iadd(v(off), v(s)))),
+                                        ),
+                                        ld(res, iadd(v(off), iadd(v(s), i(1)))),
                                     ),
-                                    ld(res, iadd(v(off), iadd(v(s), i(1)))),
                                 ),
-                            ),
-                        ]),
+                            ],
+                        ),
                         do_(call(vcycle, vec![iadd(v(l), i(1))])),
                         // linear prolongation: u_f += P u_c (including the
                         // boundary-adjacent odd point, whose left coarse
                         // neighbour is the pinned zero boundary)
-                        st(u, iadd(v(off), i(1)),
-                           fadd(ld(u, iadd(v(off), i(1))),
-                                fmul(f(0.5), ld(u, iadd(v(offc), i(1)))))),
-                        for_(j, i(1), isub(v(nc), i(1)), vec![
-                            set(s, imul(v(j), i(2))),
-                            st(u, iadd(v(off), v(s)),
-                               fadd(ld(u, iadd(v(off), v(s))), ld(u, iadd(v(offc), v(j))))),
-                            st(u, iadd(v(off), iadd(v(s), i(1))),
-                               fadd(
-                                   ld(u, iadd(v(off), iadd(v(s), i(1)))),
-                                   fmul(f(0.5), fadd(
-                                       ld(u, iadd(v(offc), v(j))),
-                                       ld(u, iadd(v(offc), iadd(v(j), i(1)))),
-                                   )),
-                               )),
-                        ]),
+                        st(
+                            u,
+                            iadd(v(off), i(1)),
+                            fadd(
+                                ld(u, iadd(v(off), i(1))),
+                                fmul(f(0.5), ld(u, iadd(v(offc), i(1)))),
+                            ),
+                        ),
+                        for_(
+                            j,
+                            i(1),
+                            isub(v(nc), i(1)),
+                            vec![
+                                set(s, imul(v(j), i(2))),
+                                st(
+                                    u,
+                                    iadd(v(off), v(s)),
+                                    fadd(ld(u, iadd(v(off), v(s))), ld(u, iadd(v(offc), v(j)))),
+                                ),
+                                st(
+                                    u,
+                                    iadd(v(off), iadd(v(s), i(1))),
+                                    fadd(
+                                        ld(u, iadd(v(off), iadd(v(s), i(1)))),
+                                        fmul(
+                                            f(0.5),
+                                            fadd(
+                                                ld(u, iadd(v(offc), v(j))),
+                                                ld(u, iadd(v(offc), iadd(v(j), i(1)))),
+                                            ),
+                                        ),
+                                    ),
+                                ),
+                            ],
+                        ),
                         do_(call(smooth, vec![v(off), v(nn)])),
                         do_(call(smooth, vec![v(off), v(nn)])),
                     ],
@@ -175,11 +213,19 @@ pub fn mg_sized(class: Class, n0: i64, ncycles: i64) -> Workload {
         let acc = ir.local_f(fr);
         vec![
             // rhs on the finest level: a smooth forcing term
-            for_(k, i(0), i(n0), vec![st(
-                rhs,
-                v(k),
-                fmath(MathFun::Sin, fdiv(fmul(f(std::f64::consts::PI), itof(v(k))), itof(i(n0)))),
-            )]),
+            for_(
+                k,
+                i(0),
+                i(n0),
+                vec![st(
+                    rhs,
+                    v(k),
+                    fmath(
+                        MathFun::Sin,
+                        fdiv(fmul(f(std::f64::consts::PI), itof(v(k))), itof(i(n0))),
+                    ),
+                )],
+            ),
             for_(c, i(0), i(ncycles), vec![do_(call(vcycle, vec![i(0)]))]),
             do_(call(resid, vec![i(0), i(n0)])),
             set(acc, f(0.0)),

@@ -41,27 +41,69 @@ pub fn sp(class: Class) -> Workload {
         ir.define(
             fill,
             vec![
-                for_(j, i(0), i(l), vec![
-                    st(ew, v(j), f(0.2)),
-                    st(aw, v(j), fadd(f(-1.0), fmul(f(0.04), fmath(MathFun::Sin, itof(v(j)))))),
-                    st(dw, v(j), fadd(f(3.1), fmul(f(0.08), fmath(MathFun::Cos, fmul(f(0.7), fadd(itof(v(j)), itof(v(li)))))))),
-                    st(cw, v(j), fadd(f(-1.0), fmul(f(0.04), fmath(MathFun::Cos, fmul(f(1.7), itof(v(j))))))),
-                    st(fw, v(j), f(0.2)),
-                    st(ex, v(j), exact(li, v(j))),
-                ]),
+                for_(
+                    j,
+                    i(0),
+                    i(l),
+                    vec![
+                        st(ew, v(j), f(0.2)),
+                        st(aw, v(j), fadd(f(-1.0), fmul(f(0.04), fmath(MathFun::Sin, itof(v(j)))))),
+                        st(
+                            dw,
+                            v(j),
+                            fadd(
+                                f(3.1),
+                                fmul(
+                                    f(0.08),
+                                    fmath(
+                                        MathFun::Cos,
+                                        fmul(f(0.7), fadd(itof(v(j)), itof(v(li)))),
+                                    ),
+                                ),
+                            ),
+                        ),
+                        st(
+                            cw,
+                            v(j),
+                            fadd(
+                                f(-1.0),
+                                fmul(f(0.04), fmath(MathFun::Cos, fmul(f(1.7), itof(v(j))))),
+                            ),
+                        ),
+                        st(fw, v(j), f(0.2)),
+                        st(ex, v(j), exact(li, v(j))),
+                    ],
+                ),
                 // rhs from the manufactured solution: b = P·x* (zero-padded)
-                for_(j, i(0), i(l), vec![
-                    set(s, fmul(ld(dw, v(j)), ld(ex, v(j)))),
-                    if_(cmp(Cc::Ge, isub(v(j), i(2)), i(0)),
-                        vec![set(s, fadd(v(s), fmul(ld(ew, v(j)), ld(ex, isub(v(j), i(2))))))], vec![]),
-                    if_(cmp(Cc::Ge, isub(v(j), i(1)), i(0)),
-                        vec![set(s, fadd(v(s), fmul(ld(aw, v(j)), ld(ex, isub(v(j), i(1))))))], vec![]),
-                    if_(cmp(Cc::Lt, iadd(v(j), i(1)), i(l)),
-                        vec![set(s, fadd(v(s), fmul(ld(cw, v(j)), ld(ex, iadd(v(j), i(1))))))], vec![]),
-                    if_(cmp(Cc::Lt, iadd(v(j), i(2)), i(l)),
-                        vec![set(s, fadd(v(s), fmul(ld(fw, v(j)), ld(ex, iadd(v(j), i(2))))))], vec![]),
-                    st(bw, v(j), v(s)),
-                ]),
+                for_(
+                    j,
+                    i(0),
+                    i(l),
+                    vec![
+                        set(s, fmul(ld(dw, v(j)), ld(ex, v(j)))),
+                        if_(
+                            cmp(Cc::Ge, isub(v(j), i(2)), i(0)),
+                            vec![set(s, fadd(v(s), fmul(ld(ew, v(j)), ld(ex, isub(v(j), i(2))))))],
+                            vec![],
+                        ),
+                        if_(
+                            cmp(Cc::Ge, isub(v(j), i(1)), i(0)),
+                            vec![set(s, fadd(v(s), fmul(ld(aw, v(j)), ld(ex, isub(v(j), i(1))))))],
+                            vec![],
+                        ),
+                        if_(
+                            cmp(Cc::Lt, iadd(v(j), i(1)), i(l)),
+                            vec![set(s, fadd(v(s), fmul(ld(cw, v(j)), ld(ex, iadd(v(j), i(1))))))],
+                            vec![],
+                        ),
+                        if_(
+                            cmp(Cc::Lt, iadd(v(j), i(2)), i(l)),
+                            vec![set(s, fadd(v(s), fmul(ld(fw, v(j)), ld(ex, iadd(v(j), i(2))))))],
+                            vec![],
+                        ),
+                        st(bw, v(j), v(s)),
+                    ],
+                ),
             ],
         );
     }
@@ -74,37 +116,84 @@ pub fn sp(class: Class) -> Workload {
         ir.define(
             penta,
             vec![
-                for_(k, i(0), i(l - 1), vec![
-                    // eliminate a[k+1]
-                    set(mfac, fdiv(ld(aw, iadd(v(k), i(1))), ld(dw, v(k)))),
-                    st(dw, iadd(v(k), i(1)), fsub(ld(dw, iadd(v(k), i(1))), fmul(v(mfac), ld(cw, v(k))))),
-                    st(cw, iadd(v(k), i(1)), fsub(ld(cw, iadd(v(k), i(1))), fmul(v(mfac), ld(fw, v(k))))),
-                    st(bw, iadd(v(k), i(1)), fsub(ld(bw, iadd(v(k), i(1))), fmul(v(mfac), ld(bw, v(k))))),
-                    // eliminate e[k+2]
-                    if_(cmp(Cc::Lt, iadd(v(k), i(2)), i(l)), vec![
-                        set(mfac, fdiv(ld(ew, iadd(v(k), i(2))), ld(dw, v(k)))),
-                        st(aw, iadd(v(k), i(2)), fsub(ld(aw, iadd(v(k), i(2))), fmul(v(mfac), ld(cw, v(k))))),
-                        st(dw, iadd(v(k), i(2)), fsub(ld(dw, iadd(v(k), i(2))), fmul(v(mfac), ld(fw, v(k))))),
-                        st(bw, iadd(v(k), i(2)), fsub(ld(bw, iadd(v(k), i(2))), fmul(v(mfac), ld(bw, v(k))))),
-                    ], vec![]),
-                ]),
+                for_(
+                    k,
+                    i(0),
+                    i(l - 1),
+                    vec![
+                        // eliminate a[k+1]
+                        set(mfac, fdiv(ld(aw, iadd(v(k), i(1))), ld(dw, v(k)))),
+                        st(
+                            dw,
+                            iadd(v(k), i(1)),
+                            fsub(ld(dw, iadd(v(k), i(1))), fmul(v(mfac), ld(cw, v(k)))),
+                        ),
+                        st(
+                            cw,
+                            iadd(v(k), i(1)),
+                            fsub(ld(cw, iadd(v(k), i(1))), fmul(v(mfac), ld(fw, v(k)))),
+                        ),
+                        st(
+                            bw,
+                            iadd(v(k), i(1)),
+                            fsub(ld(bw, iadd(v(k), i(1))), fmul(v(mfac), ld(bw, v(k)))),
+                        ),
+                        // eliminate e[k+2]
+                        if_(
+                            cmp(Cc::Lt, iadd(v(k), i(2)), i(l)),
+                            vec![
+                                set(mfac, fdiv(ld(ew, iadd(v(k), i(2))), ld(dw, v(k)))),
+                                st(
+                                    aw,
+                                    iadd(v(k), i(2)),
+                                    fsub(ld(aw, iadd(v(k), i(2))), fmul(v(mfac), ld(cw, v(k)))),
+                                ),
+                                st(
+                                    dw,
+                                    iadd(v(k), i(2)),
+                                    fsub(ld(dw, iadd(v(k), i(2))), fmul(v(mfac), ld(fw, v(k)))),
+                                ),
+                                st(
+                                    bw,
+                                    iadd(v(k), i(2)),
+                                    fsub(ld(bw, iadd(v(k), i(2))), fmul(v(mfac), ld(bw, v(k)))),
+                                ),
+                            ],
+                            vec![],
+                        ),
+                    ],
+                ),
                 // back substitution
                 st(xw, i(l - 1), fdiv(ld(bw, i(l - 1)), ld(dw, i(l - 1)))),
-                st(xw, i(l - 2), fdiv(
-                    fsub(ld(bw, i(l - 2)), fmul(ld(cw, i(l - 2)), ld(xw, i(l - 1)))),
-                    ld(dw, i(l - 2)),
-                )),
+                st(
+                    xw,
+                    i(l - 2),
+                    fdiv(
+                        fsub(ld(bw, i(l - 2)), fmul(ld(cw, i(l - 2)), ld(xw, i(l - 1)))),
+                        ld(dw, i(l - 2)),
+                    ),
+                ),
                 set(k, i(l - 3)),
-                while_(cmp(Cc::Ge, v(k), i(0)), vec![
-                    st(xw, v(k), fdiv(
-                        fsub(
-                            fsub(ld(bw, v(k)), fmul(ld(cw, v(k)), ld(xw, iadd(v(k), i(1))))),
-                            fmul(ld(fw, v(k)), ld(xw, iadd(v(k), i(2)))),
+                while_(
+                    cmp(Cc::Ge, v(k), i(0)),
+                    vec![
+                        st(
+                            xw,
+                            v(k),
+                            fdiv(
+                                fsub(
+                                    fsub(
+                                        ld(bw, v(k)),
+                                        fmul(ld(cw, v(k)), ld(xw, iadd(v(k), i(1)))),
+                                    ),
+                                    fmul(ld(fw, v(k)), ld(xw, iadd(v(k), i(2)))),
+                                ),
+                                ld(dw, v(k)),
+                            ),
                         ),
-                        ld(dw, v(k)),
-                    )),
-                    set(k, isub(v(k), i(1))),
-                ]),
+                        set(k, isub(v(k), i(1))),
+                    ],
+                ),
             ],
         );
     }
@@ -112,14 +201,24 @@ pub fn sp(class: Class) -> Workload {
     let main = ir.func("main", &[], None, |ir, fr, _| {
         let li = ir.local_i(fr);
         let j = ir.local_i(fr);
-        vec![for_(li, i(0), i(m), vec![
-            do_(call(fill, vec![v(li)])),
-            do_(call(penta, vec![])),
-            for_(j, i(0), i(l), vec![
-                st(out, i(0), fadd(ld(out, i(0)), ld(xw, v(j)))),
-                st(out, i(1), fadd(ld(out, i(1)), fabs(fsub(ld(xw, v(j)), ld(ex, v(j)))))),
-            ]),
-        ])]
+        vec![for_(
+            li,
+            i(0),
+            i(m),
+            vec![
+                do_(call(fill, vec![v(li)])),
+                do_(call(penta, vec![])),
+                for_(
+                    j,
+                    i(0),
+                    i(l),
+                    vec![
+                        st(out, i(0), fadd(ld(out, i(0)), ld(xw, v(j)))),
+                        st(out, i(1), fadd(ld(out, i(1)), fabs(fsub(ld(xw, v(j)), ld(ex, v(j)))))),
+                    ],
+                ),
+            ],
+        )]
     });
     ir.set_entry(main);
 

@@ -1,0 +1,103 @@
+//! Small deterministic PRNG used by the data-set generators.
+//!
+//! The build environment has no registry access, so instead of the `rand`
+//! crate we use a self-contained splitmix64 generator. Only the handful
+//! of sampling methods the generators need are provided, with the same
+//! names `rand` 0.9 uses (`random_bool`, `random_range`) so call sites
+//! read identically.
+
+use std::ops::Range;
+
+/// Deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Seed the generator from a `u64`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// Uniform draw from a half-open range.
+    pub fn random_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+/// Types drawable from a `Range` by [`StdRng::random_range`].
+pub trait SampleRange: Sized {
+    /// Draw one value uniformly from `range`.
+    fn sample(rng: &mut StdRng, range: Range<Self>) -> Self;
+}
+
+impl SampleRange for f64 {
+    fn sample(rng: &mut StdRng, range: Range<f64>) -> f64 {
+        range.start + rng.f64_unit() * (range.end - range.start)
+    }
+}
+
+impl SampleRange for usize {
+    fn sample(rng: &mut StdRng, range: Range<usize>) -> usize {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        range.start + (rng.next_u64() % span as u64) as usize
+    }
+}
+
+impl SampleRange for u64 {
+    fn sample(rng: &mut StdRng, range: Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        range.start + rng.next_u64() % span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.random_range(0usize..13);
+            assert!(x < 13);
+            let y = r.random_range(-3.0f64..1.0);
+            assert!((-3.0..1.0).contains(&y));
+            let _ = r.random_bool(0.5);
+        }
+    }
+
+    #[test]
+    fn bernoulli_rates_are_sane() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.6)).count();
+        assert!((5_500..6_500).contains(&hits), "p=0.6 gave {hits}/10000");
+    }
+}

@@ -2,8 +2,7 @@
 //! 5-point Laplacian / memplus-like generators used to bake workload data
 //! sets into program images.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 /// A CSR (compressed sparse row) matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,7 +20,7 @@ pub struct Csr {
 impl Csr {
     /// Build from coordinate triplets (duplicates summed, rows sorted).
     pub fn from_coo(n: usize, mut coo: Vec<(usize, usize, f64)>) -> Csr {
-        coo.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        coo.sort_by_key(|&(r, c, _)| (r, c));
         let mut rowptr = vec![0i64; n + 1];
         let mut colidx: Vec<i64> = Vec::with_capacity(coo.len());
         let mut vals: Vec<f64> = Vec::with_capacity(coo.len());
@@ -51,9 +50,9 @@ impl Csr {
     /// `y = A·x`.
     pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.n];
-        for r in 0..self.n {
-            let (a, b) = (self.rowptr[r] as usize, self.rowptr[r + 1] as usize);
-            y[r] = (a..b).map(|k| self.vals[k] * x[self.colidx[k] as usize]).sum();
+        for (yr, w) in y.iter_mut().zip(self.rowptr.windows(2)) {
+            let (a, b) = (w[0] as usize, w[1] as usize);
+            *yr = (a..b).map(|k| self.vals[k] * x[self.colidx[k] as usize]).sum();
         }
         y
     }
@@ -162,8 +161,7 @@ pub fn dense_lu_solve(a: &mut [f64], n: usize, b: &mut [f64]) -> Option<()> {
         }
         piv.swap(k, best);
         let pk = piv[k];
-        for r in k + 1..n {
-            let pr = piv[r];
+        for &pr in &piv[k + 1..n] {
             let m = a[pr * n + k] / a[pk * n + k];
             a[pr * n + k] = m;
             for c in k + 1..n {
@@ -210,7 +208,7 @@ mod tests {
         assert_eq!(a.n, 9);
         // interior node has 5 entries, corners 3
         assert_eq!(a.nnz(), 9 + 2 * 12); // diag + 2 per interior edge
-        // symmetric positive row sums ≥ 0
+                                         // symmetric positive row sums ≥ 0
         let x = vec![1.0; 9];
         let y = a.spmv(&x);
         assert!(y.iter().all(|&v| v >= 0.0));

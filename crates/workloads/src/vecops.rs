@@ -28,15 +28,20 @@ pub fn vecops(class: Class) -> Workload {
         let k = ir.local_i(fr);
         let acc = ir.local_f(fr);
         vec![
-            for_(it, i(0), i(iters), vec![
-                // coefficient varies per sweep: a = 1/(it+2)
-                Stmt::PackedAxpy {
-                    y: ys,
-                    a: fdiv(f(1.0), itof(iadd(v(it), i(2)))),
-                    x: xs,
-                    n: i(n),
-                },
-            ]),
+            for_(
+                it,
+                i(0),
+                i(iters),
+                vec![
+                    // coefficient varies per sweep: a = 1/(it+2)
+                    Stmt::PackedAxpy {
+                        y: ys,
+                        a: fdiv(f(1.0), itof(iadd(v(it), i(2)))),
+                        x: xs,
+                        n: i(n),
+                    },
+                ],
+            ),
             set(acc, f(0.0)),
             for_(k, i(0), i(n), vec![set(acc, fadd(v(acc), ld(ys, v(k))))]),
             st(out, i(0), v(acc)),
@@ -147,12 +152,12 @@ mod tests {
         prog: &'p fpvm::Program,
         tree: &'p StructureTree,
     ) -> mpsearch::VmEvaluator<'p> {
-        mpsearch::VmEvaluator {
+        mpsearch::VmEvaluator::with_options(
             prog,
             tree,
-            vm_opts: w.vm_opts(),
-            rewrite_opts: RewriteOptions::default(),
-            verify: Box::new(w.verifier()),
-        }
+            w.vm_opts(),
+            RewriteOptions::default(),
+            w.verifier(),
+        )
     }
 }

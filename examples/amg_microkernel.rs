@@ -26,8 +26,10 @@ fn main() {
     println!("configurations tested  : {}", rec.report.configs_tested);
     println!("replaced (static)      : {:.1}%", rec.report.static_pct);
     println!("final verification     : {}", if rec.report.final_pass { "pass" } else { "fail" });
-    assert!(rec.report.final_pass && rec.report.static_pct == 100.0,
-        "the multigrid iteration should tolerate full single-precision replacement");
+    assert!(
+        rec.report.final_pass && rec.report.static_pct == 100.0,
+        "the multigrid iteration should tolerate full single-precision replacement"
+    );
 
     // The adaptive nature of the method corrects the f32 roundoff, so the
     // developer can recompile the whole kernel in single precision:

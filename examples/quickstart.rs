@@ -26,13 +26,18 @@ fn main() {
         vec![
             set(coarse, f(0.0)),
             set(fine, f(0.0)),
-            for_(k, i(0), i(128), vec![
-                // coarse: plain sum of O(1) values
-                set(coarse, fadd(v(coarse), ld(xs, v(k)))),
-                // fine: amplify the 1e-11 perturbations — only meaningful
-                // when computed in double precision
-                set(fine, fadd(v(fine), fmul(fsub(ld(xs, v(k)), f(1.0)), f(1e10)))),
-            ]),
+            for_(
+                k,
+                i(0),
+                i(128),
+                vec![
+                    // coarse: plain sum of O(1) values
+                    set(coarse, fadd(v(coarse), ld(xs, v(k)))),
+                    // fine: amplify the 1e-11 perturbations — only meaningful
+                    // when computed in double precision
+                    set(fine, fadd(v(fine), fmul(fsub(ld(xs, v(k)), f(1.0)), f(1e10)))),
+                ],
+            ),
             st(out, i(0), v(coarse)),
             st(out, i(1), v(fine)),
         ]

@@ -17,20 +17,19 @@ fn main() {
     let s = slu(Class::W);
     let prog = s.wl.program();
     let tree = StructureTree::build(prog);
-    let profile = Vm::run_program(prog, VmOptions { profile: true, ..Default::default() })
-        .profile
-        .unwrap();
+    let profile =
+        Vm::run_program(prog, VmOptions { profile: true, ..Default::default() }).profile.unwrap();
 
     println!("SuperLU-analogue threshold sweep (n = {})\n", s.n);
     println!("{:<12} {:>9} {:>9} {:>8}", "threshold", "static", "dynamic", "tested");
     for threshold in [1e-3, 1e-4, 2.5e-5, 1e-6] {
-        let eval = VmEvaluator {
+        let eval = VmEvaluator::with_options(
             prog,
-            tree: &tree,
-            vm_opts: VmOptions::default(),
-            rewrite_opts: RewriteOptions::default(),
-            verify: Box::new(s.threshold_verifier(threshold)),
-        };
+            &tree,
+            VmOptions::default(),
+            RewriteOptions::default(),
+            s.threshold_verifier(threshold),
+        );
         let r = search(
             &tree,
             &Config::new(),

@@ -15,12 +15,8 @@ fn assert_bitexact(w: &Workload) {
         cfg.set_module(m.id, Flag::Single);
     }
     for lean in [false, true] {
-        let (instr, stats) = rewrite(
-            prog,
-            &tree,
-            &cfg,
-            &RewriteOptions { mode: RewriteMode::Config, lean },
-        );
+        let (instr, stats) =
+            rewrite(prog, &tree, &cfg, &RewriteOptions { mode: RewriteMode::Config, lean });
         assert_eq!(stats.single, tree.candidate_count(), "{}: not everything replaced", w.name);
         let mut vm = Vm::new(&instr, w.vm_opts());
         assert!(vm.run().ok(), "{}: instrumented-single run failed", w.name);

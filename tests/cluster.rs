@@ -14,8 +14,9 @@ use workloads::{nas, Class};
 #[test]
 fn ep_ranks_are_deterministic_and_sane() {
     let run = |nranks: usize| {
-        let progs: Vec<_> =
-            (0..nranks).map(|_| nas::ep_sized(Class::S, 256 / nranks as i64).program().clone()).collect();
+        let progs: Vec<_> = (0..nranks)
+            .map(|_| nas::ep_sized(Class::S, 256 / nranks as i64).program().clone())
+            .collect();
         let (outcome, partials) = run_ranks(
             nranks,
             &VmOptions::default(),

@@ -1,0 +1,141 @@
+//! Differential property tests: the pre-decoded execution image
+//! (`fpvm::exec`) must be bit-identical to the reference interpreter on
+//! random programs — same results, same traps, same `RunStats`, same
+//! final machine state — both on plain programs and on instrumented
+//! (rewritten) ones, where crash-on-miss traps must agree too.
+
+use fpir::{
+    f, fabs, fadd, fdiv, fmax, fmin, fmul, for_, fsqrt, fsub, i, irem, itof, ld, set, st, v,
+    CompileOptions, IrProgram,
+};
+use fpvm::exec::ExecImage;
+use fpvm::{Program, Vm, VmOptions};
+use instrument::{rewrite, RewriteOptions};
+use mpconfig::{Config, Flag, StructureTree};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Build a numerically busy random program from generator data: a loop
+/// over `iters` iterations applying a chain of randomly chosen FP ops to
+/// an accumulator and elements of a random input array.
+fn build_program(vals: &[f64], ops: &[u8], iters: i64) -> Program {
+    let mut ir = IrProgram::new("rand");
+    let n = vals.len() as i64;
+    let xs = ir.array_f64_init("xs", vals.to_vec());
+    let out = ir.array_f64("out", 2);
+    let ops = ops.to_vec();
+    let main = ir.func("main", &[], None, move |ir, fr, _| {
+        let s = ir.local_f(fr);
+        let t = ir.local_f(fr);
+        let k = ir.local_i(fr);
+        let mut body = vec![set(t, ld(xs, irem(v(k), i(n))))];
+        for (j, &op) in ops.iter().enumerate() {
+            let e = match op % 8 {
+                0 => fadd(v(s), v(t)),
+                1 => fsub(v(s), v(t)),
+                2 => fmul(v(s), v(t)),
+                3 => fdiv(v(s), v(t)),
+                4 => fmin(v(s), v(t)),
+                5 => fmax(v(s), fmul(v(t), itof(v(k)))),
+                6 => fsqrt(fabs(v(s))),
+                _ => fadd(fmul(v(s), f(0.5)), fdiv(v(t), f(1.0 + j as f64))),
+            };
+            body.push(set(s, e));
+        }
+        vec![
+            set(s, f(1.0)),
+            set(t, f(0.0)),
+            for_(k, i(0), i(iters), body),
+            st(out, i(0), v(s)),
+            st(out, i(1), v(t)),
+        ]
+    });
+    ir.set_entry(main);
+    fpir::compile(&ir, &CompileOptions::default())
+}
+
+/// Run `p` through both engines and assert the outcomes are bit-identical:
+/// result (including the exact trap), statistics, registers, memory, and
+/// profile counts.
+fn assert_engines_agree(p: &Program, opts: &VmOptions) {
+    let mut ref_vm = Vm::new(p, opts.clone());
+    let ref_out = ref_vm.run();
+    let image = ExecImage::compile(p, &opts.cost);
+    let mut fast_vm = Vm::new(p, opts.clone());
+    let fast_out = fast_vm.run_image(&image);
+
+    assert_eq!(ref_out.result, fast_out.result, "result/trap diverges");
+    assert_eq!(ref_out.stats.steps, fast_out.stats.steps, "steps diverge");
+    assert_eq!(ref_out.stats.cycles, fast_out.stats.cycles, "cycles diverge");
+    assert_eq!(ref_out.stats.fp_ops, fast_out.stats.fp_ops, "fp_ops diverge");
+    assert_eq!(ref_vm.gpr, fast_vm.gpr, "gpr state diverges");
+    assert_eq!(ref_vm.xmm, fast_vm.xmm, "xmm state diverges");
+    let words = ref_vm.mem.len() / 8;
+    assert_eq!(
+        ref_vm.mem.read_u64_slice(0, words).unwrap(),
+        fast_vm.mem.read_u64_slice(0, words).unwrap(),
+        "memory diverges"
+    );
+    match (ref_out.profile, fast_out.profile) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            for id in 0..p.insn_id_bound() {
+                let id = fpvm::InsnId(id as u32);
+                assert_eq!(a.count(id), b.count(id), "profile diverges at {id:?}");
+            }
+        }
+        _ => panic!("one engine produced a profile, the other did not"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_path_matches_reference_on_random_programs(
+        vals in vec(-4.0f64..4.0, 1..8),
+        ops in vec(0u8..255, 1..10),
+        iters in 1i64..40,
+        profile in any::<bool>(),
+    ) {
+        let p = build_program(&vals, &ops, iters);
+        let opts = VmOptions { profile, ..VmOptions::default() };
+        assert_engines_agree(&p, &opts);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_under_fuel_exhaustion(
+        vals in vec(-2.0f64..2.0, 1..5),
+        ops in vec(0u8..255, 1..6),
+        fuel in 0u64..60,
+    ) {
+        let p = build_program(&vals, &ops, 25);
+        let opts = VmOptions { fuel, ..VmOptions::default() };
+        assert_engines_agree(&p, &opts);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_instrumented_programs(
+        vals in vec(-4.0f64..4.0, 1..6),
+        ops in vec(0u8..255, 1..8),
+        iters in 1i64..20,
+        flags in vec(0u8..3, 64),
+    ) {
+        let p = build_program(&vals, &ops, iters);
+        let tree = StructureTree::build(&p);
+        // A random mixed configuration: single/double/ignore per candidate.
+        // Ignore next to single can produce crash-on-miss traps, which both
+        // engines must report identically (same trap, same instruction id).
+        let mut cfg = Config::new();
+        for (j, id) in tree.all_insns().into_iter().enumerate() {
+            let fl = match flags[j % flags.len()] {
+                0 => Flag::Single,
+                1 => Flag::Double,
+                _ => Flag::Ignore,
+            };
+            cfg.set_insn(id, fl);
+        }
+        let (q, _) = rewrite(&p, &tree, &cfg, &RewriteOptions::default());
+        assert_engines_agree(&q, &VmOptions::default());
+    }
+}

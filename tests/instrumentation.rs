@@ -37,14 +37,9 @@ fn crash_on_miss_fires_on_a_real_kernel() {
     let prog = w.program();
     let tree = StructureTree::build(prog);
     // find the hottest candidate and replace only it, ignoring the rest
-    let profile = Vm::run_program(prog, VmOptions { profile: true, ..w.vm_opts() })
-        .profile
-        .unwrap();
-    let hottest = tree
-        .all_insns()
-        .into_iter()
-        .max_by_key(|&i| profile.count(i))
-        .unwrap();
+    let profile =
+        Vm::run_program(prog, VmOptions { profile: true, ..w.vm_opts() }).profile.unwrap();
+    let hottest = tree.all_insns().into_iter().max_by_key(|&i| profile.count(i)).unwrap();
     let mut cfg = Config::new();
     for id in tree.all_insns() {
         cfg.set_insn(id, if id == hottest { Flag::Single } else { Flag::Ignore });
@@ -79,9 +74,8 @@ fn instrumented_profiles_fold_back_to_original_instructions() {
             *per_origin.entry(origin).or_insert(0u64) += prof.count(insn.id);
         }
     }
-    let orig_prof = Vm::run_program(prog, VmOptions { profile: true, ..w.vm_opts() })
-        .profile
-        .unwrap();
+    let orig_prof =
+        Vm::run_program(prog, VmOptions { profile: true, ..w.vm_opts() }).profile.unwrap();
     for id in tree.all_insns() {
         if orig_prof.count(id) > 0 {
             assert!(
@@ -125,10 +119,18 @@ fn lean_mode_is_semantics_preserving_everywhere() {
     for w in nas_all(Class::S) {
         let prog = w.program();
         let tree = StructureTree::build(prog);
-        let (full, _) =
-            rewrite(prog, &tree, &Config::new(), &RewriteOptions { mode: instrument::RewriteMode::AllDouble, lean: false });
-        let (lean, _) =
-            rewrite(prog, &tree, &Config::new(), &RewriteOptions { mode: instrument::RewriteMode::AllDouble, lean: true });
+        let (full, _) = rewrite(
+            prog,
+            &tree,
+            &Config::new(),
+            &RewriteOptions { mode: instrument::RewriteMode::AllDouble, lean: false },
+        );
+        let (lean, _) = rewrite(
+            prog,
+            &tree,
+            &Config::new(),
+            &RewriteOptions { mode: instrument::RewriteMode::AllDouble, lean: true },
+        );
         let mut vf = Vm::new(&full, w.vm_opts());
         assert!(vf.run().ok());
         let mut vl = Vm::new(&lean, w.vm_opts());

@@ -22,10 +22,7 @@ fn cg_search_produces_consistent_report() {
     assert!(report.static_pct >= 0.0 && report.static_pct <= 100.0);
     assert!(report.dynamic_pct >= 0.0 && report.dynamic_pct <= 100.0);
     // replaced instructions reported = static pct of candidates
-    let replaced = report
-        .final_config
-        .replaced_insns(sys.tree())
-        .len();
+    let replaced = report.final_config.replaced_insns(sys.tree()).len();
     assert_eq!(report.failed_insns, report.candidates - replaced);
     // every passing unit's config must re-verify individually
     for u in report.passing.iter().take(3) {

@@ -63,14 +63,41 @@ fn run_snippet_case(a_bits: u64, b_bits: u64, op: FpAluOp, prec: SnippetPrec) ->
     p.globals = vec![0u8; 24];
     p.globals[..8].copy_from_slice(&a_bits.to_le_bytes());
     p.globals[8..16].copy_from_slice(&b_bits.to_le_bytes());
-    p.push_insn(b0, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(0)), src: FpLoc::Mem(MemRef::abs(0)) });
-    p.push_insn(b0, InstKind::MovF { width: Width::W64, dst: FpLoc::Reg(Xmm(1)), src: FpLoc::Mem(MemRef::abs(8)) });
-    let victim = p.mk_insn(InstKind::FpArith { op, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+    p.push_insn(
+        b0,
+        InstKind::MovF {
+            width: Width::W64,
+            dst: FpLoc::Reg(Xmm(0)),
+            src: FpLoc::Mem(MemRef::abs(0)),
+        },
+    );
+    p.push_insn(
+        b0,
+        InstKind::MovF {
+            width: Width::W64,
+            dst: FpLoc::Reg(Xmm(1)),
+            src: FpLoc::Mem(MemRef::abs(8)),
+        },
+    );
+    let victim = p.mk_insn(InstKind::FpArith {
+        op,
+        prec: Prec::Double,
+        packed: false,
+        dst: Xmm(0),
+        src: RM::Reg(Xmm(1)),
+    });
     let origin = victim.id;
     let mut e = Emitter { prog: &mut p, func: f, cur: b0, origin };
     emit_snippet(&mut e, &victim, prec, OperandFacts::default());
     let tail = e.cur;
-    p.push_insn(tail, InstKind::MovF { width: Width::W64, dst: FpLoc::Mem(MemRef::abs(16)), src: FpLoc::Reg(Xmm(0)) });
+    p.push_insn(
+        tail,
+        InstKind::MovF {
+            width: Width::W64,
+            dst: FpLoc::Mem(MemRef::abs(16)),
+            src: FpLoc::Reg(Xmm(0)),
+        },
+    );
     p.block_mut(tail).term = Terminator::Halt;
     let mut vm = Vm::new(&p, VmOptions::default());
     vm.run().result.expect("snippet trapped");
@@ -205,7 +232,16 @@ fn demo_tree() -> (Program, StructureTree) {
         }
         for b in [b1, b2] {
             for _ in 0..3 {
-                p.push_insn(b, InstKind::FpArith { op: FpAluOp::Add, prec: Prec::Double, packed: false, dst: Xmm(0), src: RM::Reg(Xmm(1)) });
+                p.push_insn(
+                    b,
+                    InstKind::FpArith {
+                        op: FpAluOp::Add,
+                        prec: Prec::Double,
+                        packed: false,
+                        dst: Xmm(0),
+                        src: RM::Reg(Xmm(1)),
+                    },
+                );
             }
         }
         p.block_mut(b1).term = Terminator::Jmp(b2);

@@ -1,0 +1,48 @@
+//! Cache-invariance tests: the evaluation-pipeline optimizations (config
+//! evaluation cache, incremental rewriter, fuel budget, fast-path
+//! execution) must not change what `search()` decides — only how fast it
+//! decides it.
+
+use mixedprec::{AnalysisOptions, AnalysisSystem};
+use mpsearch::{SearchOptions, SearchReport};
+use workloads::{nas, Class};
+
+fn run_search(
+    make: fn(Class) -> workloads::Workload,
+    eval_cache: bool,
+) -> (SearchReport, Vec<u32>) {
+    let sys = AnalysisSystem::with_options(
+        make(Class::S),
+        AnalysisOptions {
+            search: SearchOptions { threads: 2, eval_cache, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    let report = sys.run_search();
+    let mut replaced: Vec<u32> =
+        report.final_config.replaced_insns(sys.tree()).into_iter().map(|i| i.0).collect();
+    replaced.sort_unstable();
+    (report, replaced)
+}
+
+#[test]
+fn eval_cache_does_not_change_search_outcomes() {
+    for make in [nas::ep as fn(Class) -> workloads::Workload, nas::cg] {
+        let (with_cache, replaced_on) = run_search(make, true);
+        let (without, replaced_off) = run_search(make, false);
+        assert_eq!(replaced_on, replaced_off, "replaced instruction sets diverge");
+        assert_eq!(with_cache.final_pass, without.final_pass);
+        assert_eq!(with_cache.candidates, without.candidates);
+        assert_eq!(with_cache.failed_insns, without.failed_insns);
+        assert_eq!(with_cache.static_pct, without.static_pct);
+        assert_eq!(without.cache_hits, 0, "cache disabled but hits reported");
+    }
+}
+
+#[test]
+fn eval_cache_hits_on_repeated_effective_configs() {
+    // The final union config repeats at least one trial on a fully (or
+    // mostly) replaceable benchmark, so a cached search must record hits.
+    let (report, _) = run_search(nas::ep, true);
+    assert!(report.cache_hits > 0, "expected nonzero evaluation-cache hits");
+}
