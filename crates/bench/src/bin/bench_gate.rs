@@ -1,0 +1,108 @@
+//! CI bench-regression gate: compare freshly measured `BENCH_*.json`
+//! files (written by the criterion stand-in) against committed
+//! baselines and fail on excessive throughput regression.
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [<baseline> <fresh> ...] [--threshold=PCT]
+//! ```
+//!
+//! For every benchmark present in a baseline file, the gate prints a
+//! comparison row and exits nonzero if the fresh measurement is more
+//! than `PCT` percent slower (default 20). The comparison uses each
+//! benchmark's *minimum* observed sample — the most noise-robust
+//! estimator on shared CI runners — and the mean is shown alongside for
+//! context. Benchmarks missing from the fresh file fail the gate;
+//! benchmarks new in the fresh file are reported but do not fail it.
+
+use mpsearch::events::json::{self, Value};
+
+struct Bench {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+fn load(path: &str) -> Result<(String, Vec<Bench>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let group = v.get("group").and_then(Value::as_str).unwrap_or("?").to_string();
+    let benches = v
+        .get("benches")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: missing \"benches\" array"))?
+        .iter()
+        .map(|b| {
+            Ok(Bench {
+                name: b
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("{path}: bench without name"))?
+                    .to_string(),
+                mean_ns: b.get("mean_ns").and_then(Value::as_f64).unwrap_or(f64::NAN),
+                min_ns: b.get("min_ns").and_then(Value::as_f64).unwrap_or(f64::NAN),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok((group, benches))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threshold: f64 = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--threshold="))
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(20.0);
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() || !files.len().is_multiple_of(2) {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [...] [--threshold=PCT]");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for pair in files.chunks(2) {
+        let (base_path, fresh_path) = (pair[0], pair[1]);
+        let (group, base) = load(base_path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        let (_, fresh) = load(fresh_path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        println!("group `{group}` — {base_path} vs {fresh_path} (gate: min_ns +{threshold:.0}%)");
+        println!(
+            "  {:<28} {:>12} {:>12} {:>8}   {:>12} {:>12}",
+            "bench", "base min", "fresh min", "delta", "base mean", "fresh mean"
+        );
+        for b in &base {
+            let Some(f) = fresh.iter().find(|f| f.name == b.name) else {
+                println!("  {:<28} MISSING from fresh results", b.name);
+                failed = true;
+                continue;
+            };
+            let delta = (f.min_ns - b.min_ns) / b.min_ns * 100.0;
+            let verdict = if delta > threshold {
+                failed = true;
+                "FAIL"
+            } else {
+                ""
+            };
+            println!(
+                "  {:<28} {:>10.0}ns {:>10.0}ns {:>+7.1}%   {:>10.0}ns {:>10.0}ns  {verdict}",
+                b.name, b.min_ns, f.min_ns, delta, b.mean_ns, f.mean_ns
+            );
+        }
+        for f in &fresh {
+            if !base.iter().any(|b| b.name == f.name) {
+                println!("  {:<28} new (no baseline, not gated)", f.name);
+            }
+        }
+        println!();
+    }
+    if failed {
+        eprintln!("bench_gate: throughput regression beyond {threshold:.0}% detected");
+        std::process::exit(1);
+    }
+    println!("bench_gate: all benchmarks within {threshold:.0}% of baseline");
+}

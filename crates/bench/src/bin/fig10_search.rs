@@ -2,21 +2,53 @@
 //! (W and A), the number of replacement candidates, configurations
 //! tested, static and dynamic replacement percentages, and the final
 //! composed configuration's verification result.
+//!
+//! Robustness flags (all optional):
+//!
+//! * `--events=FILE` — append a JSONL event log of every search (one
+//!   `search_started` record per benchmark separates the runs);
+//! * `--inject-panic=IDX[,IDX…]` / `--inject-timeout=IDX[,IDX…]` —
+//!   deterministically inject a worker panic / a simulated timeout at
+//!   those evaluation indices of *each* search. The executor classifies
+//!   the faulted attempts (`crashed` / `timeout`), retries, and the
+//!   figure rows must come out identical to a fault-free run.
 
 use craft_bench::header;
 use mixedprec::{AnalysisOptions, AnalysisSystem};
-use mpsearch::{SearchOptions, SearchReport};
+use mpsearch::events::EventLog;
+use mpsearch::{FaultPlan, SearchHooks, SearchOptions, SearchReport};
 use workloads::{nas_all, Class};
 
+fn parse_indices(spec: &str) -> Vec<u64> {
+    spec.split(',').filter_map(|t| t.trim().parse().ok()).collect()
+}
+
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let second_phase = std::env::args().any(|a| a == "--second-phase");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |name: &str| {
+        args.iter().find_map(|a| a.strip_prefix(&format!("{name}=")).map(str::to_string))
+    };
+    let threads = SearchOptions::default_threads();
+    let second_phase = args.iter().any(|a| a == "--second-phase");
+    let events = opt("--events").map(|path| {
+        EventLog::to_file(&path).unwrap_or_else(|e| {
+            eprintln!("cannot create event log {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let faults = FaultPlan {
+        panic_at: opt("--inject-panic").map(|s| parse_indices(&s)).unwrap_or_default(),
+        timeout_at: opt("--inject-timeout").map(|s| parse_indices(&s)).unwrap_or_default(),
+        ..Default::default()
+    };
     println!(
-        "Figure 10: NAS benchmark search results{}\n",
-        if second_phase { " (with the second composition phase)" } else { "" }
+        "Figure 10: NAS benchmark search results{}{}\n",
+        if second_phase { " (with the second composition phase)" } else { "" },
+        if faults.is_empty() { "" } else { " (fault injection on)" }
     );
     header(&SearchReport::figure10_header());
     let mut perf_notes = Vec::new();
+    let mut fault_notes = Vec::new();
     for class in [Class::W, Class::A] {
         for w in nas_all(class) {
             let label = format!("{}.{}", w.name, class.letter().to_uppercase());
@@ -27,14 +59,29 @@ fn main() {
                     ..Default::default()
                 },
             );
-            let report = sys.run_search();
+            let hooks = SearchHooks {
+                bench: label.clone(),
+                faults: faults.clone(),
+                events: events.as_ref(),
+            };
+            let report = sys.run_search_with(&hooks);
             println!("{}", report.figure10_row(&label));
             perf_notes.push(report.perf_note(&label));
+            let fnote = report.fault_note(&label);
+            if !fnote.is_empty() {
+                fault_notes.push(fnote);
+            }
         }
     }
     println!("\nEvaluation-pipeline counters (where the search time went):");
     for note in &perf_notes {
         println!("{note}");
+    }
+    if !fault_notes.is_empty() {
+        println!("\nExecutor robustness counters (faults absorbed without changing rows):");
+        for note in &fault_notes {
+            println!("{note}");
+        }
     }
     println!("\n(candidates exclude `ignore`-flagged RNG instructions; dynamic % is");
     println!(" measured against an execution profile of the original binary;");

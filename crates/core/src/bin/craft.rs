@@ -7,15 +7,20 @@
 //! craft overhead <bench> [class]     # all-double instrumentation cost
 //! craft tree <bench> [class]         # structure tree (Fig. 4 view)
 //! craft config <bench> [class]       # initial config file (Fig. 3)
+//! craft report <events.jsonl>        # digest a search event log
 //! ```
 //!
 //! Options for `analyze`: `--second-phase`, `--stop-depth=f|b|i`,
-//! `--no-split`, `--no-priority`, `--lean`, `--threads=N`.
+//! `--no-split`, `--no-priority`, `--lean`, `--threads=N`,
+//! `--events=FILE` (JSONL event log), and the fault-injection drills
+//! `--inject-panic=IDX[,IDX…]` / `--inject-timeout=IDX[,IDX…]`.
 
 use mixedprec::{AnalysisOptions, AnalysisSystem, StopDepth};
 use mpconfig::editor::render_tree;
 use mpconfig::print_config;
-use mpsearch::SearchOptions;
+use mpsearch::events::{Event, EventLog, Record};
+use mpsearch::{FaultPlan, SearchHooks, SearchOptions, Verdict};
+use std::collections::HashMap;
 use workloads::{Class, Workload};
 
 const BENCHES: &[&str] =
@@ -54,6 +59,107 @@ fn parse_class(s: Option<&str>) -> Class {
     }
 }
 
+fn parse_indices(spec: &str) -> Vec<u64> {
+    spec.split(',').filter_map(|t| t.trim().parse().ok()).collect()
+}
+
+/// Digest a JSONL search event log: per-phase timing, a verdict
+/// histogram over evaluation attempts, robustness counters, and the
+/// top-k most expensive evaluations.
+fn render_report(path: &str, top: usize) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut records = Vec::new();
+    let mut malformed = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match Record::parse(line) {
+            Ok(r) => records.push(r),
+            Err(_) => malformed += 1,
+        }
+    }
+    if records.is_empty() {
+        eprintln!(
+            "{path}: no parseable events{}",
+            if malformed > 0 { " (all malformed)" } else { "" }
+        );
+        std::process::exit(1);
+    }
+    let span_us = records.last().map(|r| r.t_us).unwrap_or(0);
+    println!("event log   : {path}");
+    println!(
+        "events      : {}{}   span: {:.1} ms",
+        records.len(),
+        if malformed > 0 { format!(" (+{malformed} malformed)") } else { String::new() },
+        span_us as f64 / 1e3
+    );
+
+    let searches: Vec<&Record> =
+        records.iter().filter(|r| matches!(r.event, Event::SearchStarted { .. })).collect();
+    for r in &searches {
+        if let Event::SearchStarted { bench, candidates, threads } = &r.event {
+            println!(
+                "search      : {}  ({candidates} candidates, {threads} threads)",
+                if bench.is_empty() { "<unnamed>" } else { bench }
+            );
+        }
+    }
+
+    println!("\nphase timing:");
+    for r in &records {
+        if let Event::PhaseFinished { phase, wall_us } = &r.event {
+            println!("  {:<14} {:>10.1} ms", phase, *wall_us as f64 / 1e3);
+        }
+    }
+
+    let mut verdicts: HashMap<Verdict, usize> = HashMap::new();
+    let mut evals: Vec<(u64, u64, Verdict, String, bool)> = Vec::new();
+    let mut cache_hits = 0usize;
+    let mut retries = 0usize;
+    let mut quarantines = 0usize;
+    let mut max_depth = 0usize;
+    for r in &records {
+        match &r.event {
+            Event::EvalFinished { idx, label, verdict, wall_us, cache_hit, .. } => {
+                *verdicts.entry(*verdict).or_default() += 1;
+                cache_hits += *cache_hit as usize;
+                evals.push((*wall_us, *idx, *verdict, label.clone(), *cache_hit));
+            }
+            Event::Retry { .. } => retries += 1,
+            Event::Quarantined { .. } => quarantines += 1,
+            Event::QueueDepth { depth, .. } => max_depth = max_depth.max(*depth),
+            _ => {}
+        }
+    }
+    println!("\nverdicts ({} evaluation attempts):", evals.len());
+    for v in Verdict::ALL {
+        let n = verdicts.get(&v).copied().unwrap_or(0);
+        if n > 0 || matches!(v, Verdict::Pass | Verdict::Fail) {
+            println!("  {:<12} {n:>6}", v.as_str());
+        }
+    }
+    println!(
+        "\nretries: {retries}   quarantines: {quarantines}   cache hits: {cache_hits}   \
+         max queue depth: {max_depth}"
+    );
+
+    evals.sort_by_key(|e| std::cmp::Reverse(e.0));
+    println!("\ntop {} most expensive evaluations:", top.min(evals.len()));
+    println!("  {:>10}  {:>5}  {:<11}  label", "wall", "idx", "verdict");
+    for (wall_us, idx, verdict, label, cache_hit) in evals.iter().take(top) {
+        println!(
+            "  {:>8.1}ms  {idx:>5}  {:<11}  {label}{}",
+            *wall_us as f64 / 1e3,
+            verdict.as_str(),
+            if *cache_hit { " (cached)" } else { "" }
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let positional: Vec<&str> =
@@ -69,6 +175,14 @@ fn main() {
             println!("benchmarks: {}", BENCHES.join(", "));
             println!("classes:    s (sample), w (workstation), a, c");
         }
+        "report" => {
+            let path = positional.get(1).copied().unwrap_or_else(|| {
+                eprintln!("usage: craft report <events.jsonl> [--top=N]");
+                std::process::exit(2);
+            });
+            let top = opt("--top").and_then(|t| t.parse().ok()).unwrap_or(5);
+            render_report(path, top);
+        }
         "analyze" | "overhead" | "tree" | "config" => {
             let bench = positional.get(1).copied().unwrap_or_else(|| {
                 eprintln!("usage: craft {cmd} <bench> [class]");
@@ -77,8 +191,7 @@ fn main() {
             let class = parse_class(positional.get(2).copied());
             let threads = opt("--threads")
                 .and_then(|t| t.parse().ok())
-                .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
-                .unwrap_or(4);
+                .unwrap_or_else(SearchOptions::default_threads);
             let stop_depth = match opt("--stop-depth").as_deref() {
                 Some("f") => StopDepth::Function,
                 Some("b") => StopDepth::Block,
@@ -103,7 +216,26 @@ fn main() {
             );
             match cmd {
                 "analyze" => {
-                    let rec = sys.recommend();
+                    let events = opt("--events").map(|path| {
+                        EventLog::to_file(&path).unwrap_or_else(|e| {
+                            eprintln!("cannot create event log {path}: {e}");
+                            std::process::exit(2);
+                        })
+                    });
+                    let hooks = SearchHooks {
+                        bench: format!("{bench}.{class}"),
+                        faults: FaultPlan {
+                            panic_at: opt("--inject-panic")
+                                .map(|s| parse_indices(&s))
+                                .unwrap_or_default(),
+                            timeout_at: opt("--inject-timeout")
+                                .map(|s| parse_indices(&s))
+                                .unwrap_or_default(),
+                            ..Default::default()
+                        },
+                        events: events.as_ref(),
+                    };
+                    let rec = sys.recommend_with(&hooks);
                     let r = &rec.report;
                     println!("benchmark            : {bench}.{class}");
                     println!("candidates           : {}", r.candidates);
@@ -116,6 +248,12 @@ fn main() {
                     );
                     println!("modelled speedup     : {:.2}x", rec.modelled_speedup);
                     println!("search wall time     : {:.2?}", r.elapsed);
+                    if r.timeouts + r.crashes + r.retries + r.quarantined > 0 {
+                        println!(
+                            "executor faults      : {} timeouts, {} crashes, {} retries, {} quarantined",
+                            r.timeouts, r.crashes, r.retries, r.quarantined
+                        );
+                    }
                     println!("\n--- recommended configuration ---");
                     print!("{}", rec.config_text);
                 }
@@ -138,9 +276,12 @@ fn main() {
             println!("  craft list");
             println!("  craft analyze  <bench> [class] [--second-phase] [--stop-depth=f|b|i]");
             println!("                 [--no-split] [--no-priority] [--lean] [--threads=N]");
+            println!("                 [--events=FILE] [--inject-panic=IDX[,IDX..]]");
+            println!("                 [--inject-timeout=IDX[,IDX..]]");
             println!("  craft overhead <bench> [class]");
             println!("  craft tree     <bench> [class]");
             println!("  craft config   <bench> [class]");
+            println!("  craft report   <events.jsonl> [--top=N]");
         }
     }
 }

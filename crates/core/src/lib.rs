@@ -20,7 +20,7 @@ use fpvm::isa::{FpAluOp, InstKind, Prec, Width};
 use fpvm::{Profile, Vm, VmOptions};
 use instrument::{rewrite_all_double, RewriteOptions};
 use mpconfig::{Config, Flag, StructureTree};
-use mpsearch::{search, SearchOptions, SearchReport, VmEvaluator};
+use mpsearch::{search_observed, SearchHooks, SearchOptions, SearchReport, VmEvaluator};
 use std::time::Instant;
 use workloads::Workload;
 
@@ -159,15 +159,41 @@ impl AnalysisSystem {
 
     /// Run the automatic search (§2.2) and return the raw report.
     pub fn run_search(&self) -> SearchReport {
+        self.run_search_with(&SearchHooks::default())
+    }
+
+    /// [`AnalysisSystem::run_search`] with observability hooks: a JSONL
+    /// event sink and/or a deterministic fault plan for the evaluation
+    /// executor.
+    pub fn run_search_with(&self, hooks: &SearchHooks<'_>) -> SearchReport {
         let profile = self.profile();
-        search(&self.tree, &self.base, Some(&profile), &self.evaluator(), &self.opts.search)
+        search_observed(
+            &self.tree,
+            &self.base,
+            Some(&profile),
+            &self.evaluator(),
+            &self.opts.search,
+            hooks,
+        )
     }
 
     /// Full pipeline: search, compose, and package the recommendation.
     pub fn recommend(&self) -> Recommendation {
+        self.recommend_with(&SearchHooks::default())
+    }
+
+    /// [`AnalysisSystem::recommend`] with observability/fault-injection
+    /// hooks for the underlying search.
+    pub fn recommend_with(&self, hooks: &SearchHooks<'_>) -> Recommendation {
         let profile = self.profile();
-        let report =
-            search(&self.tree, &self.base, Some(&profile), &self.evaluator(), &self.opts.search);
+        let report = search_observed(
+            &self.tree,
+            &self.base,
+            Some(&profile),
+            &self.evaluator(),
+            &self.opts.search,
+            hooks,
+        );
         let config_text = mpconfig::print_config(&self.tree, &report.final_config);
         let modelled_speedup = model_speedup(
             self.workload.program(),

@@ -1,6 +1,6 @@
 //! The structured IR: typed variables, global arrays, expressions and
 //! statements. Workloads are written against this AST and compiled to
-//! `fpvm` programs by [`crate::compile`] — the stand-in for the Fortran
+//! `fpvm` programs by [`crate::compile()`] — the stand-in for the Fortran
 //! compiler that produced the paper's benchmark binaries.
 
 use fpvm::isa::{FpAluOp, IntOp, MathFun};
@@ -57,7 +57,7 @@ pub enum Cc {
 }
 
 /// Expressions. Every expression has a scalar type derivable from its
-/// operands ([`Expr::ty`]).
+/// operands ([`Expr::ty_shallow`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Double-precision constant.

@@ -11,7 +11,7 @@
 //! cost-model matching, or nested operand decoding.
 //!
 //! The fast path is required to be *bit-identical* to the reference
-//! interpreter ([`Vm::run`]): same [`RunStats`], same trap (including the
+//! interpreter ([`Vm::run`]): same [`RunStats`](crate::interp::RunStats), same trap (including the
 //! trapping instruction id), same final machine state, same profile. The
 //! differential tests in `tests/exec_differential.rs` and the assertions
 //! in the `interp_throughput` bench enforce this.

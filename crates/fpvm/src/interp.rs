@@ -66,6 +66,19 @@ impl RunOutcome {
     pub fn ok(&self) -> bool {
         self.result.is_ok()
     }
+
+    /// Fuel spent by the run: the dynamic instruction count, which is
+    /// exactly what the fuel budget meters. Valid whether the run halted
+    /// or trapped.
+    pub fn fuel_spent(&self) -> u64 {
+        self.stats.steps
+    }
+
+    /// Short stable identifier of the trap that ended the run, if any
+    /// (see [`Trap::kind`]).
+    pub fn trap_kind(&self) -> Option<&'static str> {
+        self.result.as_ref().err().map(Trap::kind)
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]

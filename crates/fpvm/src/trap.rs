@@ -31,6 +31,22 @@ pub enum Trap {
     NoEntry,
 }
 
+impl Trap {
+    /// A short stable identifier for the trap category, suitable for
+    /// event logs and counters (no per-instance detail).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Trap::OutOfBounds { .. } => "out-of-bounds",
+            Trap::DivByZero => "div-by-zero",
+            Trap::FuelExhausted => "fuel-exhausted",
+            Trap::CallDepth => "call-depth",
+            Trap::FlaggedNanConsumed { .. } => "flagged-nan",
+            Trap::ReturnFromEntry => "return-from-entry",
+            Trap::NoEntry => "no-entry",
+        }
+    }
+}
+
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -32,12 +32,51 @@ pub struct EvalStats {
     pub fuel_capped: usize,
 }
 
+/// Per-run knobs the executor passes down to an evaluation attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunControl {
+    /// Additional fuel ceiling for this run, layered under the
+    /// evaluator's own budget (used by the executor's fault injection and
+    /// per-run fuel policy). Evaluators that cannot honor it may ignore
+    /// it.
+    pub fuel_override: Option<u64>,
+}
+
+/// The detailed outcome of one evaluation attempt, as the executor sees
+/// it before classifying a [`Verdict`](crate::executor::Verdict).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalOutcome {
+    /// Did the run complete and verify?
+    pub pass: bool,
+    /// Fuel spent: dynamic instructions executed (0 if the evaluator does
+    /// not track it).
+    pub steps: u64,
+    /// Trap kind (`fpvm::Trap::kind`) if the run ended abnormally.
+    pub trap: Option<&'static str>,
+    /// Whether the result was served from a cache without running.
+    pub cache_hit: bool,
+}
+
+impl EvalOutcome {
+    /// A bare pass/fail outcome with no accounting attached.
+    pub fn from_pass(pass: bool) -> Self {
+        EvalOutcome { pass, ..Default::default() }
+    }
+}
+
 /// Something that can judge a precision configuration. `evaluate` must be
 /// thread-safe: the search calls it from many workers at once.
 pub trait Evaluator: Sync {
     /// Build the mixed-precision binary for `cfg`, run it on the
     /// representative data set, and apply the verification routine.
     fn evaluate(&self, cfg: &Config) -> bool;
+
+    /// Like [`Evaluator::evaluate`], but honoring per-run controls and
+    /// reporting fuel/trap accounting. The default implementation
+    /// delegates to `evaluate` and reports no accounting.
+    fn evaluate_run(&self, cfg: &Config, _ctl: &RunControl) -> EvalOutcome {
+        EvalOutcome::from_pass(self.evaluate(cfg))
+    }
 
     /// Operational counters accumulated so far (all zero by default).
     fn stats(&self) -> EvalStats {
@@ -131,9 +170,16 @@ impl<'p> VmEvaluator<'p> {
 
 impl Evaluator for VmEvaluator<'_> {
     fn evaluate(&self, cfg: &Config) -> bool {
+        self.evaluate_run(cfg, &RunControl::default()).pass
+    }
+
+    fn evaluate_run(&self, cfg: &Config, ctl: &RunControl) -> EvalOutcome {
         let (instrumented, _) = self.rewriter.rewrite(self.prog, self.tree, cfg);
         let image = ExecImage::compile(&instrumented, &self.vm_opts.cost);
-        let fuel = self.fuel_budget();
+        let mut fuel = self.fuel_budget();
+        if let Some(cap) = ctl.fuel_override {
+            fuel = fuel.min(cap.max(1));
+        }
         let mut opts = self.vm_opts.clone();
         opts.fuel = fuel;
         let mem = self.mem_pool.lock().unwrap().pop().unwrap_or_else(|| Memory::new(0, &[]));
@@ -146,7 +192,12 @@ impl Evaluator for VmEvaluator<'_> {
             self.fuel_capped.fetch_add(1, Ordering::Relaxed);
         }
         self.mem_pool.lock().unwrap().push(std::mem::replace(&mut vm.mem, Memory::new(0, &[])));
-        pass
+        EvalOutcome {
+            pass,
+            steps: outcome.stats.steps,
+            trap: outcome.result.err().map(|t| t.kind()),
+            cache_hit: false,
+        }
     }
 
     fn stats(&self) -> EvalStats {
@@ -169,7 +220,7 @@ impl Evaluator for VmEvaluator<'_> {
 pub struct CachedEvaluator<'a> {
     inner: &'a dyn Evaluator,
     tree: &'a StructureTree,
-    cache: Mutex<HashMap<Vec<u32>, bool>>,
+    cache: Mutex<HashMap<Vec<u32>, EvalOutcome>>,
     hits: AtomicUsize,
 }
 
@@ -192,15 +243,24 @@ impl<'a> CachedEvaluator<'a> {
 
 impl Evaluator for CachedEvaluator<'_> {
     fn evaluate(&self, cfg: &Config) -> bool {
+        self.evaluate_run(cfg, &RunControl::default()).pass
+    }
+
+    fn evaluate_run(&self, cfg: &Config, ctl: &RunControl) -> EvalOutcome {
+        // A fuel-overridden (starved) run is not representative: bypass
+        // the cache entirely so it neither reads nor poisons entries.
+        if ctl.fuel_override.is_some() {
+            return self.inner.evaluate_run(cfg, ctl);
+        }
         let mut key: Vec<u32> = cfg.replaced_insns(self.tree).into_iter().map(|i| i.0).collect();
         key.sort_unstable();
         if let Some(&v) = self.cache.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return v;
+            return EvalOutcome { cache_hit: true, ..v };
         }
         // Concurrent misses on the same key may both evaluate; results are
         // deterministic, so the duplicate insert is harmless.
-        let v = self.inner.evaluate(cfg);
+        let v = self.inner.evaluate_run(cfg, ctl);
         self.cache.lock().unwrap().insert(key, v);
         v
     }

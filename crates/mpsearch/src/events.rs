@@ -1,0 +1,623 @@
+//! Structured JSONL event log of a search run.
+//!
+//! The executor emits one [`Event`] per interesting transition (search
+//! started, configuration enqueued, evaluation started/finished with its
+//! [`Verdict`], retries, quarantines, queue
+//! depth, phase boundaries). Events serialize to one JSON object per line
+//! so external tooling — and the `craft report` subcommand — can consume
+//! a run without linking against this crate.
+//!
+//! The schema is flat on purpose: every event is a single JSON object of
+//! string/integer/boolean fields plus an `"ev"` tag and a `"t_us"`
+//! timestamp (microseconds since the log was opened). [`Record`] round-
+//! trips through [`Record::to_json`] / [`Record::parse`]; the
+//! dependency-free parser lives in [`json`].
+
+use crate::executor::Verdict;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One structured event in the life of a search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The search began.
+    SearchStarted {
+        /// Human label for the workload being searched.
+        bench: String,
+        /// Number of replacement-candidate instructions.
+        candidates: usize,
+        /// Worker threads draining the queue.
+        threads: usize,
+    },
+    /// A work item entered the priority queue.
+    ConfigEnqueued {
+        /// Structural label of the enqueued node/partition.
+        label: String,
+        /// Candidate instructions covered by the item.
+        insns: usize,
+        /// Profile-count priority (0 when prioritization is off).
+        priority: u64,
+        /// Queue depth after the push.
+        depth: usize,
+    },
+    /// An evaluation attempt started.
+    EvalStarted {
+        /// Global attempt index (monotonic across the search).
+        idx: u64,
+        /// Structural label of the configuration under test.
+        label: String,
+        /// Candidate instructions replaced by the trial.
+        insns: usize,
+    },
+    /// An evaluation attempt finished with a verdict.
+    EvalFinished {
+        /// Global attempt index.
+        idx: u64,
+        /// Structural label of the configuration under test.
+        label: String,
+        /// Retry ordinal of this attempt (0 = first try).
+        attempt: usize,
+        /// The classified outcome.
+        verdict: Verdict,
+        /// Fuel spent (dynamic instructions executed; 0 if unknown).
+        steps: u64,
+        /// Wall-clock time of the attempt, in microseconds.
+        wall_us: u64,
+        /// Whether the result came from the evaluation cache.
+        cache_hit: bool,
+    },
+    /// A wedged attempt is being retried after backoff.
+    Retry {
+        /// Attempt index that failed.
+        idx: u64,
+        /// Retry ordinal about to run (1-based).
+        attempt: usize,
+        /// Backoff slept before the retry, in microseconds.
+        backoff_us: u64,
+    },
+    /// A configuration exhausted its retries and was quarantined.
+    Quarantined {
+        /// Structural label of the quarantined configuration.
+        label: String,
+        /// Number of wedged attempts observed.
+        wedged: usize,
+    },
+    /// Queue occupancy sampled at a dequeue.
+    QueueDepth {
+        /// Items waiting in the queue.
+        depth: usize,
+        /// Evaluations currently running.
+        in_flight: usize,
+    },
+    /// A search phase began (`bfs`, `union`, `second-phase`).
+    PhaseStarted {
+        /// Phase name.
+        phase: String,
+    },
+    /// A search phase completed.
+    PhaseFinished {
+        /// Phase name.
+        phase: String,
+        /// Phase wall-clock time, in microseconds.
+        wall_us: u64,
+    },
+    /// The search completed; aggregate counters.
+    SearchFinished {
+        /// Configurations tested.
+        tested: usize,
+        /// Individually passing units found.
+        passing: usize,
+        /// Attempts classified `Timeout`.
+        timeouts: usize,
+        /// Attempts classified `Crashed`.
+        crashes: usize,
+        /// Retries performed.
+        retries: usize,
+        /// Configurations quarantined.
+        quarantined: usize,
+        /// Evaluations served by the result cache.
+        cache_hits: usize,
+        /// Total search wall-clock time, in microseconds.
+        wall_us: u64,
+    },
+}
+
+impl Event {
+    /// The `"ev"` tag identifying this variant on the wire.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::SearchStarted { .. } => "search_started",
+            Event::ConfigEnqueued { .. } => "config_enqueued",
+            Event::EvalStarted { .. } => "eval_started",
+            Event::EvalFinished { .. } => "eval_finished",
+            Event::Retry { .. } => "retry",
+            Event::Quarantined { .. } => "quarantined",
+            Event::QueueDepth { .. } => "queue_depth",
+            Event::PhaseStarted { .. } => "phase_started",
+            Event::PhaseFinished { .. } => "phase_finished",
+            Event::SearchFinished { .. } => "search_finished",
+        }
+    }
+}
+
+/// A timestamped [`Event`] — exactly one line of the JSONL log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Microseconds since the log was opened.
+    pub t_us: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Record {
+    /// Serialize to one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(s, "{{\"ev\":\"{}\",\"t_us\":{}", self.event.tag(), self.t_us);
+        macro_rules! field {
+            (str $k:literal, $v:expr) => {{
+                let _ = write!(s, ",\"{}\":", $k);
+                esc(&mut s, $v);
+            }};
+            (num $k:literal, $v:expr) => {{
+                let _ = write!(s, ",\"{}\":{}", $k, $v);
+            }};
+            (bool $k:literal, $v:expr) => {{
+                let _ = write!(s, ",\"{}\":{}", $k, if $v { "true" } else { "false" });
+            }};
+        }
+        match &self.event {
+            Event::SearchStarted { bench, candidates, threads } => {
+                field!(str "bench", bench);
+                field!(num "candidates", candidates);
+                field!(num "threads", threads);
+            }
+            Event::ConfigEnqueued { label, insns, priority, depth } => {
+                field!(str "label", label);
+                field!(num "insns", insns);
+                field!(num "priority", priority);
+                field!(num "depth", depth);
+            }
+            Event::EvalStarted { idx, label, insns } => {
+                field!(num "idx", idx);
+                field!(str "label", label);
+                field!(num "insns", insns);
+            }
+            Event::EvalFinished { idx, label, attempt, verdict, steps, wall_us, cache_hit } => {
+                field!(num "idx", idx);
+                field!(str "label", label);
+                field!(num "attempt", attempt);
+                field!(str "verdict", verdict.as_str());
+                field!(num "steps", steps);
+                field!(num "wall_us", wall_us);
+                field!(bool "cache_hit", *cache_hit);
+            }
+            Event::Retry { idx, attempt, backoff_us } => {
+                field!(num "idx", idx);
+                field!(num "attempt", attempt);
+                field!(num "backoff_us", backoff_us);
+            }
+            Event::Quarantined { label, wedged } => {
+                field!(str "label", label);
+                field!(num "wedged", wedged);
+            }
+            Event::QueueDepth { depth, in_flight } => {
+                field!(num "depth", depth);
+                field!(num "in_flight", in_flight);
+            }
+            Event::PhaseStarted { phase } => {
+                field!(str "phase", phase);
+            }
+            Event::PhaseFinished { phase, wall_us } => {
+                field!(str "phase", phase);
+                field!(num "wall_us", wall_us);
+            }
+            Event::SearchFinished {
+                tested,
+                passing,
+                timeouts,
+                crashes,
+                retries,
+                quarantined,
+                cache_hits,
+                wall_us,
+            } => {
+                field!(num "tested", tested);
+                field!(num "passing", passing);
+                field!(num "timeouts", timeouts);
+                field!(num "crashes", crashes);
+                field!(num "retries", retries);
+                field!(num "quarantined", quarantined);
+                field!(num "cache_hits", cache_hits);
+                field!(num "wall_us", wall_us);
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSONL line back into a [`Record`].
+    pub fn parse(line: &str) -> Result<Record, String> {
+        let v = json::parse(line)?;
+        let tag = v.get("ev").and_then(json::Value::as_str).ok_or("missing \"ev\" tag")?;
+        let t_us = v.get("t_us").and_then(json::Value::as_u64).ok_or("missing \"t_us\"")?;
+        let s = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(json::Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field \"{k}\""))
+        };
+        let n = |k: &str| -> Result<u64, String> {
+            v.get(k).and_then(json::Value::as_u64).ok_or_else(|| format!("missing field \"{k}\""))
+        };
+        let b = |k: &str| -> Result<bool, String> {
+            v.get(k)
+                .and_then(json::Value::as_bool)
+                .ok_or_else(|| format!("missing bool field \"{k}\""))
+        };
+        let event = match tag {
+            "search_started" => Event::SearchStarted {
+                bench: s("bench")?,
+                candidates: n("candidates")? as usize,
+                threads: n("threads")? as usize,
+            },
+            "config_enqueued" => Event::ConfigEnqueued {
+                label: s("label")?,
+                insns: n("insns")? as usize,
+                priority: n("priority")?,
+                depth: n("depth")? as usize,
+            },
+            "eval_started" => Event::EvalStarted {
+                idx: n("idx")?,
+                label: s("label")?,
+                insns: n("insns")? as usize,
+            },
+            "eval_finished" => Event::EvalFinished {
+                idx: n("idx")?,
+                label: s("label")?,
+                attempt: n("attempt")? as usize,
+                verdict: Verdict::from_str(&s("verdict")?)
+                    .ok_or_else(|| format!("unknown verdict in {line:?}"))?,
+                steps: n("steps")?,
+                wall_us: n("wall_us")?,
+                cache_hit: b("cache_hit")?,
+            },
+            "retry" => Event::Retry {
+                idx: n("idx")?,
+                attempt: n("attempt")? as usize,
+                backoff_us: n("backoff_us")?,
+            },
+            "quarantined" => {
+                Event::Quarantined { label: s("label")?, wedged: n("wedged")? as usize }
+            }
+            "queue_depth" => Event::QueueDepth {
+                depth: n("depth")? as usize,
+                in_flight: n("in_flight")? as usize,
+            },
+            "phase_started" => Event::PhaseStarted { phase: s("phase")? },
+            "phase_finished" => Event::PhaseFinished { phase: s("phase")?, wall_us: n("wall_us")? },
+            "search_finished" => Event::SearchFinished {
+                tested: n("tested")? as usize,
+                passing: n("passing")? as usize,
+                timeouts: n("timeouts")? as usize,
+                crashes: n("crashes")? as usize,
+                retries: n("retries")? as usize,
+                quarantined: n("quarantined")? as usize,
+                cache_hits: n("cache_hits")? as usize,
+                wall_us: n("wall_us")?,
+            },
+            other => return Err(format!("unknown event tag {other:?}")),
+        };
+        Ok(Record { t_us, event })
+    }
+}
+
+/// A shared, append-only JSONL sink for [`Event`]s.
+///
+/// Cheap to share across worker threads: emission takes a short mutex on
+/// the underlying writer. Write errors are deliberately swallowed — an
+/// observability sink must never fail the search it observes.
+pub struct EventLog {
+    out: Mutex<Box<dyn Write + Send>>,
+    start: Instant,
+}
+
+impl EventLog {
+    /// Log to a freshly created (truncated) file at `path`.
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<EventLog> {
+        let f = std::fs::File::create(path)?;
+        Ok(EventLog::to_writer(Box::new(std::io::BufWriter::new(f))))
+    }
+
+    /// Log to an arbitrary writer.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> EventLog {
+        EventLog { out: Mutex::new(out), start: Instant::now() }
+    }
+
+    /// Log into a shared in-memory buffer (for tests): returns the log and
+    /// a handle from which the emitted bytes can be read back.
+    pub fn in_memory() -> (EventLog, Arc<Mutex<Vec<u8>>>) {
+        struct Sink(Arc<Mutex<Vec<u8>>>);
+        impl Write for Sink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (EventLog::to_writer(Box::new(Sink(buf.clone()))), buf)
+    }
+
+    /// Append one event, stamped with the elapsed time since the log
+    /// opened.
+    pub fn emit(&self, event: Event) {
+        let rec = Record { t_us: self.start.elapsed().as_micros() as u64, event };
+        let mut line = rec.to_json();
+        line.push('\n');
+        let mut out = self.out.lock().unwrap();
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+impl Drop for EventLog {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A minimal, dependency-free JSON parser (objects, arrays, strings,
+/// numbers, booleans, null) — enough for the event log and the
+/// `BENCH_*.json` files the criterion stand-in writes.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number (stored as `f64`; integers below 2^53 are exact).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+        /// The value as a float, if numeric.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+        /// The value as an unsigned integer, if numeric and non-negative.
+        pub fn as_u64(&self) -> Option<u64> {
+            self.as_f64().filter(|n| *n >= 0.0).map(|n| n as u64)
+        }
+        /// The value as a bool.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+        /// The value as a string slice.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        /// The value as an array slice.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+    }
+
+    struct P<'a> {
+        s: &'a [u8],
+        i: usize,
+    }
+
+    impl P<'_> {
+        fn ws(&mut self) {
+            while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&self) -> Option<u8> {
+            self.s.get(self.i).copied()
+        }
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", c as char, self.i))
+            }
+        }
+        fn value(&mut self) -> Result<Value, String> {
+            self.ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.lit("true", Value::Bool(true)),
+                Some(b'f') => self.lit("false", Value::Bool(false)),
+                Some(b'n') => self.lit("null", Value::Null),
+                Some(_) => self.number(),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+        fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.s[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.i))
+            }
+        }
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.i;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+            std::str::from_utf8(&self.s[start..self.i])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek().ok_or("unterminated string")? {
+                    b'"' => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    b'\\' => {
+                        self.i += 1;
+                        let e = self.peek().ok_or("unterminated escape")?;
+                        self.i += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .s
+                                    .get(self.i..self.i + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or("bad \\u escape")?;
+                                self.i += 4;
+                                out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.i - 1)),
+                        }
+                    }
+                    _ => {
+                        // advance one UTF-8 scalar
+                        let rest = std::str::from_utf8(&self.s[self.i..])
+                            .map_err(|_| "invalid utf-8".to_string())?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.i += c.len_utf8();
+                    }
+                }
+            }
+        }
+        fn array(&mut self) -> Result<Value, String> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+                }
+            }
+        }
+        fn object(&mut self) -> Result<Value, String> {
+            self.eat(b'{')?;
+            let mut fields = Vec::new();
+            self.ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.ws();
+                let k = self.string()?;
+                self.ws();
+                self.eat(b':')?;
+                let v = self.value()?;
+                fields.push((k, v));
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+                }
+            }
+        }
+    }
+
+    /// Parse a complete JSON document.
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = P { s: s.as_bytes(), i: 0 };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.s.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+}

@@ -17,13 +17,24 @@
 //!
 //! Evaluation is parallel: the queue is drained by a pool of worker
 //! threads ("this process is highly parallelizable", §2.2).
+//!
+//! Evaluations run through the fault-tolerant [`executor`]: per-run
+//! fuel/wall-clock limits, panic isolation, bounded retry with backoff,
+//! and quarantine of repeatedly wedged configurations, with every
+//! transition optionally mirrored to a JSONL [`events`] log and
+//! deterministic fault injection via [`FaultPlan`] for testing the
+//! policy itself.
 
 #![warn(missing_docs)]
 
 pub mod evaluator;
+pub mod events;
+pub mod executor;
 pub mod report;
 pub mod search;
 
-pub use evaluator::{CachedEvaluator, EvalStats, Evaluator, VmEvaluator};
+pub use evaluator::{CachedEvaluator, EvalOutcome, EvalStats, Evaluator, RunControl, VmEvaluator};
+pub use events::{Event, EventLog, Record};
+pub use executor::{ExecCounters, ExecPolicy, Executor, FaultPlan, Verdict};
 pub use report::{PassingUnit, SearchReport};
-pub use search::{search, SearchOptions, StopDepth};
+pub use search::{search, search_observed, SearchHooks, SearchOptions, StopDepth};

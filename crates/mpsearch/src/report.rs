@@ -47,6 +47,16 @@ pub struct SearchReport {
     /// Evaluations cut off by the per-run fuel budget (diverging
     /// candidates failed fast).
     pub fuel_capped: usize,
+    /// Evaluation attempts classified `Timeout` by the executor (fuel or
+    /// wall-clock exhaustion, natural or injected).
+    pub timeouts: usize,
+    /// Evaluation attempts classified `Crashed` (worker panics, trap
+    /// storms).
+    pub crashes: usize,
+    /// Retries the executor performed after wedged attempts.
+    pub retries: usize,
+    /// Configurations the executor quarantined after repeated wedging.
+    pub quarantined: usize,
 }
 
 impl SearchReport {
@@ -78,6 +88,19 @@ impl SearchReport {
         format!(
             "{:<8} eval cache hits: {:>4}   fuel-capped runs: {:>4}   elapsed: {:?}",
             name, self.cache_hits, self.fuel_capped, self.elapsed
+        )
+    }
+
+    /// One-line summary of the executor's robustness counters. Empty
+    /// when nothing abnormal happened, so callers can print it
+    /// unconditionally.
+    pub fn fault_note(&self, name: &str) -> String {
+        if self.timeouts + self.crashes + self.retries + self.quarantined == 0 {
+            return String::new();
+        }
+        format!(
+            "{:<8} timeouts: {:>3}   crashes: {:>3}   retries: {:>3}   quarantined: {:>3}",
+            name, self.timeouts, self.crashes, self.retries, self.quarantined
         )
     }
 }

@@ -1,6 +1,8 @@
 //! The breadth-first search algorithm (paper §2.2).
 
 use crate::evaluator::{CachedEvaluator, Evaluator};
+use crate::events::{Event, EventLog};
+use crate::executor::{ExecPolicy, Executor, FaultPlan, Verdict};
 use crate::report::{PassingUnit, SearchReport};
 use fpvm::isa::InsnId;
 use fpvm::Profile;
@@ -57,6 +59,25 @@ pub struct SearchOptions {
     /// (shared across all workers), so structurally different trials that
     /// instrument identically are evaluated once.
     pub eval_cache: bool,
+    /// Robustness policy for the evaluation executor (timeouts, retries,
+    /// quarantine, panic isolation).
+    pub exec: ExecPolicy,
+}
+
+impl SearchOptions {
+    /// The default worker-thread count: the `CRAFT_THREADS` environment
+    /// variable if set and parseable, otherwise
+    /// [`std::thread::available_parallelism`], clamped to `1..=16` so a
+    /// many-core host does not oversubscribe the interpreter-bound
+    /// evaluations.
+    pub fn default_threads() -> usize {
+        if let Some(n) =
+            std::env::var("CRAFT_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            return n.clamp(1, 64);
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
+    }
 }
 
 impl Default for SearchOptions {
@@ -65,13 +86,27 @@ impl Default for SearchOptions {
             stop_depth: StopDepth::Instruction,
             binary_split: true,
             prioritize: true,
-            threads: 4,
+            threads: SearchOptions::default_threads(),
             max_tests: None,
             split_threshold: 2,
             second_phase: false,
             eval_cache: true,
+            exec: ExecPolicy::default(),
         }
     }
+}
+
+/// Side-channel hooks for [`search_observed`]: deterministic fault
+/// injection and a structured event sink. [`search`] uses the inert
+/// defaults.
+#[derive(Default)]
+pub struct SearchHooks<'a> {
+    /// Label stamped on the `search_started` event.
+    pub bench: String,
+    /// Deterministic fault plan applied by the executor.
+    pub faults: FaultPlan,
+    /// JSONL event sink; `None` disables event emission.
+    pub events: Option<&'a EventLog>,
 }
 
 /// A work item: a structure node, or a binary-split partition of some
@@ -121,6 +156,7 @@ struct Ctx<'a> {
     base: &'a Config,
     profile: Option<&'a Profile>,
     opts: &'a SearchOptions,
+    events: Option<&'a EventLog>,
 }
 
 impl Ctx<'_> {
@@ -140,6 +176,15 @@ impl Ctx<'_> {
         }
     }
 
+    /// Human label for a work item (node label, plus the partition size
+    /// for binary-split subsets).
+    fn label_of(&self, item: &Item) -> String {
+        match &item.subset {
+            Some(sub) => format!("{} [{} children]", self.tree.label(item.node), sub.len()),
+            None => self.tree.label(item.node),
+        }
+    }
+
     fn push(&self, s: &mut Shared, item: Item) {
         if item.insns.is_empty() {
             return;
@@ -147,6 +192,14 @@ impl Ctx<'_> {
         let priority = self.priority_of(&item.insns);
         let seq = s.next_seq;
         s.next_seq += 1;
+        if let Some(log) = self.events {
+            log.emit(Event::ConfigEnqueued {
+                label: self.label_of(&item),
+                insns: item.insns.len(),
+                priority,
+                depth: s.queue.len() + 1,
+            });
+        }
         s.queue.push(QEntry { priority, seq: Reverse(seq), item });
     }
 
@@ -227,8 +280,24 @@ pub fn search(
     eval: &dyn Evaluator,
     opts: &SearchOptions,
 ) -> SearchReport {
+    search_observed(tree, base, profile, eval, opts, &SearchHooks::default())
+}
+
+/// [`search`], with observability and fault-injection hooks: evaluations
+/// run through the fault-tolerant [`Executor`] (they always do — plain
+/// [`search`] just uses inert hooks), structured events go to
+/// `hooks.events`, and `hooks.faults` deterministically injects failures
+/// for robustness testing.
+pub fn search_observed(
+    tree: &StructureTree,
+    base: &Config,
+    profile: Option<&Profile>,
+    eval: &dyn Evaluator,
+    opts: &SearchOptions,
+    hooks: &SearchHooks<'_>,
+) -> SearchReport {
     let start = Instant::now();
-    let ctx = Ctx { tree, base, profile, opts };
+    let ctx = Ctx { tree, base, profile, opts, events: hooks.events };
 
     // Optionally interpose the evaluation cache. All call sites below —
     // workers, the final union test, and the second phase — go through
@@ -238,9 +307,20 @@ pub fn search(
         Some(c) => c,
         None => eval,
     };
+    let exec = Executor::new(eval, tree, opts.exec.clone(), hooks.faults.clone(), hooks.events);
 
     let candidates: Vec<InsnId> =
         tree.all_insns().into_iter().filter(|&i| base.effective(tree, i) != Flag::Ignore).collect();
+
+    if let Some(log) = hooks.events {
+        log.emit(Event::SearchStarted {
+            bench: hooks.bench.clone(),
+            candidates: candidates.len(),
+            threads: opts.threads.max(1),
+        });
+        log.emit(Event::PhaseStarted { phase: "bfs".into() });
+    }
+    let phase_start = Instant::now();
 
     let shared = Mutex::new(Shared {
         queue: BinaryHeap::new(),
@@ -279,6 +359,12 @@ pub fn search(
                         }
                         if let Some(e) = s.queue.pop() {
                             s.in_flight += 1;
+                            if let Some(log) = ctx.events {
+                                log.emit(Event::QueueDepth {
+                                    depth: s.queue.len(),
+                                    in_flight: s.in_flight,
+                                });
+                            }
                             break e.item;
                         }
                         if s.in_flight == 0 {
@@ -289,7 +375,7 @@ pub fn search(
                     }
                 };
                 let cfg = ctx.trial_config(&item.insns);
-                let pass = eval.evaluate(&cfg);
+                let pass = exec.run(&cfg, &ctx.label_of(&item)) == Verdict::Pass;
                 let mut s = shared.lock().unwrap();
                 s.tested += 1;
                 if pass {
@@ -304,6 +390,14 @@ pub fn search(
     });
 
     let s = shared.into_inner().unwrap();
+    if let Some(log) = hooks.events {
+        log.emit(Event::PhaseFinished {
+            phase: "bfs".into(),
+            wall_us: phase_start.elapsed().as_micros() as u64,
+        });
+        log.emit(Event::PhaseStarted { phase: "union".into() });
+    }
+    let phase_start = Instant::now();
 
     // Compose the final configuration: the union of every individually
     // passing unit (§2.2), then test it once more.
@@ -313,8 +407,14 @@ pub fn search(
     }
 
     let mut final_config = ctx.trial_config(&replaced.iter().copied().collect::<Vec<_>>());
-    let mut final_pass = if replaced.is_empty() { true } else { eval.evaluate(&final_config) };
+    let mut final_pass = replaced.is_empty() || exec.run(&final_config, "union") == Verdict::Pass;
     let mut tested_extra = 0usize;
+    if let Some(log) = hooks.events {
+        log.emit(Event::PhaseFinished {
+            phase: "union".into(),
+            wall_us: phase_start.elapsed().as_micros() as u64,
+        });
+    }
 
     // Second phase (paper §3.1: "a second search phase may be useful, to
     // determine the largest subset of individually-passing instruction
@@ -324,6 +424,10 @@ pub fn search(
     // retest, until the composition verifies or nothing remains.
     let mut passing_units: Vec<Item> = s.passing.clone();
     if opts.second_phase && !final_pass {
+        if let Some(log) = hooks.events {
+            log.emit(Event::PhaseStarted { phase: "second-phase".into() });
+        }
+        let phase_start = Instant::now();
         passing_units.sort_by_key(|it| match profile {
             Some(p) => p.total_of(it.insns.iter().copied()),
             None => it.insns.len() as u64,
@@ -333,10 +437,17 @@ pub fn search(
             let kept: BTreeSet<InsnId> =
                 passing_units.iter().flat_map(|it| it.insns.iter().copied()).collect();
             final_config = ctx.trial_config(&kept.iter().copied().collect::<Vec<_>>());
-            final_pass = kept.is_empty() || eval.evaluate(&final_config);
+            final_pass =
+                kept.is_empty() || exec.run(&final_config, "second-phase") == Verdict::Pass;
             tested_extra += 1;
         }
         replaced = passing_units.iter().flat_map(|it| it.insns.iter().copied()).collect();
+        if let Some(log) = hooks.events {
+            log.emit(Event::PhaseFinished {
+                phase: "second-phase".into(),
+                wall_us: phase_start.elapsed().as_micros() as u64,
+            });
+        }
     }
 
     let static_pct = if candidates.is_empty() {
@@ -359,18 +470,12 @@ pub fn search(
 
     let passing = passing_units
         .iter()
-        .map(|it| PassingUnit {
-            node: it.node,
-            label: match &it.subset {
-                Some(sub) => format!("{} [{} children]", tree.label(it.node), sub.len()),
-                None => tree.label(it.node),
-            },
-            insns: it.insns.len(),
-        })
+        .map(|it| PassingUnit { node: it.node, label: ctx.label_of(it), insns: it.insns.len() })
         .collect();
 
     let estats = eval.stats();
-    SearchReport {
+    let counters = exec.counters();
+    let report = SearchReport {
         candidates: candidates.len(),
         configs_tested: s.tested + tested_extra + if replaced.is_empty() { 0 } else { 1 },
         passing,
@@ -382,7 +487,25 @@ pub fn search(
         elapsed: start.elapsed(),
         cache_hits: estats.cache_hits,
         fuel_capped: estats.fuel_capped,
+        timeouts: counters.timeouts,
+        crashes: counters.crashes,
+        retries: counters.retries,
+        quarantined: counters.quarantined,
+    };
+    if let Some(log) = hooks.events {
+        log.emit(Event::SearchFinished {
+            tested: report.configs_tested,
+            passing: report.passing.len(),
+            timeouts: report.timeouts,
+            crashes: report.crashes,
+            retries: report.retries,
+            quarantined: report.quarantined,
+            cache_hits: report.cache_hits,
+            wall_us: report.elapsed.as_micros() as u64,
+        });
+        log.flush();
     }
+    report
 }
 
 #[cfg(test)]
