@@ -58,6 +58,17 @@ fn bench(c: &mut Criterion) {
                 out.stats.steps
             })
         });
+        // Overhead of the shadow-value engine over the plain fast path:
+        // same image, same run, with every FP event mirrored in f32.
+        g.bench_function(format!("{name}.orig.shadow"), |b| {
+            b.iter(|| {
+                let mut engine = mpshadow::ShadowEngine::new(orig.insn_id_bound());
+                let mut vm = Vm::new(&orig, VmOptions::default());
+                let out = vm.run_image_observed(&orig_image, &mut engine);
+                assert_eq!(out.stats.steps, orig_steps);
+                engine.into_profile().len()
+            })
+        });
         g.bench_function(format!("{name}.instrumented"), |b| {
             b.iter(|| {
                 let out = Vm::run_program(&instr, VmOptions::default());

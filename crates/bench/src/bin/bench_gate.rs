@@ -13,6 +13,12 @@
 //! estimator on shared CI runners — and the mean is shown alongside for
 //! context. Benchmarks missing from the fresh file fail the gate;
 //! benchmarks new in the fresh file are reported but do not fail it.
+//!
+//! Improvements beyond the threshold are also flagged (`STALE`,
+//! warn-only): a baseline that much slower than reality no longer
+//! guards against regressions of the same size, so the gate asks for
+//! the committed `BENCH_*.json` to be refreshed without failing the
+//! build.
 
 use mpsearch::events::json::{self, Value};
 
@@ -60,6 +66,7 @@ fn main() {
     }
 
     let mut failed = false;
+    let mut stale = false;
     for pair in files.chunks(2) {
         let (base_path, fresh_path) = (pair[0], pair[1]);
         let (group, base) = load(base_path).unwrap_or_else(|e| {
@@ -85,6 +92,9 @@ fn main() {
             let verdict = if delta > threshold {
                 failed = true;
                 "FAIL"
+            } else if delta < -threshold {
+                stale = true;
+                "STALE"
             } else {
                 ""
             };
@@ -99,6 +109,13 @@ fn main() {
             }
         }
         println!();
+    }
+    if stale {
+        eprintln!(
+            "bench_gate: some benchmarks ran more than {threshold:.0}% FASTER than their \
+             baseline (marked STALE above); refresh the committed BENCH_*.json so the gate \
+             keeps guarding against regressions of that size (warn-only, not a failure)"
+        );
     }
     if failed {
         eprintln!("bench_gate: throughput regression beyond {threshold:.0}% detected");

@@ -63,6 +63,7 @@ fn main() {
                 bench: label.clone(),
                 faults: faults.clone(),
                 events: events.as_ref(),
+                ..Default::default()
             };
             let report = sys.run_search_with(&hooks);
             println!("{}", report.figure10_row(&label));

@@ -4,6 +4,7 @@
 //! ```text
 //! craft list                          # available benchmarks
 //! craft analyze <bench> [class]      # full search + recommendation
+//! craft shadow <bench> [class]       # shadow-value sensitivity analysis
 //! craft overhead <bench> [class]     # all-double instrumentation cost
 //! craft tree <bench> [class]         # structure tree (Fig. 4 view)
 //! craft config <bench> [class]       # initial config file (Fig. 3)
@@ -12,10 +13,12 @@
 //!
 //! Options for `analyze`: `--second-phase`, `--stop-depth=f|b|i`,
 //! `--no-split`, `--no-priority`, `--lean`, `--threads=N`,
-//! `--events=FILE` (JSONL event log), and the fault-injection drills
-//! `--inject-panic=IDX[,IDX…]` / `--inject-timeout=IDX[,IDX…]`.
+//! `--shadow-priority` / `--shadow-prune` (shadow-value search
+//! guidance), `--events=FILE` (JSONL event log), and the
+//! fault-injection drills `--inject-panic=IDX[,IDX…]` /
+//! `--inject-timeout=IDX[,IDX…]`.
 
-use mixedprec::{AnalysisOptions, AnalysisSystem, StopDepth};
+use mixedprec::{AnalysisOptions, AnalysisSystem, ShadowOptions, StopDepth};
 use mpconfig::editor::render_tree;
 use mpconfig::print_config;
 use mpsearch::events::{Event, EventLog, Record};
@@ -183,7 +186,7 @@ fn main() {
             let top = opt("--top").and_then(|t| t.parse().ok()).unwrap_or(5);
             render_report(path, top);
         }
-        "analyze" | "overhead" | "tree" | "config" => {
+        "analyze" | "shadow" | "overhead" | "tree" | "config" => {
             let bench = positional.get(1).copied().unwrap_or_else(|| {
                 eprintln!("usage: craft {cmd} <bench> [class]");
                 std::process::exit(2);
@@ -212,6 +215,11 @@ fn main() {
                         lean: flag("--lean"),
                         ..Default::default()
                     },
+                    shadow: ShadowOptions {
+                        prioritize: flag("--shadow-priority"),
+                        prune: flag("--shadow-prune"),
+                        ..Default::default()
+                    },
                 },
             );
             match cmd {
@@ -234,6 +242,7 @@ fn main() {
                             ..Default::default()
                         },
                         events: events.as_ref(),
+                        shadow: None,
                     };
                     let rec = sys.recommend_with(&hooks);
                     let r = &rec.report;
@@ -254,8 +263,78 @@ fn main() {
                             r.timeouts, r.crashes, r.retries, r.quarantined
                         );
                     }
+                    if r.pruned_by_shadow > 0 {
+                        println!("shadow-pruned        : {}", r.pruned_by_shadow);
+                    }
                     println!("\n--- recommended configuration ---");
                     print!("{}", rec.config_text);
+                }
+                "shadow" => {
+                    let profile = sys.shadow_profile();
+                    let tree = sys.tree();
+                    println!("benchmark            : {bench}.{class}");
+                    println!("instructions shadowed: {}", profile.len());
+                    println!(
+                        "shadowed executions  : {}",
+                        profile.insns.values().map(|s| s.count).sum::<u64>()
+                    );
+                    println!("cancellation events  : {}", profile.total_cancellations());
+
+                    // label lookup: instruction id -> structure-tree position
+                    let mut labels = HashMap::new();
+                    for (mi, m) in tree.modules.iter().enumerate() {
+                        for (fi, f) in m.funcs.iter().enumerate() {
+                            for (bi, b) in f.blocks.iter().enumerate() {
+                                for (ii, e) in b.insns.iter().enumerate() {
+                                    labels.insert(e.id.0, mpconfig::NodeRef::Insn(mi, fi, bi, ii));
+                                }
+                            }
+                        }
+                    }
+                    let top = opt("--top").and_then(|t| t.parse().ok()).unwrap_or(10);
+                    let mut ranked: Vec<_> = profile.insns.iter().collect();
+                    ranked.sort_by(|a, b| b.1.max_rel.total_cmp(&a.1.max_rel).then(a.0.cmp(b.0)));
+                    println!("\ntop {} by max divergence:", top.min(ranked.len()));
+                    println!(
+                        "  {:>9}  {:>9}  {:>8}  {:>7}  insn",
+                        "max_rel", "mean_rel", "count", "cancels"
+                    );
+                    for (id, s) in ranked.iter().take(top) {
+                        let label = labels
+                            .get(id)
+                            .map(|&n| tree.label(n))
+                            .unwrap_or_else(|| format!("insn {id}"));
+                        println!(
+                            "  {:>9.2e}  {:>9.2e}  {:>8}  {:>7}  {label}",
+                            s.max_rel,
+                            s.mean_rel(),
+                            s.count,
+                            s.cancels
+                        );
+                    }
+
+                    let blocks = profile.block_aggregates(tree);
+                    if !blocks.is_empty() {
+                        println!("\nper-block aggregates:");
+                        println!("  {:>9}  {:>8}  {:>7}  block", "max_rel", "count", "cancels");
+                        for (node, agg) in &blocks {
+                            println!(
+                                "  {:>9.2e}  {:>8}  {:>7}  {}",
+                                agg.max_rel,
+                                agg.count,
+                                agg.cancels,
+                                tree.label(*node)
+                            );
+                        }
+                    }
+
+                    if let Some(path) = opt("--out") {
+                        if let Err(e) = profile.to_file(&path) {
+                            eprintln!("cannot write {path}: {e}");
+                            std::process::exit(2);
+                        }
+                        println!("\nprofile written to {path}");
+                    }
                 }
                 "overhead" => {
                     let o = sys.overhead_all_double();
@@ -276,8 +355,10 @@ fn main() {
             println!("  craft list");
             println!("  craft analyze  <bench> [class] [--second-phase] [--stop-depth=f|b|i]");
             println!("                 [--no-split] [--no-priority] [--lean] [--threads=N]");
+            println!("                 [--shadow-priority] [--shadow-prune]");
             println!("                 [--events=FILE] [--inject-panic=IDX[,IDX..]]");
             println!("                 [--inject-timeout=IDX[,IDX..]]");
+            println!("  craft shadow   <bench> [class] [--top=N] [--out=FILE]");
             println!("  craft overhead <bench> [class]");
             println!("  craft tree     <bench> [class]");
             println!("  craft config   <bench> [class]");

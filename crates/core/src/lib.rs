@@ -20,7 +20,9 @@ use fpvm::isa::{FpAluOp, InstKind, Prec, Width};
 use fpvm::{Profile, Vm, VmOptions};
 use instrument::{rewrite_all_double, RewriteOptions};
 use mpconfig::{Config, Flag, StructureTree};
-use mpsearch::{search_observed, SearchHooks, SearchOptions, SearchReport, VmEvaluator};
+use mpsearch::{
+    search_observed, SearchHooks, SearchOptions, SearchReport, ShadowOracle, VmEvaluator,
+};
 use std::time::Instant;
 use workloads::Workload;
 
@@ -33,6 +35,31 @@ pub struct AnalysisOptions {
     pub search: SearchOptions,
     /// Rewriter options (§2.3–2.4).
     pub rewrite: RewriteOptions,
+    /// Shadow-value analysis options (see `mpshadow`).
+    pub shadow: ShadowOptions,
+}
+
+/// How the shadow-value sensitivity profile guides the search.
+#[derive(Debug, Clone)]
+pub struct ShadowOptions {
+    /// Rank search-queue items by low shadow error (profile counts break
+    /// ties). Changes test *order* only, never results.
+    pub prioritize: bool,
+    /// Skip-as-failed items whose worst *instruction-local* shadow error
+    /// exceeds `tolerance × prune_margin`, refining them directly.
+    pub prune: bool,
+    /// Margin between the workload's verification tolerance and the
+    /// prune threshold. Ordinary one-step truncation error is ~1e-7
+    /// relative; the margin keeps the threshold far above it so only
+    /// instructions the shadow run shows to be genuinely amplified
+    /// (cancellation blow-ups, f32 range overflow) are pruned.
+    pub prune_margin: f64,
+}
+
+impl Default for ShadowOptions {
+    fn default() -> Self {
+        ShadowOptions { prioritize: false, prune: false, prune_margin: 100.0 }
+    }
 }
 
 /// The assembled analysis system for one workload.
@@ -166,15 +193,53 @@ impl AnalysisSystem {
     /// event sink and/or a deterministic fault plan for the evaluation
     /// executor.
     pub fn run_search_with(&self, hooks: &SearchHooks<'_>) -> SearchReport {
+        self.search_with_profile(hooks).0
+    }
+
+    /// Run the workload once under the shadow-value engine and return
+    /// the per-instruction sensitivity profile (see `mpshadow`).
+    pub fn shadow_profile(&self) -> mpshadow::SensitivityProfile {
+        mpshadow::shadow_run(self.workload.program(), self.workload.vm_opts()).profile
+    }
+
+    /// Shared search driver: profiles the original binary, optionally
+    /// runs the shadow analysis and plugs it into the hooks as an
+    /// oracle, then runs the observed search.
+    fn search_with_profile(&self, hooks: &SearchHooks<'_>) -> (SearchReport, Profile) {
         let profile = self.profile();
-        search_observed(
-            &self.tree,
-            &self.base,
-            Some(&profile),
-            &self.evaluator(),
-            &self.opts.search,
-            hooks,
-        )
+        let sh = &self.opts.shadow;
+        let sprof = (sh.prioritize || sh.prune).then(|| self.shadow_profile());
+        let report = match &sprof {
+            Some(sp) => {
+                let hooks = SearchHooks {
+                    bench: hooks.bench.clone(),
+                    faults: hooks.faults.clone(),
+                    events: hooks.events,
+                    shadow: Some(ShadowOracle {
+                        profile: sp,
+                        prioritize: sh.prioritize,
+                        prune_threshold: sh.prune.then_some(self.workload.tol * sh.prune_margin),
+                    }),
+                };
+                search_observed(
+                    &self.tree,
+                    &self.base,
+                    Some(&profile),
+                    &self.evaluator(),
+                    &self.opts.search,
+                    &hooks,
+                )
+            }
+            None => search_observed(
+                &self.tree,
+                &self.base,
+                Some(&profile),
+                &self.evaluator(),
+                &self.opts.search,
+                hooks,
+            ),
+        };
+        (report, profile)
     }
 
     /// Full pipeline: search, compose, and package the recommendation.
@@ -185,15 +250,7 @@ impl AnalysisSystem {
     /// [`AnalysisSystem::recommend`] with observability/fault-injection
     /// hooks for the underlying search.
     pub fn recommend_with(&self, hooks: &SearchHooks<'_>) -> Recommendation {
-        let profile = self.profile();
-        let report = search_observed(
-            &self.tree,
-            &self.base,
-            Some(&profile),
-            &self.evaluator(),
-            &self.opts.search,
-            hooks,
-        );
+        let (report, profile) = self.search_with_profile(hooks);
         let config_text = mpconfig::print_config(&self.tree, &report.final_config);
         let modelled_speedup = model_speedup(
             self.workload.program(),

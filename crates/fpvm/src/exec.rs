@@ -22,6 +22,138 @@ use crate::isa::*;
 use crate::program::Program;
 use crate::trap::Trap;
 
+/// A resolved floating-point location observed on the fast path: an XMM
+/// register's low lanes, or an absolute memory address (operand address
+/// computation already applied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FpLocV {
+    /// XMM register index (the low 64 bits hold the scalar).
+    Reg(u8),
+    /// Absolute byte address of a 64-bit slot.
+    Mem(u64),
+}
+
+/// One floating-point-relevant machine event, reported by the observed
+/// fast path ([`Vm::run_image_observed`]) *after* the primary
+/// architectural effect has been applied. Observers receive copies of the
+/// values involved and can never influence the primary execution.
+#[derive(Debug, Clone, Copy)]
+pub enum FpEvent {
+    /// Scalar double arithmetic `dst ← op(dst, src)`.
+    Arith64 {
+        /// Instruction id.
+        insn: InsnId,
+        /// The ALU operation.
+        op: FpAluOp,
+        /// Destination XMM register.
+        dst: u8,
+        /// Resolved source location.
+        src: FpLocV,
+        /// First (destination) operand value.
+        a: f64,
+        /// Second (source) operand value.
+        b: f64,
+        /// Result written to `dst`.
+        r: f64,
+    },
+    /// Scalar double square root `dst ← sqrt(src)`.
+    Sqrt64 {
+        /// Instruction id.
+        insn: InsnId,
+        /// Destination XMM register.
+        dst: u8,
+        /// Resolved source location.
+        src: FpLocV,
+        /// Operand value.
+        b: f64,
+        /// Result written to `dst`.
+        r: f64,
+    },
+    /// Scalar double math-library call `dst ← fun(src)`.
+    Math64 {
+        /// Instruction id.
+        insn: InsnId,
+        /// The math function.
+        fun: MathFun,
+        /// Destination XMM register.
+        dst: u8,
+        /// Resolved source location.
+        src: FpLocV,
+        /// Operand value.
+        b: f64,
+        /// Result written to `dst`.
+        r: f64,
+    },
+    /// Widening convert `dst ← f64(value)` (`cvtss2sd`): the double result
+    /// is exactly representable in single precision.
+    Widen64 {
+        /// Instruction id.
+        insn: InsnId,
+        /// Destination XMM register.
+        dst: u8,
+        /// The single-precision source value.
+        value: f32,
+    },
+    /// Integer-to-double convert `dst ← f64(v)` (`cvtsi2sd`).
+    Int64 {
+        /// Instruction id.
+        insn: InsnId,
+        /// Destination XMM register.
+        dst: u8,
+        /// The integer source value.
+        v: i64,
+    },
+    /// A 64-bit FP move of `bits` from `src` to `dst` (`movsd`).
+    Mov64 {
+        /// Resolved destination location.
+        dst: FpLocV,
+        /// Resolved source location.
+        src: FpLocV,
+        /// The moved bit pattern.
+        bits: u64,
+    },
+    /// A write that overwrites `width` bytes at `loc` with data the
+    /// observer cannot track as a scalar double: low-32 writes, packed
+    /// results, 128-bit moves, integer stores. Any tracked value
+    /// overlapping the written range is no longer valid.
+    Clobber {
+        /// Resolved written location.
+        loc: FpLocV,
+        /// Bytes written (4, 8, or 16).
+        width: u8,
+    },
+}
+
+/// An observer of floating-point events on the pre-decoded fast path.
+///
+/// The hook is statically gated: every event construction and `trace`
+/// call in [`Vm::run_image_observed`] sits behind `if O::ENABLED`, so a
+/// disabled observer (notably [`NoopObserver`], which [`Vm::run_image`]
+/// uses) monomorphizes to the exact unobserved hot loop — zero cost and
+/// bit-identical by construction. Observers only ever receive copies of
+/// values; they cannot affect the primary execution.
+pub trait ExecObserver {
+    /// Statically enables event reporting. `false` compiles all
+    /// observation out of the dispatch loop.
+    const ENABLED: bool;
+
+    /// Called once per FP-relevant event, after the primary architectural
+    /// effect of the instruction has been applied.
+    fn trace(&mut self, ev: &FpEvent);
+}
+
+/// The inert observer: [`ExecObserver::ENABLED`]` = false`, so the
+/// observed fast path compiles down to the plain one.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl ExecObserver for NoopObserver {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn trace(&mut self, _ev: &FpEvent) {}
+}
+
 /// Register-slot sentinel meaning "absent" in [`MemD`].
 const NO_REG: u8 = u8::MAX;
 
@@ -487,23 +619,60 @@ impl<'p> Vm<'p> {
         *r = (*r & !(u128::from(u32::MAX))) | u128::from(v);
     }
 
+    /// Resolve a pre-decoded XMM-or-memory operand to an observer
+    /// location (only called on the observed path).
+    #[inline(always)]
+    fn loc_of_rm(&self, src: &RmD) -> FpLocV {
+        match src {
+            RmD::Reg(x) => FpLocV::Reg(*x),
+            RmD::Mem(m) => FpLocV::Mem(self.d_addr(m)),
+        }
+    }
+
+    /// Resolve a pre-decoded FP location to an observer location (only
+    /// called on the observed path).
+    #[inline(always)]
+    fn loc_of_fp(&self, l: &FpLocD) -> FpLocV {
+        match l {
+            FpLocD::Reg(x) => FpLocV::Reg(*x),
+            FpLocD::Mem(m) => FpLocV::Mem(self.d_addr(m)),
+        }
+    }
+
     /// Run a pre-decoded image on this VM: the fast path equivalent of
     /// [`Vm::run`], bit-identical in results, stats, traps, and profile.
     ///
     /// `image` must have been compiled from the same program and cost
     /// model this VM was created with.
     pub fn run_image(&mut self, image: &ExecImage) -> RunOutcome {
+        self.run_image_observed(image, &mut NoopObserver)
+    }
+
+    /// [`Vm::run_image`] with an [`ExecObserver`] attached. The observer
+    /// receives every FP-relevant event ([`FpEvent`]) after its primary
+    /// architectural effect; it cannot change the execution, and with
+    /// [`NoopObserver`] this *is* [`Vm::run_image`] (the gate is a
+    /// compile-time constant).
+    pub fn run_image_observed<O: ExecObserver>(
+        &mut self,
+        image: &ExecImage,
+        obs: &mut O,
+    ) -> RunOutcome {
         assert_eq!(
             image.insn_bound,
             self.prog.insn_id_bound(),
             "ExecImage does not match this VM's program"
         );
         assert_eq!(image.cost, self.opts.cost, "ExecImage compiled under a different cost model");
-        let result = self.run_image_inner(image);
+        let result = self.run_image_inner(image, obs);
         RunOutcome { stats: self.stats, result, profile: self.profile.take() }
     }
 
-    fn run_image_inner(&mut self, image: &ExecImage) -> Result<(), Trap> {
+    fn run_image_inner<O: ExecObserver>(
+        &mut self,
+        image: &ExecImage,
+        obs: &mut O,
+    ) -> Result<(), Trap> {
         let ops = &image.ops[..];
         let mut pc = image.entry as usize;
         let mut ret_stack: Vec<u32> = Vec::with_capacity(64);
@@ -530,12 +699,26 @@ impl<'p> Vm<'p> {
                     self.check_flag64(b, op.id)?;
                     let r = Self::fp_alu_f64(*o, f64::from_bits(a), f64::from_bits(b));
                     self.set_lo64(*dst, r.to_bits());
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Arith64 {
+                            insn: op.id,
+                            op: *o,
+                            dst: *dst,
+                            src: self.loc_of_rm(src),
+                            a: f64::from_bits(a),
+                            b: f64::from_bits(b),
+                            r,
+                        });
+                    }
                 }
                 OpK::ArithF32 { op: o, dst, src } => {
                     let a = self.xmm[*dst as usize] as u32;
                     let b = self.d_rm32(src)?;
                     let r = Self::fp_alu_f32(*o, f32::from_bits(a), f32::from_bits(b));
                     self.set_lo32(*dst, r.to_bits());
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 4 });
+                    }
                 }
                 OpK::ArithPd { op: o, dst, src } => {
                     let a = self.xmm[*dst as usize];
@@ -550,6 +733,9 @@ impl<'p> Vm<'p> {
                         out |= u128::from(r.to_bits()) << (64 * lane);
                     }
                     self.xmm[*dst as usize] = out;
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 16 });
+                    }
                 }
                 OpK::ArithPs { op: o, dst, src } => {
                     let a = self.xmm[*dst as usize];
@@ -562,15 +748,31 @@ impl<'p> Vm<'p> {
                         out |= u128::from(r.to_bits()) << (32 * lane);
                     }
                     self.xmm[*dst as usize] = out;
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 16 });
+                    }
                 }
                 OpK::SqrtF64 { dst, src } => {
                     let b = self.d_rm64(src)?;
                     self.check_flag64(b, op.id)?;
-                    self.set_lo64(*dst, f64::from_bits(b).sqrt().to_bits());
+                    let r = f64::from_bits(b).sqrt();
+                    self.set_lo64(*dst, r.to_bits());
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Sqrt64 {
+                            insn: op.id,
+                            dst: *dst,
+                            src: self.loc_of_rm(src),
+                            b: f64::from_bits(b),
+                            r,
+                        });
+                    }
                 }
                 OpK::SqrtF32 { dst, src } => {
                     let b = self.d_rm32(src)?;
                     self.set_lo32(*dst, f32::from_bits(b).sqrt().to_bits());
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 4 });
+                    }
                 }
                 OpK::SqrtPd { dst, src } => {
                     let b = self.d_rm128(src)?;
@@ -581,6 +783,9 @@ impl<'p> Vm<'p> {
                         out |= u128::from(f64::from_bits(bb).sqrt().to_bits()) << (64 * lane);
                     }
                     self.xmm[*dst as usize] = out;
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 16 });
+                    }
                 }
                 OpK::SqrtPs { dst, src } => {
                     let b = self.d_rm128(src)?;
@@ -590,15 +795,32 @@ impl<'p> Vm<'p> {
                         out |= u128::from(f32::from_bits(bb).sqrt().to_bits()) << (32 * lane);
                     }
                     self.xmm[*dst as usize] = out;
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 16 });
+                    }
                 }
                 OpK::MathF64 { fun, dst, src } => {
                     let b = self.d_rm64(src)?;
                     self.check_flag64(b, op.id)?;
-                    self.set_lo64(*dst, Self::math_f64(*fun, f64::from_bits(b)).to_bits());
+                    let r = Self::math_f64(*fun, f64::from_bits(b));
+                    self.set_lo64(*dst, r.to_bits());
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Math64 {
+                            insn: op.id,
+                            fun: *fun,
+                            dst: *dst,
+                            src: self.loc_of_rm(src),
+                            b: f64::from_bits(b),
+                            r,
+                        });
+                    }
                 }
                 OpK::MathF32 { fun, dst, src } => {
                     let b = self.d_rm32(src)?;
                     self.set_lo32(*dst, Self::math_f32(*fun, f32::from_bits(b)).to_bits());
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 4 });
+                    }
                 }
                 OpK::UcomiF64 { lhs, src } => {
                     let a = self.xmm[*lhs as usize] as u64;
@@ -617,18 +839,34 @@ impl<'p> Vm<'p> {
                     let b = self.d_rm64(src)?;
                     self.check_flag64(b, op.id)?;
                     self.set_lo32(*dst, (f64::from_bits(b) as f32).to_bits());
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 4 });
+                    }
                 }
                 OpK::CvtToF64 { dst, src } => {
                     let b = self.d_rm32(src)?;
                     self.set_lo64(*dst, (f32::from_bits(b) as f64).to_bits());
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Widen64 {
+                            insn: op.id,
+                            dst: *dst,
+                            value: f32::from_bits(b),
+                        });
+                    }
                 }
                 OpK::CvtI2F64 { dst, src } => {
                     let v = self.d_gmi(src)? as i64;
                     self.set_lo64(*dst, (v as f64).to_bits());
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Int64 { insn: op.id, dst: *dst, v });
+                    }
                 }
                 OpK::CvtI2F32 { dst, src } => {
                     let v = self.d_gmi(src)? as i64;
                     self.set_lo32(*dst, (v as f32).to_bits());
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 4 });
+                    }
                 }
                 OpK::CvtF64ToI { dst, src } => {
                     let b = self.d_rm64(src)?;
@@ -648,6 +886,9 @@ impl<'p> Vm<'p> {
                         FpLocD::Reg(x) => self.set_lo32(*x, v),
                         FpLocD::Mem(m) => self.mem.store_u32(self.d_addr(m), v)?,
                     }
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: self.loc_of_fp(dst), width: 4 });
+                    }
                 }
                 OpK::MovF64 { dst, src } => {
                     let v = match src {
@@ -657,6 +898,13 @@ impl<'p> Vm<'p> {
                     match dst {
                         FpLocD::Reg(x) => self.set_lo64(*x, v),
                         FpLocD::Mem(m) => self.mem.store_u64(self.d_addr(m), v)?,
+                    }
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Mov64 {
+                            dst: self.loc_of_fp(dst),
+                            src: self.loc_of_fp(src),
+                            bits: v,
+                        });
                     }
                 }
                 OpK::MovF128 { dst, src } => {
@@ -668,6 +916,9 @@ impl<'p> Vm<'p> {
                         FpLocD::Reg(x) => self.xmm[*x as usize] = v,
                         FpLocD::Mem(m) => self.mem.store_u128(self.d_addr(m), v)?,
                     }
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: self.loc_of_fp(dst), width: 16 });
+                    }
                 }
                 OpK::PExtrQ { dst, src, sh } => {
                     self.gpr[*dst as usize] = (self.xmm[*src as usize] >> sh) as u64;
@@ -676,6 +927,10 @@ impl<'p> Vm<'p> {
                     let v = self.gpr[*src as usize];
                     let r = &mut self.xmm[*dst as usize];
                     *r = (*r & !(u128::from(u64::MAX) << sh)) | (u128::from(v) << sh);
+                    // Only a low-lane insert overwrites the scalar slot.
+                    if O::ENABLED && *sh == 0 {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 8 });
+                    }
                 }
                 OpK::IntAlu { op: o, dst, src } => {
                     let a = self.gpr[*dst as usize];
@@ -713,6 +968,12 @@ impl<'p> Vm<'p> {
                 OpK::MovIM { dst, src } => {
                     let v = self.d_gmi(src)?;
                     self.mem.store_u64(self.d_addr(dst), v)?;
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber {
+                            loc: FpLocV::Mem(self.d_addr(dst)),
+                            width: 8,
+                        });
+                    }
                 }
                 OpK::Cmp { lhs, src } => {
                     let a = self.gpr[*lhs as usize];
@@ -730,6 +991,9 @@ impl<'p> Vm<'p> {
                     let rsp = self.gpr[Gpr::RSP.0 as usize].wrapping_sub(8);
                     self.mem.store_u64(rsp, self.gpr[*src as usize])?;
                     self.gpr[Gpr::RSP.0 as usize] = rsp;
+                    if O::ENABLED {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Mem(rsp), width: 8 });
+                    }
                 }
                 OpK::Pop { dst } => {
                     let rsp = self.gpr[Gpr::RSP.0 as usize];

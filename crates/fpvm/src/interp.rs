@@ -238,7 +238,10 @@ impl<'p> Vm<'p> {
         }
     }
 
-    pub(crate) fn fp_alu_f32(op: FpAluOp, a: f32, b: f32) -> f32 {
+    /// Scalar single-precision ALU semantics (x86 `min`/`max` source
+    /// preference included). Public so shadow-value analyses apply the
+    /// exact operation the interpreter would.
+    pub fn fp_alu_f32(op: FpAluOp, a: f32, b: f32) -> f32 {
         match op {
             FpAluOp::Add => a + b,
             FpAluOp::Sub => a - b,
@@ -272,7 +275,9 @@ impl<'p> Vm<'p> {
         }
     }
 
-    pub(crate) fn math_f32(fun: MathFun, x: f32) -> f32 {
+    /// Scalar single-precision math-library semantics. Public for the
+    /// same reason as [`Vm::fp_alu_f32`].
+    pub fn math_f32(fun: MathFun, x: f32) -> f32 {
         match fun {
             MathFun::Sin => x.sin(),
             MathFun::Cos => x.cos(),

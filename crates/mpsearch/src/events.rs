@@ -78,6 +78,17 @@ pub enum Event {
         /// Backoff slept before the retry, in microseconds.
         backoff_us: u64,
     },
+    /// A work item was skipped without evaluation because its shadow
+    /// error already exceeded the verification threshold.
+    ShadowPruned {
+        /// Structural label of the pruned item.
+        label: String,
+        /// Worst shadow-run relative divergence over the item's
+        /// instructions.
+        err: f64,
+        /// Prune threshold (verification tolerance × margin).
+        threshold: f64,
+    },
     /// A configuration exhausted its retries and was quarantined.
     Quarantined {
         /// Structural label of the quarantined configuration.
@@ -134,6 +145,7 @@ impl Event {
             Event::EvalStarted { .. } => "eval_started",
             Event::EvalFinished { .. } => "eval_finished",
             Event::Retry { .. } => "retry",
+            Event::ShadowPruned { .. } => "shadow_pruned",
             Event::Quarantined { .. } => "quarantined",
             Event::QueueDepth { .. } => "queue_depth",
             Event::PhaseStarted { .. } => "phase_started",
@@ -217,6 +229,11 @@ impl Record {
                 field!(num "idx", idx);
                 field!(num "attempt", attempt);
                 field!(num "backoff_us", backoff_us);
+            }
+            Event::ShadowPruned { label, err, threshold } => {
+                field!(str "label", label);
+                // `{:?}` prints the shortest exact round-trip form.
+                let _ = write!(s, ",\"err\":{:?},\"threshold\":{:?}", err, threshold);
             }
             Event::Quarantined { label, wedged } => {
                 field!(str "label", label);
@@ -308,6 +325,18 @@ impl Record {
                 attempt: n("attempt")? as usize,
                 backoff_us: n("backoff_us")?,
             },
+            "shadow_pruned" => {
+                let f = |k: &str| -> Result<f64, String> {
+                    v.get(k)
+                        .and_then(json::Value::as_f64)
+                        .ok_or_else(|| format!("missing float field \"{k}\""))
+                };
+                Event::ShadowPruned {
+                    label: s("label")?,
+                    err: f("err")?,
+                    threshold: f("threshold")?,
+                }
+            }
             "quarantined" => {
                 Event::Quarantined { label: s("label")?, wedged: n("wedged")? as usize }
             }

@@ -37,4 +37,4 @@ pub use evaluator::{CachedEvaluator, EvalOutcome, EvalStats, Evaluator, RunContr
 pub use events::{Event, EventLog, Record};
 pub use executor::{ExecCounters, ExecPolicy, Executor, FaultPlan, Verdict};
 pub use report::{PassingUnit, SearchReport};
-pub use search::{search, search_observed, SearchHooks, SearchOptions, StopDepth};
+pub use search::{search, search_observed, SearchHooks, SearchOptions, ShadowOracle, StopDepth};

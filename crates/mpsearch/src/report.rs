@@ -57,6 +57,9 @@ pub struct SearchReport {
     pub retries: usize,
     /// Configurations the executor quarantined after repeated wedging.
     pub quarantined: usize,
+    /// Work items skipped without evaluation because their shadow-run
+    /// error already exceeded the verification threshold.
+    pub pruned_by_shadow: usize,
 }
 
 impl SearchReport {
@@ -102,5 +105,14 @@ impl SearchReport {
             "{:<8} timeouts: {:>3}   crashes: {:>3}   retries: {:>3}   quarantined: {:>3}",
             name, self.timeouts, self.crashes, self.retries, self.quarantined
         )
+    }
+
+    /// One-line summary of shadow-oracle activity. Empty when no item
+    /// was pruned, so callers can print it unconditionally.
+    pub fn shadow_note(&self, name: &str) -> String {
+        if self.pruned_by_shadow == 0 {
+            return String::new();
+        }
+        format!("{:<8} shadow-pruned: {:>4}", name, self.pruned_by_shadow)
     }
 }

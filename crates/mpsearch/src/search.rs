@@ -70,11 +70,25 @@ impl SearchOptions {
     /// [`std::thread::available_parallelism`], clamped to `1..=16` so a
     /// many-core host does not oversubscribe the interpreter-bound
     /// evaluations.
+    /// A malformed or zero value falls back to the automatic default
+    /// with a warning rather than being silently ignored.
     pub fn default_threads() -> usize {
-        if let Some(n) =
-            std::env::var("CRAFT_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            return n.clamp(1, 64);
+        if let Ok(v) = std::env::var("CRAFT_THREADS") {
+            match v.trim().parse::<usize>() {
+                Ok(0) => {
+                    eprintln!(
+                        "warning: CRAFT_THREADS=0 is invalid (need at least one worker); \
+                         using automatic thread count"
+                    );
+                }
+                Ok(n) => return n.clamp(1, 64),
+                Err(_) => {
+                    eprintln!(
+                        "warning: CRAFT_THREADS={v:?} is not a number; \
+                         using automatic thread count"
+                    );
+                }
+            }
         }
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
     }
@@ -97,8 +111,8 @@ impl Default for SearchOptions {
 }
 
 /// Side-channel hooks for [`search_observed`]: deterministic fault
-/// injection and a structured event sink. [`search`] uses the inert
-/// defaults.
+/// injection, a structured event sink, and an optional shadow-value
+/// oracle. [`search`] uses the inert defaults.
 #[derive(Default)]
 pub struct SearchHooks<'a> {
     /// Label stamped on the `search_started` event.
@@ -107,6 +121,39 @@ pub struct SearchHooks<'a> {
     pub faults: FaultPlan,
     /// JSONL event sink; `None` disables event emission.
     pub events: Option<&'a EventLog>,
+    /// Shadow-value oracle for prioritization and pruning; `None`
+    /// leaves the search exactly as without the subsystem.
+    pub shadow: Option<ShadowOracle<'a>>,
+}
+
+/// A shadow-run sensitivity profile plugged into the search as an
+/// oracle (see `mpshadow`).
+///
+/// * **Prioritization** — with `prioritize` set, queue priority becomes
+///   `(error_class << 48) | profile_count`: items whose instructions
+///   diverged least under full truncation are popped first, with the
+///   execution-count heuristic breaking ties within a class. Order alone
+///   never changes *which* items get tested, so results are unchanged.
+/// * **Pruning** — with `prune_threshold` set, an item whose worst
+///   *instruction-local* shadow error exceeds the threshold is treated
+///   as a failed evaluation without running it: it is expanded into
+///   finer-grained work and counted in
+///   [`SearchReport::pruned_by_shadow`] instead of `configs_tested`.
+///   Pruning deliberately uses the local metric, not the propagated
+///   divergence — the shadow run truncates *everything* at once, so
+///   propagated error wildly overestimates what replacing one unit
+///   introduces. The union and second-phase evaluations are never
+///   pruned, so a misprediction costs extra refinement, not a wrong
+///   final configuration.
+#[derive(Clone, Copy)]
+pub struct ShadowOracle<'a> {
+    /// Per-instruction shadow-error statistics from one shadowed run.
+    pub profile: &'a mpshadow::SensitivityProfile,
+    /// Rank queue items by (low) shadow error before profile counts.
+    pub prioritize: bool,
+    /// Skip-as-failed items whose worst instruction-local shadow error
+    /// exceeds this; `None` disables pruning.
+    pub prune_threshold: Option<f64>,
 }
 
 /// A work item: a structure node, or a binary-split partition of some
@@ -146,6 +193,7 @@ struct Shared {
     queue: BinaryHeap<QEntry>,
     in_flight: usize,
     tested: usize,
+    pruned: usize,
     next_seq: u64,
     passing: Vec<Item>,
     stopped: bool,
@@ -157,6 +205,7 @@ struct Ctx<'a> {
     profile: Option<&'a Profile>,
     opts: &'a SearchOptions,
     events: Option<&'a EventLog>,
+    shadow: Option<ShadowOracle<'a>>,
 }
 
 impl Ctx<'_> {
@@ -170,9 +219,22 @@ impl Ctx<'_> {
     }
 
     fn priority_of(&self, insns: &[InsnId]) -> u64 {
-        match (self.opts.prioritize, self.profile) {
-            (true, Some(p)) => p.total_of(insns.iter().copied()),
-            _ => 0,
+        if !self.opts.prioritize {
+            return 0;
+        }
+        let count = match self.profile {
+            Some(p) => p.total_of(insns.iter().copied()),
+            None => 0,
+        };
+        match self.shadow {
+            // Shadow-guided ranking: the error class (higher = smaller
+            // divergence) dominates, profile counts break ties within a
+            // class. 48 bits of count is far beyond any real fuel budget.
+            Some(o) if o.prioritize => {
+                let err = o.profile.max_rel_over(insns.iter().copied());
+                (mpshadow::error_class(err) << 48) | count.min((1 << 48) - 1)
+            }
+            _ => count,
         }
     }
 
@@ -297,7 +359,7 @@ pub fn search_observed(
     hooks: &SearchHooks<'_>,
 ) -> SearchReport {
     let start = Instant::now();
-    let ctx = Ctx { tree, base, profile, opts, events: hooks.events };
+    let ctx = Ctx { tree, base, profile, opts, events: hooks.events, shadow: hooks.shadow };
 
     // Optionally interpose the evaluation cache. All call sites below —
     // workers, the final union test, and the second phase — go through
@@ -326,6 +388,7 @@ pub fn search_observed(
         queue: BinaryHeap::new(),
         in_flight: 0,
         tested: 0,
+        pruned: 0,
         next_seq: 0,
         passing: Vec::new(),
         stopped: false,
@@ -374,6 +437,30 @@ pub fn search_observed(
                         s = cond.wait(s).unwrap();
                     }
                 };
+                // Shadow pruning: an item whose worst instruction-local
+                // shadow error already exceeds the threshold is expanded
+                // like a failed evaluation, without paying for the
+                // evaluation.
+                if let Some(oracle) = ctx.shadow {
+                    if let Some(threshold) = oracle.prune_threshold {
+                        let err = oracle.profile.max_local_over(item.insns.iter().copied());
+                        if err > threshold {
+                            if let Some(log) = ctx.events {
+                                log.emit(Event::ShadowPruned {
+                                    label: ctx.label_of(&item),
+                                    err,
+                                    threshold,
+                                });
+                            }
+                            let mut s = shared.lock().unwrap();
+                            s.pruned += 1;
+                            ctx.expand(&mut s, &item);
+                            s.in_flight -= 1;
+                            cond.notify_all();
+                            continue;
+                        }
+                    }
+                }
                 let cfg = ctx.trial_config(&item.insns);
                 let pass = exec.run(&cfg, &ctx.label_of(&item)) == Verdict::Pass;
                 let mut s = shared.lock().unwrap();
@@ -491,6 +578,7 @@ pub fn search_observed(
         crashes: counters.crashes,
         retries: counters.retries,
         quarantined: counters.quarantined,
+        pruned_by_shadow: s.pruned,
     };
     if let Some(log) = hooks.events {
         log.emit(Event::SearchFinished {

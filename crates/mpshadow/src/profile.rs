@@ -1,0 +1,337 @@
+//! Sensitivity profiles: the persistent artifact of a shadowed run.
+//!
+//! A [`SensitivityProfile`] maps instruction ids to accumulated error
+//! statistics and aggregates them at any level of the `mpconfig`
+//! structure tree. It persists as line-oriented JSON (JSONL): one header
+//! line followed by one line per instruction, hand-serialized (the
+//! build is registry-free, so no serde) with floats printed in Rust's
+//! shortest round-trip form — parsing a profile back yields an equal
+//! value.
+
+use fpvm::isa::InsnId;
+use mpconfig::{NodeRef, StructureTree};
+use std::collections::BTreeMap;
+use std::io::Write;
+
+/// Accumulated shadow-error statistics for one instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InsnSensitivity {
+    /// Times the instruction produced a shadowed result.
+    pub count: u64,
+    /// Sum of relative divergences (clamped to `f64::MAX`).
+    pub sum_rel: f64,
+    /// Maximum relative divergence observed.
+    pub max_rel: f64,
+    /// Maximum *instruction-local* relative error: the result of the
+    /// operation applied to the primary operands truncated to `f32`,
+    /// against the primary result. Unlike [`max_rel`](Self::max_rel)
+    /// this excludes error propagated from upstream truncations, so it
+    /// isolates what replacing *this one instruction* would introduce —
+    /// the quantity search pruning is allowed to act on.
+    pub max_local: f64,
+    /// Catastrophic-cancellation events (additive exponent drop ≥ 24
+    /// bits).
+    pub cancels: u64,
+}
+
+impl InsnSensitivity {
+    /// Mean relative divergence (0 when never executed).
+    pub fn mean_rel(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_rel / self.count as f64
+        }
+    }
+
+    fn absorb(&mut self, other: &InsnSensitivity) {
+        self.count += other.count;
+        self.sum_rel = (self.sum_rel + other.sum_rel).min(f64::MAX);
+        self.max_rel = self.max_rel.max(other.max_rel);
+        self.max_local = self.max_local.max(other.max_local);
+        self.cancels += other.cancels;
+    }
+}
+
+/// Coarse error class of a relative divergence, for priority encoding:
+/// `15` for no observed divergence (or none possible — the item never
+/// executed), otherwise `clamp(⌊−log10(err)⌋, 0, 15)`. Higher class ⇒
+/// smaller error ⇒ more likely to survive truncation.
+pub fn error_class(err: f64) -> u64 {
+    if err <= 0.0 {
+        return 15;
+    }
+    let c = -err.log10();
+    if c.is_nan() {
+        return 0;
+    }
+    (c.floor() as i64).clamp(0, 15) as u64
+}
+
+/// Per-instruction shadow-error statistics of one run, keyed by
+/// instruction id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SensitivityProfile {
+    /// Statistics for every instruction that produced at least one
+    /// shadowed result (or cancellation event).
+    pub insns: BTreeMap<u32, InsnSensitivity>,
+}
+
+impl SensitivityProfile {
+    /// Statistics for one instruction, if it executed.
+    pub fn get(&self, id: InsnId) -> Option<&InsnSensitivity> {
+        self.insns.get(&id.0)
+    }
+
+    /// Number of instructions with recorded statistics.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Total cancellation events across the run.
+    pub fn total_cancellations(&self) -> u64 {
+        self.insns.values().map(|s| s.cancels).sum()
+    }
+
+    /// Worst-case (maximum) relative divergence over a set of
+    /// instructions. Instructions with no recorded statistics never
+    /// executed in the shadowed run and contribute zero — replacing them
+    /// cannot move the observed outputs.
+    pub fn max_rel_over(&self, ids: impl IntoIterator<Item = InsnId>) -> f64 {
+        ids.into_iter().filter_map(|i| self.insns.get(&i.0)).fold(0.0f64, |m, s| m.max(s.max_rel))
+    }
+
+    /// Worst-case *instruction-local* relative error over a set of
+    /// instructions (see [`InsnSensitivity::max_local`]); absent
+    /// instructions contribute zero. This — not the propagated
+    /// divergence — is the metric pruning decisions must use: propagated
+    /// divergence reflects a run with *everything* truncated at once and
+    /// wildly overestimates the error of replacing one unit.
+    pub fn max_local_over(&self, ids: impl IntoIterator<Item = InsnId>) -> f64 {
+        ids.into_iter().filter_map(|i| self.insns.get(&i.0)).fold(0.0f64, |m, s| m.max(s.max_local))
+    }
+
+    /// Aggregate statistics under one structure-tree node.
+    pub fn aggregate_under(&self, tree: &StructureTree, node: NodeRef) -> InsnSensitivity {
+        let mut agg = InsnSensitivity::default();
+        for id in tree.insns_under(node) {
+            if let Some(s) = self.insns.get(&id.0) {
+                agg.absorb(s);
+            }
+        }
+        agg
+    }
+
+    /// Per-block aggregates, keyed by the same structure tree `mpconfig`
+    /// configurations use; blocks with no recorded statistics are
+    /// skipped. Returned in tree order.
+    pub fn block_aggregates(&self, tree: &StructureTree) -> Vec<(NodeRef, InsnSensitivity)> {
+        let mut rows = Vec::new();
+        for (mi, m) in tree.modules.iter().enumerate() {
+            for (fi, f) in m.funcs.iter().enumerate() {
+                for bi in 0..f.blocks.len() {
+                    let node = NodeRef::Block(mi, fi, bi);
+                    let agg = self.aggregate_under(tree, node);
+                    if agg.count > 0 || agg.cancels > 0 {
+                        rows.push((node, agg));
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// Serialize to JSONL: a header line followed by one line per
+    /// instruction. Floats use Rust's shortest exact round-trip form.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\":\"shadow_profile\",\"version\":1,\"insns\":{}}}\n",
+            self.insns.len()
+        ));
+        for (id, s) in &self.insns {
+            out.push_str(&format!(
+                "{{\"type\":\"insn\",\"id\":{},\"count\":{},\"sum_rel\":{:?},\"max_rel\":{:?},\"max_local\":{:?},\"cancels\":{}}}\n",
+                id, s.count, s.sum_rel, s.max_rel, s.max_local, s.cancels
+            ));
+        }
+        out
+    }
+
+    /// Write the JSONL form to a file.
+    pub fn to_file(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())
+    }
+
+    /// Parse a profile back from its JSONL form. Tolerates unknown
+    /// fields; rejects structural damage (missing header, bad record
+    /// count, malformed lines).
+    pub fn parse(text: &str) -> Result<SensitivityProfile, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = jsonl::parse_flat(lines.next().ok_or("empty profile")?)?;
+        if jsonl::str_field(&header, "type") != Some("shadow_profile") {
+            return Err("not a shadow profile (bad header)".into());
+        }
+        let declared = jsonl::num_field(&header, "insns").ok_or("header missing insn count")?;
+        let mut insns = BTreeMap::new();
+        for line in lines {
+            let rec = jsonl::parse_flat(line)?;
+            if jsonl::str_field(&rec, "type") != Some("insn") {
+                return Err(format!("unexpected record type in {line:?}"));
+            }
+            let field = |k: &str| {
+                jsonl::num_field(&rec, k).ok_or_else(|| format!("missing field {k} in {line:?}"))
+            };
+            insns.insert(
+                field("id")? as u32,
+                InsnSensitivity {
+                    count: field("count")? as u64,
+                    sum_rel: field("sum_rel")?,
+                    max_rel: field("max_rel")?,
+                    max_local: field("max_local")?,
+                    cancels: field("cancels")? as u64,
+                },
+            );
+        }
+        if insns.len() as f64 != declared {
+            return Err(format!("header declares {declared} instructions, found {}", insns.len()));
+        }
+        Ok(SensitivityProfile { insns })
+    }
+
+    /// Read and parse a profile file.
+    pub fn from_file(path: &str) -> Result<SensitivityProfile, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Self::parse(&text)
+    }
+}
+
+/// A minimal flat-JSON-object line parser: exactly the shape this module
+/// writes — one object per line, string or numeric values, no nesting.
+/// (`mpsearch::events` has a fuller parser, but depending on it here
+/// would cycle: `mpsearch` depends on this crate.)
+mod jsonl {
+    /// Parse `{"k":v,...}` with string or numeric values.
+    pub fn parse_flat(line: &str) -> Result<Vec<(String, String)>, String> {
+        let s = line.trim();
+        let inner = s
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| format!("not an object: {line:?}"))?;
+        let mut fields = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            let (key, after) = take_string(rest)?;
+            rest = after
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| format!("missing `:` after {key:?}"))?
+                .trim_start();
+            let (val, after) = if rest.starts_with('"') {
+                take_string(rest)?
+            } else {
+                let end = rest.find(',').unwrap_or(rest.len());
+                (rest[..end].trim().to_string(), &rest[end..])
+            };
+            fields.push((key, val));
+            rest = after.trim_start();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim_start();
+            } else if !rest.is_empty() {
+                return Err(format!("trailing junk: {rest:?}"));
+            }
+        }
+        Ok(fields)
+    }
+
+    /// Consume a leading `"..."` (no escape support — this format never
+    /// writes escapes) and return (content, remainder).
+    fn take_string(s: &str) -> Result<(String, &str), String> {
+        let body = s.strip_prefix('"').ok_or_else(|| format!("expected string at {s:?}"))?;
+        let end = body.find('"').ok_or_else(|| format!("unterminated string at {s:?}"))?;
+        Ok((body[..end].to_string(), &body[end + 1..]))
+    }
+
+    pub fn str_field<'a>(fields: &'a [(String, String)], key: &str) -> Option<&'a str> {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    pub fn num_field(fields: &[(String, String)], key: &str) -> Option<f64> {
+        fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.parse().ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SensitivityProfile {
+        let mut insns = BTreeMap::new();
+        insns.insert(
+            3,
+            InsnSensitivity {
+                count: 100,
+                sum_rel: 1.25e-7,
+                max_rel: 3.0e-8,
+                max_local: 1.0e-8,
+                cancels: 0,
+            },
+        );
+        insns.insert(
+            7,
+            InsnSensitivity {
+                count: 2,
+                sum_rel: f64::MAX,
+                max_rel: f64::MAX,
+                max_local: 0.25,
+                cancels: 2,
+            },
+        );
+        SensitivityProfile { insns }
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_exact() {
+        let p = sample();
+        assert_eq!(SensitivityProfile::parse(&p.to_jsonl()).unwrap(), p);
+        // empty profile too
+        let empty = SensitivityProfile::default();
+        assert_eq!(SensitivityProfile::parse(&empty.to_jsonl()).unwrap(), empty);
+    }
+
+    #[test]
+    fn parse_rejects_damage() {
+        let p = sample().to_jsonl();
+        assert!(SensitivityProfile::parse("").is_err());
+        assert!(SensitivityProfile::parse("{\"type\":\"other\"}").is_err());
+        // drop a record: count mismatch
+        let truncated: Vec<&str> = p.lines().take(2).collect();
+        assert!(SensitivityProfile::parse(&truncated.join("\n")).is_err());
+    }
+
+    #[test]
+    fn error_classes_order_by_magnitude() {
+        assert_eq!(error_class(0.0), 15);
+        assert_eq!(error_class(1e-20), 15);
+        assert_eq!(error_class(1.5e-7), 6);
+        assert_eq!(error_class(0.5), 0);
+        assert_eq!(error_class(1e9), 0);
+        assert_eq!(error_class(f64::MAX), 0);
+    }
+
+    #[test]
+    fn max_rel_over_treats_missing_as_zero() {
+        let p = sample();
+        assert_eq!(p.max_rel_over([InsnId(99)]), 0.0);
+        assert_eq!(p.max_rel_over([InsnId(3), InsnId(99)]), 3.0e-8);
+        assert_eq!(p.max_rel_over([InsnId(3), InsnId(7)]), f64::MAX);
+        assert_eq!(p.max_local_over([InsnId(3), InsnId(7)]), 0.25);
+        assert_eq!(p.max_local_over([InsnId(99)]), 0.0);
+    }
+}

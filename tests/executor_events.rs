@@ -142,6 +142,7 @@ fn transient_injected_faults_do_not_change_the_outcome() {
         bench: "synthetic".into(),
         faults: FaultPlan { panic_at: vec![1], timeout_at: vec![3], ..Default::default() },
         events: Some(&log),
+        ..Default::default()
     };
     let faulted = search_observed(&tb.tree, &Config::new(), None, &mk(), &serial_opts(), &hooks);
 

@@ -1,0 +1,75 @@
+//! Round-trip tests for the [`SensitivityProfile`] JSONL artifact: a
+//! profile captured from a real workload run must survive
+//! serialize → parse (and a file round-trip) *exactly* — every float
+//! bit-identical — and the parser must reject damaged inputs, so a
+//! profile written by `craft shadow` today can be trusted by a search
+//! run tomorrow.
+
+use fpvm::isa::InsnId;
+use mpshadow::SensitivityProfile;
+use workloads::Class;
+
+/// A profile with real, messy floats (irrational divergences, huge and
+/// tiny magnitudes) from an actual shadowed benchmark run.
+fn captured_profile() -> SensitivityProfile {
+    let w = workloads::nas::cg(Class::S);
+    let report = mpshadow::shadow_run(w.program(), w.vm_opts());
+    let profile = report.profile;
+    assert!(!profile.is_empty(), "CG must shadow at least one instruction");
+    profile
+}
+
+#[test]
+fn jsonl_round_trip_preserves_every_statistic() {
+    let profile = captured_profile();
+    let text = profile.to_jsonl();
+    let back = SensitivityProfile::parse(&text).expect("parse back");
+    assert_eq!(profile.len(), back.len());
+    for (&id, s) in &profile.insns {
+        let b = back.insns.get(&id).unwrap_or_else(|| panic!("insn {id} lost"));
+        assert_eq!(s, b, "insn {id} statistics changed across the round trip");
+    }
+    // And the re-serialization is byte-identical (floats print in
+    // shortest-exact form, so this is a fixed point).
+    assert_eq!(text, back.to_jsonl());
+}
+
+#[test]
+fn file_round_trip_preserves_the_profile() {
+    let profile = captured_profile();
+    let path = std::env::temp_dir().join("craft_shadow_roundtrip_test.jsonl");
+    let path = path.to_str().expect("utf-8 temp path");
+    profile.to_file(path).expect("write profile");
+    let back = SensitivityProfile::from_file(path).expect("read profile back");
+    std::fs::remove_file(path).ok();
+    assert_eq!(profile.insns, back.insns);
+}
+
+#[test]
+fn parse_rejects_truncated_and_corrupted_profiles() {
+    let profile = captured_profile();
+    let text = profile.to_jsonl();
+
+    // Truncation: drop the last record; the header count no longer matches.
+    let truncated: Vec<&str> = text.lines().collect();
+    let truncated = truncated[..truncated.len() - 1].join("\n");
+    assert!(SensitivityProfile::parse(&truncated).is_err());
+
+    // Corruption: damage the header type tag.
+    let corrupted = text.replacen("shadow_profile", "shadow_profane", 1);
+    assert!(SensitivityProfile::parse(&corrupted).is_err());
+
+    // A file that is not a profile at all.
+    assert!(SensitivityProfile::parse("{\"type\":\"event\"}\n").is_err());
+}
+
+#[test]
+fn aggregation_queries_agree_with_the_raw_map() {
+    let profile = captured_profile();
+    let ids: Vec<InsnId> = profile.insns.keys().map(|&i| InsnId(i)).collect();
+    let max_rel = profile.max_rel_over(ids.iter().copied());
+    let expect = profile.insns.values().fold(0.0f64, |m, s| m.max(s.max_rel));
+    assert_eq!(max_rel, expect);
+    let cancels: u64 = profile.insns.values().map(|s| s.cancels).sum();
+    assert_eq!(profile.total_cancellations(), cancels);
+}
