@@ -1,14 +1,16 @@
 //! End-to-end search micro-benchmark on the smallest classes: measures a
 //! full automatic search (profile + BFS + union verification), with the
 //! config-evaluation cache on (the default) and off, so the cache's
-//! contribution to search wall time is tracked across revisions.
+//! contribution to search wall time is tracked across revisions, and
+//! with the shadow-value oracle guiding the queue (prioritize + prune),
+//! so the cost of the extra shadowed run stays visible.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mixedprec::{AnalysisOptions, AnalysisSystem};
+use mixedprec::{AnalysisOptions, AnalysisSystem, ShadowOptions};
 use mpsearch::SearchOptions;
 use workloads::{nas, Class};
 
-fn run_once(make: fn(Class) -> workloads::Workload, eval_cache: bool) -> usize {
+fn run_once(make: fn(Class) -> workloads::Workload, eval_cache: bool, shadow: bool) -> usize {
     let sys = AnalysisSystem::with_options(
         make(Class::S),
         AnalysisOptions {
@@ -18,6 +20,7 @@ fn run_once(make: fn(Class) -> workloads::Workload, eval_cache: bool) -> usize {
                 eval_cache,
                 ..Default::default()
             },
+            shadow: ShadowOptions { prioritize: shadow, prune: shadow, ..Default::default() },
             ..Default::default()
         },
     );
@@ -28,8 +31,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("search");
     g.sample_size(10);
     for (name, make) in [("ep.s", nas::ep as fn(Class) -> workloads::Workload), ("cg.s", nas::cg)] {
-        g.bench_function(name, |b| b.iter(|| run_once(make, true)));
-        g.bench_function(format!("{name}.nocache"), |b| b.iter(|| run_once(make, false)));
+        g.bench_function(name, |b| b.iter(|| run_once(make, true, false)));
+        g.bench_function(format!("{name}.nocache"), |b| b.iter(|| run_once(make, false, false)));
+        g.bench_function(format!("{name}.shadow"), |b| b.iter(|| run_once(make, true, true)));
     }
     g.finish();
 }

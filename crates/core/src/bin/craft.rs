@@ -8,23 +8,44 @@
 //! craft overhead <bench> [class]     # all-double instrumentation cost
 //! craft tree <bench> [class]         # structure tree (Fig. 4 view)
 //! craft config <bench> [class]       # initial config file (Fig. 3)
-//! craft report <events.jsonl>        # digest a search event log
+//! craft report <events.jsonl|run-dir>  # digest a search event log / run directory
+//! craft metrics <trace.jsonl>          # render a trace snapshot (Prometheus/folded)
 //! ```
 //!
 //! Options for `analyze`: `--second-phase`, `--stop-depth=f|b|i`,
 //! `--no-split`, `--no-priority`, `--lean`, `--threads=N`,
 //! `--shadow-priority` / `--shadow-prune` (shadow-value search
-//! guidance), `--events=FILE` (JSONL event log), and the
+//! guidance), `--events=FILE` (JSONL event log), `--trace=DIR` (run
+//! directory collecting `events.jsonl` + `trace.jsonl`), and the
 //! fault-injection drills `--inject-panic=IDX[,IDX…]` /
 //! `--inject-timeout=IDX[,IDX…]`.
+//!
+//! Exit codes are uniform across subcommands: `2` for usage/argument
+//! errors (unknown benchmark, missing operand), `1` for runtime errors
+//! (unreadable file, malformed log), `0` otherwise.
 
 use mixedprec::{AnalysisOptions, AnalysisSystem, ShadowOptions, StopDepth};
 use mpconfig::editor::render_tree;
 use mpconfig::print_config;
 use mpsearch::events::{Event, EventLog, Record};
 use mpsearch::{FaultPlan, SearchHooks, SearchOptions, Verdict};
+use mptrace::snapshot::TraceSnapshot;
+use mptrace::{sinks, Tracer};
 use std::collections::HashMap;
 use workloads::{Class, Workload};
+
+/// Usage/argument error: print the message and exit 2.
+fn usage(msg: &str) -> ! {
+    eprintln!("craft: {msg}");
+    eprintln!("run `craft` with no arguments for usage");
+    std::process::exit(2)
+}
+
+/// Runtime/data error (unreadable file, malformed log): exit 1.
+fn fail(msg: String) -> ! {
+    eprintln!("craft: {msg}");
+    std::process::exit(1)
+}
 
 const BENCHES: &[&str] =
     &["bt", "cg", "ep", "ft", "lu", "mg", "sp", "amg", "slu", "mathmix", "vecops"];
@@ -42,10 +63,7 @@ fn build(bench: &str, class: Class) -> Workload {
         "slu" => workloads::slu::slu(class).wl,
         "mathmix" => workloads::mathmix::mathmix(class, workloads::mathmix::LibmKind::Intrinsic),
         "vecops" => workloads::vecops::vecops(class),
-        other => {
-            eprintln!("unknown benchmark `{other}`; try `craft list`");
-            std::process::exit(2);
-        }
+        other => usage(&format!("unknown benchmark `{other}`; try `craft list`")),
     }
 }
 
@@ -55,10 +73,7 @@ fn parse_class(s: Option<&str>) -> Class {
         "w" => Class::W,
         "a" => Class::A,
         "c" => Class::C,
-        other => {
-            eprintln!("unknown class `{other}` (expected s|w|a|c)");
-            std::process::exit(2);
-        }
+        other => usage(&format!("unknown class `{other}` (expected s|w|a|c)")),
     }
 }
 
@@ -70,13 +85,8 @@ fn parse_indices(spec: &str) -> Vec<u64> {
 /// histogram over evaluation attempts, robustness counters, and the
 /// top-k most expensive evaluations.
 fn render_report(path: &str, top: usize) {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2);
-        }
-    };
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
     let mut records = Vec::new();
     let mut malformed = 0usize;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
@@ -86,11 +96,10 @@ fn render_report(path: &str, top: usize) {
         }
     }
     if records.is_empty() {
-        eprintln!(
+        fail(format!(
             "{path}: no parseable events{}",
             if malformed > 0 { " (all malformed)" } else { "" }
-        );
-        std::process::exit(1);
+        ));
     }
     let span_us = records.last().map(|r| r.t_us).unwrap_or(0);
     println!("event log   : {path}");
@@ -163,6 +172,80 @@ fn render_report(path: &str, top: usize) {
     }
 }
 
+/// Read and parse a `trace.jsonl` snapshot.
+fn load_snapshot(path: &str) -> TraceSnapshot {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    TraceSnapshot::parse(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")))
+}
+
+/// Render a trace snapshot: per-phase timeline (spans aggregated by
+/// name, ordered by first start) and the top-k hottest instructions by
+/// attributed interpreter cycles.
+fn render_trace_report(path: &str, snap: &TraceSnapshot, top: usize) {
+    println!("trace       : {path}");
+    if !snap.spans.is_empty() {
+        // Aggregate spans by name: repeated spans (one per work item)
+        // collapse into count + total, one-shot phases keep their slot.
+        struct Agg {
+            first_start: u64,
+            total_us: u64,
+            count: u64,
+        }
+        let mut by_name: Vec<(String, Agg)> = Vec::new();
+        for s in &snap.spans {
+            match by_name.iter_mut().find(|(n, _)| *n == s.name) {
+                Some((_, a)) => {
+                    a.first_start = a.first_start.min(s.start_us);
+                    a.total_us += s.dur_us;
+                    a.count += 1;
+                }
+                None => by_name.push((
+                    s.name.clone(),
+                    Agg { first_start: s.start_us, total_us: s.dur_us, count: 1 },
+                )),
+            }
+        }
+        by_name.sort_by_key(|(_, a)| a.first_start);
+        println!("\nphase timeline ({} spans):", snap.spans.len());
+        println!("  {:>10}  {:>12}  {:>6}  span", "start", "total", "count");
+        for (name, a) in &by_name {
+            println!(
+                "  {:>8.1}ms  {:>10.1}ms  {:>6}  {name}",
+                a.first_start as f64 / 1e3,
+                a.total_us as f64 / 1e3,
+                a.count
+            );
+        }
+    }
+    if !snap.hot.is_empty() {
+        let mut hot: Vec<_> = snap.hot.iter().collect();
+        hot.sort_by_key(|h| std::cmp::Reverse(h.cycles));
+        let total: u64 = hot.iter().map(|h| h.cycles).sum();
+        println!("\ntop {} hottest instructions ({total} attributed cycles):", top.min(hot.len()));
+        println!("  {:>12}  {:>10}  {:>6}  insn", "cycles", "hits", "%");
+        for h in hot.iter().take(top) {
+            let label =
+                if h.label.is_empty() { format!("insn {}", h.insn) } else { h.label.clone() };
+            println!(
+                "  {:>12}  {:>10}  {:>5.1}%  {label}",
+                h.cycles,
+                h.hits,
+                100.0 * h.cycles as f64 / total.max(1) as f64
+            );
+        }
+    }
+    let interesting =
+        ["exec.cache_hits", "exec.retries", "search.enqueued", "search.shadow_pruned"];
+    let lines: Vec<String> = interesting
+        .iter()
+        .filter_map(|k| snap.counters.get(*k).map(|v| format!("{k}={v}")))
+        .collect();
+    if !lines.is_empty() {
+        println!("\ncounters    : {}", lines.join("  "));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let positional: Vec<&str> =
@@ -179,12 +262,56 @@ fn main() {
             println!("classes:    s (sample), w (workstation), a, c");
         }
         "report" => {
-            let path = positional.get(1).copied().unwrap_or_else(|| {
-                eprintln!("usage: craft report <events.jsonl> [--top=N]");
-                std::process::exit(2);
-            });
+            let path = positional
+                .get(1)
+                .copied()
+                .unwrap_or_else(|| usage("usage: craft report <events.jsonl|run-dir> [--top=N]"));
             let top = opt("--top").and_then(|t| t.parse().ok()).unwrap_or(5);
-            render_report(path, top);
+            if std::path::Path::new(path).is_dir() {
+                // A run directory as written by `craft analyze --trace=DIR`:
+                // digest whichever of events.jsonl / trace.jsonl it holds.
+                let events = format!("{path}/events.jsonl");
+                let trace = format!("{path}/trace.jsonl");
+                let have_events = std::path::Path::new(&events).is_file();
+                let have_trace = std::path::Path::new(&trace).is_file();
+                if !have_events && !have_trace {
+                    fail(format!("{path}: no events.jsonl or trace.jsonl in run directory"));
+                }
+                if have_events {
+                    render_report(&events, top);
+                }
+                if have_trace {
+                    if have_events {
+                        println!();
+                    }
+                    render_trace_report(&trace, &load_snapshot(&trace), top);
+                }
+            } else {
+                render_report(path, top);
+            }
+        }
+        "metrics" => {
+            let path = positional.get(1).copied().unwrap_or_else(|| {
+                usage("usage: craft metrics <trace.jsonl> [--prom=FILE] [--folded=FILE]")
+            });
+            let snap = load_snapshot(path);
+            let prom_out = opt("--prom");
+            let folded_out = opt("--folded");
+            if let Some(f) = &folded_out {
+                std::fs::write(f, sinks::folded(&snap))
+                    .unwrap_or_else(|e| fail(format!("cannot write {f}: {e}")));
+                eprintln!("folded stacks written to {f}");
+            }
+            match &prom_out {
+                Some(f) => {
+                    std::fs::write(f, sinks::prometheus(&snap))
+                        .unwrap_or_else(|e| fail(format!("cannot write {f}: {e}")));
+                    eprintln!("prometheus exposition written to {f}");
+                }
+                // default: exposition on stdout unless --folded alone was asked for
+                None if folded_out.is_none() => print!("{}", sinks::prometheus(&snap)),
+                None => {}
+            }
         }
         "analyze" | "shadow" | "overhead" | "tree" | "config" => {
             let bench = positional.get(1).copied().unwrap_or_else(|| {
@@ -200,7 +327,7 @@ fn main() {
                 Some("b") => StopDepth::Block,
                 _ => StopDepth::Instruction,
             };
-            let sys = AnalysisSystem::with_options(
+            let mut sys = AnalysisSystem::with_options(
                 build(bench, class),
                 AnalysisOptions {
                     search: SearchOptions {
@@ -224,10 +351,22 @@ fn main() {
             );
             match cmd {
                 "analyze" => {
-                    let events = opt("--events").map(|path| {
+                    // --trace=DIR collects a full run directory: the JSONL
+                    // event log plus the span/metric/hot-spot snapshot.
+                    let trace_dir = opt("--trace");
+                    let tracer = trace_dir.as_ref().map(|dir| {
+                        std::fs::create_dir_all(dir)
+                            .unwrap_or_else(|e| fail(format!("cannot create {dir}: {e}")));
+                        Tracer::new()
+                    });
+                    if let Some(t) = &tracer {
+                        sys.set_tracer(t.clone());
+                    }
+                    let events_path = opt("--events")
+                        .or_else(|| trace_dir.as_ref().map(|d| format!("{d}/events.jsonl")));
+                    let events = events_path.map(|path| {
                         EventLog::to_file(&path).unwrap_or_else(|e| {
-                            eprintln!("cannot create event log {path}: {e}");
-                            std::process::exit(2);
+                            fail(format!("cannot create event log {path}: {e}"))
                         })
                     });
                     let hooks = SearchHooks {
@@ -243,6 +382,7 @@ fn main() {
                         },
                         events: events.as_ref(),
                         shadow: None,
+                        tracer: None,
                     };
                     let rec = sys.recommend_with(&hooks);
                     let r = &rec.report;
@@ -268,6 +408,12 @@ fn main() {
                     }
                     println!("\n--- recommended configuration ---");
                     print!("{}", rec.config_text);
+                    if let (Some(t), Some(dir)) = (&tracer, &trace_dir) {
+                        let path = format!("{dir}/trace.jsonl");
+                        std::fs::write(&path, t.snapshot().to_jsonl())
+                            .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+                        eprintln!("trace written to {path}");
+                    }
                 }
                 "shadow" => {
                     let profile = sys.shadow_profile();
@@ -329,10 +475,9 @@ fn main() {
                     }
 
                     if let Some(path) = opt("--out") {
-                        if let Err(e) = profile.to_file(&path) {
-                            eprintln!("cannot write {path}: {e}");
-                            std::process::exit(2);
-                        }
+                        profile
+                            .to_file(&path)
+                            .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
                         println!("\nprofile written to {path}");
                     }
                 }
@@ -356,13 +501,15 @@ fn main() {
             println!("  craft analyze  <bench> [class] [--second-phase] [--stop-depth=f|b|i]");
             println!("                 [--no-split] [--no-priority] [--lean] [--threads=N]");
             println!("                 [--shadow-priority] [--shadow-prune]");
-            println!("                 [--events=FILE] [--inject-panic=IDX[,IDX..]]");
+            println!("                 [--events=FILE] [--trace=DIR]");
+            println!("                 [--inject-panic=IDX[,IDX..]]");
             println!("                 [--inject-timeout=IDX[,IDX..]]");
             println!("  craft shadow   <bench> [class] [--top=N] [--out=FILE]");
             println!("  craft overhead <bench> [class]");
             println!("  craft tree     <bench> [class]");
             println!("  craft config   <bench> [class]");
-            println!("  craft report   <events.jsonl> [--top=N]");
+            println!("  craft report   <events.jsonl|run-dir> [--top=N]");
+            println!("  craft metrics  <trace.jsonl> [--prom=FILE] [--folded=FILE]");
         }
     }
 }

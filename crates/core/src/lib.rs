@@ -68,6 +68,7 @@ pub struct AnalysisSystem {
     tree: StructureTree,
     base: Config,
     opts: AnalysisOptions,
+    tracer: Option<mptrace::Tracer>,
 }
 
 /// Overhead of the all-double instrumented binary relative to the
@@ -116,7 +117,32 @@ impl AnalysisSystem {
                 }
             }
         }
-        AnalysisSystem { workload, tree, base, opts }
+        AnalysisSystem { workload, tree, base, opts, tracer: None }
+    }
+
+    /// Attach a span/metric recorder. Every subsequent pipeline run
+    /// (search, evaluation, rewriting, hot-spot profiling) records into
+    /// it; hot instructions are labelled `func@addr: disasm` from the
+    /// structure tree so snapshots are readable without the binary.
+    pub fn set_tracer(&mut self, tracer: mptrace::Tracer) {
+        for m in &self.tree.modules {
+            for fun in &m.funcs {
+                for b in &fun.blocks {
+                    for e in &b.insns {
+                        tracer.label_insn(
+                            e.id.0,
+                            format!("{}@{:#x}: {}", fun.name, e.addr, e.disasm),
+                        );
+                    }
+                }
+            }
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&mptrace::Tracer> {
+        self.tracer.as_ref()
     }
 
     /// The structure tree of the original binary.
@@ -150,13 +176,17 @@ impl AnalysisSystem {
     }
 
     fn evaluator(&self) -> VmEvaluator<'_> {
-        VmEvaluator::with_options(
+        let mut ev = VmEvaluator::with_options(
             self.workload.program(),
             &self.tree,
             self.workload.vm_opts(),
             self.opts.rewrite.clone(),
             self.workload.verifier(),
-        )
+        );
+        if let Some(t) = &self.tracer {
+            ev.set_tracer(t.clone());
+        }
+        ev
     }
 
     /// Measure the all-double instrumentation overhead (Figs. 8–9): same
@@ -206,39 +236,35 @@ impl AnalysisSystem {
     /// runs the shadow analysis and plugs it into the hooks as an
     /// oracle, then runs the observed search.
     fn search_with_profile(&self, hooks: &SearchHooks<'_>) -> (SearchReport, Profile) {
-        let profile = self.profile();
-        let sh = &self.opts.shadow;
-        let sprof = (sh.prioritize || sh.prune).then(|| self.shadow_profile());
-        let report = match &sprof {
-            Some(sp) => {
-                let hooks = SearchHooks {
-                    bench: hooks.bench.clone(),
-                    faults: hooks.faults.clone(),
-                    events: hooks.events,
-                    shadow: Some(ShadowOracle {
-                        profile: sp,
-                        prioritize: sh.prioritize,
-                        prune_threshold: sh.prune.then_some(self.workload.tol * sh.prune_margin),
-                    }),
-                };
-                search_observed(
-                    &self.tree,
-                    &self.base,
-                    Some(&profile),
-                    &self.evaluator(),
-                    &self.opts.search,
-                    &hooks,
-                )
-            }
-            None => search_observed(
-                &self.tree,
-                &self.base,
-                Some(&profile),
-                &self.evaluator(),
-                &self.opts.search,
-                hooks,
-            ),
+        let tracer = hooks.tracer.or(self.tracer.as_ref());
+        let profile = {
+            let _s = tracer.map(|t| t.span("profile"));
+            self.profile()
         };
+        let sh = &self.opts.shadow;
+        let sprof = (sh.prioritize || sh.prune).then(|| {
+            let _s = tracer.map(|t| t.span("shadow_profile"));
+            self.shadow_profile()
+        });
+        let hooks = SearchHooks {
+            bench: hooks.bench.clone(),
+            faults: hooks.faults.clone(),
+            events: hooks.events,
+            tracer,
+            shadow: sprof.as_ref().map(|sp| ShadowOracle {
+                profile: sp,
+                prioritize: sh.prioritize,
+                prune_threshold: sh.prune.then_some(self.workload.tol * sh.prune_margin),
+            }),
+        };
+        let report = search_observed(
+            &self.tree,
+            &self.base,
+            Some(&profile),
+            &self.evaluator(),
+            &self.opts.search,
+            &hooks,
+        );
         (report, profile)
     }
 

@@ -154,6 +154,40 @@ impl ExecObserver for NoopObserver {
     fn trace(&mut self, _ev: &FpEvent) {}
 }
 
+/// A per-dispatch observer of the pre-decoded fast path, gated exactly
+/// like [`ExecObserver`]: the hook call in the dispatch loop sits
+/// behind `if P::ENABLED`, so [`NoopStepObserver`] (which
+/// [`Vm::run_image`] and [`Vm::run_image_observed`] use) monomorphizes
+/// to the exact unprofiled hot loop — zero cost and bit-identical by
+/// construction (`tests/trace_differential.rs` proves it).
+///
+/// Unlike [`ExecObserver`], which reports *floating-point* events, this
+/// hook fires once per dispatched op — including terminators, which
+/// carry the `InsnId(u32::MAX)` sentinel — and is how a profiler (e.g.
+/// `mptrace::profiler::InsnProfiler`) attributes interpreter time to
+/// instructions.
+pub trait StepObserver {
+    /// Statically enables the per-step hook. `false` compiles it out of
+    /// the dispatch loop.
+    const ENABLED: bool;
+
+    /// Called once per dispatched op, after step/cycle accounting, with
+    /// the op's instruction id and pre-computed cycle cost.
+    fn step(&mut self, insn: InsnId, cost: u64);
+}
+
+/// The inert step observer: `ENABLED = false`, so the profiled fast
+/// path compiles down to the plain one.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopStepObserver;
+
+impl StepObserver for NoopStepObserver {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn step(&mut self, _insn: InsnId, _cost: u64) {}
+}
+
 /// Register-slot sentinel meaning "absent" in [`MemD`].
 const NO_REG: u8 = u8::MAX;
 
@@ -645,7 +679,7 @@ impl<'p> Vm<'p> {
     /// `image` must have been compiled from the same program and cost
     /// model this VM was created with.
     pub fn run_image(&mut self, image: &ExecImage) -> RunOutcome {
-        self.run_image_observed(image, &mut NoopObserver)
+        self.run_image_full(image, &mut NoopObserver, &mut NoopStepObserver)
     }
 
     /// [`Vm::run_image`] with an [`ExecObserver`] attached. The observer
@@ -658,20 +692,44 @@ impl<'p> Vm<'p> {
         image: &ExecImage,
         obs: &mut O,
     ) -> RunOutcome {
+        self.run_image_full(image, obs, &mut NoopStepObserver)
+    }
+
+    /// [`Vm::run_image`] with a [`StepObserver`] attached: the hook
+    /// fires once per dispatched op with its id and cycle cost, so a
+    /// profiler can attribute interpreter time to instructions. With
+    /// [`NoopStepObserver`] this *is* [`Vm::run_image`].
+    pub fn run_image_profiled<P: StepObserver>(
+        &mut self,
+        image: &ExecImage,
+        prof: &mut P,
+    ) -> RunOutcome {
+        self.run_image_full(image, &mut NoopObserver, prof)
+    }
+
+    /// The fully general fast path: both hooks attached, each gated on
+    /// its own `ENABLED` constant.
+    pub fn run_image_full<O: ExecObserver, P: StepObserver>(
+        &mut self,
+        image: &ExecImage,
+        obs: &mut O,
+        prof: &mut P,
+    ) -> RunOutcome {
         assert_eq!(
             image.insn_bound,
             self.prog.insn_id_bound(),
             "ExecImage does not match this VM's program"
         );
         assert_eq!(image.cost, self.opts.cost, "ExecImage compiled under a different cost model");
-        let result = self.run_image_inner(image, obs);
+        let result = self.run_image_inner(image, obs, prof);
         RunOutcome { stats: self.stats, result, profile: self.profile.take() }
     }
 
-    fn run_image_inner<O: ExecObserver>(
+    fn run_image_inner<O: ExecObserver, P: StepObserver>(
         &mut self,
         image: &ExecImage,
         obs: &mut O,
+        prof: &mut P,
     ) -> Result<(), Trap> {
         let ops = &image.ops[..];
         let mut pc = image.entry as usize;
@@ -690,6 +748,9 @@ impl<'p> Vm<'p> {
                 if op.id.0 != u32::MAX {
                     p.bump(op.id);
                 }
+            }
+            if P::ENABLED {
+                prof.step(op.id, op.cost);
             }
             match &op.kind {
                 OpK::ArithF64 { op: o, dst, src } => {

@@ -36,7 +36,9 @@ pub mod trap;
 pub mod value;
 
 pub use cost::CostModel;
-pub use exec::{ExecImage, ExecObserver, FpEvent, FpLocV, NoopObserver};
+pub use exec::{
+    ExecImage, ExecObserver, FpEvent, FpLocV, NoopObserver, NoopStepObserver, StepObserver,
+};
 pub use interp::{RunOutcome, RunStats, Vm, VmOptions};
 pub use isa::{
     BlockId, Cond, FpAluOp, FpLoc, FuncId, Gpr, Insn, InsnId, InstKind, IntOp, MathFun, MemRef,

@@ -214,6 +214,7 @@ pub struct Rewriter {
     opts: RewriteOptions,
     insn_bound: u32,
     state: Mutex<RewriterState>,
+    tracer: Option<mptrace::Tracer>,
 }
 
 impl Rewriter {
@@ -230,7 +231,15 @@ impl Rewriter {
                 hits: 0,
                 misses: 0,
             }),
+            tracer: None,
         }
+    }
+
+    /// Attach a [`mptrace::Tracer`]: each [`Rewriter::rewrite`] call
+    /// records fragment-cache hit/miss counters and a rewrite-time
+    /// histogram. Without one, rewriting records nothing.
+    pub fn set_tracer(&mut self, tracer: mptrace::Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Fragment-cache `(hits, misses)` so far.
@@ -261,6 +270,8 @@ impl Rewriter {
         if !active {
             return (orig.clone(), RewriteStats::default());
         }
+        let t0 = self.tracer.as_ref().map(|_| std::time::Instant::now());
+        let (mut call_hits, mut call_misses) = (0u64, 0u64);
 
         let mut out = Program::new(orig.mem_size);
         out.globals = orig.globals.clone();
@@ -305,9 +316,11 @@ impl Rewriter {
                     let mut st = self.state.lock().unwrap();
                     if let Some(f) = st.cache.get(&(ob.0, key.clone())).map(Arc::clone) {
                         st.hits += 1;
+                        call_hits += 1;
                         f
                     } else {
                         st.misses += 1;
+                        call_misses += 1;
                         let frag = Arc::new(build_fragment(&mut st, self.opts.lean, oblk, &key));
                         st.cache.insert((ob.0, key), Arc::clone(&frag));
                         frag
@@ -350,6 +363,11 @@ impl Rewriter {
         };
         out.reserve_ids(nid, naddr);
         debug_assert!(out.validate().is_ok(), "incremental rewriter produced invalid program");
+        if let (Some(t), Some(t0)) = (&self.tracer, t0) {
+            t.incr("rewrite.cache_hits", call_hits);
+            t.incr("rewrite.cache_misses", call_misses);
+            t.observe("rewrite.wall_us", t0.elapsed().as_micros() as u64);
+        }
         (out, stats)
     }
 }

@@ -18,9 +18,12 @@ use fpvm::program::Program;
 use fpvm::{Memory, Trap, Vm, VmOptions};
 use instrument::{rewrite_all_double, RewriteOptions, Rewriter};
 use mpconfig::{Config, StructureTree};
+use mptrace::profiler::InsnProfiler;
+use mptrace::Tracer;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Operational counters an [`Evaluator`] may expose.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -101,6 +104,7 @@ pub struct VmEvaluator<'p> {
     budget: OnceLock<u64>,
     fuel_capped: AtomicUsize,
     mem_pool: Mutex<Vec<Memory>>,
+    tracer: Option<Tracer>,
 }
 
 impl<'p> VmEvaluator<'p> {
@@ -132,7 +136,18 @@ impl<'p> VmEvaluator<'p> {
             budget: OnceLock::new(),
             fuel_capped: AtomicUsize::new(0),
             mem_pool: Mutex::new(Vec::new()),
+            tracer: None,
         }
+    }
+
+    /// Attach a [`Tracer`]: evaluations get rewrite/run spans and
+    /// latency histograms, and every run feeds the per-instruction
+    /// hot-spot profile — time spent in rewritten snippet instructions
+    /// is attributed back to the original instruction they expand
+    /// (`Insn::origin`). Untraced evaluators skip all of this.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.rewriter.set_tracer(tracer.clone());
+        self.tracer = Some(tracer);
     }
 
     /// Override the fuel-budget factor. The per-run budget is
@@ -174,8 +189,10 @@ impl Evaluator for VmEvaluator<'_> {
     }
 
     fn evaluate_run(&self, cfg: &Config, ctl: &RunControl) -> EvalOutcome {
+        let rewrite_span = self.tracer.as_ref().map(|t| t.span("rewrite"));
         let (instrumented, _) = self.rewriter.rewrite(self.prog, self.tree, cfg);
         let image = ExecImage::compile(&instrumented, &self.vm_opts.cost);
+        drop(rewrite_span);
         let mut fuel = self.fuel_budget();
         if let Some(cap) = ctl.fuel_override {
             fuel = fuel.min(cap.max(1));
@@ -184,12 +201,41 @@ impl Evaluator for VmEvaluator<'_> {
         opts.fuel = fuel;
         let mem = self.mem_pool.lock().unwrap().pop().unwrap_or_else(|| Memory::new(0, &[]));
         let mut vm = Vm::with_memory(&instrumented, opts, mem);
-        let outcome = vm.run_image(&image);
+        let run_span = self.tracer.as_ref().map(|t| t.span("run"));
+        let t0 = Instant::now();
+        let outcome = match &self.tracer {
+            // Traced: profile the run, then attribute snippet-insn time
+            // back to the original instruction each snippet expands.
+            Some(tracer) => {
+                let mut prof = InsnProfiler::new(instrumented.insn_id_bound());
+                let outcome = vm.run_image_profiled(&image, &mut prof);
+                let mut origin: Vec<u32> = (0..instrumented.insn_id_bound() as u32).collect();
+                for (_, _, insn) in instrumented.iter_insns() {
+                    if let Some(o) = insn.origin {
+                        origin[insn.id.0 as usize] = o.0;
+                    }
+                }
+                let mut folded = InsnProfiler::default();
+                prof.fold_into(&mut folded, |i| origin[i as usize]);
+                tracer.merge_hot(&folded);
+                outcome
+            }
+            None => vm.run_image(&image),
+        };
+        drop(run_span);
+        if let Some(t) = &self.tracer {
+            t.incr("eval.runs", 1);
+            t.observe("eval.run_us", t0.elapsed().as_micros() as u64);
+            t.observe("eval.steps", outcome.stats.steps);
+        }
         // Any trap — including crash-on-miss and fuel exhaustion — is a
         // verification failure.
         let pass = outcome.ok() && (self.verify)(&vm);
         if fuel < self.vm_opts.fuel && matches!(outcome.result, Err(Trap::FuelExhausted)) {
             self.fuel_capped.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &self.tracer {
+                t.incr("eval.fuel_capped", 1);
+            }
         }
         self.mem_pool.lock().unwrap().push(std::mem::replace(&mut vm.mem, Memory::new(0, &[])));
         EvalOutcome {

@@ -14,11 +14,24 @@
 //! dependency-free parser lives in [`json`].
 
 use crate::executor::Verdict;
+use mptrace::json::esc;
 use std::fmt::Write as _;
 use std::io::Write;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// The shared dependency-free JSON parser, re-exported from its new
+/// home in `mptrace` so existing `mpsearch::events::json` users (the
+/// bench gate, external tooling) keep working unchanged.
+pub use mptrace::json;
+
+/// Lock `m`, recovering the guard if a previous holder panicked. The
+/// event log is written from workers running under `catch_unwind`; a
+/// panic between lock and unlock must not abort every later emission.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// One structured event in the life of a search.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,24 +175,6 @@ pub struct Record {
     pub t_us: u64,
     /// The event payload.
     pub event: Event,
-}
-
-fn esc(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 impl Record {
@@ -390,7 +385,7 @@ impl EventLog {
         struct Sink(Arc<Mutex<Vec<u8>>>);
         impl Write for Sink {
             fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.lock().unwrap().extend_from_slice(buf);
+                relock(&self.0).extend_from_slice(buf);
                 Ok(buf.len())
             }
             fn flush(&mut self) -> std::io::Result<()> {
@@ -407,246 +402,18 @@ impl EventLog {
         let rec = Record { t_us: self.start.elapsed().as_micros() as u64, event };
         let mut line = rec.to_json();
         line.push('\n');
-        let mut out = self.out.lock().unwrap();
+        let mut out = relock(&self.out);
         let _ = out.write_all(line.as_bytes());
     }
 
     /// Flush the underlying writer.
     pub fn flush(&self) {
-        let _ = self.out.lock().unwrap().flush();
+        let _ = relock(&self.out).flush();
     }
 }
 
 impl Drop for EventLog {
     fn drop(&mut self) {
         self.flush();
-    }
-}
-
-/// A minimal, dependency-free JSON parser (objects, arrays, strings,
-/// numbers, booleans, null) — enough for the event log and the
-/// `BENCH_*.json` files the criterion stand-in writes.
-pub mod json {
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        /// `null`
-        Null,
-        /// `true` / `false`
-        Bool(bool),
-        /// Any JSON number (stored as `f64`; integers below 2^53 are exact).
-        Num(f64),
-        /// A string.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object, in source order.
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        /// Object field lookup.
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-        /// The value as a float, if numeric.
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(n) => Some(*n),
-                _ => None,
-            }
-        }
-        /// The value as an unsigned integer, if numeric and non-negative.
-        pub fn as_u64(&self) -> Option<u64> {
-            self.as_f64().filter(|n| *n >= 0.0).map(|n| n as u64)
-        }
-        /// The value as a bool.
-        pub fn as_bool(&self) -> Option<bool> {
-            match self {
-                Value::Bool(b) => Some(*b),
-                _ => None,
-            }
-        }
-        /// The value as a string slice.
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-        /// The value as an array slice.
-        pub fn as_arr(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(a) => Some(a),
-                _ => None,
-            }
-        }
-    }
-
-    struct P<'a> {
-        s: &'a [u8],
-        i: usize,
-    }
-
-    impl P<'_> {
-        fn ws(&mut self) {
-            while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
-                self.i += 1;
-            }
-        }
-        fn peek(&self) -> Option<u8> {
-            self.s.get(self.i).copied()
-        }
-        fn eat(&mut self, c: u8) -> Result<(), String> {
-            if self.peek() == Some(c) {
-                self.i += 1;
-                Ok(())
-            } else {
-                Err(format!("expected {:?} at byte {}", c as char, self.i))
-            }
-        }
-        fn value(&mut self) -> Result<Value, String> {
-            self.ws();
-            match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => Ok(Value::Str(self.string()?)),
-                Some(b't') => self.lit("true", Value::Bool(true)),
-                Some(b'f') => self.lit("false", Value::Bool(false)),
-                Some(b'n') => self.lit("null", Value::Null),
-                Some(_) => self.number(),
-                None => Err("unexpected end of input".into()),
-            }
-        }
-        fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
-            if self.s[self.i..].starts_with(word.as_bytes()) {
-                self.i += word.len();
-                Ok(v)
-            } else {
-                Err(format!("bad literal at byte {}", self.i))
-            }
-        }
-        fn number(&mut self) -> Result<Value, String> {
-            let start = self.i;
-            while let Some(c) = self.peek() {
-                if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
-                    self.i += 1;
-                } else {
-                    break;
-                }
-            }
-            std::str::from_utf8(&self.s[start..self.i])
-                .ok()
-                .and_then(|t| t.parse::<f64>().ok())
-                .map(Value::Num)
-                .ok_or_else(|| format!("bad number at byte {start}"))
-        }
-        fn string(&mut self) -> Result<String, String> {
-            self.eat(b'"')?;
-            let mut out = String::new();
-            loop {
-                match self.peek().ok_or("unterminated string")? {
-                    b'"' => {
-                        self.i += 1;
-                        return Ok(out);
-                    }
-                    b'\\' => {
-                        self.i += 1;
-                        let e = self.peek().ok_or("unterminated escape")?;
-                        self.i += 1;
-                        match e {
-                            b'"' => out.push('"'),
-                            b'\\' => out.push('\\'),
-                            b'/' => out.push('/'),
-                            b'n' => out.push('\n'),
-                            b't' => out.push('\t'),
-                            b'r' => out.push('\r'),
-                            b'b' => out.push('\u{8}'),
-                            b'f' => out.push('\u{c}'),
-                            b'u' => {
-                                let hex = self
-                                    .s
-                                    .get(self.i..self.i + 4)
-                                    .and_then(|h| std::str::from_utf8(h).ok())
-                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                    .ok_or("bad \\u escape")?;
-                                self.i += 4;
-                                out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                            }
-                            _ => return Err(format!("bad escape at byte {}", self.i - 1)),
-                        }
-                    }
-                    _ => {
-                        // advance one UTF-8 scalar
-                        let rest = std::str::from_utf8(&self.s[self.i..])
-                            .map_err(|_| "invalid utf-8".to_string())?;
-                        let c = rest.chars().next().unwrap();
-                        out.push(c);
-                        self.i += c.len_utf8();
-                    }
-                }
-            }
-        }
-        fn array(&mut self) -> Result<Value, String> {
-            self.eat(b'[')?;
-            let mut items = Vec::new();
-            self.ws();
-            if self.peek() == Some(b']') {
-                self.i += 1;
-                return Ok(Value::Arr(items));
-            }
-            loop {
-                items.push(self.value()?);
-                self.ws();
-                match self.peek() {
-                    Some(b',') => self.i += 1,
-                    Some(b']') => {
-                        self.i += 1;
-                        return Ok(Value::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
-                }
-            }
-        }
-        fn object(&mut self) -> Result<Value, String> {
-            self.eat(b'{')?;
-            let mut fields = Vec::new();
-            self.ws();
-            if self.peek() == Some(b'}') {
-                self.i += 1;
-                return Ok(Value::Obj(fields));
-            }
-            loop {
-                self.ws();
-                let k = self.string()?;
-                self.ws();
-                self.eat(b':')?;
-                let v = self.value()?;
-                fields.push((k, v));
-                self.ws();
-                match self.peek() {
-                    Some(b',') => self.i += 1,
-                    Some(b'}') => {
-                        self.i += 1;
-                        return Ok(Value::Obj(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
-                }
-            }
-        }
-    }
-
-    /// Parse a complete JSON document.
-    pub fn parse(s: &str) -> Result<Value, String> {
-        let mut p = P { s: s.as_bytes(), i: 0 };
-        let v = p.value()?;
-        p.ws();
-        if p.i != p.s.len() {
-            return Err(format!("trailing garbage at byte {}", p.i));
-        }
-        Ok(v)
     }
 }

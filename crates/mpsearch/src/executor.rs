@@ -30,11 +30,19 @@
 use crate::evaluator::{Evaluator, RunControl};
 use crate::events::{Event, EventLog};
 use mpconfig::{Config, StructureTree};
+use mptrace::Tracer;
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Lock `m`, recovering the guard if a previous holder panicked: a
+/// worker panic caught by `catch_unwind` must not poison the quarantine
+/// set for the rest of the search.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// The classified outcome of evaluating one configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -183,6 +191,7 @@ pub struct Executor<'a> {
     policy: ExecPolicy,
     faults: FaultPlan,
     events: Option<&'a EventLog>,
+    tracer: Option<&'a Tracer>,
     next_idx: AtomicU64,
     attempts: AtomicUsize,
     timeouts: AtomicUsize,
@@ -208,6 +217,7 @@ impl<'a> Executor<'a> {
             policy,
             faults,
             events,
+            tracer: None,
             next_idx: AtomicU64::new(0),
             attempts: AtomicUsize::new(0),
             timeouts: AtomicUsize::new(0),
@@ -216,6 +226,13 @@ impl<'a> Executor<'a> {
             quarantined: AtomicUsize::new(0),
             quarantine: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Attach a [`Tracer`]: evaluation attempts get spans, verdicts get
+    /// counters, and attempt wall time gets a histogram.
+    pub fn with_tracer(mut self, tracer: Option<&'a Tracer>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Snapshot of the robustness counters.
@@ -247,12 +264,16 @@ impl<'a> Executor<'a> {
         } else {
             Vec::new()
         };
-        if self.policy.quarantine_after > 0 && self.quarantine.lock().unwrap().contains(&key) {
+        if self.policy.quarantine_after > 0 && relock(&self.quarantine).contains(&key) {
             self.quarantined.fetch_add(1, Ordering::Relaxed);
             self.emit(Event::Quarantined { label: label.to_string(), wedged: 0 });
+            if let Some(t) = self.tracer {
+                t.incr("exec.verdict.quarantined", 1);
+            }
             return Verdict::Quarantined;
         }
 
+        let _item_span = self.tracer.map(|t| t.span("eval"));
         let insns = key.len();
         let mut wedged = 0usize;
         let mut last = Verdict::Crashed;
@@ -260,6 +281,8 @@ impl<'a> Executor<'a> {
             let idx = self.next_idx.fetch_add(1, Ordering::Relaxed);
             self.attempts.fetch_add(1, Ordering::Relaxed);
             self.emit(Event::EvalStarted { idx, label: label.to_string(), insns });
+            let _attempt_span =
+                self.tracer.map(|t| t.span(if attempt == 0 { "attempt" } else { "retry-attempt" }));
 
             let fires = |plan: &[u64]| plan.contains(&idx);
             let injected_starve = fires(&self.faults.fuel_starve_at);
@@ -309,6 +332,13 @@ impl<'a> Executor<'a> {
                 wall_us: wall.as_micros() as u64,
                 cache_hit,
             });
+            if let Some(t) = self.tracer {
+                t.incr(&format!("exec.verdict.{}", verdict.as_str()), 1);
+                t.observe("exec.attempt_wall_us", wall.as_micros() as u64);
+                if cache_hit {
+                    t.incr("exec.cache_hits", 1);
+                }
+            }
 
             match verdict {
                 Verdict::Pass | Verdict::Fail => return verdict,
@@ -329,6 +359,9 @@ impl<'a> Executor<'a> {
 
             if attempt < self.policy.max_retries {
                 self.retries.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = self.tracer {
+                    t.incr("exec.retries", 1);
+                }
                 let backoff = self.policy.backoff.saturating_mul(attempt as u32 + 1);
                 self.emit(Event::Retry {
                     idx,
@@ -342,9 +375,12 @@ impl<'a> Executor<'a> {
         }
 
         if self.policy.quarantine_after > 0 && wedged >= self.policy.quarantine_after {
-            self.quarantine.lock().unwrap().insert(key);
+            relock(&self.quarantine).insert(key);
             self.quarantined.fetch_add(1, Ordering::Relaxed);
             self.emit(Event::Quarantined { label: label.to_string(), wedged });
+            if let Some(t) = self.tracer {
+                t.incr("exec.verdict.quarantined", 1);
+            }
             return Verdict::Quarantined;
         }
         last

@@ -116,3 +116,89 @@ impl SearchReport {
         format!("{:<8} shadow-pruned: {:>4}", name, self.pruned_by_shadow)
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SearchReport {
+        SearchReport {
+            candidates: 21,
+            configs_tested: 5,
+            passing: Vec::new(),
+            failed_insns: 0,
+            final_config: Config::new(),
+            final_pass: true,
+            static_pct: 95.2,
+            dynamic_pct: 99.95,
+            elapsed: Duration::from_millis(1500),
+            cache_hits: 2,
+            fuel_capped: 1,
+            timeouts: 0,
+            crashes: 0,
+            retries: 0,
+            quarantined: 0,
+            pruned_by_shadow: 0,
+        }
+    }
+
+    #[test]
+    fn figure10_row_matches_header_columns() {
+        let r = report();
+        let row = r.figure10_row("ep.s");
+        assert_eq!(row, "ep.s             21        5     95.2%    100.0%   pass");
+        // header and row agree on the position of every column boundary
+        let header = SearchReport::figure10_header();
+        assert_eq!(header.len(), row.len());
+        for (h, v) in [
+            ("candidates", "21"),
+            ("tested", "5"),
+            ("static", "95.2%"),
+            ("dynamic", "100.0%"),
+            ("final", "pass"),
+        ] {
+            let hcol = header.find(h).unwrap() + h.len();
+            let vcol = row.find(v).unwrap() + v.len();
+            assert_eq!(hcol, vcol, "column `{h}` misaligned");
+        }
+    }
+
+    #[test]
+    fn figure10_row_shows_failure() {
+        let mut r = report();
+        r.final_pass = false;
+        assert!(r.figure10_row("cg.s").ends_with("fail"));
+        assert!(r.figure10_row("cg.s").starts_with("cg.s "));
+    }
+
+    #[test]
+    fn perf_note_always_renders() {
+        let r = report();
+        let note = r.perf_note("ep.s");
+        assert!(note.starts_with("ep.s "));
+        assert!(note.contains("eval cache hits:    2"));
+        assert!(note.contains("fuel-capped runs:    1"));
+        assert!(note.contains("1.5s"));
+    }
+
+    #[test]
+    fn fault_note_is_empty_without_faults() {
+        assert_eq!(report().fault_note("ep.s"), "");
+        let mut r = report();
+        r.timeouts = 2;
+        r.retries = 1;
+        let note = r.fault_note("ep.s");
+        assert!(note.contains("timeouts:   2"));
+        assert!(note.contains("crashes:   0"));
+        assert!(note.contains("retries:   1"));
+        assert!(note.contains("quarantined:   0"));
+    }
+
+    #[test]
+    fn shadow_note_is_empty_without_pruning() {
+        assert_eq!(report().shadow_note("ep.s"), "");
+        let mut r = report();
+        r.pruned_by_shadow = 7;
+        assert_eq!(r.shadow_note("ep.s"), "ep.s     shadow-pruned:    7");
+    }
+}

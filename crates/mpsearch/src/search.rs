@@ -7,6 +7,7 @@ use crate::report::{PassingUnit, SearchReport};
 use fpvm::isa::InsnId;
 use fpvm::Profile;
 use mpconfig::{Config, Flag, NodeRef, StructureTree};
+use mptrace::Tracer;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
 use std::sync::{Condvar, Mutex};
@@ -124,6 +125,8 @@ pub struct SearchHooks<'a> {
     /// Shadow-value oracle for prioritization and pruning; `None`
     /// leaves the search exactly as without the subsystem.
     pub shadow: Option<ShadowOracle<'a>>,
+    /// Span/metric recorder; `None` disables tracing entirely.
+    pub tracer: Option<&'a Tracer>,
 }
 
 /// A shadow-run sensitivity profile plugged into the search as an
@@ -206,6 +209,7 @@ struct Ctx<'a> {
     opts: &'a SearchOptions,
     events: Option<&'a EventLog>,
     shadow: Option<ShadowOracle<'a>>,
+    tracer: Option<&'a Tracer>,
 }
 
 impl Ctx<'_> {
@@ -261,6 +265,9 @@ impl Ctx<'_> {
                 priority,
                 depth: s.queue.len() + 1,
             });
+        }
+        if let Some(t) = self.tracer {
+            t.incr("search.enqueued", 1);
         }
         s.queue.push(QEntry { priority, seq: Reverse(seq), item });
     }
@@ -359,7 +366,16 @@ pub fn search_observed(
     hooks: &SearchHooks<'_>,
 ) -> SearchReport {
     let start = Instant::now();
-    let ctx = Ctx { tree, base, profile, opts, events: hooks.events, shadow: hooks.shadow };
+    let ctx = Ctx {
+        tree,
+        base,
+        profile,
+        opts,
+        events: hooks.events,
+        shadow: hooks.shadow,
+        tracer: hooks.tracer,
+    };
+    let _search_span = hooks.tracer.map(|t| t.span("search"));
 
     // Optionally interpose the evaluation cache. All call sites below —
     // workers, the final union test, and the second phase — go through
@@ -369,7 +385,8 @@ pub fn search_observed(
         Some(c) => c,
         None => eval,
     };
-    let exec = Executor::new(eval, tree, opts.exec.clone(), hooks.faults.clone(), hooks.events);
+    let exec = Executor::new(eval, tree, opts.exec.clone(), hooks.faults.clone(), hooks.events)
+        .with_tracer(hooks.tracer);
 
     let candidates: Vec<InsnId> =
         tree.all_insns().into_iter().filter(|&i| base.effective(tree, i) != Flag::Ignore).collect();
@@ -383,6 +400,7 @@ pub fn search_observed(
         log.emit(Event::PhaseStarted { phase: "bfs".into() });
     }
     let phase_start = Instant::now();
+    let bfs_span = hooks.tracer.map(|t| t.span("phase:bfs"));
 
     let shared = Mutex::new(Shared {
         queue: BinaryHeap::new(),
@@ -428,6 +446,12 @@ pub fn search_observed(
                                     in_flight: s.in_flight,
                                 });
                             }
+                            // Gauge sampled at the dequeue, so idle drains
+                            // are visible, not just enqueue-time spikes.
+                            if let Some(t) = ctx.tracer {
+                                t.gauge("search.queue_depth", s.queue.len() as f64);
+                                t.gauge("search.in_flight", s.in_flight as f64);
+                            }
                             break e.item;
                         }
                         if s.in_flight == 0 {
@@ -451,6 +475,9 @@ pub fn search_observed(
                                     err,
                                     threshold,
                                 });
+                            }
+                            if let Some(t) = ctx.tracer {
+                                t.incr("search.shadow_pruned", 1);
                             }
                             let mut s = shared.lock().unwrap();
                             s.pruned += 1;
@@ -477,6 +504,7 @@ pub fn search_observed(
     });
 
     let s = shared.into_inner().unwrap();
+    drop(bfs_span);
     if let Some(log) = hooks.events {
         log.emit(Event::PhaseFinished {
             phase: "bfs".into(),
@@ -485,6 +513,7 @@ pub fn search_observed(
         log.emit(Event::PhaseStarted { phase: "union".into() });
     }
     let phase_start = Instant::now();
+    let union_span = hooks.tracer.map(|t| t.span("phase:union"));
 
     // Compose the final configuration: the union of every individually
     // passing unit (§2.2), then test it once more.
@@ -496,6 +525,7 @@ pub fn search_observed(
     let mut final_config = ctx.trial_config(&replaced.iter().copied().collect::<Vec<_>>());
     let mut final_pass = replaced.is_empty() || exec.run(&final_config, "union") == Verdict::Pass;
     let mut tested_extra = 0usize;
+    drop(union_span);
     if let Some(log) = hooks.events {
         log.emit(Event::PhaseFinished {
             phase: "union".into(),
@@ -515,6 +545,7 @@ pub fn search_observed(
             log.emit(Event::PhaseStarted { phase: "second-phase".into() });
         }
         let phase_start = Instant::now();
+        let second_span = hooks.tracer.map(|t| t.span("phase:second-phase"));
         passing_units.sort_by_key(|it| match profile {
             Some(p) => p.total_of(it.insns.iter().copied()),
             None => it.insns.len() as u64,
@@ -529,6 +560,7 @@ pub fn search_observed(
             tested_extra += 1;
         }
         replaced = passing_units.iter().flat_map(|it| it.insns.iter().copied()).collect();
+        drop(second_span);
         if let Some(log) = hooks.events {
             log.emit(Event::PhaseFinished {
                 phase: "second-phase".into(),

@@ -173,20 +173,24 @@ impl SensitivityProfile {
     /// fields; rejects structural damage (missing header, bad record
     /// count, malformed lines).
     pub fn parse(text: &str) -> Result<SensitivityProfile, String> {
+        use mptrace::json::{self, Value};
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-        let header = jsonl::parse_flat(lines.next().ok_or("empty profile")?)?;
-        if jsonl::str_field(&header, "type") != Some("shadow_profile") {
+        let header = json::parse(lines.next().ok_or("empty profile")?)?;
+        if header.get("type").and_then(Value::as_str) != Some("shadow_profile") {
             return Err("not a shadow profile (bad header)".into());
         }
-        let declared = jsonl::num_field(&header, "insns").ok_or("header missing insn count")?;
+        let declared =
+            header.get("insns").and_then(Value::as_f64).ok_or("header missing insn count")?;
         let mut insns = BTreeMap::new();
         for line in lines {
-            let rec = jsonl::parse_flat(line)?;
-            if jsonl::str_field(&rec, "type") != Some("insn") {
+            let rec = json::parse(line)?;
+            if rec.get("type").and_then(Value::as_str) != Some("insn") {
                 return Err(format!("unexpected record type in {line:?}"));
             }
             let field = |k: &str| {
-                jsonl::num_field(&rec, k).ok_or_else(|| format!("missing field {k} in {line:?}"))
+                rec.get(k)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("missing field {k} in {line:?}"))
             };
             insns.insert(
                 field("id")? as u32,
@@ -209,61 +213,6 @@ impl SensitivityProfile {
     pub fn from_file(path: &str) -> Result<SensitivityProfile, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         Self::parse(&text)
-    }
-}
-
-/// A minimal flat-JSON-object line parser: exactly the shape this module
-/// writes — one object per line, string or numeric values, no nesting.
-/// (`mpsearch::events` has a fuller parser, but depending on it here
-/// would cycle: `mpsearch` depends on this crate.)
-mod jsonl {
-    /// Parse `{"k":v,...}` with string or numeric values.
-    pub fn parse_flat(line: &str) -> Result<Vec<(String, String)>, String> {
-        let s = line.trim();
-        let inner = s
-            .strip_prefix('{')
-            .and_then(|s| s.strip_suffix('}'))
-            .ok_or_else(|| format!("not an object: {line:?}"))?;
-        let mut fields = Vec::new();
-        let mut rest = inner.trim();
-        while !rest.is_empty() {
-            let (key, after) = take_string(rest)?;
-            rest = after
-                .trim_start()
-                .strip_prefix(':')
-                .ok_or_else(|| format!("missing `:` after {key:?}"))?
-                .trim_start();
-            let (val, after) = if rest.starts_with('"') {
-                take_string(rest)?
-            } else {
-                let end = rest.find(',').unwrap_or(rest.len());
-                (rest[..end].trim().to_string(), &rest[end..])
-            };
-            fields.push((key, val));
-            rest = after.trim_start();
-            if let Some(r) = rest.strip_prefix(',') {
-                rest = r.trim_start();
-            } else if !rest.is_empty() {
-                return Err(format!("trailing junk: {rest:?}"));
-            }
-        }
-        Ok(fields)
-    }
-
-    /// Consume a leading `"..."` (no escape support — this format never
-    /// writes escapes) and return (content, remainder).
-    fn take_string(s: &str) -> Result<(String, &str), String> {
-        let body = s.strip_prefix('"').ok_or_else(|| format!("expected string at {s:?}"))?;
-        let end = body.find('"').ok_or_else(|| format!("unterminated string at {s:?}"))?;
-        Ok((body[..end].to_string(), &body[end + 1..]))
-    }
-
-    pub fn str_field<'a>(fields: &'a [(String, String)], key: &str) -> Option<&'a str> {
-        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
-    }
-
-    pub fn num_field(fields: &[(String, String)], key: &str) -> Option<f64> {
-        fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.parse().ok())
     }
 }
 

@@ -1,0 +1,210 @@
+//! Render a [`TraceSnapshot`] for external tooling.
+//!
+//! Two formats: [`prometheus`] emits Prometheus text exposition
+//! (`craft metrics run/trace.jsonl --prom out.prom`), and [`folded`]
+//! emits folded stacks (`name;child;grandchild <µs>`) directly
+//! consumable by `inferno-flamegraph` / `flamegraph.pl`.
+
+use crate::snapshot::TraceSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Sanitize a metric or label fragment into `[a-zA-Z0-9_:]`.
+fn prom_name(s: &str) -> String {
+    s.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
+}
+
+/// Escape a Prometheus label value.
+fn prom_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render the snapshot in Prometheus text exposition format. All
+/// series carry the `craft_` prefix; histograms expose cumulative
+/// log2 buckets with `le` equal to each bucket's inclusive upper bound.
+pub fn prometheus(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, v) in &snap.counters {
+        let n = format!("craft_{}_total", prom_name(name));
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+    }
+    for (name, g) in &snap.gauges {
+        let n = format!("craft_{}", prom_name(name));
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", g.last);
+        let _ = writeln!(out, "# TYPE {n}_min gauge\n{n}_min {}", g.min);
+        let _ = writeln!(out, "# TYPE {n}_max gauge\n{n}_max {}", g.max);
+    }
+    for (name, h) in &snap.hists {
+        let n = format!("craft_{}", prom_name(name));
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for &(bucket, count) in &h.buckets {
+            cum += count;
+            // Bucket k > 0 covers [2^(k-1), 2^k); its inclusive upper
+            // bound is 2^k - 1. Bucket 0 holds exact zeros.
+            let le = if bucket == 0 {
+                0u64
+            } else if bucket >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bucket) - 1
+            };
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    // Spans aggregate per name: total time and call count.
+    let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for sp in &snap.spans {
+        let e = by_name.entry(&sp.name).or_insert((0, 0));
+        e.0 += sp.dur_us;
+        e.1 += 1;
+    }
+    if !by_name.is_empty() {
+        out.push_str("# TYPE craft_span_us_sum counter\n");
+        for (name, (sum, _)) in &by_name {
+            let _ = writeln!(out, "craft_span_us_sum{{span=\"{}\"}} {sum}", prom_label(name));
+        }
+        out.push_str("# TYPE craft_span_count counter\n");
+        for (name, (_, count)) in &by_name {
+            let _ = writeln!(out, "craft_span_count{{span=\"{}\"}} {count}", prom_label(name));
+        }
+    }
+    if !snap.hot.is_empty() {
+        out.push_str("# TYPE craft_insn_cycles_total counter\n");
+        for h in &snap.hot {
+            let _ = writeln!(
+                out,
+                "craft_insn_cycles_total{{insn=\"{}\",label=\"{}\"}} {}",
+                h.insn,
+                prom_label(&h.label),
+                h.cycles
+            );
+        }
+        out.push_str("# TYPE craft_insn_hits_total counter\n");
+        for h in &snap.hot {
+            let _ = writeln!(
+                out,
+                "craft_insn_hits_total{{insn=\"{}\",label=\"{}\"}} {}",
+                h.insn,
+                prom_label(&h.label),
+                h.hits
+            );
+        }
+    }
+    out
+}
+
+/// Render the span tree as folded stacks: one line per distinct stack,
+/// `root;child;leaf <exclusive µs>`, sorted. Frame names have `;` and
+/// whitespace replaced so the output is directly flamegraph-safe.
+pub fn folded(snap: &TraceSnapshot) -> String {
+    let by_id: BTreeMap<u64, &crate::snapshot::SpanRecord> =
+        snap.spans.iter().map(|s| (s.id, s)).collect();
+    // Exclusive time: duration minus time of direct children.
+    let mut child_us: BTreeMap<u64, u64> = BTreeMap::new();
+    for sp in &snap.spans {
+        if let Some(p) = sp.parent {
+            *child_us.entry(p).or_insert(0) += sp.dur_us;
+        }
+    }
+    let frame = |name: &str| -> String {
+        name.chars().map(|c| if c == ';' || c.is_whitespace() { '_' } else { c }).collect()
+    };
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for sp in &snap.spans {
+        let mut parts = vec![frame(&sp.name)];
+        let mut cur = sp.parent;
+        // Walk ancestry; `take` bounds the loop against malformed cycles.
+        for _ in 0..snap.spans.len() {
+            match cur.and_then(|id| by_id.get(&id)) {
+                Some(p) => {
+                    parts.push(frame(&p.name));
+                    cur = p.parent;
+                }
+                None => break,
+            }
+        }
+        parts.reverse();
+        let excl = sp.dur_us.saturating_sub(child_us.get(&sp.id).copied().unwrap_or(0));
+        *stacks.entry(parts.join(";")).or_insert(0) += excl;
+    }
+    let mut out = String::with_capacity(1024);
+    for (stack, us) in &stacks {
+        let _ = writeln!(out, "{stack} {us}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{GaugeStat, HistStat, HotInsn, SpanRecord};
+
+    fn sample() -> TraceSnapshot {
+        let mut snap = TraceSnapshot::default();
+        for (id, parent, name, dur) in [
+            (1, None, "search", 100u64),
+            (2, Some(1), "phase:bfs", 60),
+            (3, Some(2), "eval", 40),
+            (4, Some(1), "phase:union", 20),
+        ] {
+            snap.spans.push(SpanRecord {
+                id,
+                parent,
+                name: name.into(),
+                thread: 0,
+                start_us: id,
+                dur_us: dur,
+            });
+        }
+        snap.counters.insert("evals".into(), 5);
+        snap.gauges
+            .insert("queue.depth".into(), GaugeStat { last: 0.0, min: 0.0, max: 4.0, sets: 9 });
+        snap.hists.insert(
+            "eval wall".into(),
+            HistStat { count: 4, sum: 22, buckets: vec![(0, 1), (3, 3)] },
+        );
+        snap.hot.push(HotInsn { insn: 7, cycles: 123, hits: 9, label: "main/b0/i7".into() });
+        snap
+    }
+
+    #[test]
+    fn prometheus_output_is_well_formed() {
+        let text = prometheus(&sample());
+        assert!(text.contains("# TYPE craft_evals_total counter"));
+        assert!(text.contains("craft_evals_total 5"));
+        assert!(text.contains("craft_queue_depth_max 4"));
+        // Histogram name sanitized, cumulative buckets, +Inf terminal.
+        assert!(text.contains("craft_eval_wall_bucket{le=\"0\"} 1"));
+        assert!(text.contains("craft_eval_wall_bucket{le=\"7\"} 4"));
+        assert!(text.contains("craft_eval_wall_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("craft_eval_wall_sum 22"));
+        assert!(text.contains("craft_insn_cycles_total{insn=\"7\",label=\"main/b0/i7\"} 123"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf", "bad value {value:?}");
+        }
+    }
+
+    #[test]
+    fn folded_stacks_attribute_exclusive_time() {
+        let text = folded(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"search 20"), "{text}");
+        assert!(lines.contains(&"search;phase:bfs 20"), "{text}");
+        assert!(lines.contains(&"search;phase:bfs;eval 40"), "{text}");
+        assert!(lines.contains(&"search;phase:union 20"), "{text}");
+        // flamegraph-parseable: every line is `stack <int>` with no
+        // whitespace inside the stack.
+        for line in lines {
+            let (stack, v) = line.rsplit_once(' ').unwrap();
+            assert!(!stack.contains(char::is_whitespace));
+            v.parse::<u64>().unwrap();
+        }
+    }
+}

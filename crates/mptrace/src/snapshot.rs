@@ -1,0 +1,308 @@
+//! Immutable trace snapshots and their JSONL wire format.
+//!
+//! A [`TraceSnapshot`] is everything a [`crate::Tracer`] recorded,
+//! folded into plain ordered data: spans sorted by start time, metric
+//! maps ordered by name, hot instructions ordered by id. It serializes
+//! to a JSONL artifact (`trace.jsonl` in a run directory) whose
+//! round-trip is **byte-exact**: `parse(s).to_jsonl() == s` for any
+//! `s` produced by [`TraceSnapshot::to_jsonl`]. Floats print in Rust's
+//! `{:?}` shortest-exact form, so the guarantee holds for gauges too.
+
+use crate::json::{self, esc, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Snapshot-unique span id (allocation order).
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name, e.g. `"phase:bfs"` or `"eval"`.
+    pub name: String,
+    /// Process-wide ordinal of the recording thread.
+    pub thread: u64,
+    /// Start, microseconds since the tracer was created.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Last/min/max of a gauge over the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeStat {
+    /// Most recently set value.
+    pub last: f64,
+    /// Smallest value ever set.
+    pub min: f64,
+    /// Largest value ever set.
+    pub max: f64,
+    /// Number of times the gauge was set.
+    pub sets: u64,
+}
+
+/// A folded log2-bucketed histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistStat {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Sparse `(bucket index, count)` pairs, ascending, zero counts
+    /// omitted. Bucket `k > 0` covers `[2^(k-1), 2^k)`; bucket 0 is 0.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// Aggregate interpreter time attributed to one instruction id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotInsn {
+    /// Instruction id (index into the profiled program).
+    pub insn: u32,
+    /// Total model cycles spent in this instruction.
+    pub cycles: u64,
+    /// Times the instruction was dispatched.
+    pub hits: u64,
+    /// Optional human label (structural path); empty when unresolved.
+    pub label: String,
+}
+
+/// Everything one traced run recorded. See the module docs for the
+/// wire format.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceSnapshot {
+    /// Completed spans, sorted by `(start_us, id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, GaugeStat>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, HistStat>,
+    /// Hot instructions, ascending by id.
+    pub hot: Vec<HotInsn>,
+}
+
+impl TraceSnapshot {
+    /// Serialize to JSONL: a `meta` header line followed by one object
+    /// per span, counter, gauge, histogram, and hot instruction.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        let _ = writeln!(s, "{{\"kind\":\"meta\",\"format\":\"mptrace\",\"version\":1}}");
+        for sp in &self.spans {
+            let _ = write!(s, "{{\"kind\":\"span\",\"id\":{},\"parent\":", sp.id);
+            match sp.parent {
+                Some(p) => {
+                    let _ = write!(s, "{p}");
+                }
+                None => s.push_str("null"),
+            }
+            s.push_str(",\"name\":");
+            esc(&mut s, &sp.name);
+            let _ = writeln!(
+                s,
+                ",\"thread\":{},\"start_us\":{},\"dur_us\":{}}}",
+                sp.thread, sp.start_us, sp.dur_us
+            );
+        }
+        for (k, v) in &self.counters {
+            s.push_str("{\"kind\":\"counter\",\"name\":");
+            esc(&mut s, k);
+            let _ = writeln!(s, ",\"value\":{v}}}");
+        }
+        for (k, g) in &self.gauges {
+            s.push_str("{\"kind\":\"gauge\",\"name\":");
+            esc(&mut s, k);
+            let _ = writeln!(
+                s,
+                ",\"last\":{:?},\"min\":{:?},\"max\":{:?},\"sets\":{}}}",
+                g.last, g.min, g.max, g.sets
+            );
+        }
+        for (k, h) in &self.hists {
+            s.push_str("{\"kind\":\"hist\",\"name\":");
+            esc(&mut s, k);
+            let _ = write!(s, ",\"count\":{},\"sum\":{},\"buckets\":[", h.count, h.sum);
+            for (i, (b, c)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{b},{c}]");
+            }
+            s.push_str("]}\n");
+        }
+        for h in &self.hot {
+            let _ = write!(
+                s,
+                "{{\"kind\":\"hot\",\"insn\":{},\"cycles\":{},\"hits\":{},\"label\":",
+                h.insn, h.cycles, h.hits
+            );
+            esc(&mut s, &h.label);
+            s.push_str("}\n");
+        }
+        s
+    }
+
+    /// Parse a JSONL artifact produced by [`TraceSnapshot::to_jsonl`].
+    pub fn parse(text: &str) -> Result<TraceSnapshot, String> {
+        let mut snap = TraceSnapshot::default();
+        let mut saw_meta = false;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let kind = v
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: missing \"kind\"", lineno + 1))?;
+            let n = |k: &str| -> Result<u64, String> {
+                v.get(k)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("line {}: missing field \"{k}\"", lineno + 1))
+            };
+            let f = |k: &str| -> Result<f64, String> {
+                v.get(k)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("line {}: missing float \"{k}\"", lineno + 1))
+            };
+            let st = |k: &str| -> Result<String, String> {
+                v.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("line {}: missing string \"{k}\"", lineno + 1))
+            };
+            match kind {
+                "meta" => {
+                    if v.get("format").and_then(Value::as_str) != Some("mptrace") {
+                        return Err("not an mptrace artifact".into());
+                    }
+                    saw_meta = true;
+                }
+                "span" => {
+                    let parent = match v.get("parent") {
+                        Some(Value::Null) | None => None,
+                        Some(p) => Some(p.as_u64().ok_or("bad parent")?),
+                    };
+                    snap.spans.push(SpanRecord {
+                        id: n("id")?,
+                        parent,
+                        name: st("name")?,
+                        thread: n("thread")?,
+                        start_us: n("start_us")?,
+                        dur_us: n("dur_us")?,
+                    });
+                }
+                "counter" => {
+                    snap.counters.insert(st("name")?, n("value")?);
+                }
+                "gauge" => {
+                    snap.gauges.insert(
+                        st("name")?,
+                        GaugeStat {
+                            last: f("last")?,
+                            min: f("min")?,
+                            max: f("max")?,
+                            sets: n("sets")?,
+                        },
+                    );
+                }
+                "hist" => {
+                    let buckets = v
+                        .get("buckets")
+                        .and_then(Value::as_arr)
+                        .ok_or("missing buckets")?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_arr().ok_or("bad bucket pair")?;
+                            match pair {
+                                [b, c] => Ok((
+                                    b.as_u64().ok_or("bad bucket index")? as u32,
+                                    c.as_u64().ok_or("bad bucket count")?,
+                                )),
+                                _ => Err("bad bucket pair".to_string()),
+                            }
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    snap.hists.insert(
+                        st("name")?,
+                        HistStat { count: n("count")?, sum: n("sum")?, buckets },
+                    );
+                }
+                "hot" => {
+                    snap.hot.push(HotInsn {
+                        insn: n("insn")? as u32,
+                        cycles: n("cycles")?,
+                        hits: n("hits")?,
+                        label: st("label")?,
+                    });
+                }
+                other => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
+            }
+        }
+        if !saw_meta {
+            return Err("missing mptrace meta header line".into());
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceSnapshot {
+        let mut snap = TraceSnapshot::default();
+        snap.spans.push(SpanRecord {
+            id: 1,
+            parent: None,
+            name: "search".into(),
+            thread: 0,
+            start_us: 0,
+            dur_us: 1200,
+        });
+        snap.spans.push(SpanRecord {
+            id: 2,
+            parent: Some(1),
+            name: "phase:bfs".into(),
+            thread: 0,
+            start_us: 5,
+            dur_us: 800,
+        });
+        snap.counters.insert("rewrite.cache_hits".into(), 17);
+        snap.gauges
+            .insert("queue.depth".into(), GaugeStat { last: 0.0, min: 0.0, max: 12.5, sets: 40 });
+        snap.hists
+            .insert("eval.wall_us".into(), HistStat { count: 3, sum: 700, buckets: vec![(8, 3)] });
+        snap.hot.push(HotInsn { insn: 4, cycles: 900, hits: 30, label: "main/b1/i4".into() });
+        snap
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_byte_exact() {
+        let snap = sample();
+        let text = snap.to_jsonl();
+        let back = TraceSnapshot::parse(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_jsonl(), text, "round-trip must be byte-exact");
+    }
+
+    #[test]
+    fn parse_rejects_foreign_artifacts() {
+        assert!(TraceSnapshot::parse("{\"kind\":\"span\",\"id\":1}").is_err());
+        assert!(TraceSnapshot::parse("{\"kind\":\"meta\",\"format\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn gauge_floats_survive_exactly() {
+        let mut snap = TraceSnapshot::default();
+        snap.gauges.insert(
+            "g".into(),
+            GaugeStat { last: 0.1 + 0.2, min: f64::MIN_POSITIVE, max: 1e300, sets: 3 },
+        );
+        let back = TraceSnapshot::parse(&snap.to_jsonl()).unwrap();
+        assert_eq!(back.gauges["g"].last.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(back.gauges["g"].min.to_bits(), f64::MIN_POSITIVE.to_bits());
+    }
+}

@@ -79,6 +79,52 @@ fn replaced(report: &SearchReport, tree: &StructureTree) -> Vec<u32> {
 }
 
 #[test]
+fn event_log_survives_a_poisoned_lock() {
+    use std::io::Write;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    // A sink that panics on its first write. The panic unwinds out of
+    // `emit` while the log's writer mutex is held, poisoning it — the
+    // same shape as an evaluator panicking under `catch_unwind` mid-run.
+    struct PoisonOnce {
+        armed: bool,
+        buf: Arc<Mutex<Vec<u8>>>,
+    }
+    impl Write for PoisonOnce {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            if self.armed {
+                self.armed = false;
+                panic!("injected sink panic");
+            }
+            self.buf.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let log = EventLog::to_writer(Box::new(PoisonOnce { armed: true, buf: buf.clone() }));
+    let poisoned = catch_unwind(AssertUnwindSafe(|| {
+        log.emit(Event::PhaseStarted { phase: "poisoned".into() });
+    }));
+    assert!(poisoned.is_err(), "first emit must panic through the sink");
+
+    // Regression: this second emit used to panic on the PoisonError and
+    // take the whole search down with it.
+    log.emit(Event::PhaseFinished { phase: "recovered".into(), wall_us: 1 });
+    log.flush();
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let rec = Record::parse(text.lines().next().expect("an event after the panic")).unwrap();
+    assert!(
+        matches!(rec.event, Event::PhaseFinished { ref phase, .. } if phase == "recovered"),
+        "unexpected event: {rec:?}"
+    );
+}
+
+#[test]
 fn event_schema_round_trips_every_variant() {
     let label = "m.f0 [2 children] \"quoted\"\nline".to_string();
     let all = vec![
