@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <fresh.json> [<baseline> <fresh> ...] [--threshold=PCT]
+//!            [--registry=DIR] [--record]
 //! ```
 //!
 //! For every benchmark present in a baseline file, the gate prints a
@@ -19,8 +20,17 @@
 //! guards against regressions of the same size, so the gate asks for
 //! the committed `BENCH_*.json` to be refreshed without failing the
 //! build.
+//!
+//! With `--registry=DIR` (or `$CRAFT_REGISTRY`), run-registry manifests
+//! carrying `bench_min_ns` entries override the committed JSON baseline
+//! per bench (newest manifest wins; rows say `[registry]`), so the gate
+//! tracks the fleet's most recent recorded reality instead of a stale
+//! checked-in file. `--record` writes the fresh measurements back as a
+//! new registry manifest for future runs to gate against.
 
 use mpsearch::events::json::{self, Value};
+use mptrace::registry::{self, Registry, RunManifest};
+use std::collections::BTreeMap;
 
 struct Bench {
     name: String,
@@ -52,6 +62,31 @@ fn load(path: &str) -> Result<(String, Vec<Bench>), String> {
     Ok((group, benches))
 }
 
+/// Fold every registry manifest's `bench_min_ns` map into one lookup,
+/// newest manifest winning per bench name. Unreadable manifests are
+/// skipped: a gate baseline must never be taken down by a torn write.
+fn registry_baselines(reg: &Registry) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    match reg.entries() {
+        Ok((entries, warn)) => {
+            if let Some(w) = warn {
+                eprintln!("bench_gate: warning: {}: {w}", reg.dir().display());
+            }
+            // The index is append-only, so iterating forward lets newer
+            // manifests overwrite older values.
+            for e in &entries {
+                if let Ok(Some(m)) = RunManifest::load(&e.path) {
+                    for (k, v) in &m.bench_min_ns {
+                        map.insert(k.clone(), *v);
+                    }
+                }
+            }
+        }
+        Err(e) => eprintln!("bench_gate: warning: {e}"),
+    }
+    map
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let threshold: f64 = args
@@ -59,14 +94,34 @@ fn main() {
         .find_map(|a| a.strip_prefix("--threshold="))
         .and_then(|t| t.parse().ok())
         .unwrap_or(20.0);
+    let registry_dir = args.iter().find_map(|a| a.strip_prefix("--registry=").map(str::to_string));
+    let record = args.iter().any(|a| a == "--record");
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if files.is_empty() || !files.len().is_multiple_of(2) {
-        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [...] [--threshold=PCT]");
+        eprintln!(
+            "usage: bench_gate <baseline.json> <fresh.json> [...] [--threshold=PCT] \
+             [--registry=DIR] [--record]"
+        );
         std::process::exit(2);
     }
 
+    // Only an explicit flag or $CRAFT_REGISTRY opts the gate into the
+    // registry; unlike `craft`, it never falls back to `~/.craft/runs`
+    // (CI runners have a $HOME but no recorded history worth trusting).
+    let reg = registry_dir.or_else(|| std::env::var("CRAFT_REGISTRY").ok()).and_then(|d| {
+        match Registry::open(&d) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("bench_gate: warning: cannot open registry {d}: {e}");
+                None
+            }
+        }
+    });
+    let reg_base = reg.as_ref().map(registry_baselines).unwrap_or_default();
+
     let mut failed = false;
     let mut stale = false;
+    let mut fresh_mins: BTreeMap<String, f64> = BTreeMap::new();
     for pair in files.chunks(2) {
         let (base_path, fresh_path) = (pair[0], pair[1]);
         let (group, base) = load(base_path).unwrap_or_else(|e| {
@@ -88,7 +143,11 @@ fn main() {
                 failed = true;
                 continue;
             };
-            let delta = (f.min_ns - b.min_ns) / b.min_ns * 100.0;
+            let (base_min, src) = match reg_base.get(&b.name) {
+                Some(v) => (*v, " [registry]"),
+                None => (b.min_ns, ""),
+            };
+            let delta = (f.min_ns - base_min) / base_min * 100.0;
             let verdict = if delta > threshold {
                 failed = true;
                 "FAIL"
@@ -99,9 +158,12 @@ fn main() {
                 ""
             };
             println!(
-                "  {:<28} {:>10.0}ns {:>10.0}ns {:>+7.1}%   {:>10.0}ns {:>10.0}ns  {verdict}",
-                b.name, b.min_ns, f.min_ns, delta, b.mean_ns, f.mean_ns
+                "  {:<28} {:>10.0}ns {:>10.0}ns {:>+7.1}%   {:>10.0}ns {:>10.0}ns  {verdict}{src}",
+                b.name, base_min, f.min_ns, delta, b.mean_ns, f.mean_ns
             );
+        }
+        for f in &fresh {
+            fresh_mins.insert(f.name.clone(), f.min_ns);
         }
         for f in &fresh {
             if !base.iter().any(|b| b.name == f.name) {
@@ -116,6 +178,34 @@ fn main() {
              baseline (marked STALE above); refresh the committed BENCH_*.json so the gate \
              keeps guarding against regressions of that size (warn-only, not a failure)"
         );
+    }
+    if record {
+        match &reg {
+            Some(reg) => {
+                let created = registry::unix_now();
+                let manifest = RunManifest {
+                    id: registry::new_run_id("bench", created),
+                    bench: "bench".into(),
+                    created_unix: created,
+                    bench_min_ns: fresh_mins,
+                    ..Default::default()
+                };
+                let dir = reg.dir().join(&manifest.id);
+                let res = std::fs::create_dir_all(&dir)
+                    .and_then(|()| manifest.save(&dir))
+                    .and_then(|()| reg.record(&manifest, &dir));
+                match res {
+                    Ok(()) => println!(
+                        "bench_gate: recorded {} fresh min_ns value(s) as {} in {}",
+                        manifest.bench_min_ns.len(),
+                        manifest.id,
+                        reg.dir().display()
+                    ),
+                    Err(e) => eprintln!("bench_gate: warning: cannot record baselines: {e}"),
+                }
+            }
+            None => eprintln!("bench_gate: warning: --record needs --registry=DIR (ignored)"),
+        }
     }
     if failed {
         eprintln!("bench_gate: throughput regression beyond {threshold:.0}% detected");

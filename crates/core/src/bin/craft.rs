@@ -10,28 +10,39 @@
 //! craft config <bench> [class]       # initial config file (Fig. 3)
 //! craft report <events.jsonl|run-dir>  # digest a search event log / run directory
 //! craft metrics <trace.jsonl>          # render a trace snapshot (Prometheus/folded)
+//! craft runs                           # list registry-recorded runs
+//! craft watch <run-dir|latest>         # render a run's live.jsonl stream
+//! craft compare <run-a> <run-b>        # cross-run diff with regression attribution
 //! ```
 //!
 //! Options for `analyze`: `--second-phase`, `--stop-depth=f|b|i`,
 //! `--no-split`, `--no-priority`, `--lean`, `--threads=N`,
 //! `--shadow-priority` / `--shadow-prune` (shadow-value search
 //! guidance), `--events=FILE` (JSONL event log), `--trace=DIR` (run
-//! directory collecting `events.jsonl` + `trace.jsonl`), and the
+//! directory collecting `events.jsonl` + `trace.jsonl` + `live.jsonl` +
+//! `manifest.json`), `--registry=DIR` (record the run in a registry;
+//! defaults to `$CRAFT_REGISTRY` or `~/.craft/runs`), and the
 //! fault-injection drills `--inject-panic=IDX[,IDX…]` /
 //! `--inject-timeout=IDX[,IDX…]`.
 //!
 //! Exit codes are uniform across subcommands: `2` for usage/argument
 //! errors (unknown benchmark, missing operand), `1` for runtime errors
-//! (unreadable file, malformed log), `0` otherwise.
+//! (unreadable file, malformed log) *and* for `compare` when a
+//! regression crosses its threshold (suppress with `--warn-only`),
+//! `0` otherwise.
 
 use mixedprec::{AnalysisOptions, AnalysisSystem, ShadowOptions, StopDepth};
 use mpconfig::editor::render_tree;
 use mpconfig::print_config;
 use mpsearch::events::{Event, EventLog, Record};
-use mpsearch::{FaultPlan, SearchHooks, SearchOptions, Verdict};
+use mpsearch::{FaultPlan, SearchHooks, SearchOptions, SearchReport, Verdict};
+use mptrace::compare::{compare, CompareOptions};
+use mptrace::registry::{self, Registry, RunManifest, RunSummary};
 use mptrace::snapshot::TraceSnapshot;
+use mptrace::stream::{LiveLog, StreamOptions, StreamSink};
 use mptrace::{sinks, Tracer};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use workloads::{Class, Workload};
 
 /// Usage/argument error: print the message and exit 2.
@@ -83,10 +94,10 @@ fn parse_indices(spec: &str) -> Vec<u64> {
 
 /// Digest a JSONL search event log: per-phase timing, a verdict
 /// histogram over evaluation attempts, robustness counters, and the
-/// top-k most expensive evaluations.
-fn render_report(path: &str, top: usize) {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+/// top-k most expensive evaluations. Returns an error (instead of
+/// exiting) so run-directory reports can degrade gracefully.
+fn render_report(path: &str, top: usize) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut records = Vec::new();
     let mut malformed = 0usize;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
@@ -96,7 +107,7 @@ fn render_report(path: &str, top: usize) {
         }
     }
     if records.is_empty() {
-        fail(format!(
+        return Err(format!(
             "{path}: no parseable events{}",
             if malformed > 0 { " (all malformed)" } else { "" }
         ));
@@ -170,13 +181,24 @@ fn render_report(path: &str, top: usize) {
             if *cache_hit { " (cached)" } else { "" }
         );
     }
+    Ok(())
 }
 
-/// Read and parse a `trace.jsonl` snapshot.
+/// Read and parse a `trace.jsonl` snapshot, exiting 1 on failure. A
+/// truncated final line (crash-interrupted run) is tolerated with a
+/// warning on stderr.
 fn load_snapshot(path: &str) -> TraceSnapshot {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
-    TraceSnapshot::parse(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")))
+    try_load_snapshot(path).unwrap_or_else(|e| fail(e))
+}
+
+/// [`load_snapshot`] returning the error instead of exiting.
+fn try_load_snapshot(path: &str) -> Result<TraceSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (snap, warn) = TraceSnapshot::parse_tolerant(&text).map_err(|e| format!("{path}: {e}"))?;
+    if let Some(w) = warn {
+        eprintln!("craft: warning: {path}: {w}");
+    }
+    Ok(snap)
 }
 
 /// Render a trace snapshot: per-phase timeline (spans aggregated by
@@ -246,6 +268,201 @@ fn render_trace_report(path: &str, snap: &TraceSnapshot, top: usize) {
     }
 }
 
+/// `git describe --always --dirty`, best-effort (empty when git or the
+/// repo is unavailable).
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_default()
+}
+
+/// Fold a [`SearchReport`] into the manifest's [`RunSummary`].
+fn summary_of(r: &SearchReport) -> RunSummary {
+    RunSummary {
+        candidates: r.candidates,
+        tested: r.configs_tested,
+        static_pct: r.static_pct,
+        dynamic_pct: r.dynamic_pct,
+        final_pass: r.final_pass,
+        timeouts: r.timeouts,
+        crashes: r.crashes,
+        retries: r.retries,
+        quarantined: r.quarantined,
+        pruned_by_shadow: r.pruned_by_shadow,
+    }
+}
+
+/// Open the resolved registry (`--registry` > `$CRAFT_REGISTRY` >
+/// `~/.craft/runs`); `None` with a note when nothing resolves.
+fn open_registry(explicit: Option<&str>) -> Option<Registry> {
+    let dir = Registry::resolve(explicit)?;
+    match Registry::open(&dir) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("craft: warning: cannot open registry {}: {e}", dir.display());
+            None
+        }
+    }
+}
+
+/// Resolve a run argument — a run directory, a bare `trace.jsonl`/
+/// `live.jsonl` path, or the literal `latest` (most recent registry
+/// run) — to a concrete path.
+fn resolve_run_arg(arg: &str, registry_flag: Option<&str>) -> PathBuf {
+    if arg == "latest" {
+        let reg = open_registry(registry_flag)
+            .unwrap_or_else(|| fail("no registry available to resolve `latest`".into()));
+        match reg.latest(None) {
+            Ok(Some(e)) => e.path,
+            Ok(None) => fail(format!("registry {} has no recorded runs", reg.dir().display())),
+            Err(e) => fail(e),
+        }
+    } else {
+        PathBuf::from(arg)
+    }
+}
+
+/// Load the trace snapshot for a run: a run directory's `trace.jsonl`,
+/// falling back to folding its `live.jsonl` stream (a crashed run has
+/// only the stream), or a direct artifact path.
+fn load_run_snapshot(path: &Path) -> Result<TraceSnapshot, String> {
+    if path.is_dir() {
+        let trace = path.join("trace.jsonl");
+        if trace.is_file() {
+            return try_load_snapshot(&trace.display().to_string());
+        }
+        let live = path.join("live.jsonl");
+        if live.is_file() {
+            let log = LiveLog::from_file(&live)?;
+            if let Some(w) = &log.warning {
+                eprintln!("craft: warning: {}: {w}", live.display());
+            }
+            return Ok(log.final_snapshot());
+        }
+        return Err(format!("{}: no trace.jsonl or live.jsonl", path.display()));
+    }
+    let s = path.display().to_string();
+    if s.ends_with("live.jsonl") {
+        let log = LiveLog::from_file(path)?;
+        if let Some(w) = &log.warning {
+            eprintln!("craft: warning: {s}: {w}");
+        }
+        return Ok(log.final_snapshot());
+    }
+    try_load_snapshot(&s)
+}
+
+/// The manifest next to a run artifact (the directory itself, or the
+/// artifact's parent directory). `None` when absent or unreadable.
+fn load_run_manifest(path: &Path) -> Option<RunManifest> {
+    let dir = if path.is_dir() { path } else { path.parent()? };
+    match RunManifest::load(dir) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("craft: warning: {e}");
+            None
+        }
+    }
+}
+
+/// Down-sample `values` to at most `cols` buckets (max within each) and
+/// render them as a unicode spark-line.
+fn sparkline(values: &[u64], cols: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let cols = cols.max(1).min(values.len());
+    let mut sampled = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let lo = c * values.len() / cols;
+        let hi = ((c + 1) * values.len() / cols).max(lo + 1);
+        sampled.push(values[lo..hi].iter().copied().max().unwrap_or(0));
+    }
+    let top = sampled.iter().copied().max().unwrap_or(0).max(1);
+    sampled.iter().map(|&v| BARS[(v * 7).div_ceil(top).min(7) as usize]).collect()
+}
+
+/// Render one frame of `craft watch`: phase timeline, queue-depth
+/// spark-line, verdict histogram, and hottest instructions so far.
+fn render_watch(dir_label: &str, log: &LiveLog, manifest: Option<&RunManifest>, top: usize) {
+    println!("watching    : {dir_label}");
+    if let Some(m) = manifest {
+        println!(
+            "run         : {} ({}.{}, tol {:e}, {} threads{})",
+            m.id,
+            m.bench,
+            m.class,
+            m.tol,
+            m.threads,
+            if m.git.is_empty() { String::new() } else { format!(", git {}", m.git) }
+        );
+    }
+    if let Some(w) = &log.warning {
+        println!("warning     : {w}");
+    }
+
+    // Phase timeline: first/last t_us per phase, in first-seen order.
+    let mut phases: Vec<(String, u64, u64)> = Vec::new();
+    for p in &log.progress {
+        match phases.iter_mut().find(|(n, _, _)| *n == p.progress.phase) {
+            Some((_, _, last)) => *last = p.t_us,
+            None => phases.push((p.progress.phase.clone(), p.t_us, p.t_us)),
+        }
+    }
+    if !phases.is_empty() {
+        println!("\nphase timeline:");
+        for (name, first, last) in &phases {
+            println!(
+                "  {:<14} {:>8.1} ms -> {:>8.1} ms",
+                name,
+                *first as f64 / 1e3,
+                *last as f64 / 1e3
+            );
+        }
+    }
+
+    let depths: Vec<u64> = log.progress.iter().map(|p| p.progress.queue_depth).collect();
+    if let Some(last) = log.latest_progress() {
+        println!("\nqueue depth : {} (now {})", sparkline(&depths, 60), last.progress.queue_depth);
+        let eta = match last.eta_us {
+            Some(e) => format!("   eta ~{:.1}s", e as f64 / 1e6),
+            None => String::new(),
+        };
+        println!(
+            "progress    : phase {}  done {}/{}  in-flight {}{eta}",
+            last.progress.phase,
+            last.progress.done,
+            last.progress.total_estimate,
+            last.progress.in_flight
+        );
+        if !last.verdicts.is_empty() {
+            let total: u64 = last.verdicts.values().sum();
+            println!("\nverdicts ({total} attempts):");
+            for (name, n) in &last.verdicts {
+                let width = (n * 40).div_ceil(total.max(1)) as usize;
+                println!("  {:<12} {n:>6}  {}", name, "#".repeat(width));
+            }
+        }
+    }
+
+    let snap = log.final_snapshot();
+    if !snap.hot.is_empty() {
+        let mut hot: Vec<_> = snap.hot.iter().collect();
+        hot.sort_by_key(|h| std::cmp::Reverse(h.cycles));
+        println!("\nhottest instructions so far:");
+        for h in hot.iter().take(top) {
+            let label =
+                if h.label.is_empty() { format!("insn {}", h.insn) } else { h.label.clone() };
+            println!("  {:>12} cycles  {:>8} hits  {label}", h.cycles, h.hits);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let positional: Vec<&str> =
@@ -267,27 +484,111 @@ fn main() {
                 .copied()
                 .unwrap_or_else(|| usage("usage: craft report <events.jsonl|run-dir> [--top=N]"));
             let top = opt("--top").and_then(|t| t.parse().ok()).unwrap_or(5);
-            if std::path::Path::new(path).is_dir() {
+            if Path::new(path).is_dir() {
                 // A run directory as written by `craft analyze --trace=DIR`:
-                // digest whichever of events.jsonl / trace.jsonl it holds.
-                let events = format!("{path}/events.jsonl");
-                let trace = format!("{path}/trace.jsonl");
-                let have_events = std::path::Path::new(&events).is_file();
-                let have_trace = std::path::Path::new(&trace).is_file();
-                if !have_events && !have_trace {
-                    fail(format!("{path}: no events.jsonl or trace.jsonl in run directory"));
+                // digest whatever artifacts it holds and note the rest, so a
+                // partial (crashed, rsynced, pruned) directory still reports.
+                let dir = Path::new(path);
+                let mut reported = false;
+                let mut absent: Vec<&str> = Vec::new();
+                match load_run_manifest(dir) {
+                    Some(m) => {
+                        println!(
+                            "run         : {} ({}.{}, tol {:e}, {} threads{})",
+                            m.id,
+                            m.bench,
+                            m.class,
+                            m.tol,
+                            m.threads,
+                            if m.git.is_empty() {
+                                String::new()
+                            } else {
+                                format!(", git {}", m.git)
+                            }
+                        );
+                        println!("wall time   : {:.2}s", m.wall_us as f64 / 1e6);
+                        if let Some(s) = &m.summary {
+                            println!(
+                                "summary     : {} tested / {} candidates, static {:.1}%, \
+                                 dynamic {:.1}%, final {}",
+                                s.tested,
+                                s.candidates,
+                                s.static_pct,
+                                s.dynamic_pct,
+                                if s.final_pass { "pass" } else { "fail" }
+                            );
+                        }
+                        reported = true;
+                    }
+                    None => absent.push("manifest.json"),
                 }
-                if have_events {
-                    render_report(&events, top);
-                }
-                if have_trace {
-                    if have_events {
+                let events = dir.join("events.jsonl");
+                if events.is_file() {
+                    if reported {
                         println!();
                     }
-                    render_trace_report(&trace, &load_snapshot(&trace), top);
+                    match render_report(&events.display().to_string(), top) {
+                        Ok(()) => reported = true,
+                        Err(e) => eprintln!("craft: warning: {e}"),
+                    }
+                } else {
+                    absent.push("events.jsonl");
+                }
+                let trace = dir.join("trace.jsonl");
+                let live = dir.join("live.jsonl");
+                if trace.is_file() {
+                    match try_load_snapshot(&trace.display().to_string()) {
+                        Ok(snap) => {
+                            if reported {
+                                println!();
+                            }
+                            render_trace_report(&trace.display().to_string(), &snap, top);
+                            reported = true;
+                        }
+                        Err(e) => eprintln!("craft: warning: {e}"),
+                    }
+                } else {
+                    absent.push("trace.jsonl");
+                    // A run that crashed mid-search leaves only the live
+                    // stream; fold it into a snapshot so something renders.
+                    if live.is_file() {
+                        match LiveLog::from_file(&live) {
+                            Ok(log) => {
+                                if let Some(w) = &log.warning {
+                                    eprintln!("craft: warning: {}: {w}", live.display());
+                                }
+                                if reported {
+                                    println!();
+                                }
+                                println!(
+                                    "(trace.jsonl absent; folded {} delta(s) from live.jsonl)",
+                                    log.deltas.len()
+                                );
+                                render_trace_report(
+                                    &live.display().to_string(),
+                                    &log.final_snapshot(),
+                                    top,
+                                );
+                                reported = true;
+                            }
+                            Err(e) => eprintln!("craft: warning: {e}"),
+                        }
+                    }
+                }
+                if !live.is_file() {
+                    absent.push("live.jsonl");
+                }
+                if !absent.is_empty() {
+                    println!("\n(absent from run directory: {})", absent.join(", "));
+                }
+                if !reported {
+                    fail(format!(
+                        "{path}: nothing reportable (no readable manifest.json, events.jsonl, \
+                         trace.jsonl, or live.jsonl)"
+                    ));
                 }
             } else {
-                render_report(path, top);
+                render_report(path, top).unwrap_or_else(|e| fail(e));
             }
         }
         "metrics" => {
@@ -327,8 +628,10 @@ fn main() {
                 Some("b") => StopDepth::Block,
                 _ => StopDepth::Instruction,
             };
+            let workload = build(bench, class);
+            let tol = workload.tol;
             let mut sys = AnalysisSystem::with_options(
-                build(bench, class),
+                workload,
                 AnalysisOptions {
                     search: SearchOptions {
                         threads,
@@ -362,6 +665,21 @@ fn main() {
                     if let Some(t) = &tracer {
                         sys.set_tracer(t.clone());
                     }
+                    // Every traced run also streams live telemetry: the sink
+                    // is interval- and delta-gated, so this is nearly free.
+                    let stream = match (&tracer, &trace_dir) {
+                        (Some(t), Some(dir)) => {
+                            let path = format!("{dir}/live.jsonl");
+                            match StreamSink::to_file(&path, t, StreamOptions::default()) {
+                                Ok(s) => Some(s),
+                                Err(e) => {
+                                    eprintln!("craft: warning: cannot stream to {path}: {e}");
+                                    None
+                                }
+                            }
+                        }
+                        _ => None,
+                    };
                     let events_path = opt("--events")
                         .or_else(|| trace_dir.as_ref().map(|d| format!("{d}/events.jsonl")));
                     let events = events_path.map(|path| {
@@ -383,6 +701,7 @@ fn main() {
                         events: events.as_ref(),
                         shadow: None,
                         tracer: None,
+                        stream: stream.as_ref(),
                     };
                     let rec = sys.recommend_with(&hooks);
                     let r = &rec.report;
@@ -413,6 +732,38 @@ fn main() {
                         std::fs::write(&path, t.snapshot().to_jsonl())
                             .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
                         eprintln!("trace written to {path}");
+                        // Stamp the run directory with a manifest and record
+                        // it in the registry; neither is allowed to fail the
+                        // analysis that already succeeded.
+                        drop(stream);
+                        let created = registry::unix_now();
+                        let manifest = RunManifest {
+                            id: registry::new_run_id(bench, created),
+                            bench: bench.to_string(),
+                            class: class.to_string(),
+                            config_hash: registry::fnv1a64(&rec.config_text),
+                            tol,
+                            threads,
+                            git: git_describe(),
+                            created_unix: created,
+                            wall_us: r.elapsed.as_micros() as u64,
+                            summary: Some(summary_of(r)),
+                            bench_min_ns: Default::default(),
+                        };
+                        match manifest.save(dir) {
+                            Ok(()) => eprintln!("manifest written to {dir}/manifest.json"),
+                            Err(e) => eprintln!("craft: warning: cannot write manifest: {e}"),
+                        }
+                        if let Some(reg) = open_registry(opt("--registry").as_deref()) {
+                            match reg.record(&manifest, dir) {
+                                Ok(()) => eprintln!(
+                                    "run {} recorded in {}",
+                                    manifest.id,
+                                    reg.dir().display()
+                                ),
+                                Err(e) => eprintln!("craft: warning: cannot record run: {e}"),
+                            }
+                        }
                     }
                 }
                 "shadow" => {
@@ -493,6 +844,96 @@ fn main() {
                 _ => unreachable!(),
             }
         }
+        "runs" => {
+            let reg = open_registry(opt("--registry").as_deref()).unwrap_or_else(|| {
+                fail("no registry available (set --registry=DIR, $CRAFT_REGISTRY, or $HOME)".into())
+            });
+            let (mut entries, warn) = reg.entries().unwrap_or_else(|e| fail(e));
+            if let Some(w) = warn {
+                eprintln!("craft: warning: {}: {w}", reg.dir().display());
+            }
+            if let Some(b) = opt("--bench") {
+                entries.retain(|e| e.bench == b);
+            }
+            println!("registry    : {}", reg.dir().display());
+            if entries.is_empty() {
+                println!("(no recorded runs)");
+            } else {
+                println!("{:<34}  {:<8}  {:>9}  {:<5}  path", "id", "bench", "wall", "final");
+                for e in &entries {
+                    println!(
+                        "{:<34}  {:<8}  {:>8.2}s  {:<5}  {}",
+                        e.id,
+                        e.bench,
+                        e.wall_us as f64 / 1e6,
+                        if e.final_pass { "pass" } else { "fail" },
+                        e.path.display()
+                    );
+                }
+            }
+        }
+        "watch" => {
+            let arg = positional.get(1).copied().unwrap_or("latest");
+            let top = opt("--top").and_then(|t| t.parse().ok()).unwrap_or(5);
+            let run = resolve_run_arg(arg, opt("--registry").as_deref());
+            let live = if run.is_dir() { run.join("live.jsonl") } else { run.clone() };
+            let manifest = load_run_manifest(&run);
+            let follow = flag("--follow");
+            loop {
+                let log = LiveLog::from_file(&live).unwrap_or_else(|e| fail(e));
+                render_watch(&run.display().to_string(), &log, manifest.as_ref(), top);
+                let done = log.latest_progress().is_some_and(|p| p.progress.phase == "done");
+                if !follow || done {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(500));
+                println!();
+            }
+        }
+        "compare" => {
+            let a = positional.get(1).copied().unwrap_or_else(|| {
+                usage("usage: craft compare <run-a> <run-b> [--warn-only] [--top=N]")
+            });
+            let b = positional.get(2).copied().unwrap_or_else(|| {
+                usage("usage: craft compare <run-a> <run-b> [--warn-only] [--top=N]")
+            });
+            let reg_flag = opt("--registry");
+            let pa = resolve_run_arg(a, reg_flag.as_deref());
+            let pb = resolve_run_arg(b, reg_flag.as_deref());
+            let sa = load_run_snapshot(&pa).unwrap_or_else(|e| fail(e));
+            let sb = load_run_snapshot(&pb).unwrap_or_else(|e| fail(e));
+            let ma = load_run_manifest(&pa);
+            let mb = load_run_manifest(&pb);
+            let mut copts = CompareOptions::default();
+            if let Some(v) = opt("--counter-pct").and_then(|v| v.parse().ok()) {
+                copts.counter_pct = v;
+            }
+            if let Some(v) = opt("--cycles-pct").and_then(|v| v.parse().ok()) {
+                copts.cycles_pct = v;
+            }
+            if let Some(v) = opt("--quantile-pct").and_then(|v| v.parse().ok()) {
+                copts.quantile_pct = v;
+            }
+            if let Some(v) = opt("--min-cycles").and_then(|v| v.parse().ok()) {
+                copts.min_cycles = v;
+            }
+            if let Some(v) = opt("--top").and_then(|v| v.parse().ok()) {
+                copts.top = v;
+            }
+            let rep = compare(
+                &sa,
+                &sb,
+                &pa.display().to_string(),
+                &pb.display().to_string(),
+                ma.as_ref(),
+                mb.as_ref(),
+                &copts,
+            );
+            print!("{}", rep.text);
+            if !rep.regressions.is_empty() && !flag("--warn-only") {
+                std::process::exit(1);
+            }
+        }
         _ => {
             println!("craft — automatic mixed-precision analysis (paper reproduction)");
             println!();
@@ -501,7 +942,7 @@ fn main() {
             println!("  craft analyze  <bench> [class] [--second-phase] [--stop-depth=f|b|i]");
             println!("                 [--no-split] [--no-priority] [--lean] [--threads=N]");
             println!("                 [--shadow-priority] [--shadow-prune]");
-            println!("                 [--events=FILE] [--trace=DIR]");
+            println!("                 [--events=FILE] [--trace=DIR] [--registry=DIR]");
             println!("                 [--inject-panic=IDX[,IDX..]]");
             println!("                 [--inject-timeout=IDX[,IDX..]]");
             println!("  craft shadow   <bench> [class] [--top=N] [--out=FILE]");
@@ -510,6 +951,11 @@ fn main() {
             println!("  craft config   <bench> [class]");
             println!("  craft report   <events.jsonl|run-dir> [--top=N]");
             println!("  craft metrics  <trace.jsonl> [--prom=FILE] [--folded=FILE]");
+            println!("  craft runs     [--registry=DIR] [--bench=NAME]");
+            println!("  craft watch    [run-dir|latest] [--top=N] [--follow] [--registry=DIR]");
+            println!("  craft compare  <run-a> <run-b> [--warn-only] [--top=N]");
+            println!("                 [--counter-pct=P] [--cycles-pct=P] [--quantile-pct=P]");
+            println!("                 [--min-cycles=N] [--registry=DIR]");
         }
     }
 }

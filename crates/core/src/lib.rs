@@ -122,8 +122,10 @@ impl AnalysisSystem {
 
     /// Attach a span/metric recorder. Every subsequent pipeline run
     /// (search, evaluation, rewriting, hot-spot profiling) records into
-    /// it; hot instructions are labelled `func@addr: disasm` from the
-    /// structure tree so snapshots are readable without the binary.
+    /// it; hot instructions are labelled with their full structural path
+    /// `module/func/b{block}@addr: disasm`, so snapshots are readable
+    /// without the binary and `craft compare` can fold per-insn cycle
+    /// deltas up the structure tree.
     pub fn set_tracer(&mut self, tracer: mptrace::Tracer) {
         for m in &self.tree.modules {
             for fun in &m.funcs {
@@ -131,7 +133,10 @@ impl AnalysisSystem {
                     for e in &b.insns {
                         tracer.label_insn(
                             e.id.0,
-                            format!("{}@{:#x}: {}", fun.name, e.addr, e.disasm),
+                            format!(
+                                "{}/{}/b{}@{:#x}: {}",
+                                m.name, fun.name, b.id.0, e.addr, e.disasm
+                            ),
                         );
                     }
                 }
@@ -250,6 +255,7 @@ impl AnalysisSystem {
             bench: hooks.bench.clone(),
             faults: hooks.faults.clone(),
             events: hooks.events,
+            stream: hooks.stream,
             tracer,
             shadow: sprof.as_ref().map(|sp| ShadowOracle {
                 profile: sp,

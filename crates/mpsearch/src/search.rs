@@ -7,6 +7,7 @@ use crate::report::{PassingUnit, SearchReport};
 use fpvm::isa::InsnId;
 use fpvm::Profile;
 use mpconfig::{Config, Flag, NodeRef, StructureTree};
+use mptrace::stream::{Progress, StreamSink};
 use mptrace::Tracer;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
@@ -127,6 +128,10 @@ pub struct SearchHooks<'a> {
     pub shadow: Option<ShadowOracle<'a>>,
     /// Span/metric recorder; `None` disables tracing entirely.
     pub tracer: Option<&'a Tracer>,
+    /// Live telemetry stream (`live.jsonl`); `None` disables streaming.
+    /// The sink is interval- and delta-gated, so the per-evaluation cost
+    /// of wiring it in is a couple of atomic loads.
+    pub stream: Option<&'a StreamSink>,
 }
 
 /// A shadow-run sensitivity profile plugged into the search as an
@@ -210,6 +215,20 @@ struct Ctx<'a> {
     events: Option<&'a EventLog>,
     shadow: Option<ShadowOracle<'a>>,
     tracer: Option<&'a Tracer>,
+    stream: Option<&'a StreamSink>,
+}
+
+/// Instantaneous progress for the live stream, read under the shared
+/// lock. `done` counts pruned items too: they consumed queue work even
+/// though no evaluation ran.
+fn progress_of(s: &Shared, phase: &str) -> Progress {
+    Progress {
+        phase: phase.into(),
+        queue_depth: s.queue.len() as u64,
+        in_flight: s.in_flight as u64,
+        done: (s.tested + s.pruned) as u64,
+        total_estimate: (s.tested + s.pruned + s.queue.len() + s.in_flight) as u64,
+    }
 }
 
 impl Ctx<'_> {
@@ -374,8 +393,9 @@ pub fn search_observed(
         events: hooks.events,
         shadow: hooks.shadow,
         tracer: hooks.tracer,
+        stream: hooks.stream,
     };
-    let _search_span = hooks.tracer.map(|t| t.span("search"));
+    let search_span = hooks.tracer.map(|t| t.span("search"));
 
     // Optionally interpose the evaluation cache. All call sites below —
     // workers, the final union test, and the second phase — go through
@@ -418,6 +438,9 @@ pub fn search_observed(
         for root in tree.roots() {
             let insns = ctx.live_insns(root);
             ctx.push(&mut s, Item { node: root, subset: None, insns });
+        }
+        if let Some(sink) = ctx.stream {
+            sink.force(&progress_of(&s, "bfs"));
         }
     }
 
@@ -483,7 +506,12 @@ pub fn search_observed(
                             s.pruned += 1;
                             ctx.expand(&mut s, &item);
                             s.in_flight -= 1;
+                            let prog = ctx.stream.map(|_| progress_of(&s, "bfs"));
                             cond.notify_all();
+                            drop(s);
+                            if let (Some(sink), Some(p)) = (ctx.stream, prog) {
+                                sink.tick(&p);
+                            }
                             continue;
                         }
                     }
@@ -498,7 +526,14 @@ pub fn search_observed(
                     ctx.expand(&mut s, &item);
                 }
                 s.in_flight -= 1;
+                // Snapshot progress under the lock, emit after releasing
+                // it — the sink's own gates keep this cheap.
+                let prog = ctx.stream.map(|_| progress_of(&s, "bfs"));
                 cond.notify_all();
+                drop(s);
+                if let (Some(sink), Some(p)) = (ctx.stream, prog) {
+                    sink.tick(&p);
+                }
             });
         }
     });
@@ -514,6 +549,9 @@ pub fn search_observed(
     }
     let phase_start = Instant::now();
     let union_span = hooks.tracer.map(|t| t.span("phase:union"));
+    if let Some(sink) = ctx.stream {
+        sink.force(&progress_of(&s, "union"));
+    }
 
     // Compose the final configuration: the union of every individually
     // passing unit (§2.2), then test it once more.
@@ -546,6 +584,9 @@ pub fn search_observed(
         }
         let phase_start = Instant::now();
         let second_span = hooks.tracer.map(|t| t.span("phase:second-phase"));
+        if let Some(sink) = ctx.stream {
+            sink.force(&progress_of(&s, "second-phase"));
+        }
         passing_units.sort_by_key(|it| match profile {
             Some(p) => p.total_of(it.insns.iter().copied()),
             None => it.insns.len() as u64,
@@ -624,6 +665,20 @@ pub fn search_observed(
             wall_us: report.elapsed.as_micros() as u64,
         });
         log.flush();
+    }
+    // Close the root span before the final emission so the last delta
+    // carries it — the streamed snapshot then matches the post-mortem one.
+    drop(search_span);
+    if let Some(sink) = ctx.stream {
+        // Final forced emission: the stream ends on settled state, so a
+        // watcher always sees the run complete.
+        sink.force(&Progress {
+            phase: "done".into(),
+            queue_depth: 0,
+            in_flight: 0,
+            done: report.configs_tested as u64,
+            total_estimate: report.configs_tested as u64,
+        });
     }
     report
 }
@@ -899,6 +954,59 @@ mod tests {
         assert!(r2.static_pct > 0.0, "subset should not be empty");
         assert!(r2.static_pct < 100.0);
         assert!(r2.configs_tested > r1.configs_tested);
+    }
+
+    #[test]
+    fn streamed_search_emits_consistent_live_log() {
+        use mptrace::stream::{LiveLog, StreamSink};
+        let tb = make_prog(3, 8);
+        let sensitive = vec![tb.tree.all_insns()[3]];
+        let eval = SetEval { tree: make_prog(3, 8), sensitive, calls: AtomicUsize::new(0) };
+        let tracer = Tracer::new();
+        let sink = StreamSink::in_memory(&tracer);
+        let hooks = SearchHooks {
+            bench: "unit".into(),
+            tracer: Some(&tracer),
+            stream: Some(&sink),
+            ..Default::default()
+        };
+        let report = search_observed(
+            &tb.tree,
+            &Config::new(),
+            None,
+            &eval,
+            &SearchOptions { threads: 2, prioritize: false, ..Default::default() },
+            &hooks,
+        );
+        let log = LiveLog::parse_tolerant(&sink.contents()).unwrap();
+        assert!(log.warning.is_none(), "{:?}", log.warning);
+        // Deltas fold to exactly what the tracer holds at the end.
+        assert_eq!(log.final_snapshot().to_jsonl(), tracer.snapshot().to_jsonl());
+        // Progress walked through bfs to done, and the final record
+        // reflects the report's totals with a drained queue.
+        let phases: Vec<&str> = log.progress.iter().map(|p| p.progress.phase.as_str()).collect();
+        assert_eq!(phases.first(), Some(&"bfs"));
+        assert_eq!(phases.last(), Some(&"done"));
+        assert!(phases.contains(&"union"), "{phases:?}");
+        let last = log.latest_progress().unwrap();
+        assert_eq!(last.progress.queue_depth, 0);
+        assert_eq!(last.progress.in_flight, 0);
+        assert_eq!(last.progress.done, report.configs_tested as u64);
+        // Verdict counts mirror the executor's tracer counters.
+        let total: u64 = last.verdicts.values().sum();
+        assert!(total >= report.configs_tested as u64, "{:?}", last.verdicts);
+        // Sequence numbers strictly increase across all records.
+        let mut seqs: Vec<u64> =
+            log.deltas.iter().map(|d| d.seq).chain(log.progress.iter().map(|p| p.seq)).collect();
+        let sorted = {
+            let mut s = seqs.clone();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs, sorted);
     }
 
     #[test]

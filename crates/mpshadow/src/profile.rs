@@ -209,6 +209,51 @@ impl SensitivityProfile {
         Ok(SensitivityProfile { insns })
     }
 
+    /// [`SensitivityProfile::parse`], but tolerating a truncated
+    /// **final** line from a crash-interrupted writer: the valid prefix
+    /// is kept (with the header count relaxed to "at most declared")
+    /// and a warning is returned. Any other damage remains a hard
+    /// error, and strict [`SensitivityProfile::parse`] is unchanged.
+    pub fn parse_tolerant(text: &str) -> Result<(SensitivityProfile, Option<String>), String> {
+        match Self::parse(text) {
+            Ok(p) => Ok((p, None)),
+            Err(first_err) => {
+                let kept = match text.trim_end_matches('\n').rfind('\n') {
+                    Some(cut) => &text[..cut + 1],
+                    None => return Err(first_err),
+                };
+                // Reparse the prefix, accepting the now-short record
+                // count: a torn tail means "fewer records than declared",
+                // never more.
+                use mptrace::json::{self, Value};
+                let header = json::parse(kept.lines().next().ok_or("empty profile")?)
+                    .map_err(|_| first_err.clone())?;
+                if header.get("type").and_then(Value::as_str) != Some("shadow_profile") {
+                    return Err(first_err);
+                }
+                let declared =
+                    header.get("insns").and_then(Value::as_f64).ok_or_else(|| first_err.clone())?;
+                let mut relaxed: Vec<&str> = kept.lines().collect();
+                let found = relaxed.len().saturating_sub(1);
+                if found as f64 > declared {
+                    return Err(first_err);
+                }
+                let fixed_header =
+                    format!("{{\"type\":\"shadow_profile\",\"version\":1,\"insns\":{found}}}");
+                relaxed[0] = &fixed_header;
+                let p = Self::parse(&relaxed.join("\n")).map_err(|_| first_err)?;
+                let lineno = kept.lines().count() + 1;
+                Ok((
+                    p,
+                    Some(format!(
+                        "line {lineno}: dropped truncated final record; \
+                         keeping {found} of {declared} declared instruction(s)"
+                    )),
+                ))
+            }
+        }
+    }
+
     /// Read and parse a profile file.
     pub fn from_file(path: &str) -> Result<SensitivityProfile, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -262,6 +307,24 @@ mod tests {
         // drop a record: count mismatch
         let truncated: Vec<&str> = p.lines().take(2).collect();
         assert!(SensitivityProfile::parse(&truncated.join("\n")).is_err());
+    }
+
+    #[test]
+    fn tolerant_parse_recovers_truncated_profile() {
+        let p = sample();
+        let text = p.to_jsonl();
+        // Clean input: no warning, identical value.
+        let (back, warn) = SensitivityProfile::parse_tolerant(&text).unwrap();
+        assert_eq!(back, p);
+        assert!(warn.is_none());
+        // Mid-record truncation of the final line: first record kept.
+        let cut = &text[..text.len() - 20];
+        let (back, warn) = SensitivityProfile::parse_tolerant(cut).unwrap();
+        assert!(warn.unwrap().contains("truncated"));
+        assert_eq!(back.insns.len(), 1);
+        assert!(back.insns.contains_key(&3));
+        // A foreign document is still rejected.
+        assert!(SensitivityProfile::parse_tolerant("{\"type\":\"other\"}\njunk").is_err());
     }
 
     #[test]

@@ -240,6 +240,42 @@ impl P<'_> {
     }
 }
 
+/// Parse a JSONL document into `(line number, value)` pairs, tolerating
+/// a truncated **final** line.
+///
+/// A run killed mid-write (crash, OOM, SIGKILL) leaves its last JSONL
+/// record half-flushed. Every reader of crash-adjacent artifacts
+/// (`events.jsonl`, `trace.jsonl`, `live.jsonl`, shadow profiles) wants
+/// the same policy: keep the valid prefix, drop the torn tail, and say
+/// so. Returns the parsed lines plus an optional warning describing the
+/// dropped line. A malformed line *before* the final one is still a hard
+/// error — that is corruption, not truncation.
+#[allow(clippy::type_complexity)]
+pub fn parse_jsonl_tolerant(text: &str) -> Result<(Vec<(usize, Value)>, Option<String>), String> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (idx, &(lineno, line)) in lines.iter().enumerate() {
+        match parse(line) {
+            Ok(v) => out.push((lineno, v)),
+            Err(e) if idx + 1 == lines.len() => {
+                let warning = format!(
+                    "line {lineno}: dropped truncated final record ({e}); \
+                     keeping {} valid line(s)",
+                    out.len()
+                );
+                return Ok((out, Some(warning)));
+            }
+            Err(e) => return Err(format!("line {lineno}: {e}")),
+        }
+    }
+    Ok((out, None))
+}
+
 /// Parse a complete JSON document.
 pub fn parse(s: &str) -> Result<Value, String> {
     let mut p = P { s: s.as_bytes(), i: 0 };
@@ -278,5 +314,33 @@ mod tests {
     fn rejects_trailing_garbage() {
         assert!(parse("{} {}").is_err());
         assert!(parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn tolerant_jsonl_keeps_valid_prefix_on_truncation() {
+        let text = "{\"a\":1}\n{\"b\":2}\n{\"c\":3,\"d\":\"trunc";
+        let (lines, warn) = parse_jsonl_tolerant(text).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].0, 1);
+        assert_eq!(lines[1].1.get("b").unwrap().as_u64(), Some(2));
+        let warn = warn.expect("truncation must warn");
+        assert!(warn.contains("line 3"), "{warn}");
+        assert!(warn.contains("2 valid line(s)"), "{warn}");
+    }
+
+    #[test]
+    fn tolerant_jsonl_clean_input_has_no_warning() {
+        let (lines, warn) = parse_jsonl_tolerant("{\"a\":1}\n\n{\"b\":2}\n").unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(warn.is_none());
+        // Fully-empty input is valid and empty.
+        let (lines, warn) = parse_jsonl_tolerant("").unwrap();
+        assert!(lines.is_empty() && warn.is_none());
+    }
+
+    #[test]
+    fn tolerant_jsonl_rejects_mid_file_corruption() {
+        let err = parse_jsonl_tolerant("{\"a\":1}\n{bad\n{\"b\":2}\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
     }
 }

@@ -27,10 +27,14 @@
 //! out of the unprofiled loop entirely); everywhere else the tracer is
 //! an `Option` checked before any formatting work happens.
 
+pub mod compare;
+pub mod delta;
 pub mod json;
 pub mod profiler;
+pub mod registry;
 pub mod sinks;
 pub mod snapshot;
+pub mod stream;
 
 use snapshot::{GaugeStat, HistStat, HotInsn, SpanRecord, TraceSnapshot};
 use std::cell::RefCell;

@@ -192,6 +192,85 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        let mut snap = TraceSnapshot::default();
+        // Disasm-derived labels can carry quotes, backslashes, and even
+        // newlines; all must be escaped per the exposition format.
+        snap.hot.push(HotInsn {
+            insn: 3,
+            cycles: 50,
+            hits: 2,
+            label: "ep/f\\g/b0@0x8: mov \"x\"\nnext".into(),
+        });
+        snap.spans.push(SpanRecord {
+            id: 1,
+            parent: None,
+            name: "phase \"q\"\\end\nx".into(),
+            thread: 0,
+            start_us: 0,
+            dur_us: 7,
+        });
+        let text = prometheus(&snap);
+        assert!(
+            text.contains(
+                "craft_insn_cycles_total{insn=\"3\",label=\"ep/f\\\\g/b0@0x8: mov \\\"x\\\"\\nnext\"} 50"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("craft_span_us_sum{span=\"phase \\\"q\\\"\\\\end\\nx\"} 7"),
+            "{text}"
+        );
+        // No raw (unescaped) newline may survive inside any label value,
+        // and every line must still be single-record well-formed.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf", "bad value {value:?}");
+            if let Some(open) = line.find('{') {
+                let inner = &line[open..line.rfind('}').unwrap()];
+                assert!(!inner.contains('\n'));
+            }
+        }
+    }
+
+    #[test]
+    fn folded_exclusive_time_on_deep_nesting() {
+        // search(100) > bfs(80) > eval(50) > run(30) > step(10), plus a
+        // sibling leaf under eval — four levels of real nesting.
+        let mut snap = TraceSnapshot::default();
+        for (id, parent, name, dur) in [
+            (1u64, None, "search", 100u64),
+            (2, Some(1), "bfs", 80),
+            (3, Some(2), "eval", 50),
+            (4, Some(3), "run", 30),
+            (5, Some(4), "step", 10),
+            (6, Some(3), "verify", 5),
+        ] {
+            snap.spans.push(SpanRecord {
+                id,
+                parent,
+                name: name.into(),
+                thread: 0,
+                start_us: id,
+                dur_us: dur,
+            });
+        }
+        let text = folded(&snap);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"search 20"), "{text}");
+        assert!(lines.contains(&"search;bfs 30"), "{text}");
+        assert!(lines.contains(&"search;bfs;eval 15"), "{text}"); // 50 - 30 - 5
+        assert!(lines.contains(&"search;bfs;eval;run 20"), "{text}");
+        assert!(lines.contains(&"search;bfs;eval;run;step 10"), "{text}");
+        assert!(lines.contains(&"search;bfs;eval;verify 5"), "{text}");
+        // Exclusive times at every depth re-sum to the root duration.
+        let total: u64 =
+            lines.iter().map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
     fn folded_stacks_attribute_exclusive_time() {
         let text = folded(&sample());
         let lines: Vec<&str> = text.lines().collect();

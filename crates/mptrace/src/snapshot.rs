@@ -143,6 +143,33 @@ impl TraceSnapshot {
         s
     }
 
+    /// [`TraceSnapshot::parse`], but tolerating a truncated **final**
+    /// line from a crash-interrupted writer: the valid prefix is kept
+    /// and a warning describing the dropped line is returned. Mid-file
+    /// corruption is still a hard error, and [`TraceSnapshot::parse`]
+    /// itself stays strict so the byte-exact round-trip guarantee is
+    /// unaffected.
+    pub fn parse_tolerant(text: &str) -> Result<(TraceSnapshot, Option<String>), String> {
+        match TraceSnapshot::parse(text) {
+            Ok(snap) => Ok((snap, None)),
+            Err(first_err) => {
+                let kept = match text.trim_end_matches('\n').rfind('\n') {
+                    Some(cut) => &text[..cut + 1],
+                    None => return Err(first_err),
+                };
+                let snap = TraceSnapshot::parse(kept).map_err(|_| first_err)?;
+                let lines = kept.lines().count();
+                Ok((
+                    snap,
+                    Some(format!(
+                        "line {}: dropped truncated final record; keeping {lines} valid line(s)",
+                        lines + 1
+                    )),
+                ))
+            }
+        }
+    }
+
     /// Parse a JSONL artifact produced by [`TraceSnapshot::to_jsonl`].
     pub fn parse(text: &str) -> Result<TraceSnapshot, String> {
         let mut snap = TraceSnapshot::default();
@@ -292,6 +319,26 @@ mod tests {
     fn parse_rejects_foreign_artifacts() {
         assert!(TraceSnapshot::parse("{\"kind\":\"span\",\"id\":1}").is_err());
         assert!(TraceSnapshot::parse("{\"kind\":\"meta\",\"format\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn tolerant_parse_drops_only_a_torn_final_line() {
+        let snap = sample();
+        let text = snap.to_jsonl();
+        // Clean input: identical result, no warning.
+        let (back, warn) = TraceSnapshot::parse_tolerant(&text).unwrap();
+        assert_eq!(back, snap);
+        assert!(warn.is_none());
+        // Mid-record truncation of the final line: prefix kept, warning
+        // emitted.
+        let cut = &text[..text.len() - 12];
+        let (back, warn) = TraceSnapshot::parse_tolerant(cut).unwrap();
+        assert!(warn.unwrap().contains("truncated"));
+        assert_eq!(back.spans, snap.spans);
+        assert!(back.hot.is_empty(), "torn hot line must be dropped");
+        // Corruption that is NOT a final-line truncation still errors.
+        let corrupt = text.replacen("\"kind\":\"span\"", "\"kind\":\"nope\"", 1);
+        assert!(TraceSnapshot::parse_tolerant(&corrupt).is_err());
     }
 
     #[test]
