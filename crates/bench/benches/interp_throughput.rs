@@ -1,16 +1,20 @@
 //! Interpreter throughput on the NAS analogues: steps/second for the
-//! original and all-double-instrumented binaries, through both execution
-//! engines — the tree-walking reference interpreter and the pre-decoded
-//! execution image (`fpvm::exec`). The orig/instrumented ratio is the
-//! "overhead (X)" of the paper's Figs. 8–9 at micro scale; the
-//! reference/fast ratio is the dispatch speedup of the pre-decode pass.
+//! original and all-double-instrumented binaries, through all three
+//! execution engines — the tree-walking reference interpreter, the
+//! pre-decoded execution image (`fpvm::exec`), and the compiled backend
+//! (`fpvm::compiled`: threaded-code dispatch + block-fused
+//! superinstructions). The orig/instrumented ratio is the "overhead (X)"
+//! of the paper's Figs. 8–9 at micro scale; the reference/fast ratio is
+//! the dispatch speedup of the pre-decode pass; the fast/compiled ratio
+//! is the dispatch + fusion speedup of the compiled tier (gated at >=3x
+//! by `bench_gate`).
 //!
-//! Before timing anything, the two engines are asserted bit-identical on
+//! Before timing anything, the engines are asserted bit-identical on
 //! every benched program (same result, same step/cycle counts).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fpvm::exec::ExecImage;
-use fpvm::{Vm, VmOptions};
+use fpvm::{CompiledImage, Vm, VmOptions};
 use instrument::rewrite_all_double;
 use mpconfig::StructureTree;
 use workloads::{nas, Class};
@@ -21,13 +25,20 @@ fn assert_bit_identical(p: &fpvm::Program) -> u64 {
     let opts = VmOptions::default();
     let ref_out = Vm::run_program(p, opts.clone());
     let image = ExecImage::compile(p, &opts.cost);
-    let mut vm = Vm::new(p, opts);
+    let mut vm = Vm::new(p, opts.clone());
     let fast_out = vm.run_image(&image);
     assert_eq!(ref_out.result, fast_out.result);
     assert_eq!(ref_out.stats.steps, fast_out.stats.steps);
     assert_eq!(ref_out.stats.cycles, fast_out.stats.cycles);
     assert_eq!(ref_out.stats.fp_ops, fast_out.stats.fp_ops);
     assert!(fast_out.ok());
+    let cimg = CompiledImage::from_image(&image);
+    let mut vm = Vm::new(p, opts);
+    let comp_out = vm.run_compiled(&cimg);
+    assert_eq!(ref_out.result, comp_out.result);
+    assert_eq!(ref_out.stats.steps, comp_out.stats.steps);
+    assert_eq!(ref_out.stats.cycles, comp_out.stats.cycles);
+    assert_eq!(ref_out.stats.fp_ops, comp_out.stats.fp_ops);
     fast_out.stats.steps
 }
 
@@ -44,6 +55,8 @@ fn bench(c: &mut Criterion) {
         let cost = VmOptions::default().cost;
         let orig_image = ExecImage::compile(&orig, &cost);
         let instr_image = ExecImage::compile(&instr, &cost);
+        let orig_cimg = CompiledImage::from_image(&orig_image);
+        let instr_cimg = CompiledImage::from_image(&instr_image);
         let orig_steps = assert_bit_identical(&orig);
         let instr_steps = assert_bit_identical(&instr);
 
@@ -58,6 +71,17 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut vm = Vm::new(&orig, VmOptions::default());
                 let out = vm.run_image(&orig_image);
+                assert_eq!(out.stats.steps, orig_steps);
+                out.stats.steps
+            })
+        });
+        // The compiled backend on the same image: threaded dispatch with
+        // block-fused superinstruction kernels. The bench_gate check
+        // warns when this is not >=3x faster than `.orig.fast`.
+        g.bench_function(format!("{name}.orig.compiled"), |b| {
+            b.iter(|| {
+                let mut vm = Vm::new(&orig, VmOptions::default());
+                let out = vm.run_compiled(&orig_cimg);
                 assert_eq!(out.stats.steps, orig_steps);
                 out.stats.steps
             })
@@ -99,6 +123,14 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut vm = Vm::new(&instr, VmOptions::default());
                 let out = vm.run_image(&instr_image);
+                assert_eq!(out.stats.steps, instr_steps);
+                out.stats.steps
+            })
+        });
+        g.bench_function(format!("{name}.instrumented.compiled"), |b| {
+            b.iter(|| {
+                let mut vm = Vm::new(&instr, VmOptions::default());
+                let out = vm.run_compiled(&instr_cimg);
                 assert_eq!(out.stats.steps, instr_steps);
                 out.stats.steps
             })

@@ -172,6 +172,26 @@ fn main() {
         }
         println!();
     }
+    // Compiled-backend speedup target: the fused tier should run the
+    // unobserved NAS rows at least 3x faster than the pre-decoded image
+    // path. Warn-only for now — the compiled backend's contract in this
+    // repo is bit-identity first, speed second — but the ratio is
+    // printed on every CI run so drift is visible.
+    for b in ["ep", "cg"] {
+        let fast = fresh_mins.get(&format!("{b}.orig.fast"));
+        let comp = fresh_mins.get(&format!("{b}.orig.compiled"));
+        if let (Some(&fast), Some(&comp)) = (fast, comp) {
+            let ratio = fast / comp;
+            if ratio >= 3.0 {
+                println!("bench_gate: {b}.orig.compiled speedup over fast: {ratio:.2}x (>=3x)");
+            } else {
+                eprintln!(
+                    "bench_gate: warning: {b}.orig.compiled is only {ratio:.2}x faster than \
+                     {b}.orig.fast (target >=3x; warn-only)"
+                );
+            }
+        }
+    }
     if stale {
         eprintln!(
             "bench_gate: some benchmarks ran more than {threshold:.0}% FASTER than their \

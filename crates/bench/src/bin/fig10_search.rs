@@ -5,6 +5,13 @@
 //!
 //! Robustness flags (all optional):
 //!
+//! * `--backend=interp|fast|compiled` — execution backend used for every
+//!   candidate evaluation. The search outcome (candidates, tested,
+//!   replacement percentages, pass/fail) must be identical across
+//!   backends — CI runs the class-S table once per backend and diffs the
+//!   rows — only wall-clock time may differ;
+//! * `--class=s|w|a|c` — run a single problem class instead of the
+//!   default W and A pair (class S is the CI cross-backend check);
 //! * `--events=FILE` — append a JSONL event log of every search (one
 //!   `search_started` record per benchmark separates the runs);
 //! * `--inject-panic=IDX[,IDX…]` / `--inject-timeout=IDX[,IDX…]` —
@@ -30,6 +37,24 @@ fn main() {
     };
     let threads = SearchOptions::default_threads();
     let second_phase = args.iter().any(|a| a == "--second-phase");
+    let backend = match opt("--backend") {
+        Some(s) => fpvm::Backend::parse(&s).unwrap_or_else(|| {
+            eprintln!("unknown backend `{s}` (interp|fast|compiled)");
+            std::process::exit(2);
+        }),
+        None => fpvm::Backend::default(),
+    };
+    let classes: Vec<Class> = match opt("--class").as_deref() {
+        None => vec![Class::W, Class::A],
+        Some("s") => vec![Class::S],
+        Some("w") => vec![Class::W],
+        Some("a") => vec![Class::A],
+        Some("c") => vec![Class::C],
+        Some(other) => {
+            eprintln!("unknown class `{other}` (s|w|a|c)");
+            std::process::exit(2);
+        }
+    };
     let events = opt("--events").map(|path| {
         EventLog::to_file(&path).unwrap_or_else(|e| {
             eprintln!("cannot create event log {path}: {e}");
@@ -42,20 +67,22 @@ fn main() {
         ..Default::default()
     };
     println!(
-        "Figure 10: NAS benchmark search results{}{}\n",
+        "Figure 10: NAS benchmark search results [backend: {}]{}{}\n",
+        backend,
         if second_phase { " (with the second composition phase)" } else { "" },
         if faults.is_empty() { "" } else { " (fault injection on)" }
     );
     header(&SearchReport::figure10_header());
     let mut perf_notes = Vec::new();
     let mut fault_notes = Vec::new();
-    for class in [Class::W, Class::A] {
+    for class in classes {
         for w in nas_all(class) {
             let label = format!("{}.{}", w.name, class.letter().to_uppercase());
             let sys = AnalysisSystem::with_options(
                 w,
                 AnalysisOptions {
                     search: SearchOptions { threads, second_phase, ..Default::default() },
+                    backend,
                     ..Default::default()
                 },
             );

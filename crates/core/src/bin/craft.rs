@@ -17,8 +17,11 @@
 //!
 //! Options for `analyze`: `--second-phase`, `--stop-depth=f|b|i`,
 //! `--no-split`, `--no-priority`, `--lean`, `--threads=N`,
-//! `--shadow-priority` / `--shadow-prune` (shadow-value search
-//! guidance), `--events=FILE` (JSONL event log), `--trace=DIR` (run
+//! `--backend=interp|fast|compiled` (execution engine for verification
+//! runs — bit-identical results, different throughput; also accepted by
+//! `shadow`/`overhead`/`tree`/`config`, and recorded in the run
+//! manifest), `--shadow-priority` / `--shadow-prune` (shadow-value
+//! search guidance), `--events=FILE` (JSONL event log), `--trace=DIR` (run
 //! directory collecting `events.jsonl` + `trace.jsonl` + `live.jsonl` +
 //! `manifest.json`), `--registry=DIR` (record the run in a registry;
 //! defaults to `$CRAFT_REGISTRY` or `~/.craft/runs`), and the
@@ -628,6 +631,12 @@ fn main() {
                 Some("b") => StopDepth::Block,
                 _ => StopDepth::Instruction,
             };
+            let backend = match opt("--backend") {
+                Some(s) => fpvm::Backend::parse(&s).unwrap_or_else(|| {
+                    fail(format!("unknown backend `{s}` (interp|fast|compiled)"))
+                }),
+                None => fpvm::Backend::default(),
+            };
             let workload = build(bench, class);
             let tol = workload.tol;
             let mut sys = AnalysisSystem::with_options(
@@ -650,6 +659,7 @@ fn main() {
                         prune: flag("--shadow-prune"),
                         ..Default::default()
                     },
+                    backend,
                 },
             );
             match cmd {
@@ -741,6 +751,7 @@ fn main() {
                             id: registry::new_run_id(bench, created),
                             bench: bench.to_string(),
                             class: class.to_string(),
+                            backend: backend.name().to_string(),
                             config_hash: registry::fnv1a64(&rec.config_text),
                             tol,
                             threads,
@@ -941,11 +952,13 @@ fn main() {
             println!("  craft list");
             println!("  craft analyze  <bench> [class] [--second-phase] [--stop-depth=f|b|i]");
             println!("                 [--no-split] [--no-priority] [--lean] [--threads=N]");
+            println!("                 [--backend=interp|fast|compiled]");
             println!("                 [--shadow-priority] [--shadow-prune]");
             println!("                 [--events=FILE] [--trace=DIR] [--registry=DIR]");
             println!("                 [--inject-panic=IDX[,IDX..]]");
             println!("                 [--inject-timeout=IDX[,IDX..]]");
             println!("  craft shadow   <bench> [class] [--top=N] [--out=FILE]");
+            println!("                 [--backend=interp|fast|compiled]");
             println!("  craft overhead <bench> [class]");
             println!("  craft tree     <bench> [class]");
             println!("  craft config   <bench> [class]");

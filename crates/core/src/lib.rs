@@ -37,6 +37,9 @@ pub struct AnalysisOptions {
     pub rewrite: RewriteOptions,
     /// Shadow-value analysis options (see `mpshadow`).
     pub shadow: ShadowOptions,
+    /// Execution backend for verification runs (`--backend=`). All
+    /// backends are bit-identical; this only changes trial throughput.
+    pub backend: fpvm::Backend,
 }
 
 /// How the shadow-value sensitivity profile guides the search.
@@ -188,6 +191,7 @@ impl AnalysisSystem {
             self.opts.rewrite.clone(),
             self.workload.verifier(),
         );
+        ev.set_backend(self.opts.backend);
         if let Some(t) = &self.tracer {
             ev.set_tracer(t.clone());
         }

@@ -188,51 +188,81 @@ impl StepObserver for NoopStepObserver {
     fn step(&mut self, _insn: InsnId, _cost: u64) {}
 }
 
-/// Register-slot sentinel meaning "absent" in [`MemD`].
-const NO_REG: u8 = u8::MAX;
-
-/// Pre-resolved memory operand: `gpr[base] + gpr[index]*scale + disp`
-/// with absent registers encoded as [`NO_REG`].
-#[derive(Debug, Clone, Copy)]
-struct MemD {
-    base: u8,
-    index: u8,
-    scale: u8,
-    disp: i64,
+/// Pre-resolved address mode of a memory operand.
+///
+/// [`MemRef`]'s optional base/index registers are discriminated here at
+/// *decode* time, so the hot loop's address computation is a single match
+/// on the (per-op constant, perfectly predicted) variant instead of two
+/// data-dependent `NO_REG` tests per access. The compiled backend bakes
+/// the variant into the selected handler function, eliminating even the
+/// match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AddrD {
+    /// Absolute address (displacement only).
+    Abs(u64),
+    /// `gpr[base] + disp`.
+    Base {
+        /// Base register index.
+        base: u8,
+        /// Constant displacement.
+        disp: i64,
+    },
+    /// `gpr[base] + gpr[index]*scale + disp`.
+    BaseIdx {
+        /// Base register index.
+        base: u8,
+        /// Index register index.
+        index: u8,
+        /// Scale factor (1, 2, 4, or 8).
+        scale: u8,
+        /// Constant displacement.
+        disp: i64,
+    },
+    /// `gpr[index]*scale + disp` (no base register).
+    Idx {
+        /// Index register index.
+        index: u8,
+        /// Scale factor (1, 2, 4, or 8).
+        scale: u8,
+        /// Constant displacement.
+        disp: i64,
+    },
 }
 
-impl MemD {
-    fn from(m: &MemRef) -> MemD {
-        MemD {
-            base: m.base.map_or(NO_REG, |g| g.0),
-            index: m.index.map_or(NO_REG, |(g, _)| g.0),
-            scale: m.index.map_or(0, |(_, s)| s),
-            disp: m.disp,
+impl AddrD {
+    pub(crate) fn from(m: &MemRef) -> AddrD {
+        match (m.base, m.index) {
+            (None, None) => AddrD::Abs(m.disp as u64),
+            (Some(b), None) => AddrD::Base { base: b.0, disp: m.disp },
+            (Some(b), Some((i, s))) => {
+                AddrD::BaseIdx { base: b.0, index: i.0, scale: s, disp: m.disp }
+            }
+            (None, Some((i, s))) => AddrD::Idx { index: i.0, scale: s, disp: m.disp },
         }
     }
 }
 
 /// Pre-resolved XMM-or-memory operand.
 #[derive(Debug, Clone, Copy)]
-enum RmD {
+pub(crate) enum RmD {
     Reg(u8),
-    Mem(MemD),
+    Mem(AddrD),
 }
 
 impl RmD {
     fn from(rm: &RM) -> RmD {
         match rm {
             RM::Reg(x) => RmD::Reg(x.0),
-            RM::Mem(m) => RmD::Mem(MemD::from(m)),
+            RM::Mem(m) => RmD::Mem(AddrD::from(m)),
         }
     }
 }
 
 /// Pre-resolved GPR/memory/immediate operand.
 #[derive(Debug, Clone, Copy)]
-enum GmiD {
+pub(crate) enum GmiD {
     Reg(u8),
-    Mem(MemD),
+    Mem(AddrD),
     Imm(i64),
 }
 
@@ -240,7 +270,7 @@ impl GmiD {
     fn from(g: &GMI) -> GmiD {
         match g {
             GMI::Reg(r) => GmiD::Reg(r.0),
-            GMI::Mem(m) => GmiD::Mem(MemD::from(m)),
+            GMI::Mem(m) => GmiD::Mem(AddrD::from(m)),
             GMI::Imm(i) => GmiD::Imm(*i),
         }
     }
@@ -248,16 +278,16 @@ impl GmiD {
 
 /// Pre-resolved FP location (XMM register or memory).
 #[derive(Debug, Clone, Copy)]
-enum FpLocD {
+pub(crate) enum FpLocD {
     Reg(u8),
-    Mem(MemD),
+    Mem(AddrD),
 }
 
 impl FpLocD {
     fn from(l: &FpLoc) -> FpLocD {
         match l {
             FpLoc::Reg(x) => FpLocD::Reg(x.0),
-            FpLoc::Mem(m) => FpLocD::Mem(MemD::from(m)),
+            FpLoc::Mem(m) => FpLocD::Mem(AddrD::from(m)),
         }
     }
 }
@@ -265,7 +295,7 @@ impl FpLocD {
 /// One pre-decoded operation. Precision and packing are folded into the
 /// variant so the hot loop never re-matches them.
 #[derive(Debug, Clone)]
-enum OpK {
+pub(crate) enum OpK {
     ArithF64 {
         op: FpAluOp,
         dst: u8,
@@ -376,7 +406,7 @@ enum OpK {
         src: GmiD,
     },
     MovIM {
-        dst: MemD,
+        dst: AddrD,
         src: GmiD,
     },
     Cmp {
@@ -389,7 +419,7 @@ enum OpK {
     },
     Lea {
         dst: u8,
-        mem: MemD,
+        mem: AddrD,
     },
     Push {
         src: u8,
@@ -420,26 +450,26 @@ enum OpK {
 /// A pre-decoded op plus its per-step accounting, computed once at
 /// compile time instead of on every dynamic execution.
 #[derive(Debug, Clone)]
-struct ExecOp {
-    kind: OpK,
+pub(crate) struct ExecOp {
+    pub(crate) kind: OpK,
     /// Pre-computed [`CostModel::cost`] of the original instruction
     /// (0 for terminators).
-    cost: u64,
+    pub(crate) cost: u64,
     /// Whether the instruction counts as a dynamic fp-op.
-    fp: bool,
+    pub(crate) fp: bool,
     /// Original instruction id (`u32::MAX` for terminators, which have
     /// none and are never profiled).
-    id: InsnId,
+    pub(crate) id: InsnId,
 }
 
 /// A linear execution image: the pre-decoded form of one [`Program`]
 /// under one [`CostModel`]. Compile once, run many times.
 #[derive(Debug, Clone)]
 pub struct ExecImage {
-    ops: Vec<ExecOp>,
-    entry: u32,
-    insn_bound: usize,
-    cost: CostModel,
+    pub(crate) ops: Vec<ExecOp>,
+    pub(crate) entry: u32,
+    pub(crate) insn_bound: usize,
+    pub(crate) cost: CostModel,
 }
 
 impl ExecImage {
@@ -567,11 +597,11 @@ impl ExecImage {
             }
             InstKind::MovI { dst, src } => match dst {
                 GM::Reg(r) => OpK::MovIR { dst: r.0, src: GmiD::from(src) },
-                GM::Mem(m) => OpK::MovIM { dst: MemD::from(m), src: GmiD::from(src) },
+                GM::Mem(m) => OpK::MovIM { dst: AddrD::from(m), src: GmiD::from(src) },
             },
             InstKind::Cmp { lhs, src } => OpK::Cmp { lhs: lhs.0, src: GmiD::from(src) },
             InstKind::Test { lhs, src } => OpK::Test { lhs: lhs.0, src: GmiD::from(src) },
-            InstKind::Lea { dst, mem } => OpK::Lea { dst: dst.0, mem: MemD::from(mem) },
+            InstKind::Lea { dst, mem } => OpK::Lea { dst: dst.0, mem: AddrD::from(mem) },
             InstKind::Push { src } => OpK::Push { src: src.0 },
             InstKind::Pop { dst } => OpK::Pop { dst: dst.0 },
             InstKind::Call { func } => {
@@ -597,19 +627,21 @@ impl ExecImage {
 
 impl<'p> Vm<'p> {
     #[inline(always)]
-    fn d_addr(&self, m: &MemD) -> u64 {
-        let mut a = m.disp as u64;
-        if m.base != NO_REG {
-            a = a.wrapping_add(self.gpr[m.base as usize]);
+    pub(crate) fn d_addr(&self, m: &AddrD) -> u64 {
+        match m {
+            AddrD::Abs(a) => *a,
+            AddrD::Base { base, disp } => self.gpr[*base as usize].wrapping_add(*disp as u64),
+            AddrD::BaseIdx { base, index, scale, disp } => self.gpr[*base as usize]
+                .wrapping_add(self.gpr[*index as usize].wrapping_mul(*scale as u64))
+                .wrapping_add(*disp as u64),
+            AddrD::Idx { index, scale, disp } => {
+                self.gpr[*index as usize].wrapping_mul(*scale as u64).wrapping_add(*disp as u64)
+            }
         }
-        if m.index != NO_REG {
-            a = a.wrapping_add(self.gpr[m.index as usize].wrapping_mul(m.scale as u64));
-        }
-        a
     }
 
     #[inline(always)]
-    fn d_rm64(&self, src: &RmD) -> Result<u64, Trap> {
+    pub(crate) fn d_rm64(&self, src: &RmD) -> Result<u64, Trap> {
         match src {
             RmD::Reg(x) => Ok(self.xmm[*x as usize] as u64),
             RmD::Mem(m) => self.mem.load_u64(self.d_addr(m)),
@@ -617,7 +649,7 @@ impl<'p> Vm<'p> {
     }
 
     #[inline(always)]
-    fn d_rm32(&self, src: &RmD) -> Result<u32, Trap> {
+    pub(crate) fn d_rm32(&self, src: &RmD) -> Result<u32, Trap> {
         match src {
             RmD::Reg(x) => Ok(self.xmm[*x as usize] as u32),
             RmD::Mem(m) => self.mem.load_u32(self.d_addr(m)),
@@ -625,7 +657,7 @@ impl<'p> Vm<'p> {
     }
 
     #[inline(always)]
-    fn d_rm128(&self, src: &RmD) -> Result<u128, Trap> {
+    pub(crate) fn d_rm128(&self, src: &RmD) -> Result<u128, Trap> {
         match src {
             RmD::Reg(x) => Ok(self.xmm[*x as usize]),
             RmD::Mem(m) => self.mem.load_u128(self.d_addr(m)),
@@ -633,7 +665,7 @@ impl<'p> Vm<'p> {
     }
 
     #[inline(always)]
-    fn d_gmi(&self, src: &GmiD) -> Result<u64, Trap> {
+    pub(crate) fn d_gmi(&self, src: &GmiD) -> Result<u64, Trap> {
         match src {
             GmiD::Reg(r) => Ok(self.gpr[*r as usize]),
             GmiD::Mem(m) => self.mem.load_u64(self.d_addr(m)),
@@ -642,13 +674,13 @@ impl<'p> Vm<'p> {
     }
 
     #[inline(always)]
-    fn set_lo64(&mut self, x: u8, v: u64) {
+    pub(crate) fn set_lo64(&mut self, x: u8, v: u64) {
         let r = &mut self.xmm[x as usize];
         *r = (*r & !(u128::from(u64::MAX))) | u128::from(v);
     }
 
     #[inline(always)]
-    fn set_lo32(&mut self, x: u8, v: u32) {
+    pub(crate) fn set_lo32(&mut self, x: u8, v: u32) {
         let r = &mut self.xmm[x as usize];
         *r = (*r & !(u128::from(u32::MAX))) | u128::from(v);
     }
@@ -1096,7 +1128,7 @@ impl<'p> Vm<'p> {
     }
 
     #[inline(always)]
-    fn set_ucomi_flags(&mut self, a: f64, b: f64, unordered: bool) {
+    pub(crate) fn set_ucomi_flags(&mut self, a: f64, b: f64, unordered: bool) {
         self.flags = if unordered {
             crate::interp::Flags { eq: true, lt: false, ult: true, unordered: true }
         } else {
@@ -1105,7 +1137,7 @@ impl<'p> Vm<'p> {
     }
 
     #[inline(always)]
-    fn set_cmp_flags(&mut self, a: u64, b: u64) {
+    pub(crate) fn set_cmp_flags(&mut self, a: u64, b: u64) {
         self.flags = crate::interp::Flags {
             eq: a == b,
             lt: (a as i64) < (b as i64),
@@ -1115,7 +1147,7 @@ impl<'p> Vm<'p> {
     }
 
     #[inline(always)]
-    fn set_test_flags(&mut self, r: u64) {
+    pub(crate) fn set_test_flags(&mut self, r: u64) {
         self.flags =
             crate::interp::Flags { eq: r == 0, lt: (r as i64) < 0, ult: false, unordered: false };
     }

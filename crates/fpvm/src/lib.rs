@@ -19,12 +19,16 @@
 //! * [`cost`] — a documented cycle/bandwidth model for *modelled* speedups;
 //! * [`exec`] — a pre-decoded linear execution image, the interpreter's
 //!   fast path (bit-identical to [`interp`], differentially tested);
+//! * [`compiled`] — the compiled backend: threaded-code dispatch over
+//!   monomorphized op handlers plus block-fused superinstruction regions
+//!   (bit-identical to [`exec`], differentially tested);
 //! * [`cluster`] — an intra-node MPI-rank analogue for the scaling
 //!   experiments (paper Fig. 8).
 
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod compiled;
 pub mod cost;
 pub mod exec;
 pub mod interp;
@@ -35,6 +39,7 @@ pub mod program;
 pub mod trap;
 pub mod value;
 
+pub use compiled::{Backend, CompiledImage};
 pub use cost::CostModel;
 pub use exec::{
     ExecImage, ExecObserver, FpEvent, FpLocV, NoopObserver, NoopStepObserver, StepObserver,

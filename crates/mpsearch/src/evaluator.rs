@@ -15,7 +15,7 @@
 
 use fpvm::exec::ExecImage;
 use fpvm::program::Program;
-use fpvm::{Memory, Trap, Vm, VmOptions};
+use fpvm::{Backend, CompiledImage, Memory, Trap, Vm, VmOptions};
 use instrument::{rewrite_all_double, RewriteOptions, Rewriter};
 use mpconfig::{Config, StructureTree};
 use mptrace::profiler::InsnProfiler;
@@ -105,6 +105,7 @@ pub struct VmEvaluator<'p> {
     fuel_capped: AtomicUsize,
     mem_pool: Mutex<Vec<Memory>>,
     tracer: Option<Tracer>,
+    backend: Backend,
 }
 
 impl<'p> VmEvaluator<'p> {
@@ -137,7 +138,22 @@ impl<'p> VmEvaluator<'p> {
             fuel_capped: AtomicUsize::new(0),
             mem_pool: Mutex::new(Vec::new()),
             tracer: None,
+            backend: Backend::default(),
         }
+    }
+
+    /// Select the execution backend for verification runs. Unobserved
+    /// runs honor the choice directly; traced runs need per-instruction
+    /// attribution, so `Compiled` uses its threaded tier and
+    /// `Interp`/`Fast` use the profiled image path (the documented
+    /// observer-fallback contract).
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The execution backend verification runs use.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Attach a [`Tracer`]: evaluations get rewrite/run spans and
@@ -192,6 +208,7 @@ impl Evaluator for VmEvaluator<'_> {
         let rewrite_span = self.tracer.as_ref().map(|t| t.span("rewrite"));
         let (instrumented, _) = self.rewriter.rewrite(self.prog, self.tree, cfg);
         let image = ExecImage::compile(&instrumented, &self.vm_opts.cost);
+        let cimg = (self.backend == Backend::Compiled).then(|| CompiledImage::from_image(&image));
         drop(rewrite_span);
         let mut fuel = self.fuel_budget();
         if let Some(cap) = ctl.fuel_override {
@@ -208,7 +225,13 @@ impl Evaluator for VmEvaluator<'_> {
             // back to the original instruction each snippet expands.
             Some(tracer) => {
                 let mut prof = InsnProfiler::new(instrumented.insn_id_bound());
-                let outcome = vm.run_image_profiled(&image, &mut prof);
+                // Attribution needs per-op dispatch: the compiled
+                // backend's threaded tier keeps it exact; fused regions
+                // would not, so they are never used here.
+                let outcome = match &cimg {
+                    Some(c) => vm.run_compiled_profiled(c, &mut prof),
+                    None => vm.run_image_profiled(&image, &mut prof),
+                };
                 let mut origin: Vec<u32> = (0..instrumented.insn_id_bound() as u32).collect();
                 for (_, _, insn) in instrumented.iter_insns() {
                     if let Some(o) = insn.origin {
@@ -220,7 +243,11 @@ impl Evaluator for VmEvaluator<'_> {
                 tracer.merge_hot(&folded);
                 outcome
             }
-            None => vm.run_image(&image),
+            None => match (&cimg, self.backend) {
+                (Some(c), _) => vm.run_compiled(c),
+                (None, Backend::Interp) => vm.run(),
+                (None, _) => vm.run_image(&image),
+            },
         };
         drop(run_span);
         if let Some(t) = &self.tracer {

@@ -50,6 +50,12 @@ pub struct RunManifest {
     pub bench: String,
     /// Workload class (e.g. `"s"`).
     pub class: String,
+    /// Execution backend the run used (`interp`/`fast`/`compiled`;
+    /// empty in manifests from before backends existed). `craft
+    /// compare` warns when two runs differ here: their cycle counts are
+    /// identical by construction, but wall-clock figures are not
+    /// comparable across backends.
+    pub backend: String,
     /// FNV-1a hash of the final configuration text, hex.
     pub config_hash: String,
     /// Verification tolerance used.
@@ -83,6 +89,8 @@ impl RunManifest {
         esc(&mut s, &self.bench);
         s.push_str(",\"class\":");
         esc(&mut s, &self.class);
+        s.push_str(",\"backend\":");
+        esc(&mut s, &self.backend);
         s.push_str(",\"config_hash\":");
         esc(&mut s, &self.config_hash);
         let _ = write!(s, ",\"tol\":{:?},\"threads\":{}", self.tol, self.threads);
@@ -175,6 +183,8 @@ impl RunManifest {
             id: st("id")?,
             bench: st("bench")?,
             class: st("class")?,
+            // Absent in manifests written before the compiled backend.
+            backend: st("backend").unwrap_or_default(),
             config_hash: st("config_hash")?,
             tol: v.get("tol").and_then(Value::as_f64).ok_or("manifest: missing \"tol\"")?,
             threads: n("threads")? as usize,
@@ -379,6 +389,7 @@ mod tests {
             id: id.into(),
             bench: bench.into(),
             class: "s".into(),
+            backend: "compiled".into(),
             config_hash: fnv1a64("double main()"),
             tol: 1e-6,
             threads: 4,
@@ -411,6 +422,18 @@ mod tests {
         // No summary (crashed run) round-trips too.
         let m = RunManifest { summary: None, ..m };
         assert_eq!(RunManifest::parse(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn legacy_manifest_without_backend_parses_with_empty_backend() {
+        let m = manifest("ep-1700000000-1-0", "ep", true);
+        let text = m.to_json();
+        // Simulate a manifest written before the compiled backend existed.
+        let legacy = text.replace(",\"backend\":\"compiled\"", "");
+        assert!(!legacy.contains("backend"));
+        let back = RunManifest::parse(&legacy).unwrap();
+        assert_eq!(back.backend, "");
+        assert_eq!(RunManifest { backend: String::new(), ..m }, back);
     }
 
     #[test]
