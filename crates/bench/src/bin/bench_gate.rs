@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <fresh.json> [<baseline> <fresh> ...] [--threshold=PCT]
-//!            [--registry=DIR] [--record]
+//!            [--registry=DIR] [--record] [--compiled-ratio=R] [--warn-only]
 //! ```
 //!
 //! For every benchmark present in a baseline file, the gate prints a
@@ -20,6 +20,14 @@
 //! guards against regressions of the same size, so the gate asks for
 //! the committed `BENCH_*.json` to be refreshed without failing the
 //! build.
+//!
+//! The compiled-backend speedup check is a real gate: on benches where
+//! both `<b>.orig.fast` and `<b>.orig.compiled` were measured, the
+//! compiled tier must be at least `--compiled-ratio` times faster
+//! (default 1.2) or the gate exits 1 — a compiled backend slower than
+//! that has stopped paying for its fusion pass. `--warn-only`
+//! downgrades *ratio* failures to warnings (bring-up on new hardware);
+//! it does not touch the min_ns regression gate.
 //!
 //! With `--registry=DIR` (or `$CRAFT_REGISTRY`), run-registry manifests
 //! carrying `bench_min_ns` entries override the committed JSON baseline
@@ -96,11 +104,17 @@ fn main() {
         .unwrap_or(20.0);
     let registry_dir = args.iter().find_map(|a| a.strip_prefix("--registry=").map(str::to_string));
     let record = args.iter().any(|a| a == "--record");
+    let compiled_ratio: f64 = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--compiled-ratio="))
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(1.2);
+    let warn_only = args.iter().any(|a| a == "--warn-only");
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if files.is_empty() || !files.len().is_multiple_of(2) {
         eprintln!(
             "usage: bench_gate <baseline.json> <fresh.json> [...] [--threshold=PCT] \
-             [--registry=DIR] [--record]"
+             [--registry=DIR] [--record] [--compiled-ratio=R] [--warn-only]"
         );
         std::process::exit(2);
     }
@@ -172,23 +186,38 @@ fn main() {
         }
         println!();
     }
-    // Compiled-backend speedup target: the fused tier should run the
-    // unobserved NAS rows at least 3x faster than the pre-decoded image
-    // path. Warn-only for now — the compiled backend's contract in this
-    // repo is bit-identity first, speed second — but the ratio is
-    // printed on every CI run so drift is visible.
+    // Compiled-backend speedup gate: the fused tier must beat the
+    // pre-decoded image path by at least `--compiled-ratio` on the
+    // unobserved NAS rows, or the threaded-code tier has stopped paying
+    // for itself. The long-term 3x target stays aspirational — ratios
+    // between the gate and the target are printed so drift is visible
+    // without failing the build.
+    let mut ratio_failed = false;
     for b in ["ep", "cg"] {
         let fast = fresh_mins.get(&format!("{b}.orig.fast"));
         let comp = fresh_mins.get(&format!("{b}.orig.compiled"));
         if let (Some(&fast), Some(&comp)) = (fast, comp) {
             let ratio = fast / comp;
             if ratio >= 3.0 {
-                println!("bench_gate: {b}.orig.compiled speedup over fast: {ratio:.2}x (>=3x)");
-            } else {
+                println!(
+                    "bench_gate: {b}.orig.compiled speedup over fast: {ratio:.2}x (3x target met)"
+                );
+            } else if ratio >= compiled_ratio {
+                println!(
+                    "bench_gate: {b}.orig.compiled speedup over fast: {ratio:.2}x \
+                     (gate >={compiled_ratio:.2}x ok; 3x target not yet reached)"
+                );
+            } else if warn_only {
                 eprintln!(
                     "bench_gate: warning: {b}.orig.compiled is only {ratio:.2}x faster than \
-                     {b}.orig.fast (target >=3x; warn-only)"
+                     {b}.orig.fast (gate >={compiled_ratio:.2}x; --warn-only)"
                 );
+            } else {
+                eprintln!(
+                    "bench_gate: {b}.orig.compiled is only {ratio:.2}x faster than \
+                     {b}.orig.fast (gate >={compiled_ratio:.2}x)"
+                );
+                ratio_failed = true;
             }
         }
     }
@@ -229,6 +258,14 @@ fn main() {
     }
     if failed {
         eprintln!("bench_gate: throughput regression beyond {threshold:.0}% detected");
+    }
+    if ratio_failed {
+        eprintln!(
+            "bench_gate: compiled-over-fast speedup below the {compiled_ratio:.2}x gate \
+             (--warn-only to bypass during bring-up)"
+        );
+    }
+    if failed || ratio_failed {
         std::process::exit(1);
     }
     println!("bench_gate: all benchmarks within {threshold:.0}% of baseline");

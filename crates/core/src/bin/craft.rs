@@ -13,7 +13,16 @@
 //! craft runs                           # list registry-recorded runs
 //! craft watch <run-dir|latest>         # render a run's live.jsonl stream
 //! craft compare <run-a> <run-b>        # cross-run diff with regression attribution
+//! craft submit <bench> [class]         # submit a tuning job to a craftd daemon
+//! craft status <job-id>                # one daemon job, analyze-style summary
+//! craft jobs                           # list a daemon's jobs
 //! ```
+//!
+//! The daemon-mode subcommands (`submit`/`status`/`jobs`) talk HTTP to
+//! a running `craftd` (`--daemon=HOST:PORT`, else `$CRAFTD_ADDR`, else
+//! `127.0.0.1:7050`). `submit --follow` tails the job's live stream to
+//! completion and then prints the same labelled summary lines as
+//! `craft analyze`, so the two outputs can be diffed directly.
 //!
 //! Options for `analyze`: `--second-phase`, `--stop-depth=f|b|i`,
 //! `--no-split`, `--no-priority`, `--lean`, `--threads=N`,
@@ -34,15 +43,16 @@
 //! regression crosses its threshold (suppress with `--warn-only`),
 //! `0` otherwise.
 
-use mixedprec::{AnalysisOptions, AnalysisSystem, ShadowOptions, StopDepth};
+use mixedprec::{AnalysisOptions, AnalysisSystem, JobSpec, ShadowOptions, StopDepth};
 use mpconfig::editor::render_tree;
 use mpconfig::print_config;
 use mpsearch::events::{Event, EventLog, Record};
 use mpsearch::{FaultPlan, SearchHooks, SearchOptions, SearchReport, Verdict};
 use mptrace::compare::{compare, CompareOptions};
+use mptrace::json::{self, Value};
 use mptrace::registry::{self, Registry, RunManifest, RunSummary};
 use mptrace::snapshot::TraceSnapshot;
-use mptrace::stream::{LiveLog, StreamOptions, StreamSink};
+use mptrace::stream::{LiveLog, LiveTail, StreamOptions, StreamSink};
 use mptrace::{sinks, Tracer};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -61,34 +71,14 @@ fn fail(msg: String) -> ! {
     std::process::exit(1)
 }
 
-const BENCHES: &[&str] =
-    &["bt", "cg", "ep", "ft", "lu", "mg", "sp", "amg", "slu", "mathmix", "vecops"];
+use mixedprec::jobspec::{self, BENCHES};
 
 fn build(bench: &str, class: Class) -> Workload {
-    match bench {
-        "bt" => workloads::nas::bt(class),
-        "cg" => workloads::nas::cg(class),
-        "ep" => workloads::nas::ep(class),
-        "ft" => workloads::nas::ft(class),
-        "lu" => workloads::nas::lu(class),
-        "mg" => workloads::nas::mg(class),
-        "sp" => workloads::nas::sp(class),
-        "amg" => workloads::amg::amg(class),
-        "slu" => workloads::slu::slu(class).wl,
-        "mathmix" => workloads::mathmix::mathmix(class, workloads::mathmix::LibmKind::Intrinsic),
-        "vecops" => workloads::vecops::vecops(class),
-        other => usage(&format!("unknown benchmark `{other}`; try `craft list`")),
-    }
+    jobspec::build_workload(bench, class).unwrap_or_else(|e| usage(&e))
 }
 
 fn parse_class(s: Option<&str>) -> Class {
-    match s.unwrap_or("w") {
-        "s" => Class::S,
-        "w" => Class::W,
-        "a" => Class::A,
-        "c" => Class::C,
-        other => usage(&format!("unknown class `{other}` (expected s|w|a|c)")),
-    }
+    jobspec::parse_class(s.unwrap_or("w")).unwrap_or_else(|e| usage(&e))
 }
 
 fn parse_indices(spec: &str) -> Vec<u64> {
@@ -466,6 +456,173 @@ fn render_watch(dir_label: &str, log: &LiveLog, manifest: Option<&RunManifest>, 
     }
 }
 
+/// The daemon address for client-mode subcommands: `--daemon=HOST:PORT`
+/// beats `$CRAFTD_ADDR` beats the craftd default `127.0.0.1:7050`.
+fn daemon_addr(explicit: Option<String>) -> String {
+    explicit
+        .or_else(|| std::env::var("CRAFTD_ADDR").ok().filter(|s| !s.is_empty()))
+        .unwrap_or_else(|| "127.0.0.1:7050".into())
+}
+
+/// Minimal HTTP/1.1 client for daemon mode (`submit`/`status`/`jobs`):
+/// one request per connection, `Connection: close`, response bodies
+/// framed by `Content-Length`, chunked encoding (live follows), or EOF.
+/// Body pieces go to `on_data` as they arrive. Kept local because
+/// `core` cannot depend on the `craftd` crate (craftd depends on it).
+fn http_exchange(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    on_data: &mut dyn FnMut(&str),
+) -> Result<u16, String> {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    let mut conn =
+        TcpStream::connect(addr).map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?;
+    let payload = body.unwrap_or("");
+    write!(
+        conn,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{payload}",
+        payload.len()
+    )
+    .map_err(|e| format!("send: {e}"))?;
+
+    let read_line = |conn: &mut TcpStream| -> Result<String, String> {
+        let mut line = Vec::new();
+        let mut byte = [0u8; 1];
+        while !line.ends_with(b"\r\n") {
+            match conn.read(&mut byte) {
+                Ok(0) => return Err("daemon closed the connection mid-line".into()),
+                Ok(_) => line.push(byte[0]),
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+        line.truncate(line.len() - 2);
+        Ok(String::from_utf8_lossy(&line).into_owned())
+    };
+
+    let status_line = read_line(&mut conn)?;
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut chunked = false;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = read_line(&mut conn)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let (name, value) = (name.trim().to_ascii_lowercase(), value.trim());
+            if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            } else if name == "content-length" {
+                content_length =
+                    Some(value.parse().map_err(|_| format!("bad content-length {value:?}"))?);
+            }
+        }
+    }
+    if chunked {
+        loop {
+            let size_line = read_line(&mut conn)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+            let mut data = vec![0u8; size + 2]; // payload + trailing CRLF
+            conn.read_exact(&mut data).map_err(|e| format!("read chunk: {e}"))?;
+            if size == 0 {
+                break;
+            }
+            on_data(&String::from_utf8_lossy(&data[..size]));
+        }
+    } else if let Some(n) = content_length {
+        let mut data = vec![0u8; n];
+        conn.read_exact(&mut data).map_err(|e| format!("read body: {e}"))?;
+        on_data(&String::from_utf8_lossy(&data));
+    } else {
+        let mut data = Vec::new();
+        conn.read_to_end(&mut data).map_err(|e| format!("read body: {e}"))?;
+        on_data(&String::from_utf8_lossy(&data));
+    }
+    Ok(status)
+}
+
+/// [`http_exchange`] collecting the whole body into a string.
+fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut out = String::new();
+    let status = http_exchange(addr, method, path, body, &mut |p| out.push_str(p))?;
+    Ok((status, out))
+}
+
+/// The daemon's `{"error":…}` message, or the raw body if it isn't one.
+fn daemon_error(body: &str) -> String {
+    json::parse(body)
+        .ok()
+        .and_then(|v| v.get("error").and_then(Value::as_str).map(str::to_string))
+        .unwrap_or_else(|| body.trim().to_string())
+}
+
+/// Render one daemon job record. Completed jobs print the same labelled
+/// summary lines as `craft analyze`, so daemon output and in-process
+/// output can be diffed directly. Returns the exit code (1 for
+/// failed/crashed jobs).
+fn render_job_record(v: &Value) -> i32 {
+    let s = |k: &str| v.get(k).and_then(Value::as_str).unwrap_or("");
+    let state = s("state");
+    println!("job                  : {}", s("id"));
+    println!("state                : {state}");
+    match state {
+        "done" => {
+            println!("benchmark            : {}.{}", s("bench"), s("class"));
+            if let Some(sum) = v.get("summary").filter(|s| s.get("candidates").is_some()) {
+                let n = |k: &str| sum.get(k).and_then(Value::as_u64).unwrap_or(0);
+                let f = |k: &str| sum.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+                println!("candidates           : {}", n("candidates"));
+                println!("configurations tested: {}", n("tested"));
+                println!("replaced (static)    : {:.1}%", f("static_pct"));
+                println!("replaced (dynamic)   : {:.1}%", f("dynamic_pct"));
+                println!(
+                    "final verification   : {}",
+                    if sum.get("final_pass").and_then(Value::as_bool).unwrap_or(false) {
+                        "pass"
+                    } else {
+                        "fail"
+                    }
+                );
+            }
+            println!(
+                "modelled speedup     : {:.2}x",
+                v.get("modelled_speedup").and_then(Value::as_f64).unwrap_or(0.0)
+            );
+            println!(
+                "search wall time     : {:.2}s",
+                v.get("wall_us").and_then(Value::as_u64).unwrap_or(0) as f64 / 1e6
+            );
+            println!(
+                "cache hits           : {}",
+                v.get("cache_hits").and_then(Value::as_u64).unwrap_or(0)
+            );
+            if let Some(n) = v.get("regressions").and_then(Value::as_u64) {
+                println!("regressions          : {n} (vs previous run of this bench)");
+            }
+            0
+        }
+        "failed" | "crashed" => {
+            println!("error                : {}", s("error"));
+            1
+        }
+        _ => 0,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let positional: Vec<&str> =
@@ -712,6 +869,7 @@ fn main() {
                         shadow: None,
                         tracer: None,
                         stream: stream.as_ref(),
+                        pool: None,
                     };
                     let rec = sys.recommend_with(&hooks);
                     let r = &rec.report;
@@ -855,6 +1013,129 @@ fn main() {
                 _ => unreachable!(),
             }
         }
+        "submit" => {
+            let bench = positional.get(1).copied().unwrap_or_else(|| {
+                usage(
+                    "usage: craft submit <bench> [class] [--daemon=HOST:PORT] [--follow] \
+                     [analyze flags]",
+                )
+            });
+            let class = positional.get(2).copied().unwrap_or("w");
+            let parse_num = |name: &str| -> Option<u64> {
+                opt(name).map(|v| {
+                    v.parse()
+                        .unwrap_or_else(|_| usage(&format!("{name} wants a number, got {v:?}")))
+                })
+            };
+            let spec = JobSpec {
+                bench: bench.to_string(),
+                class: class.to_string(),
+                backend: opt("--backend").unwrap_or_default(),
+                tol: opt("--tol").map(|v| {
+                    v.parse().unwrap_or_else(|_| usage(&format!("--tol wants a number, got {v:?}")))
+                }),
+                threads: parse_num("--threads").map(|n| n as usize),
+                stop_depth: opt("--stop-depth").unwrap_or_default(),
+                second_phase: flag("--second-phase"),
+                binary_split: !flag("--no-split"),
+                prioritize: !flag("--no-priority"),
+                lean: flag("--lean"),
+                shadow_priority: flag("--shadow-priority"),
+                shadow_prune: flag("--shadow-prune"),
+                max_tests: parse_num("--max-tests").map(|n| n as usize),
+                fuel_limit: parse_num("--fuel-limit"),
+                wall_limit_ms: parse_num("--wall-limit-ms"),
+                batch: parse_num("--batch").map(|n| n as usize).unwrap_or(1),
+                inject_runner_panic: false,
+            };
+            spec.validate().unwrap_or_else(|e| usage(&e));
+            let addr = daemon_addr(opt("--daemon"));
+            let (code, body) = http_request(&addr, "POST", "/jobs", Some(&spec.to_json()))
+                .unwrap_or_else(|e| fail(e));
+            if code != 202 {
+                fail(format!("daemon {addr} rejected the job ({code}): {}", daemon_error(&body)));
+            }
+            let id = json::parse(&body)
+                .ok()
+                .and_then(|v| v.get("id").and_then(Value::as_str).map(str::to_string))
+                .unwrap_or_else(|| fail(format!("daemon returned no job id: {body}")));
+            if !flag("--follow") {
+                // The id alone on stdout, for scripting; decoration on stderr.
+                eprintln!("craft: job {id} queued on {addr}");
+                println!("{id}");
+            } else {
+                eprintln!("craft: job {id} queued on {addr}, following live stream");
+                let mut records = 0usize;
+                let code =
+                    http_exchange(&addr, "GET", &format!("/jobs/{id}/live"), None, &mut |piece| {
+                        records += piece.lines().count()
+                    })
+                    .unwrap_or_else(|e| fail(e));
+                if code != 200 {
+                    fail(format!("daemon {addr} refused the live stream ({code})"));
+                }
+                eprintln!("craft: followed {records} live records to completion");
+                let (code, body) = http_request(&addr, "GET", &format!("/jobs/{id}"), None)
+                    .unwrap_or_else(|e| fail(e));
+                if code != 200 {
+                    fail(format!("daemon {addr} answered {code}: {}", daemon_error(&body)));
+                }
+                let v = json::parse(&body)
+                    .unwrap_or_else(|e| fail(format!("malformed job record: {e}")));
+                let rc = render_job_record(&v);
+                if rc != 0 {
+                    std::process::exit(rc);
+                }
+            }
+        }
+        "status" => {
+            let id = positional
+                .get(1)
+                .copied()
+                .unwrap_or_else(|| usage("usage: craft status <job-id> [--daemon=HOST:PORT]"));
+            let addr = daemon_addr(opt("--daemon"));
+            let (code, body) = http_request(&addr, "GET", &format!("/jobs/{id}"), None)
+                .unwrap_or_else(|e| fail(e));
+            if code != 200 {
+                fail(format!("daemon {addr} answered {code}: {}", daemon_error(&body)));
+            }
+            let v =
+                json::parse(&body).unwrap_or_else(|e| fail(format!("malformed job record: {e}")));
+            let rc = render_job_record(&v);
+            if rc != 0 {
+                std::process::exit(rc);
+            }
+        }
+        "jobs" => {
+            let addr = daemon_addr(opt("--daemon"));
+            let (code, body) =
+                http_request(&addr, "GET", "/jobs", None).unwrap_or_else(|e| fail(e));
+            if code != 200 {
+                fail(format!("daemon {addr} answered {code}: {}", daemon_error(&body)));
+            }
+            let v = json::parse(&body).unwrap_or_else(|e| fail(format!("malformed job list: {e}")));
+            let jobs = v.as_arr().unwrap_or(&[]);
+            println!("daemon      : {addr}");
+            if jobs.is_empty() {
+                println!("(no jobs)");
+            } else {
+                println!(
+                    "{:<34}  {:<8}  {:<10}  {:>9}  {:>6}",
+                    "id", "state", "bench", "wall", "hits"
+                );
+                for j in jobs {
+                    let s = |k: &str| j.get(k).and_then(Value::as_str).unwrap_or("");
+                    println!(
+                        "{:<34}  {:<8}  {:<10}  {:>8.2}s  {:>6}",
+                        s("id"),
+                        s("state"),
+                        format!("{}.{}", s("bench"), s("class")),
+                        j.get("wall_us").and_then(Value::as_u64).unwrap_or(0) as f64 / 1e6,
+                        j.get("cache_hits").and_then(Value::as_u64).unwrap_or(0),
+                    );
+                }
+            }
+        }
         "runs" => {
             let reg = open_registry(opt("--registry").as_deref()).unwrap_or_else(|| {
                 fail("no registry available (set --registry=DIR, $CRAFT_REGISTRY, or $HOME)".into())
@@ -890,10 +1171,18 @@ fn main() {
             let live = if run.is_dir() { run.join("live.jsonl") } else { run.clone() };
             let manifest = load_run_manifest(&run);
             let follow = flag("--follow");
+            if !live.is_file() {
+                fail(format!("cannot read {}: no such file", live.display()));
+            }
+            // Tail by byte offset: each frame folds only the lines
+            // appended since the last poll instead of re-reading the
+            // whole stream, so following a long run stays O(delta).
+            let mut tail = LiveTail::new(&live);
             loop {
-                let log = LiveLog::from_file(&live).unwrap_or_else(|e| fail(e));
-                render_watch(&run.display().to_string(), &log, manifest.as_ref(), top);
-                let done = log.latest_progress().is_some_and(|p| p.progress.phase == "done");
+                tail.poll().unwrap_or_else(|e| fail(e));
+                let _ = tail.take_raw(); // unneeded here; keep the buffer empty
+                render_watch(&run.display().to_string(), tail.log(), manifest.as_ref(), top);
+                let done = tail.log().latest_progress().is_some_and(|p| p.progress.phase == "done");
                 if !follow || done {
                     break;
                 }
@@ -969,6 +1258,14 @@ fn main() {
             println!("  craft compare  <run-a> <run-b> [--warn-only] [--top=N]");
             println!("                 [--counter-pct=P] [--cycles-pct=P] [--quantile-pct=P]");
             println!("                 [--min-cycles=N] [--registry=DIR]");
+            println!("  craft submit   <bench> [class] [--daemon=HOST:PORT] [--follow]");
+            println!("                 [--tol=T] [--max-tests=N] [--fuel-limit=N]");
+            println!("                 [--wall-limit-ms=N] [--batch=N] [analyze flags]");
+            println!("  craft status   <job-id> [--daemon=HOST:PORT]");
+            println!("  craft jobs     [--daemon=HOST:PORT]");
+            println!();
+            println!("daemon mode talks to a running `craftd` (default 127.0.0.1:7050,");
+            println!("override with --daemon or $CRAFTD_ADDR).");
         }
     }
 }

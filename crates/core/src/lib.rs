@@ -23,10 +23,43 @@ use mpconfig::{Config, Flag, StructureTree};
 use mpsearch::{
     search_observed, SearchHooks, SearchOptions, SearchReport, ShadowOracle, VmEvaluator,
 };
+use std::sync::Arc;
 use std::time::Instant;
 use workloads::Workload;
 
+pub mod jobspec;
+
+pub use jobspec::JobSpec;
 pub use mpsearch::StopDepth;
+
+/// Context handed to [`EvalMiddleware::wrap`]: the structure tree the
+/// evaluations index into, and a namespace string identifying every
+/// option that changes an evaluation's verdict (see
+/// [`JobSpec::cache_namespace`]) so cross-run state is never shared
+/// between semantically different jobs.
+pub struct WrapCtx<'a> {
+    /// The workload's structure tree.
+    pub tree: &'a StructureTree,
+    /// Verdict-determining option fingerprint.
+    pub namespace: String,
+}
+
+/// Interposes on configuration evaluation for a whole analysis run.
+///
+/// A long-running driver (the `craftd` daemon) installs one middleware
+/// on every [`AnalysisSystem`] it builds; the middleware wraps the
+/// system's private evaluator before each search, typically with a
+/// cache shared *across* jobs. The wrapper sits *under* the search's
+/// own per-run [`mpsearch::CachedEvaluator`], so its hits chain into
+/// [`SearchReport::cache_hits`] via `Evaluator::stats`.
+pub trait EvalMiddleware: Send + Sync {
+    /// Wrap `inner` for one search run.
+    fn wrap<'a>(
+        &'a self,
+        inner: &'a dyn mpsearch::Evaluator,
+        ctx: &WrapCtx<'a>,
+    ) -> Box<dyn mpsearch::Evaluator + 'a>;
+}
 
 /// Options for a full analysis run.
 #[derive(Debug, Clone, Default)]
@@ -72,6 +105,7 @@ pub struct AnalysisSystem {
     base: Config,
     opts: AnalysisOptions,
     tracer: Option<mptrace::Tracer>,
+    middleware: Option<(Arc<dyn EvalMiddleware>, String)>,
 }
 
 /// Overhead of the all-double instrumented binary relative to the
@@ -120,7 +154,14 @@ impl AnalysisSystem {
                 }
             }
         }
-        AnalysisSystem { workload, tree, base, opts, tracer: None }
+        AnalysisSystem { workload, tree, base, opts, tracer: None, middleware: None }
+    }
+
+    /// Install an evaluation middleware (see [`EvalMiddleware`]). The
+    /// `namespace` should fingerprint every option that changes a
+    /// verdict — [`JobSpec::cache_namespace`] builds the canonical one.
+    pub fn set_middleware(&mut self, middleware: Arc<dyn EvalMiddleware>, namespace: String) {
+        self.middleware = Some((middleware, namespace));
     }
 
     /// Attach a span/metric recorder. Every subsequent pipeline run
@@ -260,6 +301,7 @@ impl AnalysisSystem {
             faults: hooks.faults.clone(),
             events: hooks.events,
             stream: hooks.stream,
+            pool: hooks.pool,
             tracer,
             shadow: sprof.as_ref().map(|sp| ShadowOracle {
                 profile: sp,
@@ -267,11 +309,24 @@ impl AnalysisSystem {
                 prune_threshold: sh.prune.then_some(self.workload.tol * sh.prune_margin),
             }),
         };
+        // The installed middleware (a daemon's cross-job cache) wraps
+        // the evaluator *outside* this call; the search then stacks its
+        // own per-run CachedEvaluator on top, so middleware hits chain
+        // into the report's cache_hits through Evaluator::stats.
+        let ev = self.evaluator();
+        let wrapped = self
+            .middleware
+            .as_ref()
+            .map(|(m, ns)| m.wrap(&ev, &WrapCtx { tree: &self.tree, namespace: ns.clone() }));
+        let eval: &dyn mpsearch::Evaluator = match &wrapped {
+            Some(b) => b.as_ref(),
+            None => &ev,
+        };
         let report = search_observed(
             &self.tree,
             &self.base,
             Some(&profile),
-            &self.evaluator(),
+            eval,
             &self.opts.search,
             &hooks,
         );

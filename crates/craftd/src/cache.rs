@@ -1,0 +1,193 @@
+//! The cross-job configuration-evaluation cache.
+//!
+//! One [`SharedEvalCache`] lives for the daemon's whole life and is
+//! installed on every job's `AnalysisSystem` as an
+//! [`EvalMiddleware`]: two jobs with the same verdict-determining
+//! options (same [`JobSpec::cache_namespace`](mixedprec::JobSpec))
+//! share results keyed by the configuration's effective
+//! replaced-instruction set, so re-submitting a job — or submitting a
+//! variant that retreads part of the search space — answers most
+//! evaluations without running anything.
+//!
+//! The middleware sits *under* the search's own per-run
+//! `CachedEvaluator` and mirrors its semantics exactly: results are
+//! memoized by effective replaced set, fuel-overridden (starved) runs
+//! bypass the cache entirely, and `stats()` chains the inner
+//! evaluator's counters so shared hits surface in
+//! `SearchReport::cache_hits` like any other cache hit.
+
+use mixedprec::{EvalMiddleware, WrapCtx};
+use mpconfig::StructureTree;
+use mpsearch::{EvalOutcome, EvalStats, Evaluator, RunControl};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Evaluation results shared across every job the daemon runs, keyed
+/// by namespace → effective replaced-instruction set.
+#[derive(Default)]
+pub struct SharedEvalCache {
+    map: Mutex<HashMap<String, HashMap<Vec<u32>, EvalOutcome>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedEvalCache {
+    /// A fresh, empty cache.
+    pub fn new() -> SharedEvalCache {
+        SharedEvalCache::default()
+    }
+
+    /// Evaluations answered from the cache, across all jobs.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations that ran and populated the cache.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Cached results currently held, across all namespaces.
+    pub fn entries(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).values().map(HashMap::len).sum()
+    }
+}
+
+impl EvalMiddleware for SharedEvalCache {
+    fn wrap<'a>(&'a self, inner: &'a dyn Evaluator, ctx: &WrapCtx<'a>) -> Box<dyn Evaluator + 'a> {
+        Box::new(SharedCacheEval {
+            cache: self,
+            inner,
+            tree: ctx.tree,
+            namespace: ctx.namespace.clone(),
+            job_hits: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// The per-job view of the shared cache: one namespace, one inner
+/// evaluator, plus a job-local hit counter for `stats()` chaining.
+struct SharedCacheEval<'a> {
+    cache: &'a SharedEvalCache,
+    inner: &'a dyn Evaluator,
+    tree: &'a StructureTree,
+    namespace: String,
+    job_hits: AtomicUsize,
+}
+
+impl Evaluator for SharedCacheEval<'_> {
+    fn evaluate(&self, cfg: &mpconfig::Config) -> bool {
+        self.evaluate_run(cfg, &RunControl::default()).pass
+    }
+
+    fn evaluate_run(&self, cfg: &mpconfig::Config, ctl: &RunControl) -> EvalOutcome {
+        // Same contract as the search's per-run cache: a starved run is
+        // not representative, so it neither reads nor poisons entries.
+        if ctl.fuel_override.is_some() {
+            return self.inner.evaluate_run(cfg, ctl);
+        }
+        let mut key: Vec<u32> = cfg.replaced_insns(self.tree).into_iter().map(|i| i.0).collect();
+        key.sort_unstable();
+        {
+            let map = self.cache.map.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(&v) = map.get(&self.namespace).and_then(|m| m.get(&key)) {
+                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                self.job_hits.fetch_add(1, Ordering::Relaxed);
+                return EvalOutcome { cache_hit: true, ..v };
+            }
+        }
+        // Concurrent misses on the same key may both evaluate; results
+        // are deterministic, so the duplicate insert is harmless.
+        let v = self.inner.evaluate_run(cfg, ctl);
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(self.namespace.clone())
+            .or_default()
+            .insert(key, v);
+        v
+    }
+
+    fn stats(&self) -> EvalStats {
+        let mut s = self.inner.stats();
+        s.cache_hits += self.job_hits.load(Ordering::Relaxed);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpconfig::Config;
+    use std::sync::atomic::AtomicUsize;
+
+    struct CountingEval {
+        calls: AtomicUsize,
+    }
+
+    impl Evaluator for CountingEval {
+        fn evaluate(&self, _cfg: &Config) -> bool {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+    }
+
+    fn tree() -> StructureTree {
+        let w = workloads::vecops::vecops(workloads::Class::S);
+        StructureTree::build(w.program())
+    }
+
+    #[test]
+    fn second_job_in_same_namespace_hits() {
+        let tree = tree();
+        let cache = SharedEvalCache::new();
+        let inner = CountingEval { calls: AtomicUsize::new(0) };
+        let cfg = Config::new();
+
+        let job1 = cache.wrap(&inner, &WrapCtx { tree: &tree, namespace: "ep.s|default".into() });
+        assert!(job1.evaluate(&cfg));
+        assert!(job1.evaluate(&cfg)); // same replaced set — already a hit
+        assert_eq!(inner.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(job1.stats().cache_hits, 1);
+
+        // A second wrapper (a new job) over the same namespace reuses
+        // the entry and reports its own hit count.
+        let job2 = cache.wrap(&inner, &WrapCtx { tree: &tree, namespace: "ep.s|default".into() });
+        assert!(job2.evaluate(&cfg));
+        assert_eq!(inner.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(job2.stats().cache_hits, 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn namespaces_do_not_share_entries() {
+        let tree = tree();
+        let cache = SharedEvalCache::new();
+        let inner = CountingEval { calls: AtomicUsize::new(0) };
+        let cfg = Config::new();
+        cache.wrap(&inner, &WrapCtx { tree: &tree, namespace: "a".into() }).evaluate(&cfg);
+        cache.wrap(&inner, &WrapCtx { tree: &tree, namespace: "b".into() }).evaluate(&cfg);
+        assert_eq!(inner.calls.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.entries(), 2);
+    }
+
+    #[test]
+    fn fuel_overridden_runs_bypass_the_cache() {
+        let tree = tree();
+        let cache = SharedEvalCache::new();
+        let inner = CountingEval { calls: AtomicUsize::new(0) };
+        let cfg = Config::new();
+        let job = cache.wrap(&inner, &WrapCtx { tree: &tree, namespace: "n".into() });
+        let starved = RunControl { fuel_override: Some(1) };
+        job.evaluate_run(&cfg, &starved);
+        job.evaluate_run(&cfg, &starved);
+        assert_eq!(inner.calls.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.entries(), 0);
+        assert_eq!(job.stats().cache_hits, 0);
+    }
+}

@@ -1,0 +1,317 @@
+//! A hand-rolled HTTP/1.1 subset on `std::net` — just enough protocol
+//! for the daemon's job API and its tests, with zero dependencies.
+//!
+//! Server side: [`read_request`] parses one request (request line,
+//! headers, `Content-Length` body) off a stream; [`respond`] /
+//! [`respond_json`] write a complete close-delimited response; and
+//! [`Chunked`] writes a `Transfer-Encoding: chunked` body
+//! incrementally, which is how `GET /jobs/<id>/live` streams a
+//! `live.jsonl` file that is still being written.
+//!
+//! Client side ([`request`], [`stream`]): the matching minimal client,
+//! used by the end-to-end tests (and mirrored by `craft submit`). One
+//! request per connection; the server always answers
+//! `Connection: close`, so body framing is `Content-Length`, chunked,
+//! or read-to-EOF.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted request body.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (e.g. `/jobs/ep-1/live`).
+    pub path: String,
+    /// Raw query string after `?` (empty if absent).
+    pub query: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Read and parse one request from `stream`. Returns `Ok(None)` on a
+/// clean EOF before any bytes (client connected and went away).
+pub fn read_request(stream: &mut impl Read) -> Result<Option<Request>, String> {
+    // Accumulate the head byte-wise until the blank line; connections
+    // carry one request each, so there is no risk of eating a pipelined
+    // successor.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) if head.is_empty() => return Ok(None),
+            Ok(0) => return Err("connection closed mid-request".into()),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+        if head.len() > MAX_HEAD {
+            return Err("request head too large".into());
+        }
+    }
+    let head = String::from_utf8_lossy(&head[..head.len() - 4]).into_owned();
+    let mut lines = head.split("\r\n");
+    let reqline = lines.next().unwrap_or_default();
+    let mut parts = reqline.split_ascii_whitespace();
+    let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let target = parts.next().unwrap_or_default();
+    if method.is_empty() || !target.starts_with('/') {
+        return Err(format!("malformed request line {reqline:?}"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length {:?}", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err("request body too large".into());
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+    Ok(Some(Request { method, path, query, body }))
+}
+
+/// The standard reason phrase for the status codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response with a `Content-Length` body.
+pub fn respond(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    w.write_all(body)
+}
+
+/// [`respond`] with `application/json`.
+pub fn respond_json(w: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+    respond(w, status, "application/json", body.as_bytes())
+}
+
+/// An in-progress `Transfer-Encoding: chunked` response body.
+pub struct Chunked<'a, W: Write> {
+    w: &'a mut W,
+}
+
+impl<'a, W: Write> Chunked<'a, W> {
+    /// Write the response head and start the chunked body.
+    pub fn start(w: &'a mut W, status: u16, content_type: &str) -> std::io::Result<Self> {
+        write!(
+            w,
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+             Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            reason(status)
+        )?;
+        Ok(Chunked { w })
+    }
+
+    /// Write one chunk. Empty input is skipped (a zero-length chunk
+    /// would terminate the body).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Write the terminal chunk.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+/// Send one request to `addr` and collect the whole response. `body`
+/// implies `POST`-style framing with `Content-Length`. Returns
+/// `(status, body)`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut out = String::new();
+    let status = stream(addr, method, path, body, |piece| out.push_str(piece))?;
+    Ok((status, out))
+}
+
+/// Like [`request`], but hands body pieces to `on_data` as they arrive
+/// (chunk-by-chunk for chunked responses), so a caller can follow a
+/// live stream. Returns the status code once the body is complete.
+pub fn stream(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    mut on_data: impl FnMut(&str),
+) -> Result<u16, String> {
+    let mut conn = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let payload = body.unwrap_or("");
+    write!(
+        conn,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{payload}",
+        payload.len()
+    )
+    .map_err(|e| format!("send: {e}"))?;
+
+    let read_line = |conn: &mut TcpStream| -> Result<String, String> {
+        let mut line = Vec::new();
+        let mut byte = [0u8; 1];
+        while !line.ends_with(b"\r\n") {
+            match conn.read(&mut byte) {
+                Ok(0) => return Err("connection closed mid-line".into()),
+                Ok(_) => line.push(byte[0]),
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+        line.truncate(line.len() - 2);
+        Ok(String::from_utf8_lossy(&line).into_owned())
+    };
+
+    let status_line = read_line(&mut conn)?;
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut chunked = false;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let line = read_line(&mut conn)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let (name, value) = (name.trim().to_ascii_lowercase(), value.trim());
+            if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            } else if name == "content-length" {
+                content_length =
+                    Some(value.parse().map_err(|_| format!("bad content-length {value:?}"))?);
+            }
+        }
+    }
+
+    if chunked {
+        loop {
+            let size_line = read_line(&mut conn)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+            let mut data = vec![0u8; size + 2]; // payload + trailing CRLF
+            conn.read_exact(&mut data).map_err(|e| format!("read chunk: {e}"))?;
+            if size == 0 {
+                break;
+            }
+            on_data(&String::from_utf8_lossy(&data[..size]));
+        }
+    } else if let Some(n) = content_length {
+        let mut data = vec![0u8; n];
+        conn.read_exact(&mut data).map_err(|e| format!("read body: {e}"))?;
+        on_data(&String::from_utf8_lossy(&data));
+    } else {
+        let mut data = Vec::new();
+        conn.read_to_end(&mut data).map_err(|e| format!("read body: {e}"))?;
+        on_data(&String::from_utf8_lossy(&data));
+    }
+    Ok(status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /jobs?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody";
+        let req = read_request(&mut &raw[..]).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn empty_connection_is_not_an_error() {
+        assert!(read_request(&mut &b""[..]).unwrap().is_none());
+        assert!(read_request(&mut &b"GARBAGE"[..]).is_err());
+    }
+
+    #[test]
+    fn chunked_writer_frames_correctly() {
+        let mut out = Vec::new();
+        let mut ch = Chunked::start(&mut out, 200, "text/plain").unwrap();
+        ch.chunk(b"hello ").unwrap();
+        ch.chunk(b"").unwrap(); // skipped, not a terminator
+        ch.chunk(b"world").unwrap();
+        ch.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.ends_with("6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n"));
+    }
+
+    #[test]
+    fn client_and_server_round_trip_over_tcp() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First connection: plain response; second: chunked.
+            let (mut a, _) = listener.accept().unwrap();
+            let req = read_request(&mut a).unwrap().unwrap();
+            assert_eq!(req.body, b"{\"k\":1}");
+            respond_json(&mut a, 202, "{\"ok\":true}").unwrap();
+            let (mut b, _) = listener.accept().unwrap();
+            read_request(&mut b).unwrap().unwrap();
+            let mut ch = Chunked::start(&mut b, 200, "application/jsonl").unwrap();
+            ch.chunk(b"line1\n").unwrap();
+            ch.chunk(b"line2\n").unwrap();
+            ch.finish().unwrap();
+        });
+        let (status, body) = request(&addr, "POST", "/jobs", Some("{\"k\":1}")).unwrap();
+        assert_eq!((status, body.as_str()), (202, "{\"ok\":true}"));
+        let mut pieces = Vec::new();
+        let status = stream(&addr, "GET", "/x/live", None, |p| pieces.push(p.to_string())).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(pieces.join(""), "line1\nline2\n");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,256 @@
+//! # craftd — the sharded multi-tenant tuning-search daemon
+//!
+//! A long-running service wrapping the mixed-precision analysis
+//! system: tenants `POST` tuning jobs over HTTP, the daemon shards
+//! candidate-configuration evaluation across one shared work-stealing
+//! [`WorkerPool`](mpsearch::WorkerPool), streams each job's live
+//! telemetry to followers, and persists completed jobs into the same
+//! run-registry format the `craft` CLI writes — so `craft report` /
+//! `watch` / `compare` work on daemon runs unchanged.
+//!
+//! The protocol (all bodies JSON, connections close after one
+//! request):
+//!
+//! | Method & path          | Meaning                                     |
+//! |------------------------|---------------------------------------------|
+//! | `POST /jobs`           | Submit a [`JobSpec`] body → `202 {"id":…}`, `400` invalid, `429` queue full (shed), `503` draining |
+//! | `GET /jobs`            | All job records                             |
+//! | `GET /jobs/<id>`       | One job's status record                     |
+//! | `GET /jobs/<id>/live`  | Chunked follow of the job's `live.jsonl` until it finishes |
+//! | `GET /jobs/<id>/metrics` | The job's trace as Prometheus text, labelled `job`/`bench` |
+//! | `GET /metrics`         | Daemon-level metrics (jobs, queue, shared cache) |
+//! | `GET /healthz`         | Liveness probe                              |
+//! | `POST /admin/drain`    | Begin graceful drain                        |
+//!
+//! Multi-tenancy is enforced by bounded intake (submissions past
+//! `queue_cap` are shed with `429`), a fixed runner count
+//! (`max_running`), one shared evaluation pool sized independently of
+//! job demand, daemon-default fuel/wall quotas for jobs that bring
+//! none, and a cross-job evaluation cache namespaced by each job's
+//! verdict-determining options (see [`cache::SharedEvalCache`]).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod jobs;
+
+pub use cache::SharedEvalCache;
+pub use jobs::{DaemonConfig, JobManager, JobRecord, JobState, SubmitError};
+
+use mixedprec::JobSpec;
+use mptrace::sinks;
+use mptrace::stream::LiveTail;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the accept loop polls the stop flag, and how often a live
+/// stream polls its file for new bytes.
+const POLL: Duration = Duration::from_millis(50);
+
+/// The daemon: a bound listener plus the job engine behind it.
+pub struct Server {
+    mgr: Arc<JobManager>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// the job engine with `cfg`.
+    pub fn bind(addr: &str, cfg: DaemonConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            mgr: JobManager::start(cfg)?,
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The job engine.
+    pub fn manager(&self) -> &Arc<JobManager> {
+        &self.mgr
+    }
+
+    /// A handle that makes [`Server::run`] begin a graceful drain when
+    /// set (wired to SIGTERM by the binary, or set directly by tests).
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serve until the stop handle is raised (or `POST /admin/drain`
+    /// arrives) *and* the drain completes. Read endpoints keep working
+    /// while in-flight jobs finish; queued jobs are persisted as
+    /// `pending`; then this returns.
+    pub fn run(self) -> std::io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((conn, _peer)) => {
+                    let mgr = Arc::clone(&self.mgr);
+                    std::thread::spawn(move || handle_connection(conn, &mgr));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        self.mgr.drain();
+                    }
+                    if self.mgr.is_drained() {
+                        break;
+                    }
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection: parse the request, route, respond, close.
+fn handle_connection(mut conn: TcpStream, mgr: &Arc<JobManager>) {
+    let request = match http::read_request(&mut conn) {
+        Ok(Some(r)) => r,
+        Ok(None) => return,
+        Err(e) => {
+            let body = error_json(&e);
+            let _ = http::respond_json(&mut conn, 400, &body);
+            return;
+        }
+    };
+    if let Err(_e) = route(&mut conn, mgr, &request) {
+        // The client went away mid-response; nothing to clean up.
+    }
+}
+
+fn error_json(msg: &str) -> String {
+    let mut s = String::from("{\"error\":");
+    mptrace::json::esc(&mut s, msg);
+    s.push('}');
+    s
+}
+
+fn route(conn: &mut TcpStream, mgr: &Arc<JobManager>, req: &http::Request) -> std::io::Result<()> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => http::respond(conn, 200, "text/plain", b"ok\n"),
+        ("GET", ["metrics"]) => {
+            mgr.publish_gauges();
+            let text = sinks::prometheus(&mgr.tracer().snapshot());
+            http::respond(conn, 200, "text/plain; version=0.0.4", text.as_bytes())
+        }
+        ("POST", ["jobs"]) => {
+            let body = String::from_utf8_lossy(&req.body);
+            let spec = match JobSpec::parse(&body) {
+                Ok(s) => s,
+                Err(e) => return http::respond_json(conn, 400, &error_json(&e)),
+            };
+            match mgr.submit(spec) {
+                Ok(id) => {
+                    let mut s = String::from("{\"id\":");
+                    mptrace::json::esc(&mut s, &id);
+                    s.push('}');
+                    http::respond_json(conn, 202, &s)
+                }
+                Err(SubmitError::Invalid(e)) => http::respond_json(conn, 400, &error_json(&e)),
+                Err(SubmitError::QueueFull) => http::respond_json(
+                    conn,
+                    429,
+                    &error_json("job queue is full — daemon is shedding load, retry later"),
+                ),
+                Err(SubmitError::Draining) => {
+                    http::respond_json(conn, 503, &error_json("daemon is draining"))
+                }
+            }
+        }
+        ("GET", ["jobs"]) => {
+            let jobs = mgr.jobs();
+            let mut s = String::from("[");
+            for (i, j) in jobs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&j.to_json());
+            }
+            s.push(']');
+            http::respond_json(conn, 200, &s)
+        }
+        ("GET", ["jobs", id]) => match mgr.job(id) {
+            Some(j) => http::respond_json(conn, 200, &j.to_json()),
+            None => http::respond_json(conn, 404, &error_json("no such job")),
+        },
+        ("GET", ["jobs", id, "live"]) => stream_live(conn, mgr, id),
+        ("GET", ["jobs", id, "metrics"]) => match mgr.job(id) {
+            Some(j) => {
+                let dir = mgr.job_dir(id);
+                match job_snapshot(&dir) {
+                    Some(snap) => {
+                        let text = sinks::prometheus_labeled(
+                            &snap,
+                            &[("job", id), ("bench", &j.spec.bench)],
+                        );
+                        http::respond(conn, 200, "text/plain; version=0.0.4", text.as_bytes())
+                    }
+                    None => {
+                        http::respond_json(conn, 404, &error_json("job has produced no trace yet"))
+                    }
+                }
+            }
+            None => http::respond_json(conn, 404, &error_json("no such job")),
+        },
+        ("POST", ["admin", "drain"]) => {
+            mgr.drain();
+            http::respond_json(conn, 200, "{\"draining\":true}")
+        }
+        (m, _) if m != "GET" && m != "POST" => {
+            http::respond_json(conn, 405, &error_json("method not allowed"))
+        }
+        _ => http::respond_json(conn, 404, &error_json("no such endpoint")),
+    }
+}
+
+/// Fold whatever trace artifacts the job has so far into a snapshot.
+fn job_snapshot(dir: &std::path::Path) -> Option<mptrace::snapshot::TraceSnapshot> {
+    let trace = dir.join("trace.jsonl");
+    if let Ok(text) = std::fs::read_to_string(&trace) {
+        if let Ok((snap, _)) = mptrace::snapshot::TraceSnapshot::parse_tolerant(&text) {
+            return Some(snap);
+        }
+    }
+    mptrace::stream::LiveLog::from_file(dir.join("live.jsonl")).ok().map(|log| log.final_snapshot())
+}
+
+/// `GET /jobs/<id>/live`: follow the job's `live.jsonl` with a
+/// byte-offset [`LiveTail`] and forward complete lines as chunks until
+/// the job reaches a terminal state (plus one final poll, so the last
+/// delta is never lost). Torn trailing lines stay in the tail's carry
+/// buffer, so followers only ever see whole records.
+fn stream_live(conn: &mut TcpStream, mgr: &Arc<JobManager>, id: &str) -> std::io::Result<()> {
+    if mgr.job(id).is_none() {
+        return http::respond_json(conn, 404, &error_json("no such job"));
+    }
+    let live_path = mgr.job_dir(id).join("live.jsonl");
+    let mut tail = LiveTail::new(&live_path);
+    let mut ch = http::Chunked::start(conn, 200, "application/jsonl")?;
+    loop {
+        let terminal = mgr.job(id).map(|j| j.state.is_terminal()).unwrap_or(true);
+        if tail.poll().is_err() {
+            // A corrupt stream is terminal for the follower; what was
+            // already forwarded remains valid.
+            break;
+        }
+        let raw = tail.take_raw();
+        ch.chunk(raw.as_bytes())?;
+        if terminal {
+            break;
+        }
+        std::thread::sleep(POLL);
+    }
+    ch.finish()
+}

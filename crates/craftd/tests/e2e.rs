@@ -1,0 +1,249 @@
+//! End-to-end daemon tests over real TCP: submit jobs, follow live
+//! streams, and check that daemon runs are byte-comparable with
+//! in-process analyses, that the cross-job cache pays off, and that the
+//! daemon survives crashing jobs, sheds load, and drains gracefully.
+
+use craftd::{http, DaemonConfig, JobManager, Server};
+use mixedprec::{AnalysisSystem, JobSpec};
+use mptrace::json::{self, Value};
+use mptrace::stream::LiveLog;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Spin up a daemon on an ephemeral port with a fresh data dir.
+struct Daemon {
+    addr: String,
+    mgr: Arc<JobManager>,
+    stop: Arc<AtomicBool>,
+    data_dir: PathBuf,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    fn start(tag: &str, tweak: impl FnOnce(&mut DaemonConfig)) -> Daemon {
+        let data_dir =
+            std::env::temp_dir().join(format!("craftd-e2e-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let mut cfg = DaemonConfig {
+            data_dir: data_dir.clone(),
+            workers: 4,
+            max_running: 2,
+            queue_cap: 8,
+            ..Default::default()
+        };
+        tweak(&mut cfg);
+        let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+        let addr = server.local_addr().unwrap().to_string();
+        let mgr = Arc::clone(server.manager());
+        let stop = server.stop_handle();
+        let thread = std::thread::spawn(move || server.run().expect("server run"));
+        Daemon { addr, mgr, stop, data_dir, thread: Some(thread) }
+    }
+
+    fn submit(&self, spec: &JobSpec) -> (u16, Value) {
+        let (status, body) =
+            http::request(&self.addr, "POST", "/jobs", Some(&spec.to_json())).expect("submit");
+        (status, json::parse(&body).expect("submit response json"))
+    }
+
+    fn status(&self, id: &str) -> Value {
+        let (status, body) =
+            http::request(&self.addr, "GET", &format!("/jobs/{id}"), None).expect("status");
+        assert_eq!(status, 200, "status for {id}: {body}");
+        json::parse(&body).expect("status json")
+    }
+
+    /// Poll until the job reaches a terminal state; panic on timeout.
+    fn wait_terminal(&self, id: &str) -> Value {
+        let t0 = Instant::now();
+        loop {
+            let v = self.status(id);
+            let state = v.get("state").and_then(Value::as_str).unwrap_or("");
+            if matches!(state, "done" | "failed" | "crashed" | "pending") {
+                return v;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(120), "job {id} stuck in {state:?}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.data_dir);
+    }
+}
+
+fn ep_spec() -> JobSpec {
+    JobSpec { bench: "ep".into(), class: "s".into(), threads: Some(2), ..Default::default() }
+}
+
+fn vecops_spec() -> JobSpec {
+    JobSpec { bench: "vecops".into(), class: "s".into(), threads: Some(2), ..Default::default() }
+}
+
+#[test]
+fn daemon_run_matches_in_process_and_second_job_hits_shared_cache() {
+    let d = Daemon::start("identity", |_| {});
+
+    // Submit and follow the live stream to completion.
+    let (status, resp) = d.submit(&ep_spec());
+    assert_eq!(status, 202, "{resp:?}");
+    let id = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+    let mut streamed = String::new();
+    let code = http::stream(&d.addr, "GET", &format!("/jobs/{id}/live"), None, |piece| {
+        streamed.push_str(piece)
+    })
+    .expect("live stream");
+    assert_eq!(code, 200);
+    // The follower saw the whole stream: meta line first, whole records
+    // only, ending in the forced "done" progress record.
+    assert!(streamed.starts_with('{') && streamed.contains("mptrace-live"), "{streamed:?}");
+    let log = LiveLog::parse_tolerant(&streamed).expect("streamed live log folds");
+    assert!(log.warning.is_none(), "torn line reached a follower: {:?}", log.warning);
+    assert_eq!(log.latest_progress().expect("progress").progress.phase, "done");
+
+    let job = d.wait_terminal(&id);
+    assert_eq!(job.get("state").and_then(Value::as_str), Some("done"), "{job:?}");
+
+    // The daemon's answer must be identical to the same options run
+    // in-process (elapsed and cache hits are the only run-dependent
+    // figures, and neither is compared).
+    let spec = ep_spec();
+    let sys = AnalysisSystem::with_options(spec.workload().unwrap(), spec.options().unwrap());
+    let rec = sys.recommend();
+    let summary = job.get("summary").expect("summary");
+    assert_eq!(
+        summary.get("candidates").and_then(Value::as_u64),
+        Some(rec.report.candidates as u64)
+    );
+    assert_eq!(
+        summary.get("tested").and_then(Value::as_u64),
+        Some(rec.report.configs_tested as u64)
+    );
+    assert_eq!(summary.get("static_pct").and_then(Value::as_f64), Some(rec.report.static_pct));
+    assert_eq!(summary.get("dynamic_pct").and_then(Value::as_f64), Some(rec.report.dynamic_pct));
+    assert_eq!(summary.get("final_pass").and_then(Value::as_bool), Some(rec.report.final_pass));
+    assert_eq!(
+        job.get("fig10").and_then(Value::as_str),
+        Some(rec.report.figure10_row("ep.s").as_str())
+    );
+    assert_eq!(job.get("modelled_speedup").and_then(Value::as_f64), Some(rec.modelled_speedup));
+    assert_eq!(
+        job.get("config_hash").and_then(Value::as_str),
+        Some(mptrace::registry::fnv1a64(&rec.config_text).as_str())
+    );
+
+    // An identical second job is answered from the shared cross-job
+    // cache: same report, and every evaluation a cache hit.
+    let (status, resp) = d.submit(&ep_spec());
+    assert_eq!(status, 202);
+    let id2 = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+    let job2 = d.wait_terminal(&id2);
+    assert_eq!(job2.get("state").and_then(Value::as_str), Some("done"), "{job2:?}");
+    let hits2 = job2.get("cache_hits").and_then(Value::as_u64).unwrap();
+    assert!(hits2 > 0, "second identical job should hit the shared cache: {job2:?}");
+    assert!(d.mgr.cache().hits() > 0, "shared cache saw no hits");
+    assert_eq!(job2.get("fig10"), job.get("fig10"));
+
+    // Daemon metrics expose the lifecycle and cache counters.
+    let (code, metrics) = http::request(&d.addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(code, 200);
+    assert!(metrics.contains("craft_daemon_jobs_submitted_total 2"), "{metrics}");
+    assert!(metrics.contains("craft_daemon_jobs_completed_total 2"), "{metrics}");
+    assert!(metrics.contains("craft_daemon_cache_hits"), "{metrics}");
+
+    // Per-job metrics come back labelled with the job id.
+    let (code, jm) = http::request(&d.addr, "GET", &format!("/jobs/{id}/metrics"), None).unwrap();
+    assert_eq!(code, 200);
+    assert!(jm.contains(&format!("job=\"{id}\"")), "{jm}");
+    assert!(jm.contains("bench=\"ep\""), "{jm}");
+
+    // The run directory is a full craft-compatible artifact set.
+    let dir = d.mgr.job_dir(&id);
+    for f in
+        ["job.json", "status.json", "live.jsonl", "events.jsonl", "trace.jsonl", "manifest.json"]
+    {
+        assert!(dir.join(f).is_file(), "missing {f} in {}", dir.display());
+    }
+    // The second run of the same bench got a compare-on-completion diff.
+    assert!(
+        d.mgr.job_dir(&id2).join("compare.txt").is_file(),
+        "second run should have been compared against the first"
+    );
+    assert!(job2.get("regressions").and_then(Value::as_u64).is_some(), "{job2:?}");
+}
+
+#[test]
+fn crashing_job_is_isolated_and_daemon_keeps_serving() {
+    let d = Daemon::start("crash", |cfg| cfg.max_running = 1);
+
+    let (status, resp) = d.submit(&JobSpec { inject_runner_panic: true, ..vecops_spec() });
+    assert_eq!(status, 202);
+    let id = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+    let job = d.wait_terminal(&id);
+    assert_eq!(job.get("state").and_then(Value::as_str), Some("crashed"), "{job:?}");
+    let err = job.get("error").and_then(Value::as_str).unwrap_or("");
+    assert!(err.contains("injected runner panic"), "{err:?}");
+
+    // The daemon is still alive and still runs jobs to completion.
+    let (code, body) = http::request(&d.addr, "GET", "/healthz", None).unwrap();
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    let (status, resp) = d.submit(&vecops_spec());
+    assert_eq!(status, 202);
+    let id2 = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+    let job2 = d.wait_terminal(&id2);
+    assert_eq!(job2.get("state").and_then(Value::as_str), Some("done"), "{job2:?}");
+
+    let (_, metrics) = http::request(&d.addr, "GET", "/metrics", None).unwrap();
+    assert!(metrics.contains("craft_daemon_jobs_crashed_total 1"), "{metrics}");
+}
+
+#[test]
+fn full_queue_sheds_and_drain_persists_queued_jobs_as_pending() {
+    // No runners at all: everything stays queued, making shedding and
+    // drain deterministic.
+    let d = Daemon::start("shed", |cfg| {
+        cfg.max_running = 0;
+        cfg.queue_cap = 1;
+    });
+
+    let (status, resp) = d.submit(&vecops_spec());
+    assert_eq!(status, 202);
+    let id = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+
+    // The queue is bounded at 1: the next submission is shed with an
+    // explicit 429, not silently delayed.
+    let (status, resp) = d.submit(&vecops_spec());
+    assert_eq!(status, 429, "{resp:?}");
+    assert!(
+        resp.get("error").and_then(Value::as_str).unwrap_or("").contains("shedding"),
+        "{resp:?}"
+    );
+    let (_, metrics) = http::request(&d.addr, "GET", "/metrics", None).unwrap();
+    assert!(metrics.contains("craft_daemon_jobs_shed_total 1"), "{metrics}");
+
+    // Drain: the queued job is persisted as `pending` and the daemon
+    // shuts down; the record survives on disk for resubmission.
+    let (code, _) = http::request(&d.addr, "POST", "/admin/drain", None).unwrap();
+    assert_eq!(code, 200);
+    // Drain rewrote the queued job to `pending` synchronously, on disk.
+    let status_file = d.mgr.job_dir(&id).join("status.json");
+    let text = std::fs::read_to_string(&status_file).expect("persisted status.json");
+    let v = json::parse(text.trim()).unwrap();
+    assert_eq!(v.get("state").and_then(Value::as_str), Some("pending"), "{text}");
+    assert_eq!(
+        d.mgr.submit(vecops_spec()),
+        Err(craftd::SubmitError::Draining),
+        "a draining daemon accepts no new work"
+    );
+    let mgr = Arc::clone(&d.mgr);
+    drop(d); // joins the server thread — drain must complete, not hang
+    assert!(mgr.is_drained());
+}

@@ -30,11 +30,13 @@
 pub mod evaluator;
 pub mod events;
 pub mod executor;
+pub mod pool;
 pub mod report;
 pub mod search;
 
 pub use evaluator::{CachedEvaluator, EvalOutcome, EvalStats, Evaluator, RunControl, VmEvaluator};
 pub use events::{Event, EventLog, Record};
 pub use executor::{ExecCounters, ExecPolicy, Executor, FaultPlan, Verdict};
+pub use pool::{PoolScope, WorkerPool};
 pub use report::{PassingUnit, SearchReport};
 pub use search::{search, search_observed, SearchHooks, SearchOptions, ShadowOracle, StopDepth};

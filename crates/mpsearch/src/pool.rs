@@ -1,0 +1,369 @@
+//! A reusable work-stealing worker pool.
+//!
+//! The search used to spawn a fresh set of scoped threads per run —
+//! fine for one CLI invocation, wasteful for a long-running daemon
+//! evaluating many jobs concurrently. A [`WorkerPool`] is created once
+//! and shared: each search submits its worker loops as scoped tasks,
+//! so N concurrent jobs share one fixed set of OS threads instead of
+//! spawning `N × threads` of their own.
+//!
+//! Scheduling is work-stealing: every worker owns a local deque, a
+//! global injector queue receives submissions, and an idle worker
+//! first drains its own deque (FIFO), then the injector, then steals
+//! from the *back* of the longest sibling deque. [`PoolScope::spawn_batch`]
+//! places a whole batch round-robin across the local deques in one
+//! lock acquisition — the batched dispatch path the daemon uses when
+//! fanning a job's evaluation loops out.
+//!
+//! All deques sit behind one mutex: tasks here are millisecond-scale
+//! configuration evaluations, so the queue transfer cost is noise. The
+//! *policy* (local-first, steal-from-longest) is what matters — it
+//! keeps one job's burst from starving the others.
+//!
+//! Scoped tasks may borrow from the submitting stack frame:
+//! [`WorkerPool::scope`] does not return until every task spawned in
+//! it has finished, which is what makes the lifetime-erasing
+//! transmute in [`PoolScope::spawn`] sound.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    /// Global submission queue.
+    injector: VecDeque<Task>,
+    /// Per-worker local deques (batched dispatch lands here).
+    locals: Vec<VecDeque<Task>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when work arrives or shutdown begins.
+    available: Condvar,
+    /// Tasks taken from a sibling's deque (observability only).
+    stolen: AtomicUsize,
+    /// Tasks that entered the pool, ever.
+    dispatched: AtomicUsize,
+    /// Round-robin cursor for batch placement.
+    next_local: AtomicUsize,
+}
+
+fn relock(m: &Mutex<PoolState>) -> MutexGuard<'_, PoolState> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl PoolShared {
+    /// Take the next task for worker `me`: local deque first, then the
+    /// injector, then steal from the back of the longest sibling deque.
+    /// Blocks until a task is available or the pool shuts down.
+    fn next_task(&self, me: usize) -> Option<Task> {
+        let mut st = relock(&self.state);
+        loop {
+            if let Some(t) = st.locals[me].pop_front() {
+                return Some(t);
+            }
+            if let Some(t) = st.injector.pop_front() {
+                return Some(t);
+            }
+            let victim = (0..st.locals.len())
+                .filter(|&i| i != me)
+                .max_by_key(|&i| st.locals[i].len())
+                .filter(|&i| !st.locals[i].is_empty());
+            if let Some(v) = victim {
+                let t = st.locals[v].pop_back();
+                self.stolen.fetch_add(1, Ordering::Relaxed);
+                return t;
+            }
+            if st.shutdown {
+                return None;
+            }
+            st = self.available.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A fixed set of worker threads executing submitted tasks with
+/// work-stealing scheduling. See the module docs for the policy.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                injector: VecDeque::new(),
+                locals: (0..workers).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            stolen: AtomicUsize::new(0),
+            dispatched: AtomicUsize::new(0),
+            next_local: AtomicUsize::new(0),
+        });
+        let threads = (0..workers)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{me}"))
+                    .spawn(move || {
+                        while let Some(task) = shared.next_task(me) {
+                            // Task wrappers installed by `scope` catch
+                            // panics themselves; a raw task that panics
+                            // must not take the worker thread down.
+                            let _ = catch_unwind(AssertUnwindSafe(task));
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Tasks currently queued (injector + local deques), not counting
+    /// tasks already running.
+    pub fn queued(&self) -> usize {
+        let st = relock(&self.shared.state);
+        st.injector.len() + st.locals.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// Tasks a worker took from a sibling's deque since pool creation.
+    pub fn stolen(&self) -> usize {
+        self.shared.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Tasks ever submitted to the pool.
+    pub fn dispatched(&self) -> usize {
+        self.shared.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Submit one fire-and-forget `'static` task via the injector.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        self.shared.dispatched.fetch_add(1, Ordering::Relaxed);
+        relock(&self.shared.state).injector.push_back(Box::new(task));
+        self.shared.available.notify_one();
+    }
+
+    /// Run `f` with a [`PoolScope`] that can spawn tasks borrowing from
+    /// the current stack frame. Returns only after every spawned task
+    /// has finished; a panicking task makes `scope` panic after the
+    /// others complete (mirroring [`std::thread::scope`]).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&PoolScope<'_, 'env>) -> R,
+    {
+        let sync = Arc::new(ScopeSync {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let scope = PoolScope {
+            shared: Arc::clone(&self.shared),
+            sync: Arc::clone(&sync),
+            _env: PhantomData,
+        };
+        // The guard waits for pending tasks even if `f` itself panics:
+        // scoped borrows must not be released while tasks still run.
+        let guard = WaitForTasks(&sync);
+        let r = f(&scope);
+        drop(guard);
+        if sync.panicked.load(Ordering::Relaxed) {
+            panic!("a task spawned in WorkerPool::scope panicked");
+        }
+        r
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        relock(&self.shared.state).shutdown = true;
+        self.shared.available.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+struct ScopeSync {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+struct WaitForTasks<'a>(&'a ScopeSync);
+
+impl Drop for WaitForTasks<'_> {
+    fn drop(&mut self) {
+        let mut p = self.0.pending.lock().unwrap_or_else(|e| e.into_inner());
+        while *p > 0 {
+            p = self.0.done.wait(p).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Handle for spawning borrow-carrying tasks inside
+/// [`WorkerPool::scope`]; see there for the completion guarantee.
+pub struct PoolScope<'scope, 'env: 'scope> {
+    shared: Arc<PoolShared>,
+    sync: Arc<ScopeSync>,
+    _env: PhantomData<&'scope mut &'env ()>,
+}
+
+impl<'scope, 'env> PoolScope<'scope, 'env> {
+    fn wrap(&self, f: impl FnOnce() + Send + 'env) -> Task {
+        *self.sync.pending.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        let sync = Arc::clone(&self.sync);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(f)).is_err() {
+                sync.panicked.store(true, Ordering::Relaxed);
+            }
+            let mut p = sync.pending.lock().unwrap_or_else(|e| e.into_inner());
+            *p -= 1;
+            if *p == 0 {
+                sync.done.notify_all();
+            }
+        });
+        // SAFETY: the only lifetime in the type is the closure's borrow
+        // of `'env` data. `WorkerPool::scope` (via `WaitForTasks`) does
+        // not return until `pending` drops to zero, i.e. until this
+        // task has run to completion, so the borrow outlives the task.
+        unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task) }
+    }
+
+    /// Spawn one task via the global injector.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'env) {
+        let task = self.wrap(f);
+        self.shared.dispatched.fetch_add(1, Ordering::Relaxed);
+        relock(&self.shared.state).injector.push_back(task);
+        self.shared.available.notify_one();
+    }
+
+    /// Spawn a whole batch in one lock acquisition, placed round-robin
+    /// across the workers' local deques (batched dispatch).
+    pub fn spawn_batch<F>(&self, tasks: impl IntoIterator<Item = F>)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let tasks: Vec<Task> = tasks.into_iter().map(|f| self.wrap(f)).collect();
+        if tasks.is_empty() {
+            return;
+        }
+        self.shared.dispatched.fetch_add(tasks.len(), Ordering::Relaxed);
+        let mut st = relock(&self.shared.state);
+        let n = st.locals.len();
+        for task in tasks {
+            let slot = self.shared.next_local.fetch_add(1, Ordering::Relaxed) % n;
+            st.locals[slot].push_back(task);
+        }
+        drop(st);
+        self.shared.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scoped_tasks_borrow_and_complete() {
+        let pool = WorkerPool::new(4);
+        let sum = AtomicU64::new(0);
+        let data: Vec<u64> = (0..100).collect();
+        pool.scope(|s| {
+            s.spawn_batch(data.iter().map(|&v| {
+                let sum = &sum;
+                move || {
+                    sum.fetch_add(v, Ordering::Relaxed);
+                }
+            }));
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+        assert_eq!(pool.dispatched(), 100);
+        assert_eq!(pool.queued(), 0);
+    }
+
+    #[test]
+    fn uneven_batches_get_stolen() {
+        // One long-running task pins a worker; the rest of its deque
+        // must be stolen by the idle workers.
+        let pool = WorkerPool::new(4);
+        let done = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn_batch((0..64).map(|_| {
+                let done = &done;
+                move || {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn concurrent_scopes_share_the_pool() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    pool.scope(|s| {
+                        for _ in 0..8 {
+                            let total = &total;
+                            s.spawn(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn panicking_task_propagates_at_scope_end() {
+        let pool = WorkerPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                s.spawn(|| {});
+            });
+        }));
+        assert!(r.is_err());
+        // The pool survives and keeps executing work.
+        let ok = AtomicBool::new(false);
+        pool.scope(|s| {
+            s.spawn(|| ok.store(true, Ordering::Relaxed));
+        });
+        assert!(ok.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn fire_and_forget_submit_runs() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit(move || tx.send(42u32).unwrap());
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(), 42);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::evaluator::{CachedEvaluator, Evaluator};
 use crate::events::{Event, EventLog};
 use crate::executor::{ExecPolicy, Executor, FaultPlan, Verdict};
+use crate::pool::WorkerPool;
 use crate::report::{PassingUnit, SearchReport};
 use fpvm::isa::InsnId;
 use fpvm::Profile;
@@ -64,6 +65,15 @@ pub struct SearchOptions {
     /// Robustness policy for the evaluation executor (timeouts, retries,
     /// quarantine, panic isolation).
     pub exec: ExecPolicy,
+    /// Queue items a worker takes per lock acquisition ("batched
+    /// dispatch"). The default of 1 reproduces the classic
+    /// one-item-per-pop behavior exactly; larger batches amortize lock
+    /// traffic when evaluations are cheap relative to queue transfer
+    /// (the daemon's sharded workloads). The *set* of configurations
+    /// tested is unchanged either way — only pop order shifts. Clamped
+    /// to 1 whenever [`SearchOptions::max_tests`] is set so the test
+    /// budget stays exact.
+    pub batch: usize,
 }
 
 impl SearchOptions {
@@ -108,6 +118,7 @@ impl Default for SearchOptions {
             second_phase: false,
             eval_cache: true,
             exec: ExecPolicy::default(),
+            batch: 1,
         }
     }
 }
@@ -132,6 +143,12 @@ pub struct SearchHooks<'a> {
     /// The sink is interval- and delta-gated, so the per-evaluation cost
     /// of wiring it in is a couple of atomic loads.
     pub stream: Option<&'a StreamSink>,
+    /// Reusable [`WorkerPool`] to run the evaluation loops on; `None`
+    /// spawns per-search scoped threads (the classic CLI behavior). A
+    /// long-running daemon passes one shared pool to every search so N
+    /// concurrent jobs multiplex over one fixed set of OS threads
+    /// instead of spawning `N × threads` of their own.
+    pub pool: Option<&'a WorkerPool>,
 }
 
 /// A shadow-run sensitivity profile plugged into the search as an
@@ -445,98 +462,125 @@ pub fn search_observed(
     }
 
     let workers = opts.threads.max(1);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let item = {
-                    let mut s = shared.lock().unwrap();
-                    loop {
-                        if s.stopped {
-                            return;
-                        }
-                        if let Some(max) = opts.max_tests {
-                            if s.tested >= max {
-                                s.stopped = true;
-                                cond.notify_all();
-                                return;
-                            }
-                        }
-                        if let Some(e) = s.queue.pop() {
-                            s.in_flight += 1;
-                            if let Some(log) = ctx.events {
-                                log.emit(Event::QueueDepth {
-                                    depth: s.queue.len(),
-                                    in_flight: s.in_flight,
-                                });
-                            }
-                            // Gauge sampled at the dequeue, so idle drains
-                            // are visible, not just enqueue-time spikes.
-                            if let Some(t) = ctx.tracer {
-                                t.gauge("search.queue_depth", s.queue.len() as f64);
-                                t.gauge("search.in_flight", s.in_flight as f64);
-                            }
-                            break e.item;
-                        }
-                        if s.in_flight == 0 {
-                            cond.notify_all();
-                            return;
-                        }
-                        s = cond.wait(s).unwrap();
-                    }
-                };
-                // Shadow pruning: an item whose worst instruction-local
-                // shadow error already exceeds the threshold is expanded
-                // like a failed evaluation, without paying for the
-                // evaluation.
-                if let Some(oracle) = ctx.shadow {
-                    if let Some(threshold) = oracle.prune_threshold {
-                        let err = oracle.profile.max_local_over(item.insns.iter().copied());
-                        if err > threshold {
-                            if let Some(log) = ctx.events {
-                                log.emit(Event::ShadowPruned {
-                                    label: ctx.label_of(&item),
-                                    err,
-                                    threshold,
-                                });
-                            }
-                            if let Some(t) = ctx.tracer {
-                                t.incr("search.shadow_pruned", 1);
-                            }
-                            let mut s = shared.lock().unwrap();
-                            s.pruned += 1;
-                            ctx.expand(&mut s, &item);
-                            s.in_flight -= 1;
-                            let prog = ctx.stream.map(|_| progress_of(&s, "bfs"));
-                            cond.notify_all();
-                            drop(s);
-                            if let (Some(sink), Some(p)) = (ctx.stream, prog) {
-                                sink.tick(&p);
-                            }
-                            continue;
-                        }
+    // A max_tests budget needs the tested count re-checked before every
+    // evaluation, so batching collapses to the classic one-at-a-time pop.
+    let batch_size = if opts.max_tests.is_some() { 1 } else { opts.batch.max(1) };
+    // One worker loop, run either on per-search scoped threads or on the
+    // caller's shared pool — the loop itself cannot tell the difference.
+    let worker_loop = || loop {
+        let batch = {
+            let mut s = shared.lock().unwrap();
+            loop {
+                if s.stopped {
+                    return;
+                }
+                if let Some(max) = opts.max_tests {
+                    if s.tested >= max {
+                        s.stopped = true;
+                        cond.notify_all();
+                        return;
                     }
                 }
-                let cfg = ctx.trial_config(&item.insns);
-                let pass = exec.run(&cfg, &ctx.label_of(&item)) == Verdict::Pass;
-                let mut s = shared.lock().unwrap();
-                s.tested += 1;
-                if pass {
-                    s.passing.push(item);
-                } else {
-                    ctx.expand(&mut s, &item);
+                if !s.queue.is_empty() {
+                    // Batched dispatch: take up to `batch_size` items in
+                    // one lock acquisition.
+                    let mut batch = Vec::with_capacity(batch_size);
+                    while batch.len() < batch_size {
+                        match s.queue.pop() {
+                            Some(e) => batch.push(e.item),
+                            None => break,
+                        }
+                    }
+                    s.in_flight += batch.len();
+                    if let Some(log) = ctx.events {
+                        log.emit(Event::QueueDepth {
+                            depth: s.queue.len(),
+                            in_flight: s.in_flight,
+                        });
+                    }
+                    // Gauge sampled at the dequeue, so idle drains
+                    // are visible, not just enqueue-time spikes.
+                    if let Some(t) = ctx.tracer {
+                        t.gauge("search.queue_depth", s.queue.len() as f64);
+                        t.gauge("search.in_flight", s.in_flight as f64);
+                    }
+                    break batch;
                 }
-                s.in_flight -= 1;
-                // Snapshot progress under the lock, emit after releasing
-                // it — the sink's own gates keep this cheap.
-                let prog = ctx.stream.map(|_| progress_of(&s, "bfs"));
-                cond.notify_all();
-                drop(s);
-                if let (Some(sink), Some(p)) = (ctx.stream, prog) {
-                    sink.tick(&p);
+                if s.in_flight == 0 {
+                    cond.notify_all();
+                    return;
                 }
-            });
+                s = cond.wait(s).unwrap();
+            }
+        };
+        'items: for item in batch {
+            // Shadow pruning: an item whose worst instruction-local
+            // shadow error already exceeds the threshold is expanded
+            // like a failed evaluation, without paying for the
+            // evaluation.
+            if let Some(oracle) = ctx.shadow {
+                if let Some(threshold) = oracle.prune_threshold {
+                    let err = oracle.profile.max_local_over(item.insns.iter().copied());
+                    if err > threshold {
+                        if let Some(log) = ctx.events {
+                            log.emit(Event::ShadowPruned {
+                                label: ctx.label_of(&item),
+                                err,
+                                threshold,
+                            });
+                        }
+                        if let Some(t) = ctx.tracer {
+                            t.incr("search.shadow_pruned", 1);
+                        }
+                        let mut s = shared.lock().unwrap();
+                        s.pruned += 1;
+                        ctx.expand(&mut s, &item);
+                        s.in_flight -= 1;
+                        let prog = ctx.stream.map(|_| progress_of(&s, "bfs"));
+                        cond.notify_all();
+                        drop(s);
+                        if let (Some(sink), Some(p)) = (ctx.stream, prog) {
+                            sink.tick(&p);
+                        }
+                        continue 'items;
+                    }
+                }
+            }
+            let cfg = ctx.trial_config(&item.insns);
+            let pass = exec.run(&cfg, &ctx.label_of(&item)) == Verdict::Pass;
+            let mut s = shared.lock().unwrap();
+            s.tested += 1;
+            if pass {
+                s.passing.push(item);
+            } else {
+                ctx.expand(&mut s, &item);
+            }
+            s.in_flight -= 1;
+            // Snapshot progress under the lock, emit after releasing
+            // it — the sink's own gates keep this cheap.
+            let prog = ctx.stream.map(|_| progress_of(&s, "bfs"));
+            cond.notify_all();
+            drop(s);
+            if let (Some(sink), Some(p)) = (ctx.stream, prog) {
+                sink.tick(&p);
+            }
         }
-    });
+    };
+    // The borrow is load-bearing: one closure is spawned `workers`
+    // times, so it must be passed by reference, not moved.
+    #[allow(clippy::needless_borrows_for_generic_args)]
+    match hooks.pool {
+        Some(pool) => pool.scope(|sc| {
+            for _ in 0..workers {
+                sc.spawn(&worker_loop);
+            }
+        }),
+        None => std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(&worker_loop);
+            }
+        }),
+    }
 
     let s = shared.into_inner().unwrap();
     drop(bfs_span);
@@ -890,6 +934,64 @@ mod tests {
             par.final_config.replaced_insns(&tb.tree)
         );
         assert_eq!(serial.failed_insns, par.failed_insns);
+    }
+
+    #[test]
+    fn pooled_search_matches_serial_outcome() {
+        // Running the worker loops on a shared WorkerPool (the daemon
+        // configuration) must produce the same replaced set as the
+        // classic per-search scoped threads.
+        let tb = make_prog(3, 8);
+        let sensitive = vec![tb.tree.all_insns()[3], tb.tree.all_insns()[12]];
+        let mk = || SetEval {
+            tree: make_prog(3, 8),
+            sensitive: sensitive.clone(),
+            calls: AtomicUsize::new(0),
+        };
+        let serial = search(&tb.tree, &Config::new(), None, &mk(), &opts_serial());
+        let pool = WorkerPool::new(4);
+        let hooks = SearchHooks { pool: Some(&pool), ..Default::default() };
+        let pooled = search_observed(
+            &tb.tree,
+            &Config::new(),
+            None,
+            &mk(),
+            &SearchOptions { threads: 4, prioritize: false, batch: 3, ..Default::default() },
+            &hooks,
+        );
+        assert_eq!(
+            serial.final_config.replaced_insns(&tb.tree),
+            pooled.final_config.replaced_insns(&tb.tree)
+        );
+        assert_eq!(serial.failed_insns, pooled.failed_insns);
+        assert!(pool.dispatched() >= 4, "worker loops should have run on the pool");
+    }
+
+    #[test]
+    fn batched_dispatch_tests_the_same_configs() {
+        // Batching only changes pop order, never the expansion tree: a
+        // serial batched run tests exactly as many configs as the
+        // classic one-at-a-time run.
+        let tb = make_prog(3, 8);
+        let sensitive = vec![tb.tree.all_insns()[5]];
+        let mk = || SetEval {
+            tree: make_prog(3, 8),
+            sensitive: sensitive.clone(),
+            calls: AtomicUsize::new(0),
+        };
+        let classic = search(&tb.tree, &Config::new(), None, &mk(), &opts_serial());
+        let batched = search(
+            &tb.tree,
+            &Config::new(),
+            None,
+            &mk(),
+            &SearchOptions { batch: 4, ..opts_serial() },
+        );
+        assert_eq!(classic.configs_tested, batched.configs_tested);
+        assert_eq!(
+            classic.final_config.replaced_insns(&tb.tree),
+            batched.final_config.replaced_insns(&tb.tree)
+        );
     }
 
     #[test]

@@ -23,16 +23,39 @@ fn prom_label(s: &str) -> String {
 /// series carry the `craft_` prefix; histograms expose cumulative
 /// log2 buckets with `le` equal to each bucket's inclusive upper bound.
 pub fn prometheus(snap: &TraceSnapshot) -> String {
+    prometheus_labeled(snap, &[])
+}
+
+/// [`prometheus`], with a constant label set attached to every sample.
+/// The daemon exposes each job's snapshot with `job="<id>"` (plus
+/// bench/class) so many jobs' series coexist in one scrape without name
+/// collisions. With an empty label set the output is byte-identical to
+/// [`prometheus`].
+pub fn prometheus_labeled(snap: &TraceSnapshot, labels: &[(&str, &str)]) -> String {
+    let base: String = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), prom_label(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    // Merge the constant labels with a sample's own (`extra`) labels.
+    let lbl = |extra: &str| -> String {
+        match (base.is_empty(), extra.is_empty()) {
+            (true, true) => String::new(),
+            (true, false) => format!("{{{extra}}}"),
+            (false, true) => format!("{{{base}}}"),
+            (false, false) => format!("{{{extra},{base}}}"),
+        }
+    };
     let mut out = String::with_capacity(4096);
     for (name, v) in &snap.counters {
         let n = format!("craft_{}_total", prom_name(name));
-        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        let _ = writeln!(out, "# TYPE {n} counter\n{n}{} {v}", lbl(""));
     }
     for (name, g) in &snap.gauges {
         let n = format!("craft_{}", prom_name(name));
-        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", g.last);
-        let _ = writeln!(out, "# TYPE {n}_min gauge\n{n}_min {}", g.min);
-        let _ = writeln!(out, "# TYPE {n}_max gauge\n{n}_max {}", g.max);
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n}{} {}", lbl(""), g.last);
+        let _ = writeln!(out, "# TYPE {n}_min gauge\n{n}_min{} {}", lbl(""), g.min);
+        let _ = writeln!(out, "# TYPE {n}_max gauge\n{n}_max{} {}", lbl(""), g.max);
     }
     for (name, h) in &snap.hists {
         let n = format!("craft_{}", prom_name(name));
@@ -49,11 +72,11 @@ pub fn prometheus(snap: &TraceSnapshot) -> String {
             } else {
                 (1u64 << bucket) - 1
             };
-            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+            let _ = writeln!(out, "{n}_bucket{} {cum}", lbl(&format!("le=\"{le}\"")));
         }
-        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
-        let _ = writeln!(out, "{n}_sum {}", h.sum);
-        let _ = writeln!(out, "{n}_count {}", h.count);
+        let _ = writeln!(out, "{n}_bucket{} {}", lbl("le=\"+Inf\""), h.count);
+        let _ = writeln!(out, "{n}_sum{} {}", lbl(""), h.sum);
+        let _ = writeln!(out, "{n}_count{} {}", lbl(""), h.count);
     }
     // Spans aggregate per name: total time and call count.
     let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
@@ -65,11 +88,19 @@ pub fn prometheus(snap: &TraceSnapshot) -> String {
     if !by_name.is_empty() {
         out.push_str("# TYPE craft_span_us_sum counter\n");
         for (name, (sum, _)) in &by_name {
-            let _ = writeln!(out, "craft_span_us_sum{{span=\"{}\"}} {sum}", prom_label(name));
+            let _ = writeln!(
+                out,
+                "craft_span_us_sum{} {sum}",
+                lbl(&format!("span=\"{}\"", prom_label(name)))
+            );
         }
         out.push_str("# TYPE craft_span_count counter\n");
         for (name, (_, count)) in &by_name {
-            let _ = writeln!(out, "craft_span_count{{span=\"{}\"}} {count}", prom_label(name));
+            let _ = writeln!(
+                out,
+                "craft_span_count{} {count}",
+                lbl(&format!("span=\"{}\"", prom_label(name)))
+            );
         }
     }
     if !snap.hot.is_empty() {
@@ -77,9 +108,8 @@ pub fn prometheus(snap: &TraceSnapshot) -> String {
         for h in &snap.hot {
             let _ = writeln!(
                 out,
-                "craft_insn_cycles_total{{insn=\"{}\",label=\"{}\"}} {}",
-                h.insn,
-                prom_label(&h.label),
+                "craft_insn_cycles_total{} {}",
+                lbl(&format!("insn=\"{}\",label=\"{}\"", h.insn, prom_label(&h.label))),
                 h.cycles
             );
         }
@@ -87,9 +117,8 @@ pub fn prometheus(snap: &TraceSnapshot) -> String {
         for h in &snap.hot {
             let _ = writeln!(
                 out,
-                "craft_insn_hits_total{{insn=\"{}\",label=\"{}\"}} {}",
-                h.insn,
-                prom_label(&h.label),
+                "craft_insn_hits_total{} {}",
+                lbl(&format!("insn=\"{}\",label=\"{}\"", h.insn, prom_label(&h.label))),
                 h.hits
             );
         }
@@ -189,6 +218,32 @@ mod tests {
             assert!(!name.is_empty());
             assert!(value.parse::<f64>().is_ok() || value == "+Inf", "bad value {value:?}");
         }
+    }
+
+    #[test]
+    fn prometheus_labeled_injects_constant_labels_everywhere() {
+        let snap = sample();
+        let text = prometheus_labeled(&snap, &[("job", "ep-1"), ("bench", "ep")]);
+        // Bare series gain the label set; labeled ones merge it after
+        // their own labels.
+        assert!(text.contains("craft_evals_total{job=\"ep-1\",bench=\"ep\"} 5"), "{text}");
+        assert!(text.contains("craft_queue_depth_max{job=\"ep-1\",bench=\"ep\"} 4"), "{text}");
+        assert!(
+            text.contains("craft_eval_wall_bucket{le=\"0\",job=\"ep-1\",bench=\"ep\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "craft_insn_cycles_total{insn=\"7\",label=\"main/b0/i7\",job=\"ep-1\",bench=\"ep\"} 123"
+            ),
+            "{text}"
+        );
+        // Every sample line carries the job label exactly once.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.matches("job=\"ep-1\"").count(), 1, "{line}");
+        }
+        // Empty label set is byte-identical to the unlabeled renderer.
+        assert_eq!(prometheus_labeled(&snap, &[]), prometheus(&snap));
     }
 
     #[test]

@@ -368,6 +368,141 @@ impl LiveLog {
     }
 }
 
+/// Incremental reader for a *growing* live stream.
+///
+/// [`LiveLog::from_file`] re-reads and re-parses the whole file on
+/// every call — fine post-mortem, quadratic for a follower polling a
+/// long run, and ruinous for a daemon serving many concurrent
+/// followers. A `LiveTail` remembers the byte offset of the last fully
+/// consumed line and each [`LiveTail::poll`] reads only the appended
+/// suffix, folding complete new lines into its accumulated [`LiveLog`].
+///
+/// Torn-line tolerance falls out of the framing: a partially written
+/// final line has no trailing newline yet, so it stays buffered in the
+/// carry until the writer's flush completes it — it is simply "not
+/// there yet", never an error. A newline-*terminated* line that fails
+/// to parse is mid-file corruption and errors, exactly like the
+/// post-mortem reader. Truncation or recreation of the file (a re-run
+/// into the same directory) is detected by the file shrinking below the
+/// consumed offset, and resets the tail to re-read from the start.
+#[derive(Debug)]
+pub struct LiveTail {
+    path: std::path::PathBuf,
+    /// Bytes of complete, consumed lines.
+    offset: u64,
+    /// Trailing partial line awaiting its newline.
+    carry: Vec<u8>,
+    log: LiveLog,
+    saw_meta: bool,
+    /// Raw complete lines consumed since the last [`LiveTail::take_raw`]
+    /// (newline-terminated), for followers that forward bytes verbatim.
+    pending_raw: String,
+}
+
+impl LiveTail {
+    /// Start tailing `path`. The file need not exist yet; polls before
+    /// it appears simply report no progress.
+    pub fn new(path: impl AsRef<Path>) -> LiveTail {
+        LiveTail {
+            path: path.as_ref().to_path_buf(),
+            offset: 0,
+            carry: Vec::new(),
+            log: LiveLog::default(),
+            saw_meta: false,
+            pending_raw: String::new(),
+        }
+    }
+
+    /// Everything folded so far.
+    pub fn log(&self) -> &LiveLog {
+        &self.log
+    }
+
+    /// Byte offset of consumed complete lines (observability/tests).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Drain the raw text of lines consumed since the last call.
+    pub fn take_raw(&mut self) -> String {
+        std::mem::take(&mut self.pending_raw)
+    }
+
+    /// Read any appended bytes and fold complete new lines. Returns the
+    /// number of new records consumed (0 when nothing changed). The
+    /// consumed offset only advances past lines that parsed, so a
+    /// mid-file corruption error is sticky rather than silently skipped.
+    pub fn poll(&mut self) -> Result<usize, String> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = match std::fs::File::open(&self.path) {
+            Ok(f) => f,
+            // Not created yet (or briefly recreated): nothing to read.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(format!("{}: {e}", self.path.display())),
+        };
+        let len = f.metadata().map_err(|e| format!("{}: {e}", self.path.display()))?.len();
+        let consumed = self.offset + self.carry.len() as u64;
+        if len < consumed {
+            // Truncated or recreated: start over.
+            *self = LiveTail::new(&self.path);
+            return self.poll();
+        }
+        if len > consumed {
+            f.seek(SeekFrom::Start(consumed))
+                .map_err(|e| format!("{}: {e}", self.path.display()))?;
+            let mut buf = Vec::with_capacity((len - consumed) as usize);
+            f.read_to_end(&mut buf).map_err(|e| format!("{}: {e}", self.path.display()))?;
+            self.carry.extend_from_slice(&buf);
+        }
+        // Always re-scan the carry: an errored poll leaves its complete
+        // bad line buffered, so the error re-reports until the file is
+        // truncated/recreated.
+
+        let mut consumed_records = 0usize;
+        while let Some(nl) = self.carry.iter().position(|&b| b == b'\n') {
+            let text = String::from_utf8_lossy(&self.carry[..nl]).into_owned();
+            if !text.trim().is_empty() {
+                // Parse before consuming: a corrupt line is reported on
+                // this poll and every later one, never skipped over.
+                self.fold_line(&text)?;
+                self.pending_raw.push_str(&text);
+                self.pending_raw.push('\n');
+                consumed_records += 1;
+            }
+            self.carry.drain(..=nl);
+            self.offset += nl as u64 + 1;
+        }
+        Ok(consumed_records)
+    }
+
+    fn fold_line(&mut self, line: &str) -> Result<(), String> {
+        let v = json::parse(line).map_err(|e| format!("{}: {e}", self.path.display()))?;
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{}: record missing \"kind\"", self.path.display()))?;
+        match kind {
+            "meta" => {
+                if v.get("format").and_then(Value::as_str) != Some("mptrace-live") {
+                    return Err(format!("{}: not an mptrace live stream", self.path.display()));
+                }
+                self.saw_meta = true;
+                Ok(())
+            }
+            _ if !self.saw_meta => {
+                Err(format!("{}: missing mptrace-live meta header line", self.path.display()))
+            }
+            "delta" => TraceDelta::parse(&v)
+                .map(|d| self.log.deltas.push(d))
+                .map_err(|e| format!("{}: {e}", self.path.display())),
+            "progress" => ProgressRecord::parse(&v)
+                .map(|p| self.log.progress.push(p))
+                .map_err(|e| format!("{}: {e}", self.path.display())),
+            other => Err(format!("{}: unknown kind {other:?}", self.path.display())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +595,101 @@ mod tests {
         assert!(log.warning.as_deref().unwrap().contains("dropped"), "{:?}", log.warning);
         // The surviving prefix still folds into a valid snapshot.
         assert_eq!(log.final_snapshot().counters.get("a"), Some(&1));
+    }
+
+    #[test]
+    fn live_tail_consumes_only_the_appended_suffix() {
+        let dir = std::env::temp_dir().join(format!("mptrace-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live_tail_suffix.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let mut tail = LiveTail::new(&path);
+        assert_eq!(tail.poll().unwrap(), 0, "absent file reads as empty");
+
+        let t = Tracer::new();
+        t.incr("a", 1);
+        let full = {
+            let sink = StreamSink::in_memory(&t);
+            sink.force(&progress("bfs", 2, 1, 4));
+            t.incr("a", 1);
+            sink.force(&progress("done", 0, 4, 4));
+            sink.contents()
+        };
+        let lines: Vec<&str> = full.lines().collect();
+        assert!(lines.len() >= 4, "{full}");
+
+        // Write the first half, plus a torn fragment of the next line.
+        let head = format!("{}\n{}\n{}", lines[0], lines[1], &lines[2][..lines[2].len() / 2]);
+        std::fs::write(&path, &head).unwrap();
+        assert_eq!(tail.poll().unwrap(), 2);
+        let after_head = tail.offset();
+        assert_eq!(after_head, (lines[0].len() + lines[1].len() + 2) as u64);
+        assert_eq!(tail.poll().unwrap(), 0, "torn line stays buffered");
+
+        // Complete the file; only the suffix is parsed.
+        std::fs::write(&path, &full).unwrap();
+        let more = tail.poll().unwrap();
+        assert_eq!(more, lines.len() - 2);
+        assert!(tail.offset() > after_head);
+
+        // The folded tail equals the whole-file reader's view.
+        let whole = LiveLog::parse_tolerant(&full).unwrap();
+        assert_eq!(tail.log().final_snapshot().to_jsonl(), whole.final_snapshot().to_jsonl());
+        assert_eq!(tail.log().progress, whole.progress);
+        // Raw drain returns every complete line exactly once.
+        assert_eq!(tail.take_raw(), full);
+        assert_eq!(tail.take_raw(), "");
+    }
+
+    #[test]
+    fn live_tail_resets_on_truncation() {
+        let dir = std::env::temp_dir().join(format!("mptrace-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live_tail_trunc.jsonl");
+
+        let t = Tracer::new();
+        // Plenty of counters, so the first stream is strictly longer
+        // than the replacement written below.
+        for i in 0..32 {
+            t.incr(&format!("x.padding.counter.{i}"), 5);
+        }
+        t.incr("x", 5);
+        let first = {
+            let sink = StreamSink::in_memory(&t);
+            sink.force(&progress("bfs", 1, 1, 2));
+            sink.contents()
+        };
+        std::fs::write(&path, &first).unwrap();
+        let mut tail = LiveTail::new(&path);
+        assert!(tail.poll().unwrap() > 0);
+
+        // A fresh, shorter stream replaces the file (re-run).
+        let t2 = Tracer::new();
+        t2.incr("y", 1);
+        let second = {
+            let sink = StreamSink::in_memory(&t2);
+            sink.force(&progress("done", 0, 1, 1));
+            sink.contents()
+        };
+        assert!(second.len() < first.len());
+        std::fs::write(&path, &second).unwrap();
+        assert!(tail.poll().unwrap() > 0);
+        let snap = tail.log().final_snapshot();
+        assert_eq!(snap.counters.get("y"), Some(&1));
+        assert_eq!(snap.counters.get("x"), None, "old stream state must be discarded");
+    }
+
+    #[test]
+    fn live_tail_errors_on_midfile_corruption() {
+        let dir = std::env::temp_dir().join(format!("mptrace-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live_tail_corrupt.jsonl");
+        std::fs::write(&path, format!("{LIVE_META}\nnot json at all\n")).unwrap();
+        let mut tail = LiveTail::new(&path);
+        assert!(tail.poll().is_err());
+        // The error is sticky: the bad line is never skipped.
+        assert!(tail.poll().is_err());
     }
 
     #[test]
