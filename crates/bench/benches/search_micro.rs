@@ -3,14 +3,22 @@
 //! config-evaluation cache on (the default) and off, so the cache's
 //! contribution to search wall time is tracked across revisions, and
 //! with the shadow-value oracle guiding the queue (prioritize + prune),
-//! so the cost of the extra shadowed run stays visible.
+//! so the cost of the extra shadowed run stays visible, and descending
+//! the precision lattice (double → single → bf16), so the extra
+//! per-level search passes are priced against the classic walk.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mixedprec::{AnalysisOptions, AnalysisSystem, ShadowOptions};
+use mpconfig::Flag;
 use mpsearch::SearchOptions;
 use workloads::{nas, Class};
 
-fn run_once(make: fn(Class) -> workloads::Workload, eval_cache: bool, shadow: bool) -> usize {
+fn run_once(
+    make: fn(Class) -> workloads::Workload,
+    eval_cache: bool,
+    shadow: bool,
+    lattice: &[Flag],
+) -> usize {
     let sys = AnalysisSystem::with_options(
         make(Class::S),
         AnalysisOptions {
@@ -18,6 +26,7 @@ fn run_once(make: fn(Class) -> workloads::Workload, eval_cache: bool, shadow: bo
                 threads: 2,
                 prioritize: false,
                 eval_cache,
+                lattice: lattice.to_vec(),
                 ..Default::default()
             },
             shadow: ShadowOptions { prioritize: shadow, prune: shadow, ..Default::default() },
@@ -28,12 +37,21 @@ fn run_once(make: fn(Class) -> workloads::Workload, eval_cache: bool, shadow: bo
 }
 
 fn bench(c: &mut Criterion) {
+    let classic = [Flag::Single];
+    let lattice = [Flag::Single, Flag::Bf16];
     let mut g = c.benchmark_group("search");
     g.sample_size(10);
     for (name, make) in [("ep.s", nas::ep as fn(Class) -> workloads::Workload), ("cg.s", nas::cg)] {
-        g.bench_function(name, |b| b.iter(|| run_once(make, true, false)));
-        g.bench_function(format!("{name}.nocache"), |b| b.iter(|| run_once(make, false, false)));
-        g.bench_function(format!("{name}.shadow"), |b| b.iter(|| run_once(make, true, true)));
+        g.bench_function(name, |b| b.iter(|| run_once(make, true, false, &classic)));
+        g.bench_function(format!("{name}.nocache"), |b| {
+            b.iter(|| run_once(make, false, false, &classic))
+        });
+        g.bench_function(format!("{name}.shadow"), |b| {
+            b.iter(|| run_once(make, true, true, &classic))
+        });
+        g.bench_function(format!("{name}.lattice"), |b| {
+            b.iter(|| run_once(make, true, false, &lattice))
+        });
     }
     g.finish();
 }

@@ -12,6 +12,10 @@
 //!   rows — only wall-clock time may differ;
 //! * `--class=s|w|a|c` — run a single problem class instead of the
 //!   default W and A pair (class S is the CI cross-backend check);
+//! * `--lattice=s,h|s,b|…` — descend the precision lattice instead of
+//!   the classic double/single search: each level is tried in order and
+//!   instructions settle at the narrowest format that still verifies.
+//!   Rows gain a trailing per-format breakdown column;
 //! * `--events=FILE` — append a JSONL event log of every search (one
 //!   `search_started` record per benchmark separates the runs);
 //! * `--inject-panic=IDX[,IDX…]` / `--inject-timeout=IDX[,IDX…]` —
@@ -44,6 +48,12 @@ fn main() {
         }),
         None => fpvm::Backend::default(),
     };
+    let lattice = opt("--lattice").map(|s| {
+        mpconfig::parse_lattice(&s).unwrap_or_else(|e| {
+            eprintln!("bad --lattice: {e}");
+            std::process::exit(2);
+        })
+    });
     let classes: Vec<Class> = match opt("--class").as_deref() {
         None => vec![Class::W, Class::A],
         Some("s") => vec![Class::S],
@@ -67,10 +77,14 @@ fn main() {
         ..Default::default()
     };
     println!(
-        "Figure 10: NAS benchmark search results [backend: {}]{}{}\n",
+        "Figure 10: NAS benchmark search results [backend: {}]{}{}{}\n",
         backend,
         if second_phase { " (with the second composition phase)" } else { "" },
-        if faults.is_empty() { "" } else { " (fault injection on)" }
+        if faults.is_empty() { "" } else { " (fault injection on)" },
+        match &lattice {
+            Some(l) => format!(" [lattice: {}]", mpconfig::lattice_tokens(l)),
+            None => String::new(),
+        }
     );
     header(&SearchReport::figure10_header());
     let mut perf_notes = Vec::new();
@@ -81,7 +95,14 @@ fn main() {
             let sys = AnalysisSystem::with_options(
                 w,
                 AnalysisOptions {
-                    search: SearchOptions { threads, second_phase, ..Default::default() },
+                    search: SearchOptions {
+                        threads,
+                        second_phase,
+                        lattice: lattice
+                            .clone()
+                            .unwrap_or_else(|| SearchOptions::default().lattice),
+                        ..Default::default()
+                    },
                     backend,
                     ..Default::default()
                 },
@@ -93,7 +114,16 @@ fn main() {
                 ..Default::default()
             };
             let report = sys.run_search_with(&hooks);
-            println!("{}", report.figure10_row(&label));
+            if lattice.is_some() {
+                let formats: Vec<String> = report
+                    .format_breakdown(sys.tree())
+                    .into_iter()
+                    .map(|(tok, n)| format!("{tok}:{n}"))
+                    .collect();
+                println!("{}   [{}]", report.figure10_row(&label), formats.join(" "));
+            } else {
+                println!("{}", report.figure10_row(&label));
+            }
             perf_notes.push(report.perf_note(&label));
             let fnote = report.fault_note(&label);
             if !fnote.is_empty() {

@@ -26,6 +26,9 @@
 //!
 //! Options for `analyze`: `--second-phase`, `--stop-depth=f|b|i`,
 //! `--no-split`, `--no-priority`, `--lean`, `--threads=N`,
+//! `--lattice=SPEC` (comma-joined precision levels the search descends
+//! through, e.g. `s,h` or `s,b,m5e6`; default `s`, the classic
+//! single-only search — recorded in the run manifest),
 //! `--backend=interp|fast|compiled` (execution engine for verification
 //! runs — bit-identical results, different throughput; also accepted by
 //! `shadow`/`overhead`/`tree`/`config`, and recorded in the run
@@ -464,29 +467,63 @@ fn daemon_addr(explicit: Option<String>) -> String {
         .unwrap_or_else(|| "127.0.0.1:7050".into())
 }
 
-/// Minimal HTTP/1.1 client for daemon mode (`submit`/`status`/`jobs`):
-/// one request per connection, `Connection: close`, response bodies
-/// framed by `Content-Length`, chunked encoding (live follows), or EOF.
-/// Body pieces go to `on_data` as they arrive. Kept local because
-/// `core` cannot depend on the `craftd` crate (craftd depends on it).
+/// Minimal HTTP/1.1 keep-alive client for daemon mode
+/// (`submit`/`status`/`jobs`): `cached` holds a connection reused across
+/// requests in one command (e.g. submit → follow → status), refreshed
+/// when the daemon closes it. Response bodies are framed by
+/// `Content-Length`, chunked encoding (live follows), or EOF. Body
+/// pieces go to `on_data` as they arrive. Kept local because `core`
+/// cannot depend on the `craftd` crate (craftd depends on it).
 fn http_exchange(
+    cached: &mut Option<std::net::TcpStream>,
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
     on_data: &mut dyn FnMut(&str),
 ) -> Result<u16, String> {
+    let had_cached = cached.is_some();
+    let mut delivered = false;
+    match http_attempt(cached, addr, method, path, body, &mut delivered, on_data) {
+        // A cached connection can go stale (daemon restarted, idle
+        // timeout). Retry once on a fresh one — but only if the failed
+        // attempt delivered no body bytes, so `on_data` never sees data
+        // twice.
+        Err(_) if had_cached && !delivered => {
+            *cached = None;
+            http_exchange(cached, addr, method, path, body, on_data)
+        }
+        done => done,
+    }
+}
+
+/// One request/response over `cached` (connecting first if empty),
+/// returning the connection to `cached` when it remains reusable.
+fn http_attempt(
+    cached: &mut Option<std::net::TcpStream>,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    delivered: &mut bool,
+    on_data: &mut dyn FnMut(&str),
+) -> Result<u16, String> {
     use std::io::{Read, Write};
     use std::net::TcpStream;
-    let mut conn =
-        TcpStream::connect(addr).map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?;
+    let mut conn = match cached.take() {
+        Some(c) => c,
+        None => {
+            TcpStream::connect(addr).map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?
+        }
+    };
     let payload = body.unwrap_or("");
     write!(
         conn,
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n{payload}",
+         Connection: keep-alive\r\n\r\n{payload}",
         payload.len()
     )
+    .and_then(|()| conn.flush())
     .map_err(|e| format!("send: {e}"))?;
 
     let read_line = |conn: &mut TcpStream| -> Result<String, String> {
@@ -511,6 +548,7 @@ fn http_exchange(
         .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
     let mut chunked = false;
     let mut content_length: Option<usize> = None;
+    let mut reusable = true;
     loop {
         let line = read_line(&mut conn)?;
         if line.is_empty() {
@@ -523,6 +561,8 @@ fn http_exchange(
             } else if name == "content-length" {
                 content_length =
                     Some(value.parse().map_err(|_| format!("bad content-length {value:?}"))?);
+            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                reusable = false;
             }
         }
     }
@@ -536,29 +576,38 @@ fn http_exchange(
             if size == 0 {
                 break;
             }
+            *delivered = true;
             on_data(&String::from_utf8_lossy(&data[..size]));
         }
     } else if let Some(n) = content_length {
         let mut data = vec![0u8; n];
         conn.read_exact(&mut data).map_err(|e| format!("read body: {e}"))?;
+        *delivered = true;
         on_data(&String::from_utf8_lossy(&data));
     } else {
+        // EOF framing consumes the connection by definition.
+        reusable = false;
         let mut data = Vec::new();
         conn.read_to_end(&mut data).map_err(|e| format!("read body: {e}"))?;
+        *delivered = true;
         on_data(&String::from_utf8_lossy(&data));
+    }
+    if reusable {
+        *cached = Some(conn);
     }
     Ok(status)
 }
 
 /// [`http_exchange`] collecting the whole body into a string.
 fn http_request(
+    cached: &mut Option<std::net::TcpStream>,
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
     let mut out = String::new();
-    let status = http_exchange(addr, method, path, body, &mut |p| out.push_str(p))?;
+    let status = http_exchange(cached, addr, method, path, body, &mut |p| out.push_str(p))?;
     Ok((status, out))
 }
 
@@ -794,6 +843,11 @@ fn main() {
                 }),
                 None => fpvm::Backend::default(),
             };
+            // --lattice=s,h: the precision levels the search descends
+            // through. Absent = the classic single-only search, which
+            // keeps the manifest's lattice field empty.
+            let lattice =
+                opt("--lattice").map(|s| mpconfig::parse_lattice(&s).unwrap_or_else(|e| usage(&e)));
             let workload = build(bench, class);
             let tol = workload.tol;
             let mut sys = AnalysisSystem::with_options(
@@ -805,6 +859,9 @@ fn main() {
                         binary_split: !flag("--no-split"),
                         prioritize: !flag("--no-priority"),
                         second_phase: flag("--second-phase"),
+                        lattice: lattice
+                            .clone()
+                            .unwrap_or_else(|| SearchOptions::default().lattice),
                         ..Default::default()
                     },
                     rewrite: instrument::RewriteOptions {
@@ -893,6 +950,17 @@ fn main() {
                     if r.pruned_by_shadow > 0 {
                         println!("shadow-pruned        : {}", r.pruned_by_shadow);
                     }
+                    if r.guard_refused > 0 {
+                        println!("guard-refused        : {}", r.guard_refused);
+                    }
+                    if lattice.is_some() {
+                        let rows: Vec<String> = r
+                            .format_breakdown(sys.tree())
+                            .into_iter()
+                            .map(|(tok, n)| format!("{tok}:{n}"))
+                            .collect();
+                        println!("precision breakdown  : {}", rows.join("  "));
+                    }
                     println!("\n--- recommended configuration ---");
                     print!("{}", rec.config_text);
                     if let (Some(t), Some(dir)) = (&tracer, &trace_dir) {
@@ -910,6 +978,10 @@ fn main() {
                             bench: bench.to_string(),
                             class: class.to_string(),
                             backend: backend.name().to_string(),
+                            lattice: lattice
+                                .as_deref()
+                                .map(mpconfig::lattice_tokens)
+                                .unwrap_or_default(),
                             config_hash: registry::fnv1a64(&rec.config_text),
                             tol,
                             threads,
@@ -1031,6 +1103,7 @@ fn main() {
                 bench: bench.to_string(),
                 class: class.to_string(),
                 backend: opt("--backend").unwrap_or_default(),
+                lattice: opt("--lattice").unwrap_or_default(),
                 tol: opt("--tol").map(|v| {
                     v.parse().unwrap_or_else(|_| usage(&format!("--tol wants a number, got {v:?}")))
                 }),
@@ -1050,8 +1123,10 @@ fn main() {
             };
             spec.validate().unwrap_or_else(|e| usage(&e));
             let addr = daemon_addr(opt("--daemon"));
-            let (code, body) = http_request(&addr, "POST", "/jobs", Some(&spec.to_json()))
-                .unwrap_or_else(|e| fail(e));
+            let mut conn = None;
+            let (code, body) =
+                http_request(&mut conn, &addr, "POST", "/jobs", Some(&spec.to_json()))
+                    .unwrap_or_else(|e| fail(e));
             if code != 202 {
                 fail(format!("daemon {addr} rejected the job ({code}): {}", daemon_error(&body)));
             }
@@ -1066,17 +1141,22 @@ fn main() {
             } else {
                 eprintln!("craft: job {id} queued on {addr}, following live stream");
                 let mut records = 0usize;
-                let code =
-                    http_exchange(&addr, "GET", &format!("/jobs/{id}/live"), None, &mut |piece| {
-                        records += piece.lines().count()
-                    })
-                    .unwrap_or_else(|e| fail(e));
+                let code = http_exchange(
+                    &mut conn,
+                    &addr,
+                    "GET",
+                    &format!("/jobs/{id}/live"),
+                    None,
+                    &mut |piece| records += piece.lines().count(),
+                )
+                .unwrap_or_else(|e| fail(e));
                 if code != 200 {
                     fail(format!("daemon {addr} refused the live stream ({code})"));
                 }
                 eprintln!("craft: followed {records} live records to completion");
-                let (code, body) = http_request(&addr, "GET", &format!("/jobs/{id}"), None)
-                    .unwrap_or_else(|e| fail(e));
+                let (code, body) =
+                    http_request(&mut conn, &addr, "GET", &format!("/jobs/{id}"), None)
+                        .unwrap_or_else(|e| fail(e));
                 if code != 200 {
                     fail(format!("daemon {addr} answered {code}: {}", daemon_error(&body)));
                 }
@@ -1094,7 +1174,7 @@ fn main() {
                 .copied()
                 .unwrap_or_else(|| usage("usage: craft status <job-id> [--daemon=HOST:PORT]"));
             let addr = daemon_addr(opt("--daemon"));
-            let (code, body) = http_request(&addr, "GET", &format!("/jobs/{id}"), None)
+            let (code, body) = http_request(&mut None, &addr, "GET", &format!("/jobs/{id}"), None)
                 .unwrap_or_else(|e| fail(e));
             if code != 200 {
                 fail(format!("daemon {addr} answered {code}: {}", daemon_error(&body)));
@@ -1109,7 +1189,7 @@ fn main() {
         "jobs" => {
             let addr = daemon_addr(opt("--daemon"));
             let (code, body) =
-                http_request(&addr, "GET", "/jobs", None).unwrap_or_else(|e| fail(e));
+                http_request(&mut None, &addr, "GET", "/jobs", None).unwrap_or_else(|e| fail(e));
             if code != 200 {
                 fail(format!("daemon {addr} answered {code}: {}", daemon_error(&body)));
             }
@@ -1241,7 +1321,7 @@ fn main() {
             println!("  craft list");
             println!("  craft analyze  <bench> [class] [--second-phase] [--stop-depth=f|b|i]");
             println!("                 [--no-split] [--no-priority] [--lean] [--threads=N]");
-            println!("                 [--backend=interp|fast|compiled]");
+            println!("                 [--backend=interp|fast|compiled] [--lattice=s,h|s,b|...]");
             println!("                 [--shadow-priority] [--shadow-prune]");
             println!("                 [--events=FILE] [--trace=DIR] [--registry=DIR]");
             println!("                 [--inject-panic=IDX[,IDX..]]");

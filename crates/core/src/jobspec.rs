@@ -64,6 +64,10 @@ pub struct JobSpec {
     pub class: String,
     /// Execution backend (`interp|fast|compiled`); empty = default.
     pub backend: String,
+    /// Precision lattice spec: comma-joined replacement-flag tokens
+    /// (e.g. `"s,h"` or `"s,b,m5e6"`), the levels the search descends
+    /// through in order. Empty = the classic single-only search.
+    pub lattice: String,
     /// Verification-tolerance override; `None` keeps the workload's own.
     pub tol: Option<f64>,
     /// Worker threads; `None` = [`SearchOptions::default_threads`].
@@ -102,6 +106,7 @@ impl Default for JobSpec {
             bench: String::new(),
             class: "w".into(),
             backend: String::new(),
+            lattice: String::new(),
             tol: None,
             threads: None,
             stop_depth: String::new(),
@@ -130,6 +135,10 @@ impl JobSpec {
         if !self.backend.is_empty() {
             o.push_str(",\"backend\":");
             json::esc(&mut o, &self.backend);
+        }
+        if !self.lattice.is_empty() {
+            o.push_str(",\"lattice\":");
+            json::esc(&mut o, &self.lattice);
         }
         if let Some(t) = self.tol {
             o.push_str(&format!(",\"tol\":{t:e}"));
@@ -181,6 +190,7 @@ impl JobSpec {
             bench: str_of("bench").unwrap_or_default(),
             class: str_of("class").unwrap_or(d.class),
             backend: str_of("backend").unwrap_or_default(),
+            lattice: str_of("lattice").unwrap_or_default(),
             tol: v.get("tol").and_then(Value::as_f64),
             threads: v.get("threads").and_then(Value::as_u64).map(|n| n as usize),
             stop_depth: str_of("stop_depth").unwrap_or_default(),
@@ -216,6 +226,9 @@ impl JobSpec {
         if !self.backend.is_empty() && fpvm::Backend::parse(&self.backend).is_none() {
             return Err(format!("unknown backend `{}` (interp|fast|compiled)", self.backend));
         }
+        if !self.lattice.is_empty() {
+            mpconfig::parse_lattice(&self.lattice)?;
+        }
         if !matches!(self.stop_depth.as_str(), "" | "f" | "b" | "i") {
             return Err(format!("unknown stop depth `{}` (expected f|b|i)", self.stop_depth));
         }
@@ -250,6 +263,11 @@ impl JobSpec {
             "b" => StopDepth::Block,
             _ => StopDepth::Instruction,
         };
+        let lattice = if self.lattice.is_empty() {
+            SearchOptions::default().lattice
+        } else {
+            mpconfig::parse_lattice(&self.lattice)?
+        };
         Ok(AnalysisOptions {
             search: SearchOptions {
                 threads: self.threads.unwrap_or_else(SearchOptions::default_threads),
@@ -259,6 +277,7 @@ impl JobSpec {
                 second_phase: self.second_phase,
                 max_tests: self.max_tests,
                 batch: self.batch,
+                lattice,
                 exec: ExecPolicy {
                     fuel_limit: self.fuel_limit,
                     wall_limit: self.wall_limit_ms.map(Duration::from_millis),
@@ -280,6 +299,9 @@ impl JobSpec {
     /// that deterministically changes an evaluation's verdict for a
     /// given replaced-instruction set — program identity (bench +
     /// class), tolerance, rewrite shape, fuel quota, and backend.
+    /// The lattice is *not* part of the namespace: cache keys already
+    /// encode each instruction's target format, so jobs with different
+    /// lattices share any overlapping trials.
     /// Wall-clock quotas are deliberately excluded: a timeout verdict is
     /// machine noise, and the daemon never caches non-pass/fail
     /// outcomes anyway.
@@ -316,6 +338,7 @@ mod tests {
             bench: "cg".into(),
             class: "s".into(),
             backend: "fast".into(),
+            lattice: "s,h,m5e6".into(),
             tol: Some(1e-8),
             threads: Some(3),
             stop_depth: "b".into(),
@@ -342,6 +365,8 @@ mod tests {
         assert!(JobSpec::parse(r#"{"bench":"ep","class":"z"}"#).is_err());
         assert!(JobSpec::parse(r#"{"bench":"ep","backend":"gpu"}"#).is_err());
         assert!(JobSpec::parse(r#"{"bench":"ep","tol":-1.0}"#).is_err());
+        assert!(JobSpec::parse(r#"{"bench":"ep","lattice":"s,x"}"#).is_err());
+        assert!(JobSpec::parse(r#"{"bench":"ep","lattice":"s,d"}"#).is_err());
         assert!(JobSpec::parse("not json").is_err());
     }
 
@@ -359,8 +384,13 @@ mod tests {
         assert_eq!(o.search.threads, 2);
         assert!(matches!(o.search.stop_depth, StopDepth::Function));
         assert_eq!(o.search.exec.wall_limit, Some(Duration::from_millis(250)));
+        // Default lattice is the classic single-only descent.
+        assert_eq!(o.search.lattice, vec![mpconfig::Flag::Single]);
         let w = spec.workload().unwrap();
         assert_eq!(w.name, "ep");
+        let deep = JobSpec { lattice: "s,b".into(), ..spec };
+        let o = deep.options().unwrap();
+        assert_eq!(o.search.lattice, vec![mpconfig::Flag::Single, mpconfig::Flag::Bf16]);
     }
 
     #[test]

@@ -375,7 +375,7 @@ pub fn model_speedup(
     for id in tree.all_insns() {
         let n = profile.count(id) as u128;
         cand_total += n;
-        if cfg.effective(tree, id) == Flag::Single {
+        if cfg.effective(tree, id).is_replacement() {
             cand_repl += n;
         }
     }
@@ -389,7 +389,12 @@ pub fn model_speedup(
             continue;
         }
         let c_orig = cost.cost(&insn.kind) as f64;
-        let c_mixed = if insn.kind.is_candidate() && cfg.effective(tree, insn.id) == Flag::Single {
+        // Reduced formats (half/bf16/custom) are costed at their
+        // single-precision variant: the emulation executes the single op
+        // plus a quantize, and a source-level conversion would use the
+        // same 32-bit datapath on scalar hardware — the model stays
+        // conservative rather than inventing 16-bit op costs.
+        let c_mixed = if insn.kind.is_candidate() && cfg.effective(tree, insn.id).is_replacement() {
             cost.cost(&to_single(&insn.kind)) as f64
         } else if let InstKind::MovF { width, dst, src } = &insn.kind {
             match width {

@@ -24,10 +24,14 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Evaluation results shared across every job the daemon runs, keyed
-/// by namespace → effective replaced-instruction set.
+/// by namespace → effective replacement set. The key packs each
+/// replaced instruction's target format alongside its id
+/// ([`mpconfig::Config::replacement_key`]), so the same instruction set
+/// demoted to different lattice levels occupies distinct entries —
+/// which also lets jobs with different lattices share one namespace.
 #[derive(Default)]
 pub struct SharedEvalCache {
-    map: Mutex<HashMap<String, HashMap<Vec<u32>, EvalOutcome>>>,
+    map: Mutex<HashMap<String, HashMap<Vec<u64>, EvalOutcome>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -87,8 +91,7 @@ impl Evaluator for SharedCacheEval<'_> {
         if ctl.fuel_override.is_some() {
             return self.inner.evaluate_run(cfg, ctl);
         }
-        let mut key: Vec<u32> = cfg.replaced_insns(self.tree).into_iter().map(|i| i.0).collect();
-        key.sort_unstable();
+        let key: Vec<u64> = cfg.replacement_key(self.tree);
         {
             let map = self.cache.map.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(&v) = map.get(&self.namespace).and_then(|m| m.get(&key)) {
@@ -162,6 +165,25 @@ mod tests {
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.entries(), 1);
+    }
+
+    #[test]
+    fn different_lattice_levels_do_not_collide() {
+        let tree = tree();
+        let ids = tree.all_insns();
+        let cache = SharedEvalCache::new();
+        let inner = CountingEval { calls: AtomicUsize::new(0) };
+        let job = cache.wrap(&inner, &WrapCtx { tree: &tree, namespace: "n".into() });
+        let mut single = Config::new();
+        single.set_insn(ids[0], mpconfig::Flag::Single);
+        let mut half = Config::new();
+        half.set_insn(ids[0], mpconfig::Flag::Half);
+        job.evaluate(&single);
+        job.evaluate(&half); // same insn set, narrower format — a miss
+        assert_eq!(inner.calls.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.entries(), 2);
+        job.evaluate(&half);
+        assert_eq!(inner.calls.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -3,16 +3,21 @@
 //!
 //! Server side: [`read_request`] parses one request (request line,
 //! headers, `Content-Length` body) off a stream; [`respond`] /
-//! [`respond_json`] write a complete close-delimited response; and
-//! [`Chunked`] writes a `Transfer-Encoding: chunked` body
-//! incrementally, which is how `GET /jobs/<id>/live` streams a
-//! `live.jsonl` file that is still being written.
+//! [`respond_json`] write a complete keep-alive response (the
+//! connection stays open for the next request unless the client asked
+//! `Connection: close`); and [`Chunked`] writes a
+//! `Transfer-Encoding: chunked` body incrementally, which is how
+//! `GET /jobs/<id>/live` streams a `live.jsonl` file that is still
+//! being written — a live follow ties up the connection for the job's
+//! lifetime, so it is the one response that declares
+//! `Connection: close`.
 //!
-//! Client side ([`request`], [`stream`]): the matching minimal client,
-//! used by the end-to-end tests (and mirrored by `craft submit`). One
-//! request per connection; the server always answers
-//! `Connection: close`, so body framing is `Content-Length`, chunked,
-//! or read-to-EOF.
+//! Client side ([`Client`], plus the one-shot [`request`] / [`stream`]
+//! wrappers): the matching minimal client, used by the end-to-end tests
+//! (and mirrored by `craft submit`). A [`Client`] holds one connection
+//! open across requests (HTTP/1.1 keep-alive) and reconnects
+//! transparently when the server closed it in between; body framing is
+//! `Content-Length`, chunked, or read-to-EOF (EOF framing ends reuse).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -33,14 +38,18 @@ pub struct Request {
     pub query: String,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// The client sent `Connection: close` — respond, then hang up
+    /// instead of waiting for another request.
+    pub close: bool,
 }
 
 /// Read and parse one request from `stream`. Returns `Ok(None)` on a
-/// clean EOF before any bytes (client connected and went away).
+/// clean EOF before any bytes (client connected and went away, or a
+/// kept-alive connection ended between requests).
 pub fn read_request(stream: &mut impl Read) -> Result<Option<Request>, String> {
-    // Accumulate the head byte-wise until the blank line; connections
-    // carry one request each, so there is no risk of eating a pipelined
-    // successor.
+    // Accumulate the head byte-wise until the blank line; reading past
+    // it would eat the start of a pipelined successor on a kept-alive
+    // connection.
     let mut head = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
     while !head.ends_with(b"\r\n\r\n") {
@@ -68,13 +77,15 @@ pub fn read_request(stream: &mut impl Read) -> Result<Option<Request>, String> {
         None => (target.to_string(), String::new()),
     };
     let mut content_length = 0usize;
+    let mut close = false;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad content-length {:?}", value.trim()))?;
+            let (name, value) = (name.trim(), value.trim());
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length =
+                    value.parse().map_err(|_| format!("bad content-length {value:?}"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.eq_ignore_ascii_case("close");
             }
         }
     }
@@ -83,7 +94,7 @@ pub fn read_request(stream: &mut impl Read) -> Result<Option<Request>, String> {
     }
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
-    Ok(Some(Request { method, path, query, body }))
+    Ok(Some(Request { method, path, query, body, close }))
 }
 
 /// The standard reason phrase for the status codes the daemon uses.
@@ -101,7 +112,9 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete response with a `Content-Length` body.
+/// Write a complete response with a `Content-Length` body. The
+/// connection stays usable for the next request (keep-alive); honoring
+/// a client's `Connection: close` is the accept loop's job.
 pub fn respond(
     w: &mut impl Write,
     status: u16,
@@ -111,11 +124,12 @@ pub fn respond(
     write!(
         w,
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n",
+         Connection: keep-alive\r\n\r\n",
         reason(status),
         body.len()
     )?;
-    w.write_all(body)
+    w.write_all(body)?;
+    w.flush()
 }
 
 /// [`respond`] with `application/json`.
@@ -123,7 +137,10 @@ pub fn respond_json(w: &mut impl Write, status: u16, body: &str) -> std::io::Res
     respond(w, status, "application/json", body.as_bytes())
 }
 
-/// An in-progress `Transfer-Encoding: chunked` response body.
+/// An in-progress `Transfer-Encoding: chunked` response body. Declares
+/// `Connection: close`: a chunked response here is a live follow that
+/// holds the connection for the job's lifetime, so it ends the
+/// keep-alive sequence.
 pub struct Chunked<'a, W: Write> {
     w: &'a mut W,
 }
@@ -159,23 +176,19 @@ impl<'a, W: Write> Chunked<'a, W> {
     }
 }
 
-/// Send one request to `addr` and collect the whole response. `body`
-/// implies `POST`-style framing with `Content-Length`. Returns
-/// `(status, body)`.
+/// One-shot: send a single request on a fresh connection and collect
+/// the whole response. Returns `(status, body)`. For request sequences,
+/// hold a [`Client`] instead and reuse its connection.
 pub fn request(
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
-    let mut out = String::new();
-    let status = stream(addr, method, path, body, |piece| out.push_str(piece))?;
-    Ok((status, out))
+    Client::new(addr).request(method, path, body)
 }
 
-/// Like [`request`], but hands body pieces to `on_data` as they arrive
-/// (chunk-by-chunk for chunked responses), so a caller can follow a
-/// live stream. Returns the status code once the body is complete.
+/// One-shot [`Client::stream`] on a fresh connection.
 pub fn stream(
     addr: &str,
     method: &str,
@@ -183,76 +196,172 @@ pub fn stream(
     body: Option<&str>,
     mut on_data: impl FnMut(&str),
 ) -> Result<u16, String> {
-    let mut conn = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let payload = body.unwrap_or("");
-    write!(
-        conn,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
-         Connection: close\r\n\r\n{payload}",
-        payload.len()
-    )
-    .map_err(|e| format!("send: {e}"))?;
+    Client::new(addr).stream(method, path, body, &mut on_data)
+}
 
-    let read_line = |conn: &mut TcpStream| -> Result<String, String> {
-        let mut line = Vec::new();
-        let mut byte = [0u8; 1];
-        while !line.ends_with(b"\r\n") {
-            match conn.read(&mut byte) {
-                Ok(0) => return Err("connection closed mid-line".into()),
-                Ok(_) => line.push(byte[0]),
-                Err(e) => return Err(format!("read: {e}")),
-            }
-        }
-        line.truncate(line.len() - 2);
-        Ok(String::from_utf8_lossy(&line).into_owned())
-    };
+/// A keep-alive HTTP/1.1 client: holds one connection to the server
+/// open across requests, reconnecting transparently (one retry) when
+/// the server closed it between requests. Reuse ends when a response
+/// declares `Connection: close` or is framed by EOF.
+pub struct Client {
+    addr: String,
+    conn: Option<TcpStream>,
+    reused: usize,
+}
 
-    let status_line = read_line(&mut conn)?;
-    let status: u16 = status_line
-        .split_ascii_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
-    let mut chunked = false;
-    let mut content_length: Option<usize> = None;
-    loop {
-        let line = read_line(&mut conn)?;
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            let (name, value) = (name.trim().to_ascii_lowercase(), value.trim());
-            if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
-                chunked = true;
-            } else if name == "content-length" {
-                content_length =
-                    Some(value.parse().map_err(|_| format!("bad content-length {value:?}"))?);
+impl Client {
+    /// A client for `addr`; no connection is made until the first
+    /// request.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into(), conn: None, reused: 0 }
+    }
+
+    /// Requests that completed over an already-open connection — the
+    /// keep-alive hit count.
+    pub fn reused(&self) -> usize {
+        self.reused
+    }
+
+    /// Send one request and collect the whole response body. Returns
+    /// `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        let mut out = String::new();
+        let status = self.stream(method, path, body, &mut |piece: &str| out.push_str(piece))?;
+        Ok((status, out))
+    }
+
+    /// Like [`Client::request`], but hands body pieces to `on_data` as
+    /// they arrive (chunk-by-chunk for chunked responses), so a caller
+    /// can follow a live stream. Returns the status code once the body
+    /// is complete.
+    pub fn stream(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        on_data: &mut dyn FnMut(&str),
+    ) -> Result<u16, String> {
+        // A cached connection may have been closed by the server since
+        // the last exchange; that surfaces as a send/status-line error
+        // before any body data arrives, so one retry on a fresh
+        // connection is safe. Once `on_data` has seen bytes the request
+        // is committed and errors propagate.
+        let had_cached = self.conn.is_some();
+        let mut delivered = false;
+        match self.attempt(method, path, body, on_data, &mut delivered) {
+            Err(_) if had_cached && !delivered => {
+                self.conn = None;
+                self.attempt(method, path, body, on_data, &mut delivered)
             }
+            done => done,
         }
     }
 
-    if chunked {
+    fn attempt(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        on_data: &mut dyn FnMut(&str),
+        delivered: &mut bool,
+    ) -> Result<u16, String> {
+        let addr = &self.addr;
+        let was_cached = self.conn.is_some();
+        let mut conn = match self.conn.take() {
+            Some(c) => c,
+            None => TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?,
+        };
+        let payload = body.unwrap_or("");
+        write!(
+            conn,
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+             Connection: keep-alive\r\n\r\n{payload}",
+            payload.len()
+        )
+        .map_err(|e| format!("send: {e}"))?;
+        conn.flush().map_err(|e| format!("send: {e}"))?;
+
+        let read_line = |conn: &mut TcpStream| -> Result<String, String> {
+            let mut line = Vec::new();
+            let mut byte = [0u8; 1];
+            while !line.ends_with(b"\r\n") {
+                match conn.read(&mut byte) {
+                    Ok(0) => return Err("connection closed mid-line".into()),
+                    Ok(_) => line.push(byte[0]),
+                    Err(e) => return Err(format!("read: {e}")),
+                }
+            }
+            line.truncate(line.len() - 2);
+            Ok(String::from_utf8_lossy(&line).into_owned())
+        };
+
+        let status_line = read_line(&mut conn)?;
+        let status: u16 = status_line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+        let mut chunked = false;
+        let mut server_close = false;
+        let mut content_length: Option<usize> = None;
         loop {
-            let size_line = read_line(&mut conn)?;
-            let size = usize::from_str_radix(size_line.trim(), 16)
-                .map_err(|_| format!("bad chunk size {size_line:?}"))?;
-            let mut data = vec![0u8; size + 2]; // payload + trailing CRLF
-            conn.read_exact(&mut data).map_err(|e| format!("read chunk: {e}"))?;
-            if size == 0 {
+            let line = read_line(&mut conn)?;
+            if line.is_empty() {
                 break;
             }
-            on_data(&String::from_utf8_lossy(&data[..size]));
+            if let Some((name, value)) = line.split_once(':') {
+                let (name, value) = (name.trim().to_ascii_lowercase(), value.trim());
+                if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                    chunked = true;
+                } else if name == "content-length" {
+                    content_length =
+                        Some(value.parse().map_err(|_| format!("bad content-length {value:?}"))?);
+                } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                    server_close = true;
+                }
+            }
         }
-    } else if let Some(n) = content_length {
-        let mut data = vec![0u8; n];
-        conn.read_exact(&mut data).map_err(|e| format!("read body: {e}"))?;
-        on_data(&String::from_utf8_lossy(&data));
-    } else {
-        let mut data = Vec::new();
-        conn.read_to_end(&mut data).map_err(|e| format!("read body: {e}"))?;
-        on_data(&String::from_utf8_lossy(&data));
+
+        let mut reusable = !server_close;
+        if chunked {
+            loop {
+                let size_line = read_line(&mut conn)?;
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+                let mut data = vec![0u8; size + 2]; // payload + trailing CRLF
+                conn.read_exact(&mut data).map_err(|e| format!("read chunk: {e}"))?;
+                if size == 0 {
+                    break;
+                }
+                *delivered = true;
+                on_data(&String::from_utf8_lossy(&data[..size]));
+            }
+        } else if let Some(n) = content_length {
+            let mut data = vec![0u8; n];
+            conn.read_exact(&mut data).map_err(|e| format!("read body: {e}"))?;
+            *delivered = true;
+            on_data(&String::from_utf8_lossy(&data));
+        } else {
+            // EOF-framed: the body ends with the connection.
+            reusable = false;
+            let mut data = Vec::new();
+            conn.read_to_end(&mut data).map_err(|e| format!("read body: {e}"))?;
+            *delivered = true;
+            on_data(&String::from_utf8_lossy(&data));
+        }
+        if reusable {
+            self.conn = Some(conn);
+        }
+        if was_cached {
+            self.reused += 1;
+        }
+        Ok(status)
     }
-    Ok(status)
 }
 
 #[cfg(test)]
@@ -313,5 +422,70 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(pieces.join(""), "line1\nline2\n");
         server.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_one_connection() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let accepts = Arc::new(AtomicUsize::new(0));
+        let server_accepts = Arc::clone(&accepts);
+        let server = std::thread::spawn(move || {
+            // Accept once, then serve every request the connection
+            // carries — the server side of keep-alive.
+            let (mut c, _) = listener.accept().unwrap();
+            server_accepts.fetch_add(1, Ordering::SeqCst);
+            while let Ok(Some(req)) = read_request(&mut c) {
+                respond_json(&mut c, 200, &format!("{{\"path\":\"{}\"}}", req.path)).unwrap();
+                if req.close {
+                    break;
+                }
+            }
+        });
+        let mut client = Client::new(&addr);
+        let (s1, b1) = client.request("GET", "/a", None).unwrap();
+        let (s2, b2) = client.request("GET", "/b", None).unwrap();
+        assert_eq!((s1, s2), (200, 200));
+        assert!(b1.contains("/a") && b2.contains("/b"));
+        // The regression this guards: both requests went over ONE
+        // connection.
+        assert_eq!(client.reused(), 1);
+        drop(client);
+        server.join().unwrap();
+        assert_eq!(accepts.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn client_reconnects_when_the_server_closed_in_between() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // A server that hangs up after every response despite the
+            // keep-alive advertisement.
+            for _ in 0..2 {
+                let (mut c, _) = listener.accept().unwrap();
+                read_request(&mut c).unwrap().unwrap();
+                respond_json(&mut c, 200, "{}").unwrap();
+            }
+        });
+        let mut client = Client::new(&addr);
+        assert_eq!(client.request("GET", "/a", None).unwrap().0, 200);
+        // The cached connection is dead; the client must retry on a
+        // fresh one instead of surfacing the stale-socket error.
+        assert_eq!(client.request("GET", "/b", None).unwrap().0, 200);
+        assert_eq!(client.reused(), 0);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn requests_advertise_keep_alive_and_parse_close() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(read_request(&mut &raw[..]).unwrap().unwrap().close);
+        let raw = b"GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        assert!(!read_request(&mut &raw[..]).unwrap().unwrap().close);
+        let raw = b"GET / HTTP/1.1\r\n\r\n";
+        assert!(!read_request(&mut &raw[..]).unwrap().unwrap().close);
     }
 }

@@ -529,6 +529,7 @@ impl JobManager {
             bench: spec.bench.clone(),
             class: spec.class.clone(),
             backend: sys_backend_name(&spec),
+            lattice: spec.lattice.clone(),
             config_hash: config_hash.clone(),
             tol,
             threads,

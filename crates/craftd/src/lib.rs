@@ -8,8 +8,9 @@
 //! run-registry format the `craft` CLI writes — so `craft report` /
 //! `watch` / `compare` work on daemon runs unchanged.
 //!
-//! The protocol (all bodies JSON, connections close after one
-//! request):
+//! The protocol (all bodies JSON; connections are HTTP/1.1 keep-alive —
+//! a client can issue its whole request sequence over one connection,
+//! except that a live follow ends its connection when the job does):
 //!
 //! | Method & path          | Meaning                                     |
 //! |------------------------|---------------------------------------------|
@@ -113,19 +114,27 @@ impl Server {
     }
 }
 
-/// Serve one connection: parse the request, route, respond, close.
+/// Serve one connection: parse requests and respond until the client
+/// goes away, asks `Connection: close`, a live follow consumes the
+/// connection, or a request is malformed (framing can no longer be
+/// trusted after one).
 fn handle_connection(mut conn: TcpStream, mgr: &Arc<JobManager>) {
-    let request = match http::read_request(&mut conn) {
-        Ok(Some(r)) => r,
-        Ok(None) => return,
-        Err(e) => {
-            let body = error_json(&e);
-            let _ = http::respond_json(&mut conn, 400, &body);
-            return;
+    loop {
+        let request = match http::read_request(&mut conn) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(e) => {
+                let body = error_json(&e);
+                let _ = http::respond_json(&mut conn, 400, &body);
+                return;
+            }
+        };
+        match route(&mut conn, mgr, &request) {
+            // `Err` = the client went away mid-response; nothing to
+            // clean up either way.
+            Ok(true) if !request.close => {}
+            _ => return,
         }
-    };
-    if let Err(_e) = route(&mut conn, mgr, &request) {
-        // The client went away mid-response; nothing to clean up.
     }
 }
 
@@ -136,9 +145,19 @@ fn error_json(msg: &str) -> String {
     s
 }
 
-fn route(conn: &mut TcpStream, mgr: &Arc<JobManager>, req: &http::Request) -> std::io::Result<()> {
+/// Route one request. Returns whether the connection remains usable for
+/// another request (`false` after a live follow, whose chunked response
+/// declares `Connection: close`).
+fn route(
+    conn: &mut TcpStream,
+    mgr: &Arc<JobManager>,
+    req: &http::Request,
+) -> std::io::Result<bool> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
+    if let ("GET", ["jobs", id, "live"]) = (req.method.as_str(), segments.as_slice()) {
+        return stream_live(conn, mgr, id).map(|()| false);
+    }
+    let done = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => http::respond(conn, 200, "text/plain", b"ok\n"),
         ("GET", ["metrics"]) => {
             mgr.publish_gauges();
@@ -149,7 +168,7 @@ fn route(conn: &mut TcpStream, mgr: &Arc<JobManager>, req: &http::Request) -> st
             let body = String::from_utf8_lossy(&req.body);
             let spec = match JobSpec::parse(&body) {
                 Ok(s) => s,
-                Err(e) => return http::respond_json(conn, 400, &error_json(&e)),
+                Err(e) => return http::respond_json(conn, 400, &error_json(&e)).map(|()| true),
             };
             match mgr.submit(spec) {
                 Ok(id) => {
@@ -185,7 +204,6 @@ fn route(conn: &mut TcpStream, mgr: &Arc<JobManager>, req: &http::Request) -> st
             Some(j) => http::respond_json(conn, 200, &j.to_json()),
             None => http::respond_json(conn, 404, &error_json("no such job")),
         },
-        ("GET", ["jobs", id, "live"]) => stream_live(conn, mgr, id),
         ("GET", ["jobs", id, "metrics"]) => match mgr.job(id) {
             Some(j) => {
                 let dir = mgr.job_dir(id);
@@ -212,7 +230,8 @@ fn route(conn: &mut TcpStream, mgr: &Arc<JobManager>, req: &http::Request) -> st
             http::respond_json(conn, 405, &error_json("method not allowed"))
         }
         _ => http::respond_json(conn, 404, &error_json("no such endpoint")),
-    }
+    };
+    done.map(|()| true)
 }
 
 /// Fold whatever trace artifacts the job has so far into a snapshot.

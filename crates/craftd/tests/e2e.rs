@@ -181,6 +181,48 @@ fn daemon_run_matches_in_process_and_second_job_hits_shared_cache() {
 }
 
 #[test]
+fn one_connection_serves_a_whole_request_sequence() {
+    // Keep-alive against the real daemon: a client's submit → poll →
+    // metrics sequence rides one TCP connection instead of one per
+    // request.
+    let d = Daemon::start("keepalive", |cfg| cfg.max_running = 0);
+    let mut client = http::Client::new(&d.addr);
+    let (code, body) = client.request("POST", "/jobs", Some(&vecops_spec().to_json())).unwrap();
+    assert_eq!(code, 202, "{body}");
+    let id = json::parse(&body)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_str).map(str::to_string))
+        .expect("job id");
+    let (code, _) = client.request("GET", &format!("/jobs/{id}"), None).unwrap();
+    assert_eq!(code, 200);
+    let (code, _) = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(code, 200);
+    // The regression this guards: the second and third request reused
+    // the first request's connection.
+    assert_eq!(client.reused(), 2);
+}
+
+#[test]
+fn lattice_jobs_round_trip_through_the_daemon() {
+    let d = Daemon::start("lattice", |_| {});
+    let spec = JobSpec { lattice: "s,b".into(), ..ep_spec() };
+    let (status, resp) = d.submit(&spec);
+    assert_eq!(status, 202, "{resp:?}");
+    let id = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+    let job = d.wait_terminal(&id);
+    assert_eq!(job.get("state").and_then(Value::as_str), Some("done"), "{job:?}");
+    // The lattice travels into the spec echo and the run manifest.
+    assert_eq!(job.get("spec").and_then(|s| s.get("lattice")).and_then(Value::as_str), Some("s,b"));
+    let manifest = mptrace::registry::RunManifest::load(d.mgr.job_dir(&id))
+        .expect("manifest parses")
+        .expect("manifest written");
+    assert_eq!(manifest.lattice, "s,b");
+    // A malformed lattice is rejected at the door.
+    let (status, resp) = d.submit(&JobSpec { lattice: "s,x".into(), ..ep_spec() });
+    assert_eq!(status, 400, "{resp:?}");
+}
+
+#[test]
 fn crashing_job_is_isolated_and_daemon_keeps_serving() {
     let d = Daemon::start("crash", |cfg| cfg.max_running = 1);
 

@@ -741,6 +741,16 @@ fn h_pinsrq(vm: &mut Vm<'_>, i: &CInst, _rs: &mut Vec<u32>, pc: u32) -> Result<u
     Ok(pc + 1)
 }
 
+fn h_fptrunc(vm: &mut Vm<'_>, i: &CInst, _rs: &mut Vec<u32>, pc: u32) -> Result<u32, Trap> {
+    let sh = i.imm as u32;
+    let slot = (vm.xmm[i.a as usize] >> sh) as u64;
+    let q = crate::value::quantize_f32_bits(slot as u32, i.b as u32, i.aux as u32);
+    let r = &mut vm.xmm[i.a as usize];
+    *r = (*r & !(u128::from(u64::MAX) << sh))
+        | (u128::from(crate::value::FLAG_HI64 | q as u64) << sh);
+    Ok(pc + 1)
+}
+
 fn h_int_alu<I: IntSel, G: GS>(
     vm: &mut Vm<'_>,
     i: &CInst,
@@ -1107,6 +1117,13 @@ fn bind(op: &ExecOp) -> CInst {
             i.b = *src;
             i.imm = *sh as i64;
             h_pinsrq
+        }
+        OpK::FpTrunc { mant, exp, dst, sh } => {
+            i.a = *dst;
+            i.b = *mant;
+            i.aux = *exp;
+            i.imm = *sh as i64;
+            h_fptrunc
         }
         OpK::IntAlu { op: o, dst, src } => {
             i.a = *dst;

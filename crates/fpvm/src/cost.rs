@@ -140,7 +140,8 @@ impl CostModel {
             InstKind::FpUcomi { .. }
             | InstKind::CvtF2F { .. }
             | InstKind::CvtI2F { .. }
-            | InstKind::CvtF2I { .. } => self.fp_cvt,
+            | InstKind::CvtF2I { .. }
+            | InstKind::FpTrunc { .. } => self.fp_cvt,
             InstKind::MovF { width, dst, src } => {
                 // register-to-register moves are cheap; the bandwidth term
                 // above covers memory traffic.

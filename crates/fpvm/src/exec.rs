@@ -386,6 +386,12 @@ pub(crate) enum OpK {
         dst: FpLocD,
         src: FpLocD,
     },
+    FpTrunc {
+        mant: u8,
+        exp: u8,
+        dst: u8,
+        sh: u32,
+    },
     PExtrQ {
         dst: u8,
         src: u8,
@@ -585,6 +591,9 @@ impl ExecImage {
                     Width::W64 => OpK::MovF64 { dst, src },
                     Width::W128 => OpK::MovF128 { dst, src },
                 }
+            }
+            InstKind::FpTrunc { mant, exp, dst, lane } => {
+                OpK::FpTrunc { mant: *mant, exp: *exp, dst: dst.0, sh: 64 * (*lane as u32 & 1) }
             }
             InstKind::PExtrQ { dst, src, lane } => {
                 OpK::PExtrQ { dst: dst.0, src: src.0, sh: 64 * (*lane as u32 & 1) }
@@ -1011,6 +1020,17 @@ impl<'p> Vm<'p> {
                     }
                     if O::ENABLED {
                         obs.trace(&FpEvent::Clobber { loc: self.loc_of_fp(dst), width: 16 });
+                    }
+                }
+                OpK::FpTrunc { mant, exp, dst, sh } => {
+                    let slot = (self.xmm[*dst as usize] >> sh) as u64;
+                    let q = crate::value::quantize_f32_bits(slot as u32, *mant as u32, *exp as u32);
+                    let r = &mut self.xmm[*dst as usize];
+                    *r = (*r & !(u128::from(u64::MAX) << sh))
+                        | (u128::from(crate::value::FLAG_HI64 | q as u64) << sh);
+                    // The lane now holds a re-flagged reduced payload.
+                    if O::ENABLED && *sh == 0 {
+                        obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 8 });
                     }
                 }
                 OpK::PExtrQ { dst, src, sh } => {

@@ -464,6 +464,14 @@ impl<'p> Vm<'p> {
                     }
                 }
             },
+            InstKind::FpTrunc { mant, exp, dst, lane } => {
+                let sh = 64 * (*lane as u32 & 1);
+                let slot = (self.xmm[dst.0 as usize] >> sh) as u64;
+                let q = crate::value::quantize_f32_bits(slot as u32, *mant as u32, *exp as u32);
+                let r = &mut self.xmm[dst.0 as usize];
+                *r =
+                    (*r & !(u128::from(u64::MAX) << sh)) | (u128::from(FLAG_HI64 | q as u64) << sh);
+            }
             InstKind::PExtrQ { dst, src, lane } => {
                 self.gpr[dst.0 as usize] =
                     (self.xmm[src.0 as usize] >> (64 * (*lane as u32 & 1))) as u64;

@@ -511,6 +511,27 @@ pub enum InstKind {
         /// Source location.
         src: FpLoc,
     },
+    /// Quantize one 64-bit lane of an XMM register to a reduced
+    /// floating-point format, in place.
+    ///
+    /// The lane's low 32 bits are read as an f32 payload, rounded to
+    /// nearest-even into a format with `mant` explicit mantissa bits
+    /// and `exp` exponent bits (see [`crate::value::quantize_f32_bits`]),
+    /// and the lane is rewritten as a NaN-boxed replaced slot
+    /// (`FLAG_HI64 | payload`). Instrumentation snippets emit this
+    /// after the single-precision op that emulates a half/bfloat16/
+    /// custom-format operation; it has no hardware analogue and is
+    /// never a replacement candidate itself.
+    FpTrunc {
+        /// Explicit mantissa bits of the target format (≤ 23).
+        mant: u8,
+        /// Exponent bits of the target format (1..=8).
+        exp: u8,
+        /// Register whose lane is quantized and re-flagged.
+        dst: Xmm,
+        /// Lane index (0 or 1).
+        lane: u8,
+    },
     /// Extract a 64-bit lane of an XMM register into a GPR (`pextrq`).
     PExtrQ {
         /// Destination GPR.
@@ -619,6 +640,7 @@ impl InstKind {
                 | InstKind::CvtF2F { .. }
                 | InstKind::CvtI2F { .. }
                 | InstKind::CvtF2I { .. }
+                | InstKind::FpTrunc { .. }
         )
     }
 
@@ -696,6 +718,9 @@ impl fmt::Display for InstKind {
                     Width::W128 => "movdqu",
                 };
                 write!(f, "{m} {src}, {dst}")
+            }
+            InstKind::FpTrunc { mant, exp, dst, lane } => {
+                write!(f, "fptrunc m{mant}e{exp} ${lane}, {dst}")
             }
             InstKind::PExtrQ { dst, src, lane } => write!(f, "pextrq ${lane}, {src}, {dst}"),
             InstKind::PInsrQ { dst, src, lane } => write!(f, "pinsrq ${lane}, {src}, {dst}"),

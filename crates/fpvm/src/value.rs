@@ -67,6 +67,92 @@ pub fn read_as_f32(bits: u64) -> f32 {
     }
 }
 
+/// Quantize an f32 bit pattern to a reduced format with `mant_bits`
+/// explicit mantissa bits and `exp_bits` exponent bits, rounding to
+/// nearest-even. The result is returned as f32 bits: every reduced
+/// format is constrained to `mant_bits <= 23` and `exp_bits <= 8`, so
+/// all its values (normals, subnormals, infinities) are exactly
+/// representable in binary32 and the NaN-boxed 64-bit slot layout is
+/// unchanged — only the set of representable payloads shrinks.
+///
+/// Semantics:
+/// - NaN passes through unchanged (payload preserved);
+/// - overflow past the format's largest finite value rounds to ±inf;
+/// - values below the format's smallest subnormal round to ±0;
+/// - the subnormal range of the format rounds with gradually reduced
+///   precision, exactly as an IEEE `binary(1+exp_bits+mant_bits)`
+///   format would.
+pub fn quantize_f32_bits(bits: u32, mant_bits: u32, exp_bits: u32) -> u32 {
+    debug_assert!(mant_bits <= 23, "reduced formats must fit in an f32 mantissa");
+    debug_assert!((1..=8).contains(&exp_bits), "reduced formats must fit in an f32 exponent");
+    let sign = bits & 0x8000_0000;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x7F_FFFF;
+    if exp == 0xFF {
+        return bits; // inf and NaN share the f32 encodings
+    }
+    if exp == 0 && frac == 0 {
+        return sign; // ±0
+    }
+    // Normalize to a 24-bit significand `sig` with bit 23 set,
+    // representing the value sig × 2^(e-23).
+    let (mut e, mut sig) = if exp == 0 { (-126, frac) } else { (exp - 127, frac | 0x80_0000) };
+    while sig & 0x80_0000 == 0 {
+        sig <<= 1;
+        e -= 1;
+    }
+    let bias = (1i32 << (exp_bits - 1)) - 1;
+    let e_max = bias; // all-ones exponent is reserved for inf/NaN
+    let e_min = 1 - bias;
+    // Bits to drop from the 24-bit significand: the format's precision
+    // deficit, plus one per binade below the normal range (gradual
+    // underflow).
+    let drop = (23 - mant_bits as i32 + (e_min - e).max(0)).min(26) as u32;
+    let (mut rounded, mut e) = if drop == 0 {
+        (sig as u64, e)
+    } else {
+        let m = sig as u64;
+        let half = 1u64 << (drop - 1);
+        let rem = m & ((1u64 << drop) - 1);
+        let mut q = m >> drop;
+        if rem > half || (rem == half && q & 1 == 1) {
+            q += 1;
+        }
+        (q, e)
+    };
+    if rounded == 0 {
+        return sign; // underflowed to zero
+    }
+    if e >= e_min {
+        // Normal-range result: rounded has mant_bits+1 bits, or one
+        // more after a carry-out.
+        if rounded >> (mant_bits + 1) != 0 {
+            rounded >>= 1;
+            e += 1;
+        }
+        if e > e_max {
+            return sign | 0x7F80_0000; // overflow to ±inf
+        }
+        let frac32 = ((rounded as u32) << (23 - mant_bits)) & 0x7F_FFFF;
+        return sign | (((e + 127) as u32) << 23) | frac32;
+    }
+    // Subnormal-range result: `rounded` is in units of 2^(e_min - mant_bits).
+    let scale = e_min - mant_bits as i32;
+    let lead = 63 - rounded.leading_zeros() as i32;
+    let new_e = lead + scale;
+    if new_e >= -126 {
+        // Normal as an f32 (includes rounding up to the format's
+        // smallest normal).
+        let frac32 = ((rounded << (23 - lead)) as u32) & 0x7F_FFFF;
+        sign | (((new_e + 127) as u32) << 23) | frac32
+    } else {
+        // f32-subnormal (only reachable when exp_bits == 8): the
+        // format's granularity is a multiple of 2^-149, so the shift
+        // is exact.
+        sign | ((rounded << (scale + 149)) as u32)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

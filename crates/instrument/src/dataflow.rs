@@ -63,12 +63,14 @@ impl PlainSet {
             | InstKind::FpMath { dst, .. } => {
                 match instrumented {
                     Some(SnippetPrec::Double) => self.set(dst.0),
-                    Some(SnippetPrec::Single) => self.clear(dst.0),
-                    // untouched (ignore flag, or single-precision original):
-                    // output is whatever the op produced; a plain double op
-                    // on unknown inputs may trap or produce plain — treat
-                    // as unknown.
-                    None => self.clear(dst.0),
+                    // single/reduced snippets flag their output; untouched
+                    // instructions (ignore flag, or single-precision
+                    // original) produce whatever the op produced — a plain
+                    // double op on unknown inputs may trap or produce
+                    // plain — treat as unknown.
+                    Some(SnippetPrec::Single | SnippetPrec::Reduced { .. }) | None => {
+                        self.clear(dst.0)
+                    }
                 }
             }
             InstKind::CvtI2F { dst, to: Prec::Double, .. } => self.set(dst.0),

@@ -6,6 +6,9 @@
 //! candidate is either
 //!
 //! * expanded into a single-precision snippet (`s` flag),
+//! * expanded into a reduced-format snippet (`h`/`b`/`m<M>e<E>` flags —
+//!   single-precision op followed by an RNE quantize onto the reduced
+//!   grid),
 //! * expanded into a double-precision checking snippet (`d` flag — still
 //!   necessary once *any* replacement exists, because operands may arrive
 //!   replaced from elsewhere),
@@ -58,6 +61,9 @@ impl Default for RewriteOptions {
 pub struct RewriteStats {
     /// Candidates expanded into single-precision snippets.
     pub single: usize,
+    /// Candidates expanded into reduced-format (half/bf16/custom)
+    /// snippets.
+    pub reduced: usize,
     /// Candidates expanded into double-precision snippets.
     pub double_checked: usize,
     /// Candidates left untouched due to an ignore flag.
@@ -69,7 +75,7 @@ pub struct RewriteStats {
 impl RewriteStats {
     /// Total candidates instrumented.
     pub fn instrumented(&self) -> usize {
-        self.single + self.double_checked
+        self.single + self.reduced + self.double_checked
     }
 }
 
@@ -146,6 +152,7 @@ pub fn rewrite(
                         plain.step(insn, Some(prec));
                         match prec {
                             SnippetPrec::Single => stats.single += 1,
+                            SnippetPrec::Reduced { .. } => stats.reduced += 1,
                             SnippetPrec::Double => stats.double_checked += 1,
                         }
                     }
@@ -181,6 +188,7 @@ struct Fragment {
     blocks: Vec<(Vec<Insn>, Terminator)>,
     tail: u32,
     single: usize,
+    reduced: usize,
     double_checked: usize,
     ignored: usize,
     snippet_insns: usize,
@@ -296,21 +304,24 @@ impl Rewriter {
             let mut fixups: Vec<(BlockId, Terminator)> = Vec::new();
             for &ob in &f.blocks {
                 let oblk = orig.block(ob);
-                // Per-insn decision vector — the cache key. Dataflow facts
-                // used by lean snippets are a pure function of the block's
+                // Per-insn decision vector — the cache key, three bytes
+                // per instruction: `(tag, mant, exp)` with zero format
+                // bytes for non-reduced decisions. Dataflow facts used by
+                // lean snippets are a pure function of the block's
                 // instructions and this vector (PlainSet starts fresh per
                 // block), so `(block, decisions)` fully determines the
                 // expansion.
-                let key: Vec<u8> = oblk
-                    .insns
-                    .iter()
-                    .map(|insn| match decide(insn, tree, cfg, self.opts.mode) {
-                        Decision::Copy => 3u8,
-                        Decision::Ignore => 0,
-                        Decision::Snippet(SnippetPrec::Single) => 1,
-                        Decision::Snippet(SnippetPrec::Double) => 2,
-                    })
-                    .collect();
+                let mut key: Vec<u8> = Vec::with_capacity(oblk.insns.len() * 3);
+                for insn in &oblk.insns {
+                    let trip = match decide(insn, tree, cfg, self.opts.mode) {
+                        Decision::Copy => [3u8, 0, 0],
+                        Decision::Ignore => [0, 0, 0],
+                        Decision::Snippet(SnippetPrec::Single) => [1, 0, 0],
+                        Decision::Snippet(SnippetPrec::Double) => [2, 0, 0],
+                        Decision::Snippet(SnippetPrec::Reduced { mant, exp }) => [4, mant, exp],
+                    };
+                    key.extend_from_slice(&trip);
+                }
 
                 let frag = {
                     let mut st = self.state.lock().unwrap();
@@ -345,6 +356,7 @@ impl Rewriter {
                 }
                 fixups.push((locals[frag.tail as usize], oblk.term.clone()));
                 stats.single += frag.single;
+                stats.reduced += frag.reduced;
                 stats.double_checked += frag.double_checked;
                 stats.ignored += frag.ignored;
                 stats.snippet_insns += frag.snippet_insns;
@@ -392,14 +404,15 @@ fn build_fragment(
         blocks: Vec::new(),
         tail: 0,
         single: 0,
+        reduced: 0,
         double_checked: 0,
         ignored: 0,
         snippet_insns: 0,
     };
     let mut cur = head;
     let mut plain = PlainSet::new();
-    for (insn, &d) in oblk.insns.iter().zip(key) {
-        match d {
+    for (insn, d) in oblk.insns.iter().zip(key.chunks_exact(3)) {
+        match d[0] {
             3 => {
                 plain.step(insn, None);
                 scratch.blocks[cur.0 as usize].insns.push(insn.clone());
@@ -409,8 +422,12 @@ fn build_fragment(
                 frag.ignored += 1;
                 scratch.blocks[cur.0 as usize].insns.push(insn.clone());
             }
-            1 | 2 => {
-                let prec = if d == 1 { SnippetPrec::Single } else { SnippetPrec::Double };
+            1 | 2 | 4 => {
+                let prec = match d[0] {
+                    1 => SnippetPrec::Single,
+                    2 => SnippetPrec::Double,
+                    _ => SnippetPrec::Reduced { mant: d[1], exp: d[2] },
+                };
                 let facts = if lean { plain.facts(insn) } else { OperandFacts::default() };
                 let mut e = Emitter { prog: &mut scratch, func: sf, cur, origin: insn.id };
                 emit_snippet(&mut e, insn, prec, facts);
@@ -418,6 +435,7 @@ fn build_fragment(
                 plain.step(insn, Some(prec));
                 match prec {
                     SnippetPrec::Single => frag.single += 1,
+                    SnippetPrec::Reduced { .. } => frag.reduced += 1,
                     SnippetPrec::Double => frag.double_checked += 1,
                 }
             }
@@ -451,6 +469,13 @@ fn decide(insn: &Insn, tree: &StructureTree, cfg: &Config, mode: RewriteMode) ->
             Flag::Single => Decision::Snippet(SnippetPrec::Single),
             Flag::Double => Decision::Snippet(SnippetPrec::Double),
             Flag::Ignore => Decision::Ignore,
+            f @ (Flag::Half | Flag::Bf16 | Flag::Custom { .. }) => {
+                let fmt = f.format().expect("reduced flag carries a format");
+                Decision::Snippet(SnippetPrec::Reduced {
+                    mant: fmt.mantissa_bits() as u8,
+                    exp: fmt.exp_bits() as u8,
+                })
+            }
         },
     }
 }
@@ -475,7 +500,7 @@ pub fn dynamic_replacement_pct(tree: &StructureTree, cfg: &Config, profile: &fpv
     for id in tree.all_insns() {
         let n = profile.count(id);
         total += n;
-        if cfg.effective(tree, id) == Flag::Single {
+        if cfg.effective(tree, id).is_replacement() {
             replaced += n;
         }
     }
@@ -576,6 +601,72 @@ mod tests {
         // and it must differ from the double result (the kernel is lossy)
         let (dbl, _) = run_out(&p);
         assert_ne!(dbl.to_bits(), got.to_bits());
+    }
+
+    #[test]
+    fn reduced_config_rewrites_and_runs_coarser_than_single() {
+        // All-bf16 must run cleanly and land strictly coarser than the
+        // all-single result, which in turn differs from pure double.
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let run_at = |fl: Flag| {
+            let mut cfg = Config::new();
+            for mi in 0..tree.modules.len() {
+                cfg.set_module(tree.modules[mi].id, fl);
+            }
+            let (q, stats) = rewrite(&p, &tree, &cfg, &RewriteOptions::default());
+            (run_out(&q).0, stats)
+        };
+        let (dbl, _) = run_out(&p);
+        let (sgl, s_stats) = run_at(Flag::Single);
+        let (b16, b_stats) = run_at(Flag::Bf16);
+        let (hlf, h_stats) = run_at(Flag::Half);
+        assert_eq!(s_stats.single, tree.candidate_count());
+        assert_eq!(s_stats.reduced, 0);
+        assert_eq!(b_stats.reduced, tree.candidate_count());
+        assert_eq!(b_stats.single, 0);
+        assert_eq!(h_stats.reduced, tree.candidate_count());
+        assert_ne!(sgl.to_bits(), dbl.to_bits());
+        assert_ne!(b16.to_bits(), sgl.to_bits());
+        assert_ne!(hlf.to_bits(), sgl.to_bits());
+        // bf16 keeps only ~2-3 significant decimal digits of the ~1.16 sum
+        assert!((b16 - dbl).abs() < 0.05, "bf16 drifted too far: {b16} vs {dbl}");
+        assert!((hlf - dbl).abs() < 0.01, "half drifted too far: {hlf} vs {dbl}");
+    }
+
+    #[test]
+    fn incremental_rewriter_handles_reduced_configs() {
+        let ir = kernel();
+        let p = fpir::compile(&ir, &CompileOptions::default());
+        let tree = StructureTree::build(&p);
+        let ids = tree.all_insns();
+        let rw = Rewriter::new(&p, RewriteOptions::default());
+
+        // Mixed lattice config: half, bf16, custom, single, rest double.
+        let mut cfg = Config::new();
+        cfg.set_insn(ids[0], Flag::Half);
+        cfg.set_insn(ids[1], Flag::Bf16);
+        cfg.set_insn(ids[2], Flag::Custom { mantissa_bits: 5, exp_bits: 6 });
+        if ids.len() > 3 {
+            cfg.set_insn(ids[3], Flag::Single);
+        }
+        let (want_p, want_s) = rewrite(&p, &tree, &cfg, &RewriteOptions::default());
+        let (got_p, got_s) = rw.rewrite(&p, &tree, &cfg);
+        assert_eq!(want_s, got_s);
+        assert_eq!(want_s.reduced, 3);
+        let (want, _) = run_out(&want_p);
+        let (got, _) = run_out(&got_p);
+        assert_eq!(want.to_bits(), got.to_bits());
+
+        // Distinct formats on the same instruction must not share
+        // fragments: flipping half → bf16 re-instruments its block.
+        let (_, m0) = rw.cache_stats();
+        let mut cfg2 = cfg.clone();
+        cfg2.set_insn(ids[0], Flag::Bf16);
+        let (_, _) = rw.rewrite(&p, &tree, &cfg2);
+        let (_, m1) = rw.cache_stats();
+        assert!(m1 > m0, "changed format must miss the fragment cache");
     }
 
     #[test]

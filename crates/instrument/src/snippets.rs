@@ -32,6 +32,18 @@ pub enum SnippetPrec {
     Single,
     /// Keep the double-precision opcode but guard (and upcast) inputs.
     Double,
+    /// Emulate a reduced format narrower than single (half, bf16, or a
+    /// custom mantissa/exponent split): execute the single-precision
+    /// opcode, then round-to-nearest-even quantize the result onto the
+    /// reduced grid with an `FpTrunc`. Inputs are handled exactly like
+    /// `Single` — reduced values arriving from other snippets are already
+    /// on their grid, so they pass the flag test untouched.
+    Reduced {
+        /// Stored mantissa bits of the target format (≤ 23).
+        mant: u8,
+        /// Exponent field width of the target format (≤ 8).
+        exp: u8,
+    },
 }
 
 /// Dataflow facts about an instruction's register inputs, used by the
@@ -124,6 +136,17 @@ impl<'a> Emitter<'a> {
         self.ins(InstKind::PInsrQ { dst: reg, src: RAX, lane });
     }
 
+    /// Flag the output lane of a replacement snippet: plain flagging for
+    /// `Single`, quantize-and-flag (`FpTrunc`) for reduced formats.
+    fn emit_flag_output(&mut self, reg: Xmm, lane: u8, prec: SnippetPrec) {
+        match prec {
+            SnippetPrec::Reduced { mant, exp } => {
+                self.ins(InstKind::FpTrunc { mant, exp, dst: reg, lane });
+            }
+            _ => self.emit_set_flag(reg, lane),
+        }
+    }
+
     /// Downcast lane `lane` of `reg` in place: `[f64] → [flag | f32]`.
     fn emit_downcast(&mut self, reg: Xmm, lane: u8) {
         if lane == 0 {
@@ -167,15 +190,15 @@ impl<'a> Emitter<'a> {
         let conv = self.new_block();
         let next = self.new_block();
         match prec {
-            // flagged (Eq) → already single, skip the downcast
-            SnippetPrec::Single => self.seal_br(Cond::Eq, next, conv),
             // flagged (Eq) → needs the upcast
             SnippetPrec::Double => self.seal_br(Cond::Eq, conv, next),
+            // flagged (Eq) → already single/reduced, skip the downcast
+            _ => self.seal_br(Cond::Eq, next, conv),
         }
         self.cur = conv;
         match prec {
-            SnippetPrec::Single => self.emit_downcast(reg, lane),
             SnippetPrec::Double => self.emit_upcast(reg, lane),
+            _ => self.emit_downcast(reg, lane),
         }
         self.seal_jmp(next);
         self.cur = next;
@@ -190,7 +213,7 @@ impl<'a> Emitter<'a> {
             for lane in 0..lanes {
                 match (prec, known_plain) {
                     (SnippetPrec::Double, true) => {} // provably no flag: nothing to do
-                    (SnippetPrec::Single, true) => self.emit_downcast(reg, lane),
+                    (_, true) => self.emit_downcast(reg, lane),
                     (_, false) => self.emit_check_convert(reg, lane, prec),
                 }
             }
@@ -216,18 +239,6 @@ pub fn emit_snippet(e: &mut Emitter<'_>, insn: &Insn, prec: SnippetPrec, facts: 
             };
             e.emit_inputs(&inputs, lanes, prec);
             match prec {
-                SnippetPrec::Single => {
-                    e.ins(InstKind::FpArith {
-                        op: *op,
-                        prec: Prec::Single,
-                        packed: *packed,
-                        dst: *dst,
-                        src: RM::Reg(sreg),
-                    });
-                    for lane in 0..lanes {
-                        e.emit_set_flag(*dst, lane);
-                    }
-                }
                 SnippetPrec::Double => {
                     e.ins(InstKind::FpArith {
                         op: *op,
@@ -236,6 +247,18 @@ pub fn emit_snippet(e: &mut Emitter<'_>, insn: &Insn, prec: SnippetPrec, facts: 
                         dst: *dst,
                         src: RM::Reg(sreg),
                     });
+                }
+                _ => {
+                    e.ins(InstKind::FpArith {
+                        op: *op,
+                        prec: Prec::Single,
+                        packed: *packed,
+                        dst: *dst,
+                        src: RM::Reg(sreg),
+                    });
+                    for lane in 0..lanes {
+                        e.emit_flag_output(*dst, lane, prec);
+                    }
                 }
             }
             e.pop_scratch();
@@ -247,17 +270,6 @@ pub fn emit_snippet(e: &mut Emitter<'_>, insn: &Insn, prec: SnippetPrec, facts: 
             let src_plain = facts.src_plain && matches!(src, RM::Reg(_));
             e.emit_inputs(&[(sreg, src_plain)], lanes, prec);
             match prec {
-                SnippetPrec::Single => {
-                    e.ins(InstKind::FpSqrt {
-                        prec: Prec::Single,
-                        packed: *packed,
-                        dst: *dst,
-                        src: RM::Reg(sreg),
-                    });
-                    for lane in 0..lanes {
-                        e.emit_set_flag(*dst, lane);
-                    }
-                }
                 SnippetPrec::Double => {
                     e.ins(InstKind::FpSqrt {
                         prec: Prec::Double,
@@ -265,6 +277,17 @@ pub fn emit_snippet(e: &mut Emitter<'_>, insn: &Insn, prec: SnippetPrec, facts: 
                         dst: *dst,
                         src: RM::Reg(sreg),
                     });
+                }
+                _ => {
+                    e.ins(InstKind::FpSqrt {
+                        prec: Prec::Single,
+                        packed: *packed,
+                        dst: *dst,
+                        src: RM::Reg(sreg),
+                    });
+                    for lane in 0..lanes {
+                        e.emit_flag_output(*dst, lane, prec);
+                    }
                 }
             }
             e.pop_scratch();
@@ -275,15 +298,6 @@ pub fn emit_snippet(e: &mut Emitter<'_>, insn: &Insn, prec: SnippetPrec, facts: 
             let src_plain = facts.src_plain && matches!(src, RM::Reg(_));
             e.emit_inputs(&[(sreg, src_plain)], 1, prec);
             match prec {
-                SnippetPrec::Single => {
-                    e.ins(InstKind::FpMath {
-                        fun: *fun,
-                        prec: Prec::Single,
-                        dst: *dst,
-                        src: RM::Reg(sreg),
-                    });
-                    e.emit_set_flag(*dst, 0);
-                }
                 SnippetPrec::Double => {
                     e.ins(InstKind::FpMath {
                         fun: *fun,
@@ -291,6 +305,15 @@ pub fn emit_snippet(e: &mut Emitter<'_>, insn: &Insn, prec: SnippetPrec, facts: 
                         dst: *dst,
                         src: RM::Reg(sreg),
                     });
+                }
+                _ => {
+                    e.ins(InstKind::FpMath {
+                        fun: *fun,
+                        prec: Prec::Single,
+                        dst: *dst,
+                        src: RM::Reg(sreg),
+                    });
+                    e.emit_flag_output(*dst, 0, prec);
                 }
             }
             e.pop_scratch();
@@ -309,11 +332,13 @@ pub fn emit_snippet(e: &mut Emitter<'_>, insn: &Insn, prec: SnippetPrec, facts: 
             // pops below do not touch flags, so the original branch still
             // observes the compare result.
             match prec {
-                SnippetPrec::Single => {
-                    e.ins(InstKind::FpUcomi { prec: Prec::Single, lhs: *lhs, src: RM::Reg(sreg) });
-                }
                 SnippetPrec::Double => {
                     e.ins(InstKind::FpUcomi { prec: Prec::Double, lhs: *lhs, src: RM::Reg(sreg) });
+                }
+                // Reduced compares like single: both operands are on (a
+                // superset of) the f32 grid, and comparison is exact.
+                _ => {
+                    e.ins(InstKind::FpUcomi { prec: Prec::Single, lhs: *lhs, src: RM::Reg(sreg) });
                 }
             }
             e.pop_scratch();
@@ -328,11 +353,12 @@ pub fn emit_snippet(e: &mut Emitter<'_>, insn: &Insn, prec: SnippetPrec, facts: 
             let src_plain = facts.src_plain && matches!(src, RM::Reg(_));
             e.emit_inputs(&[(sreg, src_plain)], 1, prec);
             match prec {
-                SnippetPrec::Single => {
-                    e.ins(InstKind::CvtF2I { from: Prec::Single, dst: *dst, src: RM::Reg(sreg) });
-                }
                 SnippetPrec::Double => {
                     e.ins(InstKind::CvtF2I { from: Prec::Double, dst: *dst, src: RM::Reg(sreg) });
+                }
+                // Reduced converts like single: the payload is an exact f32.
+                _ => {
+                    e.ins(InstKind::CvtF2I { from: Prec::Single, dst: *dst, src: RM::Reg(sreg) });
                 }
             }
             e.pop_scratch();
@@ -448,6 +474,40 @@ mod tests {
         r.unwrap();
         assert!(is_replaced(bits));
         assert_eq!(f32::from_bits(bits as u32), 1.1f32 * 2.2f32);
+    }
+
+    #[test]
+    fn reduced_snippet_quantizes_and_flags() {
+        // 1.1 + 2.2 at half precision: single-precision add, then RNE
+        // quantize onto the m10e5 grid, flag preserved.
+        let (bits, r) = run_snippet(
+            1.1f64.to_bits(),
+            2.2f64.to_bits(),
+            FpAluOp::Add,
+            SnippetPrec::Reduced { mant: 10, exp: 5 },
+        );
+        r.unwrap();
+        assert!(is_replaced(bits));
+        let want = fpvm::value::quantize_f32_bits((1.1f32 + 2.2f32).to_bits(), 10, 5);
+        assert_eq!(bits as u32, want);
+        // the half result really is coarser than the single result
+        assert_ne!(bits as u32, (1.1f32 + 2.2f32).to_bits());
+    }
+
+    #[test]
+    fn reduced_snippet_accepts_replaced_inputs() {
+        // A flagged f32 input flows through the reduced snippet unchanged
+        // (no downcast) before the bf16 quantize of the product.
+        let (bits, r) = run_snippet(
+            replace(1.5),
+            2.25f64.to_bits(),
+            FpAluOp::Mul,
+            SnippetPrec::Reduced { mant: 7, exp: 8 },
+        );
+        r.unwrap();
+        assert!(is_replaced(bits));
+        let want = fpvm::value::quantize_f32_bits((1.5f32 * 2.25f32).to_bits(), 7, 8);
+        assert_eq!(bits as u32, want);
     }
 
     #[test]

@@ -1,12 +1,17 @@
-//! Precision configurations: `p → {single, double, ignore}` with
-//! parent-overrides-children aggregation (§2.1).
+//! Precision configurations: `p → {precision level | ignore}` with
+//! parent-overrides-children aggregation (§2.1), generalized from the
+//! paper's two-level `{single, double}` scheme to the full precision
+//! lattice (half, bfloat16, custom-mantissa formats; see `mpfmt`).
 
 use crate::tree::{NodeRef, StructureTree};
 use fpvm::isa::{BlockId, FuncId, InsnId, ModuleId};
+use mpfmt::Format;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A precision flag, as written in the first column of a configuration
-/// file: `s` (single), `d` (double), or `i` (ignore).
+/// file: `s` (single), `d` (double), `i` (ignore), `h` (half), `b`
+/// (bfloat16), or `m<M>e<E>` (custom reduced format).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Flag {
     /// Replace with the single-precision equivalent.
@@ -17,27 +22,159 @@ pub enum Flag {
     /// Leave the instruction completely untouched — no snippet, no checks
     /// (for unusual constructs like FP-trick random number generators).
     Ignore,
+    /// Replace with emulated IEEE binary16.
+    Half,
+    /// Replace with emulated bfloat16.
+    Bf16,
+    /// Replace with an emulated custom reduced format (embedded in
+    /// binary32; see `mpfmt::Format::Custom`).
+    Custom {
+        /// Explicit mantissa bits (`<= 23`).
+        mantissa_bits: u8,
+        /// Exponent bits (`1..=8`).
+        exp_bits: u8,
+    },
 }
 
+/// A flag token that is not recognized by the configuration grammar.
+///
+/// Produced by [`Flag::from_token`] (and through it, the config-text
+/// parser): unknown flags are an error, never silently treated as
+/// unflagged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownFlagError {
+    /// The offending token as written.
+    pub token: String,
+    /// A more specific reason, when the token matched the custom-format
+    /// shape but described an invalid format.
+    pub detail: Option<String>,
+}
+
+impl fmt::Display for UnknownFlagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.detail {
+            Some(d) => write!(f, "unknown precision flag `{}`: {d}", self.token),
+            None => write!(
+                f,
+                "unknown precision flag `{}` (expected s/d/i/h/b or m<M>e<E>)",
+                self.token
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnknownFlagError {}
+
 impl Flag {
-    /// The single-character form used in configuration files.
-    pub fn letter(self) -> char {
+    /// The token form used in configuration files: a single letter for
+    /// the named levels, `m<M>e<E>` for custom formats.
+    pub fn token(self) -> String {
         match self {
-            Flag::Single => 's',
-            Flag::Double => 'd',
-            Flag::Ignore => 'i',
+            Flag::Single => "s".to_string(),
+            Flag::Double => "d".to_string(),
+            Flag::Ignore => "i".to_string(),
+            Flag::Half => "h".to_string(),
+            Flag::Bf16 => "b".to_string(),
+            Flag::Custom { mantissa_bits, exp_bits } => format!("m{mantissa_bits}e{exp_bits}"),
         }
     }
 
-    /// Parse the single-character form.
+    /// Parse the single-character forms.
     pub fn from_letter(c: char) -> Option<Flag> {
         match c {
             's' => Some(Flag::Single),
             'd' => Some(Flag::Double),
             'i' => Some(Flag::Ignore),
+            'h' => Some(Flag::Half),
+            'b' => Some(Flag::Bf16),
             _ => None,
         }
     }
+
+    /// Parse a flag token (single letter or `m<M>e<E>`). Unknown tokens
+    /// are a named error — callers must surface it, not default.
+    pub fn from_token(s: &str) -> Result<Flag, UnknownFlagError> {
+        let mut it = s.chars();
+        if let (Some(c), None) = (it.next(), it.next()) {
+            return Flag::from_letter(c)
+                .ok_or_else(|| UnknownFlagError { token: s.to_string(), detail: None });
+        }
+        if s.starts_with('m') && s.len() > 1 {
+            return match Format::parse(s) {
+                Ok(f) => Ok(Flag::from_format(f)),
+                Err(e) => {
+                    Err(UnknownFlagError { token: s.to_string(), detail: Some(e.to_string()) })
+                }
+            };
+        }
+        Err(UnknownFlagError { token: s.to_string(), detail: None })
+    }
+
+    /// The numeric format this flag selects; `None` for [`Flag::Ignore`].
+    pub fn format(self) -> Option<Format> {
+        match self {
+            Flag::Single => Some(Format::Single),
+            Flag::Double => Some(Format::Double),
+            Flag::Ignore => None,
+            Flag::Half => Some(Format::Half),
+            Flag::Bf16 => Some(Format::Bf16),
+            Flag::Custom { mantissa_bits, exp_bits } => {
+                Some(Format::Custom { mantissa_bits, exp_bits })
+            }
+        }
+    }
+
+    /// The flag selecting `f`, normalizing custom parameter pairs that
+    /// coincide with a named format (so flag equality matches format
+    /// equality).
+    pub fn from_format(f: Format) -> Flag {
+        match f {
+            Format::Double => Flag::Double,
+            Format::Single | Format::Custom { mantissa_bits: 23, exp_bits: 8 } => Flag::Single,
+            Format::Half | Format::Custom { mantissa_bits: 10, exp_bits: 5 } => Flag::Half,
+            Format::Bf16 | Format::Custom { mantissa_bits: 7, exp_bits: 8 } => Flag::Bf16,
+            Format::Custom { mantissa_bits, exp_bits } => Flag::Custom { mantissa_bits, exp_bits },
+        }
+    }
+
+    /// True if this flag replaces the double with a narrower format
+    /// (single or anything below it in the lattice).
+    pub fn is_replacement(self) -> bool {
+        matches!(self, Flag::Single | Flag::Half | Flag::Bf16 | Flag::Custom { .. })
+    }
+
+    /// Mantissa width of the selected format; the lattice's depth order
+    /// (fewer bits = deeper). `None` for [`Flag::Ignore`].
+    pub fn mantissa_bits(self) -> Option<u32> {
+        self.format().map(|f| f.mantissa_bits())
+    }
+}
+
+/// Parse a comma-separated lattice spec (`"s,h"`, `"s,b,m5e6"`) into
+/// the ordered list of replacement levels a search descends through.
+/// Every token must name a replacement format — `d`/`i` have no place
+/// in a descent order — and the spec may not be empty.
+pub fn parse_lattice(spec: &str) -> Result<Vec<Flag>, String> {
+    let mut out = Vec::new();
+    for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let fl = Flag::from_token(tok).map_err(|e| e.to_string())?;
+        if !fl.is_replacement() {
+            return Err(format!(
+                "lattice level `{tok}` is not a replacement format (expected s/h/b or m<M>e<E>)"
+            ));
+        }
+        out.push(fl);
+    }
+    if out.is_empty() {
+        return Err(format!("empty lattice spec `{spec}`"));
+    }
+    Ok(out)
+}
+
+/// Inverse of [`parse_lattice`]: the comma-joined token form used by
+/// manifests and job specs.
+pub fn lattice_tokens(lattice: &[Flag]) -> String {
+    lattice.iter().map(|f| f.token()).collect::<Vec<_>>().join(",")
 }
 
 /// A precision configuration: explicit flags at any level of the program
@@ -180,9 +317,62 @@ impl Config {
         out
     }
 
-    /// Candidate instructions whose effective flag is `Single`.
+    /// Union of two configurations' replacements across the whole
+    /// lattice: `other`'s replacement flags are merged in, but an entry
+    /// never *widens* — where both sides flag the same node, the format
+    /// with the narrower mantissa wins. Non-replacement flags in
+    /// `other` are not merged (same contract as [`Config::union_single`]).
+    pub fn union_replacements(&self, other: &Config) -> Config {
+        fn merge(dst: &mut BTreeMap<u32, Flag>, src: &BTreeMap<u32, Flag>) {
+            for (k, v) in src {
+                if !v.is_replacement() {
+                    continue;
+                }
+                let keep = matches!(
+                    dst.get(k),
+                    Some(cur) if cur.is_replacement()
+                        && cur.mantissa_bits() <= v.mantissa_bits()
+                );
+                if !keep {
+                    dst.insert(*k, *v);
+                }
+            }
+        }
+        let mut out = self.clone();
+        merge(&mut out.modules, &other.modules);
+        merge(&mut out.funcs, &other.funcs);
+        merge(&mut out.blocks, &other.blocks);
+        merge(&mut out.insns, &other.insns);
+        out
+    }
+
+    /// Candidate instructions whose effective flag is a replacement
+    /// (single or any reduced format).
     pub fn replaced_insns(&self, tree: &StructureTree) -> Vec<InsnId> {
-        tree.all_insns().into_iter().filter(|&i| self.effective(tree, i) == Flag::Single).collect()
+        tree.all_insns().into_iter().filter(|&i| self.effective(tree, i).is_replacement()).collect()
+    }
+
+    /// A canonical key identifying the *semantic* replacement set: one
+    /// packed word per effectively-replaced candidate, carrying the
+    /// instruction id and the target format's mantissa/exponent widths.
+    /// Two configurations with the same key rewrite to the same program,
+    /// so evaluation caches must key on this (the id set alone no longer
+    /// suffices once formats diverge).
+    pub fn replacement_key(&self, tree: &StructureTree) -> Vec<u64> {
+        let mut key: Vec<u64> = tree
+            .all_insns()
+            .into_iter()
+            .filter_map(|i| {
+                let fl = self.effective(tree, i);
+                if !fl.is_replacement() {
+                    return None;
+                }
+                let f = fl.format().expect("replacement flags always carry a format");
+                Some(((i.0 as u64) << 16) | ((f.mantissa_bits() as u64) << 8) | f.exp_bits() as u64)
+            })
+            .collect();
+        key.sort_unstable();
+        key
     }
 
     /// Static replacement percentage: replaced candidates / all candidates.
@@ -194,10 +384,11 @@ impl Config {
         100.0 * self.replaced_insns(tree).len() as f64 / total as f64
     }
 
-    /// True if any instruction is effectively replaced — which forces the
-    /// rewriter to instrument *every* FP instruction (§2.3).
+    /// True if any instruction is effectively replaced (at any lattice
+    /// level) — which forces the rewriter to instrument *every* FP
+    /// instruction (§2.3).
     pub fn any_single(&self, tree: &StructureTree) -> bool {
-        tree.all_insns().iter().any(|&i| self.effective(tree, i) == Flag::Single)
+        tree.all_insns().iter().any(|&i| self.effective(tree, i).is_replacement())
     }
 
     /// Number of explicit flag entries (any level).
@@ -318,6 +509,107 @@ mod tests {
         for i in &ids {
             assert_eq!(c.effective(&t, *i), Flag::Ignore);
         }
+    }
+
+    #[test]
+    fn flag_tokens_round_trip() {
+        let flags = [
+            Flag::Single,
+            Flag::Double,
+            Flag::Ignore,
+            Flag::Half,
+            Flag::Bf16,
+            Flag::Custom { mantissa_bits: 5, exp_bits: 4 },
+        ];
+        for f in flags {
+            assert_eq!(Flag::from_token(&f.token()), Ok(f));
+        }
+        // Custom tokens naming a named format normalize to it.
+        assert_eq!(Flag::from_token("m10e5"), Ok(Flag::Half));
+        assert_eq!(Flag::from_token("m7e8"), Ok(Flag::Bf16));
+        assert_eq!(Flag::from_token("m23e8"), Ok(Flag::Single));
+    }
+
+    #[test]
+    fn unknown_flag_tokens_are_named_errors() {
+        for bad in ["x", "q", "ss", "m", "m24e8", "m5e9", "mXeY", ""] {
+            let e = Flag::from_token(bad).unwrap_err();
+            assert_eq!(e.token, bad);
+        }
+        // Invalid custom formats carry the specific reason.
+        let e = Flag::from_token("m24e8").unwrap_err();
+        assert!(e.detail.is_some());
+        assert!(e.to_string().contains("m24e8"));
+    }
+
+    #[test]
+    fn lattice_specs_parse_and_round_trip() {
+        let l = parse_lattice("s,h").unwrap();
+        assert_eq!(l, vec![Flag::Single, Flag::Half]);
+        assert_eq!(lattice_tokens(&l), "s,h");
+        let l = parse_lattice(" s , b , m5e6 ").unwrap();
+        assert_eq!(
+            l,
+            vec![Flag::Single, Flag::Bf16, Flag::Custom { mantissa_bits: 5, exp_bits: 6 }]
+        );
+        assert_eq!(lattice_tokens(&l), "s,b,m5e6");
+        // Non-replacement levels and junk are named errors.
+        assert!(parse_lattice("s,d").unwrap_err().contains("not a replacement"));
+        assert!(parse_lattice("s,i").unwrap_err().contains("not a replacement"));
+        assert!(parse_lattice("s,x").unwrap_err().contains("unknown precision flag"));
+        assert!(parse_lattice("").unwrap_err().contains("empty"));
+        assert!(parse_lattice(" , ").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn reduced_flags_count_as_replacements() {
+        let p = prog();
+        let t = StructureTree::build(&p);
+        let ids = t.all_insns();
+        let mut c = Config::new();
+        c.set_insn(ids[0], Flag::Half);
+        assert!(c.any_single(&t));
+        assert_eq!(c.replaced_insns(&t), vec![ids[0]]);
+        assert_eq!(c.static_replacement_pct(&t), 25.0);
+    }
+
+    #[test]
+    fn union_replacements_keeps_the_narrower_format() {
+        let p = prog();
+        let t = StructureTree::build(&p);
+        let ids = t.all_insns();
+        let mut a = Config::new();
+        a.set_insn(ids[0], Flag::Half); // 10 mantissa bits
+        a.set_insn(ids[1], Flag::Single);
+        let mut b = Config::new();
+        b.set_insn(ids[0], Flag::Single); // wider: must not override Half
+        b.set_insn(ids[1], Flag::Bf16); // narrower: overrides Single
+        b.set_insn(ids[2], Flag::Double); // not merged
+        let u = a.union_replacements(&b);
+        assert_eq!(u.effective(&t, ids[0]), Flag::Half);
+        assert_eq!(u.effective(&t, ids[1]), Flag::Bf16);
+        assert_eq!(u.effective(&t, ids[2]), Flag::Double);
+    }
+
+    #[test]
+    fn replacement_key_distinguishes_formats() {
+        let p = prog();
+        let t = StructureTree::build(&p);
+        let ids = t.all_insns();
+        let mut a = Config::new();
+        a.set_insn(ids[0], Flag::Single);
+        let mut b = Config::new();
+        b.set_insn(ids[0], Flag::Half);
+        assert_ne!(a.replacement_key(&t), b.replacement_key(&t));
+        // Same semantic replacement set ⇒ same key, even via aggregates.
+        let (blk, _, _) = t.parents(ids[0]).unwrap();
+        let mut c = Config::new();
+        c.set_block(blk, Flag::Single);
+        let mut d = Config::new();
+        for e in &t.modules[0].funcs[0].blocks[0].insns {
+            d.set_insn(e.id, Flag::Single);
+        }
+        assert_eq!(c.replacement_key(&t), d.replacement_key(&t));
     }
 
     #[test]

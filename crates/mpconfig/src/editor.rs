@@ -28,7 +28,7 @@ pub fn render_tree(tree: &StructureTree, cfg: &Config) -> String {
                         out,
                         "      {} [{}] {}",
                         badge(cfg.node_flag(tree, node)),
-                        eff.letter(),
+                        eff.token(),
                         tree.label(node)
                     );
                 }
@@ -40,12 +40,14 @@ pub fn render_tree(tree: &StructureTree, cfg: &Config) -> String {
 
 fn badge(f: Option<Flag>) -> String {
     match f {
-        Some(fl) => format!("({})", fl.letter()),
+        Some(fl) => format!("({})", fl.token()),
         None => "( )".to_string(),
     }
 }
 
-/// Cycle a node's flag: none → single → double → ignore → none.
+/// Cycle a node's flag: none → single → double → ignore → none. A
+/// reduced-format flag (set by a lattice search, not by toggling) steps
+/// back to double first so the classic cycle is re-entered.
 /// Returns the new explicit flag.
 pub fn toggle(tree: &StructureTree, cfg: &mut Config, node: NodeRef) -> Option<Flag> {
     let next = match cfg.node_flag(tree, node) {
@@ -53,6 +55,7 @@ pub fn toggle(tree: &StructureTree, cfg: &mut Config, node: NodeRef) -> Option<F
         Some(Flag::Single) => Some(Flag::Double),
         Some(Flag::Double) => Some(Flag::Ignore),
         Some(Flag::Ignore) => None,
+        Some(Flag::Half | Flag::Bf16 | Flag::Custom { .. }) => Some(Flag::Double),
     };
     match next {
         Some(f) => {
@@ -82,9 +85,9 @@ pub fn stats(tree: &StructureTree, cfg: &Config) -> TreeStats {
     for id in tree.all_insns() {
         s.candidates += 1;
         match cfg.effective(tree, id) {
-            Flag::Single => s.replaced += 1,
             Flag::Ignore => s.ignored += 1,
-            Flag::Double => {}
+            f if f.is_replacement() => s.replaced += 1,
+            _ => {}
         }
     }
     s

@@ -56,7 +56,7 @@ pub fn print_config(tree: &StructureTree, cfg: &Config) -> String {
 
 fn flag_prefix(f: Option<Flag>) -> String {
     match f {
-        Some(fl) => format!("{} ", fl.letter()),
+        Some(fl) => format!("{} ", fl.token()),
         None => String::new(),
     }
 }
@@ -91,15 +91,22 @@ pub fn parse_config(tree: &StructureTree, text: &str) -> Result<Config, ParseErr
         if t.is_empty() || t.starts_with('#') {
             continue;
         }
-        // Optional flag letter followed by whitespace.
-        let (flag, rest) = match t.split_once(char::is_whitespace) {
-            Some((tok, rest)) if tok.len() == 1 => {
-                match Flag::from_letter(tok.chars().next().unwrap()) {
-                    Some(f) => (Some(f), rest.trim_start()),
-                    None => (None, t),
+        // Optional flag token followed by whitespace. Structural
+        // keywords are uppercase and flag tokens lowercase, so a line
+        // either starts with a keyword (no flag) or its first token
+        // *must* parse as a flag — anything else is an error, never a
+        // silent no-flag default.
+        let is_keyword = ["MODULE", "FUNC", "BBLK", "INSN"].iter().any(|k| t.starts_with(k));
+        let (flag, rest) = if is_keyword {
+            (None, t)
+        } else {
+            match t.split_once(char::is_whitespace) {
+                Some((tok, rest)) => {
+                    let f = Flag::from_token(tok).map_err(|e| err(line, e.to_string()))?;
+                    (Some(f), rest.trim_start())
                 }
+                None => return Err(err(line, format!("unrecognized line `{t}`"))),
             }
-            _ => (None, t),
         };
 
         if let Some(body) = rest.strip_prefix("MODULE") {
@@ -254,6 +261,40 @@ mod tests {
         assert_eq!(e.line, 1);
         let e = parse_config(&t, "MODULE01: ep\n  FUNC01: nope()\n").unwrap_err();
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn lattice_flags_round_trip() {
+        let p = prog();
+        let t = crate::tree::StructureTree::build(&p);
+        let ids = t.all_insns();
+        let mut cfg = Config::new();
+        cfg.set_insn(ids[0], Flag::Half);
+        cfg.set_insn(ids[1], Flag::Bf16);
+        cfg.set_insn(ids[2], Flag::Custom { mantissa_bits: 5, exp_bits: 4 });
+        cfg.set_func(t.modules[0].funcs[1].id, Flag::Half);
+        let text = print_config(&t, &cfg);
+        assert!(text.contains("h INSN01:"));
+        assert!(text.contains("b INSN02:"));
+        assert!(text.contains("m5e4 INSN03:"));
+        let parsed = parse_config(&t, &text).unwrap();
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn unknown_flag_tokens_are_rejected_not_defaulted() {
+        let p = prog();
+        let t = crate::tree::StructureTree::build(&p);
+        // An unknown single-character flag is an error…
+        let e = parse_config(&t, "x MODULE01: ep\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("unknown precision flag `x`"), "{}", e.msg);
+        // …and so is a malformed custom token (the specific reason
+        // surfaces in the message).
+        let e = parse_config(&t, "MODULE01: ep\n  m24e8 FUNC01: main()\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("m24e8"), "{}", e.msg);
+        assert!(e.msg.contains("mantissa"), "{}", e.msg);
     }
 
     #[test]

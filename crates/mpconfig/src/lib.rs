@@ -1,10 +1,12 @@
 //! # mpconfig — precision configurations
 //!
-//! The paper's configuration layer (§2.1): a mapping from every
-//! double-precision candidate instruction to `single | double | ignore`,
-//! aggregated over the program structure (module → function → block →
-//! instruction) with parent-overrides-children semantics; a human-readable
-//! text exchange format (Fig. 3); and a terminal analogue of the graphical
+//! The paper's configuration layer (§2.1), generalized to the precision
+//! lattice: a mapping from every double-precision candidate instruction
+//! to a precision level (`double`, `single`, `half`, `bf16`, or a
+//! custom reduced format — see `mpfmt`) or `ignore`, aggregated over
+//! the program structure (module → function → block → instruction) with
+//! parent-overrides-children semantics; a human-readable text exchange
+//! format (Fig. 3); and a terminal analogue of the graphical
 //! configuration editor (Fig. 4).
 
 #![warn(missing_docs)]
@@ -14,6 +16,6 @@ pub mod editor;
 pub mod format;
 pub mod tree;
 
-pub use config::{Config, Flag};
+pub use config::{lattice_tokens, parse_lattice, Config, Flag, UnknownFlagError};
 pub use format::{parse_config, print_config, ParseError};
 pub use tree::{NodeRef, StructureTree};

@@ -1,0 +1,309 @@
+//! Per-format range guards for overflow/underflow-prone operations.
+//!
+//! Narrow formats fail first in *range*, not precision: `exp` overflows
+//! half for inputs above ~11, division by a subnormal overflows, and
+//! `log` near the bottom of the subnormal range loses all significance.
+//! Mixed-precision frameworks therefore keep a deny-list of operations
+//! that may not be demoted blindly (the TVM AMP lists, the PyTorch
+//! autocast fp32-only set). We refine the deny-list with *observed
+//! ranges*: the shadow profiler records each instruction's operand
+//! magnitude envelope, and a demotion below single is admitted only if
+//! that envelope fits the target format's safe range for the
+//! instruction's class.
+
+use crate::Format;
+use fpvm::isa::{FpAluOp, InstKind, MathFun};
+use std::fmt;
+
+/// Overflow/underflow risk class of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// `exp(x)`: overflows once `|x|` exceeds `ln(max_finite)`.
+    Exp,
+    /// `log(x)`: meaningless below the normal range.
+    Log,
+    /// Division: a subnormal divisor overflows the quotient.
+    Div,
+    /// Everything else: only the plain magnitude envelope is checked.
+    Other,
+}
+
+/// Classify an instruction for range guarding.
+pub fn op_class(kind: &InstKind) -> OpClass {
+    match kind {
+        InstKind::FpMath { fun: MathFun::Exp, .. } => OpClass::Exp,
+        InstKind::FpMath { fun: MathFun::Log, .. } => OpClass::Log,
+        InstKind::FpArith { op: FpAluOp::Div, .. } => OpClass::Div,
+        _ => OpClass::Other,
+    }
+}
+
+/// [`op_class`] from an `fpvm` disassembly string — the form the
+/// `mpconfig` structure tree carries where the original [`InstKind`] is
+/// out of reach (the search walks the tree, not the program). The
+/// mnemonic stems are unambiguous: `div…` is FP division (integer
+/// division disassembles as `idiv`), and the math intrinsics all carry
+/// an `f` prefix (`fexpsd`, `flogsd`). Unknown mnemonics fall back to
+/// [`OpClass::Other`], which only range-checks the plain envelope.
+pub fn op_class_of_disasm(disasm: &str) -> OpClass {
+    let mnemonic = disasm.split_whitespace().next().unwrap_or("");
+    if mnemonic.starts_with("div") {
+        OpClass::Div
+    } else if mnemonic.starts_with("fexp") {
+        OpClass::Exp
+    } else if mnemonic.starts_with("flog") {
+        OpClass::Log
+    } else {
+        OpClass::Other
+    }
+}
+
+/// Observed operand magnitude envelope of one instruction.
+///
+/// `max_abs` is the largest `|x|` seen across all operands and all
+/// executions; `min_abs` is the smallest *nonzero* `|x|` (infinity when
+/// only zeros were seen). A default-constructed envelope (nothing
+/// observed) admits every demotion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeObs {
+    /// Largest observed operand magnitude.
+    pub max_abs: f64,
+    /// Smallest observed nonzero operand magnitude.
+    pub min_abs: f64,
+}
+
+impl Default for RangeObs {
+    fn default() -> Self {
+        RangeObs { max_abs: 0.0, min_abs: f64::INFINITY }
+    }
+}
+
+impl RangeObs {
+    /// Fold one observed operand value into the envelope.
+    pub fn observe(&mut self, x: f64) {
+        let a = x.abs();
+        if a.is_nan() {
+            return;
+        }
+        if a > self.max_abs {
+            self.max_abs = a;
+        }
+        if a > 0.0 && a < self.min_abs {
+            self.min_abs = a;
+        }
+    }
+
+    /// Merge another envelope into this one.
+    pub fn merge(&mut self, other: &RangeObs) {
+        if other.max_abs > self.max_abs {
+            self.max_abs = other.max_abs;
+        }
+        if other.min_abs < self.min_abs {
+            self.min_abs = other.min_abs;
+        }
+    }
+}
+
+/// Why a demotion was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardError {
+    /// The observed magnitude (or the class's transform of it) exceeds
+    /// the format's largest finite value.
+    Overflow {
+        /// The risk class that tripped.
+        class: OpClass,
+        /// The refused format.
+        format: Format,
+        /// The observed magnitude driving the refusal.
+        observed: f64,
+        /// The format bound it violates.
+        bound: f64,
+    },
+    /// The observed magnitude falls below the format's normal range
+    /// where the class loses significance or overflows downstream.
+    Underflow {
+        /// The risk class that tripped.
+        class: OpClass,
+        /// The refused format.
+        format: Format,
+        /// The observed magnitude driving the refusal.
+        observed: f64,
+        /// The format bound it violates.
+        bound: f64,
+    },
+}
+
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardError::Overflow { class, format, observed, bound } => write!(
+                f,
+                "{class:?} demotion to {format} refused: observed magnitude {observed:e} \
+                 exceeds safe bound {bound:e}"
+            ),
+            GuardError::Underflow { class, format, observed, bound } => write!(
+                f,
+                "{class:?} demotion to {format} refused: observed magnitude {observed:e} \
+                 below safe bound {bound:e}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+/// Decide whether an instruction of `class` with observed envelope
+/// `obs` may be demoted to `format`.
+///
+/// `Double` and `Single` always pass — the guard exists for the levels
+/// below the classic two; single demotion keeps its historical "try it
+/// and let verification decide" behavior.
+pub fn check_demotion(format: Format, class: OpClass, obs: &RangeObs) -> Result<(), GuardError> {
+    if !format.is_reduced() {
+        return Ok(());
+    }
+    let max_finite = format.max_finite();
+    // Every class: operands themselves must be representable.
+    if obs.max_abs > max_finite {
+        return Err(GuardError::Overflow {
+            class,
+            format,
+            observed: obs.max_abs,
+            bound: max_finite,
+        });
+    }
+    match class {
+        OpClass::Exp => {
+            // exp(|x|) must stay finite.
+            let bound = max_finite.ln();
+            if obs.max_abs > bound {
+                return Err(GuardError::Overflow { class, format, observed: obs.max_abs, bound });
+            }
+        }
+        OpClass::Log => {
+            // log of a subnormal (or anything below the normal range)
+            // has lost its significand.
+            let bound = format.min_positive_normal();
+            if obs.min_abs < bound {
+                return Err(GuardError::Underflow { class, format, observed: obs.min_abs, bound });
+            }
+        }
+        OpClass::Div => {
+            // A subnormal divisor overflows (or fully denormalizes) the
+            // quotient.
+            let bound = format.min_positive_normal();
+            if obs.min_abs < bound {
+                return Err(GuardError::Underflow { class, format, observed: obs.min_abs, bound });
+            }
+        }
+        OpClass::Other => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpvm::isa::{Prec, Xmm, RM};
+
+    fn obs(min_abs: f64, max_abs: f64) -> RangeObs {
+        RangeObs { min_abs, max_abs }
+    }
+
+    #[test]
+    fn classes_follow_the_instruction_kind() {
+        let arith = |op| InstKind::FpArith {
+            op,
+            prec: Prec::Double,
+            packed: false,
+            dst: Xmm(0),
+            src: RM::Reg(Xmm(1)),
+        };
+        let math =
+            |fun| InstKind::FpMath { fun, prec: Prec::Double, dst: Xmm(0), src: RM::Reg(Xmm(1)) };
+        assert_eq!(op_class(&arith(FpAluOp::Div)), OpClass::Div);
+        assert_eq!(op_class(&arith(FpAluOp::Add)), OpClass::Other);
+        assert_eq!(op_class(&math(MathFun::Exp)), OpClass::Exp);
+        assert_eq!(op_class(&math(MathFun::Log)), OpClass::Log);
+        assert_eq!(op_class(&math(MathFun::Sin)), OpClass::Other);
+    }
+
+    #[test]
+    fn disasm_classification_matches_kind_classification() {
+        let arith = InstKind::FpArith {
+            op: FpAluOp::Div,
+            prec: Prec::Double,
+            packed: false,
+            dst: Xmm(0),
+            src: RM::Reg(Xmm(1)),
+        };
+        assert_eq!(op_class_of_disasm(&arith.to_string()), op_class(&arith));
+        for (fun, want) in [
+            (MathFun::Exp, OpClass::Exp),
+            (MathFun::Log, OpClass::Log),
+            (MathFun::Sin, OpClass::Other),
+        ] {
+            let math =
+                InstKind::FpMath { fun, prec: Prec::Double, dst: Xmm(0), src: RM::Reg(Xmm(1)) };
+            assert_eq!(op_class_of_disasm(&math.to_string()), want);
+        }
+        assert_eq!(op_class_of_disasm("addsd %xmm1, %xmm0"), OpClass::Other);
+        assert_eq!(op_class_of_disasm(""), OpClass::Other);
+    }
+
+    #[test]
+    fn exp_overflow_is_refused_for_half_but_not_bf16() {
+        // exp(30) ≈ 1.07e13 overflows half (max 65504) but not bf16.
+        let o = obs(1.0, 30.0);
+        assert!(matches!(
+            check_demotion(Format::Half, OpClass::Exp, &o),
+            Err(GuardError::Overflow { .. })
+        ));
+        assert!(check_demotion(Format::Bf16, OpClass::Exp, &o).is_ok());
+    }
+
+    #[test]
+    fn plain_magnitude_overflow_is_refused_for_every_class() {
+        let o = obs(1.0, 1.0e6);
+        assert!(check_demotion(Format::Half, OpClass::Other, &o).is_err());
+        assert!(check_demotion(Format::Bf16, OpClass::Other, &o).is_ok());
+    }
+
+    #[test]
+    fn subnormal_divisors_and_log_args_are_refused() {
+        // 1e-6 is below half's smallest normal (≈6.1e-5).
+        let o = obs(1.0e-6, 10.0);
+        assert!(matches!(
+            check_demotion(Format::Half, OpClass::Div, &o),
+            Err(GuardError::Underflow { .. })
+        ));
+        assert!(matches!(
+            check_demotion(Format::Half, OpClass::Log, &o),
+            Err(GuardError::Underflow { .. })
+        ));
+        assert!(check_demotion(Format::Half, OpClass::Other, &o).is_ok());
+        assert!(check_demotion(Format::Single, OpClass::Div, &o).is_ok());
+    }
+
+    #[test]
+    fn empty_envelope_admits_everything() {
+        let o = RangeObs::default();
+        for c in [OpClass::Exp, OpClass::Log, OpClass::Div, OpClass::Other] {
+            assert!(check_demotion(Format::Half, c, &o).is_ok());
+        }
+    }
+
+    #[test]
+    fn envelope_folding_tracks_nonzero_extremes() {
+        let mut o = RangeObs::default();
+        o.observe(0.0);
+        o.observe(-3.0);
+        o.observe(1.5e-8);
+        o.observe(f64::NAN);
+        assert_eq!(o.max_abs, 3.0);
+        assert_eq!(o.min_abs, 1.5e-8);
+        let mut m = RangeObs::default();
+        m.merge(&o);
+        assert_eq!(m, o);
+    }
+}

@@ -1,0 +1,342 @@
+//! Generalized reduced-precision formats (the *precision lattice*).
+//!
+//! The original system replaces doubles with singles — a two-level
+//! lattice. This crate generalizes the replacement side to any IEEE-style
+//! binary format that *embeds in binary32*: half (`binary16`), bfloat16,
+//! and arbitrary custom formats with `mantissa_bits <= 23` explicit
+//! mantissa bits and `1..=8` exponent bits.
+//!
+//! The embedding constraint is what keeps the runtime representation
+//! unchanged: every value of such a format (normals, subnormals, zeros,
+//! infinities) is exactly representable as an `f32`, so a reduced value
+//! still lives in the low half of the NaN-boxed 64-bit slot
+//! (`fpvm::value`) exactly like a replaced single. A reduced operation is
+//! *emulated* as the single-precision operation followed by a
+//! round-to-nearest-even quantization of the result to the target format
+//! ([`fpvm::value::quantize_f32_bits`], executed by the VM's `FpTrunc`
+//! instruction). For half and bfloat16 this is bit-exact with native
+//! arithmetic on basic operations: their precisions satisfy the
+//! `2p + 2 <= 24` no-double-rounding bound, so rounding through binary32
+//! is innocuous. Wider custom mantissas are *defined* by the emulation
+//! ("binary32 op, then quantize").
+//!
+//! The crate also carries:
+//!
+//! - [`softfloat`]: an independent reference quantizer built on exact
+//!   grid arithmetic in `f64` (a deliberately different algorithm from
+//!   the bit-twiddling fast path), used by the differential property
+//!   tests;
+//! - [`guard`]: per-format range guards that refuse demotions of
+//!   overflow/underflow-prone operation classes (`exp`, `log`, division)
+//!   when the observed operand range does not fit the target format's
+//!   finite/normal range.
+
+use std::fmt;
+
+pub mod guard;
+pub mod softfloat;
+
+/// A precision level in the lattice.
+///
+/// Ordered from widest to narrowest for the named formats; custom
+/// formats sit wherever their `(mantissa_bits, exp_bits)` pair puts
+/// them. `Double` and `Single` are the two classic levels; everything
+/// below `Single` is *reduced* and emulated in the single-precision
+/// slot (see the crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// IEEE binary64 (the baseline precision).
+    Double,
+    /// IEEE binary32.
+    Single,
+    /// IEEE binary16: 10 mantissa bits, 5 exponent bits.
+    Half,
+    /// bfloat16: 7 mantissa bits, 8 exponent bits.
+    Bf16,
+    /// A custom format embedding in binary32.
+    Custom {
+        /// Explicit mantissa bits (`<= 23`).
+        mantissa_bits: u8,
+        /// Exponent bits (`1..=8`).
+        exp_bits: u8,
+    },
+}
+
+impl Format {
+    /// Explicit mantissa bits of the format.
+    pub fn mantissa_bits(self) -> u32 {
+        match self {
+            Format::Double => 52,
+            Format::Single => 23,
+            Format::Half => 10,
+            Format::Bf16 => 7,
+            Format::Custom { mantissa_bits, .. } => mantissa_bits as u32,
+        }
+    }
+
+    /// Exponent bits of the format.
+    pub fn exp_bits(self) -> u32 {
+        match self {
+            Format::Double => 11,
+            Format::Single => 8,
+            Format::Half => 5,
+            Format::Bf16 => 8,
+            Format::Custom { exp_bits, .. } => exp_bits as u32,
+        }
+    }
+
+    /// Significand precision `p` (mantissa bits plus the implicit bit).
+    pub fn precision(self) -> u32 {
+        self.mantissa_bits() + 1
+    }
+
+    /// True for formats strictly below `Single` in the lattice — the
+    /// ones executed via quantizing emulation.
+    pub fn is_reduced(self) -> bool {
+        !matches!(self, Format::Double | Format::Single)
+    }
+
+    /// Validate the embedding constraint. Named formats are always
+    /// valid; `Custom` must satisfy `mantissa_bits <= 23` and
+    /// `exp_bits in 1..=8`.
+    pub fn validate(self) -> Result<(), FormatError> {
+        if let Format::Custom { mantissa_bits, exp_bits } = self {
+            if mantissa_bits > 23 {
+                return Err(FormatError::MantissaTooWide { mantissa_bits });
+            }
+            if !(1..=8).contains(&exp_bits) {
+                return Err(FormatError::ExponentOutOfRange { exp_bits });
+            }
+        }
+        Ok(())
+    }
+
+    /// Exponent bias: `2^(exp_bits-1) - 1`.
+    pub fn bias(self) -> i32 {
+        (1i32 << (self.exp_bits() - 1)) - 1
+    }
+
+    /// Largest normal exponent (the all-ones exponent encodes inf/NaN).
+    pub fn e_max(self) -> i32 {
+        self.bias()
+    }
+
+    /// Smallest normal exponent.
+    pub fn e_min(self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// Largest finite value: `(2 - 2^-mantissa_bits) * 2^e_max`.
+    pub fn max_finite(self) -> f64 {
+        if self == Format::Double {
+            return f64::MAX;
+        }
+        (2.0 - pow2(-(self.mantissa_bits() as i32))) * pow2(self.e_max())
+    }
+
+    /// Smallest positive normal value: `2^e_min`.
+    pub fn min_positive_normal(self) -> f64 {
+        if self == Format::Double {
+            return f64::MIN_POSITIVE;
+        }
+        pow2(self.e_min())
+    }
+
+    /// Smallest positive subnormal value: `2^(e_min - mantissa_bits)`.
+    pub fn min_positive_subnormal(self) -> f64 {
+        if self == Format::Double {
+            return pow2(-1074);
+        }
+        pow2(self.e_min() - self.mantissa_bits() as i32)
+    }
+
+    /// Quantize an `f32` bit pattern to this format, round to nearest
+    /// even, returning `f32` bits (the embedded representation).
+    ///
+    /// `Single` and `Double` are identities here: a single payload is
+    /// already exact, and a double is never carried as `f32` bits.
+    pub fn quantize_bits(self, bits: u32) -> u32 {
+        if self.is_reduced() {
+            fpvm::value::quantize_f32_bits(bits, self.mantissa_bits(), self.exp_bits())
+        } else {
+            bits
+        }
+    }
+
+    /// Quantize an `f32` value to this format (round to nearest even).
+    pub fn quantize(self, x: f32) -> f32 {
+        f32::from_bits(self.quantize_bits(x.to_bits()))
+    }
+
+    /// Canonical name: `double`, `single`, `half`, `bf16`, or
+    /// `m{mantissa_bits}e{exp_bits}` for custom formats.
+    pub fn name(self) -> String {
+        match self {
+            Format::Double => "double".to_string(),
+            Format::Single => "single".to_string(),
+            Format::Half => "half".to_string(),
+            Format::Bf16 => "bf16".to_string(),
+            Format::Custom { mantissa_bits, exp_bits } => format!("m{mantissa_bits}e{exp_bits}"),
+        }
+    }
+
+    /// Parse a format name as produced by [`Format::name`]. Custom
+    /// formats are validated against the embedding constraint.
+    pub fn parse(s: &str) -> Result<Format, FormatError> {
+        match s {
+            "double" => return Ok(Format::Double),
+            "single" => return Ok(Format::Single),
+            "half" => return Ok(Format::Half),
+            "bf16" => return Ok(Format::Bf16),
+            _ => {}
+        }
+        let body = s.strip_prefix('m').ok_or_else(|| FormatError::unknown(s))?;
+        let (m, e) = body.split_once('e').ok_or_else(|| FormatError::unknown(s))?;
+        let mantissa_bits: u8 = m.parse().map_err(|_| FormatError::unknown(s))?;
+        let exp_bits: u8 = e.parse().map_err(|_| FormatError::unknown(s))?;
+        let f = Format::Custom { mantissa_bits, exp_bits };
+        f.validate()?;
+        Ok(f)
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Why a format specification was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// `mantissa_bits > 23`: the format does not embed in binary32.
+    MantissaTooWide {
+        /// The offending width.
+        mantissa_bits: u8,
+    },
+    /// `exp_bits` outside `1..=8`: the format does not embed in binary32.
+    ExponentOutOfRange {
+        /// The offending width.
+        exp_bits: u8,
+    },
+    /// The string is not a recognized format name.
+    UnknownFormat {
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl FormatError {
+    fn unknown(s: &str) -> FormatError {
+        FormatError::UnknownFormat { token: s.to_string() }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::MantissaTooWide { mantissa_bits } => {
+                write!(f, "mantissa width {mantissa_bits} exceeds 23 (must embed in binary32)")
+            }
+            FormatError::ExponentOutOfRange { exp_bits } => {
+                write!(f, "exponent width {exp_bits} outside 1..=8 (must embed in binary32)")
+            }
+            FormatError::UnknownFormat { token } => {
+                write!(f, "unknown format {token:?} (expected double/single/half/bf16/m<M>e<E>)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Exact power of two as `f64`, valid for `-1074..=1023`.
+pub(crate) fn pow2(n: i32) -> f64 {
+    debug_assert!((-1074..=1023).contains(&n));
+    if n >= -1022 {
+        f64::from_bits(((n + 1023) as u64) << 52)
+    } else {
+        f64::from_bits(1u64 << (n + 1074))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_format_parameters_match_ieee() {
+        assert_eq!((Format::Half.mantissa_bits(), Format::Half.exp_bits()), (10, 5));
+        assert_eq!((Format::Bf16.mantissa_bits(), Format::Bf16.exp_bits()), (7, 8));
+        assert_eq!((Format::Single.mantissa_bits(), Format::Single.exp_bits()), (23, 8));
+        assert_eq!((Format::Double.mantissa_bits(), Format::Double.exp_bits()), (52, 11));
+        assert_eq!(Format::Half.max_finite(), 65504.0);
+        assert_eq!(Format::Half.min_positive_normal(), pow2(-14));
+        assert_eq!(Format::Half.min_positive_subnormal(), pow2(-24));
+        assert_eq!(Format::Bf16.e_max(), 127);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let fmts = [
+            Format::Double,
+            Format::Single,
+            Format::Half,
+            Format::Bf16,
+            Format::Custom { mantissa_bits: 3, exp_bits: 4 },
+            Format::Custom { mantissa_bits: 23, exp_bits: 1 },
+        ];
+        for f in fmts {
+            assert_eq!(Format::parse(&f.name()), Ok(f), "{f}");
+        }
+    }
+
+    #[test]
+    fn invalid_formats_are_rejected_by_name() {
+        assert!(matches!(Format::parse("quad"), Err(FormatError::UnknownFormat { .. })));
+        assert!(matches!(Format::parse("m24e8"), Err(FormatError::MantissaTooWide { .. })));
+        assert!(matches!(Format::parse("m5e9"), Err(FormatError::ExponentOutOfRange { .. })));
+        assert!(matches!(Format::parse("m5e0"), Err(FormatError::ExponentOutOfRange { .. })));
+        assert!(matches!(Format::parse("m5"), Err(FormatError::UnknownFormat { .. })));
+        assert!(matches!(Format::parse(""), Err(FormatError::UnknownFormat { .. })));
+    }
+
+    #[test]
+    fn quantize_half_known_values() {
+        let h = Format::Half;
+        assert_eq!(h.quantize(1.0), 1.0);
+        // 1 + 2^-11 is exactly between 1 and 1 + 2^-10: ties to even (1.0).
+        assert_eq!(h.quantize(1.0 + pow2(-11) as f32), 1.0);
+        // Just above the tie rounds up.
+        assert_eq!(h.quantize(1.0 + pow2(-11) as f32 * 1.5), 1.0 + pow2(-10) as f32);
+        // Half overflow threshold is 65520; below it clamps to 65504.
+        assert_eq!(h.quantize(65519.0), 65504.0);
+        assert_eq!(h.quantize(65520.0), f32::INFINITY);
+        assert_eq!(h.quantize(-65520.0), f32::NEG_INFINITY);
+        // Subnormal granularity 2^-24.
+        assert_eq!(h.quantize(pow2(-24) as f32), pow2(-24) as f32);
+        assert_eq!(h.quantize(pow2(-26) as f32), 0.0);
+        assert!(h.quantize(-0.0).is_sign_negative());
+        assert!(h.quantize(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn quantize_bf16_truncates_mantissa() {
+        let b = Format::Bf16;
+        // bf16 keeps the top 8 significand bits of the f32.
+        let x = f32::from_bits(0x3F80_0001); // 1 + 2^-23
+        assert_eq!(b.quantize(x), 1.0);
+        // bf16 shares f32's exponent range: huge values stay finite.
+        // 3.0e38 = 1.76323... × 2^127 rounds to (1 + 98/128) × 2^127.
+        assert_eq!(b.quantize(3.0e38).to_bits(), (254u32 << 23) | (98 << 16));
+        assert!(b.quantize(f32::MAX).is_infinite());
+    }
+
+    #[test]
+    fn single_and_double_are_identities() {
+        for bits in [0u32, 0x3F80_0000, 0x7F7F_FFFF, 0x8000_0001, 0x7FC0_0000] {
+            assert_eq!(Format::Single.quantize_bits(bits), bits);
+            assert_eq!(Format::Double.quantize_bits(bits), bits);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Reference quantizer built on exact grid arithmetic.
+//!
+//! This is a deliberately *different algorithm* from the bit-twiddling
+//! fast path in `fpvm::value::quantize_f32_bits`: instead of shifting
+//! and rounding significand bits, it scales the value onto the target
+//! format's representable grid in `f64` and picks the nearer neighbor
+//! (ties to even). Every intermediate operation is exact — power-of-two
+//! scaling, `floor`, and small-integer products introduce no rounding —
+//! so the result is the true round-to-nearest-even image of the input.
+//! The differential property tests pit the two implementations against
+//! each other over random bit patterns and formats.
+
+use crate::pow2;
+
+/// Reference quantization of an `f32` bit pattern to the format with
+/// `mant_bits` explicit mantissa bits and `exp_bits` exponent bits,
+/// round to nearest even, returned as `f32` bits.
+///
+/// Mirrors the contract of [`fpvm::value::quantize_f32_bits`]: NaNs pass
+/// through with payload intact, infinities are representable in every
+/// format, overflow rounds to infinity, and values below half the
+/// smallest subnormal round to signed zero.
+pub fn quantize_f32_ref(bits: u32, mant_bits: u32, exp_bits: u32) -> u32 {
+    let x = f32::from_bits(bits);
+    if x.is_nan() {
+        return bits;
+    }
+    let sign = bits & 0x8000_0000;
+    if x.is_infinite() {
+        return bits;
+    }
+    // Every f32 is exact in f64; quantize the exact value.
+    quantize_abs(x.abs() as f64, mant_bits, exp_bits, sign)
+}
+
+/// Reference quantization of a finite `f64` *directly* to the target
+/// format (no intermediate binary32 step), returned as `f32` bits.
+///
+/// Used to check the no-double-rounding property: for half and bfloat16
+/// (`2p + 2 <= 24`), rounding a double through binary32 and then to the
+/// format must equal this direct rounding.
+///
+/// # Panics
+/// Panics on NaN or infinite input — callers compare finite values.
+pub fn quantize_f64_ref(x: f64, mant_bits: u32, exp_bits: u32) -> u32 {
+    assert!(x.is_finite(), "quantize_f64_ref takes finite inputs");
+    let sign = if x.is_sign_negative() { 0x8000_0000 } else { 0 };
+    quantize_abs(x.abs(), mant_bits, exp_bits, sign)
+}
+
+/// Quantize a nonnegative finite `a` onto the format grid and attach
+/// `sign`. `a` must be exactly representable in `f64` (always true for
+/// our callers).
+fn quantize_abs(a: f64, mant_bits: u32, exp_bits: u32, sign: u32) -> u32 {
+    assert!(mant_bits <= 23 && (1..=8).contains(&exp_bits));
+    if a == 0.0 {
+        return sign;
+    }
+    let bias = (1i32 << (exp_bits - 1)) - 1;
+    let e_min = 1 - bias;
+    let e_max = bias;
+    // Binade of `a` (exact: a is a normal, nonzero f64 here; the
+    // smallest input we ever see is 2^-1074 and the grid clamps below).
+    let e = ((a.to_bits() >> 52) & 0x7FF) as i32 - 1023;
+    let e = if e == -1023 {
+        // f64-subnormal input: far below every representable grid point
+        // of an embeddable format; treat as binade of the smallest
+        // subnormal minus enough to round to zero.
+        return sign;
+    } else {
+        e
+    };
+    // Grid spacing at this magnitude: 2^(e - mant_bits) in the normal
+    // range, constant 2^(e_min - mant_bits) below it.
+    let ulp_exp = e.max(e_min) - mant_bits as i32;
+    if ulp_exp - 1 > e {
+        // `a` is below half the smallest grid step: rounds to zero
+        // without entering the scaled path (the scale factor could
+        // underflow f64 otherwise).
+        return sign;
+    }
+    let ulp = pow2(ulp_exp);
+    // Exact: power-of-two scaling of an f64.
+    let q = a / ulp;
+    let lo = q.floor();
+    let hi = lo + 1.0;
+    let chosen = if q == lo {
+        lo
+    } else {
+        let dl = q - lo; // exact: both operands on a fine common grid
+        let dh = hi - q;
+        if dl < dh {
+            lo
+        } else if dh < dl {
+            hi
+        } else if (lo as u64).is_multiple_of(2) {
+            lo
+        } else {
+            hi
+        }
+    };
+    let r = chosen * ulp; // exact: small integer times power of two
+    if r == 0.0 {
+        return sign;
+    }
+    let max_finite = (2.0 - pow2(-(mant_bits as i32))) * pow2(e_max);
+    if r > max_finite {
+        return sign | 0x7F80_0000;
+    }
+    // r is representable in f32 by construction (it is a grid point of
+    // a format embedded in binary32), so this conversion is exact.
+    sign | (r as f32).to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_fast_path_on_known_values() {
+        let cases: &[(f32, u32, u32)] = &[
+            (1.0, 10, 5),
+            (1.000_976_6, 10, 5), // 1 + 2^-10, exactly representable in half
+            (65519.0, 10, 5),
+            (65520.0, 10, 5),
+            (1.5e-7, 10, 5),
+            (3.0e38, 7, 8),
+            (-2.5, 7, 8),
+            (0.1, 3, 4),
+            (-0.0, 10, 5),
+            (f32::INFINITY, 7, 8),
+        ];
+        for &(x, m, e) in cases {
+            assert_eq!(
+                quantize_f32_ref(x.to_bits(), m, e),
+                fpvm::value::quantize_f32_bits(x.to_bits(), m, e),
+                "x={x} m={m} e={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_payloads_pass_through() {
+        for bits in [0x7FC0_0000u32, 0x7F80_0001, 0xFFC1_2345] {
+            assert_eq!(quantize_f32_ref(bits, 10, 5), bits);
+        }
+    }
+
+    #[test]
+    fn direct_f64_rounding_matches_known_half_values() {
+        // 65519.999 is below the 65520 overflow threshold.
+        assert_eq!(quantize_f64_ref(65519.999, 10, 5), 65504.0f32.to_bits());
+        assert_eq!(quantize_f64_ref(65520.0, 10, 5), f32::INFINITY.to_bits());
+        // Exactly half of the smallest subnormal ties to even zero.
+        assert_eq!(quantize_f64_ref(pow2(-25), 10, 5), 0);
+        assert_eq!(quantize_f64_ref(-pow2(-25), 10, 5), 0x8000_0000);
+        // Just above it rounds to the smallest subnormal.
+        assert_eq!(quantize_f64_ref(pow2(-25) * 1.25, 10, 5), (pow2(-24) as f32).to_bits());
+    }
+
+    #[test]
+    fn tiny_f64_inputs_round_to_zero() {
+        assert_eq!(quantize_f64_ref(f64::from_bits(1), 10, 5), 0);
+        assert_eq!(quantize_f64_ref(5e-324, 23, 8), 0);
+    }
+}

@@ -288,12 +288,14 @@ impl Evaluator for VmEvaluator<'_> {
 ///
 /// Soundness: within one search every trial shares the same base config,
 /// so `Ignore` flags (and hence the candidate set) are constant; two
-/// configs with equal effective-`Single` sets produce the same rewritten
-/// program and therefore the same verdict.
+/// configs with equal effective replacement maps — the same instructions
+/// at the same formats (the key packs `(insn, mantissa, exponent)`, see
+/// [`Config::replacement_key`]) — produce the same rewritten program and
+/// therefore the same verdict.
 pub struct CachedEvaluator<'a> {
     inner: &'a dyn Evaluator,
     tree: &'a StructureTree,
-    cache: Mutex<HashMap<Vec<u32>, EvalOutcome>>,
+    cache: Mutex<HashMap<Vec<u64>, EvalOutcome>>,
     hits: AtomicUsize,
 }
 
@@ -325,8 +327,7 @@ impl Evaluator for CachedEvaluator<'_> {
         if ctl.fuel_override.is_some() {
             return self.inner.evaluate_run(cfg, ctl);
         }
-        let mut key: Vec<u32> = cfg.replaced_insns(self.tree).into_iter().map(|i| i.0).collect();
-        key.sort_unstable();
+        let key = cfg.replacement_key(self.tree);
         if let Some(&v) = self.cache.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return EvalOutcome { cache_hit: true, ..v };

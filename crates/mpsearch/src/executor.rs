@@ -198,7 +198,7 @@ pub struct Executor<'a> {
     crashes: AtomicUsize,
     retries: AtomicUsize,
     quarantined: AtomicUsize,
-    quarantine: Mutex<HashSet<Vec<u32>>>,
+    quarantine: Mutex<HashSet<Vec<u64>>>,
 }
 
 impl<'a> Executor<'a> {
@@ -257,10 +257,10 @@ impl<'a> Executor<'a> {
     /// `label` is a human-readable tag for the configuration (its
     /// structural node), used only for events.
     pub fn run(&self, cfg: &Config, label: &str) -> Verdict {
-        let key: Vec<u32> = if self.policy.quarantine_after > 0 {
-            let mut k: Vec<u32> = cfg.replaced_insns(self.tree).into_iter().map(|i| i.0).collect();
-            k.sort_unstable();
-            k
+        // Keyed by the format-aware replacement map, so the same insn set
+        // at different lattice levels is quarantined independently.
+        let key: Vec<u64> = if self.policy.quarantine_after > 0 {
+            cfg.replacement_key(self.tree)
         } else {
             Vec::new()
         };

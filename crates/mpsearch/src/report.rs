@@ -1,6 +1,6 @@
 //! Search results, in the shape of the paper's Fig. 10 rows.
 
-use mpconfig::{Config, NodeRef};
+use mpconfig::{Config, Flag, NodeRef, StructureTree};
 use std::time::Duration;
 
 /// A structural unit that individually passed verification when replaced
@@ -60,6 +60,10 @@ pub struct SearchReport {
     /// Work items skipped without evaluation because their shadow-run
     /// error already exceeded the verification threshold.
     pub pruned_by_shadow: usize,
+    /// Reduced-format trials refused without evaluation because the
+    /// observed operand range cannot survive the target format
+    /// (`mpfmt::guard`).
+    pub guard_refused: usize,
 }
 
 impl SearchReport {
@@ -115,6 +119,39 @@ impl SearchReport {
         }
         format!("{:<8} shadow-pruned: {:>4}", name, self.pruned_by_shadow)
     }
+
+    /// One-line summary of range-guard activity. Empty when no trial
+    /// was refused, so callers can print it unconditionally.
+    pub fn guard_note(&self, name: &str) -> String {
+        if self.guard_refused == 0 {
+            return String::new();
+        }
+        format!("{:<8} guard-refused: {:>4}", name, self.guard_refused)
+    }
+
+    /// The precision dimension of the final configuration: how many
+    /// candidate instructions landed at each lattice level, as
+    /// `(flag token, count)` rows ordered widest format first
+    /// (`d`, `s`, `h`/`b`/custom, `i`). Levels with no instructions are
+    /// omitted.
+    pub fn format_breakdown(&self, tree: &StructureTree) -> Vec<(String, usize)> {
+        let mut counts: Vec<(Flag, usize)> = Vec::new();
+        for id in tree.all_insns() {
+            let fl = self.final_config.effective(tree, id);
+            match counts.iter_mut().find(|(f, _)| *f == fl) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((fl, 1)),
+            }
+        }
+        // Widest mantissa first; Ignore (no mantissa, not a replacement)
+        // sorts last, Double (full width) first.
+        counts.sort_by_key(|(f, _)| match f {
+            Flag::Ignore => (2, 0u32),
+            Flag::Double => (0, 0),
+            f => (1, u32::MAX - f.mantissa_bits().unwrap_or(0)),
+        });
+        counts.into_iter().map(|(f, n)| (f.token(), n)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +176,7 @@ mod tests {
             retries: 0,
             quarantined: 0,
             pruned_by_shadow: 0,
+            guard_refused: 0,
         }
     }
 
@@ -200,5 +238,13 @@ mod tests {
         let mut r = report();
         r.pruned_by_shadow = 7;
         assert_eq!(r.shadow_note("ep.s"), "ep.s     shadow-pruned:    7");
+    }
+
+    #[test]
+    fn guard_note_is_empty_without_refusals() {
+        assert_eq!(report().guard_note("ep.s"), "");
+        let mut r = report();
+        r.guard_refused = 3;
+        assert_eq!(r.guard_note("ep.s"), "ep.s     guard-refused:    3");
     }
 }

@@ -8,10 +8,11 @@ use crate::report::{PassingUnit, SearchReport};
 use fpvm::isa::InsnId;
 use fpvm::Profile;
 use mpconfig::{Config, Flag, NodeRef, StructureTree};
+use mpfmt::guard::{check_demotion, op_class_of_disasm, OpClass};
 use mptrace::stream::{Progress, StreamSink};
 use mptrace::Tracer;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
@@ -74,6 +75,15 @@ pub struct SearchOptions {
     /// to 1 whenever [`SearchOptions::max_tests`] is set so the test
     /// budget stays exact.
     pub batch: usize,
+    /// The precision lattice: replacement levels to descend through, in
+    /// order of decreasing width. The default `[Single]` reproduces the
+    /// classic two-level (double/single) search exactly. With more
+    /// levels — e.g. `[Single, Half]` or `[Single, Bf16]` — a unit that
+    /// passes at level *k* is re-enqueued at level *k + 1*, so each unit
+    /// settles at the narrowest format that still verifies (demotion on
+    /// failure keeps the last passing level). Non-replacement flags are
+    /// ignored; an empty list is normalized to `[Single]`.
+    pub lattice: Vec<Flag>,
 }
 
 impl SearchOptions {
@@ -119,6 +129,7 @@ impl Default for SearchOptions {
             eval_cache: true,
             exec: ExecPolicy::default(),
             batch: 1,
+            lattice: vec![Flag::Single],
         }
     }
 }
@@ -182,13 +193,17 @@ pub struct ShadowOracle<'a> {
 }
 
 /// A work item: a structure node, or a binary-split partition of some
-/// node's children.
+/// node's children, tried at one level of the precision lattice.
 #[derive(Debug, Clone)]
 struct Item {
     node: NodeRef,
     /// For partitions: the explicit child subset being tested.
     subset: Option<Vec<NodeRef>>,
     insns: Vec<InsnId>,
+    /// Index into the sanitized lattice: the replacement flag this trial
+    /// applies to `insns`. Roots start at 0; passing items re-enter the
+    /// queue at `level + 1` until the lattice bottoms out.
+    level: usize,
 }
 
 struct QEntry {
@@ -219,6 +234,7 @@ struct Shared {
     in_flight: usize,
     tested: usize,
     pruned: usize,
+    guard_refused: usize,
     next_seq: u64,
     passing: Vec<Item>,
     stopped: bool,
@@ -229,6 +245,13 @@ struct Ctx<'a> {
     base: &'a Config,
     profile: Option<&'a Profile>,
     opts: &'a SearchOptions,
+    /// Sanitized [`SearchOptions::lattice`]: replacement flags only,
+    /// never empty.
+    lattice: Vec<Flag>,
+    /// Range-guard classes per candidate instruction, classified from
+    /// the tree's disassembly. Empty unless the lattice has reduced
+    /// levels and a shadow oracle (the range source) is attached.
+    classes: HashMap<u32, OpClass>,
     events: Option<&'a EventLog>,
     shadow: Option<ShadowOracle<'a>>,
     tracer: Option<&'a Tracer>,
@@ -239,12 +262,13 @@ struct Ctx<'a> {
 /// lock. `done` counts pruned items too: they consumed queue work even
 /// though no evaluation ran.
 fn progress_of(s: &Shared, phase: &str) -> Progress {
+    let done = s.tested + s.pruned + s.guard_refused;
     Progress {
         phase: phase.into(),
         queue_depth: s.queue.len() as u64,
         in_flight: s.in_flight as u64,
-        done: (s.tested + s.pruned) as u64,
-        total_estimate: (s.tested + s.pruned + s.queue.len() + s.in_flight) as u64,
+        done: done as u64,
+        total_estimate: (done + s.queue.len() + s.in_flight) as u64,
     }
 }
 
@@ -278,12 +302,24 @@ impl Ctx<'_> {
         }
     }
 
+    /// The replacement flag at one lattice level (clamped to the last
+    /// level, though the search never enqueues beyond the lattice).
+    fn flag_at(&self, level: usize) -> Flag {
+        self.lattice[level.min(self.lattice.len() - 1)]
+    }
+
     /// Human label for a work item (node label, plus the partition size
-    /// for binary-split subsets).
+    /// for binary-split subsets, plus the lattice level below the
+    /// classic single).
     fn label_of(&self, item: &Item) -> String {
-        match &item.subset {
+        let base = match &item.subset {
             Some(sub) => format!("{} [{} children]", self.tree.label(item.node), sub.len()),
             None => self.tree.label(item.node),
+        };
+        if item.level == 0 {
+            base
+        } else {
+            format!("{} @{}", base, self.flag_at(item.level).token())
         }
     }
 
@@ -308,7 +344,11 @@ impl Ctx<'_> {
         s.queue.push(QEntry { priority, seq: Reverse(seq), item });
     }
 
-    /// Expand a failed item into finer-grained work.
+    /// Expand a failed item into finer-grained work at the same lattice
+    /// level: a unit that fails at level *k* is refined structurally, so
+    /// smaller pieces can still reach level *k* even though the whole
+    /// could not (the pieces already passed level *k − 1* as part of a
+    /// passing ancestor, which stays in `passing`).
     fn expand(&self, s: &mut Shared, item: &Item) {
         match &item.subset {
             Some(children) if children.len() > 1 => {
@@ -319,20 +359,20 @@ impl Ctx<'_> {
                         half.iter().flat_map(|&c| self.live_insns(c)).collect();
                     let subset = if half.len() > 1 { Some(half.to_vec()) } else { None };
                     let node = if half.len() == 1 { half[0] } else { item.node };
-                    self.push(s, Item { node, subset, insns });
+                    self.push(s, Item { node, subset, insns, level: item.level });
                 }
             }
             Some(children) => {
                 // singleton partition == the child node itself; its test
                 // just failed, so expand the child directly.
                 debug_assert_eq!(children.len(), 1);
-                self.expand_node(s, children[0]);
+                self.expand_node(s, children[0], item.level);
             }
-            None => self.expand_node(s, item.node),
+            None => self.expand_node(s, item.node, item.level),
         }
     }
 
-    fn expand_node(&self, s: &mut Shared, node: NodeRef) {
+    fn expand_node(&self, s: &mut Shared, node: NodeRef, level: usize) {
         if node.depth() >= self.opts.stop_depth.max_depth() {
             return; // leaf at the configured granularity: stays double
         }
@@ -351,22 +391,62 @@ impl Ctx<'_> {
                 let insns: Vec<InsnId> = half.iter().flat_map(|&c| self.live_insns(c)).collect();
                 let subset = if half.len() > 1 { Some(half.to_vec()) } else { None };
                 let n = if half.len() == 1 { half[0] } else { node };
-                self.push(s, Item { node: n, subset, insns });
+                self.push(s, Item { node: n, subset, insns, level });
             }
         } else {
             for c in children {
                 let insns = self.live_insns(c);
-                self.push(s, Item { node: c, subset: None, insns });
+                self.push(s, Item { node: c, subset: None, insns, level });
             }
         }
     }
 
-    fn trial_config(&self, insns: &[InsnId]) -> Config {
+    fn trial_config(&self, insns: &[InsnId], level: usize) -> Config {
         let mut cfg = self.base.clone();
+        let flag = self.flag_at(level);
         for &i in insns {
-            cfg.set_insn(i, Flag::Single);
+            cfg.set_insn(i, flag);
         }
         cfg
+    }
+
+    /// Compose the final configuration from passing units: each
+    /// instruction lands at the *narrowest* format it passed at (the
+    /// same unit re-passes at every shallower level first, so every
+    /// covered instruction has a level-0 entry too). Returns the config
+    /// and the set of replaced instructions.
+    fn union_config(&self, items: &[Item]) -> (Config, BTreeSet<InsnId>) {
+        let mut best: BTreeMap<InsnId, Flag> = BTreeMap::new();
+        for it in items {
+            let fl = self.flag_at(it.level);
+            for &i in &it.insns {
+                let e = best.entry(i).or_insert(fl);
+                if fl.mantissa_bits().unwrap_or(u32::MAX) < e.mantissa_bits().unwrap_or(u32::MAX) {
+                    *e = fl;
+                }
+            }
+        }
+        let replaced: BTreeSet<InsnId> = best.keys().copied().collect();
+        let mut cfg = self.base.clone();
+        for (i, fl) in best {
+            cfg.set_insn(i, fl);
+        }
+        (cfg, replaced)
+    }
+
+    /// Range-guard check for one item: `Some(insn)` when any covered
+    /// instruction's observed operand envelope cannot survive the
+    /// item's target format. Only reduced formats are guarded, and only
+    /// when a shadow profile (the range source) is attached — otherwise
+    /// demotions keep the classic try-it-and-verify behavior.
+    fn guard_refusal(&self, item: &Item) -> Option<InsnId> {
+        let oracle = self.shadow?;
+        let fmt = self.flag_at(item.level).format().filter(|f| f.is_reduced())?;
+        item.insns.iter().copied().find(|&i| {
+            let class = self.classes.get(&i.0).copied().unwrap_or(OpClass::Other);
+            let obs = oracle.profile.range_over([i]);
+            check_demotion(fmt, class, &obs).is_err()
+        })
     }
 }
 
@@ -402,11 +482,35 @@ pub fn search_observed(
     hooks: &SearchHooks<'_>,
 ) -> SearchReport {
     let start = Instant::now();
+    // Sanitize the lattice: replacement flags only, never empty. The
+    // default `[Single]` reproduces the classic two-level search.
+    let mut lattice: Vec<Flag> =
+        opts.lattice.iter().copied().filter(|f| f.is_replacement()).collect();
+    if lattice.is_empty() {
+        lattice.push(Flag::Single);
+    }
+    // Range-guard classes are only needed when a reduced level can
+    // actually be tried and a shadow profile supplies observed ranges.
+    let guards_armed = hooks.shadow.is_some()
+        && lattice.iter().any(|f| f.format().is_some_and(|fm| fm.is_reduced()));
+    let classes: HashMap<u32, OpClass> = if guards_armed {
+        tree.modules
+            .iter()
+            .flat_map(|m| m.funcs.iter())
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| b.insns.iter())
+            .map(|e| (e.id.0, op_class_of_disasm(&e.disasm)))
+            .collect()
+    } else {
+        HashMap::new()
+    };
     let ctx = Ctx {
         tree,
         base,
         profile,
         opts,
+        lattice,
+        classes,
         events: hooks.events,
         shadow: hooks.shadow,
         tracer: hooks.tracer,
@@ -444,6 +548,7 @@ pub fn search_observed(
         in_flight: 0,
         tested: 0,
         pruned: 0,
+        guard_refused: 0,
         next_seq: 0,
         passing: Vec::new(),
         stopped: false,
@@ -454,7 +559,7 @@ pub fn search_observed(
         let mut s = shared.lock().unwrap();
         for root in tree.roots() {
             let insns = ctx.live_insns(root);
-            ctx.push(&mut s, Item { node: root, subset: None, insns });
+            ctx.push(&mut s, Item { node: root, subset: None, insns, level: 0 });
         }
         if let Some(sink) = ctx.stream {
             sink.force(&progress_of(&s, "bfs"));
@@ -546,11 +651,38 @@ pub fn search_observed(
                     }
                 }
             }
-            let cfg = ctx.trial_config(&item.insns);
+            // Range guards: a reduced-format trial whose observed
+            // operand envelope cannot survive the target format is
+            // refused without evaluation and refined structurally, like
+            // a failed test.
+            if ctx.guard_refusal(&item).is_some() {
+                if let Some(t) = ctx.tracer {
+                    t.incr("search.guard_refused", 1);
+                }
+                let mut s = shared.lock().unwrap();
+                s.guard_refused += 1;
+                ctx.expand(&mut s, &item);
+                s.in_flight -= 1;
+                let prog = ctx.stream.map(|_| progress_of(&s, "bfs"));
+                cond.notify_all();
+                drop(s);
+                if let (Some(sink), Some(p)) = (ctx.stream, prog) {
+                    sink.tick(&p);
+                }
+                continue 'items;
+            }
+            let cfg = ctx.trial_config(&item.insns, item.level);
             let pass = exec.run(&cfg, &ctx.label_of(&item)) == Verdict::Pass;
             let mut s = shared.lock().unwrap();
             s.tested += 1;
             if pass {
+                // Lattice descent: a passing unit re-enters the queue at
+                // the next (narrower) level; the pass itself is kept so
+                // the unit settles at its deepest passing format.
+                if item.level + 1 < ctx.lattice.len() {
+                    let deeper = Item { level: item.level + 1, ..item.clone() };
+                    ctx.push(&mut s, deeper);
+                }
                 s.passing.push(item);
             } else {
                 ctx.expand(&mut s, &item);
@@ -598,13 +730,9 @@ pub fn search_observed(
     }
 
     // Compose the final configuration: the union of every individually
-    // passing unit (§2.2), then test it once more.
-    let mut replaced: BTreeSet<InsnId> = BTreeSet::new();
-    for item in &s.passing {
-        replaced.extend(item.insns.iter().copied());
-    }
-
-    let mut final_config = ctx.trial_config(&replaced.iter().copied().collect::<Vec<_>>());
+    // passing unit (§2.2), each instruction at the narrowest format it
+    // passed at, then test it once more.
+    let (mut final_config, mut replaced) = ctx.union_config(&s.passing);
     let mut final_pass = replaced.is_empty() || exec.run(&final_config, "union") == Verdict::Pass;
     let mut tested_extra = 0usize;
     drop(union_span);
@@ -637,9 +765,8 @@ pub fn search_observed(
         });
         while !final_pass && !passing_units.is_empty() {
             passing_units.remove(0);
-            let kept: BTreeSet<InsnId> =
-                passing_units.iter().flat_map(|it| it.insns.iter().copied()).collect();
-            final_config = ctx.trial_config(&kept.iter().copied().collect::<Vec<_>>());
+            let (cfg, kept) = ctx.union_config(&passing_units);
+            final_config = cfg;
             final_pass =
                 kept.is_empty() || exec.run(&final_config, "second-phase") == Verdict::Pass;
             tested_extra += 1;
@@ -696,6 +823,7 @@ pub fn search_observed(
         retries: counters.retries,
         quarantined: counters.quarantined,
         pruned_by_shadow: s.pruned,
+        guard_refused: s.guard_refused,
     };
     if let Some(log) = hooks.events {
         log.emit(Event::SearchFinished {
@@ -1109,6 +1237,145 @@ mod tests {
         seqs.sort_unstable();
         seqs.dedup();
         assert_eq!(seqs, sorted);
+    }
+
+    /// An evaluator over mantissa widths: a config passes iff every
+    /// instruction's effective format keeps at least its required
+    /// mantissa bits (unreplaced doubles count as 52).
+    struct MantissaEval {
+        tree: StructureTreeBox,
+        min_mant: std::collections::HashMap<u32, u32>,
+    }
+
+    impl Evaluator for MantissaEval {
+        fn evaluate(&self, cfg: &Config) -> bool {
+            self.tree.tree.all_insns().into_iter().all(|i| {
+                let mant = cfg.effective(&self.tree.tree, i).mantissa_bits().unwrap_or(52);
+                mant >= self.min_mant.get(&i.0).copied().unwrap_or(0)
+            })
+        }
+    }
+
+    #[test]
+    fn lattice_descends_each_unit_to_its_narrowest_passing_format() {
+        // f0 tolerates bf16 (7 mantissa bits), f1 only half, f2 only
+        // single: with the lattice [Single, Half, Bf16] each function
+        // must settle exactly there.
+        let tb = make_prog(3, 4);
+        let ids = tb.tree.all_insns();
+        let mut min_mant = std::collections::HashMap::new();
+        for &i in &ids[..4] {
+            min_mant.insert(i.0, 7);
+        }
+        for &i in &ids[4..8] {
+            min_mant.insert(i.0, 10);
+        }
+        for &i in &ids[8..] {
+            min_mant.insert(i.0, 23);
+        }
+        let eval = MantissaEval { tree: make_prog(3, 4), min_mant };
+        let opts =
+            SearchOptions { lattice: vec![Flag::Single, Flag::Half, Flag::Bf16], ..opts_serial() };
+        let r = search(&tb.tree, &Config::new(), None, &eval, &opts);
+        assert!(r.final_pass);
+        assert_eq!(r.static_pct, 100.0);
+        for &i in &ids[..4] {
+            assert_eq!(r.final_config.effective(&tb.tree, i), Flag::Bf16);
+        }
+        for &i in &ids[4..8] {
+            assert_eq!(r.final_config.effective(&tb.tree, i), Flag::Half);
+        }
+        for &i in &ids[8..] {
+            assert_eq!(r.final_config.effective(&tb.tree, i), Flag::Single);
+        }
+        // the precision dimension of the report reflects the same split
+        let breakdown = r.format_breakdown(&tb.tree);
+        assert_eq!(
+            breakdown,
+            vec![("s".to_string(), 4), ("h".to_string(), 4), ("b".to_string(), 4)]
+        );
+    }
+
+    #[test]
+    fn lattice_failure_demotes_to_the_last_passing_level() {
+        // Nothing tolerates half: a [Single, Half] lattice must land
+        // everything at Single and still pass, costing extra tests for
+        // the refused descents.
+        let tb = make_prog(2, 4);
+        let ids = tb.tree.all_insns();
+        let min_mant = ids.iter().map(|i| (i.0, 23)).collect();
+        let eval = MantissaEval { tree: make_prog(2, 4), min_mant };
+        let classic = search(
+            &tb.tree,
+            &Config::new(),
+            None,
+            &MantissaEval {
+                tree: make_prog(2, 4),
+                min_mant: ids.iter().map(|i| (i.0, 23)).collect(),
+            },
+            &opts_serial(),
+        );
+        let opts = SearchOptions { lattice: vec![Flag::Single, Flag::Half], ..opts_serial() };
+        let r = search(&tb.tree, &Config::new(), None, &eval, &opts);
+        assert!(r.final_pass);
+        for &i in &ids {
+            assert_eq!(r.final_config.effective(&tb.tree, i), Flag::Single);
+        }
+        assert_eq!(
+            classic.final_config.replaced_insns(&tb.tree),
+            r.final_config.replaced_insns(&tb.tree)
+        );
+        assert!(r.configs_tested > classic.configs_tested, "descent attempts must be tested");
+    }
+
+    #[test]
+    fn empty_lattice_is_normalized_to_classic_single() {
+        let tb = make_prog(2, 4);
+        let eval = SetEval { tree: make_prog(2, 4), sensitive: vec![], calls: AtomicUsize::new(0) };
+        let opts = SearchOptions { lattice: vec![], ..opts_serial() };
+        let r = search(&tb.tree, &Config::new(), None, &eval, &opts);
+        assert!(r.final_pass);
+        assert_eq!(r.configs_tested, 2); // one module test + one union test
+        for i in tb.tree.all_insns() {
+            assert_eq!(r.final_config.effective(&tb.tree, i), Flag::Single);
+        }
+    }
+
+    #[test]
+    fn range_guards_block_unsurvivable_demotions() {
+        use mpshadow::{InsnSensitivity, SensitivityProfile};
+        // Every instruction verifies at any precision (SetEval with no
+        // sensitive set), but instruction 0's observed magnitudes exceed
+        // half's finite range — the guard must keep it at Single while
+        // its sibling descends.
+        let tb = make_prog(1, 2);
+        let ids = tb.tree.all_insns();
+        let mut profile = SensitivityProfile::default();
+        profile.insns.insert(
+            ids[0].0,
+            InsnSensitivity {
+                count: 10,
+                max_abs: 1.0e6, // > 65504, half's max finite
+                min_abs: 1.0,
+                ..Default::default()
+            },
+        );
+        let eval = SetEval { tree: make_prog(1, 2), sensitive: vec![], calls: AtomicUsize::new(0) };
+        let hooks = SearchHooks {
+            shadow: Some(ShadowOracle {
+                profile: &profile,
+                prioritize: false,
+                prune_threshold: None,
+            }),
+            ..Default::default()
+        };
+        let opts = SearchOptions { lattice: vec![Flag::Single, Flag::Half], ..opts_serial() };
+        let r = search_observed(&tb.tree, &Config::new(), None, &eval, &opts, &hooks);
+        assert!(r.final_pass);
+        assert_eq!(r.final_config.effective(&tb.tree, ids[0]), Flag::Single);
+        assert_eq!(r.final_config.effective(&tb.tree, ids[1]), Flag::Half);
+        assert!(r.guard_refused > 0, "the blocked descent must be counted");
+        assert!(!r.guard_note("m").is_empty());
     }
 
     #[test]

@@ -171,7 +171,10 @@ impl ShadowEngine {
     /// `local` the result of the same operation on freshly-truncated
     /// primary operands (isolating this instruction's own contribution),
     /// or `None` when an operand was outside the `f32` range and the
-    /// local model therefore has nothing valid to say.
+    /// local model therefore has nothing valid to say. `range` holds the
+    /// primary operands and result whose magnitudes feed the
+    /// per-instruction range envelope (the input to `mpfmt`'s demotion
+    /// guards).
     fn record(
         &mut self,
         insn: InsnId,
@@ -179,6 +182,7 @@ impl ShadowEngine {
         shadow: f32,
         local: Option<f32>,
         cancel: bool,
+        range: &[f64],
     ) {
         let s = &mut self.stats[insn.0 as usize];
         s.count += 1;
@@ -189,6 +193,9 @@ impl ShadowEngine {
             s.max_local = s.max_local.max(divergence(local as f64, primary));
         }
         s.cancels += cancel as u64;
+        for &x in range {
+            s.observe_range(x);
+        }
     }
 }
 
@@ -205,17 +212,24 @@ impl ExecObserver for ShadowEngine {
                 let lr =
                     (faithful(a) && faithful(b)).then(|| Vm::fp_alu_f32(op, a as f32, b as f32));
                 let cancel = matches!(op, FpAluOp::Add | FpAluOp::Sub) && cancellation(a, b, r);
-                self.record(insn, r, sr, lr, cancel);
+                self.record(insn, r, sr, lr, cancel, &[a, b, r]);
             }
             FpEvent::Sqrt64 { insn, dst, src, b, r } => {
                 let sr = self.operand(src, b).sqrt();
                 self.set_reg(dst, sr);
-                self.record(insn, r, sr, faithful(b).then(|| (b as f32).sqrt()), false);
+                self.record(insn, r, sr, faithful(b).then(|| (b as f32).sqrt()), false, &[b, r]);
             }
             FpEvent::Math64 { insn, fun, dst, src, b, r } => {
                 let sr = Vm::math_f32(fun, self.operand(src, b));
                 self.set_reg(dst, sr);
-                self.record(insn, r, sr, faithful(b).then(|| Vm::math_f32(fun, b as f32)), false);
+                self.record(
+                    insn,
+                    r,
+                    sr,
+                    faithful(b).then(|| Vm::math_f32(fun, b as f32)),
+                    false,
+                    &[b, r],
+                );
             }
             // Conversions seed the shadow exactly: the double result of a
             // widen is representable in f32, and an i64→f64 truncates the
@@ -277,6 +291,26 @@ mod tests {
         // clobber invalidates: next use re-seeds
         e.trace(&FpEvent::Clobber { loc: FpLocV::Reg(3), width: 4 });
         assert_eq!(e.operand(FpLocV::Reg(3), 2.0), 2.0f32);
+    }
+
+    #[test]
+    fn arith_events_feed_the_range_envelope() {
+        let mut e = ShadowEngine::new(2);
+        for (a, b) in [(3.0f64, 4.0f64), (0.5, 0.0), (-2.0e4, 1.0)] {
+            e.trace(&FpEvent::Arith64 {
+                insn: InsnId(1),
+                op: FpAluOp::Add,
+                dst: 0,
+                src: FpLocV::Reg(1),
+                a,
+                b,
+                r: a + b,
+            });
+        }
+        let p = e.into_profile();
+        let s = p.get(InsnId(1)).unwrap();
+        assert_eq!(s.max_abs, 2.0e4);
+        assert_eq!(s.min_abs, 0.5); // zero operand does not set the minimum
     }
 
     #[test]

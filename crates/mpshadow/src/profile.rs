@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::io::Write;
 
 /// Accumulated shadow-error statistics for one instruction.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InsnSensitivity {
     /// Times the instruction produced a shadowed result.
     pub count: u64,
@@ -32,6 +32,27 @@ pub struct InsnSensitivity {
     /// Catastrophic-cancellation events (additive exponent drop ≥ 24
     /// bits).
     pub cancels: u64,
+    /// Largest primary operand/result magnitude observed. Feeds the
+    /// per-format range guards (`mpfmt::guard`) that decide whether a
+    /// demotion below single can survive the format's dynamic range.
+    pub max_abs: f64,
+    /// Smallest *nonzero* primary operand/result magnitude observed;
+    /// `f64::INFINITY` when only zeros (or nothing) were seen.
+    pub min_abs: f64,
+}
+
+impl Default for InsnSensitivity {
+    fn default() -> Self {
+        InsnSensitivity {
+            count: 0,
+            sum_rel: 0.0,
+            max_rel: 0.0,
+            max_local: 0.0,
+            cancels: 0,
+            max_abs: 0.0,
+            min_abs: f64::INFINITY,
+        }
+    }
 }
 
 impl InsnSensitivity {
@@ -50,6 +71,23 @@ impl InsnSensitivity {
         self.max_rel = self.max_rel.max(other.max_rel);
         self.max_local = self.max_local.max(other.max_local);
         self.cancels += other.cancels;
+        self.max_abs = self.max_abs.max(other.max_abs);
+        self.min_abs = self.min_abs.min(other.min_abs);
+    }
+
+    /// Fold one primary magnitude into the range envelope (NaNs are
+    /// skipped; zeros count toward `max_abs` only).
+    pub fn observe_range(&mut self, x: f64) {
+        let a = x.abs();
+        if a.is_nan() {
+            return;
+        }
+        if a > self.max_abs {
+            self.max_abs = a;
+        }
+        if a > 0.0 && a < self.min_abs {
+            self.min_abs = a;
+        }
     }
 }
 
@@ -116,6 +154,20 @@ impl SensitivityProfile {
         ids.into_iter().filter_map(|i| self.insns.get(&i.0)).fold(0.0f64, |m, s| m.max(s.max_local))
     }
 
+    /// Observed magnitude envelope over a set of instructions, in the
+    /// shape the per-format range guards consume. Instructions with no
+    /// recorded statistics contribute nothing, so an unexecuted (or
+    /// unprofiled) set yields the default envelope — which admits every
+    /// demotion, preserving the try-it-and-verify behavior when no
+    /// shadow data exists.
+    pub fn range_over(&self, ids: impl IntoIterator<Item = InsnId>) -> mpfmt::guard::RangeObs {
+        let mut obs = mpfmt::guard::RangeObs::default();
+        for s in ids.into_iter().filter_map(|i| self.insns.get(&i.0)) {
+            obs.merge(&mpfmt::guard::RangeObs { max_abs: s.max_abs, min_abs: s.min_abs });
+        }
+        obs
+    }
+
     /// Aggregate statistics under one structure-tree node.
     pub fn aggregate_under(&self, tree: &StructureTree, node: NodeRef) -> InsnSensitivity {
         let mut agg = InsnSensitivity::default();
@@ -156,9 +208,16 @@ impl SensitivityProfile {
         ));
         for (id, s) in &self.insns {
             out.push_str(&format!(
-                "{{\"type\":\"insn\",\"id\":{},\"count\":{},\"sum_rel\":{:?},\"max_rel\":{:?},\"max_local\":{:?},\"cancels\":{}}}\n",
-                id, s.count, s.sum_rel, s.max_rel, s.max_local, s.cancels
+                "{{\"type\":\"insn\",\"id\":{},\"count\":{},\"sum_rel\":{:?},\"max_rel\":{:?},\"max_local\":{:?},\"cancels\":{},\"max_abs\":{:?}",
+                id, s.count, s.sum_rel, s.max_rel, s.max_local, s.cancels, s.max_abs
             ));
+            // An all-zero (or empty) envelope has an infinite min_abs,
+            // which JSON cannot express — omit the field and let the
+            // parser restore the infinity default.
+            if s.min_abs.is_finite() {
+                out.push_str(&format!(",\"min_abs\":{:?}", s.min_abs));
+            }
+            out.push_str("}\n");
         }
         out
     }
@@ -192,6 +251,10 @@ impl SensitivityProfile {
                     .and_then(Value::as_f64)
                     .ok_or_else(|| format!("missing field {k} in {line:?}"))
             };
+            // Range-envelope fields are optional: profiles written before
+            // the precision lattice lack them, and their defaults (empty
+            // envelope) admit every demotion.
+            let opt = |k: &str, d: f64| rec.get(k).and_then(Value::as_f64).unwrap_or(d);
             insns.insert(
                 field("id")? as u32,
                 InsnSensitivity {
@@ -200,6 +263,8 @@ impl SensitivityProfile {
                     max_rel: field("max_rel")?,
                     max_local: field("max_local")?,
                     cancels: field("cancels")? as u64,
+                    max_abs: opt("max_abs", 0.0),
+                    min_abs: opt("min_abs", f64::INFINITY),
                 },
             );
         }
@@ -275,6 +340,8 @@ mod tests {
                 max_rel: 3.0e-8,
                 max_local: 1.0e-8,
                 cancels: 0,
+                max_abs: 2.5e3,
+                min_abs: 0.125,
             },
         );
         insns.insert(
@@ -285,6 +352,9 @@ mod tests {
                 max_rel: f64::MAX,
                 max_local: 0.25,
                 cancels: 2,
+                // empty envelope: only zeros seen → min_abs stays infinite
+                max_abs: 0.0,
+                min_abs: f64::INFINITY,
             },
         );
         SensitivityProfile { insns }
@@ -345,5 +415,32 @@ mod tests {
         assert_eq!(p.max_rel_over([InsnId(3), InsnId(7)]), f64::MAX);
         assert_eq!(p.max_local_over([InsnId(3), InsnId(7)]), 0.25);
         assert_eq!(p.max_local_over([InsnId(99)]), 0.0);
+    }
+
+    #[test]
+    fn legacy_profiles_without_range_fields_still_parse() {
+        // A profile written before the precision lattice: no
+        // max_abs/min_abs fields. It must parse with the empty-envelope
+        // defaults, which admit every demotion.
+        let text = "{\"type\":\"shadow_profile\",\"version\":1,\"insns\":1}\n\
+                    {\"type\":\"insn\",\"id\":4,\"count\":9,\"sum_rel\":0.5,\
+                    \"max_rel\":0.25,\"max_local\":0.125,\"cancels\":1}\n";
+        let p = SensitivityProfile::parse(text).unwrap();
+        let s = p.get(InsnId(4)).unwrap();
+        assert_eq!(s.count, 9);
+        assert_eq!(s.max_abs, 0.0);
+        assert_eq!(s.min_abs, f64::INFINITY);
+        let obs = p.range_over([InsnId(4)]);
+        assert_eq!(obs, mpfmt::guard::RangeObs::default());
+    }
+
+    #[test]
+    fn range_over_merges_envelopes() {
+        let p = sample();
+        let obs = p.range_over([InsnId(3), InsnId(7), InsnId(99)]);
+        assert_eq!(obs.max_abs, 2.5e3);
+        assert_eq!(obs.min_abs, 0.125);
+        // missing instructions alone: the admit-everything default
+        assert_eq!(p.range_over([InsnId(99)]), mpfmt::guard::RangeObs::default());
     }
 }

@@ -56,6 +56,11 @@ pub struct RunManifest {
     /// identical by construction, but wall-clock figures are not
     /// comparable across backends.
     pub backend: String,
+    /// Precision lattice the search descended, as comma-joined flag
+    /// tokens (e.g. `"s,h,b"`). Empty means the classic two-level
+    /// double/single search — both in new classic runs and in manifests
+    /// written before the lattice existed.
+    pub lattice: String,
     /// FNV-1a hash of the final configuration text, hex.
     pub config_hash: String,
     /// Verification tolerance used.
@@ -91,6 +96,8 @@ impl RunManifest {
         esc(&mut s, &self.class);
         s.push_str(",\"backend\":");
         esc(&mut s, &self.backend);
+        s.push_str(",\"lattice\":");
+        esc(&mut s, &self.lattice);
         s.push_str(",\"config_hash\":");
         esc(&mut s, &self.config_hash);
         let _ = write!(s, ",\"tol\":{:?},\"threads\":{}", self.tol, self.threads);
@@ -185,6 +192,9 @@ impl RunManifest {
             class: st("class")?,
             // Absent in manifests written before the compiled backend.
             backend: st("backend").unwrap_or_default(),
+            // Absent in manifests written before the precision lattice;
+            // empty means the classic double/single search.
+            lattice: st("lattice").unwrap_or_default(),
             config_hash: st("config_hash")?,
             tol: v.get("tol").and_then(Value::as_f64).ok_or("manifest: missing \"tol\"")?,
             threads: n("threads")? as usize,
@@ -390,6 +400,7 @@ mod tests {
             bench: bench.into(),
             class: "s".into(),
             backend: "compiled".into(),
+            lattice: "s,h,b".into(),
             config_hash: fnv1a64("double main()"),
             tol: 1e-6,
             threads: 4,
@@ -434,6 +445,18 @@ mod tests {
         let back = RunManifest::parse(&legacy).unwrap();
         assert_eq!(back.backend, "");
         assert_eq!(RunManifest { backend: String::new(), ..m }, back);
+    }
+
+    #[test]
+    fn legacy_manifest_without_lattice_parses_as_classic() {
+        let m = manifest("ep-1700000000-1-0", "ep", true);
+        let text = m.to_json();
+        // Simulate a manifest written before the precision lattice.
+        let legacy = text.replace(",\"lattice\":\"s,h,b\"", "");
+        assert!(!legacy.contains("lattice"));
+        let back = RunManifest::parse(&legacy).unwrap();
+        assert_eq!(back.lattice, "");
+        assert_eq!(RunManifest { lattice: String::new(), ..m }, back);
     }
 
     #[test]

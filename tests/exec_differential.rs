@@ -363,6 +363,10 @@ fn kitchen_sink() -> Program {
     p.push_insn(b0, InstKind::PExtrQ { dst: Gpr(10), src: Xmm(12), lane: 1 });
     p.push_insn(b0, InstKind::PInsrQ { dst: Xmm(14), src: Gpr(10), lane: 0 });
     p.push_insn(b0, InstKind::PInsrQ { dst: Xmm(14), src: Gpr(9), lane: 1 });
+    // Reduced-precision quantize-and-reflag, several formats and both lanes.
+    p.push_insn(b0, InstKind::FpTrunc { mant: 10, exp: 5, dst: Xmm(14), lane: 0 });
+    p.push_insn(b0, InstKind::FpTrunc { mant: 7, exp: 8, dst: Xmm(14), lane: 1 });
+    p.push_insn(b0, InstKind::FpTrunc { mant: 3, exp: 4, dst: Xmm(14), lane: 0 });
     // Every integer ALU op.
     p.push_insn(b0, InstKind::MovI { dst: GM::Reg(Gpr(11)), src: GMI::Imm(1000) });
     p.push_insn(b0, InstKind::IntAlu { op: IntOp::Add, dst: Gpr(11), src: GMI::Reg(Gpr(1)) });
@@ -455,9 +459,9 @@ fn corpus_covers_every_inst_kind() {
             }
         }
     }
-    // InstKind currently has 19 variants; if one is added, this corpus
+    // InstKind currently has 20 variants; if one is added, this corpus
     // must grow with it.
-    assert_eq!(kinds.len(), 19, "corpus no longer covers every InstKind");
+    assert_eq!(kinds.len(), 20, "corpus no longer covers every InstKind");
 }
 
 #[test]

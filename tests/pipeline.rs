@@ -105,3 +105,57 @@ fn overhead_report_is_sane_across_workloads() {
         assert!(o.steps_x < 200.0, "{name}: overhead out of range: {}", o.steps_x);
     }
 }
+
+/// Acceptance: a lattice search on ep.S settles on a mixed
+/// double/single/bf16 configuration that meets the tolerance (the
+/// second composition phase backs out the failing pieces), with at
+/// least one instruction demoted below single precision — and the
+/// whole outcome is identical across the `fast` and `compiled`
+/// backends. EP's default 1e-6 tolerance is too tight for any bf16
+/// survivor on the tiny class-S sample, so this runs at the slightly
+/// looser 1.5e-6 a user would pass with `--tol`.
+#[test]
+fn ep_lattice_search_demotes_below_single_identically_on_both_backends() {
+    let run = |backend: fpvm::Backend| {
+        let mut w = nas::ep(Class::S);
+        w.tol = 1.5e-6;
+        let sys = AnalysisSystem::with_options(
+            w,
+            AnalysisOptions {
+                search: SearchOptions {
+                    threads: 2,
+                    second_phase: true,
+                    lattice: vec![Flag::Single, Flag::Bf16],
+                    ..Default::default()
+                },
+                backend,
+                ..Default::default()
+            },
+        );
+        let rec = sys.recommend();
+        (rec.report.format_breakdown(sys.tree()), rec)
+    };
+    let (breakdown, rec) = run(fpvm::Backend::Fast);
+
+    // The composed configuration meets the tolerance...
+    assert!(rec.report.final_pass, "lattice recommendation does not verify");
+    // ...and the executed program is genuinely mixed-precision:
+    // something runs in double (a candidate left at `d`, or EP's
+    // ignore-flagged RNG instructions, which always execute in
+    // double), something went single, and at least one instruction
+    // settled below single precision (bf16's 8-bit mantissa).
+    let count = |tok: &str| breakdown.iter().find(|(t, _)| t == tok).map(|(_, n)| *n).unwrap_or(0);
+    assert!(count("d") + count("i") >= 1, "nothing executes in double: {breakdown:?}");
+    assert!(count("s") >= 1, "no instruction at single: {breakdown:?}");
+    assert!(count("b") >= 1, "no instruction demoted below single: {breakdown:?}");
+
+    // The search outcome must not depend on the execution backend.
+    let (breakdown2, rec2) = run(fpvm::Backend::Compiled);
+    assert_eq!(breakdown, breakdown2);
+    assert_eq!(rec.report.candidates, rec2.report.candidates);
+    assert_eq!(rec.report.configs_tested, rec2.report.configs_tested);
+    assert_eq!(rec.report.static_pct, rec2.report.static_pct);
+    assert_eq!(rec.report.dynamic_pct, rec2.report.dynamic_pct);
+    assert_eq!(rec.report.final_pass, rec2.report.final_pass);
+    assert_eq!(rec.config_text, rec2.config_text);
+}
