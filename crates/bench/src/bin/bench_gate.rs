@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <fresh.json> [<baseline> <fresh> ...] [--threshold=PCT]
-//!            [--registry=DIR] [--record] [--compiled-ratio=R] [--warn-only]
+//!            [--registry=DIR] [--record] [--compiled-ratio=R] [--lattice-ratio=R]
+//!            [--warn-only]
 //! ```
 //!
 //! For every benchmark present in a baseline file, the gate prints a
@@ -25,9 +26,14 @@
 //! both `<b>.orig.fast` and `<b>.orig.compiled` were measured, the
 //! compiled tier must be at least `--compiled-ratio` times faster
 //! (default 1.2) or the gate exits 1 — a compiled backend slower than
-//! that has stopped paying for its fusion pass. `--warn-only`
-//! downgrades *ratio* failures to warnings (bring-up on new hardware);
-//! it does not touch the min_ns regression gate.
+//! that has stopped paying for its fusion pass. Likewise the lattice
+//! overhead check: on benches where both `<b>.s` and `<b>.s.lattice`
+//! were measured, the full-lattice search may be at most
+//! `--lattice-ratio` times slower than the classic two-format search
+//! (default 6.0) — beyond that the wider format menu has blown up the
+//! candidate walk and needs pruning. `--warn-only` downgrades *ratio*
+//! failures to warnings (bring-up on new hardware); it does not touch
+//! the min_ns regression gate.
 //!
 //! With `--registry=DIR` (or `$CRAFT_REGISTRY`), run-registry manifests
 //! carrying `bench_min_ns` entries override the committed JSON baseline
@@ -109,12 +115,18 @@ fn main() {
         .find_map(|a| a.strip_prefix("--compiled-ratio="))
         .and_then(|t| t.parse().ok())
         .unwrap_or(1.2);
+    let lattice_ratio: f64 = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--lattice-ratio="))
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(6.0);
     let warn_only = args.iter().any(|a| a == "--warn-only");
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if files.is_empty() || !files.len().is_multiple_of(2) {
         eprintln!(
             "usage: bench_gate <baseline.json> <fresh.json> [...] [--threshold=PCT] \
-             [--registry=DIR] [--record] [--compiled-ratio=R] [--warn-only]"
+             [--registry=DIR] [--record] [--compiled-ratio=R] [--lattice-ratio=R] \
+             [--warn-only]"
         );
         std::process::exit(2);
     }
@@ -221,6 +233,35 @@ fn main() {
             }
         }
     }
+    // Lattice overhead gate: the full precision-lattice search walks a
+    // wider format menu than the classic two-format search, so it is
+    // allowed to be slower — but only by a bounded factor. Past
+    // `--lattice-ratio` the extra formats have stopped buying insight
+    // per cycle and the candidate walk needs pruning.
+    for b in ["ep", "cg"] {
+        let classic = fresh_mins.get(&format!("{b}.s"));
+        let lattice = fresh_mins.get(&format!("{b}.s.lattice"));
+        if let (Some(&classic), Some(&lattice)) = (classic, lattice) {
+            let ratio = lattice / classic;
+            if ratio <= lattice_ratio {
+                println!(
+                    "bench_gate: {b}.s.lattice overhead over {b}.s: {ratio:.2}x \
+                     (gate <={lattice_ratio:.2}x ok)"
+                );
+            } else if warn_only {
+                eprintln!(
+                    "bench_gate: warning: {b}.s.lattice is {ratio:.2}x slower than \
+                     {b}.s (gate <={lattice_ratio:.2}x; --warn-only)"
+                );
+            } else {
+                eprintln!(
+                    "bench_gate: {b}.s.lattice is {ratio:.2}x slower than \
+                     {b}.s (gate <={lattice_ratio:.2}x)"
+                );
+                ratio_failed = true;
+            }
+        }
+    }
     if stale {
         eprintln!(
             "bench_gate: some benchmarks ran more than {threshold:.0}% FASTER than their \
@@ -261,8 +302,9 @@ fn main() {
     }
     if ratio_failed {
         eprintln!(
-            "bench_gate: compiled-over-fast speedup below the {compiled_ratio:.2}x gate \
-             (--warn-only to bypass during bring-up)"
+            "bench_gate: a backend ratio gate failed (compiled >={compiled_ratio:.2}x over \
+             fast, lattice <={lattice_ratio:.2}x over classic; --warn-only to bypass \
+             during bring-up)"
         );
     }
     if failed || ratio_failed {

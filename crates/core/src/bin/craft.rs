@@ -16,13 +16,21 @@
 //! craft submit <bench> [class]         # submit a tuning job to a craftd daemon
 //! craft status <job-id>                # one daemon job, analyze-style summary
 //! craft jobs                           # list a daemon's jobs
+//! craft top                            # live multi-job daemon dashboard
 //! ```
 //!
-//! The daemon-mode subcommands (`submit`/`status`/`jobs`) talk HTTP to
-//! a running `craftd` (`--daemon=HOST:PORT`, else `$CRAFTD_ADDR`, else
-//! `127.0.0.1:7050`). `submit --follow` tails the job's live stream to
-//! completion and then prints the same labelled summary lines as
-//! `craft analyze`, so the two outputs can be diffed directly.
+//! The daemon-mode subcommands (`submit`/`status`/`jobs`/`top`) talk
+//! HTTP to a running `craftd` (`--daemon=HOST:PORT`, else
+//! `$CRAFTD_ADDR`, else `127.0.0.1:7050`). `submit --follow` tails the
+//! job's live stream to completion and then prints the same labelled
+//! summary lines as `craft analyze`, so the two outputs can be diffed
+//! directly. Every `submit` mints an `x-craft-trace` id that the daemon
+//! stamps through its structured log, the job record, the run manifest,
+//! and the run-dir spans — one id links the client call to everything
+//! it caused. `top` polls the unified `/metrics` exposition and tails
+//! running jobs' `live.jsonl` (when the data directory is reachable via
+//! `--data=DIR` or `$CRAFTD_DATA`) into a refreshing multi-job view;
+//! `--once` renders a single frame for scripts and CI.
 //!
 //! Options for `analyze`: `--second-phase`, `--stop-depth=f|b|i`,
 //! `--no-split`, `--no-priority`, `--lean`, `--threads=N`,
@@ -480,18 +488,19 @@ fn http_exchange(
     method: &str,
     path: &str,
     body: Option<&str>,
+    trace: Option<&str>,
     on_data: &mut dyn FnMut(&str),
 ) -> Result<u16, String> {
     let had_cached = cached.is_some();
     let mut delivered = false;
-    match http_attempt(cached, addr, method, path, body, &mut delivered, on_data) {
+    match http_attempt(cached, addr, method, path, body, trace, &mut delivered, on_data) {
         // A cached connection can go stale (daemon restarted, idle
         // timeout). Retry once on a fresh one — but only if the failed
         // attempt delivered no body bytes, so `on_data` never sees data
         // twice.
         Err(_) if had_cached && !delivered => {
             *cached = None;
-            http_exchange(cached, addr, method, path, body, on_data)
+            http_exchange(cached, addr, method, path, body, trace, on_data)
         }
         done => done,
     }
@@ -499,12 +508,14 @@ fn http_exchange(
 
 /// One request/response over `cached` (connecting first if empty),
 /// returning the connection to `cached` when it remains reusable.
+#[allow(clippy::too_many_arguments)]
 fn http_attempt(
     cached: &mut Option<std::net::TcpStream>,
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
+    trace: Option<&str>,
     delivered: &mut bool,
     on_data: &mut dyn FnMut(&str),
 ) -> Result<u16, String> {
@@ -517,10 +528,17 @@ fn http_attempt(
         }
     };
     let payload = body.unwrap_or("");
+    // The cross-process trace id rides along as `x-craft-trace`; the
+    // daemon stamps it through its log, the job record, and the run-dir
+    // artifacts.
+    let trace_header = match trace {
+        Some(id) if !id.is_empty() => format!("x-craft-trace: {id}\r\n"),
+        _ => String::new(),
+    };
     write!(
         conn,
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
-         Connection: keep-alive\r\n\r\n{payload}",
+         Connection: keep-alive\r\n{trace_header}\r\n{payload}",
         payload.len()
     )
     .and_then(|()| conn.flush())
@@ -605,9 +623,10 @@ fn http_request(
     method: &str,
     path: &str,
     body: Option<&str>,
+    trace: Option<&str>,
 ) -> Result<(u16, String), String> {
     let mut out = String::new();
-    let status = http_exchange(cached, addr, method, path, body, &mut |p| out.push_str(p))?;
+    let status = http_exchange(cached, addr, method, path, body, trace, &mut |p| out.push_str(p))?;
     Ok((status, out))
 }
 
@@ -627,6 +646,9 @@ fn render_job_record(v: &Value) -> i32 {
     let s = |k: &str| v.get(k).and_then(Value::as_str).unwrap_or("");
     let state = s("state");
     println!("job                  : {}", s("id"));
+    if !s("trace").is_empty() {
+        println!("trace id             : {}", s("trace"));
+    }
     println!("state                : {state}");
     match state {
         "done" => {
@@ -670,6 +692,146 @@ fn render_job_record(v: &Value) -> i32 {
         }
         _ => 0,
     }
+}
+
+/// Parse a Prometheus text exposition into `(series, value)` rows:
+/// comment lines are skipped and the series string keeps its label set,
+/// so lookups are exact-match on `name` or `name{labels}`.
+fn parse_prom(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .filter_map(|l| {
+            let (name, val) = l.rsplit_once(' ')?;
+            Some((name.to_string(), val.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Exact-name lookup in a parsed exposition.
+fn prom_get(series: &[(String, f64)], name: &str) -> Option<f64> {
+    series.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+/// One frame of `craft top`: daemon request/queue/cache lines from the
+/// unified `/metrics` exposition, a latency spark-line, and a per-job
+/// table; running jobs are tailed from their `live.jsonl` when the data
+/// directory is known. Returns `(requests_total, now)` so the next
+/// frame can show a request rate.
+fn render_top(
+    addr: &str,
+    series: &[(String, f64)],
+    jobs: &[Value],
+    data_dir: Option<&Path>,
+    tails: &mut HashMap<String, LiveTail>,
+    prev: Option<(f64, std::time::Instant)>,
+) -> (f64, std::time::Instant) {
+    let now = std::time::Instant::now();
+    let g = |name: &str| prom_get(series, name).unwrap_or(0.0);
+    let requests = g("craft_http_requests_total");
+    let rate_txt = prev
+        .map(|(r0, t0)| {
+            let dt = now.duration_since(t0).as_secs_f64();
+            format!("  ({:.1}/s)", if dt > 0.0 { (requests - r0).max(0.0) / dt } else { 0.0 })
+        })
+        .unwrap_or_default();
+    println!("craftd      : {addr}");
+    println!(
+        "requests    : {requests:.0} total{rate_txt}   in-flight {:.0}   open conns {:.0}   \
+         keepalive reuse {:.0}   parse errors {:.0}",
+        g("craft_http_in_flight"),
+        g("craft_http_open_connections"),
+        g("craft_http_keepalive_reuse_total"),
+        g("craft_http_parse_errors_total"),
+    );
+    println!(
+        "jobs        : queue {:.0}   running {:.0}   submitted {:.0}   completed {:.0}   \
+         failed {:.0}   crashed {:.0}   shed {:.0}",
+        g("craft_daemon_queue_depth"),
+        g("craft_daemon_jobs_running"),
+        g("craft_daemon_jobs_submitted_total"),
+        g("craft_daemon_jobs_completed_total"),
+        g("craft_daemon_jobs_failed_total"),
+        g("craft_daemon_jobs_crashed_total"),
+        g("craft_daemon_jobs_shed_total"),
+    );
+    let (hits, misses) = (g("craft_daemon_cache_hits"), g("craft_daemon_cache_misses"));
+    let ratio = if hits + misses > 0.0 { 100.0 * hits / (hits + misses) } else { 0.0 };
+    println!(
+        "shared cache: {hits:.0} hits / {misses:.0} misses ({ratio:.0}%)   entries {:.0}",
+        g("craft_daemon_cache_entries")
+    );
+    // The log2 latency histogram, rendered as per-bucket counts.
+    let mut buckets: Vec<(f64, f64)> = series
+        .iter()
+        .filter_map(|(n, v)| {
+            let le = n.strip_prefix("craft_http_latency_us_bucket{le=\"")?.strip_suffix("\"}")?;
+            let le = if le == "+Inf" { f64::INFINITY } else { le.parse().ok()? };
+            Some((le, *v))
+        })
+        .collect();
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    if !buckets.is_empty() {
+        let mut cum = 0.0;
+        let counts: Vec<u64> = buckets
+            .iter()
+            .map(|(_, c)| {
+                let d = (c - cum).max(0.0);
+                cum = *c;
+                d as u64
+            })
+            .collect();
+        let count = g("craft_http_latency_us_count");
+        let mean = if count > 0.0 { g("craft_http_latency_us_sum") / count } else { 0.0 };
+        println!(
+            "latency     : {}  mean {mean:.0}us over {count:.0} requests",
+            sparkline(&counts, 32)
+        );
+    }
+    if jobs.is_empty() {
+        println!("\n(no jobs)");
+    } else {
+        println!(
+            "\n{:<34}  {:<8}  {:<10}  {:>9}  {:>6}  live",
+            "id", "state", "bench", "wall", "hits"
+        );
+        for j in jobs {
+            let s = |k: &str| j.get(k).and_then(Value::as_str).unwrap_or("");
+            let (id, state) = (s("id"), s("state"));
+            let mut live = String::new();
+            if state == "running" {
+                match data_dir {
+                    Some(dir) => {
+                        let path = dir.join("jobs").join(id).join("live.jsonl");
+                        let tail =
+                            tails.entry(id.to_string()).or_insert_with(|| LiveTail::new(&path));
+                        if tail.poll().is_ok() {
+                            let _ = tail.take_raw();
+                            if let Some(p) = tail.log().latest_progress() {
+                                let eta = p
+                                    .eta_us
+                                    .map(|e| format!("  eta ~{:.1}s", e as f64 / 1e6))
+                                    .unwrap_or_default();
+                                live = format!(
+                                    "{} {}/{}{eta}",
+                                    p.progress.phase, p.progress.done, p.progress.total_estimate
+                                );
+                            }
+                        }
+                    }
+                    None => live = "(pass --data=DIR to tail)".into(),
+                }
+            }
+            println!(
+                "{:<34}  {:<8}  {:<10}  {:>8.2}s  {:>6}  {live}",
+                id,
+                state,
+                format!("{}.{}", s("bench"), s("class")),
+                j.get("wall_us").and_then(Value::as_u64).unwrap_or(0) as f64 / 1e6,
+                j.get("cache_hits").and_then(Value::as_u64).unwrap_or(0),
+            );
+        }
+    }
+    (requests, now)
 }
 
 fn main() {
@@ -983,6 +1145,7 @@ fn main() {
                                 .map(mpconfig::lattice_tokens)
                                 .unwrap_or_default(),
                             config_hash: registry::fnv1a64(&rec.config_text),
+                            trace_id: String::new(), // in-process run: no cross-process trace
                             tol,
                             threads,
                             git: git_describe(),
@@ -1123,10 +1286,20 @@ fn main() {
             };
             spec.validate().unwrap_or_else(|e| usage(&e));
             let addr = daemon_addr(opt("--daemon"));
+            // Mint the cross-process trace id here, at the origin of the
+            // request chain: it links this submit to the daemon's log,
+            // the job record/manifest, and the run-dir spans.
+            let trace = registry::new_run_id("tr", registry::unix_now());
             let mut conn = None;
-            let (code, body) =
-                http_request(&mut conn, &addr, "POST", "/jobs", Some(&spec.to_json()))
-                    .unwrap_or_else(|e| fail(e));
+            let (code, body) = http_request(
+                &mut conn,
+                &addr,
+                "POST",
+                "/jobs",
+                Some(&spec.to_json()),
+                Some(&trace),
+            )
+            .unwrap_or_else(|e| fail(e));
             if code != 202 {
                 fail(format!("daemon {addr} rejected the job ({code}): {}", daemon_error(&body)));
             }
@@ -1136,7 +1309,7 @@ fn main() {
                 .unwrap_or_else(|| fail(format!("daemon returned no job id: {body}")));
             if !flag("--follow") {
                 // The id alone on stdout, for scripting; decoration on stderr.
-                eprintln!("craft: job {id} queued on {addr}");
+                eprintln!("craft: job {id} queued on {addr} (trace {trace})");
                 println!("{id}");
             } else {
                 eprintln!("craft: job {id} queued on {addr}, following live stream");
@@ -1147,6 +1320,7 @@ fn main() {
                     "GET",
                     &format!("/jobs/{id}/live"),
                     None,
+                    Some(&trace),
                     &mut |piece| records += piece.lines().count(),
                 )
                 .unwrap_or_else(|e| fail(e));
@@ -1154,9 +1328,15 @@ fn main() {
                     fail(format!("daemon {addr} refused the live stream ({code})"));
                 }
                 eprintln!("craft: followed {records} live records to completion");
-                let (code, body) =
-                    http_request(&mut conn, &addr, "GET", &format!("/jobs/{id}"), None)
-                        .unwrap_or_else(|e| fail(e));
+                let (code, body) = http_request(
+                    &mut conn,
+                    &addr,
+                    "GET",
+                    &format!("/jobs/{id}"),
+                    None,
+                    Some(&trace),
+                )
+                .unwrap_or_else(|e| fail(e));
                 if code != 200 {
                     fail(format!("daemon {addr} answered {code}: {}", daemon_error(&body)));
                 }
@@ -1174,8 +1354,9 @@ fn main() {
                 .copied()
                 .unwrap_or_else(|| usage("usage: craft status <job-id> [--daemon=HOST:PORT]"));
             let addr = daemon_addr(opt("--daemon"));
-            let (code, body) = http_request(&mut None, &addr, "GET", &format!("/jobs/{id}"), None)
-                .unwrap_or_else(|e| fail(e));
+            let (code, body) =
+                http_request(&mut None, &addr, "GET", &format!("/jobs/{id}"), None, None)
+                    .unwrap_or_else(|e| fail(e));
             if code != 200 {
                 fail(format!("daemon {addr} answered {code}: {}", daemon_error(&body)));
             }
@@ -1188,8 +1369,8 @@ fn main() {
         }
         "jobs" => {
             let addr = daemon_addr(opt("--daemon"));
-            let (code, body) =
-                http_request(&mut None, &addr, "GET", "/jobs", None).unwrap_or_else(|e| fail(e));
+            let (code, body) = http_request(&mut None, &addr, "GET", "/jobs", None, None)
+                .unwrap_or_else(|e| fail(e));
             if code != 200 {
                 fail(format!("daemon {addr} answered {code}: {}", daemon_error(&body)));
             }
@@ -1214,6 +1395,57 @@ fn main() {
                         j.get("cache_hits").and_then(Value::as_u64).unwrap_or(0),
                     );
                 }
+            }
+        }
+        "top" => {
+            let addr = daemon_addr(opt("--daemon"));
+            let once = flag("--once");
+            let interval = opt("--interval-ms").and_then(|v| v.parse().ok()).unwrap_or(1000u64);
+            // The daemon's data directory, for tailing running jobs'
+            // live streams; without it the dashboard degrades to the
+            // HTTP-only view.
+            let data_dir: Option<PathBuf> = opt("--data")
+                .map(PathBuf::from)
+                .or_else(|| {
+                    std::env::var("CRAFTD_DATA").ok().filter(|s| !s.is_empty()).map(PathBuf::from)
+                })
+                .or_else(|| {
+                    std::env::var_os("HOME")
+                        .map(|h| PathBuf::from(h).join(".craft").join("craftd"))
+                        .filter(|p| p.is_dir())
+                });
+            let mut conn = None;
+            let mut tails: HashMap<String, LiveTail> = HashMap::new();
+            let mut prev: Option<(f64, std::time::Instant)> = None;
+            loop {
+                let (code, metrics) = http_request(&mut conn, &addr, "GET", "/metrics", None, None)
+                    .unwrap_or_else(|e| fail(e));
+                if code != 200 {
+                    fail(format!("daemon {addr} answered {code} for /metrics"));
+                }
+                let (code, jobs_body) = http_request(&mut conn, &addr, "GET", "/jobs", None, None)
+                    .unwrap_or_else(|e| fail(e));
+                if code != 200 {
+                    fail(format!("daemon {addr} answered {code} for /jobs"));
+                }
+                let series = parse_prom(&metrics);
+                let jobs_v = json::parse(&jobs_body)
+                    .unwrap_or_else(|e| fail(format!("malformed job list: {e}")));
+                if !once {
+                    print!("\x1b[2J\x1b[H"); // clear screen between frames
+                }
+                prev = Some(render_top(
+                    &addr,
+                    &series,
+                    jobs_v.as_arr().unwrap_or(&[]),
+                    data_dir.as_deref(),
+                    &mut tails,
+                    prev,
+                ));
+                if once {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(interval));
             }
         }
         "runs" => {
@@ -1343,6 +1575,8 @@ fn main() {
             println!("                 [--wall-limit-ms=N] [--batch=N] [analyze flags]");
             println!("  craft status   <job-id> [--daemon=HOST:PORT]");
             println!("  craft jobs     [--daemon=HOST:PORT]");
+            println!("  craft top      [--daemon=HOST:PORT] [--data=DIR] [--once]");
+            println!("                 [--interval-ms=N]");
             println!();
             println!("daemon mode talks to a running `craftd` (default 127.0.0.1:7050,");
             println!("override with --daemon or $CRAFTD_ADDR).");

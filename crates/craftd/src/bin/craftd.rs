@@ -3,7 +3,7 @@
 //! ```text
 //! craftd [--addr=HOST] [--port=N] [--data=DIR] [--workers=N]
 //!        [--max-running=N] [--queue-cap=N]
-//!        [--fuel-limit=N] [--wall-limit-ms=N]
+//!        [--fuel-limit=N] [--wall-limit-ms=N] [--log-max-bytes=N]
 //! ```
 //!
 //! Defaults: `127.0.0.1:7050`, data under `$CRAFTD_DATA`, else
@@ -20,7 +20,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("craftd: {msg}");
     eprintln!(
         "usage: craftd [--addr=HOST] [--port=N] [--data=DIR] [--workers=N] \
-         [--max-running=N] [--queue-cap=N] [--fuel-limit=N] [--wall-limit-ms=N]"
+         [--max-running=N] [--queue-cap=N] [--fuel-limit=N] [--wall-limit-ms=N] \
+         [--log-max-bytes=N]"
     );
     std::process::exit(2)
 }
@@ -82,6 +83,7 @@ fn main() {
             "--queue-cap",
             "--fuel-limit",
             "--wall-limit-ms",
+            "--log-max-bytes",
         ];
         if !known.iter().any(|k| a.starts_with(&format!("{k}="))) {
             usage(&format!("unknown argument {a:?}"));
@@ -103,6 +105,7 @@ fn main() {
         queue_cap: parse_num("--queue-cap").map(|n| n as usize).unwrap_or(defaults.queue_cap),
         default_fuel_limit: parse_num("--fuel-limit"),
         default_wall_limit_ms: parse_num("--wall-limit-ms"),
+        log_max_bytes: parse_num("--log-max-bytes").unwrap_or(defaults.log_max_bytes),
     };
 
     let server = Server::bind(&format!("{host}:{port}"), cfg.clone())

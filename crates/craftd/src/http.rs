@@ -41,6 +41,30 @@ pub struct Request {
     /// The client sent `Connection: close` — respond, then hang up
     /// instead of waiting for another request.
     pub close: bool,
+    /// The `x-craft-trace` request id, if the client sent one. The
+    /// daemon stamps it on the request's log record and, for job
+    /// submissions, onto the job itself (record, manifest, run-dir
+    /// spans), stitching one client call to everything it caused.
+    pub trace: Option<String>,
+}
+
+/// Map a [`read_request`] error message to a stable low-cardinality
+/// reason token, suitable as a metric-name suffix
+/// (`http.parse_errors.<reason>`).
+pub fn parse_error_reason(err: &str) -> &'static str {
+    if err.contains("head too large") {
+        "head_too_large"
+    } else if err.contains("body too large") {
+        "body_too_large"
+    } else if err.contains("malformed request line") {
+        "bad_request_line"
+    } else if err.contains("bad content-length") {
+        "bad_content_length"
+    } else if err.contains("mid-request") || err.contains("read body") {
+        "truncated"
+    } else {
+        "other"
+    }
 }
 
 /// Read and parse one request from `stream`. Returns `Ok(None)` on a
@@ -78,6 +102,7 @@ pub fn read_request(stream: &mut impl Read) -> Result<Option<Request>, String> {
     };
     let mut content_length = 0usize;
     let mut close = false;
+    let mut trace = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let (name, value) = (name.trim(), value.trim());
@@ -86,6 +111,8 @@ pub fn read_request(stream: &mut impl Read) -> Result<Option<Request>, String> {
                     value.parse().map_err(|_| format!("bad content-length {value:?}"))?;
             } else if name.eq_ignore_ascii_case("connection") {
                 close = value.eq_ignore_ascii_case("close");
+            } else if name.eq_ignore_ascii_case("x-craft-trace") && !value.is_empty() {
+                trace = Some(value.to_string());
             }
         }
     }
@@ -94,7 +121,7 @@ pub fn read_request(stream: &mut impl Read) -> Result<Option<Request>, String> {
     }
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
-    Ok(Some(Request { method, path, query, body, close }))
+    Ok(Some(Request { method, path, query, body, close, trace }))
 }
 
 /// The standard reason phrase for the status codes the daemon uses.
@@ -121,13 +148,30 @@ pub fn respond(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    respond_with(w, status, content_type, &[], body)
+}
+
+/// [`respond`] with extra response headers (e.g. `Retry-After` on a
+/// `503` for a job that has produced no telemetry yet). Header names
+/// and values are written verbatim.
+pub fn respond_with(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
     write!(
         w,
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
-         Connection: keep-alive\r\n\r\n",
+         Connection: keep-alive\r\n",
         reason(status),
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -207,13 +251,22 @@ pub struct Client {
     addr: String,
     conn: Option<TcpStream>,
     reused: usize,
+    trace: Option<String>,
 }
 
 impl Client {
     /// A client for `addr`; no connection is made until the first
     /// request.
     pub fn new(addr: impl Into<String>) -> Client {
-        Client { addr: addr.into(), conn: None, reused: 0 }
+        Client { addr: addr.into(), conn: None, reused: 0, trace: None }
+    }
+
+    /// Send `x-craft-trace: id` with every subsequent request, so the
+    /// server can stitch this client's calls to their effects. Pass an
+    /// empty id to stop.
+    pub fn set_trace(&mut self, id: impl Into<String>) {
+        let id = id.into();
+        self.trace = if id.is_empty() { None } else { Some(id) };
     }
 
     /// Requests that completed over an already-open connection — the
@@ -277,10 +330,14 @@ impl Client {
             None => TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?,
         };
         let payload = body.unwrap_or("");
+        let trace_header = match &self.trace {
+            Some(id) => format!("x-craft-trace: {id}\r\n"),
+            None => String::new(),
+        };
         write!(
             conn,
             "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
-             Connection: keep-alive\r\n\r\n{payload}",
+             Connection: keep-alive\r\n{trace_header}\r\n{payload}",
             payload.len()
         )
         .map_err(|e| format!("send: {e}"))?;
@@ -477,6 +534,49 @@ mod tests {
         assert_eq!(client.request("GET", "/b", None).unwrap().0, 200);
         assert_eq!(client.reused(), 0);
         server.join().unwrap();
+    }
+
+    #[test]
+    fn trace_header_is_parsed_and_sent() {
+        let raw = b"GET / HTTP/1.1\r\nX-Craft-Trace: tr-1-2-3\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap().unwrap();
+        assert_eq!(req.trace.as_deref(), Some("tr-1-2-3"));
+        let raw = b"GET / HTTP/1.1\r\n\r\n";
+        assert!(read_request(&mut &raw[..]).unwrap().unwrap().trace.is_none());
+
+        // Client side: set_trace puts the header on the wire.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut c, _) = listener.accept().unwrap();
+            let req = read_request(&mut c).unwrap().unwrap();
+            respond_json(&mut c, 200, "{}").unwrap();
+            req.trace
+        });
+        let mut client = Client::new(&addr);
+        client.set_trace("tr-9-9-9");
+        assert_eq!(client.request("GET", "/", None).unwrap().0, 200);
+        assert_eq!(server.join().unwrap().as_deref(), Some("tr-9-9-9"));
+    }
+
+    #[test]
+    fn parse_error_reasons_are_stable_tokens() {
+        assert_eq!(parse_error_reason("request head too large"), "head_too_large");
+        assert_eq!(parse_error_reason("request body too large"), "body_too_large");
+        assert_eq!(parse_error_reason("malformed request line \"GARBAGE\""), "bad_request_line");
+        assert_eq!(parse_error_reason("bad content-length \"x\""), "bad_content_length");
+        assert_eq!(parse_error_reason("connection closed mid-request"), "truncated");
+        assert_eq!(parse_error_reason("read: broken pipe"), "other");
+    }
+
+    #[test]
+    fn extra_response_headers_are_written() {
+        let mut out = Vec::new();
+        respond_with(&mut out, 503, "application/json", &[("Retry-After", "1")], b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! belongs to the caller.
 
 use crate::cache::SharedEvalCache;
+use crate::obs::{DaemonLog, Level, LogRecord, LOG_FILE};
 use mixedprec::{AnalysisSystem, EvalMiddleware, JobSpec};
 use mpsearch::events::EventLog;
 use mpsearch::{SearchHooks, SearchReport, WorkerPool};
@@ -31,6 +32,7 @@ use mptrace::{json, Tracer};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -54,6 +56,9 @@ pub struct DaemonConfig {
     /// Per-evaluation wall quota (ms) applied to jobs that do not set
     /// their own.
     pub default_wall_limit_ms: Option<u64>,
+    /// Size cap on `daemon.log.jsonl` before it is rotated to
+    /// `daemon.log.jsonl.1` (one archive generation is kept).
+    pub log_max_bytes: u64,
 }
 
 impl Default for DaemonConfig {
@@ -65,6 +70,7 @@ impl Default for DaemonConfig {
             queue_cap: 16,
             default_fuel_limit: None,
             default_wall_limit_ms: None,
+            log_max_bytes: 4 << 20,
         }
     }
 }
@@ -112,6 +118,11 @@ impl JobState {
 pub struct JobRecord {
     /// Registry-style id (`{bench}-{unix}-{pid}-{n}`).
     pub id: String,
+    /// Cross-process trace id (`x-craft-trace`): the client's id when it
+    /// sent one, otherwise minted by the daemon at intake. Stitches the
+    /// client call, the daemon log, the job manifest, and the run-dir
+    /// spans together.
+    pub trace: String,
     /// The submitted spec.
     pub spec: JobSpec,
     /// Lifecycle state.
@@ -143,6 +154,8 @@ impl JobRecord {
         let mut s = String::with_capacity(512);
         s.push_str("{\"id\":");
         json::esc(&mut s, &self.id);
+        s.push_str(",\"trace\":");
+        json::esc(&mut s, &self.trace);
         s.push_str(",\"state\":");
         json::esc(&mut s, self.state.as_str());
         s.push_str(",\"bench\":");
@@ -213,6 +226,9 @@ pub struct JobManager {
     state: Mutex<MgrState>,
     cond: Condvar,
     registry: Option<Registry>,
+    log: Option<DaemonLog>,
+    open_connections: AtomicI64,
+    in_flight: AtomicI64,
 }
 
 impl JobManager {
@@ -221,6 +237,12 @@ impl JobManager {
     pub fn start(cfg: DaemonConfig) -> std::io::Result<Arc<JobManager>> {
         std::fs::create_dir_all(cfg.data_dir.join("jobs"))?;
         let registry = Registry::open(cfg.data_dir.join("registry")).ok();
+        let log = DaemonLog::open(cfg.data_dir.join(LOG_FILE), cfg.log_max_bytes)
+            .map_err(|e| {
+                eprintln!("craftd: cannot open daemon log: {e}");
+                e
+            })
+            .ok();
         let mgr = Arc::new(JobManager {
             pool: WorkerPool::new(cfg.workers.max(1)),
             cache: Arc::new(SharedEvalCache::new()),
@@ -234,8 +256,17 @@ impl JobManager {
             }),
             cond: Condvar::new(),
             registry,
+            log,
+            open_connections: AtomicI64::new(0),
+            in_flight: AtomicI64::new(0),
             cfg,
         });
+        mgr.log_event(
+            LogRecord::now(Level::Info, "daemon_start")
+                .u("workers", mgr.cfg.workers as u64)
+                .u("max_running", mgr.cfg.max_running as u64)
+                .u("queue_cap", mgr.cfg.queue_cap as u64),
+        );
         for _ in 0..mgr.cfg.max_running {
             let m = Arc::clone(&mgr);
             std::thread::spawn(move || m.runner_loop());
@@ -244,9 +275,72 @@ impl JobManager {
     }
 
     /// The daemon-level metrics tracer (jobs submitted/completed/shed,
-    /// queue and cache gauges).
+    /// queue and cache gauges, request telemetry).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The structured daemon log (`daemon.log.jsonl`), if it opened.
+    pub fn log(&self) -> Option<&DaemonLog> {
+        self.log.as_ref()
+    }
+
+    /// Append one record to the daemon log (no-op when the log failed
+    /// to open — logging must never take the daemon down).
+    pub fn log_event(&self, rec: LogRecord) {
+        if let Some(log) = &self.log {
+            log.log(&rec);
+        }
+    }
+
+    /// Count one handled HTTP request: aggregate + per-route/status
+    /// counters and aggregate + per-route log2 latency histograms.
+    pub fn observe_request(&self, route: &str, status: u16, latency_us: u64) {
+        self.tracer.incr("http.requests", 1);
+        self.tracer.incr(&format!("http.requests.{route}.{status}"), 1);
+        self.tracer.observe("http.latency_us", latency_us);
+        self.tracer.observe(&format!("http.latency_us.{route}"), latency_us);
+    }
+
+    /// Count a connection accept and raise the open-connection gauge.
+    pub fn connection_opened(&self) {
+        self.tracer.incr("http.connections", 1);
+        let n = self.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.tracer.gauge("http.open_connections", n as f64);
+    }
+
+    /// Lower the open-connection gauge when a connection ends.
+    pub fn connection_closed(&self) {
+        let n = self.open_connections.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.tracer.gauge("http.open_connections", n.max(0) as f64);
+    }
+
+    /// Count a second-or-later request on a kept-alive connection.
+    pub fn keepalive_reused(&self) {
+        self.tracer.incr("http.keepalive_reuse", 1);
+    }
+
+    /// Raise the in-flight gauge as a request starts being handled.
+    pub fn request_begin(&self) {
+        let n = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.tracer.gauge("http.in_flight", n as f64);
+    }
+
+    /// Lower the in-flight gauge once the response is written.
+    pub fn request_end(&self) {
+        let n = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.tracer.gauge("http.in_flight", n.max(0) as f64);
+    }
+
+    /// Count (by stable reason token) and warn-log one malformed or
+    /// oversized request that the HTTP parser rejected.
+    pub fn count_parse_error(&self, err: &str) {
+        let reason = crate::http::parse_error_reason(err);
+        self.tracer.incr("http.parse_errors", 1);
+        self.tracer.incr(&format!("http.parse_errors.{reason}"), 1);
+        self.log_event(
+            LogRecord::now(Level::Warn, "http_parse_error").s("reason", reason).s("err", err),
+        );
     }
 
     /// The shared cross-job evaluation cache.
@@ -271,14 +365,25 @@ impl JobManager {
     /// Accept a job: validate, allocate an id and run directory, queue
     /// it. Sheds with [`SubmitError::QueueFull`] once the bounded queue
     /// is at capacity.
-    pub fn submit(&self, spec: JobSpec) -> Result<String, SubmitError> {
+    ///
+    /// `trace` is the client's `x-craft-trace` id; when the client sent
+    /// none the daemon mints one (`tr-{unix}-{pid}-{n}`) so every job
+    /// is traceable. The intake decision — queued, shed, or rejected —
+    /// is logged with that id.
+    pub fn submit(&self, spec: JobSpec, trace: Option<String>) -> Result<String, SubmitError> {
+        let created = registry::unix_now();
+        let trace =
+            trace.filter(|t| !t.is_empty()).unwrap_or_else(|| registry::new_run_id("tr", created));
         if let Err(e) = spec.validate() {
+            self.log_event(
+                LogRecord::now(Level::Warn, "job_rejected").s("trace", &trace).s("err", &e),
+            );
             return Err(SubmitError::Invalid(e));
         }
-        let created = registry::unix_now();
         let id = registry::new_run_id(&spec.bench, created);
         let record = JobRecord {
             id: id.clone(),
+            trace: trace.clone(),
             spec,
             state: JobState::Queued,
             error: None,
@@ -294,10 +399,19 @@ impl JobManager {
         {
             let mut st = self.lock();
             if st.draining {
+                self.log_event(
+                    LogRecord::now(Level::Warn, "job_refused_draining").s("trace", &trace),
+                );
                 return Err(SubmitError::Draining);
             }
             if st.queue.len() >= self.cfg.queue_cap {
                 self.tracer.incr("daemon.jobs_shed", 1);
+                self.log_event(
+                    LogRecord::now(Level::Warn, "job_shed")
+                        .s("trace", &trace)
+                        .s("bench", &record.spec.bench)
+                        .u("queue_depth", st.queue.len() as u64),
+                );
                 return Err(SubmitError::QueueFull);
             }
             st.queue.push_back(id.clone());
@@ -305,6 +419,13 @@ impl JobManager {
             self.tracer.incr("daemon.jobs_submitted", 1);
             self.tracer.gauge("daemon.queue_depth", st.queue.len() as f64);
         }
+        self.log_event(
+            LogRecord::now(Level::Info, "job_queued")
+                .s("job", &id)
+                .s("trace", &trace)
+                .s("bench", &record.spec.bench)
+                .s("class", &record.spec.class),
+        );
         let dir = self.job_dir(&id);
         let _ = std::fs::create_dir_all(&dir);
         let _ = std::fs::write(dir.join("job.json"), record.spec.to_json() + "\n");
@@ -342,7 +463,14 @@ impl JobManager {
             }
             self.tracer.gauge("daemon.queue_depth", 0.0);
         }
+        self.log_event(LogRecord::now(Level::Info, "drain").u("pending", pending.len() as u64));
         for j in &pending {
+            self.log_event(
+                LogRecord::now(Level::Info, "job_state")
+                    .s("job", &j.id)
+                    .s("trace", &j.trace)
+                    .s("state", j.state.as_str()),
+            );
             self.persist(j);
         }
         self.cond.notify_all();
@@ -403,6 +531,21 @@ impl JobManager {
             }
         };
         if let Some(j) = snapshot {
+            let level = match j.state {
+                JobState::Failed | JobState::Crashed => Level::Error,
+                _ => Level::Info,
+            };
+            let mut rec = LogRecord::now(level, "job_state")
+                .s("job", &j.id)
+                .s("trace", &j.trace)
+                .s("state", j.state.as_str());
+            if let Some(e) = &j.error {
+                rec = rec.s("err", e);
+            }
+            if j.wall_us > 0 {
+                rec = rec.u("wall_us", j.wall_us);
+            }
+            self.log_event(rec);
             self.persist(&j);
         }
         self.cond.notify_all();
@@ -467,7 +610,9 @@ impl JobManager {
     /// panic boundary; the evaluation work itself is sharded over the
     /// shared [`WorkerPool`].
     fn run_job(&self, id: &str) -> Result<(), String> {
-        let spec = self.job(id).ok_or_else(|| format!("job {id} vanished"))?.spec;
+        let job = self.job(id).ok_or_else(|| format!("job {id} vanished"))?;
+        let trace_id = job.trace;
+        let spec = job.spec;
         let workload = spec.workload()?;
         let tol = workload.tol;
         let mut opts = spec.options()?;
@@ -513,10 +658,22 @@ impl JobManager {
             panic!("injected runner panic (crashed-job isolation drill)");
         }
 
+        // The trace-propagation span: its name carries the cross-process
+        // id, so `x-craft-trace` shows up verbatim in the run-dir
+        // `trace.jsonl` spans (dropped before the snapshot is written).
+        let trace_span = tracer.span(format!("trace:{trace_id}"));
         let t0 = Instant::now();
         let rec = sys.recommend_with(&hooks);
         let wall_us = t0.elapsed().as_micros() as u64;
         drop(stream); // flush the final live delta before readers diff it
+        drop(trace_span);
+
+        // PR-8 precision-quality counters: guard refusals and shadow
+        // prunes are already counted by the search; add the per-format
+        // replacement breakdown so `/metrics` exports it per job.
+        for (tok, n) in rec.report.format_breakdown(sys.tree()) {
+            tracer.incr(&format!("search.replaced.{tok}"), n as u64);
+        }
 
         let trace_path = dir.join("trace.jsonl");
         std::fs::write(&trace_path, tracer.snapshot().to_jsonl())
@@ -530,6 +687,7 @@ impl JobManager {
             class: spec.class.clone(),
             backend: sys_backend_name(&spec),
             lattice: spec.lattice.clone(),
+            trace_id: trace_id.clone(),
             config_hash: config_hash.clone(),
             tol,
             threads,

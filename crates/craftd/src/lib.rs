@@ -18,8 +18,8 @@
 //! | `GET /jobs`            | All job records                             |
 //! | `GET /jobs/<id>`       | One job's status record                     |
 //! | `GET /jobs/<id>/live`  | Chunked follow of the job's `live.jsonl` until it finishes |
-//! | `GET /jobs/<id>/metrics` | The job's trace as Prometheus text, labelled `job`/`bench` |
-//! | `GET /metrics`         | Daemon-level metrics (jobs, queue, shared cache) |
+//! | `GET /jobs/<id>/metrics` | The job's trace as Prometheus text, labelled `job`/`bench`/`backend`/`lattice`; running jobs fold `live.jsonl` into a partial snapshot, `503 + Retry-After` until the first delta exists |
+//! | `GET /metrics`         | Unified exposition: daemon series (jobs, queue, cache, request telemetry) + every job's series, labelled |
 //! | `GET /healthz`         | Liveness probe                              |
 //! | `POST /admin/drain`    | Begin graceful drain                        |
 //!
@@ -29,12 +29,24 @@
 //! job demand, daemon-default fuel/wall quotas for jobs that bring
 //! none, and a cross-job evaluation cache namespaced by each job's
 //! verdict-determining options (see [`cache::SharedEvalCache`]).
+//!
+//! ## Observability
+//!
+//! Every request is counted (aggregate + per-route/status) and timed
+//! into log2 latency histograms on the daemon-lifetime tracer;
+//! connection, in-flight, keep-alive-reuse, and parse-error series ride
+//! along (see DESIGN.md §16 for the naming scheme). Requests carrying an
+//! `x-craft-trace` header have the id stamped through the job record,
+//! manifest, run-dir spans, and the structured daemon log
+//! (`daemon.log.jsonl`, see [`obs`]), so one id stitches a client call
+//! to everything it caused.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod http;
 pub mod jobs;
+pub mod obs;
 
 pub use cache::SharedEvalCache;
 pub use jobs::{DaemonConfig, JobManager, JobRecord, JobState, SubmitError};
@@ -42,10 +54,11 @@ pub use jobs::{DaemonConfig, JobManager, JobRecord, JobState, SubmitError};
 use mixedprec::JobSpec;
 use mptrace::sinks;
 use mptrace::stream::LiveTail;
+use obs::{Level, LogRecord};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often the accept loop polls the stop flag, and how often a live
 /// stream polls its file for new bytes.
@@ -119,22 +132,74 @@ impl Server {
 /// connection, or a request is malformed (framing can no longer be
 /// trusted after one).
 fn handle_connection(mut conn: TcpStream, mgr: &Arc<JobManager>) {
+    mgr.connection_opened();
+    serve_connection(&mut conn, mgr);
+    mgr.connection_closed();
+}
+
+fn serve_connection(conn: &mut TcpStream, mgr: &Arc<JobManager>) {
+    let mut served = 0u64;
     loop {
-        let request = match http::read_request(&mut conn) {
+        let request = match http::read_request(conn) {
             Ok(Some(r)) => r,
             Ok(None) => return,
             Err(e) => {
+                // A garbage request must not take the connection loop
+                // (let alone the daemon) down: count it, warn-log it,
+                // answer 400, and drop only this connection — framing
+                // can no longer be trusted after a parse failure.
+                mgr.count_parse_error(&e);
                 let body = error_json(&e);
-                let _ = http::respond_json(&mut conn, 400, &body);
+                let _ = http::respond_json(conn, 400, &body);
                 return;
             }
         };
-        match route(&mut conn, mgr, &request) {
+        if served > 0 {
+            mgr.keepalive_reused();
+        }
+        served += 1;
+        mgr.request_begin();
+        let t0 = Instant::now();
+        let outcome = route(conn, mgr, &request);
+        let latency_us = t0.elapsed().as_micros() as u64;
+        mgr.request_end();
+        match outcome {
+            Ok((status, keep)) => {
+                mgr.observe_request(route_key(&request), status, latency_us);
+                let mut rec = LogRecord::now(Level::Info, "request")
+                    .s("method", &request.method)
+                    .s("path", &request.path)
+                    .u("status", status as u64)
+                    .u("us", latency_us);
+                if let Some(trace) = &request.trace {
+                    rec = rec.s("trace", trace);
+                }
+                mgr.log_event(rec);
+                if !keep || request.close {
+                    return;
+                }
+            }
             // `Err` = the client went away mid-response; nothing to
             // clean up either way.
-            Ok(true) if !request.close => {}
-            _ => return,
+            Err(_) => return,
         }
+    }
+}
+
+/// Stable per-route key used in metric names (`http.requests.<key>.<status>`,
+/// `http.latency_us.<key>`).
+fn route_key(req: &http::Request) -> &'static str {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["jobs"]) => "post_jobs",
+        ("GET", ["jobs"]) => "get_jobs",
+        ("GET", ["jobs", _]) => "get_job",
+        ("GET", ["jobs", _, "live"]) => "get_job_live",
+        ("GET", ["jobs", _, "metrics"]) => "get_job_metrics",
+        ("GET", ["metrics"]) => "get_metrics",
+        ("GET", ["healthz"]) => "healthz",
+        ("POST", ["admin", "drain"]) => "drain",
+        _ => "other",
     }
 }
 
@@ -145,46 +210,50 @@ fn error_json(msg: &str) -> String {
     s
 }
 
-/// Route one request. Returns whether the connection remains usable for
-/// another request (`false` after a live follow, whose chunked response
-/// declares `Connection: close`).
+/// Route one request. Returns `(status, connection still usable)` —
+/// usable is `false` after a live follow, whose chunked response
+/// declares `Connection: close`.
 fn route(
     conn: &mut TcpStream,
     mgr: &Arc<JobManager>,
     req: &http::Request,
-) -> std::io::Result<bool> {
+) -> std::io::Result<(u16, bool)> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     if let ("GET", ["jobs", id, "live"]) = (req.method.as_str(), segments.as_slice()) {
-        return stream_live(conn, mgr, id).map(|()| false);
+        return stream_live(conn, mgr, id).map(|status| (status, false));
     }
     let done = match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => http::respond(conn, 200, "text/plain", b"ok\n"),
+        ("GET", ["healthz"]) => http::respond(conn, 200, "text/plain", b"ok\n").map(|()| 200),
         ("GET", ["metrics"]) => {
-            mgr.publish_gauges();
-            let text = sinks::prometheus(&mgr.tracer().snapshot());
-            http::respond(conn, 200, "text/plain; version=0.0.4", text.as_bytes())
+            let text = unified_metrics(mgr);
+            http::respond(conn, 200, "text/plain; version=0.0.4", text.as_bytes()).map(|()| 200)
         }
         ("POST", ["jobs"]) => {
             let body = String::from_utf8_lossy(&req.body);
             let spec = match JobSpec::parse(&body) {
                 Ok(s) => s,
-                Err(e) => return http::respond_json(conn, 400, &error_json(&e)).map(|()| true),
+                Err(e) => {
+                    return http::respond_json(conn, 400, &error_json(&e)).map(|()| (400, true))
+                }
             };
-            match mgr.submit(spec) {
+            match mgr.submit(spec, req.trace.clone()) {
                 Ok(id) => {
                     let mut s = String::from("{\"id\":");
                     mptrace::json::esc(&mut s, &id);
                     s.push('}');
-                    http::respond_json(conn, 202, &s)
+                    http::respond_json(conn, 202, &s).map(|()| 202)
                 }
-                Err(SubmitError::Invalid(e)) => http::respond_json(conn, 400, &error_json(&e)),
+                Err(SubmitError::Invalid(e)) => {
+                    http::respond_json(conn, 400, &error_json(&e)).map(|()| 400)
+                }
                 Err(SubmitError::QueueFull) => http::respond_json(
                     conn,
                     429,
                     &error_json("job queue is full — daemon is shedding load, retry later"),
-                ),
+                )
+                .map(|()| 429),
                 Err(SubmitError::Draining) => {
-                    http::respond_json(conn, 503, &error_json("daemon is draining"))
+                    http::respond_json(conn, 503, &error_json("daemon is draining")).map(|()| 503)
                 }
             }
         }
@@ -198,43 +267,95 @@ fn route(
                 s.push_str(&j.to_json());
             }
             s.push(']');
-            http::respond_json(conn, 200, &s)
+            http::respond_json(conn, 200, &s).map(|()| 200)
         }
         ("GET", ["jobs", id]) => match mgr.job(id) {
-            Some(j) => http::respond_json(conn, 200, &j.to_json()),
-            None => http::respond_json(conn, 404, &error_json("no such job")),
+            Some(j) => http::respond_json(conn, 200, &j.to_json()).map(|()| 200),
+            None => http::respond_json(conn, 404, &error_json("no such job")).map(|()| 404),
         },
         ("GET", ["jobs", id, "metrics"]) => match mgr.job(id) {
             Some(j) => {
                 let dir = mgr.job_dir(id);
                 match job_snapshot(&dir) {
                     Some(snap) => {
-                        let text = sinks::prometheus_labeled(
-                            &snap,
-                            &[("job", id), ("bench", &j.spec.bench)],
-                        );
+                        let labels = job_labels(&j);
+                        let pairs: Vec<(&str, &str)> =
+                            labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+                        let text = sinks::prometheus_labeled(&snap, &pairs);
                         http::respond(conn, 200, "text/plain; version=0.0.4", text.as_bytes())
+                            .map(|()| 200)
                     }
-                    None => {
-                        http::respond_json(conn, 404, &error_json("job has produced no trace yet"))
-                    }
+                    // Running (or still-queued) job with no deltas yet:
+                    // tell the scraper to come back, not that the job is
+                    // unknown.
+                    None if !j.state.is_terminal() => http::respond_with(
+                        conn,
+                        503,
+                        "application/json",
+                        &[("Retry-After", "1")],
+                        error_json("job has produced no telemetry yet — retry").as_bytes(),
+                    )
+                    .map(|()| 503),
+                    None => http::respond_json(conn, 404, &error_json("job produced no trace"))
+                        .map(|()| 404),
                 }
             }
-            None => http::respond_json(conn, 404, &error_json("no such job")),
+            None => http::respond_json(conn, 404, &error_json("no such job")).map(|()| 404),
         },
         ("POST", ["admin", "drain"]) => {
             mgr.drain();
-            http::respond_json(conn, 200, "{\"draining\":true}")
+            http::respond_json(conn, 200, "{\"draining\":true}").map(|()| 200)
         }
         (m, _) if m != "GET" && m != "POST" => {
-            http::respond_json(conn, 405, &error_json("method not allowed"))
+            http::respond_json(conn, 405, &error_json("method not allowed")).map(|()| 405)
         }
-        _ => http::respond_json(conn, 404, &error_json("no such endpoint")),
+        _ => http::respond_json(conn, 404, &error_json("no such endpoint")).map(|()| 404),
     };
-    done.map(|()| true)
+    done.map(|status| (status, true))
 }
 
-/// Fold whatever trace artifacts the job has so far into a snapshot.
+/// The job's constant label set for Prometheus expositions.
+fn job_labels(j: &JobRecord) -> Vec<(&'static str, String)> {
+    let backend = if j.spec.backend.is_empty() {
+        fpvm::Backend::default().name().to_string()
+    } else {
+        j.spec.backend.clone()
+    };
+    let lattice =
+        if j.spec.lattice.is_empty() { "classic".to_string() } else { j.spec.lattice.clone() };
+    vec![
+        ("job", j.id.clone()),
+        ("bench", j.spec.bench.clone()),
+        ("backend", backend),
+        ("lattice", lattice),
+    ]
+}
+
+/// The unified `GET /metrics` body: the daemon-lifetime series first
+/// (with `# TYPE` headers), then every known job's series labelled
+/// `job`/`bench`/`backend`/`lattice`, comment lines stripped so each
+/// metric family is declared at most once.
+fn unified_metrics(mgr: &Arc<JobManager>) -> String {
+    mgr.publish_gauges();
+    let mut text = sinks::prometheus(&mgr.tracer().snapshot());
+    for j in mgr.jobs() {
+        let Some(snap) = job_snapshot(&mgr.job_dir(&j.id)) else { continue };
+        let labels = job_labels(&j);
+        let pairs: Vec<(&str, &str)> = labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        let labeled = sinks::prometheus_labeled(&snap, &pairs);
+        for line in labeled.lines().filter(|l| !l.starts_with('#')) {
+            text.push_str(line);
+            text.push('\n');
+        }
+    }
+    text
+}
+
+/// Fold whatever trace artifacts the job has so far into a snapshot:
+/// the final `trace.jsonl` once it exists, otherwise the `live.jsonl`
+/// delta chain folded into a partial snapshot. `None` until the stream
+/// has at least one delta — an empty exposition would be
+/// indistinguishable from a dead job.
 fn job_snapshot(dir: &std::path::Path) -> Option<mptrace::snapshot::TraceSnapshot> {
     let trace = dir.join("trace.jsonl");
     if let Ok(text) = std::fs::read_to_string(&trace) {
@@ -242,7 +363,10 @@ fn job_snapshot(dir: &std::path::Path) -> Option<mptrace::snapshot::TraceSnapsho
             return Some(snap);
         }
     }
-    mptrace::stream::LiveLog::from_file(dir.join("live.jsonl")).ok().map(|log| log.final_snapshot())
+    mptrace::stream::LiveLog::from_file(dir.join("live.jsonl"))
+        .ok()
+        .filter(|log| !log.deltas.is_empty())
+        .map(|log| log.final_snapshot())
 }
 
 /// `GET /jobs/<id>/live`: follow the job's `live.jsonl` with a
@@ -250,9 +374,9 @@ fn job_snapshot(dir: &std::path::Path) -> Option<mptrace::snapshot::TraceSnapsho
 /// the job reaches a terminal state (plus one final poll, so the last
 /// delta is never lost). Torn trailing lines stay in the tail's carry
 /// buffer, so followers only ever see whole records.
-fn stream_live(conn: &mut TcpStream, mgr: &Arc<JobManager>, id: &str) -> std::io::Result<()> {
+fn stream_live(conn: &mut TcpStream, mgr: &Arc<JobManager>, id: &str) -> std::io::Result<u16> {
     if mgr.job(id).is_none() {
-        return http::respond_json(conn, 404, &error_json("no such job"));
+        return http::respond_json(conn, 404, &error_json("no such job")).map(|()| 404);
     }
     let live_path = mgr.job_dir(id).join("live.jsonl");
     let mut tail = LiveTail::new(&live_path);
@@ -271,5 +395,5 @@ fn stream_live(conn: &mut TcpStream, mgr: &Arc<JobManager>, id: &str) -> std::io
         }
         std::thread::sleep(POLL);
     }
-    ch.finish()
+    ch.finish().map(|()| 200)
 }

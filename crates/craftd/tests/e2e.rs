@@ -281,11 +281,150 @@ fn full_queue_sheds_and_drain_persists_queued_jobs_as_pending() {
     let v = json::parse(text.trim()).unwrap();
     assert_eq!(v.get("state").and_then(Value::as_str), Some("pending"), "{text}");
     assert_eq!(
-        d.mgr.submit(vecops_spec()),
+        d.mgr.submit(vecops_spec(), None),
         Err(craftd::SubmitError::Draining),
         "a draining daemon accepts no new work"
     );
     let mgr = Arc::clone(&d.mgr);
     drop(d); // joins the server thread — drain must complete, not hang
     assert!(mgr.is_drained());
+}
+
+#[test]
+fn garbage_request_is_counted_logged_and_does_not_kill_the_daemon() {
+    use std::io::{Read, Write};
+    let d = Daemon::start("garbage", |cfg| cfg.max_running = 0);
+
+    let mut conn = std::net::TcpStream::connect(&d.addr).expect("connect");
+    conn.write_all(b"GARBAGE\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+
+    // The connection loop survived: the daemon still answers, and the
+    // failure is visible in both the metrics and the structured log.
+    let (code, body) = http::request(&d.addr, "GET", "/healthz", None).unwrap();
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    let (_, metrics) = http::request(&d.addr, "GET", "/metrics", None).unwrap();
+    assert!(metrics.contains("craft_http_parse_errors_total 1"), "{metrics}");
+    assert!(metrics.contains("craft_http_parse_errors_bad_request_line_total 1"), "{metrics}");
+
+    let (records, warn) =
+        craftd::obs::read_log(&d.data_dir.join(craftd::obs::LOG_FILE)).expect("daemon log reads");
+    assert!(warn.is_none(), "{warn:?}");
+    let parse_err = records
+        .iter()
+        .find(|r| r.event == "http_parse_error")
+        .expect("parse error reached the daemon log");
+    assert_eq!(parse_err.level, craftd::obs::Level::Warn);
+    assert!(
+        parse_err.fields.iter().any(
+            |(k, v)| k == "reason" && *v == craftd::obs::LogField::S("bad_request_line".into())
+        ),
+        "{parse_err:?}"
+    );
+}
+
+#[test]
+fn job_metrics_wait_with_retry_after_then_fold_partial_live_deltas() {
+    use std::io::{Read, Write};
+    // No runners: the job stays queued, so it has produced no telemetry.
+    let d = Daemon::start("partial", |cfg| cfg.max_running = 0);
+    let (status, resp) = d.submit(&vecops_spec());
+    assert_eq!(status, 202);
+    let id = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+
+    // A scraper gets "come back soon", not "no such job".
+    let mut conn = std::net::TcpStream::connect(&d.addr).expect("connect");
+    write!(conn, "GET /jobs/{id}/metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+    assert!(raw.contains("Retry-After: 1"), "{raw}");
+    drop(d);
+
+    // Once deltas exist they fold into a partial snapshot even with no
+    // final trace.jsonl (the running-job view): finish a job, then
+    // serve its metrics from live.jsonl alone.
+    let d = Daemon::start("partial2", |cfg| cfg.max_running = 1);
+    let (status, resp) = d.submit(&vecops_spec());
+    assert_eq!(status, 202);
+    let id = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+    let job = d.wait_terminal(&id);
+    assert_eq!(job.get("state").and_then(Value::as_str), Some("done"), "{job:?}");
+    std::fs::remove_file(d.mgr.job_dir(&id).join("trace.jsonl")).unwrap();
+    let (code, jm) = http::request(&d.addr, "GET", &format!("/jobs/{id}/metrics"), None).unwrap();
+    assert_eq!(code, 200, "{jm}");
+    assert!(jm.contains(&format!("job=\"{id}\"")), "{jm}");
+    // A terminal job with no artifacts at all is a 404, not a retry.
+    std::fs::remove_file(d.mgr.job_dir(&id).join("live.jsonl")).unwrap();
+    let (code, _) = http::request(&d.addr, "GET", &format!("/jobs/{id}/metrics"), None).unwrap();
+    assert_eq!(code, 404);
+}
+
+#[test]
+fn trace_id_flows_from_client_to_log_record_manifest_and_spans() {
+    let d = Daemon::start("trace", |_| {});
+    let mut client = http::Client::new(&d.addr);
+    client.set_trace("tr-e2e-42-0");
+    let (code, body) = client.request("POST", "/jobs", Some(&vecops_spec().to_json())).unwrap();
+    assert_eq!(code, 202, "{body}");
+    let id = json::parse(&body)
+        .ok()
+        .and_then(|v| v.get("id").and_then(Value::as_str).map(str::to_string))
+        .expect("job id");
+    let job = d.wait_terminal(&id);
+    assert_eq!(job.get("state").and_then(Value::as_str), Some("done"), "{job:?}");
+
+    // 1. The job record carries the client's id.
+    assert_eq!(job.get("trace").and_then(Value::as_str), Some("tr-e2e-42-0"), "{job:?}");
+
+    // 2. So does the run manifest…
+    let manifest = mptrace::registry::RunManifest::load(d.mgr.job_dir(&id))
+        .expect("manifest parses")
+        .expect("manifest written");
+    assert_eq!(manifest.trace_id, "tr-e2e-42-0");
+
+    // 3. …the run-dir spans (the `trace:<id>` span name)…
+    let spans = std::fs::read_to_string(d.mgr.job_dir(&id).join("trace.jsonl")).unwrap();
+    assert!(spans.contains("trace:tr-e2e-42-0"), "{spans}");
+
+    // 4. …and the structured daemon log, on both the request record and
+    // the job lifecycle records.
+    let (records, _) =
+        craftd::obs::read_log(&d.data_dir.join(craftd::obs::LOG_FILE)).expect("daemon log reads");
+    let has = |event: &str| {
+        records.iter().any(|r| {
+            r.event == event
+                && r.fields.iter().any(|(k, v)| {
+                    k == "trace" && *v == craftd::obs::LogField::S("tr-e2e-42-0".into())
+                })
+        })
+    };
+    assert!(has("request"), "no request record with the trace id: {records:?}");
+    assert!(has("job_queued"), "no intake record with the trace id");
+    assert!(has("job_state"), "no lifecycle record with the trace id");
+
+    // A client that sends no id still gets a traceable job: the daemon
+    // mints one at intake.
+    let (status, resp) = d.submit(&vecops_spec());
+    assert_eq!(status, 202);
+    let id2 = resp.get("id").and_then(Value::as_str).unwrap().to_string();
+    let minted = d.status(&id2).get("trace").and_then(Value::as_str).unwrap_or("").to_string();
+    assert!(minted.starts_with("tr-"), "daemon should mint a trace id, got {minted:?}");
+
+    // The unified /metrics exposition holds daemon request telemetry and
+    // the per-job series side by side. Reuse the keep-alive client so
+    // the reuse counter has something to show.
+    let (code, _) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(code, 200);
+    let (code, metrics) = http::request(&d.addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(code, 200);
+    assert!(metrics.contains("craft_http_requests_total"), "{metrics}");
+    assert!(metrics.contains("craft_http_latency_us_bucket"), "{metrics}");
+    assert!(metrics.contains("craft_http_keepalive_reuse_total"), "{metrics}");
+    assert!(metrics.contains(&format!("job=\"{id}\"")), "{metrics}");
+    assert!(metrics.contains("bench=\"vecops\""), "{metrics}");
+    assert!(metrics.contains("lattice=\"classic\""), "{metrics}");
 }

@@ -61,6 +61,12 @@ pub struct RunManifest {
     /// double/single search — both in new classic runs and in manifests
     /// written before the lattice existed.
     pub lattice: String,
+    /// Cross-process trace/request id (`x-craft-trace`) that caused
+    /// this run, as minted by `craft submit` or the daemon's intake.
+    /// Empty for in-process runs and for manifests from before trace
+    /// propagation existed — the id stitches one client request to the
+    /// daemon log line, the job record, and the run-dir spans.
+    pub trace_id: String,
     /// FNV-1a hash of the final configuration text, hex.
     pub config_hash: String,
     /// Verification tolerance used.
@@ -98,6 +104,8 @@ impl RunManifest {
         esc(&mut s, &self.backend);
         s.push_str(",\"lattice\":");
         esc(&mut s, &self.lattice);
+        s.push_str(",\"trace_id\":");
+        esc(&mut s, &self.trace_id);
         s.push_str(",\"config_hash\":");
         esc(&mut s, &self.config_hash);
         let _ = write!(s, ",\"tol\":{:?},\"threads\":{}", self.tol, self.threads);
@@ -195,6 +203,9 @@ impl RunManifest {
             // Absent in manifests written before the precision lattice;
             // empty means the classic double/single search.
             lattice: st("lattice").unwrap_or_default(),
+            // Absent in manifests written before trace propagation;
+            // empty means no client request is linked to the run.
+            trace_id: st("trace_id").unwrap_or_default(),
             config_hash: st("config_hash")?,
             tol: v.get("tol").and_then(Value::as_f64).ok_or("manifest: missing \"tol\"")?,
             threads: n("threads")? as usize,
@@ -401,6 +412,7 @@ mod tests {
             class: "s".into(),
             backend: "compiled".into(),
             lattice: "s,h,b".into(),
+            trace_id: "tr-1700000000-1-0".into(),
             config_hash: fnv1a64("double main()"),
             tol: 1e-6,
             threads: 4,
@@ -457,6 +469,18 @@ mod tests {
         let back = RunManifest::parse(&legacy).unwrap();
         assert_eq!(back.lattice, "");
         assert_eq!(RunManifest { lattice: String::new(), ..m }, back);
+    }
+
+    #[test]
+    fn legacy_manifest_without_trace_id_parses_with_empty_trace() {
+        let m = manifest("ep-1700000000-1-0", "ep", true);
+        let text = m.to_json();
+        // Simulate a manifest written before trace propagation.
+        let legacy = text.replace(",\"trace_id\":\"tr-1700000000-1-0\"", "");
+        assert!(!legacy.contains("trace_id"));
+        let back = RunManifest::parse(&legacy).unwrap();
+        assert_eq!(back.trace_id, "");
+        assert_eq!(RunManifest { trace_id: String::new(), ..m }, back);
     }
 
     #[test]

@@ -290,6 +290,71 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_labeled_escapes_hostile_values_on_gauge_and_histogram_series() {
+        // PR 5 only exercised escaping on counter-shaped series (hot
+        // insns, spans); the daemon now attaches constant labels built
+        // from job specs (bench/backend/lattice) to gauge and histogram
+        // series too, and those values can carry quotes, backslashes,
+        // and newlines.
+        let mut snap = TraceSnapshot::default();
+        snap.gauges
+            .insert("queue.depth".into(), GaugeStat { last: 2.0, min: 0.0, max: 4.0, sets: 3 });
+        snap.hists.insert(
+            "eval wall".into(),
+            HistStat { count: 4, sum: 22, buckets: vec![(0, 1), (3, 3)] },
+        );
+        let hostile = "j\\1 \"q\"\nend";
+        let text = prometheus_labeled(&snap, &[("job", hostile), ("bench", "ep")]);
+        let esc = "j\\\\1 \\\"q\\\"\\nend";
+        // Gauge: the bare series and its _min/_max companions all carry
+        // the escaped label set.
+        assert!(
+            text.contains(&format!("craft_queue_depth{{job=\"{esc}\",bench=\"ep\"}} 2")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("craft_queue_depth_min{{job=\"{esc}\",bench=\"ep\"}} 0")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("craft_queue_depth_max{{job=\"{esc}\",bench=\"ep\"}} 4")),
+            "{text}"
+        );
+        // Histogram: every bucket (le merged before the constant set),
+        // plus _sum and _count.
+        assert!(
+            text.contains(&format!(
+                "craft_eval_wall_bucket{{le=\"0\",job=\"{esc}\",bench=\"ep\"}} 1"
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "craft_eval_wall_bucket{{le=\"+Inf\",job=\"{esc}\",bench=\"ep\"}} 4"
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("craft_eval_wall_sum{{job=\"{esc}\",bench=\"ep\"}} 22")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("craft_eval_wall_count{{job=\"{esc}\",bench=\"ep\"}} 4")),
+            "{text}"
+        );
+        // No raw newline survives inside any label set, and every line
+        // still splits into `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("line has a value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok() || value == "+Inf", "bad value {value:?}");
+            if let Some(open) = line.find('{') {
+                assert!(!line[open..].contains('\n'));
+            }
+        }
+    }
+
+    #[test]
     fn folded_exclusive_time_on_deep_nesting() {
         // search(100) > bfs(80) > eval(50) > run(30) > step(10), plus a
         // sibling leaf under eval — four levels of real nesting.
