@@ -112,6 +112,20 @@ fn bench(c: &mut Criterion) {
                 prof.total_cycles()
             })
         });
+        // Overhead of the numerical-health observer (the mptrace
+        // `fp.*` path): same image, same run, with every scalar FP
+        // result and quantize classified. Contract: <5% over
+        // `.orig.fast`, while `.orig.fast` itself (the hook compiled
+        // out via `NoopNumObserver`) stays within noise.
+        g.bench_function(format!("{name}.orig.numhealth"), |b| {
+            b.iter(|| {
+                let mut prof = mptrace::numprof::NumProfiler::new(orig.insn_id_bound());
+                let mut vm = Vm::new(&orig, VmOptions::default());
+                let out = vm.run_image_numhealth(&orig_image, &mut prof);
+                assert_eq!(out.stats.steps, orig_steps);
+                prof.iter().map(|(_, e)| e.total).sum::<u64>()
+            })
+        });
         g.bench_function(format!("{name}.instrumented"), |b| {
             b.iter(|| {
                 let out = Vm::run_program(&instr, VmOptions::default());

@@ -11,6 +11,7 @@
 //! craft report <events.jsonl|run-dir>  # digest a search event log / run directory
 //! craft metrics <trace.jsonl>          # render a trace snapshot (Prometheus/folded)
 //! craft runs                           # list registry-recorded runs
+//! craft explain <run-dir|latest>       # decision provenance + numerical health
 //! craft watch <run-dir|latest>         # render a run's live.jsonl stream
 //! craft compare <run-a> <run-b>        # cross-run diff with regression attribution
 //! craft submit <bench> [class]         # submit a tuning job to a craftd daemon
@@ -41,9 +42,12 @@
 //! runs — bit-identical results, different throughput; also accepted by
 //! `shadow`/`overhead`/`tree`/`config`, and recorded in the run
 //! manifest), `--shadow-priority` / `--shadow-prune` (shadow-value
-//! search guidance), `--events=FILE` (JSONL event log), `--trace=DIR` (run
+//! search guidance), `--num-health` (replay the final configuration
+//! under the numerical-health observer and fold `fp.*` counters into
+//! the trace — requires `--trace`; `craft explain` renders the hot
+//! lists), `--events=FILE` (JSONL event log), `--trace=DIR` (run
 //! directory collecting `events.jsonl` + `trace.jsonl` + `live.jsonl` +
-//! `manifest.json`), `--registry=DIR` (record the run in a registry;
+//! `decisions.jsonl` + `manifest.json`), `--registry=DIR` (record the run in a registry;
 //! defaults to `$CRAFT_REGISTRY` or `~/.craft/runs`), and the
 //! fault-injection drills `--inject-panic=IDX[,IDX…]` /
 //! `--inject-timeout=IDX[,IDX…]`.
@@ -712,6 +716,37 @@ fn prom_get(series: &[(String, f64)], name: &str) -> Option<f64> {
     series.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
 }
 
+/// Sum of a job's abnormal-FP-event counters from the unified
+/// exposition: NaN/Inf/underflow/subnormal results plus quantize
+/// saturations and flushes. Only the job-wide totals are summed — the
+/// per-instruction breakdown series (those carrying an `insn` label)
+/// cover the same events and would double-count. `None` when the job
+/// exported no `craft_fp_*` series at all (run without `--num-health`),
+/// so the dashboard can distinguish "unobserved" from "clean".
+fn fp_anomalies(series: &[(String, f64)], job: &str) -> Option<u64> {
+    const FP: &[&str] = &[
+        "craft_fp_nan_total",
+        "craft_fp_inf_total",
+        "craft_fp_underflow_total",
+        "craft_fp_subnormal_total",
+        "craft_fp_sat_total",
+        "craft_fp_flush_total",
+    ];
+    let tag = format!("job=\"{job}\"");
+    let mut seen = false;
+    let mut sum = 0.0;
+    for (name, v) in series {
+        let base = name.split('{').next().unwrap_or(name);
+        if base.starts_with("craft_fp_") && name.contains(&tag) {
+            seen = true; // armed: `fp.result` exports even for clean runs
+            if FP.contains(&base) && !name.contains("insn=\"") {
+                sum += v;
+            }
+        }
+    }
+    seen.then_some(sum as u64)
+}
+
 /// One frame of `craft top`: daemon request/queue/cache lines from the
 /// unified `/metrics` exposition, a latency spark-line, and a per-job
 /// table; running jobs are tailed from their `live.jsonl` when the data
@@ -770,7 +805,13 @@ fn render_top(
         })
         .collect();
     buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
-    if !buckets.is_empty() {
+    let count = g("craft_http_latency_us_count");
+    if buckets.is_empty() || count <= 0.0 {
+        // No latency samples yet (e.g. `--once` against a daemon that
+        // has served nothing): render an explicit placeholder instead
+        // of a meaningless all-zero spark-line / `mean 0us over 0`.
+        println!("latency     : -");
+    } else {
         let mut cum = 0.0;
         let counts: Vec<u64> = buckets
             .iter()
@@ -780,8 +821,7 @@ fn render_top(
                 d as u64
             })
             .collect();
-        let count = g("craft_http_latency_us_count");
-        let mean = if count > 0.0 { g("craft_http_latency_us_sum") / count } else { 0.0 };
+        let mean = g("craft_http_latency_us_sum") / count;
         println!(
             "latency     : {}  mean {mean:.0}us over {count:.0} requests",
             sparkline(&counts, 32)
@@ -791,8 +831,8 @@ fn render_top(
         println!("\n(no jobs)");
     } else {
         println!(
-            "\n{:<34}  {:<8}  {:<10}  {:>9}  {:>6}  live",
-            "id", "state", "bench", "wall", "hits"
+            "\n{:<34}  {:<8}  {:<10}  {:>9}  {:>6}  {:>7}  live",
+            "id", "state", "bench", "wall", "hits", "fp!"
         );
         for j in jobs {
             let s = |k: &str| j.get(k).and_then(Value::as_str).unwrap_or("");
@@ -822,19 +862,206 @@ fn render_top(
                 }
             }
             println!(
-                "{:<34}  {:<8}  {:<10}  {:>8.2}s  {:>6}  {live}",
+                "{:<34}  {:<8}  {:<10}  {:>8.2}s  {:>6}  {:>7}  {live}",
                 id,
                 state,
                 format!("{}.{}", s("bench"), s("class")),
                 j.get("wall_us").and_then(Value::as_u64).unwrap_or(0) as f64 / 1e6,
                 j.get("cache_hits").and_then(Value::as_u64).unwrap_or(0),
+                fp_anomalies(series, id).map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
             );
         }
     }
     (requests, now)
 }
 
+/// Human name for a config flag token as stored in decision records.
+fn flag_name(tok: &str) -> &'static str {
+    match tok {
+        "d" => "double",
+        "s" => "single",
+        "h" => "half",
+        "b" => "bf16",
+        "i" => "ignored",
+        _ => "custom",
+    }
+}
+
+/// `craft explain`: per-instruction decision timelines from a run
+/// directory's `decisions.jsonl`, then the numerical-health hot lists
+/// from its trace snapshot. Every line of a timeline names the exact
+/// evidence the search acted on — the unit that passed or failed at
+/// each lattice level, the verdict, the shadow error metric, or the
+/// range-guard envelope that refused a demotion — so "why is this
+/// instruction half?" has a mechanical answer.
+fn render_explain(
+    dir: &Path,
+    records: &[mpsearch::decisions::DecisionRecord],
+    insn: Option<u64>,
+    func: Option<&str>,
+    top: usize,
+) {
+    use mpsearch::decisions::DecisionEvent as Ev;
+    let replaced =
+        records.iter().filter(|r| r.final_format != "d" && r.final_format != "i").count();
+    let ignored = records.iter().filter(|r| matches!(r.events.as_slice(), [Ev::Ignored])).count();
+    println!("run        : {}", dir.display());
+    println!(
+        "decisions  : {} instructions ({replaced} replaced, {} kept double, {ignored} ignored)",
+        records.len(),
+        records.len() - replaced - ignored,
+    );
+    let filtered = insn.is_some() || func.is_some();
+    let shown: Vec<_> = records
+        .iter()
+        .filter(|r| {
+            if let Some(a) = insn {
+                return r.addr == a;
+            }
+            if let Some(f) = func {
+                return r.func == f;
+            }
+            // Unfiltered view: skip the ignored bulk (loads, stores,
+            // control flow) — a filter brings them back.
+            !matches!(r.events.as_slice(), [Ev::Ignored])
+        })
+        .collect();
+    if filtered && shown.is_empty() {
+        println!("\n(no instructions match the filter)");
+    }
+    for r in &shown {
+        println!("\ninsn {:>3} @{:#x}  {}", r.insn, r.addr, r.label);
+        println!("  final : {} ({})", r.final_format, flag_name(&r.final_format));
+        for ev in &r.events {
+            match ev {
+                Ev::Passed { level, format, unit } => {
+                    println!("  - passed        level {level} ({format}) in {unit}");
+                }
+                Ev::Failed { level, format, verdict, unit, shadow_err } => {
+                    let err =
+                        shadow_err.map(|e| format!("  shadow-err {e:.3e}")).unwrap_or_default();
+                    println!(
+                        "  - failed        level {level} ({format}) verdict {} in {unit}{err}",
+                        verdict.as_str()
+                    );
+                }
+                Ev::GuardRefused { format, class, max_abs, min_abs, bound } => {
+                    println!(
+                        "  - guard-refused {format}: {class} observed |x| in \
+                         [{min_abs:.3e}, {max_abs:.3e}], bound {bound:.3e}"
+                    );
+                }
+                Ev::ShadowPruned { level, format, err, threshold, unit } => {
+                    println!(
+                        "  - shadow-pruned level {level} ({format}): predicted err {err:.3e} \
+                         > threshold {threshold:.3e} in {unit}"
+                    );
+                }
+                Ev::Dropped { unit } => {
+                    println!("  - dropped       by second phase from passing unit {unit}");
+                }
+                Ev::Ignored => println!("  - ignored       (not a tunable FP instruction)"),
+            }
+        }
+        if r.events.is_empty() {
+            println!("  - untested      (kept at base format; never isolated by the search)");
+        }
+    }
+    render_num_health(dir, records, top);
+}
+
+/// The numerical-health tail of `craft explain`: totals plus hot lists
+/// ("top NaN producers", "insns saturating at bf16") from the run's
+/// `fp.*` counter family. Absent counters mean the run was not armed —
+/// say so instead of printing an empty section.
+fn render_num_health(dir: &Path, records: &[mpsearch::decisions::DecisionRecord], top: usize) {
+    let snap = match load_run_snapshot(dir) {
+        Ok(s) => s,
+        Err(_) => {
+            println!("\nnumerical health: (no trace snapshot in this run directory)");
+            return;
+        }
+    };
+    if !snap.counters.keys().any(|k| k.starts_with("fp.")) {
+        println!(
+            "\nnumerical health: (none recorded — rerun `craft analyze --num-health --trace=DIR`)"
+        );
+        return;
+    }
+    let c = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    println!("\n--- numerical health ---");
+    println!(
+        "fp results : {}   nan {}   inf {}   underflow {}   subnormal {}",
+        c("fp.result"),
+        c("fp.nan"),
+        c("fp.inf"),
+        c("fp.underflow"),
+        c("fp.subnormal")
+    );
+    for (k, v) in &snap.counters {
+        let Some(fmt) = k.strip_prefix("fp.quantize.") else { continue };
+        println!(
+            "quantize   : {fmt} {v}   sat {}   flush {}",
+            c(&format!("fp.sat.{fmt}")),
+            c(&format!("fp.flush.{fmt}"))
+        );
+    }
+    let labels: HashMap<u32, &str> = records.iter().map(|r| (r.insn, r.label.as_str())).collect();
+    // Per-instruction series are `fp.<kind>.i<id>` where <kind> is
+    // `nan`/`inf`/`underflow`/`subnormal`/`sat.<fmt>`/`flush.<fmt>`.
+    let mut by_kind: std::collections::BTreeMap<&str, Vec<(u64, u32)>> = Default::default();
+    for (k, v) in &snap.counters {
+        let Some(rest) = k.strip_prefix("fp.") else { continue };
+        let Some((kind, id)) = rest.rsplit_once(".i") else { continue };
+        let Ok(id) = id.parse::<u32>() else { continue };
+        by_kind.entry(kind).or_default().push((*v, id));
+    }
+    let hot = |kind: &str, title: String| {
+        let Some(rows) = by_kind.get(kind) else { return };
+        let mut rows = rows.clone();
+        rows.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        println!("{title}:");
+        for (v, id) in rows.iter().take(top) {
+            println!("  {v:>10}  insn {id:>3}  {}", labels.get(id).copied().unwrap_or("?"));
+        }
+    };
+    hot("nan", "top NaN producers".into());
+    hot("inf", "top Inf producers".into());
+    hot("underflow", "top underflow-to-zero sites".into());
+    hot("subnormal", "top subnormal producers".into());
+    for kind in by_kind.keys() {
+        if let Some(fmt) = kind.strip_prefix("sat.") {
+            hot(kind, format!("insns saturating at {fmt}"));
+        }
+    }
+    for kind in by_kind.keys() {
+        if let Some(fmt) = kind.strip_prefix("flush.") {
+            hot(kind, format!("insns flushing to zero at {fmt}"));
+        }
+    }
+}
+
+/// Restore the default SIGPIPE disposition so `craft … | head` dies
+/// quietly instead of panicking on the broken pipe (Rust's runtime
+/// ignores SIGPIPE by default). Hand-rolled signal(2) binding — the
+/// toolchain has no libc crate (same idiom as craftd's handlers).
+#[cfg(unix)]
+fn restore_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn restore_sigpipe() {}
+
 fn main() {
+    restore_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let positional: Vec<&str> =
         args.iter().map(String::as_str).filter(|a| !a.starts_with("--")).collect();
@@ -1036,6 +1263,7 @@ fn main() {
                         ..Default::default()
                     },
                     backend,
+                    num_health: flag("--num-health"),
                 },
             );
             match cmd {
@@ -1130,6 +1358,15 @@ fn main() {
                         std::fs::write(&path, t.snapshot().to_jsonl())
                             .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
                         eprintln!("trace written to {path}");
+                        // Decision provenance rides along with every traced
+                        // run: one record per instruction explaining why it
+                        // ended up at its final format. `craft explain`
+                        // renders these.
+                        let dpath = std::path::Path::new(dir).join("decisions.jsonl");
+                        match mpsearch::decisions::save(&dpath, &r.decisions) {
+                            Ok(()) => eprintln!("decisions written to {}", dpath.display()),
+                            Err(e) => eprintln!("craft: warning: cannot write decisions: {e}"),
+                        }
                         // Stamp the run directory with a manifest and record
                         // it in the registry; neither is allowed to fail the
                         // analysis that already succeeded.
@@ -1282,6 +1519,7 @@ fn main() {
                 fuel_limit: parse_num("--fuel-limit"),
                 wall_limit_ms: parse_num("--wall-limit-ms"),
                 batch: parse_num("--batch").map(|n| n as usize).unwrap_or(1),
+                num_health: flag("--num-health"),
                 inject_runner_panic: false,
             };
             spec.validate().unwrap_or_else(|e| usage(&e));
@@ -1463,18 +1701,58 @@ fn main() {
             if entries.is_empty() {
                 println!("(no recorded runs)");
             } else {
-                println!("{:<34}  {:<8}  {:>9}  {:<5}  path", "id", "bench", "wall", "final");
+                println!(
+                    "{:<34}  {:<8}  {:>9}  {:<5}  {:<20}  path",
+                    "id", "bench", "wall", "final", "trace"
+                );
                 for e in &entries {
+                    // The index line itself carries no trace id; pull it
+                    // from the run's manifest. Blank for legacy manifests
+                    // (pre-trace-propagation) and unreadable run dirs.
+                    let trace = load_run_manifest(&e.path).map(|m| m.trace_id).unwrap_or_default();
                     println!(
-                        "{:<34}  {:<8}  {:>8.2}s  {:<5}  {}",
+                        "{:<34}  {:<8}  {:>8.2}s  {:<5}  {:<20}  {}",
                         e.id,
                         e.bench,
                         e.wall_us as f64 / 1e6,
                         if e.final_pass { "pass" } else { "fail" },
+                        trace,
                         e.path.display()
                     );
                 }
             }
+        }
+        "explain" => {
+            let arg = positional.get(1).copied().unwrap_or_else(|| {
+                usage("usage: craft explain <run-dir|latest> [--insn=ADDR] [--func=NAME] [--top=N]")
+            });
+            let run = resolve_run_arg(arg, opt("--registry").as_deref());
+            let dir = if run.is_dir() {
+                run.clone()
+            } else {
+                run.parent().map(Path::to_path_buf).unwrap_or(run)
+            };
+            let dpath = dir.join("decisions.jsonl");
+            if !dpath.is_file() {
+                fail(format!(
+                    "{}: no decisions.jsonl — record one with `craft analyze <bench> --trace={}`",
+                    dir.display(),
+                    dir.display()
+                ));
+            }
+            let (records, warn) = mpsearch::decisions::load(&dpath).unwrap_or_else(|e| fail(e));
+            if let Some(w) = warn {
+                eprintln!("craft: warning: {}: {w}", dpath.display());
+            }
+            let insn_filter = opt("--insn").map(|s| {
+                let s = s.trim().to_string();
+                s.strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .unwrap_or_else(|| s.parse())
+                    .unwrap_or_else(|_| usage(&format!("--insn wants an address, got {s:?}")))
+            });
+            let top = opt("--top").and_then(|t| t.parse().ok()).unwrap_or(5);
+            render_explain(&dir, &records, insn_filter, opt("--func").as_deref(), top);
         }
         "watch" => {
             let arg = positional.get(1).copied().unwrap_or("latest");
@@ -1554,7 +1832,7 @@ fn main() {
             println!("  craft analyze  <bench> [class] [--second-phase] [--stop-depth=f|b|i]");
             println!("                 [--no-split] [--no-priority] [--lean] [--threads=N]");
             println!("                 [--backend=interp|fast|compiled] [--lattice=s,h|s,b|...]");
-            println!("                 [--shadow-priority] [--shadow-prune]");
+            println!("                 [--shadow-priority] [--shadow-prune] [--num-health]");
             println!("                 [--events=FILE] [--trace=DIR] [--registry=DIR]");
             println!("                 [--inject-panic=IDX[,IDX..]]");
             println!("                 [--inject-timeout=IDX[,IDX..]]");
@@ -1566,6 +1844,8 @@ fn main() {
             println!("  craft report   <events.jsonl|run-dir> [--top=N]");
             println!("  craft metrics  <trace.jsonl> [--prom=FILE] [--folded=FILE]");
             println!("  craft runs     [--registry=DIR] [--bench=NAME]");
+            println!("  craft explain  <run-dir|latest> [--insn=ADDR] [--func=NAME] [--top=N]");
+            println!("                 [--registry=DIR]");
             println!("  craft watch    [run-dir|latest] [--top=N] [--follow] [--registry=DIR]");
             println!("  craft compare  <run-a> <run-b> [--warn-only] [--top=N]");
             println!("                 [--counter-pct=P] [--cycles-pct=P] [--quantile-pct=P]");

@@ -95,6 +95,10 @@ pub struct JobSpec {
     pub wall_limit_ms: Option<u64>,
     /// Queue items per worker lock acquisition (batched dispatch).
     pub batch: usize,
+    /// Arm the numerical-health observer: one extra observed run of the
+    /// final configuration whose `fp.*` event counters join the job's
+    /// metrics (see [`AnalysisOptions::num_health`]).
+    pub num_health: bool,
     /// Test drill: panic inside the job runner after the search starts,
     /// exercising the daemon's crashed-job isolation path.
     pub inject_runner_panic: bool,
@@ -120,6 +124,7 @@ impl Default for JobSpec {
             fuel_limit: None,
             wall_limit_ms: None,
             batch: 1,
+            num_health: false,
             inject_runner_panic: false,
         }
     }
@@ -157,6 +162,7 @@ impl JobSpec {
             ("lean", self.lean, false),
             ("shadow_priority", self.shadow_priority, false),
             ("shadow_prune", self.shadow_prune, false),
+            ("num_health", self.num_health, false),
             ("inject_runner_panic", self.inject_runner_panic, false),
         ] {
             if val != default {
@@ -204,6 +210,7 @@ impl JobSpec {
             fuel_limit: v.get("fuel_limit").and_then(Value::as_u64),
             wall_limit_ms: v.get("wall_limit_ms").and_then(Value::as_u64),
             batch: v.get("batch").and_then(Value::as_u64).map(|n| n as usize).unwrap_or(1),
+            num_health: bool_of("num_health", false),
             inject_runner_panic: bool_of("inject_runner_panic", false),
         };
         if spec.bench.is_empty() {
@@ -292,6 +299,7 @@ impl JobSpec {
                 ..Default::default()
             },
             backend,
+            num_health: self.num_health,
         })
     }
 
@@ -352,6 +360,7 @@ mod tests {
             fuel_limit: Some(1_000_000),
             wall_limit_ms: Some(5_000),
             batch: 4,
+            num_health: true,
             inject_runner_panic: true,
         };
         let again = JobSpec::parse(&spec.to_json()).unwrap();

@@ -73,6 +73,15 @@ pub struct AnalysisOptions {
     /// Execution backend for verification runs (`--backend=`). All
     /// backends are bit-identical; this only changes trial throughput.
     pub backend: fpvm::Backend,
+    /// Arm the numerical-health observer (`--num-health`): after the
+    /// search, the final configuration is run once more under the
+    /// [`fpvm::NumObserver`] hook and the per-instruction `fp.*` event
+    /// counters are folded into the attached tracer. The observed run
+    /// always uses the interpreter fast path — both compiled tiers
+    /// execute FP effects inside opaque handlers (see
+    /// `fpvm::compiled`) — which is sound because all backends are
+    /// bit-identical.
+    pub num_health: bool,
 }
 
 /// How the shadow-value sensitivity profile guides the search.
@@ -282,6 +291,33 @@ impl AnalysisSystem {
         mpshadow::shadow_run(self.workload.program(), self.workload.vm_opts()).profile
     }
 
+    /// Run `cfg`'s instrumented program once under the numerical-health
+    /// observer and return the per-instruction event profile, folded
+    /// back to original instruction ids (instrumentation snippets
+    /// attribute to the instruction they expand). The observed run uses
+    /// the interpreter fast path regardless of
+    /// [`AnalysisOptions::backend`] — the compiled tiers execute FP
+    /// effects inside opaque handlers and cannot expose per-operation
+    /// values — which is sound because all backends are bit-identical.
+    pub fn num_health_profile(&self, cfg: &Config) -> mptrace::numprof::NumProfiler {
+        let prog = self.workload.program();
+        let rewriter = instrument::Rewriter::new(prog, self.opts.rewrite.clone());
+        let (instrumented, _) = rewriter.rewrite(prog, &self.tree, cfg);
+        let vm_opts = self.workload.vm_opts();
+        let image = fpvm::exec::ExecImage::compile(&instrumented, &vm_opts.cost);
+        let mut prof = mptrace::numprof::NumProfiler::new(instrumented.insn_id_bound());
+        let mut vm = Vm::new(&instrumented, vm_opts);
+        let out = vm.run_image_numhealth(&image, &mut prof);
+        assert!(out.ok(), "num-health run of a verified config failed: {:?}", out.result);
+        let mut origin: Vec<u32> = (0..instrumented.insn_id_bound() as u32).collect();
+        for (_, _, insn) in instrumented.iter_insns() {
+            if let Some(o) = insn.origin {
+                origin[insn.id.0 as usize] = o.0;
+            }
+        }
+        prof.fold_ids(prog.insn_id_bound(), |i| origin[i as usize])
+    }
+
     /// Shared search driver: profiles the original binary, optionally
     /// runs the shadow analysis and plugs it into the hooks as an
     /// oracle, then runs the observed search.
@@ -330,6 +366,14 @@ impl AnalysisSystem {
             &self.opts.search,
             &hooks,
         );
+        // Numerical health: one extra observed run of the final
+        // configuration, folded into the tracer as the `fp.*` family.
+        if self.opts.num_health {
+            if let Some(t) = tracer {
+                let _s = t.span("num_health");
+                self.num_health_profile(&report.final_config).fold_into(t);
+            }
+        }
         (report, profile)
     }
 

@@ -678,6 +678,14 @@ impl JobManager {
         let trace_path = dir.join("trace.jsonl");
         std::fs::write(&trace_path, tracer.snapshot().to_jsonl())
             .map_err(|e| format!("cannot write {}: {e}", trace_path.display()))?;
+        // Decision provenance: one record per instruction explaining its
+        // final format. Served verbatim by `GET /jobs/<id>/decisions`
+        // and rendered by `craft explain`; never fails a finished job.
+        let decisions_path = dir.join("decisions.jsonl");
+        if let Err(e) = mpsearch::decisions::save(&decisions_path, &rec.report.decisions) {
+            self.tracer.incr("daemon.decisions_write_errors", 1);
+            eprintln!("craftd: warning: cannot write {}: {e}", decisions_path.display());
+        }
 
         let report = &rec.report;
         let config_hash = registry::fnv1a64(&rec.config_text);

@@ -19,7 +19,8 @@
 //! | `GET /jobs/<id>`       | One job's status record                     |
 //! | `GET /jobs/<id>/live`  | Chunked follow of the job's `live.jsonl` until it finishes |
 //! | `GET /jobs/<id>/metrics` | The job's trace as Prometheus text, labelled `job`/`bench`/`backend`/`lattice`; running jobs fold `live.jsonl` into a partial snapshot, `503 + Retry-After` until the first delta exists |
-//! | `GET /metrics`         | Unified exposition: daemon series (jobs, queue, cache, request telemetry) + every job's series, labelled |
+//! | `GET /jobs/<id>/decisions` | The job's `decisions.jsonl` verbatim — per-instruction precision decision provenance; `503 + Retry-After` while the job is still running, `404` if it finished without recording any |
+//! | `GET /metrics`         | Unified exposition: daemon series (jobs, queue, cache, request telemetry) + every job's series, labelled — including the `craft_fp_*` numerical-health family for `num_health` jobs |
 //! | `GET /healthz`         | Liveness probe                              |
 //! | `POST /admin/drain`    | Begin graceful drain                        |
 //!
@@ -196,6 +197,7 @@ fn route_key(req: &http::Request) -> &'static str {
         ("GET", ["jobs", _]) => "get_job",
         ("GET", ["jobs", _, "live"]) => "get_job_live",
         ("GET", ["jobs", _, "metrics"]) => "get_job_metrics",
+        ("GET", ["jobs", _, "decisions"]) => "get_job_decisions",
         ("GET", ["metrics"]) => "get_metrics",
         ("GET", ["healthz"]) => "healthz",
         ("POST", ["admin", "drain"]) => "drain",
@@ -298,6 +300,31 @@ fn route(
                     .map(|()| 503),
                     None => http::respond_json(conn, 404, &error_json("job produced no trace"))
                         .map(|()| 404),
+                }
+            }
+            None => http::respond_json(conn, 404, &error_json("no such job")).map(|()| 404),
+        },
+        ("GET", ["jobs", id, "decisions"]) => match mgr.job(id) {
+            Some(j) => {
+                let path = mgr.job_dir(id).join("decisions.jsonl");
+                match std::fs::read(&path) {
+                    // Verbatim JSONL: one decision record per line, the
+                    // same bytes `craft explain` reads from a run dir.
+                    Ok(body) => http::respond(conn, 200, "application/jsonl", &body).map(|()| 200),
+                    // The file is written at job completion: a job that
+                    // is still queued/running has no decisions yet.
+                    Err(_) if !j.state.is_terminal() => http::respond_with(
+                        conn,
+                        503,
+                        "application/json",
+                        &[("Retry-After", "1")],
+                        error_json("job has not decided yet — retry").as_bytes(),
+                    )
+                    .map(|()| 503),
+                    Err(_) => {
+                        http::respond_json(conn, 404, &error_json("job recorded no decisions"))
+                            .map(|()| 404)
+                    }
                 }
             }
             None => http::respond_json(conn, 404, &error_json("no such job")).map(|()| 404),

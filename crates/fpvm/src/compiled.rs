@@ -33,7 +33,12 @@
 //! [`Vm::run_compiled_profiled`] — always take the threaded tier, which
 //! keeps exact per-instruction attribution. `ExecObserver`-observed runs
 //! (shadow analysis) stay on [`Vm::run_image_observed`]; the selection is
-//! explicit in each caller, never silent.
+//! explicit in each caller, never silent. The same rule extends one tier
+//! further for numerical health: both compiled tiers execute FP effects
+//! inside opaque handlers and cannot expose per-operation values, so a
+//! [`crate::exec::NumObserver`]-armed run always takes
+//! [`Vm::run_image_numhealth`] (the observed fast path) regardless of the
+//! selected backend — sound because the tiers are bit-identical.
 
 use crate::cost::CostModel;
 use crate::exec::{

@@ -188,6 +188,72 @@ impl StepObserver for NoopStepObserver {
     fn step(&mut self, _insn: InsnId, _cost: u64) {}
 }
 
+/// A numerical-health observer of the pre-decoded fast path, gated
+/// exactly like [`ExecObserver`]: every hook call sits behind
+/// `if N::ENABLED`, so [`NoopNumObserver`] (which [`Vm::run_image`] and
+/// the other entry points use) monomorphizes to the exact unobserved hot
+/// loop — zero cost and bit-identical by construction
+/// (`tests/numhealth_differential.rs` proves it).
+///
+/// Unlike [`ExecObserver`], which reports value-tracking events for the
+/// shadow subsystem, this hook reports *results*: every scalar FP
+/// operation's operands and result at native width (so an `f32`
+/// subnormal is classified at `f32` width, not after widening), plus
+/// every reduced-format quantize ([`OpK::FpTrunc`]) with its pre- and
+/// post-quantization bit patterns. A counter like
+/// `mptrace`'s `NumProfiler` classifies these into NaN/Inf/underflow/
+/// subnormal/saturation/flush events per instruction.
+///
+/// Packed lanes are not reported: the rewriter only emits scalar
+/// replacements, so packed ops are never precision-interesting here.
+///
+/// The compiled backend inherits the observer contract of
+/// [`crate::compiled`]: fused and threaded handlers execute their
+/// effects internally and cannot expose per-operation values, so a
+/// num-health-armed run always takes this observed fast path instead —
+/// the same "observed runs never take the fused tier" fallback rule as
+/// the profiler, extended one tier further. Bit-identity across the
+/// tiers is what makes the fallback sound.
+pub trait NumObserver {
+    /// Statically enables the hooks. `false` compiles all of them out of
+    /// the dispatch loop.
+    const ENABLED: bool;
+
+    /// A scalar double result `r = op(a, b)` was produced at `insn`.
+    /// Unary ops (sqrt, math-library calls) pass the operand as both
+    /// `a` and `b`.
+    fn fp_result_f64(&mut self, insn: InsnId, a: f64, b: f64, r: f64);
+
+    /// A scalar single result `r = op(a, b)` was produced at `insn`, at
+    /// native `f32` width. Unary ops pass the operand as both `a` and
+    /// `b`.
+    fn fp_result_f32(&mut self, insn: InsnId, a: f32, b: f32, r: f32);
+
+    /// A reduced-format quantize at `insn`: the `f32` payload `before`
+    /// was rounded to a `mant`/`exp`-bit format, producing `after`
+    /// (both as `f32` bit patterns; see
+    /// [`crate::value::quantize_f32_bits`]).
+    fn quantize(&mut self, insn: InsnId, mant: u8, exp: u8, before: u32, after: u32);
+}
+
+/// The inert numerical-health observer: `ENABLED = false`, so the
+/// num-health fast path compiles down to the plain one.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopNumObserver;
+
+impl NumObserver for NoopNumObserver {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn fp_result_f64(&mut self, _insn: InsnId, _a: f64, _b: f64, _r: f64) {}
+
+    #[inline(always)]
+    fn fp_result_f32(&mut self, _insn: InsnId, _a: f32, _b: f32, _r: f32) {}
+
+    #[inline(always)]
+    fn quantize(&mut self, _insn: InsnId, _mant: u8, _exp: u8, _before: u32, _after: u32) {}
+}
+
 /// Pre-resolved address mode of a memory operand.
 ///
 /// [`MemRef`]'s optional base/index registers are discriminated here at
@@ -748,7 +814,19 @@ impl<'p> Vm<'p> {
         self.run_image_full(image, &mut NoopObserver, prof)
     }
 
-    /// The fully general fast path: both hooks attached, each gated on
+    /// [`Vm::run_image`] with a [`NumObserver`] attached: every scalar
+    /// FP result and reduced-format quantize is reported for
+    /// numerical-health classification. With [`NoopNumObserver`] this
+    /// *is* [`Vm::run_image`] (the gate is a compile-time constant).
+    pub fn run_image_numhealth<N: NumObserver>(
+        &mut self,
+        image: &ExecImage,
+        num: &mut N,
+    ) -> RunOutcome {
+        self.run_image_all(image, &mut NoopObserver, &mut NoopStepObserver, num)
+    }
+
+    /// The fast path with both classic hooks attached, each gated on
     /// its own `ENABLED` constant.
     pub fn run_image_full<O: ExecObserver, P: StepObserver>(
         &mut self,
@@ -756,21 +834,34 @@ impl<'p> Vm<'p> {
         obs: &mut O,
         prof: &mut P,
     ) -> RunOutcome {
+        self.run_image_all(image, obs, prof, &mut NoopNumObserver)
+    }
+
+    /// The fully general fast path: all three hooks attached, each gated
+    /// on its own `ENABLED` constant.
+    pub fn run_image_all<O: ExecObserver, P: StepObserver, N: NumObserver>(
+        &mut self,
+        image: &ExecImage,
+        obs: &mut O,
+        prof: &mut P,
+        num: &mut N,
+    ) -> RunOutcome {
         assert_eq!(
             image.insn_bound,
             self.prog.insn_id_bound(),
             "ExecImage does not match this VM's program"
         );
         assert_eq!(image.cost, self.opts.cost, "ExecImage compiled under a different cost model");
-        let result = self.run_image_inner(image, obs, prof);
+        let result = self.run_image_inner(image, obs, prof, num);
         RunOutcome { stats: self.stats, result, profile: self.profile.take() }
     }
 
-    fn run_image_inner<O: ExecObserver, P: StepObserver>(
+    fn run_image_inner<O: ExecObserver, P: StepObserver, N: NumObserver>(
         &mut self,
         image: &ExecImage,
         obs: &mut O,
         prof: &mut P,
+        num: &mut N,
     ) -> Result<(), Trap> {
         let ops = &image.ops[..];
         let mut pc = image.entry as usize;
@@ -801,6 +892,9 @@ impl<'p> Vm<'p> {
                     self.check_flag64(b, op.id)?;
                     let r = Self::fp_alu_f64(*o, f64::from_bits(a), f64::from_bits(b));
                     self.set_lo64(*dst, r.to_bits());
+                    if N::ENABLED {
+                        num.fp_result_f64(op.id, f64::from_bits(a), f64::from_bits(b), r);
+                    }
                     if O::ENABLED {
                         obs.trace(&FpEvent::Arith64 {
                             insn: op.id,
@@ -818,6 +912,9 @@ impl<'p> Vm<'p> {
                     let b = self.d_rm32(src)?;
                     let r = Self::fp_alu_f32(*o, f32::from_bits(a), f32::from_bits(b));
                     self.set_lo32(*dst, r.to_bits());
+                    if N::ENABLED {
+                        num.fp_result_f32(op.id, f32::from_bits(a), f32::from_bits(b), r);
+                    }
                     if O::ENABLED {
                         obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 4 });
                     }
@@ -859,6 +956,9 @@ impl<'p> Vm<'p> {
                     self.check_flag64(b, op.id)?;
                     let r = f64::from_bits(b).sqrt();
                     self.set_lo64(*dst, r.to_bits());
+                    if N::ENABLED {
+                        num.fp_result_f64(op.id, f64::from_bits(b), f64::from_bits(b), r);
+                    }
                     if O::ENABLED {
                         obs.trace(&FpEvent::Sqrt64 {
                             insn: op.id,
@@ -871,7 +971,11 @@ impl<'p> Vm<'p> {
                 }
                 OpK::SqrtF32 { dst, src } => {
                     let b = self.d_rm32(src)?;
-                    self.set_lo32(*dst, f32::from_bits(b).sqrt().to_bits());
+                    let r = f32::from_bits(b).sqrt();
+                    self.set_lo32(*dst, r.to_bits());
+                    if N::ENABLED {
+                        num.fp_result_f32(op.id, f32::from_bits(b), f32::from_bits(b), r);
+                    }
                     if O::ENABLED {
                         obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 4 });
                     }
@@ -906,6 +1010,9 @@ impl<'p> Vm<'p> {
                     self.check_flag64(b, op.id)?;
                     let r = Self::math_f64(*fun, f64::from_bits(b));
                     self.set_lo64(*dst, r.to_bits());
+                    if N::ENABLED {
+                        num.fp_result_f64(op.id, f64::from_bits(b), f64::from_bits(b), r);
+                    }
                     if O::ENABLED {
                         obs.trace(&FpEvent::Math64 {
                             insn: op.id,
@@ -919,7 +1026,11 @@ impl<'p> Vm<'p> {
                 }
                 OpK::MathF32 { fun, dst, src } => {
                     let b = self.d_rm32(src)?;
-                    self.set_lo32(*dst, Self::math_f32(*fun, f32::from_bits(b)).to_bits());
+                    let r = Self::math_f32(*fun, f32::from_bits(b));
+                    self.set_lo32(*dst, r.to_bits());
+                    if N::ENABLED {
+                        num.fp_result_f32(op.id, f32::from_bits(b), f32::from_bits(b), r);
+                    }
                     if O::ENABLED {
                         obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 4 });
                     }
@@ -1028,6 +1139,9 @@ impl<'p> Vm<'p> {
                     let r = &mut self.xmm[*dst as usize];
                     *r = (*r & !(u128::from(u64::MAX) << sh))
                         | (u128::from(crate::value::FLAG_HI64 | q as u64) << sh);
+                    if N::ENABLED {
+                        num.quantize(op.id, *mant, *exp, slot as u32, q);
+                    }
                     // The lane now holds a re-flagged reduced payload.
                     if O::ENABLED && *sh == 0 {
                         obs.trace(&FpEvent::Clobber { loc: FpLocV::Reg(*dst), width: 8 });

@@ -42,7 +42,8 @@ pub mod value;
 pub use compiled::{Backend, CompiledImage};
 pub use cost::CostModel;
 pub use exec::{
-    ExecImage, ExecObserver, FpEvent, FpLocV, NoopObserver, NoopStepObserver, StepObserver,
+    ExecImage, ExecObserver, FpEvent, FpLocV, NoopNumObserver, NoopObserver, NoopStepObserver,
+    NumObserver, StepObserver,
 };
 pub use interp::{RunOutcome, RunStats, Vm, VmOptions};
 pub use isa::{

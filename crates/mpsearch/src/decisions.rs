@@ -1,0 +1,498 @@
+//! Decision provenance: one record per instruction explaining *why* it ended
+//! up at its final format.
+//!
+//! The search loop appends [`DecisionEvent`]s as it tests, prunes, and refuses
+//! candidate subsets; after the run every instruction in the structure tree is
+//! folded into a [`DecisionRecord`] carrying its final flag token plus the full
+//! evidence chain. Records serialize one-per-line to `decisions.jsonl` through
+//! [`mptrace::json`], so the file round-trips byte-exactly through
+//! [`DecisionRecord::parse`] / [`DecisionRecord::to_json`] and tolerates a torn
+//! final line (a crashed run loses at most the record being written).
+//!
+//! Event vocabulary (the `"ev"` tag on the wire):
+//!
+//! | tag               | meaning                                                      |
+//! |-------------------|--------------------------------------------------------------|
+//! | `passed`          | unit containing the insn passed verification at a level      |
+//! | `failed`          | unit failed at a level (verdict + shadow error when sampled) |
+//! | `guard_refused`   | range guard vetoed the demotion, with the observed envelope  |
+//! | `shadow_pruned`   | shadow oracle error exceeded threshold; never executed       |
+//! | `dropped`         | removed in the second phase (least-executed passing unit)    |
+//! | `ignored`         | base config marks the insn `Ignore`; never a candidate       |
+//!
+//! Per-insn event order is the order the search recorded them; with a
+//! multi-threaded pool the interleaving *between* units is scheduling
+//! dependent, but every event for one insn is still present.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::executor::Verdict;
+use mptrace::json::{esc, parse_jsonl_tolerant, Value};
+
+/// One piece of evidence in an instruction's decision timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionEvent {
+    /// The unit covering this insn passed verification at a lattice level.
+    Passed {
+        /// Lattice level the trial ran at (0 = widest replacement).
+        level: u32,
+        /// Flag token of the trial format (`s`/`h`/`b`/`m<M>e<E>`).
+        format: String,
+        /// Tree label of the subset that was tested.
+        unit: String,
+    },
+    /// The unit failed verification at a lattice level.
+    Failed {
+        /// Lattice level the trial ran at.
+        level: u32,
+        /// Flag token of the trial format.
+        format: String,
+        /// Executor verdict (`fail`, `timeout`, `crashed`, `quarantined`).
+        verdict: Verdict,
+        /// Tree label of the subset that was tested.
+        unit: String,
+        /// Instruction-local shadow error when a shadow oracle was
+        /// attached, absent otherwise.
+        shadow_err: Option<f64>,
+    },
+    /// The range guard vetoed demoting this insn without an evaluation.
+    GuardRefused {
+        /// Target format name (`half`/`bf16`/`m<M>e<E>`).
+        format: String,
+        /// Operation class (`Exp`/`Log`/`Div`/`Other`).
+        class: String,
+        /// Largest observed operand magnitude ([`mpfmt::guard::RangeObs`]).
+        max_abs: f64,
+        /// Smallest observed nonzero operand magnitude.
+        min_abs: f64,
+        /// The format limit the envelope violated.
+        bound: f64,
+    },
+    /// Shadow-oracle error exceeded the prune threshold, so the subset
+    /// was discarded without an evaluation.
+    ShadowPruned {
+        /// Lattice level the pruned trial would have run at.
+        level: u32,
+        /// Flag token of the pruned trial format.
+        format: String,
+        /// Worst instruction-local shadow error over the subset.
+        err: f64,
+        /// The configured prune threshold that was exceeded.
+        threshold: f64,
+        /// Tree label of the discarded subset.
+        unit: String,
+    },
+    /// The insn's unit passed but was removed in the second phase as a
+    /// least-executed passing unit.
+    Dropped {
+        /// Tree label of the removed unit.
+        unit: String,
+    },
+    /// The base configuration marks this insn `Ignore`; it was never a
+    /// candidate.
+    Ignored,
+}
+
+/// Full decision provenance for one instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Instruction id (index into the structure tree).
+    pub insn: u32,
+    /// Instruction address in the image.
+    pub addr: u64,
+    /// Enclosing function name (for `craft explain --func`).
+    pub func: String,
+    /// Human label: `module/func/b<block>@<addr>: <disasm>`.
+    pub label: String,
+    /// Final flag token (`d`/`s`/`h`/`b`/`i`/`m<M>e<E>`) after the search.
+    pub final_format: String,
+    /// Evidence chain, in recording order.
+    pub events: Vec<DecisionEvent>,
+}
+
+/// Writes `v` so that it survives JSON: finite values use the shortest exact
+/// `{:?}` form, non-finite values become the strings `"inf"`/`"-inf"`/`"nan"`.
+fn wnum(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        esc(
+            out,
+            if v.is_nan() {
+                "nan"
+            } else if v > 0.0 {
+                "inf"
+            } else {
+                "-inf"
+            },
+        );
+    }
+}
+
+fn rnum(v: &Value) -> Option<f64> {
+    match v {
+        Value::Num(n) => Some(*n),
+        Value::Str(s) => match s.as_str() {
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            "nan" => Some(f64::NAN),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+impl DecisionEvent {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            DecisionEvent::Passed { level, format, unit } => {
+                out.push_str("{\"ev\":\"passed\",\"level\":");
+                let _ = write!(out, "{level}");
+                out.push_str(",\"format\":");
+                esc(out, format);
+                out.push_str(",\"unit\":");
+                esc(out, unit);
+                out.push('}');
+            }
+            DecisionEvent::Failed { level, format, verdict, unit, shadow_err } => {
+                out.push_str("{\"ev\":\"failed\",\"level\":");
+                let _ = write!(out, "{level}");
+                out.push_str(",\"format\":");
+                esc(out, format);
+                out.push_str(",\"verdict\":");
+                esc(out, verdict.as_str());
+                out.push_str(",\"unit\":");
+                esc(out, unit);
+                if let Some(e) = shadow_err {
+                    out.push_str(",\"shadow_err\":");
+                    wnum(out, *e);
+                }
+                out.push('}');
+            }
+            DecisionEvent::GuardRefused { format, class, max_abs, min_abs, bound } => {
+                out.push_str("{\"ev\":\"guard_refused\",\"format\":");
+                esc(out, format);
+                out.push_str(",\"class\":");
+                esc(out, class);
+                out.push_str(",\"max_abs\":");
+                wnum(out, *max_abs);
+                out.push_str(",\"min_abs\":");
+                wnum(out, *min_abs);
+                out.push_str(",\"bound\":");
+                wnum(out, *bound);
+                out.push('}');
+            }
+            DecisionEvent::ShadowPruned { level, format, err, threshold, unit } => {
+                out.push_str("{\"ev\":\"shadow_pruned\",\"level\":");
+                let _ = write!(out, "{level}");
+                out.push_str(",\"format\":");
+                esc(out, format);
+                out.push_str(",\"err\":");
+                wnum(out, *err);
+                out.push_str(",\"threshold\":");
+                wnum(out, *threshold);
+                out.push_str(",\"unit\":");
+                esc(out, unit);
+                out.push('}');
+            }
+            DecisionEvent::Dropped { unit } => {
+                out.push_str("{\"ev\":\"dropped\",\"unit\":");
+                esc(out, unit);
+                out.push('}');
+            }
+            DecisionEvent::Ignored => out.push_str("{\"ev\":\"ignored\"}"),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let tag = v.get("ev").and_then(Value::as_str).ok_or("event missing \"ev\" tag")?;
+        let s = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{tag} event missing \"{k}\""))
+        };
+        let n = |k: &str| -> Result<f64, String> {
+            v.get(k).and_then(rnum).ok_or_else(|| format!("{tag} event missing \"{k}\""))
+        };
+        let lvl = || -> Result<u32, String> {
+            v.get("level")
+                .and_then(Value::as_u64)
+                .map(|l| l as u32)
+                .ok_or_else(|| format!("{tag} event missing \"level\""))
+        };
+        match tag {
+            "passed" => {
+                Ok(DecisionEvent::Passed { level: lvl()?, format: s("format")?, unit: s("unit")? })
+            }
+            "failed" => Ok(DecisionEvent::Failed {
+                level: lvl()?,
+                format: s("format")?,
+                verdict: {
+                    let w = s("verdict")?;
+                    Verdict::from_str(&w).ok_or_else(|| format!("unknown verdict {w:?}"))?
+                },
+                unit: s("unit")?,
+                shadow_err: match v.get("shadow_err") {
+                    None => None,
+                    Some(x) => Some(rnum(x).ok_or("failed event: bad \"shadow_err\"")?),
+                },
+            }),
+            "guard_refused" => Ok(DecisionEvent::GuardRefused {
+                format: s("format")?,
+                class: s("class")?,
+                max_abs: n("max_abs")?,
+                min_abs: n("min_abs")?,
+                bound: n("bound")?,
+            }),
+            "shadow_pruned" => Ok(DecisionEvent::ShadowPruned {
+                level: lvl()?,
+                format: s("format")?,
+                err: n("err")?,
+                threshold: n("threshold")?,
+                unit: s("unit")?,
+            }),
+            "dropped" => Ok(DecisionEvent::Dropped { unit: s("unit")? }),
+            "ignored" => Ok(DecisionEvent::Ignored),
+            other => Err(format!("unknown decision event tag {other:?}")),
+        }
+    }
+}
+
+impl DecisionRecord {
+    /// Serializes the record as a single JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"insn\":");
+        let _ = write!(out, "{}", self.insn);
+        out.push_str(",\"addr\":");
+        let _ = write!(out, "{}", self.addr);
+        out.push_str(",\"func\":");
+        esc(&mut out, &self.func);
+        out.push_str(",\"label\":");
+        esc(&mut out, &self.label);
+        out.push_str(",\"final\":");
+        esc(&mut out, &self.final_format);
+        out.push_str(",\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            e.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses one `to_json` line back; `to_json` of the result reproduces the
+    /// input byte-for-byte.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        Self::from_value(&mptrace::json::parse(line)?)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let events = v
+            .get("events")
+            .and_then(Value::as_arr)
+            .ok_or("record missing \"events\"")?
+            .iter()
+            .map(DecisionEvent::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DecisionRecord {
+            insn: v.get("insn").and_then(Value::as_u64).ok_or("record missing \"insn\"")? as u32,
+            addr: v.get("addr").and_then(Value::as_u64).ok_or("record missing \"addr\"")?,
+            func: v
+                .get("func")
+                .and_then(Value::as_str)
+                .ok_or("record missing \"func\"")?
+                .to_owned(),
+            label: v
+                .get("label")
+                .and_then(Value::as_str)
+                .ok_or("record missing \"label\"")?
+                .to_owned(),
+            final_format: v
+                .get("final")
+                .and_then(Value::as_str)
+                .ok_or("record missing \"final\"")?
+                .to_owned(),
+            events,
+        })
+    }
+}
+
+/// Serializes `records` as JSONL (one record per line, trailing newline).
+pub fn to_jsonl(records: &[DecisionRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a `decisions.jsonl` body. A torn final line (crash mid-write) is
+/// tolerated and reported as a warning; corruption anywhere else is an error.
+pub fn from_jsonl_tolerant(text: &str) -> Result<(Vec<DecisionRecord>, Option<String>), String> {
+    let (values, warning) = parse_jsonl_tolerant(text)?;
+    let mut records = Vec::with_capacity(values.len());
+    for (line_no, v) in &values {
+        records.push(DecisionRecord::from_value(v).map_err(|e| format!("line {line_no}: {e}"))?);
+    }
+    Ok((records, warning))
+}
+
+/// Writes `records` to `path` as JSONL.
+pub fn save(path: &Path, records: &[DecisionRecord]) -> std::io::Result<()> {
+    std::fs::write(path, to_jsonl(records))
+}
+
+/// Loads a `decisions.jsonl` file, tolerating a torn final line.
+pub fn load(path: &Path) -> Result<(Vec<DecisionRecord>, Option<String>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    from_jsonl_tolerant(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<DecisionRecord> {
+        vec![
+            DecisionRecord {
+                insn: 3,
+                addr: 0x401_0a4,
+                func: "mulpd_loop".into(),
+                label: "ep/mulpd_loop/b1@0x4010a4: mulsd xmm0, xmm1".into(),
+                final_format: "b".into(),
+                events: vec![
+                    DecisionEvent::Passed { level: 0, format: "s".into(), unit: "ep".into() },
+                    DecisionEvent::Passed {
+                        level: 1,
+                        format: "b".into(),
+                        unit: "ep/mulpd_loop".into(),
+                    },
+                ],
+            },
+            DecisionRecord {
+                insn: 7,
+                addr: 0x401_0b0,
+                func: "vranlc".into(),
+                label: "ep/vranlc/b0@0x4010b0: divsd xmm2, xmm3".into(),
+                final_format: "d".into(),
+                events: vec![
+                    DecisionEvent::Failed {
+                        level: 0,
+                        format: "s".into(),
+                        verdict: Verdict::Fail,
+                        unit: "ep/vranlc".into(),
+                        shadow_err: Some(3.5e-4),
+                    },
+                    DecisionEvent::GuardRefused {
+                        format: "half".into(),
+                        class: "Div".into(),
+                        max_abs: 70000.0,
+                        min_abs: 1.5e-9,
+                        bound: 65504.0,
+                    },
+                    DecisionEvent::ShadowPruned {
+                        level: 1,
+                        format: "b".into(),
+                        err: 0.25,
+                        threshold: 1e-6,
+                        unit: "ep/vranlc".into(),
+                    },
+                ],
+            },
+            DecisionRecord {
+                insn: 9,
+                addr: 0x401_0c0,
+                func: "timer".into(),
+                label: "ep/timer/b0@0x4010c0: addsd xmm0, xmm1".into(),
+                final_format: "i".into(),
+                events: vec![DecisionEvent::Ignored],
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_byte_exactly() {
+        for r in sample() {
+            let line = r.to_json();
+            let back = DecisionRecord::parse(&line).unwrap();
+            assert_eq!(back, r);
+            assert_eq!(back.to_json(), line);
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_and_torn_final_line() {
+        let records = sample();
+        let text = to_jsonl(&records);
+        let (back, warn) = from_jsonl_tolerant(&text).unwrap();
+        assert_eq!(back, records);
+        assert!(warn.is_none());
+
+        // A crash mid-write leaves a torn final line: tolerated with a warning.
+        let torn = &text[..text.len() - 10];
+        let (back, warn) = from_jsonl_tolerant(torn).unwrap();
+        assert_eq!(back.len(), records.len() - 1);
+        assert_eq!(back, records[..2]);
+        assert!(warn.is_some(), "torn final line must produce a warning");
+
+        // Corruption before the final line stays a hard error.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[0] = "{\"insn\":";
+        let corrupt = lines.join("\n");
+        assert!(from_jsonl_tolerant(&corrupt).is_err());
+    }
+
+    #[test]
+    fn non_finite_range_evidence_survives() {
+        let r = DecisionRecord {
+            insn: 0,
+            addr: 0,
+            func: "f".into(),
+            label: "m/f/b0@0x0: sqrtsd".into(),
+            final_format: "d".into(),
+            events: vec![DecisionEvent::GuardRefused {
+                format: "bf16".into(),
+                class: "Other".into(),
+                max_abs: f64::INFINITY,
+                min_abs: 0.0,
+                bound: 3.3895313892515355e38,
+            }],
+        };
+        let line = r.to_json();
+        let back = DecisionRecord::parse(&line).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), line);
+    }
+
+    #[test]
+    fn dropped_and_failed_without_shadow_err() {
+        let r = DecisionRecord {
+            insn: 1,
+            addr: 16,
+            func: "g".into(),
+            label: "m/g/b0@0x10: subsd".into(),
+            final_format: "s".into(),
+            events: vec![
+                DecisionEvent::Failed {
+                    level: 1,
+                    format: "h".into(),
+                    verdict: Verdict::Timeout,
+                    unit: "m/g".into(),
+                    shadow_err: None,
+                },
+                DecisionEvent::Dropped { unit: "m/g".into() },
+            ],
+        };
+        let line = r.to_json();
+        assert!(!line.contains("shadow_err"));
+        let back = DecisionRecord::parse(&line).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json(), line);
+    }
+}

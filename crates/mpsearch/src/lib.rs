@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod decisions;
 pub mod evaluator;
 pub mod events;
 pub mod executor;
@@ -34,6 +35,7 @@ pub mod pool;
 pub mod report;
 pub mod search;
 
+pub use decisions::{DecisionEvent, DecisionRecord};
 pub use evaluator::{CachedEvaluator, EvalOutcome, EvalStats, Evaluator, RunControl, VmEvaluator};
 pub use events::{Event, EventLog, Record};
 pub use executor::{ExecCounters, ExecPolicy, Executor, FaultPlan, Verdict};

@@ -1,5 +1,6 @@
 //! The breadth-first search algorithm (paper §2.2).
 
+use crate::decisions::{DecisionEvent, DecisionRecord};
 use crate::evaluator::{CachedEvaluator, Evaluator};
 use crate::events::{Event, EventLog};
 use crate::executor::{ExecPolicy, Executor, FaultPlan, Verdict};
@@ -8,7 +9,7 @@ use crate::report::{PassingUnit, SearchReport};
 use fpvm::isa::InsnId;
 use fpvm::Profile;
 use mpconfig::{Config, Flag, NodeRef, StructureTree};
-use mpfmt::guard::{check_demotion, op_class_of_disasm, OpClass};
+use mpfmt::guard::{check_demotion, op_class_of_disasm, GuardError, OpClass};
 use mptrace::stream::{Progress, StreamSink};
 use mptrace::Tracer;
 use std::cmp::Reverse;
@@ -238,6 +239,9 @@ struct Shared {
     next_seq: u64,
     passing: Vec<Item>,
     stopped: bool,
+    /// Decision provenance: per-insn evidence chain, appended at every
+    /// outcome site (all of which already hold this lock).
+    decisions: HashMap<u32, Vec<DecisionEvent>>,
 }
 
 struct Ctx<'a> {
@@ -434,19 +438,48 @@ impl Ctx<'_> {
         (cfg, replaced)
     }
 
-    /// Range-guard check for one item: `Some(insn)` when any covered
-    /// instruction's observed operand envelope cannot survive the
-    /// item's target format. Only reduced formats are guarded, and only
-    /// when a shadow profile (the range source) is attached — otherwise
-    /// demotions keep the classic try-it-and-verify behavior.
-    fn guard_refusal(&self, item: &Item) -> Option<InsnId> {
-        let oracle = self.shadow?;
-        let fmt = self.flag_at(item.level).format().filter(|f| f.is_reduced())?;
-        item.insns.iter().copied().find(|&i| {
-            let class = self.classes.get(&i.0).copied().unwrap_or(OpClass::Other);
-            let obs = oracle.profile.range_over([i]);
-            check_demotion(fmt, class, &obs).is_err()
-        })
+    /// Range-guard check for one item: every covered instruction whose
+    /// observed operand envelope cannot survive the item's target
+    /// format, with the refusing [`mpfmt::guard::GuardError`] and the
+    /// observed range as evidence. A non-empty result refuses the whole
+    /// item. Only reduced formats are guarded, and only when a shadow
+    /// profile (the range source) is attached — otherwise demotions keep
+    /// the classic try-it-and-verify behavior.
+    fn guard_refusals(&self, item: &Item) -> Vec<(InsnId, DecisionEvent)> {
+        let (Some(oracle), Some(fmt)) =
+            (self.shadow, self.flag_at(item.level).format().filter(|f| f.is_reduced()))
+        else {
+            return Vec::new();
+        };
+        item.insns
+            .iter()
+            .filter_map(|&i| {
+                let class = self.classes.get(&i.0).copied().unwrap_or(OpClass::Other);
+                let obs = oracle.profile.range_over([i]);
+                let err = check_demotion(fmt, class, &obs).err()?;
+                let (class, bound) = match err {
+                    GuardError::Overflow { class, bound, .. }
+                    | GuardError::Underflow { class, bound, .. } => (class, bound),
+                };
+                Some((
+                    i,
+                    DecisionEvent::GuardRefused {
+                        format: fmt.name(),
+                        class: format!("{class:?}"),
+                        max_abs: obs.max_abs,
+                        min_abs: obs.min_abs,
+                        bound,
+                    },
+                ))
+            })
+            .collect()
+    }
+
+    /// Appends one decision event to every insn of `item`.
+    fn record(&self, s: &mut Shared, item: &Item, ev: DecisionEvent) {
+        for &i in &item.insns {
+            s.decisions.entry(i.0).or_default().push(ev.clone());
+        }
     }
 }
 
@@ -552,6 +585,7 @@ pub fn search_observed(
         next_seq: 0,
         passing: Vec::new(),
         stopped: false,
+        decisions: HashMap::new(),
     });
     let cond = Condvar::new();
 
@@ -639,6 +673,17 @@ pub fn search_observed(
                         }
                         let mut s = shared.lock().unwrap();
                         s.pruned += 1;
+                        ctx.record(
+                            &mut s,
+                            &item,
+                            DecisionEvent::ShadowPruned {
+                                level: item.level as u32,
+                                format: ctx.flag_at(item.level).token(),
+                                err,
+                                threshold,
+                                unit: ctx.label_of(&item),
+                            },
+                        );
                         ctx.expand(&mut s, &item);
                         s.in_flight -= 1;
                         let prog = ctx.stream.map(|_| progress_of(&s, "bfs"));
@@ -655,12 +700,16 @@ pub fn search_observed(
             // operand envelope cannot survive the target format is
             // refused without evaluation and refined structurally, like
             // a failed test.
-            if ctx.guard_refusal(&item).is_some() {
+            let refusals = ctx.guard_refusals(&item);
+            if !refusals.is_empty() {
                 if let Some(t) = ctx.tracer {
                     t.incr("search.guard_refused", 1);
                 }
                 let mut s = shared.lock().unwrap();
                 s.guard_refused += 1;
+                for (i, ev) in refusals {
+                    s.decisions.entry(i.0).or_default().push(ev);
+                }
                 ctx.expand(&mut s, &item);
                 s.in_flight -= 1;
                 let prog = ctx.stream.map(|_| progress_of(&s, "bfs"));
@@ -672,10 +721,21 @@ pub fn search_observed(
                 continue 'items;
             }
             let cfg = ctx.trial_config(&item.insns, item.level);
-            let pass = exec.run(&cfg, &ctx.label_of(&item)) == Verdict::Pass;
+            let unit = ctx.label_of(&item);
+            let verdict = exec.run(&cfg, &unit);
+            let pass = verdict == Verdict::Pass;
             let mut s = shared.lock().unwrap();
             s.tested += 1;
             if pass {
+                ctx.record(
+                    &mut s,
+                    &item,
+                    DecisionEvent::Passed {
+                        level: item.level as u32,
+                        format: ctx.flag_at(item.level).token(),
+                        unit,
+                    },
+                );
                 // Lattice descent: a passing unit re-enters the queue at
                 // the next (narrower) level; the pass itself is kept so
                 // the unit settles at its deepest passing format.
@@ -685,6 +745,17 @@ pub fn search_observed(
                 }
                 s.passing.push(item);
             } else {
+                // Per-insn error metric: the instruction-local shadow
+                // error, when an oracle supplied one.
+                for &i in &item.insns {
+                    s.decisions.entry(i.0).or_default().push(DecisionEvent::Failed {
+                        level: item.level as u32,
+                        format: ctx.flag_at(item.level).token(),
+                        verdict,
+                        unit: unit.clone(),
+                        shadow_err: ctx.shadow.map(|o| o.profile.max_local_over([i])),
+                    });
+                }
                 ctx.expand(&mut s, &item);
             }
             s.in_flight -= 1;
@@ -714,7 +785,9 @@ pub fn search_observed(
         }),
     }
 
-    let s = shared.into_inner().unwrap();
+    let mut s = shared.into_inner().unwrap();
+    let mut decisions = std::mem::take(&mut s.decisions);
+    let s = s;
     drop(bfs_span);
     if let Some(log) = hooks.events {
         log.emit(Event::PhaseFinished {
@@ -764,7 +837,13 @@ pub fn search_observed(
             None => it.insns.len() as u64,
         });
         while !final_pass && !passing_units.is_empty() {
-            passing_units.remove(0);
+            let dropped = passing_units.remove(0);
+            for &i in &dropped.insns {
+                decisions
+                    .entry(i.0)
+                    .or_default()
+                    .push(DecisionEvent::Dropped { unit: ctx.label_of(&dropped) });
+            }
             let (cfg, kept) = ctx.union_config(&passing_units);
             final_config = cfg;
             final_pass =
@@ -804,6 +883,36 @@ pub fn search_observed(
         .map(|it| PassingUnit { node: it.node, label: ctx.label_of(it), insns: it.insns.len() })
         .collect();
 
+    // Fold the evidence chains into one record per instruction. Every
+    // instruction in the tree gets a record — insns the base config
+    // ignores carry a single `Ignored` event so the file still explains
+    // them.
+    let mut decision_records = Vec::new();
+    for m in &tree.modules {
+        for f in &m.funcs {
+            for b in &f.blocks {
+                for e in &b.insns {
+                    let events = if base.effective(tree, e.id) == Flag::Ignore {
+                        vec![DecisionEvent::Ignored]
+                    } else {
+                        decisions.remove(&e.id.0).unwrap_or_default()
+                    };
+                    decision_records.push(DecisionRecord {
+                        insn: e.id.0,
+                        addr: e.addr,
+                        func: f.name.clone(),
+                        label: format!(
+                            "{}/{}/b{}@{:#x}: {}",
+                            m.name, f.name, b.id.0, e.addr, e.disasm
+                        ),
+                        final_format: final_config.effective(tree, e.id).token(),
+                        events,
+                    });
+                }
+            }
+        }
+    }
+
     let estats = eval.stats();
     let counters = exec.counters();
     let report = SearchReport {
@@ -824,6 +933,7 @@ pub fn search_observed(
         quarantined: counters.quarantined,
         pruned_by_shadow: s.pruned,
         guard_refused: s.guard_refused,
+        decisions: decision_records,
     };
     if let Some(log) = hooks.events {
         log.emit(Event::SearchFinished {
@@ -1294,6 +1404,23 @@ mod tests {
             breakdown,
             vec![("s".to_string(), 4), ("h".to_string(), 4), ("b".to_string(), 4)]
         );
+        // decision provenance: one record per insn, and every replaced
+        // insn carries a passed-at-level event for its final format.
+        assert_eq!(r.decisions.len(), ids.len());
+        for rec in &r.decisions {
+            assert_ne!(rec.final_format, "d", "everything replaced in this scenario");
+            assert!(
+                rec.events.iter().any(|e| matches!(
+                    e,
+                    crate::decisions::DecisionEvent::Passed { format, .. }
+                        if *format == rec.final_format
+                )),
+                "insn {} final {} lacks a matching passed event: {:?}",
+                rec.insn,
+                rec.final_format,
+                rec.events
+            );
+        }
     }
 
     #[test]
@@ -1376,6 +1503,21 @@ mod tests {
         assert_eq!(r.final_config.effective(&tb.tree, ids[1]), Flag::Half);
         assert!(r.guard_refused > 0, "the blocked descent must be counted");
         assert!(!r.guard_note("m").is_empty());
+        // The refused insn's record carries the observed range evidence.
+        let rec = r.decisions.iter().find(|d| d.insn == ids[0].0).unwrap();
+        let guard = rec
+            .events
+            .iter()
+            .find_map(|e| match e {
+                crate::decisions::DecisionEvent::GuardRefused {
+                    format, max_abs, bound, ..
+                } => Some((format.clone(), *max_abs, *bound)),
+                _ => None,
+            })
+            .expect("guard refusal must leave evidence");
+        assert_eq!(guard.0, "half");
+        assert_eq!(guard.1, 1.0e6);
+        assert!(guard.1 > guard.2, "observed max must exceed the format bound");
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod compare;
 pub mod delta;
 pub mod json;
+pub mod numprof;
 pub mod profiler;
 pub mod registry;
 pub mod sinks;

@@ -19,6 +19,31 @@ fn prom_label(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
+/// Decompose a numerical-health counter name into its Prometheus base
+/// name and derived labels: the `fp.*` family encodes the instruction
+/// id as an `.i<id>` suffix and the reduced format as a name segment,
+/// which become real `insn`/`format` labels so one metric name covers
+/// the whole family. `fp.sat.bf16.i12` → (`fp_sat`,
+/// `format="bf16",insn="12"`); non-`fp.` names return `None` and render
+/// the classic way.
+fn fp_series(name: &str) -> Option<(String, String)> {
+    let rest = name.strip_prefix("fp.")?;
+    let mut segs = rest.split('.');
+    let family = segs.next().filter(|f| !f.is_empty())?;
+    let labels: Vec<String> = segs
+        .map(|seg| {
+            match seg
+                .strip_prefix('i')
+                .filter(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+            {
+                Some(d) => format!("insn=\"{d}\""),
+                None => format!("format=\"{}\"", prom_label(seg)),
+            }
+        })
+        .collect();
+    Some((format!("fp_{}", prom_name(family)), labels.join(",")))
+}
+
 /// Render the snapshot in Prometheus text exposition format. All
 /// series carry the `craft_` prefix; histograms expose cumulative
 /// log2 buckets with `le` equal to each bucket's inclusive upper bound.
@@ -47,7 +72,16 @@ pub fn prometheus_labeled(snap: &TraceSnapshot, labels: &[(&str, &str)]) -> Stri
         }
     };
     let mut out = String::with_capacity(4096);
+    let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for (name, v) in &snap.counters {
+        if let Some((base, extra)) = fp_series(name) {
+            let n = format!("craft_{base}_total");
+            if typed.insert(n.clone()) {
+                let _ = writeln!(out, "# TYPE {n} counter");
+            }
+            let _ = writeln!(out, "{n}{} {v}", lbl(&extra));
+            continue;
+        }
         let n = format!("craft_{}_total", prom_name(name));
         let _ = writeln!(out, "# TYPE {n} counter\n{n}{} {v}", lbl(""));
     }
@@ -218,6 +252,32 @@ mod tests {
             assert!(!name.is_empty());
             assert!(value.parse::<f64>().is_ok() || value == "+Inf", "bad value {value:?}");
         }
+    }
+
+    #[test]
+    fn fp_counters_render_with_insn_and_format_labels() {
+        let mut snap = TraceSnapshot::default();
+        snap.counters.insert("fp.nan".into(), 3);
+        snap.counters.insert("fp.nan.i12".into(), 3);
+        snap.counters.insert("fp.sat.bf16".into(), 7);
+        snap.counters.insert("fp.sat.bf16.i12".into(), 7);
+        snap.counters.insert("fp.quantize.m3e4".into(), 9);
+        let text = prometheus(&snap);
+        assert!(text.contains("craft_fp_nan_total 3"), "{text}");
+        assert!(text.contains("craft_fp_nan_total{insn=\"12\"} 3"), "{text}");
+        assert!(text.contains("craft_fp_sat_total{format=\"bf16\"} 7"), "{text}");
+        assert!(text.contains("craft_fp_sat_total{format=\"bf16\",insn=\"12\"} 7"), "{text}");
+        assert!(text.contains("craft_fp_quantize_total{format=\"m3e4\"} 9"), "{text}");
+        // One TYPE line per metric name, not per series.
+        assert_eq!(text.matches("# TYPE craft_fp_nan_total counter").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE craft_fp_sat_total counter").count(), 1, "{text}");
+        // Constant labels merge after the derived ones.
+        let labeled = prometheus_labeled(&snap, &[("job", "j1")]);
+        assert!(
+            labeled.contains("craft_fp_sat_total{format=\"bf16\",insn=\"12\",job=\"j1\"} 7"),
+            "{labeled}"
+        );
+        assert!(labeled.contains("craft_fp_nan_total{job=\"j1\"} 3"), "{labeled}");
     }
 
     #[test]
